@@ -1,0 +1,69 @@
+// Ablation: adaptive idleness prediction [Golding95].
+//
+// The paper's baseline uses a plain 100 ms timer and notes "the output from
+// the idle-period predictor was ignored". This bench turns the predictor on:
+// rebuild passes are skipped in gaps predicted too short to fit one rebuild
+// step, trading a little extra exposure for less burst interference on
+// short-gap workloads.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace afraid {
+namespace {
+
+int Run() {
+  const uint64_t max_requests = BenchRequests();
+  const SimDuration max_duration = BenchDuration();
+
+  PrintHeader("Ablation: timer-only vs adaptive idle prediction (baseline AFRAID)");
+  std::printf("%-12s %14s %14s | %10s %10s\n", "workload", "timer ms", "predict ms",
+              "timer Tunp", "pred Tunp");
+  PrintRule();
+  std::vector<WorkloadParams> workloads;
+  for (const char* name : {"cello-news", "netware", "AS400-1", "snake"}) {
+    WorkloadParams wl;
+    FindWorkload(name, &wl);
+    workloads.push_back(wl);
+  }
+  {
+    // A pathological gap population: bursts separated by ~140 ms pauses,
+    // barely past the 100 ms detector delay and too short to fit a rebuild
+    // step -- the case the predictor exists for.
+    WorkloadParams wl;
+    wl.name = "short-gaps";
+    wl.seed = 0xafe110;
+    wl.mean_burst_requests = 12;
+    wl.mean_idle_ms = 140;
+    wl.idle_pareto_alpha = 8.0;  // Near-deterministic gap length.
+    wl.max_idle_ms = 200;
+    wl.intra_burst_gap_ms = 8;
+    wl.write_fraction = 0.7;
+    wl.size_dist = {{4096, 0.5}, {8192, 0.5}};
+    workloads.push_back(wl);
+  }
+  for (const WorkloadParams& wl : workloads) {
+    ArrayConfig cfg = PaperArrayConfig();
+    cfg.use_idle_predictor = false;
+    const SimReport timer = RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl,
+                                        max_requests, max_duration);
+    cfg.use_idle_predictor = true;
+    const SimReport pred = RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl,
+                                       max_requests, max_duration);
+    std::printf("%-12s %14.2f %14.2f | %10.4f %10.4f\n", wl.name.c_str(),
+                timer.mean_io_ms, pred.mean_io_ms, timer.t_unprot_fraction,
+                pred.t_unprot_fraction);
+  }
+  PrintRule();
+  std::printf("expected: on short-gap workloads the predictor trades a slightly\n"
+              "longer unprotected window for less interference; on clearly bursty\n"
+              "workloads the two are nearly identical.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace afraid
+
+int main() { return afraid::Run(); }

@@ -1,0 +1,91 @@
+// Ablation: the RAID 6 + AFRAID extension (Section 5).
+//
+// "A RAID 6 array keeps two parity blocks for each stripe, and thus pays an
+// even higher penalty for doing small updates than does RAID 5. The AFRAID
+// technique could be combined with the RAID 6 parity scheme to delay either
+// or both parity-block updates." This bench measures the three operating
+// points on a bursty workload: classic RAID 6 (synchronous P+Q), defer-Q
+// (RAID 5-cost writes, dual tolerance after idle rebuild), defer-both (pure
+// AFRAID writes).
+
+#include <cstdio>
+
+#include "array/host_driver.h"
+#include "bench/bench_common.h"
+#include "core/raid6_controller.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+namespace {
+
+struct Row {
+  double mean_ms = 0.0;
+  uint64_t disk_ops = 0;
+  double t_q_stale = 0.0;
+  double t_both_stale = 0.0;
+};
+
+Row RunMode(Raid6Mode mode, const Trace& trace) {
+  ArrayConfig cfg = PaperArrayConfig();
+  cfg.num_disks = 6;  // 4 data + P + Q.
+  Simulator sim;
+  Raid6Controller ctl(&sim, cfg, mode);
+  HostDriver driver(&sim, &ctl, cfg.MaxActive());
+  size_t next = 0;
+  std::function<void()> pump = [&] {
+    if (next >= trace.records.size()) {
+      return;
+    }
+    const TraceRecord& r = trace.records[next++];
+    driver.Submit(r.offset, r.size, r.is_write);
+    if (next < trace.records.size()) {
+      sim.At(std::max(trace.records[next].time, sim.Now()), pump);
+    }
+  };
+  if (!trace.records.empty()) {
+    sim.At(trace.records[0].time, pump);
+  }
+  sim.RunToEnd();
+  Row row;
+  row.mean_ms = driver.AllLatencies().Mean();
+  row.disk_ops = ctl.DiskOpsIssued();
+  row.t_q_stale = ctl.TQStaleFraction();
+  row.t_both_stale = ctl.TBothStaleFraction();
+  return row;
+}
+
+int Run() {
+  WorkloadParams wl;
+  FindWorkload("cello-usr", &wl);
+  ArrayConfig cfg = PaperArrayConfig();
+  cfg.num_disks = 6;
+  const StripeLayout layout(cfg.num_disks, cfg.stripe_unit_bytes,
+                            DiskGeometry(cfg.disk_spec.zones, cfg.disk_spec.heads,
+                                         cfg.disk_spec.sector_bytes)
+                                .CapacityBytes(),
+                            2);
+  wl.address_space_bytes = layout.data_capacity_bytes();
+  const Trace trace = GenerateWorkload(wl, BenchRequests() / 2, BenchDuration());
+
+  PrintHeader("Ablation: RAID 6 + AFRAID (6 disks = 4 data + P + Q, cello-usr)");
+  std::printf("%-14s %12s %12s %14s %14s\n", "mode", "mean ms", "disk I/Os",
+              "T(P-only)", "T(exposed)");
+  PrintRule();
+  for (Raid6Mode mode : {Raid6Mode::kSynchronous, Raid6Mode::kDeferQ,
+                         Raid6Mode::kDeferBoth}) {
+    const Row row = RunMode(mode, trace);
+    std::printf("%-14s %12.2f %12llu %14.4f %14.4f\n", Raid6ModeName(mode).c_str(),
+                row.mean_ms, static_cast<unsigned long long>(row.disk_ops),
+                row.t_q_stale, row.t_both_stale);
+  }
+  PrintRule();
+  std::printf("expected: defer-Q removes a third of the small-write I/Os while\n"
+              "keeping single-failure tolerance at all times; defer-both reaches\n"
+              "AFRAID cost with a bounded window of full exposure.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace afraid
+
+int main() { return afraid::Run(); }

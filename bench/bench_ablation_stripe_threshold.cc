@@ -1,0 +1,47 @@
+// Ablation: the forced-rebuild stripe threshold.
+//
+// The MTTDL_x policy "attempts to limit MDLR by automatically starting a
+// parity update when more than 20 stripes are unprotected, even if the array
+// is not idle; we had found earlier that this was fairly effective and
+// caused little performance degradation" (Section 4.1). This sweep redoes
+// that earlier finding with the pure threshold policy.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace afraid {
+namespace {
+
+int Run() {
+  const ArrayConfig cfg = PaperArrayConfig();
+  const AvailabilityParams ap = AvailabilityParamsFor(cfg);
+  const uint64_t max_requests = BenchRequests();
+  const SimDuration max_duration = BenchDuration();
+  WorkloadParams wl;
+  FindWorkload("AS400-1", &wl);  // Busy enough that forcing matters.
+
+  PrintHeader("Ablation: forced-rebuild threshold (workload AS400-1)");
+  std::printf("%10s %12s %12s %12s %14s\n", "threshold", "mean ms", "lag (KB)",
+              "MDLRunp b/h", "max dirty");
+  PrintRule();
+  for (int64_t threshold : {1, 5, 20, 100, 1000, 1000000}) {
+    const SimReport rep = RunWorkload(cfg, PolicySpec::StripeThreshold(threshold), wl,
+                                      max_requests, max_duration);
+    std::printf("%10lld %12.2f %12.1f %12.3f %14lld\n",
+                static_cast<long long>(threshold), rep.mean_io_ms,
+                rep.mean_parity_lag_bytes / 1024.0,
+                MdlrUnprotectedBph(ap, rep.mean_parity_lag_bytes),
+                static_cast<long long>(rep.max_dirty_stripes));
+  }
+  PrintRule();
+  std::printf("expected: small thresholds bound the parity lag tightly (low MDLR)\n"
+              "with modest latency cost; huge thresholds converge to baseline\n"
+              "AFRAID. The paper settled on 20.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace afraid
+
+int main() { return afraid::Run(); }

@@ -1,0 +1,75 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the simulations, prints rows in the paper's structure, and prints the
+// paper's headline numbers beside the measured ones so the shape comparison
+// is immediate. Absolute numbers are not expected to match a 1996 testbed;
+// orderings and rough factors are.
+
+#ifndef AFRAID_BENCH_BENCH_COMMON_H_
+#define AFRAID_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/array_config.h"
+#include "core/experiment.h"
+#include "core/policy.h"
+#include "core/report.h"
+#include "trace/workload_gen.h"
+
+namespace afraid {
+
+// The paper's array: 5 HP C3325-like disks, 8 KB stripe unit, small caches.
+inline ArrayConfig PaperArrayConfig() {
+  ArrayConfig cfg;
+  cfg.disk_spec = DiskSpec::HpC3325Like();
+  cfg.num_disks = 5;
+  cfg.stripe_unit_bytes = 8192;
+  return cfg;
+}
+
+// Experiment sizing: long enough for stable means, short enough that all
+// benches finish in minutes. Override via environment for deeper runs:
+//   AFRAID_BENCH_REQUESTS=200000 AFRAID_BENCH_MINUTES=120 ./bench_...
+inline uint64_t BenchRequests() {
+  if (const char* env = std::getenv("AFRAID_BENCH_REQUESTS")) {
+    return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+  }
+  return 30000;
+}
+inline SimDuration BenchDuration() {
+  if (const char* env = std::getenv("AFRAID_BENCH_MINUTES")) {
+    return Minutes(std::strtol(env, nullptr, 10));
+  }
+  return Minutes(60);
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+// Human-readable hours (engineering notation like the paper: "4.2e9 h").
+inline std::string Hours(double h) {
+  char buf[32];
+  if (h == std::numeric_limits<double>::infinity()) {
+    return "inf";
+  }
+  std::snprintf(buf, sizeof(buf), "%.3g", h);
+  return buf;
+}
+
+}  // namespace afraid
+
+#endif  // AFRAID_BENCH_BENCH_COMMON_H_

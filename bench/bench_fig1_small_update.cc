@@ -1,0 +1,77 @@
+// Reproduces Figure 1 / Section 1 of the AFRAID paper: the RAID 5
+// small-update problem. A single small (one stripe-unit) write to an idle
+// array costs 4 disk I/Os in the critical path under RAID 5 (read old data,
+// read old parity, write data, write parity) but just 1 under AFRAID; the
+// parity work moves to the idle period that follows.
+
+#include <cstdio>
+
+#include "array/host_driver.h"
+#include "bench/bench_common.h"
+#include "core/afraid_controller.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+namespace {
+
+struct Outcome {
+  double latency_ms = 0.0;
+  uint64_t critical_path_ios = 0;  // Disk I/Os before the write completed.
+  uint64_t deferred_ios = 0;       // Background I/Os after completion.
+};
+
+Outcome OneSmallWrite(const PolicySpec& spec) {
+  const ArrayConfig cfg = PaperArrayConfig();
+  Simulator sim;
+  AfraidController ctl(&sim, cfg, MakePolicy(spec), AvailabilityParamsFor(cfg));
+  HostDriver driver(&sim, &ctl, cfg.MaxActive());
+
+  // Put the request away from stripe 0 so seeks are representative.
+  const int64_t offset = 5000 * cfg.stripe_unit_bytes;
+  driver.Submit(offset, static_cast<int32_t>(cfg.stripe_unit_bytes),
+                /*is_write=*/true);
+  // Run to the completion of the client write.
+  while (!driver.Drained()) {
+    sim.Step();
+  }
+  Outcome out;
+  out.latency_ms = driver.AllLatencies().Mean();
+  out.critical_path_ios = ctl.TotalDiskOps();
+  // Let the idle period elapse: deferred parity work happens now.
+  sim.RunToEnd();
+  out.deferred_ios = ctl.TotalDiskOps() - out.critical_path_ios;
+  return out;
+}
+
+int Run() {
+  PrintHeader("Figure 1: anatomy of one small (8 KB) write to an idle array");
+  std::printf("%-12s %14s %22s %16s\n", "scheme", "latency (ms)", "critical-path I/Os",
+              "deferred I/Os");
+  PrintRule();
+  struct Row {
+    const char* name;
+    PolicySpec spec;
+  };
+  const Row rows[] = {
+      {"RAID5", PolicySpec::Raid5()},
+      {"AFRAID", PolicySpec::AfraidBaseline()},
+      {"RAID0", PolicySpec::Raid0()},
+  };
+  for (const Row& row : rows) {
+    const Outcome o = OneSmallWrite(row.spec);
+    std::printf("%-12s %14.2f %22llu %16llu\n", row.name, o.latency_ms,
+                static_cast<unsigned long long>(o.critical_path_ios),
+                static_cast<unsigned long long>(o.deferred_ios));
+  }
+  PrintRule();
+  std::printf("paper: RAID 5 needs 3-4 I/Os in the critical path of a small write; "
+              "AFRAID needs 1\n(the parity rebuild -- %d reads + 1 write -- runs in "
+              "the following idle period).\n",
+              PaperArrayConfig().num_disks - 1);
+  return 0;
+}
+
+}  // namespace
+}  // namespace afraid
+
+int main() { return afraid::Run(); }

@@ -1,0 +1,97 @@
+// Micro-benchmarks of the simulation engine itself (google-benchmark).
+// These are not in the paper; they guard the cost of the hot paths that the
+// table/figure harnesses exercise millions of times.
+
+#include <benchmark/benchmark.h>
+
+#include "array/layout.h"
+#include "disk/disk_model.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "trace/workload_gen.h"
+
+namespace afraid {
+namespace {
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  EventQueue q;
+  Rng rng(42);
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.Schedule(rng.UniformInt(0, 1'000'000), [&sink] { ++sink; });
+    }
+    while (!q.Empty()) {
+      q.PopNext().fn();
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_DiskComputeService(benchmark::State& state) {
+  Simulator sim;
+  DiskModel disk(&sim, DiskSpec::HpC3325Like(), 0);
+  Rng rng(42);
+  const int64_t total = disk.TotalSectors();
+  SimTime t = 0;
+  int32_t cyl = 0;
+  for (auto _ : state) {
+    DiskOp op;
+    op.lba = rng.UniformInt(0, total - 17);
+    op.sectors = 16;
+    op.is_write = rng.Bernoulli(0.5);
+    int32_t end = 0;
+    auto bd = disk.ComputeService(t, op, cyl, &end);
+    benchmark::DoNotOptimize(bd);
+    cyl = end;
+    t += bd.Total();
+  }
+}
+BENCHMARK(BM_DiskComputeService);
+
+void BM_LayoutSplit(benchmark::State& state) {
+  StripeLayout layout(5, 8192, 2'000'000'000, 1);
+  Rng rng(42);
+  const int64_t cap = layout.data_capacity_bytes();
+  for (auto _ : state) {
+    const int64_t off = rng.UniformInt(0, cap - 65537) & ~511LL;
+    auto segs = layout.Split(off, 65536);
+    benchmark::DoNotOptimize(segs);
+  }
+}
+BENCHMARK(BM_LayoutSplit);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  WorkloadParams p = PaperWorkloads()[0];
+  p.address_space_bytes = 8LL << 30;
+  for (auto _ : state) {
+    p.seed++;
+    Trace t = GenerateWorkload(p, 1000, Hours(24));
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    // A chain of self-rescheduling events, like an idleness detector.
+    int64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10'000) {
+        sim.After(Milliseconds(1), tick);
+      }
+    };
+    sim.After(0, tick);
+    sim.RunToEnd();
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
+}  // namespace
+}  // namespace afraid
+
+BENCHMARK_MAIN();

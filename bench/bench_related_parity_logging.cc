@@ -1,0 +1,87 @@
+// Section 2 comparison: AFRAID vs parity logging [Stodolsky93] vs RAID 5.
+//
+// Paper: "A parity-logging array defers the parity-update cost to a later
+// time ... thereby preserving full redundancy all the time. By comparison,
+// AFRAID avoids a pre-read of the old data in the critical path for writes
+// ... The parity logging scheme applies a batch of parity updates at a time,
+// which can interfere with foreground I/O requests ... There is no parity
+// log to fill up in AFRAID -- all that happens is that the data becomes less
+// well protected."
+
+#include <cstdio>
+
+#include "array/host_driver.h"
+#include "bench/bench_common.h"
+#include "core/parity_log_controller.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+namespace {
+
+double RunParityLog(const Trace& trace, const ArrayConfig& cfg,
+                    const ParityLogConfig& lc, uint64_t* replays) {
+  Simulator sim;
+  ParityLogController ctl(&sim, cfg, lc);
+  HostDriver driver(&sim, &ctl, cfg.MaxActive());
+  size_t next = 0;
+  std::function<void()> pump = [&] {
+    if (next >= trace.records.size()) {
+      return;
+    }
+    const TraceRecord& r = trace.records[next++];
+    driver.Submit(r.offset, r.size, r.is_write);
+    if (next < trace.records.size()) {
+      sim.At(std::max(trace.records[next].time, sim.Now()), pump);
+    }
+  };
+  if (!trace.records.empty()) {
+    sim.At(trace.records[0].time, pump);
+  }
+  sim.RunToEnd();
+  *replays = ctl.LogReplays();
+  return driver.AllLatencies().Mean();
+}
+
+int Run() {
+  ArrayConfig cfg = PaperArrayConfig();
+  ParityLogConfig lc;  // 256 KB NVRAM buffer, 8 MB log, as declared defaults.
+  const uint64_t max_requests = BenchRequests() / 2;
+  const SimDuration max_duration = BenchDuration();
+
+  PrintHeader("Section 2: AFRAID vs parity logging vs RAID 5 (mean I/O ms)");
+  std::printf("%-12s %10s %12s %10s %10s | %8s %10s\n", "workload", "RAID5",
+              "ParityLog", "AFRAID", "RAID0", "replays", "AFR Tunp");
+  PrintRule();
+  for (const char* name : {"cello-usr", "cello-news", "ATT"}) {
+    WorkloadParams wl;
+    FindWorkload(name, &wl);
+    // Generate against the parity-log capacity (slightly smaller than the
+    // others': the log region), so all schemes replay identical requests.
+    {
+      Simulator probe_sim;
+      ParityLogController probe(&probe_sim, cfg, lc);
+      wl.address_space_bytes = probe.DataCapacityBytes();
+    }
+    const Trace trace = GenerateWorkload(wl, max_requests, max_duration);
+
+    const SimReport r5 = RunExperiment(cfg, PolicySpec::Raid5(), trace);
+    const SimReport af = RunExperiment(cfg, PolicySpec::AfraidBaseline(), trace);
+    const SimReport r0 = RunExperiment(cfg, PolicySpec::Raid0(), trace);
+    uint64_t replays = 0;
+    const double pl_ms = RunParityLog(trace, cfg, lc, &replays);
+    std::printf("%-12s %10.2f %12.2f %10.2f %10.2f | %8llu %10.4f\n", name,
+                r5.mean_io_ms, pl_ms, af.mean_io_ms, r0.mean_io_ms,
+                static_cast<unsigned long long>(replays), af.t_unprot_fraction);
+  }
+  PrintRule();
+  std::printf("expected: parity logging keeps full redundancy (Tunprot = 0) and its\n"
+              "halved write I/O count beats RAID 5 under sustained pressure (ATT),\n"
+              "but it never approaches AFRAID: every write still pays the old-data\n"
+              "pre-read, and log replays interfere with bursts (cello-news).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace afraid
+
+int main() { return afraid::Run(); }

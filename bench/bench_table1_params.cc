@@ -1,0 +1,61 @@
+// Reproduces Table 1 of the paper (the failure/repair parameter values) and
+// the worked availability numbers of Section 3 that flow from them, so the
+// analytic model can be eyeballed against the paper directly.
+
+#include <cstdio>
+
+#include "avail/model.h"
+#include "bench/bench_common.h"
+
+namespace afraid {
+namespace {
+
+int Run() {
+  const AvailabilityParams p;  // Table 1 defaults.
+
+  PrintHeader("Table 1: values assumed for calculations in this paper");
+  std::printf("%-48s %15s %15s\n", "parameter", "paper", "this repo");
+  PrintRule();
+  std::printf("%-48s %15s %15.3g\n", "disk MTTF (raw), hours", "1M",
+              p.mttf_disk_raw_hours);
+  std::printf("%-48s %15s %15.3g\n", "support hardware MTTDL, hours", "2M",
+              p.mttdl_support_hours);
+  std::printf("%-48s %15s %15.2f\n", "disk failure-prediction coverage C", "0.5",
+              p.coverage);
+  std::printf("%-48s %15s %15.1f\n", "mean time to repair, hours", "48", p.mttr_hours);
+  std::printf("%-48s %15s %15.0f\n", "stripe unit size S, bytes", "8KB",
+              p.stripe_unit_bytes);
+  std::printf("%-48s %15s %15.3g\n", "disk size Vdisk, bytes", "2GB", p.disk_bytes);
+  std::printf("%-48s %15s %15d\n", "array width (N+1 disks)", "5", p.TotalDisks());
+
+  PrintHeader("Section 3 worked numbers (paper vs model)");
+  std::printf("%-48s %15s %15s\n", "quantity", "paper", "this repo");
+  PrintRule();
+  std::printf("%-48s %15s %15s\n", "eq (1) RAID 5 MTTDL, hours", "~4e9",
+              Hours(MttdlRaidCatastrophicHours(p)).c_str());
+  std::printf("%-48s %15s %15.2f\n", "eq (3) RAID 5 catastrophic MDLR, bytes/h", "~0.8",
+              MdlrRaidCatastrophicBph(p));
+  std::printf("%-48s %15s %15.2f\n", "support MDLR @ 2M h, KB/h", "4.0",
+              MdlrSupportBph(p) / 1024.0);
+  AvailabilityParams gibson = p;
+  gibson.mttdl_support_hours = 150e3;
+  std::printf("%-48s %15s %15.1f\n", "support MDLR @ 150k h [Gibson93], KB/h", "53",
+              MdlrSupportBph(gibson) / 1024.0);
+  std::printf("%-48s %15s %15.1f\n", "PrestoServe NVRAM MDLR (15k h, 1MB), bytes/h",
+              "67", MdlrNvramBph(15e3, 1 << 20));
+  std::printf("%-48s %15s %15s\n", "power MTTDL (4300 h mains, 10% writes), hours",
+              "43k", Hours(MttdlPowerHours(4300, 0.10)).c_str());
+  std::printf("%-48s %15s %15s\n", "power MTTDL (200k h UPS, 10% writes), hours",
+              "2M", Hours(MttdlPowerHours(200e3, 0.10)).c_str());
+  std::printf("%-48s %15s %15.1f\n",
+              "loss probability @ 1M h MTTDL over 3y (26k h), %", "2.6",
+              LossProbability(1e6, 26e3) * 100.0);
+  std::printf("%-48s %15s %15s\n", "single-disk MTTDL (RAID 0, 5 disks), hours",
+              "200k", Hours(MttdlRaid0Hours(p)).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace afraid
+
+int main() { return afraid::Run(); }

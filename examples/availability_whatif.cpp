@@ -1,0 +1,59 @@
+// Availability what-if calculator: the Section 3 analytic models as a CLI.
+//
+// Answers the paper's style of question directly: "if my array spends X% of
+// its time unprotected with Y KB of mean parity lag, what MTTDL and data-
+// loss rate am I actually running at -- and does it matter next to the
+// support hardware?"
+//
+//   $ ./examples/availability_whatif                 # defaults (Table 1)
+//   $ ./examples/availability_whatif 0.05 512        # Tunprot=5%, lag=512KB
+//   $ ./examples/availability_whatif 0.05 512 8 4e9  # 8-disk array, 4GB disks
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "avail/model.h"
+
+using namespace afraid;
+
+int main(int argc, char** argv) {
+  const double t_unprot = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const double lag_bytes = (argc > 2 ? std::atof(argv[2]) : 256.0) * 1024.0;
+  AvailabilityParams p;  // Table 1 defaults.
+  if (argc > 3) {
+    p.num_data_disks = std::atoi(argv[3]) - 1;
+  }
+  if (argc > 4) {
+    p.disk_bytes = std::atof(argv[4]);
+  }
+
+  std::printf("array: %d disks of %.2g GB; MTTF(disk)=%.2g h raw, coverage %.0f%%,\n"
+              "       support MTTDL %.2g h, MTTR %.0f h\n",
+              p.TotalDisks(), p.disk_bytes / 1e9, p.mttf_disk_raw_hours,
+              p.coverage * 100, p.mttdl_support_hours, p.mttr_hours);
+  std::printf("inputs: Tunprot/Ttotal = %.4f, mean parity lag = %.1f KB\n\n", t_unprot,
+              lag_bytes / 1024.0);
+
+  std::printf("%-10s %14s %14s %14s %16s\n", "scheme", "MTTDL disk/h", "MTTDL all/h",
+              "MDLR B/h", "P(loss in 3y) %");
+  for (RedundancyScheme s :
+       {RedundancyScheme::kRaid5, RedundancyScheme::kAfraid, RedundancyScheme::kRaid0}) {
+    const AvailabilityReport r = MakeAvailabilityReport(p, s, t_unprot, lag_bytes);
+    std::printf("%-10s %14.3g %14.3g %14.1f %16.2f\n", SchemeName(s).c_str(),
+                r.mttdl_disk_hours, r.mttdl_overall_hours, r.mdlr_overall_bph,
+                LossProbability(r.mttdl_overall_hours, 26e3) * 100.0);
+  }
+
+  std::printf("\ncontext (Sections 3.4-3.6):\n");
+  std::printf("  a single-copy PrestoServe NVRAM card loses %16.1f B/h\n",
+              MdlrNvramBph(15e3, 1 << 20));
+  std::printf("  unprotected mains power would cap MTTDL at  %14.3g h\n",
+              MttdlPowerHours(4300, 0.10));
+  std::printf("  a 200k-hour UPS restores that to            %14.3g h\n",
+              MttdlPowerHours(200e3, 0.10));
+  std::printf("\nthe end-to-end availability argument: once the disk-related MTTDL\n"
+              "clears a few million hours, the support hardware (%.2g h) is what\n"
+              "fails first -- further disk-layer heroics buy nothing (Section 3.6).\n",
+              p.mttdl_support_hours);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Array-controller caches.
+//
+// The paper deliberately made these small so that AFRAID's effects, not
+// caching effects, dominate: "we chose a small (256KB) write staging area
+// with a write-through policy together with a small (256KB) read cache with
+// no array-level readahead" (Section 4.1). Because the staging area is
+// write-through, a cached block always equals the on-disk block, which is
+// what lets a RAID 5 read-modify-write skip the old-data pre-read on a cache
+// hit ("unless it is already cached in the array controller", Section 1).
+//
+// Granularity is one stripe unit; a 256 KB cache over 8 KB units is 32 slots.
+
+#ifndef AFRAID_ARRAY_CACHE_H_
+#define AFRAID_ARRAY_CACHE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace afraid {
+
+// LRU set of stripe-unit indices (logical data-block numbers). Presence
+// means "the controller holds a copy identical to the on-disk contents".
+class BlockLruCache {
+ public:
+  BlockLruCache(int64_t capacity_bytes, int64_t block_bytes)
+      : max_blocks_(capacity_bytes / block_bytes) {
+    assert(block_bytes > 0);
+  }
+
+  // True (and refreshes recency) if the block is cached. Counts a hit or a
+  // miss for the statistics.
+  bool Lookup(int64_t block) {
+    auto it = index_.find(block);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+
+  // Peek without stats/recency side effects.
+  bool Contains(int64_t block) const { return index_.contains(block); }
+
+  // Inserts (or refreshes) a block, evicting the least recently used.
+  void Insert(int64_t block) {
+    if (max_blocks_ == 0) {
+      return;
+    }
+    auto it = index_.find(block);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(block);
+    index_[block] = lru_.begin();
+    if (static_cast<int64_t>(lru_.size()) > max_blocks_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  // Drops a block (e.g. contents no longer match disk).
+  void Invalidate(int64_t block) {
+    auto it = index_.find(block);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+
+  int64_t Size() const { return static_cast<int64_t>(lru_.size()); }
+  int64_t Capacity() const { return max_blocks_; }
+  uint64_t Hits() const { return hits_; }
+  uint64_t Misses() const { return misses_; }
+
+ private:
+  int64_t max_blocks_;
+  std::list<int64_t> lru_;  // Front = most recent.
+  std::unordered_map<int64_t, std::list<int64_t>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_ARRAY_CACHE_H_

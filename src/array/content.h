@@ -1,0 +1,138 @@
+// Functional content tracking for integrity verification.
+//
+// Instead of storing real bytes, every 512-byte sector carries a 64-bit
+// value; parity sectors hold the xor of the corresponding data sectors,
+// exactly as real RAID 5 parity holds the xor of the data bytes (xor on
+// tags commutes with xor on bytes, so all parity algebra -- read-modify-
+// write deltas, reconstruct-writes, rebuilds, degraded reconstruction --
+// is exact). Controllers mutate this model at the simulated instant the
+// corresponding disk transfer completes, so tests can fail a disk at an
+// arbitrary time and check precisely which data is recoverable.
+//
+// Storage is sparse per stripe: untouched stripes are implicitly all-zero,
+// which is parity-consistent by construction (a freshly initialised array).
+
+#ifndef AFRAID_ARRAY_CONTENT_H_
+#define AFRAID_ARRAY_CONTENT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace afraid {
+
+class ContentModel {
+ public:
+  // `data_blocks` = N; `parity_blocks` = 1 (RAID 5) or 2 (RAID 6);
+  // `sectors_per_unit` = stripe_unit_bytes / sector_bytes.
+  ContentModel(int32_t data_blocks, int32_t parity_blocks, int32_t sectors_per_unit)
+      : n_(data_blocks), pb_(parity_blocks), spu_(sectors_per_unit) {
+    assert(n_ > 0 && pb_ >= 1 && spu_ > 0);
+  }
+
+  int32_t sectors_per_unit() const { return spu_; }
+
+  // --- Physical (on-disk) state ---------------------------------------------
+
+  uint64_t GetData(int64_t stripe, int32_t j, int32_t sector) const {
+    assert(j >= 0 && j < n_);
+    return Get(stripe, j, sector);
+  }
+  void SetData(int64_t stripe, int32_t j, int32_t sector, uint64_t v) {
+    assert(j >= 0 && j < n_);
+    Set(stripe, j, sector, v);
+  }
+  uint64_t GetParity(int64_t stripe, int32_t sector, int32_t which = 0) const {
+    assert(which >= 0 && which < pb_);
+    return Get(stripe, n_ + which, sector);
+  }
+  void SetParity(int64_t stripe, int32_t sector, uint64_t v, int32_t which = 0) {
+    assert(which >= 0 && which < pb_);
+    Set(stripe, n_ + which, sector, v);
+  }
+
+  // --- Parity algebra --------------------------------------------------------
+
+  // Xor of all data blocks of the stripe at one sector position: what a full
+  // parity rebuild computes, and what degraded-mode reconstruction recovers.
+  uint64_t XorOfData(int64_t stripe, int32_t sector) const {
+    uint64_t x = 0;
+    for (int32_t j = 0; j < n_; ++j) {
+      x ^= GetData(stripe, j, sector);
+    }
+    return x;
+  }
+
+  // Reconstruction of data block j from the other data blocks and P parity:
+  // xor of everything except block j.
+  uint64_t ReconstructData(int64_t stripe, int32_t j, int32_t sector) const {
+    uint64_t x = GetParity(stripe, sector);
+    for (int32_t k = 0; k < n_; ++k) {
+      if (k != j) {
+        x ^= GetData(stripe, k, sector);
+      }
+    }
+    return x;
+  }
+
+  // True iff P parity equals the xor of the data at every sector position.
+  bool StripeConsistent(int64_t stripe) const {
+    for (int32_t s = 0; s < spu_; ++s) {
+      if (GetParity(stripe, s) != XorOfData(stripe, s)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Stripes that have ever been written (for whole-model consistency scans).
+  std::vector<int64_t> TouchedStripes() const {
+    std::vector<int64_t> out;
+    out.reserve(stripes_.size());
+    for (const auto& [s, _] : stripes_) {
+      out.push_back(s);
+    }
+    return out;
+  }
+
+  // The unique value a client write `tag` deposits into logical sector
+  // `logical_sector`. Tests recompute this to know what to expect.
+  static uint64_t MixTag(uint64_t tag, int64_t logical_sector) {
+    uint64_t x = tag * 0x9e3779b97f4a7c15ULL ^
+                 static_cast<uint64_t>(logical_sector) * 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 31;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 29;
+    // Avoid producing 0 so "never written" is distinguishable in practice.
+    return x == 0 ? 1 : x;
+  }
+
+ private:
+  uint64_t Get(int64_t stripe, int32_t slot, int32_t sector) const {
+    assert(sector >= 0 && sector < spu_);
+    auto it = stripes_.find(stripe);
+    if (it == stripes_.end()) {
+      return 0;
+    }
+    return it->second[static_cast<size_t>(slot) * spu_ + sector];
+  }
+  void Set(int64_t stripe, int32_t slot, int32_t sector, uint64_t v) {
+    assert(sector >= 0 && sector < spu_);
+    auto it = stripes_.find(stripe);
+    if (it == stripes_.end()) {
+      it = stripes_.emplace(stripe, std::vector<uint64_t>(
+                                        static_cast<size_t>(n_ + pb_) * spu_, 0)).first;
+    }
+    it->second[static_cast<size_t>(slot) * spu_ + sector] = v;
+  }
+
+  int32_t n_;
+  int32_t pb_;
+  int32_t spu_;
+  std::unordered_map<int64_t, std::vector<uint64_t>> stripes_;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_ARRAY_CONTENT_H_

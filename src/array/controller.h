@@ -1,0 +1,27 @@
+// Abstract interface of an array controller, as seen by the host driver.
+
+#ifndef AFRAID_ARRAY_CONTROLLER_H_
+#define AFRAID_ARRAY_CONTROLLER_H_
+
+#include <cstdint>
+
+#include "array/request.h"
+
+namespace afraid {
+
+class ArrayController {
+ public:
+  virtual ~ArrayController() = default;
+
+  // Starts a client request; `done` fires at its completion time. The caller
+  // (host driver) is responsible for concurrency limiting; the controller
+  // accepts everything it is given.
+  virtual void Submit(const ClientRequest& request, RequestDone done) = 0;
+
+  // Client-visible capacity in bytes.
+  virtual int64_t DataCapacityBytes() const = 0;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_ARRAY_CONTROLLER_H_

@@ -1,0 +1,94 @@
+// GF(2^8) arithmetic for the RAID 6 Q parity (Section 5 extension).
+//
+// The field is GF(256) with the conventional RAID 6 polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d) and generator g = 2. Q parity is the
+// Reed-Solomon-style weighted sum  Q = sum_j g^j * D_j,  which together with
+// P = xor sum_j D_j tolerates any two erasures.
+//
+// The content model stores 64-bit tags per sector; GF operations act
+// bytewise on the eight lanes, exactly as real RAID 6 math acts bytewise on
+// sector payloads, so all Q algebra on tags mirrors the algebra on data.
+
+#ifndef AFRAID_ARRAY_GF256_H_
+#define AFRAID_ARRAY_GF256_H_
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace afraid {
+
+class Gf256 {
+ public:
+  // Multiplication of single field elements.
+  static uint8_t Mul(uint8_t a, uint8_t b) {
+    if (a == 0 || b == 0) {
+      return 0;
+    }
+    const Tables& t = tables();
+    return t.exp[(t.log[a] + t.log[b]) % 255];
+  }
+
+  static uint8_t Div(uint8_t a, uint8_t b) {
+    assert(b != 0);
+    if (a == 0) {
+      return 0;
+    }
+    const Tables& t = tables();
+    return t.exp[(t.log[a] + 255 - t.log[b]) % 255];
+  }
+
+  static uint8_t Inv(uint8_t a) {
+    assert(a != 0);
+    const Tables& t = tables();
+    return t.exp[(255 - t.log[a]) % 255];
+  }
+
+  // g^n for generator g = 2.
+  static uint8_t Pow2(int32_t n) {
+    const Tables& t = tables();
+    n %= 255;
+    if (n < 0) {
+      n += 255;
+    }
+    return t.exp[n];
+  }
+
+  // Bytewise multiply of all eight lanes of a 64-bit word by a scalar.
+  static uint64_t MulWord(uint64_t word, uint8_t scalar) {
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      const auto lane = static_cast<uint8_t>(word >> (8 * i));
+      out |= static_cast<uint64_t>(Mul(lane, scalar)) << (8 * i);
+    }
+    return out;
+  }
+
+ private:
+  struct Tables {
+    std::array<uint8_t, 255> exp{};
+    std::array<int32_t, 256> log{};
+    Tables() {
+      uint8_t x = 1;
+      for (int i = 0; i < 255; ++i) {
+        exp[static_cast<size_t>(i)] = x;
+        log[x] = i;
+        // Multiply by g = 2 modulo 0x11d.
+        const bool carry = (x & 0x80) != 0;
+        x = static_cast<uint8_t>(x << 1);
+        if (carry) {
+          x ^= 0x1d;
+        }
+      }
+      log[0] = -1;
+    }
+  };
+  static const Tables& tables() {
+    static const Tables t;
+    return t;
+  }
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_ARRAY_GF256_H_

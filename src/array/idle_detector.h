@@ -1,0 +1,81 @@
+// Timer-based idleness detection.
+//
+// The paper's baseline configuration: "we used a timer-based idleness
+// detector with a 100ms delay: that is, AFRAID started processing parity
+// updates once the array had been completely idle for 100ms" (Section 4.1;
+// idleness detection in general is the subject of [Golding95]).
+//
+// The controller reports busy/idle transitions; after `delay` of continuous
+// idleness the callback fires once. It re-arms automatically after the next
+// busy period.
+
+#ifndef AFRAID_ARRAY_IDLE_DETECTOR_H_
+#define AFRAID_ARRAY_IDLE_DETECTOR_H_
+
+#include <cassert>
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace afraid {
+
+class IdleDetector {
+ public:
+  using IdleCallback = std::function<void()>;
+
+  IdleDetector(Simulator* sim, SimDuration delay, IdleCallback on_idle)
+      : sim_(sim), delay_(delay), on_idle_(std::move(on_idle)) {
+    assert(delay_ >= 0);
+    Arm();
+  }
+  IdleDetector(const IdleDetector&) = delete;
+  IdleDetector& operator=(const IdleDetector&) = delete;
+  ~IdleDetector() { Disarm(); }
+
+  // The array transitioned from idle to having work in flight.
+  void NoteBusy() {
+    busy_ = true;
+    Disarm();
+  }
+
+  // The array's last in-flight work completed.
+  void NoteIdle() {
+    busy_ = false;
+    Arm();
+  }
+
+  bool busy() const { return busy_; }
+  SimDuration delay() const { return delay_; }
+
+  // Number of times the idle callback has fired.
+  uint64_t Firings() const { return firings_; }
+
+ private:
+  void Arm() {
+    Disarm();
+    timer_ = sim_->After(delay_, [this] {
+      timer_ = kInvalidEventId;
+      ++firings_;
+      on_idle_();
+    });
+  }
+  void Disarm() {
+    if (timer_ != kInvalidEventId) {
+      sim_->Cancel(timer_);
+      timer_ = kInvalidEventId;
+    }
+  }
+
+  Simulator* sim_;
+  SimDuration delay_;
+  IdleCallback on_idle_;
+  EventId timer_ = kInvalidEventId;
+  bool busy_ = false;
+  uint64_t firings_ = 0;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_ARRAY_IDLE_DETECTOR_H_

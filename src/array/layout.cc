@@ -1,0 +1,79 @@
+#include "array/layout.h"
+
+#include <algorithm>
+
+namespace afraid {
+
+StripeLayout::StripeLayout(int32_t num_disks, int64_t stripe_unit_bytes,
+                           int64_t disk_capacity_bytes, int32_t parity_blocks)
+    : num_disks_(num_disks),
+      stripe_unit_(stripe_unit_bytes),
+      parity_blocks_(parity_blocks) {
+  assert(parity_blocks_ == 1 || parity_blocks_ == 2);
+  assert(num_disks_ >= parity_blocks_ + 1);
+  assert(stripe_unit_ > 0);
+  num_stripes_ = disk_capacity_bytes / stripe_unit_;
+  assert(num_stripes_ > 0);
+}
+
+int32_t StripeLayout::ParityDisk(int64_t stripe, int32_t which) const {
+  assert(which >= 0 && which < parity_blocks_);
+  // The "anchor" parity (Q when there are two) rotates right-to-left; P sits
+  // immediately to its left (mod num_disks). With one parity block, the
+  // anchor *is* P, giving the classic left-symmetric rotation.
+  const auto anchor = static_cast<int32_t>(num_disks_ - 1 - (stripe % num_disks_));
+  if (which == parity_blocks_ - 1) {
+    return anchor;
+  }
+  return (anchor + num_disks_ - 1) % num_disks_;
+}
+
+int32_t StripeLayout::DataDisk(int64_t stripe, int32_t j) const {
+  assert(j >= 0 && j < data_blocks_per_stripe());
+  const auto anchor = static_cast<int32_t>(num_disks_ - 1 - (stripe % num_disks_));
+  // Data blocks fill the slots just right of the anchor, wrapping; with two
+  // parity blocks the slot at anchor-1 (i.e. anchor + num_disks - 1) is P,
+  // which the range anchor+1 .. anchor+num_disks-2 never reaches.
+  return (anchor + 1 + j) % num_disks_;
+}
+
+BlockLoc StripeLayout::DataLocation(int64_t stripe, int32_t j) const {
+  return BlockLoc{DataDisk(stripe, j), stripe * stripe_unit_};
+}
+
+BlockLoc StripeLayout::ParityLocation(int64_t stripe, int32_t which) const {
+  return BlockLoc{ParityDisk(stripe, which), stripe * stripe_unit_};
+}
+
+int64_t StripeLayout::StripeOfOffset(int64_t logical_offset) const {
+  assert(logical_offset >= 0 && logical_offset < data_capacity_bytes());
+  return logical_offset / (stripe_unit_ * data_blocks_per_stripe());
+}
+
+std::vector<Segment> StripeLayout::Split(int64_t logical_offset, int64_t length) const {
+  assert(logical_offset >= 0);
+  assert(length > 0);
+  assert(logical_offset + length <= data_capacity_bytes());
+  std::vector<Segment> segments;
+  const int32_t n = data_blocks_per_stripe();
+  int64_t off = logical_offset;
+  int64_t remaining = length;
+  while (remaining > 0) {
+    const int64_t unit_index = off / stripe_unit_;  // Global data-block index.
+    const auto in_block = static_cast<int32_t>(off % stripe_unit_);
+    const auto len = static_cast<int32_t>(
+        std::min<int64_t>(remaining, stripe_unit_ - in_block));
+    Segment seg;
+    seg.stripe = unit_index / n;
+    seg.block_in_stripe = static_cast<int32_t>(unit_index % n);
+    seg.logical_offset = off;
+    seg.offset_in_block = in_block;
+    seg.length = len;
+    segments.push_back(seg);
+    off += len;
+    remaining -= len;
+  }
+  return segments;
+}
+
+}  // namespace afraid

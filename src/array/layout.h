@@ -1,0 +1,96 @@
+// Stripe layout: mapping between the array's logical data space and
+// per-disk block addresses.
+//
+// The paper uses "a straightforward left-symmetric RAID 5 data layout"
+// (Section 2). With num_disks = 5 the placement is the classic picture:
+//
+//   disk:    0    1    2    3    4
+//   S0:     D0   D1   D2   D3   P0
+//   S1:     D5   D6   D7   P1   D4
+//   S2:    D10  D11   P2   D8   D9
+//   S3:    D15   P3  D12  D13  D14
+//   S4:     P4  D16  D17  D18  D19
+//
+// Parity rotates right-to-left; the data blocks of a stripe start just right
+// of the parity (wrapping), so consecutive logical blocks visit every disk
+// once per num_disks blocks -- the property that makes large sequential
+// accesses N+1-way parallel.
+//
+// The same class also supports a second rotating parity block (P+Q) for the
+// Section 5 RAID 6 + AFRAID extension.
+
+#ifndef AFRAID_ARRAY_LAYOUT_H_
+#define AFRAID_ARRAY_LAYOUT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace afraid {
+
+// Physical location of one stripe unit: disk index and byte offset on disk.
+struct BlockLoc {
+  int32_t disk = 0;
+  int64_t byte_offset = 0;
+
+  bool operator==(const BlockLoc&) const = default;
+};
+
+// A stripe-unit-aligned fragment of a client request.
+struct Segment {
+  int64_t stripe = 0;        // Stripe index.
+  int32_t block_in_stripe = 0;  // Data-block index j within the stripe, [0, N).
+  int64_t logical_offset = 0;   // Byte offset in the array's data space.
+  int32_t offset_in_block = 0;  // Byte offset within the stripe unit.
+  int32_t length = 0;           // Bytes, <= stripe_unit - offset_in_block.
+};
+
+class StripeLayout {
+ public:
+  // `disk_capacity_bytes` is the usable capacity of each (identical) disk;
+  // `parity_blocks` is 1 for RAID 5 / AFRAID (and RAID 0 modelled as an
+  // AFRAID that never rebuilds), or 2 for RAID 6.
+  StripeLayout(int32_t num_disks, int64_t stripe_unit_bytes, int64_t disk_capacity_bytes,
+               int32_t parity_blocks = 1);
+
+  int32_t num_disks() const { return num_disks_; }
+  int64_t stripe_unit() const { return stripe_unit_; }
+  int32_t parity_blocks() const { return parity_blocks_; }
+  // N: data blocks per stripe.
+  int32_t data_blocks_per_stripe() const { return num_disks_ - parity_blocks_; }
+  int64_t num_stripes() const { return num_stripes_; }
+  // Client-visible capacity.
+  int64_t data_capacity_bytes() const {
+    return num_stripes_ * data_blocks_per_stripe() * stripe_unit_;
+  }
+
+  // Disk holding parity block `which` (0 = P, 1 = Q) of `stripe`.
+  int32_t ParityDisk(int64_t stripe, int32_t which = 0) const;
+  // Disk holding data block j of `stripe`.
+  int32_t DataDisk(int64_t stripe, int32_t j) const;
+
+  // Physical location of data block j of `stripe` / parity of `stripe`.
+  BlockLoc DataLocation(int64_t stripe, int32_t j) const;
+  BlockLoc ParityLocation(int64_t stripe, int32_t which = 0) const;
+
+  // Logical (byte) address -> (stripe, block j) of the containing unit.
+  int64_t StripeOfOffset(int64_t logical_offset) const;
+
+  // Splits a byte range of the logical data space into stripe-unit segments.
+  std::vector<Segment> Split(int64_t logical_offset, int64_t length) const;
+
+  // Inverse check helper: logical byte offset of data block j of stripe s.
+  int64_t LogicalOffsetOf(int64_t stripe, int32_t j) const {
+    return (stripe * data_blocks_per_stripe() + j) * stripe_unit_;
+  }
+
+ private:
+  int32_t num_disks_;
+  int64_t stripe_unit_;
+  int32_t parity_blocks_;
+  int64_t num_stripes_;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_ARRAY_LAYOUT_H_

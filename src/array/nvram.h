@@ -1,0 +1,85 @@
+// The AFRAID marking memory: one bit per stripe in NVRAM.
+//
+// "A write in AFRAID ... causes the target stripes to be marked
+// unredundant... indicated by setting a bit per stripe in a non-volatile
+// memory in the array controller; attempting to re-mark an already-marked
+// stripe does nothing." (Section 1.1.)
+//
+// The hardware cost is ~1 bit per stripe (3 KB of NVRAM per GB of storage
+// for a 5-wide, 8 KB-stripe-unit array). We keep an ordered set alongside
+// the semantic bitmap so the rebuilder can sweep dirty stripes in ascending
+// order, which naturally coalesces adjacent dirty stripes into near-
+// sequential disk accesses.
+//
+// Fail() models the loss of the marking memory: the dirty information is
+// gone, and the array must conservatively rebuild parity everywhere
+// (Section 3.1 bounds that exposure window at ~10 minutes).
+
+#ifndef AFRAID_ARRAY_NVRAM_H_
+#define AFRAID_ARRAY_NVRAM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <set>
+
+namespace afraid {
+
+class NvramBitmap {
+ public:
+  explicit NvramBitmap(int64_t num_stripes) : num_stripes_(num_stripes) {}
+
+  // Marks a stripe unredundant. Returns true if the stripe was newly marked,
+  // false if it was already marked (re-marking is a no-op).
+  bool Mark(int64_t stripe) {
+    assert(stripe >= 0 && stripe < num_stripes_);
+    return dirty_.insert(stripe).second;
+  }
+
+  // Clears the mark after a successful parity rebuild. Returns true if the
+  // stripe was marked.
+  bool Clear(int64_t stripe) {
+    assert(stripe >= 0 && stripe < num_stripes_);
+    return dirty_.erase(stripe) > 0;
+  }
+
+  bool IsDirty(int64_t stripe) const { return dirty_.contains(stripe); }
+  int64_t DirtyCount() const { return static_cast<int64_t>(dirty_.size()); }
+  int64_t NumStripes() const { return num_stripes_; }
+  bool failed() const { return failed_; }
+
+  // Smallest dirty stripe >= `from`, wrapping to the smallest overall;
+  // -1 if nothing is dirty. This is the rebuilder's sweep order.
+  int64_t NextDirty(int64_t from) const {
+    if (dirty_.empty()) {
+      return -1;
+    }
+    auto it = dirty_.lower_bound(from);
+    if (it == dirty_.end()) {
+      it = dirty_.begin();
+    }
+    return *it;
+  }
+
+  const std::set<int64_t>& DirtyStripes() const { return dirty_; }
+
+  // Models NVRAM failure: all marking knowledge is lost.
+  void Fail() {
+    failed_ = true;
+    dirty_.clear();
+  }
+
+  // Replacement of the failed part (after the recovery scrub).
+  void Repair() { failed_ = false; }
+
+  // NVRAM bits this bitmap would occupy in hardware.
+  int64_t HardwareBits() const { return num_stripes_; }
+
+ private:
+  int64_t num_stripes_;
+  std::set<int64_t> dirty_;
+  bool failed_ = false;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_ARRAY_NVRAM_H_

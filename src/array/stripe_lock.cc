@@ -1,0 +1,72 @@
+#include "array/stripe_lock.h"
+
+#include <utility>
+#include <vector>
+
+namespace afraid {
+
+void StripeLockTable::Acquire(int64_t stripe, LockMode mode, Grant granted) {
+  State& st = stripes_[stripe];
+  const bool free_for_shared =
+      !st.exclusive_held && st.waiters.empty() && mode == LockMode::kShared;
+  const bool free_for_exclusive = !st.exclusive_held && st.shared_held == 0 &&
+                                  st.waiters.empty() && mode == LockMode::kExclusive;
+  if (free_for_shared) {
+    ++st.shared_held;
+    granted();
+    return;
+  }
+  if (free_for_exclusive) {
+    st.exclusive_held = true;
+    granted();
+    return;
+  }
+  st.waiters.push_back(Waiter{mode, std::move(granted)});
+}
+
+void StripeLockTable::Release(int64_t stripe, LockMode mode) {
+  auto it = stripes_.find(stripe);
+  assert(it != stripes_.end());
+  State& st = it->second;
+  if (mode == LockMode::kShared) {
+    assert(st.shared_held > 0);
+    --st.shared_held;
+  } else {
+    assert(st.exclusive_held);
+    st.exclusive_held = false;
+  }
+  Pump(stripe, st);
+}
+
+void StripeLockTable::Pump(int64_t stripe, State& st) {
+  // Collect the grants to run *after* mutating state: a grant callback may
+  // re-enter Acquire/Release on this same stripe.
+  std::vector<Grant> to_run;
+  while (!st.waiters.empty()) {
+    Waiter& w = st.waiters.front();
+    if (w.mode == LockMode::kShared) {
+      if (st.exclusive_held) {
+        break;
+      }
+      ++st.shared_held;
+      to_run.push_back(std::move(w.granted));
+      st.waiters.pop_front();
+    } else {
+      if (st.exclusive_held || st.shared_held > 0) {
+        break;
+      }
+      st.exclusive_held = true;
+      to_run.push_back(std::move(w.granted));
+      st.waiters.pop_front();
+      break;  // Exclusive admits exactly one.
+    }
+  }
+  if (st.shared_held == 0 && !st.exclusive_held && st.waiters.empty()) {
+    stripes_.erase(stripe);
+  }
+  for (Grant& g : to_run) {
+    g();
+  }
+}
+
+}  // namespace afraid

@@ -1,0 +1,67 @@
+// Per-stripe reader/writer locks for parity consistency.
+//
+// The paper: "Multiple writes to the same stripe were allowed to proceed in
+// parallel, but would block if a parity-rebuild on that stripe was in
+// progress." We generalise slightly: any operation that *recomputes* parity
+// (an AFRAID background rebuild, or a RAID 5 read-modify-write /
+// reconstruct-write group) takes the stripe exclusively; plain AFRAID data
+// writes take the stripe shared. Reads take no lock at all (they never touch
+// parity).
+//
+// Grants are FIFO within a stripe to avoid starvation; everything is
+// single-threaded simulation code, so "lock" here means deferred-callback
+// admission control, not a mutex.
+
+#ifndef AFRAID_ARRAY_STRIPE_LOCK_H_
+#define AFRAID_ARRAY_STRIPE_LOCK_H_
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+namespace afraid {
+
+enum class LockMode { kShared, kExclusive };
+
+class StripeLockTable {
+ public:
+  using Grant = std::function<void()>;
+
+  // Requests the stripe in `mode`; `granted` runs immediately (re-entrantly)
+  // if the lock is free, otherwise when predecessors release.
+  void Acquire(int64_t stripe, LockMode mode, Grant granted);
+
+  // Releases one previously granted hold (shared holds release once each).
+  void Release(int64_t stripe, LockMode mode);
+
+  // True if anyone holds or awaits the stripe (used by tests).
+  bool Busy(int64_t stripe) const { return stripes_.contains(stripe); }
+
+  // True if an exclusive hold is active on the stripe.
+  bool HeldExclusive(int64_t stripe) const {
+    auto it = stripes_.find(stripe);
+    return it != stripes_.end() && it->second.exclusive_held;
+  }
+
+ private:
+  struct Waiter {
+    LockMode mode;
+    Grant granted;
+  };
+  struct State {
+    int32_t shared_held = 0;
+    bool exclusive_held = false;
+    std::deque<Waiter> waiters;
+  };
+
+  // Admits as many waiters as compatible; erases the entry when idle.
+  void Pump(int64_t stripe, State& st);
+
+  std::unordered_map<int64_t, State> stripes_;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_ARRAY_STRIPE_LOCK_H_

@@ -1,0 +1,139 @@
+#include "avail/model.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace afraid {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double MttdlRaidCatastrophicHours(const AvailabilityParams& p) {
+  const double mttf = p.EffectiveDiskMttfHours();
+  const double n = p.num_data_disks;
+  return mttf * mttf / (n * (n + 1.0) * p.mttr_hours);
+}
+
+double MttdlAfraidUnprotectedHours(const AvailabilityParams& p, double t_unprot_fraction) {
+  assert(t_unprot_fraction >= 0.0 && t_unprot_fraction <= 1.0);
+  if (t_unprot_fraction <= 0.0) {
+    return kInf;
+  }
+  const double mttf = p.EffectiveDiskMttfHours();
+  return (1.0 / t_unprot_fraction) * mttf / (p.num_data_disks + 1.0);
+}
+
+double MttdlAfraidRaidHours(const AvailabilityParams& p, double t_unprot_fraction) {
+  assert(t_unprot_fraction >= 0.0 && t_unprot_fraction <= 1.0);
+  if (t_unprot_fraction >= 1.0) {
+    return kInf;  // Never in RAID-like state; no RAID-mode loss events.
+  }
+  return MttdlRaidCatastrophicHours(p) / (1.0 - t_unprot_fraction);
+}
+
+double MttdlAfraidHours(const AvailabilityParams& p, double t_unprot_fraction) {
+  return CombineMttdlHours({MttdlAfraidUnprotectedHours(p, t_unprot_fraction),
+                            MttdlAfraidRaidHours(p, t_unprot_fraction)});
+}
+
+double MttdlRaid0Hours(const AvailabilityParams& p) {
+  // RAID 0 loses data on *any* disk failure, predicted or not: prediction
+  // doesn't help when there is no redundancy to migrate onto. Use raw MTTF.
+  return p.mttf_disk_raw_hours / (p.num_data_disks + 1.0);
+}
+
+double MdlrRaidCatastrophicBph(const AvailabilityParams& p) {
+  const double n = p.num_data_disks;
+  return 2.0 * p.disk_bytes * (n / (n + 1.0)) / MttdlRaidCatastrophicHours(p);
+}
+
+double MdlrUnprotectedBph(const AvailabilityParams& p, double mean_parity_lag_bytes) {
+  assert(mean_parity_lag_bytes >= 0.0);
+  const double n = p.num_data_disks;
+  return (mean_parity_lag_bytes / n) * (n + 1.0) / p.EffectiveDiskMttfHours();
+}
+
+double MdlrAfraidBph(const AvailabilityParams& p, double t_unprot_fraction,
+                     double mean_parity_lag_bytes) {
+  (void)t_unprot_fraction;  // Folded into mean_parity_lag (zero when protected).
+  return MdlrRaidCatastrophicBph(p) + MdlrUnprotectedBph(p, mean_parity_lag_bytes);
+}
+
+double MdlrRaid0Bph(const AvailabilityParams& p) {
+  // Expected loss per event: one full disk of data; in RAID 0 every disk
+  // holds data (no parity discount).
+  return p.disk_bytes / MttdlRaid0Hours(p);
+}
+
+double MdlrSupportBph(const AvailabilityParams& p) {
+  return p.ArrayDataBytes() / p.mttdl_support_hours;
+}
+
+double MdlrNvramBph(double mttf_hours, double vulnerable_bytes) {
+  assert(mttf_hours > 0.0);
+  return vulnerable_bytes / mttf_hours;
+}
+
+double MttdlPowerHours(double mttf_power_hours, double write_duty_cycle) {
+  assert(write_duty_cycle > 0.0 && write_duty_cycle <= 1.0);
+  return mttf_power_hours / write_duty_cycle;
+}
+
+double CombineMttdlHours(const std::vector<double>& mttdls_hours) {
+  double rate = 0.0;
+  for (double m : mttdls_hours) {
+    assert(m > 0.0);
+    if (m != kInf) {
+      rate += 1.0 / m;
+    }
+  }
+  return rate == 0.0 ? kInf : 1.0 / rate;
+}
+
+double LossProbability(double mttdl_hours, double lifetime_hours) {
+  assert(mttdl_hours > 0.0 && lifetime_hours >= 0.0);
+  return 1.0 - std::exp(-lifetime_hours / mttdl_hours);
+}
+
+AvailabilityReport MakeAvailabilityReport(const AvailabilityParams& p,
+                                          RedundancyScheme scheme,
+                                          double t_unprot_fraction,
+                                          double mean_parity_lag_bytes) {
+  AvailabilityReport r;
+  r.scheme = scheme;
+  r.t_unprot_fraction = t_unprot_fraction;
+  r.mean_parity_lag_bytes = mean_parity_lag_bytes;
+  switch (scheme) {
+    case RedundancyScheme::kRaid0:
+      r.mttdl_disk_hours = MttdlRaid0Hours(p);
+      r.mdlr_disk_bph = MdlrRaid0Bph(p);
+      break;
+    case RedundancyScheme::kRaid5:
+      r.mttdl_disk_hours = MttdlRaidCatastrophicHours(p);
+      r.mdlr_disk_bph = MdlrRaidCatastrophicBph(p);
+      break;
+    case RedundancyScheme::kAfraid:
+      r.mttdl_disk_hours = MttdlAfraidHours(p, t_unprot_fraction);
+      r.mdlr_disk_bph = MdlrAfraidBph(p, t_unprot_fraction, mean_parity_lag_bytes);
+      break;
+  }
+  r.mttdl_overall_hours =
+      CombineMttdlHours({r.mttdl_disk_hours, p.mttdl_support_hours});
+  r.mdlr_overall_bph = r.mdlr_disk_bph + MdlrSupportBph(p);
+  return r;
+}
+
+std::string SchemeName(RedundancyScheme scheme) {
+  switch (scheme) {
+    case RedundancyScheme::kRaid0:
+      return "RAID 0";
+    case RedundancyScheme::kRaid5:
+      return "RAID 5";
+    case RedundancyScheme::kAfraid:
+      return "AFRAID";
+  }
+  return "unknown";
+}
+
+}  // namespace afraid

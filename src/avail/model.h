@@ -1,0 +1,131 @@
+// Analytic availability models from Section 3 of the AFRAID paper.
+//
+// Two complementary metrics:
+//   MTTDL -- mean time to (first) data loss, in hours. Defines a *rate* of
+//            loss events, not a lifetime expectation (the paper is explicit
+//            about this).
+//   MDLR  -- mean data loss rate, in bytes/hour: (amount lost per event) x
+//            (event rate). Unifies catastrophic dual-disk losses, small
+//            unprotected-stripe losses, support-hardware losses and NVRAM
+//            losses on one scale.
+//
+// Conventions: an array has N+1 disks (N data + 1 parity worth of space);
+// MTTF/MTTDL values are in hours; data sizes in bytes.
+
+#ifndef AFRAID_AVAIL_MODEL_H_
+#define AFRAID_AVAIL_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace afraid {
+
+// Values of Table 1 (defaults) parameterising the equations.
+struct AvailabilityParams {
+  double mttf_disk_raw_hours = 1e6;    // Published per-disk MTTF.
+  double coverage = 0.5;               // C: fraction of failures predicted in advance.
+  double mttdl_support_hours = 2e6;    // Aggregated non-disk components (Section 3.3).
+  double mttr_hours = 48.0;            // Repair/replace time after a disk failure.
+  double stripe_unit_bytes = 8192.0;   // S.
+  double disk_bytes = 2147483648.0;    // Vdisk = 2 GB.
+  int32_t num_data_disks = 4;          // N: array has N+1 disks (5 by default).
+
+  // MTTF of *unexpected* disk failures: predicted failures (fraction C) are
+  // repaired before they bite, so only (1 - C) of raw failures count.
+  double EffectiveDiskMttfHours() const {
+    return mttf_disk_raw_hours / (1.0 - coverage);
+  }
+  int32_t TotalDisks() const { return num_data_disks + 1; }
+  double ArrayDataBytes() const { return disk_bytes * num_data_disks; }
+};
+
+// --- Disk-related MTTDL -----------------------------------------------------
+
+// Eq. (1): catastrophic dual-disk failure of a RAID 5.
+//   MTTDL = MTTFdisk^2 / (N (N+1) MTTR)
+double MttdlRaidCatastrophicHours(const AvailabilityParams& p);
+
+// Eq. (2a): AFRAID single-disk failure while some data is unprotected.
+// `t_unprot_fraction` = Tunprot/Ttotal, measured by simulation. Returns
+// +infinity when the fraction is zero.
+double MttdlAfraidUnprotectedHours(const AvailabilityParams& p, double t_unprot_fraction);
+
+// Eq. (2b): the RAID-like contribution during the protected fraction.
+double MttdlAfraidRaidHours(const AvailabilityParams& p, double t_unprot_fraction);
+
+// Eq. (2c): harmonic combination of (2a) and (2b).
+double MttdlAfraidHours(const AvailabilityParams& p, double t_unprot_fraction);
+
+// RAID 0 baseline: any single disk failure loses data.
+//   MTTDL = MTTFdisk / (N+1), with all N+1 disks holding data.
+double MttdlRaid0Hours(const AvailabilityParams& p);
+
+// --- Mean data loss rates ---------------------------------------------------
+
+// Eq. (3): catastrophic loss rate of a RAID 5 (two disks' worth of data,
+// less the parity fraction), bytes/hour.
+double MdlrRaidCatastrophicBph(const AvailabilityParams& p);
+
+// Eq. (4): loss rate from unprotected stripes under single-disk failures.
+// `mean_parity_lag_bytes` is the simulation-measured time-average amount of
+// unredundant non-parity data.
+double MdlrUnprotectedBph(const AvailabilityParams& p, double mean_parity_lag_bytes);
+
+// Eq. (5): total disk-related AFRAID MDLR.
+double MdlrAfraidBph(const AvailabilityParams& p, double t_unprot_fraction,
+                     double mean_parity_lag_bytes);
+
+// RAID 0: a single disk failure loses one whole disk of data.
+double MdlrRaid0Bph(const AvailabilityParams& p);
+
+// --- Support components, NVRAM, power (Sections 3.3-3.5) --------------------
+
+// Support-hardware loss rate: a support MTTDL event loses the whole array.
+double MdlrSupportBph(const AvailabilityParams& p);
+
+// Loss rate of a single-copy NVRAM holding `vulnerable_bytes` (Section 3.4;
+// e.g. PrestoServe: 15k hours, 1 MB -> ~67 bytes/hour).
+double MdlrNvramBph(double mttf_hours, double vulnerable_bytes);
+
+// MTTDL from external power failures: a power failure only causes loss if a
+// write is outstanding (Section 3.5), so MTTF_power / write_duty_cycle.
+double MttdlPowerHours(double mttf_power_hours, double write_duty_cycle);
+
+// --- Combination helpers ----------------------------------------------------
+
+// Failure processes in parallel: rates add, so MTTDLs combine harmonically.
+double CombineMttdlHours(const std::vector<double>& mttdls_hours);
+
+// Probability of at least one data-loss event within `lifetime_hours`
+// (exponential model): 1 - exp(-lifetime/MTTDL).
+double LossProbability(double mttdl_hours, double lifetime_hours);
+
+// --- Whole-configuration report ----------------------------------------------
+
+enum class RedundancyScheme { kRaid0, kRaid5, kAfraid };
+
+// Everything Tables 3 and 4 report for one (scheme, workload) cell.
+struct AvailabilityReport {
+  RedundancyScheme scheme = RedundancyScheme::kAfraid;
+  // Inputs (from simulation; zero for RAID 5, irrelevant for RAID 0).
+  double t_unprot_fraction = 0.0;
+  double mean_parity_lag_bytes = 0.0;
+  // Disk-related results.
+  double mttdl_disk_hours = 0.0;
+  double mdlr_disk_bph = 0.0;
+  // Overall results including support components.
+  double mttdl_overall_hours = 0.0;
+  double mdlr_overall_bph = 0.0;
+};
+
+AvailabilityReport MakeAvailabilityReport(const AvailabilityParams& p,
+                                          RedundancyScheme scheme,
+                                          double t_unprot_fraction,
+                                          double mean_parity_lag_bytes);
+
+std::string SchemeName(RedundancyScheme scheme);
+
+}  // namespace afraid
+
+#endif  // AFRAID_AVAIL_MODEL_H_

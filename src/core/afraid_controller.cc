@@ -1,0 +1,1204 @@
+#include "core/afraid_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace afraid {
+namespace {
+
+// Join counter shared by the sub-operations of one compound step.
+struct Join {
+  int32_t remaining = 0;
+  bool failed = false;
+  std::function<void(bool ok)> done;
+
+  static std::shared_ptr<Join> Make(int32_t n, std::function<void(bool ok)> done) {
+    auto j = std::make_shared<Join>();
+    j->remaining = n;
+    j->done = std::move(done);
+    return j;
+  }
+  void Arm(int32_t extra) { remaining += extra; }
+  void Dec(bool ok) {
+    if (!ok) {
+      failed = true;
+    }
+    if (--remaining == 0) {
+      done(!failed);
+    }
+  }
+};
+
+}  // namespace
+
+AfraidController::AfraidController(Simulator* sim, const ArrayConfig& config,
+                                   std::unique_ptr<ParityPolicy> policy,
+                                   const AvailabilityParams& avail_params)
+    : sim_(sim),
+      cfg_(config),
+      policy_(std::move(policy)),
+      avail_params_(avail_params),
+      layout_(config.num_disks, config.stripe_unit_bytes,
+              DiskGeometry(config.disk_spec.zones, config.disk_spec.heads,
+                           config.disk_spec.sector_bytes)
+                  .CapacityBytes(),
+              config.parity_blocks),
+      nvram_(layout_.num_stripes() * config.marks_per_stripe),
+      read_cache_(config.read_cache_bytes, config.stripe_unit_bytes),
+      staging_(config.write_staging_bytes, config.stripe_unit_bytes),
+      start_time_(sim->Now()),
+      unprot_bytes_(sim->Now()),
+      busy_clients_(sim->Now()) {
+  assert(cfg_.parity_blocks == 1);  // RAID 6 lives in Raid6Controller.
+  assert(cfg_.stripe_unit_bytes % cfg_.disk_spec.sector_bytes == 0);
+  assert(cfg_.marks_per_stripe >= 1);
+  // Bands must be sector-aligned on every block.
+  assert((cfg_.stripe_unit_bytes / cfg_.disk_spec.sector_bytes) %
+             cfg_.marks_per_stripe ==
+         0);
+  for (int32_t d = 0; d < cfg_.num_disks; ++d) {
+    disks_.push_back(std::make_unique<DiskModel>(sim_, cfg_.disk_spec, d));
+  }
+  if (cfg_.track_content) {
+    content_ = std::make_unique<ContentModel>(
+        layout_.data_blocks_per_stripe(), layout_.parity_blocks(),
+        static_cast<int32_t>(cfg_.stripe_unit_bytes / cfg_.disk_spec.sector_bytes));
+  }
+  idle_detector_ = std::make_unique<IdleDetector>(sim_, cfg_.idle_delay, [this] {
+    // The array has been completely idle for the configured delay: start
+    // processing pending parity updates if the policy permits.
+    if (rebuilding_ || scrub_active_ || reconstruction_active_ || failed_disk_ >= 0 ||
+        nvram_.failed() || nvram_.DirtyCount() == 0) {
+      return;
+    }
+    if (cfg_.use_idle_predictor) {
+      // [Golding95]: skip gaps predicted too short for even one rebuild
+      // step -- starting one would only collide with the next burst.
+      const SimDuration predicted = idle_predictor_.PredictRemaining(cfg_.idle_delay);
+      if (idle_predictor_.Observations() >= 4 &&
+          static_cast<double>(predicted) < rebuild_step_estimate_ns_) {
+        ++predictor_skips_;
+        return;
+      }
+    }
+    if (policy_->RebuildOnIdle(MakePolicyContext())) {
+      rebuilding_ = true;
+      ++rebuild_passes_;
+      RebuildNext();
+    }
+  });
+}
+
+AfraidController::~AfraidController() = default;
+
+uint64_t AfraidController::TotalDiskOps() const {
+  uint64_t total = 0;
+  for (uint64_t c : disk_ops_) {
+    total += c;
+  }
+  return total;
+}
+
+PolicyContext AfraidController::MakePolicyContext() const {
+  PolicyContext ctx;
+  ctx.now = sim_->Now();
+  ctx.elapsed = sim_->Now() - start_time_;
+  ctx.dirty_stripes = nvram_.DirtyCount();
+  ctx.t_unprot_fraction = TUnprotFraction();
+  ctx.mean_parity_lag_bytes = MeanParityLagBytes();
+  ctx.idle_fraction = IdleFraction();
+  ctx.array_busy = ArrayBusy();
+  ctx.avail = &avail_params_;
+  return ctx;
+}
+
+// --- Bookkeeping helpers ------------------------------------------------------
+
+void AfraidController::NoteClientStart() {
+  if (outstanding_clients_ == 0) {
+    busy_clients_.Set(sim_->Now(), 1.0);
+    idle_detector_->NoteBusy();
+    // The idle period that just ended is a predictor observation -- but only
+    // if it outlived the detector delay: the prediction is consumed at
+    // detector-fire time, so the relevant population is the periods that
+    // got that far (inter-request micro-gaps would otherwise swamp the mean).
+    const SimDuration period = sim_->Now() - idle_started_at_;
+    if (period >= cfg_.idle_delay && period > 0) {
+      idle_predictor_.ObserveIdlePeriod(period);
+    }
+  }
+  ++outstanding_clients_;
+}
+
+void AfraidController::NoteClientEnd() {
+  assert(outstanding_clients_ > 0);
+  --outstanding_clients_;
+  if (outstanding_clients_ == 0) {
+    busy_clients_.Set(sim_->Now(), 0.0);
+    idle_detector_->NoteIdle();
+    idle_started_at_ = sim_->Now();
+  }
+  TriggerRebuildCheck();
+}
+
+std::pair<int32_t, int32_t> AfraidController::BandsOfRange(int32_t offset_in_block,
+                                                           int32_t length) const {
+  const int64_t band_height = layout_.stripe_unit() / cfg_.marks_per_stripe;
+  const auto first = static_cast<int32_t>(offset_in_block / band_height);
+  const auto last = static_cast<int32_t>((offset_in_block + length - 1) / band_height);
+  return {first, last};
+}
+
+void AfraidController::MarkBands(int64_t stripe, int32_t first_band,
+                                 int32_t last_band) {
+  assert(!nvram_.failed());
+  assert(first_band >= 0 && last_band < cfg_.marks_per_stripe);
+  for (int32_t b = first_band; b <= last_band; ++b) {
+    if (nvram_.Mark(stripe * cfg_.marks_per_stripe + b)) {
+      unprot_bytes_.Add(sim_->Now(), static_cast<double>(BandBytesPerStripe()));
+      max_dirty_ = std::max(max_dirty_, nvram_.DirtyCount());
+    }
+  }
+}
+
+void AfraidController::ClearBandKey(int64_t key) {
+  if (nvram_.Clear(key)) {
+    unprot_bytes_.Add(sim_->Now(), -static_cast<double>(BandBytesPerStripe()));
+  }
+  CheckWatchers(key);
+}
+
+void AfraidController::ClearAllBands(int64_t stripe) {
+  for (int32_t b = 0; b < cfg_.marks_per_stripe; ++b) {
+    ClearBandKey(stripe * cfg_.marks_per_stripe + b);
+  }
+}
+
+bool AfraidController::AnyBandDirty(int64_t stripe) const {
+  for (int32_t b = 0; b < cfg_.marks_per_stripe; ++b) {
+    if (nvram_.IsDirty(stripe * cfg_.marks_per_stripe + b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AfraidController::RangeDirty(int64_t stripe, int32_t offset_in_block,
+                                  int32_t length) const {
+  const auto [first, last] = BandsOfRange(offset_in_block, length);
+  for (int32_t b = first; b <= last; ++b) {
+    if (nvram_.IsDirty(stripe * cfg_.marks_per_stripe + b)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AfraidController::CheckWatchers(int64_t cleared_stripe) {
+  for (size_t i = 0; i < watchers_.size();) {
+    watchers_[i].waiting.erase(cleared_stripe);
+    if (watchers_[i].waiting.empty()) {
+      auto done = std::move(watchers_[i].done);
+      watchers_.erase(watchers_.begin() + static_cast<ptrdiff_t>(i));
+      done();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool AfraidController::WantRaid5Write() {
+  if (nvram_.failed()) {
+    return true;  // Without marking memory, deferring parity is unsafe.
+  }
+  return policy_->UseRaid5Write(MakePolicyContext());
+}
+
+void AfraidController::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length,
+                                   bool is_write, DiskOpPurpose purpose,
+                                   std::function<void(bool ok)> done) {
+  assert(disk >= 0 && disk < cfg_.num_disks);
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+  assert(byte_offset % sector == 0);
+  assert(length > 0 && length % sector == 0);
+  ++disk_ops_[static_cast<size_t>(purpose)];
+  DiskOp op;
+  op.lba = byte_offset / sector;
+  op.sectors = static_cast<int32_t>(length / sector);
+  op.is_write = is_write;
+  disks_[static_cast<size_t>(disk)]->Submit(
+      op, [done = std::move(done)](const DiskOpResult& r) { done(r.ok); });
+}
+
+// --- Client entry point -------------------------------------------------------
+
+void AfraidController::Submit(const ClientRequest& request, RequestDone done) {
+  assert(request.size > 0);
+  assert(request.offset >= 0 &&
+         request.offset + request.size <= layout_.data_capacity_bytes());
+  NoteClientStart();
+  auto wrapped = [this, done = std::move(done)] {
+    done();
+    NoteClientEnd();
+  };
+  if (request.is_write) {
+    DoWrite(request, std::move(wrapped));
+  } else {
+    DoRead(request, std::move(wrapped));
+  }
+}
+
+// --- Reads ----------------------------------------------------------------------
+
+void AfraidController::DoRead(const ClientRequest& r, RequestDone done) {
+  std::vector<Segment> segs = layout_.Split(r.offset, r.size);
+  auto join = Join::Make(static_cast<int32_t>(segs.size()),
+                         [done = std::move(done)](bool) { done(); });
+  for (const Segment& seg : segs) {
+    const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
+    const bool need_degraded =
+        disk == failed_disk_ ||
+        (disk == recovering_disk_ && seg.stripe >= recovery_frontier_);
+    if (need_degraded) {
+      DegradedReadSegment(seg, [join] { join->Dec(true); });
+      continue;
+    }
+    const int64_t key = BlockKey(seg.stripe, seg.block_in_stripe);
+    if (read_cache_.Lookup(key) || staging_.Lookup(key)) {
+      sim_->After(cfg_.cache_hit_time, [join] { join->Dec(true); });
+      continue;
+    }
+    const int64_t disk_off = seg.stripe * layout_.stripe_unit() + seg.offset_in_block;
+    IssueDiskOp(disk, disk_off, seg.length, /*is_write=*/false,
+                DiskOpPurpose::kClientRead, [this, seg, key, join](bool ok) {
+                  if (ok) {
+                    if (seg.length == layout_.stripe_unit()) {
+                      read_cache_.Insert(key);
+                    }
+                    join->Dec(true);
+                  } else {
+                    // The disk died mid-flight: recover via parity.
+                    DegradedReadSegment(seg, [join] { join->Dec(true); });
+                  }
+                });
+  }
+}
+
+void AfraidController::DegradedReadSegment(const Segment& seg,
+                                           std::function<void()> seg_done) {
+  const int64_t stripe = seg.stripe;
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, seg, stripe,
+                                                seg_done = std::move(seg_done)] {
+    const int32_t n = layout_.data_blocks_per_stripe();
+    auto finish = [this, seg, stripe, seg_done](bool) {
+      if (RangeDirty(stripe, seg.offset_in_block, seg.length)) {
+        // Parity was stale for this band when the disk died: the
+        // reconstructed bytes are not the data the client wrote. Record the
+        // loss (Section 3.2).
+        ++loss_events_;
+        bytes_lost_ += seg.length;
+      }
+      locks_.Release(stripe, LockMode::kExclusive);
+      seg_done();
+    };
+    auto join = Join::Make(n, std::move(finish));  // n-1 data reads + parity.
+    for (int32_t j = 0; j < n; ++j) {
+      if (j == seg.block_in_stripe) {
+        continue;
+      }
+      const int32_t d = layout_.DataDisk(stripe, j);
+      const int64_t off = stripe * layout_.stripe_unit() + seg.offset_in_block;
+      IssueDiskOp(d, off, seg.length, /*is_write=*/false,
+                  DiskOpPurpose::kReconstructRead, [join](bool ok) { join->Dec(ok); });
+    }
+    const int32_t pd = layout_.ParityDisk(stripe);
+    const int64_t poff = stripe * layout_.stripe_unit() + seg.offset_in_block;
+    IssueDiskOp(pd, poff, seg.length, /*is_write=*/false,
+                DiskOpPurpose::kReconstructRead, [join](bool ok) { join->Dec(ok); });
+  });
+}
+
+// --- Writes ---------------------------------------------------------------------
+
+void AfraidController::DoWrite(const ClientRequest& r, RequestDone done) {
+  std::vector<Segment> segs = layout_.Split(r.offset, r.size);
+  std::map<int64_t, std::vector<Segment>> groups;
+  for (const Segment& seg : segs) {
+    groups[seg.stripe].push_back(seg);
+  }
+  auto join = Join::Make(static_cast<int32_t>(groups.size()),
+                         [done = std::move(done)](bool) { done(); });
+  for (auto& [stripe, group_segs] : groups) {
+    RunStripeWriteGroup(r.id, stripe, std::move(group_segs), 0,
+                        [join] { join->Dec(true); });
+  }
+}
+
+void AfraidController::RunStripeWriteGroup(uint64_t request_id, int64_t stripe,
+                                           std::vector<Segment> segs, int32_t attempt,
+                                           std::function<void()> group_done) {
+  const bool degraded =
+      failed_disk_ >= 0 ||
+      (recovering_disk_ >= 0 && stripe >= recovery_frontier_);
+  // Per-region redundancy classes (Section 5) override the policy.
+  const RedundancyClass cls = RegionClassOf(stripe);
+  if (!degraded && cls == RedundancyClass::kAlwaysAfraid) {
+    ++afraid_mode_writes_;
+    AfraidWriteGroup(request_id, stripe, segs, attempt, std::move(group_done));
+    return;
+  }
+  if (!degraded && cls == RedundancyClass::kNeverParity) {
+    // RAID 0-style region: mark-and-forget (the rebuilder skips it).
+    ++afraid_mode_writes_;
+    AfraidWriteGroup(request_id, stripe, segs, attempt, std::move(group_done));
+    return;
+  }
+  const bool forced_raid5 = cls == RedundancyClass::kAlwaysRaid5;
+  // RAID 5 mode exists to avoid *adding* exposure. A write whose bands are
+  // all already stale adds none -- they are unprotected either way until the
+  // background rebuild reaches them -- so it can take the cheap AFRAID path
+  // even in RAID 5 mode. (Degraded operation is the exception: parity must
+  // be kept current to stand in for the missing disk.)
+  bool already_exposed = !degraded && !forced_raid5;
+  if (already_exposed) {
+    for (const Segment& seg : segs) {
+      const auto [first, last] = BandsOfRange(seg.offset_in_block, seg.length);
+      for (int32_t b = first; b <= last; ++b) {
+        if (!nvram_.IsDirty(stripe * cfg_.marks_per_stripe + b)) {
+          already_exposed = false;
+          break;
+        }
+      }
+      if (!already_exposed) {
+        break;
+      }
+    }
+  }
+  if (degraded || forced_raid5 || (!already_exposed && WantRaid5Write())) {
+    ++raid5_mode_writes_;
+    Raid5WriteGroup(request_id, stripe, segs, attempt, std::move(group_done));
+  } else {
+    ++afraid_mode_writes_;
+    AfraidWriteGroup(request_id, stripe, segs, attempt, std::move(group_done));
+  }
+}
+
+void AfraidController::AfraidWriteGroup(uint64_t request_id, int64_t stripe,
+                                        const std::vector<Segment>& segs,
+                                        int32_t attempt,
+                                        std::function<void()> group_done) {
+  locks_.Acquire(stripe, LockMode::kShared, [this, request_id, stripe, segs, attempt,
+                                             group_done = std::move(group_done)] {
+    // Mark first: the bands must read as unredundant before any new data is
+    // on disk, or a crash window would hide the stale parity.
+    for (const Segment& seg : segs) {
+      const auto [first, last] = BandsOfRange(seg.offset_in_block, seg.length);
+      MarkBands(stripe, first, last);
+    }
+    TriggerRebuildCheck();
+
+    auto finish = [this, request_id, stripe, segs, attempt,
+                   group_done](bool all_ok) {
+      locks_.Release(stripe, LockMode::kShared);
+      if (!all_ok && attempt < 2) {
+        // A disk died under us: rerun this group through the (now degraded)
+        // RAID 5 path, which routes around the failed mechanism.
+        RunStripeWriteGroup(request_id, stripe, segs, attempt + 1, group_done);
+        return;
+      }
+      group_done();
+    };
+    auto join = Join::Make(static_cast<int32_t>(segs.size()), std::move(finish));
+    for (const Segment& seg : segs) {
+      const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
+      const int64_t off = stripe * layout_.stripe_unit() + seg.offset_in_block;
+      IssueDiskOp(disk, off, seg.length, /*is_write=*/true, DiskOpPurpose::kClientWrite,
+                  [this, request_id, seg, join](bool ok) {
+                    if (ok) {
+                      ApplyDataWrite(request_id, seg);
+                    }
+                    join->Dec(ok);
+                  });
+    }
+  });
+}
+
+void AfraidController::ApplyDataWrite(uint64_t request_id, const Segment& seg) {
+  const int64_t key = BlockKey(seg.stripe, seg.block_in_stripe);
+  if (seg.length == layout_.stripe_unit()) {
+    staging_.Insert(key);
+    read_cache_.Invalidate(key);
+  } else {
+    // Partial overwrite: any cached full-block copy is stale.
+    staging_.Invalidate(key);
+    read_cache_.Invalidate(key);
+  }
+  if (content_ != nullptr) {
+    const int32_t sector = cfg_.disk_spec.sector_bytes;
+    const int32_t first = seg.offset_in_block / sector;
+    const int32_t count = seg.length / sector;
+    const int64_t logical_first = seg.logical_offset / sector;
+    for (int32_t i = 0; i < count; ++i) {
+      content_->SetData(seg.stripe, seg.block_in_stripe, first + i,
+                        ContentModel::MixTag(request_id, logical_first + i));
+    }
+  }
+}
+
+void AfraidController::Raid5WriteGroup(uint64_t request_id, int64_t stripe,
+                                       const std::vector<Segment>& segs,
+                                       int32_t attempt,
+                                       std::function<void()> group_done) {
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, stripe, segs,
+                                                attempt,
+                                                group_done = std::move(group_done)] {
+    const int32_t n = layout_.data_blocks_per_stripe();
+    const int64_t unit = layout_.stripe_unit();
+    // A stale band under any written range forces a from-scratch parity
+    // recompute; stale bands *outside* the written ranges do not (per-band
+    // parity validity is exactly what sub-stripe marking buys).
+    bool dirty = false;
+    for (const Segment& seg : segs) {
+      if (RangeDirty(stripe, seg.offset_in_block, seg.length)) {
+        dirty = true;
+        break;
+      }
+    }
+
+    // Which data blocks does this group touch, and fully or partially?
+    std::vector<const Segment*> by_block(static_cast<size_t>(n), nullptr);
+    int32_t covered = 0;
+    int32_t fully_covered = 0;
+    for (const Segment& seg : segs) {
+      assert(by_block[static_cast<size_t>(seg.block_in_stripe)] == nullptr);
+      by_block[static_cast<size_t>(seg.block_in_stripe)] = &seg;
+      ++covered;
+      if (seg.length == unit) {
+        ++fully_covered;
+      }
+    }
+    const bool full_stripe = (fully_covered == n);
+    // A stale-parity stripe cannot be RMW'd (the old parity is garbage), and
+    // neither can a degraded stripe (a pre-read might need the dead or
+    // not-yet-reconstructed disk); both recompute parity from scratch.
+    // Otherwise pick reconstruct-write when the group touches more than the
+    // configured fraction of the stripe.
+    const bool degraded =
+        failed_disk_ >= 0 ||
+        (recovering_disk_ >= 0 && stripe >= recovery_frontier_);
+    const bool reconstruct =
+        !full_stripe &&
+        (dirty || degraded ||
+         static_cast<double>(covered) >
+             cfg_.reconstruct_write_fraction * static_cast<double>(n));
+
+    const bool full_parity_rewrite = full_stripe || reconstruct;
+    auto finish = [this, request_id, stripe, segs, attempt, full_parity_rewrite,
+                   group_done](bool all_ok) {
+      if (all_ok && full_parity_rewrite) {
+        ClearAllBands(stripe);  // The full parity unit is fresh again.
+      }
+      locks_.Release(stripe, LockMode::kExclusive);
+      if (!all_ok && attempt < 2) {
+        RunStripeWriteGroup(request_id, stripe, segs, attempt + 1, group_done);
+        return;
+      }
+      group_done();
+    };
+
+    if (full_stripe) {
+      WriteFullStripe(request_id, stripe, segs, std::move(finish));
+    } else if (reconstruct) {
+      ReconstructWrite(request_id, stripe, segs, by_block, std::move(finish));
+    } else {
+      ReadModifyWrite(request_id, stripe, segs, std::move(finish));
+    }
+  });
+}
+
+void AfraidController::WriteFullStripe(uint64_t request_id, int64_t stripe,
+                                       const std::vector<Segment>& segs,
+                                       std::function<void(bool ok)> finish) {
+  const int64_t unit = layout_.stripe_unit();
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+  const auto spu = static_cast<int32_t>(unit / sector);
+
+  // Precompute the new parity: xor of the new data values at each position.
+  std::vector<uint64_t> parity_vals;
+  if (content_ != nullptr) {
+    parity_vals.assign(static_cast<size_t>(spu), 0);
+    for (const Segment& seg : segs) {
+      const int64_t logical_first = seg.logical_offset / sector;
+      for (int32_t i = 0; i < spu; ++i) {
+        parity_vals[static_cast<size_t>(i)] ^=
+            ContentModel::MixTag(request_id, logical_first + i);
+      }
+    }
+  }
+
+  auto join = Join::Make(static_cast<int32_t>(segs.size()) + 1, std::move(finish));
+  for (const Segment& seg : segs) {
+    const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
+    if (disk == failed_disk_) {
+      // The data lives on implicitly via parity (degraded full-stripe write).
+      sim_->After(0, [join] { join->Dec(true); });
+      continue;
+    }
+    IssueDiskOp(disk, stripe * unit, unit, /*is_write=*/true,
+                DiskOpPurpose::kClientWrite, [this, request_id, seg, join](bool ok) {
+                  if (ok) {
+                    ApplyDataWrite(request_id, seg);
+                  }
+                  join->Dec(ok);
+                });
+  }
+  const int32_t pd = layout_.ParityDisk(stripe);
+  if (pd == failed_disk_) {
+    sim_->After(0, [join] { join->Dec(true); });
+  } else {
+    IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/true, DiskOpPurpose::kParityWrite,
+                [this, stripe, parity_vals = std::move(parity_vals), spu,
+                 join](bool ok) {
+                  if (ok && content_ != nullptr) {
+                    for (int32_t i = 0; i < spu; ++i) {
+                      content_->SetParity(stripe, i, parity_vals[static_cast<size_t>(i)]);
+                    }
+                  }
+                  join->Dec(ok);
+                });
+  }
+}
+
+void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
+                                        const std::vector<Segment>& segs,
+                                        const std::vector<const Segment*>& by_block,
+                                        std::function<void(bool ok)> finish) {
+  const int32_t n = layout_.data_blocks_per_stripe();
+  const int64_t unit = layout_.stripe_unit();
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+  const auto spu = static_cast<int32_t>(unit / sector);
+
+  // Precompute the post-write parity now: the exclusive lock guarantees no
+  // other mutation of this stripe until we finish, so current content is
+  // exactly what the companion reads will observe.
+  std::vector<uint64_t> parity_vals;
+  if (content_ != nullptr) {
+    parity_vals.assign(static_cast<size_t>(spu), 0);
+    for (int32_t j = 0; j < n; ++j) {
+      const Segment* seg = by_block[static_cast<size_t>(j)];
+      for (int32_t i = 0; i < spu; ++i) {
+        uint64_t v = content_->GetData(stripe, j, i);
+        if (seg != nullptr) {
+          const int32_t first = seg->offset_in_block / sector;
+          const int32_t count = seg->length / sector;
+          if (i >= first && i < first + count) {
+            v = ContentModel::MixTag(request_id,
+                                     seg->logical_offset / sector + (i - first));
+          }
+        }
+        parity_vals[static_cast<size_t>(i)] ^= v;
+      }
+    }
+  }
+
+  // Phase 1: read (fully) every data block that is not fully overwritten.
+  auto write_phase = [this, request_id, stripe, segs, spu,
+                      parity_vals = std::move(parity_vals),
+                      finish = std::move(finish)](bool reads_ok) mutable {
+    if (!reads_ok) {
+      finish(false);
+      return;
+    }
+    const int64_t unit2 = layout_.stripe_unit();
+    auto join = Join::Make(static_cast<int32_t>(segs.size()) + 1, std::move(finish));
+    for (const Segment& seg : segs) {
+      const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
+      if (disk == failed_disk_) {
+        sim_->After(0, [join] { join->Dec(true); });
+        continue;
+      }
+      const int64_t off = stripe * unit2 + seg.offset_in_block;
+      IssueDiskOp(disk, off, seg.length, /*is_write=*/true,
+                  DiskOpPurpose::kClientWrite, [this, request_id, seg, join](bool ok) {
+                    if (ok) {
+                      ApplyDataWrite(request_id, seg);
+                    }
+                    join->Dec(ok);
+                  });
+    }
+    const int32_t pd = layout_.ParityDisk(stripe);
+    if (pd == failed_disk_) {
+      sim_->After(0, [join] { join->Dec(true); });
+    } else {
+      IssueDiskOp(pd, stripe * unit2, unit2, /*is_write=*/true,
+                  DiskOpPurpose::kParityWrite,
+                  [this, stripe, parity_vals, spu, join](bool ok) {
+                    if (ok && content_ != nullptr) {
+                      for (int32_t i = 0; i < spu; ++i) {
+                        content_->SetParity(stripe, i,
+                                            parity_vals[static_cast<size_t>(i)]);
+                      }
+                    }
+                    join->Dec(ok);
+                  });
+    }
+  };
+
+  int32_t reads_needed = 0;
+  for (int32_t j = 0; j < n; ++j) {
+    const Segment* seg = by_block[static_cast<size_t>(j)];
+    const bool fully = seg != nullptr && seg->length == unit;
+    const int32_t disk = layout_.DataDisk(stripe, j);
+    if (!fully && disk != failed_disk_) {
+      ++reads_needed;
+    }
+  }
+  if (reads_needed == 0) {
+    write_phase(true);
+    return;
+  }
+  auto read_join = Join::Make(reads_needed, std::move(write_phase));
+  for (int32_t j = 0; j < n; ++j) {
+    const Segment* seg = by_block[static_cast<size_t>(j)];
+    const bool fully = seg != nullptr && seg->length == unit;
+    const int32_t disk = layout_.DataDisk(stripe, j);
+    if (fully || disk == failed_disk_) {
+      continue;
+    }
+    IssueDiskOp(disk, stripe * unit, unit, /*is_write=*/false,
+                DiskOpPurpose::kReconstructRead,
+                [read_join](bool ok) { read_join->Dec(ok); });
+  }
+}
+
+void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
+                                       const std::vector<Segment>& segs,
+                                       std::function<void(bool ok)> finish) {
+  const int64_t unit = layout_.stripe_unit();
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+
+  // The parity span: the union byte range within the stripe unit touched by
+  // any segment (parity changes exactly where data changes).
+  int32_t span_lo = INT32_MAX;
+  int32_t span_hi = 0;
+  for (const Segment& seg : segs) {
+    span_lo = std::min(span_lo, seg.offset_in_block);
+    span_hi = std::max(span_hi, seg.offset_in_block + seg.length);
+  }
+
+  // Precompute the xor delta (old ^ new) per parity sector in the span; the
+  // exclusive lock makes "old" well defined for the whole group lifetime.
+  const int32_t span_sectors = (span_hi - span_lo) / sector;
+  std::vector<uint64_t> delta;
+  if (content_ != nullptr) {
+    delta.assign(static_cast<size_t>(span_sectors), 0);
+    for (const Segment& seg : segs) {
+      const int32_t first = seg.offset_in_block / sector;
+      const int32_t count = seg.length / sector;
+      const int64_t logical_first = seg.logical_offset / sector;
+      for (int32_t i = 0; i < count; ++i) {
+        const uint64_t old_v =
+            content_->GetData(stripe, seg.block_in_stripe, first + i);
+        const uint64_t new_v = ContentModel::MixTag(request_id, logical_first + i);
+        delta[static_cast<size_t>(first + i - span_lo / sector)] ^= old_v ^ new_v;
+      }
+    }
+  }
+
+  auto write_phase = [this, request_id, stripe, segs, span_lo, span_hi, sector,
+                      delta = std::move(delta),
+                      finish = std::move(finish)](bool reads_ok) mutable {
+    if (!reads_ok) {
+      finish(false);
+      return;
+    }
+    const int64_t unit2 = layout_.stripe_unit();
+    auto join = Join::Make(static_cast<int32_t>(segs.size()) + 1, std::move(finish));
+    for (const Segment& seg : segs) {
+      const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
+      const int64_t off = stripe * unit2 + seg.offset_in_block;
+      IssueDiskOp(disk, off, seg.length, /*is_write=*/true,
+                  DiskOpPurpose::kClientWrite, [this, request_id, seg, join](bool ok) {
+                    if (ok) {
+                      ApplyDataWrite(request_id, seg);
+                    }
+                    join->Dec(ok);
+                  });
+    }
+    const int32_t pd = layout_.ParityDisk(stripe);
+    IssueDiskOp(pd, stripe * unit2 + span_lo, span_hi - span_lo, /*is_write=*/true,
+                DiskOpPurpose::kParityWrite,
+                [this, stripe, span_lo, sector, delta, join](bool ok) {
+                  if (ok && content_ != nullptr) {
+                    const int32_t first = span_lo / sector;
+                    for (size_t i = 0; i < delta.size(); ++i) {
+                      const auto s = first + static_cast<int32_t>(i);
+                      content_->SetParity(stripe, s,
+                                          content_->GetParity(stripe, s) ^ delta[i]);
+                    }
+                  }
+                  join->Dec(ok);
+                });
+  };
+
+  // Phase 1: pre-read old data (skipped on controller cache hits) and old
+  // parity. These are the extra critical-path I/Os AFRAID eliminates.
+  int32_t reads_needed = 1;  // Parity span.
+  std::vector<const Segment*> need_read;
+  for (const Segment& seg : segs) {
+    const int64_t key = BlockKey(stripe, seg.block_in_stripe);
+    if (read_cache_.Lookup(key) || staging_.Lookup(key)) {
+      continue;  // Old contents already in the controller.
+    }
+    need_read.push_back(&seg);
+    ++reads_needed;
+  }
+  auto read_join = Join::Make(reads_needed, std::move(write_phase));
+  for (const Segment* seg : need_read) {
+    const int32_t disk = layout_.DataDisk(stripe, seg->block_in_stripe);
+    const int64_t off = stripe * unit + seg->offset_in_block;
+    IssueDiskOp(disk, off, seg->length, /*is_write=*/false,
+                DiskOpPurpose::kOldDataRead,
+                [read_join](bool ok) { read_join->Dec(ok); });
+  }
+  const int32_t pd = layout_.ParityDisk(stripe);
+  IssueDiskOp(pd, stripe * unit + span_lo, span_hi - span_lo, /*is_write=*/false,
+              DiskOpPurpose::kOldParityRead,
+              [read_join](bool ok) { read_join->Dec(ok); });
+}
+
+// --- Background parity rebuild ---------------------------------------------------
+
+void AfraidController::TriggerRebuildCheck() {
+  if (rebuilding_ || scrub_active_ || reconstruction_active_ || failed_disk_ >= 0 ||
+      nvram_.failed() || nvram_.DirtyCount() == 0) {
+    return;
+  }
+  const bool forced = !watchers_.empty() || policy_->ForceRebuild(MakePolicyContext());
+  if (forced) {
+    rebuilding_ = true;
+    ++rebuild_passes_;
+    RebuildNext();
+  }
+}
+
+void AfraidController::SetRegionClass(int64_t offset, int64_t length,
+                                      RedundancyClass cls) {
+  assert(length > 0);
+  assert(offset >= 0 && offset + length <= layout_.data_capacity_bytes());
+  Region r;
+  r.first_stripe = layout_.StripeOfOffset(offset);
+  r.last_stripe = layout_.StripeOfOffset(offset + length - 1);
+  r.cls = cls;
+  // Newest-first precedence: prepend.
+  regions_.insert(regions_.begin(), r);
+}
+
+AfraidController::RedundancyClass AfraidController::RegionClassOf(
+    int64_t stripe) const {
+  for (const Region& r : regions_) {
+    if (stripe >= r.first_stripe && stripe <= r.last_stripe) {
+      return r.cls;
+    }
+  }
+  return RedundancyClass::kPolicyDefault;
+}
+
+// First dirty band key at/after `from` (wrapping) whose stripe's region
+// permits parity maintenance; -1 if none.
+int64_t AfraidController::PickRebuildableKey(int64_t from) const {
+  const auto& dirty = nvram_.DirtyStripes();
+  if (dirty.empty()) {
+    return -1;
+  }
+  auto it = dirty.lower_bound(from);
+  for (size_t i = 0; i < dirty.size(); ++i, ++it) {
+    if (it == dirty.end()) {
+      it = dirty.begin();
+    }
+    if (RegionClassOf(*it / cfg_.marks_per_stripe) != RedundancyClass::kNeverParity) {
+      return *it;
+    }
+  }
+  return -1;
+}
+
+void AfraidController::RebuildNext() {
+  assert(rebuilding_);
+  if (failed_disk_ >= 0 || nvram_.failed()) {
+    rebuilding_ = false;
+    return;
+  }
+  const int64_t key = PickRebuildableKey(rebuild_cursor_);
+  if (key < 0) {
+    rebuilding_ = false;
+    return;
+  }
+  const SimTime step_start = sim_->Now();
+  RebuildBand(key, [this, key, step_start](bool ok) {
+    rebuild_cursor_ = key + 1;
+    if (!ok) {
+      rebuilding_ = false;
+      return;
+    }
+    // Keep the predictor's rebuild-quantum estimate fresh (EWMA).
+    rebuild_step_estimate_ns_ +=
+        0.2 * (static_cast<double>(sim_->Now() - step_start) -
+               rebuild_step_estimate_ns_);
+    const PolicyContext ctx = MakePolicyContext();
+    const bool keep_going = !watchers_.empty() || policy_->ForceRebuild(ctx) ||
+                            (!ArrayBusy() && policy_->RebuildOnIdle(ctx));
+    if (keep_going && nvram_.DirtyCount() > 0) {
+      RebuildNext();
+    } else {
+      rebuilding_ = false;
+    }
+  });
+}
+
+void AfraidController::RebuildBand(int64_t band_key,
+                                   std::function<void(bool ok)> step_done) {
+  const int64_t stripe = band_key / cfg_.marks_per_stripe;
+  const auto band = static_cast<int32_t>(band_key % cfg_.marks_per_stripe);
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, band_key, stripe, band,
+                                                step_done = std::move(step_done)] {
+    if (!nvram_.IsDirty(band_key)) {
+      // A racing RAID 5-mode write refreshed the parity while we waited.
+      locks_.Release(stripe, LockMode::kExclusive);
+      step_done(true);
+      return;
+    }
+    const int32_t n = layout_.data_blocks_per_stripe();
+    const int64_t unit = layout_.stripe_unit();
+    const int64_t band_height = unit / cfg_.marks_per_stripe;
+    const int64_t band_off = stripe * unit + band * band_height;
+    const int32_t sector = cfg_.disk_spec.sector_bytes;
+    const auto first_sector = static_cast<int32_t>(band * band_height / sector);
+    const auto band_sectors = static_cast<int32_t>(band_height / sector);
+
+    auto write_parity = [this, band_key, stripe, band_off, band_height, first_sector,
+                         band_sectors](bool reads_ok, std::function<void(bool)> done) {
+      if (!reads_ok) {
+        done(false);
+        return;
+      }
+      const int32_t pd = layout_.ParityDisk(stripe);
+      IssueDiskOp(pd, band_off, band_height, /*is_write=*/true,
+                  DiskOpPurpose::kRebuildWrite,
+                  [this, band_key, stripe, first_sector, band_sectors,
+                   done](bool ok) {
+                    if (ok) {
+                      if (content_ != nullptr) {
+                        for (int32_t i = 0; i < band_sectors; ++i) {
+                          content_->SetParity(stripe, first_sector + i,
+                                              content_->XorOfData(stripe,
+                                                                  first_sector + i));
+                        }
+                      }
+                      ClearBandKey(band_key);
+                      ++stripes_rebuilt_;
+                    }
+                    done(ok);
+                  });
+    };
+
+    auto finish = [this, stripe, step_done](bool ok) {
+      locks_.Release(stripe, LockMode::kExclusive);
+      step_done(ok);
+    };
+    auto read_join = Join::Make(
+        n, [write_parity, finish](bool ok) { write_parity(ok, finish); });
+    for (int32_t j = 0; j < n; ++j) {
+      const int32_t d = layout_.DataDisk(stripe, j);
+      IssueDiskOp(d, band_off, band_height, /*is_write=*/false,
+                  DiskOpPurpose::kRebuildRead,
+                  [read_join](bool ok) { read_join->Dec(ok); });
+    }
+  });
+}
+
+// --- Paritypoints / quiesce -------------------------------------------------------
+
+void AfraidController::ParityPoint(int64_t offset, int64_t length,
+                                   std::function<void()> done) {
+  assert(length > 0);
+  assert(offset >= 0 && offset + length <= layout_.data_capacity_bytes());
+  Watcher w;
+  const int64_t first = layout_.StripeOfOffset(offset);
+  const int64_t last = layout_.StripeOfOffset(offset + length - 1);
+  for (int64_t s = first; s <= last; ++s) {
+    if (RegionClassOf(s) == RedundancyClass::kNeverParity) {
+      continue;
+    }
+    for (int32_t b = 0; b < cfg_.marks_per_stripe; ++b) {
+      const int64_t key = s * cfg_.marks_per_stripe + b;
+      if (nvram_.IsDirty(key)) {
+        w.waiting.insert(key);
+      }
+    }
+  }
+  if (w.waiting.empty()) {
+    sim_->After(0, std::move(done));
+    return;
+  }
+  w.done = std::move(done);
+  watchers_.push_back(std::move(w));
+  TriggerRebuildCheck();
+}
+
+void AfraidController::RebuildAll(std::function<void()> done) {
+  Watcher w;
+  for (int64_t key : nvram_.DirtyStripes()) {
+    if (RegionClassOf(key / cfg_.marks_per_stripe) != RedundancyClass::kNeverParity) {
+      w.waiting.insert(key);
+    }
+  }
+  if (w.waiting.empty()) {
+    sim_->After(0, std::move(done));
+    return;
+  }
+  w.done = std::move(done);
+  watchers_.push_back(std::move(w));
+  TriggerRebuildCheck();
+}
+
+// --- Failure injection & recovery ---------------------------------------------------
+
+void AfraidController::FailDisk(int32_t disk) {
+  assert(disk >= 0 && disk < cfg_.num_disks);
+  assert(failed_disk_ < 0 && recovering_disk_ < 0);
+  failed_disk_ = disk;
+  disks_[static_cast<size_t>(disk)]->Fail();
+}
+
+void AfraidController::ReplaceDisk(int32_t disk) {
+  assert(disk == failed_disk_);
+  disks_[static_cast<size_t>(disk)]->Replace();
+  failed_disk_ = -1;
+  recovering_disk_ = disk;
+  recovery_frontier_ = 0;
+  // The replacement mechanism is blank; model its contents as zeroes.
+  if (content_ != nullptr) {
+    for (int64_t s : content_->TouchedStripes()) {
+      for (int32_t j = 0; j < layout_.data_blocks_per_stripe(); ++j) {
+        if (layout_.DataDisk(s, j) == disk) {
+          for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
+            content_->SetData(s, j, i, 0);
+          }
+        }
+      }
+      if (layout_.ParityDisk(s) == disk) {
+        for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
+          content_->SetParity(s, i, 0);
+        }
+      }
+    }
+  }
+}
+
+void AfraidController::StartReconstruction(std::function<void()> done) {
+  assert(recovering_disk_ >= 0);
+  assert(!reconstruction_active_);
+  reconstruction_active_ = true;
+  reconstruction_done_ = std::move(done);
+  ReconstructNextStripe(0);
+}
+
+void AfraidController::ReconstructNextStripe(int64_t stripe) {
+  if (stripe >= layout_.num_stripes()) {
+    reconstruction_active_ = false;
+    recovering_disk_ = -1;
+    recovery_frontier_ = 0;
+    auto done = std::move(reconstruction_done_);
+    if (done) {
+      done();
+    }
+    TriggerRebuildCheck();
+    return;
+  }
+  const int32_t target = recovering_disk_;
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe, target] {
+    const int32_t n = layout_.data_blocks_per_stripe();
+    const int64_t unit = layout_.stripe_unit();
+    const int32_t pd = layout_.ParityDisk(stripe);
+
+    auto advance = [this, stripe](bool) {
+      recovery_frontier_ = stripe + 1;
+      locks_.Release(stripe, LockMode::kExclusive);
+      ReconstructNextStripe(stripe + 1);
+    };
+
+    if (pd == target) {
+      // The replaced disk held this stripe's parity: recompute from data.
+      // Note this is lossless even for a dirty stripe.
+      auto write = [this, stripe, unit, pd, advance](bool ok) {
+        if (!ok) {
+          advance(false);
+          return;
+        }
+        IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/true,
+                    DiskOpPurpose::kRecoveryWrite, [this, stripe, advance](bool ok2) {
+                      if (ok2) {
+                        if (content_ != nullptr) {
+                          for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
+                            content_->SetParity(stripe, i,
+                                                content_->XorOfData(stripe, i));
+                          }
+                        }
+                        ClearAllBands(stripe);
+                      }
+                      advance(ok2);
+                    });
+      };
+      auto join = Join::Make(n, std::move(write));
+      for (int32_t j = 0; j < n; ++j) {
+        IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+                    /*is_write=*/false, DiskOpPurpose::kRecoveryRead,
+                    [join](bool ok) { join->Dec(ok); });
+      }
+      return;
+    }
+
+    // The replaced disk held a data block: rebuild it as the xor of the
+    // other data blocks and the parity. If the stripe's parity was stale at
+    // failure time, the xor is *not* the lost data -- that block is gone
+    // (the Section 3.2 small-loss mode); we record it and move on.
+    int32_t j_target = -1;
+    for (int32_t j = 0; j < n; ++j) {
+      if (layout_.DataDisk(stripe, j) == target) {
+        j_target = j;
+        break;
+      }
+    }
+    assert(j_target >= 0);
+    int32_t dirty_bands = 0;
+    for (int32_t b = 0; b < cfg_.marks_per_stripe; ++b) {
+      if (nvram_.IsDirty(stripe * cfg_.marks_per_stripe + b)) {
+        ++dirty_bands;
+      }
+    }
+    auto write = [this, stripe, unit, target, j_target, dirty_bands,
+                  advance](bool ok) {
+      if (!ok) {
+        advance(false);
+        return;
+      }
+      IssueDiskOp(target, stripe * unit, unit, /*is_write=*/true,
+                  DiskOpPurpose::kRecoveryWrite,
+                  [this, stripe, j_target, dirty_bands, advance](bool ok2) {
+                    if (ok2) {
+                      if (content_ != nullptr) {
+                        for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
+                          content_->SetData(stripe, j_target, i,
+                                            content_->ReconstructData(stripe, j_target, i));
+                        }
+                      }
+                      if (dirty_bands > 0) {
+                        // Only the stale bands of the lost block are gone.
+                        ++loss_events_;
+                        bytes_lost_ += dirty_bands *
+                                       (layout_.stripe_unit() / cfg_.marks_per_stripe);
+                      }
+                      ClearAllBands(stripe);
+                    }
+                    advance(ok2);
+                  });
+    };
+    auto join = Join::Make(n, std::move(write));  // n-1 data + parity reads.
+    for (int32_t j = 0; j < n; ++j) {
+      if (j == j_target) {
+        continue;
+      }
+      IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+                  /*is_write=*/false, DiskOpPurpose::kRecoveryRead,
+                  [join](bool ok) { join->Dec(ok); });
+    }
+    IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/false,
+                DiskOpPurpose::kRecoveryRead, [join](bool ok) { join->Dec(ok); });
+  });
+}
+
+void AfraidController::FailNvram() { nvram_.Fail(); }
+
+void AfraidController::StartFullScrub(std::function<void()> done) {
+  assert(!scrub_active_ && !rebuilding_);
+  scrub_active_ = true;
+  scrub_done_ = std::move(done);
+  ScrubNextStripe(0);
+}
+
+void AfraidController::ScrubNextStripe(int64_t stripe) {
+  if (stripe >= layout_.num_stripes()) {
+    scrub_active_ = false;
+    nvram_.Repair();
+    // Every stripe's parity is fresh: the true unprotected volume is zero
+    // again (the marking bits lost in the NVRAM failure are irrelevant now).
+    unprot_bytes_.Set(sim_->Now(), 0.0);
+    auto done = std::move(scrub_done_);
+    if (done) {
+      done();
+    }
+    return;
+  }
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe] {
+    const int32_t n = layout_.data_blocks_per_stripe();
+    const int64_t unit = layout_.stripe_unit();
+    auto write = [this, stripe, unit](bool ok) {
+      auto advance = [this, stripe](bool) {
+        locks_.Release(stripe, LockMode::kExclusive);
+        ScrubNextStripe(stripe + 1);
+      };
+      if (!ok) {
+        advance(false);
+        return;
+      }
+      IssueDiskOp(layout_.ParityDisk(stripe), stripe * unit, unit, /*is_write=*/true,
+                  DiskOpPurpose::kRebuildWrite, [this, stripe, advance](bool ok2) {
+                    if (ok2 && content_ != nullptr) {
+                      for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
+                        content_->SetParity(stripe, i, content_->XorOfData(stripe, i));
+                      }
+                    }
+                    advance(ok2);
+                  });
+    };
+    auto join = Join::Make(n, std::move(write));
+    for (int32_t j = 0; j < n; ++j) {
+      IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+                  /*is_write=*/false, DiskOpPurpose::kRebuildRead,
+                  [join](bool ok) { join->Dec(ok); });
+    }
+  });
+}
+
+// --- Functional read-back ------------------------------------------------------------
+
+std::vector<uint64_t> AfraidController::ReadLogicalCurrent(int64_t offset,
+                                                           int64_t length) const {
+  assert(content_ != nullptr);
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+  assert(offset % sector == 0 && length % sector == 0);
+  std::vector<uint64_t> out;
+  out.reserve(static_cast<size_t>(length / sector));
+  for (const Segment& seg : layout_.Split(offset, length)) {
+    const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
+    const bool degraded =
+        disk == failed_disk_ ||
+        (disk == recovering_disk_ && seg.stripe >= recovery_frontier_);
+    const int32_t first = seg.offset_in_block / sector;
+    const int32_t count = seg.length / sector;
+    for (int32_t i = 0; i < count; ++i) {
+      if (degraded) {
+        out.push_back(content_->ReconstructData(seg.stripe, seg.block_in_stripe,
+                                                first + i));
+      } else {
+        out.push_back(content_->GetData(seg.stripe, seg.block_in_stripe, first + i));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace afraid

@@ -1,0 +1,308 @@
+// The AFRAID array controller.
+//
+// One controller class implements the whole family the paper compares --
+// exactly as the paper did it: "almost all of the code was the same between
+// the various array models ... we modelled RAID 0 as an AFRAID that simply
+// never did parity updates." The injected ParityPolicy decides, per write,
+// whether parity is updated synchronously (RAID 5 mode) or deferred (AFRAID
+// mode), and when background rebuilds run.
+//
+// Write paths:
+//   AFRAID mode:  take the stripe shared, write the data, mark the stripe
+//                 unredundant in NVRAM. One disk I/O in the critical path.
+//   RAID 5 mode:  take the stripe exclusively, then either
+//                   - full-stripe write (covers all N data blocks),
+//                   - reconstruct-write (read untouched blocks, recompute
+//                     parity from scratch) when most of the stripe changes
+//                     or when the stripe's parity is already stale, or
+//                   - read-modify-write (pre-read old data + old parity,
+//                     xor-delta, write data + parity) for small updates --
+//                 the classic 4-I/O small-update penalty of Section 1.
+//
+// Background parity rebuilds sweep the NVRAM dirty set in ascending stripe
+// order (adjacent dirty stripes coalesce into near-sequential disk access),
+// one stripe at a time, preemptable between stripes.
+//
+// Failure machinery: single-disk failure with degraded reads/writes,
+// replacement-disk reconstruction, NVRAM marking-memory loss with the
+// conservative whole-array parity scrub, and host-requested paritypoints
+// (Section 5).
+
+#ifndef AFRAID_CORE_AFRAID_CONTROLLER_H_
+#define AFRAID_CORE_AFRAID_CONTROLLER_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "array/cache.h"
+#include "array/content.h"
+#include "array/controller.h"
+#include "array/idle_detector.h"
+#include "array/idle_predictor.h"
+#include "array/layout.h"
+#include "array/nvram.h"
+#include "array/request.h"
+#include "array/stripe_lock.h"
+#include "avail/model.h"
+#include "core/array_config.h"
+#include "core/policy.h"
+#include "disk/disk_model.h"
+#include "sim/simulator.h"
+#include "stats/time_weighted.h"
+
+namespace afraid {
+
+// What each disk I/O was for (statistics; also drives Figure 1's I/O counts).
+enum class DiskOpPurpose : int32_t {
+  kClientRead = 0,
+  kClientWrite,
+  kOldDataRead,      // RAID 5 RMW pre-read.
+  kOldParityRead,    // RAID 5 RMW pre-read.
+  kParityWrite,      // Synchronous (RAID 5-mode) parity write.
+  kReconstructRead,  // Reconstruct-write / degraded-mode companion reads.
+  kRebuildRead,      // Background AFRAID parity rebuild.
+  kRebuildWrite,
+  kRecoveryRead,     // Failed-disk reconstruction sweep.
+  kRecoveryWrite,
+  kNumPurposes,
+};
+
+class AfraidController : public ArrayController {
+ public:
+  AfraidController(Simulator* sim, const ArrayConfig& config,
+                   std::unique_ptr<ParityPolicy> policy,
+                   const AvailabilityParams& avail_params);
+  ~AfraidController() override;
+
+  // --- ArrayController interface ---------------------------------------------
+  void Submit(const ClientRequest& request, RequestDone done) override;
+  int64_t DataCapacityBytes() const override { return layout_.data_capacity_bytes(); }
+
+  // --- Failure injection & recovery ------------------------------------------
+  // Fails one disk (at most one failure is tolerated at a time).
+  void FailDisk(int32_t disk);
+  // Installs a replacement mechanism for the failed disk (blank contents).
+  void ReplaceDisk(int32_t disk);
+  // Rebuilds the replaced disk's contents stripe by stripe; `done` fires when
+  // the array is fully redundant again. Runs concurrently with client I/O.
+  void StartReconstruction(std::function<void()> done);
+  // Loses the NVRAM marking memory (all dirty knowledge gone).
+  void FailNvram();
+  // The conservative recovery from NVRAM loss: recompute parity everywhere.
+  void StartFullScrub(std::function<void()> done);
+
+  // --- Section 5 refinements ---------------------------------------------------
+  // Host-requested "paritypoint": force the given byte range redundant;
+  // `done` fires once every stripe overlapping the range has fresh parity.
+  // Stripes in a kNeverParity region are excluded.
+  void ParityPoint(int64_t offset, int64_t length, std::function<void()> done);
+  // Forces every dirty stripe redundant (used by tests to quiesce).
+  void RebuildAll(std::function<void()> done);
+
+  // Per-region redundancy classes: "stripe-aligned subsets of an AFRAID's
+  // storage space could be permanently flagged with different redundancy
+  // properties, from full RAID 5 redundancy-preservation to zero-redundancy
+  // RAID 0-style storage" (Section 5). Regions override the policy for the
+  // stripes they cover; unflagged stripes follow the installed policy.
+  enum class RedundancyClass {
+    kPolicyDefault,  // Follow the installed ParityPolicy.
+    kAlwaysRaid5,    // Synchronous parity, always.
+    kAlwaysAfraid,   // Deferred parity, regardless of policy reversion.
+    kNeverParity,    // RAID 0-style: parity never maintained.
+  };
+  // Flags the stripes overlapping [offset, offset+length). Later calls
+  // override earlier ones where they overlap.
+  void SetRegionClass(int64_t offset, int64_t length, RedundancyClass cls);
+  RedundancyClass RegionClassOf(int64_t stripe) const;
+
+  // --- Introspection -----------------------------------------------------------
+  const StripeLayout& layout() const { return layout_; }
+  const NvramBitmap& nvram() const { return nvram_; }
+  const ContentModel* content() const { return content_.get(); }
+  DiskModel& disk(int32_t d) { return *disks_[d]; }
+  int32_t failed_disk() const { return failed_disk_; }
+  int32_t recovering_disk() const { return recovering_disk_; }
+  bool RebuildInProgress() const { return rebuilding_; }
+  bool ReconstructionInProgress() const { return reconstruction_active_; }
+  bool ScrubInProgress() const { return scrub_active_; }
+
+  // Parity-lag accounting (Section 3.2). Mean over [start, now].
+  double MeanParityLagBytes() const { return unprot_bytes_.MeanTo(sim_->Now()); }
+  double TUnprotFraction() const { return unprot_bytes_.PositiveFractionTo(sim_->Now()); }
+  double CurrentParityLagBytes() const { return unprot_bytes_.Current(); }
+
+  // Time-average client-idle fraction (no client requests in flight).
+  double IdleFraction() const { return 1.0 - busy_clients_.PositiveFractionTo(sim_->Now()); }
+
+  uint64_t DiskOps(DiskOpPurpose p) const {
+    return disk_ops_[static_cast<size_t>(p)];
+  }
+  uint64_t TotalDiskOps() const;
+  uint64_t StripesRebuilt() const { return stripes_rebuilt_; }
+  uint64_t RebuildPasses() const { return rebuild_passes_; }
+  // Idle windows the predictor judged too short to start a rebuild in.
+  uint64_t PredictorSkips() const { return predictor_skips_; }
+  const IdlePredictor& idle_predictor() const { return idle_predictor_; }
+  uint64_t AfraidModeStripeWrites() const { return afraid_mode_writes_; }
+  uint64_t Raid5ModeStripeWrites() const { return raid5_mode_writes_; }
+  int64_t MaxDirtyStripes() const { return max_dirty_; }
+  uint64_t CacheHits() const { return read_cache_.Hits() + staging_.Hits(); }
+  uint64_t LossEvents() const { return loss_events_; }
+  int64_t BytesLost() const { return bytes_lost_; }
+  const ParityPolicy& policy() const { return *policy_; }
+
+  // Functional read-back of current logical content (content tracking only):
+  // per-sector values, reconstructing across a failed disk where possible.
+  std::vector<uint64_t> ReadLogicalCurrent(int64_t offset, int64_t length) const;
+
+  // Builds the policy context snapshot (exposed for tests).
+  PolicyContext MakePolicyContext() const;
+
+ private:
+  // --- Client paths ---
+  void DoRead(const ClientRequest& r, RequestDone done);
+  void DoWrite(const ClientRequest& r, RequestDone done);
+  void RunStripeWriteGroup(uint64_t request_id, int64_t stripe,
+                           std::vector<Segment> segs, int32_t attempt,
+                           std::function<void()> group_done);
+  void AfraidWriteGroup(uint64_t request_id, int64_t stripe,
+                        const std::vector<Segment>& segs, int32_t attempt,
+                        std::function<void()> group_done);
+  void Raid5WriteGroup(uint64_t request_id, int64_t stripe,
+                       const std::vector<Segment>& segs, int32_t attempt,
+                       std::function<void()> group_done);
+  void WriteFullStripe(uint64_t request_id, int64_t stripe,
+                       const std::vector<Segment>& segs,
+                       std::function<void(bool ok)> finish);
+  void ReconstructWrite(uint64_t request_id, int64_t stripe,
+                        const std::vector<Segment>& segs,
+                        const std::vector<const Segment*>& by_block,
+                        std::function<void(bool ok)> finish);
+  void ReadModifyWrite(uint64_t request_id, int64_t stripe,
+                       const std::vector<Segment>& segs,
+                       std::function<void(bool ok)> finish);
+  void DegradedReadSegment(const Segment& seg, std::function<void()> seg_done);
+  // Post-completion bookkeeping of one data-segment write (caches, content).
+  void ApplyDataWrite(uint64_t request_id, const Segment& seg);
+
+  // --- Rebuild engine ---
+  void TriggerRebuildCheck();
+  void RebuildNext();
+  void RebuildBand(int64_t band_key, std::function<void(bool ok)> step_done);
+
+  // --- Recovery sweeps ---
+  void ReconstructNextStripe(int64_t stripe);
+  void ScrubNextStripe(int64_t stripe);
+
+  // --- Helpers ---
+  void IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length, bool is_write,
+                   DiskOpPurpose purpose, std::function<void(bool ok)> done);
+
+  // Sub-stripe marking (Section 5): the NVRAM bitmap is keyed by *band*,
+  // band key = stripe * M + band, where band b covers byte range
+  // [b*S/M, (b+1)*S/M) of every block in the stripe. M = 1 (the paper's
+  // baseline) degenerates to one mark per stripe.
+  int32_t BandsPerStripe() const { return cfg_.marks_per_stripe; }
+  int64_t BandBytesPerStripe() const {
+    return layout_.data_blocks_per_stripe() * layout_.stripe_unit() /
+           cfg_.marks_per_stripe;
+  }
+  // Bands covered by a byte range within the stripe unit (inclusive).
+  std::pair<int32_t, int32_t> BandsOfRange(int32_t offset_in_block,
+                                           int32_t length) const;
+  void MarkBands(int64_t stripe, int32_t first_band, int32_t last_band);
+  void ClearBandKey(int64_t key);
+  void ClearAllBands(int64_t stripe);
+  bool AnyBandDirty(int64_t stripe) const;
+  bool RangeDirty(int64_t stripe, int32_t offset_in_block, int32_t length) const;
+  void NoteClientStart();
+  void NoteClientEnd();
+  bool ArrayBusy() const { return outstanding_clients_ > 0; }
+  // Data-block cache key: global data-block index.
+  int64_t BlockKey(int64_t stripe, int32_t j) const {
+    return stripe * layout_.data_blocks_per_stripe() + j;
+  }
+  // True if writes must take the RAID 5 path right now (policy or degraded).
+  bool WantRaid5Write();
+  void CheckWatchers(int64_t cleared_stripe);
+  // First dirty band key at/after `from` (wrapping) outside kNeverParity
+  // regions; -1 if none.
+  int64_t PickRebuildableKey(int64_t from) const;
+
+  Simulator* sim_;
+  ArrayConfig cfg_;
+  std::unique_ptr<ParityPolicy> policy_;
+  AvailabilityParams avail_params_;
+
+  std::vector<std::unique_ptr<DiskModel>> disks_;
+  StripeLayout layout_;
+  StripeLockTable locks_;
+  NvramBitmap nvram_;
+  BlockLruCache read_cache_;
+  BlockLruCache staging_;
+  std::unique_ptr<ContentModel> content_;
+  std::unique_ptr<IdleDetector> idle_detector_;
+
+  SimTime start_time_;
+  int32_t outstanding_clients_ = 0;
+  int32_t failed_disk_ = -1;
+  // Replacement-disk recovery: stripes below the frontier hold valid data on
+  // the recovering disk; at or above it, reads reconstruct via parity and
+  // writes keep parity synchronous.
+  int32_t recovering_disk_ = -1;
+  int64_t recovery_frontier_ = 0;
+
+  // Rebuild engine.
+  bool rebuilding_ = false;
+  int64_t rebuild_cursor_ = 0;
+  uint64_t stripes_rebuilt_ = 0;
+  uint64_t rebuild_passes_ = 0;
+
+  // Idleness prediction (optional; Section 4.1 / [Golding95]).
+  IdlePredictor idle_predictor_;
+  SimTime idle_started_at_ = 0;
+  // EWMA of observed per-band rebuild step durations, used as the quantum
+  // the predictor must fit. Seeded with a few revolutions' worth.
+  double rebuild_step_estimate_ns_ = 35e6;
+  uint64_t predictor_skips_ = 0;
+
+  // Recovery sweeps.
+  bool reconstruction_active_ = false;
+  std::function<void()> reconstruction_done_;
+  bool scrub_active_ = false;
+  std::function<void()> scrub_done_;
+
+  // Paritypoint / quiesce watchers.
+  struct Watcher {
+    std::set<int64_t> waiting;
+    std::function<void()> done;
+  };
+  std::vector<Watcher> watchers_;
+
+  // Redundancy-class regions, newest-first precedence.
+  struct Region {
+    int64_t first_stripe;
+    int64_t last_stripe;  // Inclusive.
+    RedundancyClass cls;
+  };
+  std::vector<Region> regions_;
+
+  // Accounting.
+  TimeWeightedValue unprot_bytes_;
+  TimeWeightedValue busy_clients_;
+  std::array<uint64_t, static_cast<size_t>(DiskOpPurpose::kNumPurposes)> disk_ops_{};
+  uint64_t afraid_mode_writes_ = 0;
+  uint64_t raid5_mode_writes_ = 0;
+  int64_t max_dirty_ = 0;
+  uint64_t loss_events_ = 0;
+  int64_t bytes_lost_ = 0;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_CORE_AFRAID_CONTROLLER_H_

@@ -1,0 +1,52 @@
+// Configuration of a simulated array instance.
+
+#ifndef AFRAID_CORE_ARRAY_CONFIG_H_
+#define AFRAID_CORE_ARRAY_CONFIG_H_
+
+#include <cstdint>
+
+#include "array/host_driver.h"
+#include "disk/disk_spec.h"
+#include "sim/time.h"
+
+namespace afraid {
+
+struct ArrayConfig {
+  DiskSpec disk_spec = DiskSpec::HpC3325Like();
+  int32_t num_disks = 5;                       // N+1.
+  int64_t stripe_unit_bytes = 8192;            // S, the paper's default.
+  int32_t parity_blocks = 1;                   // 1 = RAID 5 family; 2 = RAID 6.
+  int64_t read_cache_bytes = 256 * 1024;       // Section 4.1.
+  int64_t write_staging_bytes = 256 * 1024;    // Write-through staging area.
+  SimDuration idle_delay = Milliseconds(100);  // Idleness-detector threshold.
+  SimDuration cache_hit_time = MicrosecondsF(200.0);  // Controller-only service.
+  // Concurrently active client requests admitted into the array; 0 means
+  // "number of physical disks" (the paper's choice).
+  int32_t max_active_requests = 0;
+  // Host-driver queueing discipline; the paper used CLOOK [Worthington94a].
+  HostSched host_sched = HostSched::kClook;
+  // Enable the functional content model (tests; costs memory and time).
+  bool track_content = false;
+  // Reconstruct-write is chosen over read-modify-write when a stripe write
+  // touches more than this fraction of the data blocks.
+  double reconstruct_write_fraction = 0.5;
+  // Sub-stripe marking (Section 5): number of marking bits per stripe. Each
+  // bit covers one horizontal band of height stripe_unit/M across all the
+  // stripe's blocks, so small writes only unprotect (and later rebuild)
+  // 1/M of the stripe. Must divide stripe_unit_bytes/sector_bytes. 1 = the
+  // paper's baseline design.
+  int32_t marks_per_stripe = 1;
+  // Adaptive idleness prediction [Golding95]: when true, an idle-triggered
+  // rebuild pass only starts if the predicted remaining idle time fits at
+  // least one rebuild step, avoiding collisions with imminent bursts. The
+  // paper's baseline ignores the predictor (false).
+  bool use_idle_predictor = false;
+
+  int32_t MaxActive() const {
+    return max_active_requests > 0 ? max_active_requests : num_disks;
+  }
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_CORE_ARRAY_CONFIG_H_

@@ -1,0 +1,138 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "array/host_driver.h"
+#include "core/afraid_controller.h"
+#include "disk/geometry.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+namespace {
+
+// Feeds trace records into the host driver at their arrival times. Arrival
+// events are chained (one pending event at a time) so the event queue stays
+// small even for multi-million-record traces.
+class TraceReplayer {
+ public:
+  TraceReplayer(Simulator* sim, HostDriver* driver, const Trace& trace)
+      : sim_(sim), driver_(driver), trace_(trace) {}
+
+  void Start() { ScheduleNext(); }
+  bool Finished() const { return next_ >= trace_.records.size(); }
+
+ private:
+  void ScheduleNext() {
+    if (Finished()) {
+      return;
+    }
+    const TraceRecord& r = trace_.records[next_];
+    sim_->At(std::max(r.time, sim_->Now()), [this, &r] {
+      driver_->Submit(r.offset, r.size, r.is_write);
+      ++next_;
+      ScheduleNext();
+    });
+  }
+
+  Simulator* sim_;
+  HostDriver* driver_;
+  const Trace& trace_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+AvailabilityParams AvailabilityParamsFor(const ArrayConfig& config) {
+  AvailabilityParams p;  // Table 1 failure-rate defaults.
+  p.num_data_disks = config.num_disks - config.parity_blocks;
+  p.stripe_unit_bytes = static_cast<double>(config.stripe_unit_bytes);
+  const DiskGeometry geom(config.disk_spec.zones, config.disk_spec.heads,
+                          config.disk_spec.sector_bytes);
+  p.disk_bytes = static_cast<double>(geom.CapacityBytes());
+  return p;
+}
+
+SimReport RunExperiment(const ArrayConfig& config, const PolicySpec& spec,
+                        const Trace& trace) {
+  Simulator sim;
+  const AvailabilityParams avail_params = AvailabilityParamsFor(config);
+  AfraidController controller(&sim, config, MakePolicy(spec), avail_params);
+  HostDriver driver(&sim, &controller, config.MaxActive(), config.host_sched);
+  TraceReplayer replayer(&sim, &driver, trace);
+  replayer.Start();
+
+  // Run the arrival schedule plus whatever work it leaves behind. Background
+  // rebuilds triggered by trailing idleness run here too; measurement of the
+  // lag statistics ends at the instant the last request completes.
+  sim.RunToEnd();
+  assert(driver.Drained());
+
+  SimReport rep;
+  rep.workload = trace.name;
+  rep.policy = controller.policy().Name();
+  rep.requests = driver.Completed();
+  rep.reads = driver.ReadLatencies().Count();
+  rep.writes = driver.WriteLatencies().Count();
+  rep.mean_io_ms = driver.AllLatencies().Mean();
+  rep.mean_read_ms = driver.ReadLatencies().Mean();
+  rep.mean_write_ms = driver.WriteLatencies().Mean();
+  rep.median_io_ms = driver.AllLatencies().Median();
+  rep.p95_io_ms = driver.AllLatencies().Percentile(0.95);
+  rep.max_io_ms = driver.AllLatencies().Max();
+
+  const SimTime now = sim.Now();
+  rep.duration_s = ToSeconds(now);
+  rep.idle_fraction = controller.IdleFraction();
+  rep.mean_queue_depth = driver.Occupancy().MeanTo(now);
+
+  rep.mean_parity_lag_bytes = controller.MeanParityLagBytes();
+  rep.t_unprot_fraction = controller.TUnprotFraction();
+  rep.max_dirty_stripes = controller.MaxDirtyStripes();
+
+  rep.stripes_rebuilt = controller.StripesRebuilt();
+  rep.rebuild_passes = controller.RebuildPasses();
+  rep.afraid_mode_writes = controller.AfraidModeStripeWrites();
+  rep.raid5_mode_writes = controller.Raid5ModeStripeWrites();
+  rep.disk_ops_total = controller.TotalDiskOps();
+  rep.disk_ops_rebuild = controller.DiskOps(DiskOpPurpose::kRebuildRead) +
+                         controller.DiskOps(DiskOpPurpose::kRebuildWrite);
+  rep.disk_ops_parity = controller.DiskOps(DiskOpPurpose::kParityWrite) +
+                        controller.DiskOps(DiskOpPurpose::kOldDataRead) +
+                        controller.DiskOps(DiskOpPurpose::kOldParityRead);
+  rep.cache_hits = controller.CacheHits();
+  double util = 0.0;
+  for (int32_t d = 0; d < config.num_disks; ++d) {
+    util += controller.disk(d).UtilizationTo(now);
+  }
+  rep.disk_utilization = util / config.num_disks;
+
+  // Attach the availability model (Section 3) evaluated on the measured
+  // parity-lag statistics.
+  RedundancyScheme scheme = RedundancyScheme::kAfraid;
+  if (spec.kind == PolicySpec::Kind::kRaid0) {
+    scheme = RedundancyScheme::kRaid0;
+  } else if (spec.kind == PolicySpec::Kind::kRaid5) {
+    scheme = RedundancyScheme::kRaid5;
+  }
+  rep.avail = MakeAvailabilityReport(avail_params, scheme, rep.t_unprot_fraction,
+                                     rep.mean_parity_lag_bytes);
+  return rep;
+}
+
+SimReport RunWorkload(const ArrayConfig& config, const PolicySpec& spec,
+                      const WorkloadParams& workload, uint64_t max_requests,
+                      SimDuration max_duration) {
+  WorkloadParams params = workload;
+  // Size the workload to the array's client-visible capacity.
+  const DiskGeometry geom(config.disk_spec.zones, config.disk_spec.heads,
+                          config.disk_spec.sector_bytes);
+  const StripeLayout layout(config.num_disks, config.stripe_unit_bytes,
+                            geom.CapacityBytes(), config.parity_blocks);
+  params.address_space_bytes = layout.data_capacity_bytes();
+  const Trace trace = GenerateWorkload(params, max_requests, max_duration);
+  return RunExperiment(config, spec, trace);
+}
+
+}  // namespace afraid

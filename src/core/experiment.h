@@ -1,0 +1,39 @@
+// The experiment harness: replay a trace against a configured array and
+// collect the SimReport. This is the exact loop behind every table and
+// figure reproduction in bench/.
+
+#ifndef AFRAID_CORE_EXPERIMENT_H_
+#define AFRAID_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "avail/model.h"
+#include "core/array_config.h"
+#include "core/policy.h"
+#include "core/report.h"
+#include "trace/trace.h"
+#include "trace/workload_gen.h"
+
+namespace afraid {
+
+// Derives the availability-model parameters matching an array configuration
+// (N, S, Vdisk from the config; failure-rate assumptions from Table 1).
+AvailabilityParams AvailabilityParamsFor(const ArrayConfig& config);
+
+// Replays `trace` open-loop against a fresh array built from `config` with
+// the policy described by `spec`. Runs until every request has completed
+// (background rebuilds may still be pending at the end, as in the paper:
+// measurement covers the trace interval).
+SimReport RunExperiment(const ArrayConfig& config, const PolicySpec& spec,
+                        const Trace& trace);
+
+// Convenience: generate the named synthetic workload sized to the array and
+// run it. `max_requests` bounds harness run time.
+SimReport RunWorkload(const ArrayConfig& config, const PolicySpec& spec,
+                      const WorkloadParams& workload, uint64_t max_requests,
+                      SimDuration max_duration);
+
+}  // namespace afraid
+
+#endif  // AFRAID_CORE_EXPERIMENT_H_

@@ -1,0 +1,216 @@
+#include "core/parity_log_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "disk/geometry.h"
+
+namespace afraid {
+namespace {
+
+struct Join {
+  int32_t remaining = 0;
+  std::function<void()> done;
+  static std::shared_ptr<Join> Make(int32_t n, std::function<void()> done) {
+    auto j = std::make_shared<Join>();
+    j->remaining = n;
+    j->done = std::move(done);
+    return j;
+  }
+  void Dec() {
+    if (--remaining == 0) {
+      done();
+    }
+  }
+};
+
+}  // namespace
+
+ParityLogController::ParityLogController(Simulator* sim, const ArrayConfig& config,
+                                         const ParityLogConfig& log_config)
+    : sim_(sim),
+      cfg_(config),
+      log_cfg_(log_config),
+      layout_(config.num_disks, config.stripe_unit_bytes,
+              DiskGeometry(config.disk_spec.zones, config.disk_spec.heads,
+                           config.disk_spec.sector_bytes)
+                      .CapacityBytes() -
+                  log_config.log_region_bytes,
+              /*parity_blocks=*/1) {
+  assert(log_cfg_.log_region_bytes > log_cfg_.nvram_buffer_bytes);
+  for (int32_t d = 0; d < cfg_.num_disks; ++d) {
+    disks_.push_back(std::make_unique<DiskModel>(sim_, cfg_.disk_spec, d));
+  }
+}
+
+ParityLogController::~ParityLogController() = default;
+
+void ParityLogController::IssueDiskOp(int32_t disk, int64_t byte_offset,
+                                      int64_t length, bool is_write,
+                                      std::function<void(bool)> done) {
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+  assert(byte_offset % sector == 0 && length > 0 && length % sector == 0);
+  ++disk_ops_;
+  DiskOp op;
+  op.lba = byte_offset / sector;
+  op.sectors = static_cast<int32_t>(length / sector);
+  op.is_write = is_write;
+  disks_[static_cast<size_t>(disk)]->Submit(
+      op, [done = std::move(done)](const DiskOpResult& r) { done(r.ok); });
+}
+
+void ParityLogController::Submit(const ClientRequest& request, RequestDone done) {
+  assert(request.size > 0);
+  assert(request.offset >= 0 &&
+         request.offset + request.size <= layout_.data_capacity_bytes());
+  if (request.is_write) {
+    DoWrite(request, std::move(done));
+  } else {
+    DoRead(request, std::move(done));
+  }
+}
+
+void ParityLogController::DoRead(const ClientRequest& r, RequestDone done) {
+  const auto segs = layout_.Split(r.offset, r.size);
+  auto join = Join::Make(static_cast<int32_t>(segs.size()), std::move(done));
+  for (const Segment& seg : segs) {
+    IssueDiskOp(layout_.DataDisk(seg.stripe, seg.block_in_stripe),
+                seg.stripe * layout_.stripe_unit() + seg.offset_in_block, seg.length,
+                /*is_write=*/false, [join](bool) { join->Dec(); });
+  }
+}
+
+void ParityLogController::DoWrite(const ClientRequest& r, RequestDone done) {
+  const auto segs = layout_.Split(r.offset, r.size);
+  auto join = Join::Make(static_cast<int32_t>(segs.size()), std::move(done));
+  for (const Segment& seg : segs) {
+    auto run = [this, id = r.id, seg, join] {
+      WriteSegment(id, seg, [join] { join->Dec(); });
+    };
+    if (log_used_ >= log_cfg_.log_region_bytes) {
+      // The log is hard-full: "the pending parity updates must be applied
+      // immediately, interrupting foreground processing to do so." The
+      // write resumes as soon as a replay batch reclaims space.
+      ++hard_stalls_;
+      stalled_.push_back(std::move(run));
+    } else {
+      run();
+    }
+  }
+}
+
+void ParityLogController::WriteSegment(uint64_t request_id, const Segment& seg,
+                                       std::function<void()> seg_done) {
+  (void)request_id;
+  const int64_t stripe = seg.stripe;
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, seg, stripe,
+                                                seg_done = std::move(seg_done)] {
+    const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
+    const int64_t off = stripe * layout_.stripe_unit() + seg.offset_in_block;
+    // Read-modify-write on the data block only; the parity-update image
+    // (old xor new) goes to the NVRAM log buffer instead of the parity disk.
+    IssueDiskOp(disk, off, seg.length, /*is_write=*/false,
+                [this, seg, stripe, disk, off, seg_done](bool) {
+                  IssueDiskOp(disk, off, seg.length, /*is_write=*/true,
+                              [this, seg, stripe, seg_done](bool) {
+                                AppendImages(seg.length);
+                                locks_.Release(stripe, LockMode::kExclusive);
+                                seg_done();
+                              });
+                });
+  });
+}
+
+void ParityLogController::AppendImages(int64_t bytes) {
+  nvram_used_ += bytes;
+  if (nvram_used_ >= log_cfg_.nvram_buffer_bytes) {
+    FlushBuffer();
+  }
+}
+
+void ParityLogController::FlushBuffer() {
+  // One large sequential write of the buffered images into the log region
+  // (this is where parity logging earns its efficiency: the per-image cost
+  // is a fraction of a rotation instead of a full RMW).
+  const int64_t flush_bytes = nvram_used_;
+  nvram_used_ = 0;
+  ++log_flushes_;
+  const int64_t log_start = layout_.num_stripes() * layout_.stripe_unit();
+  const int64_t region_per_disk = log_cfg_.log_region_bytes;
+  const int64_t offset_in_region =
+      (log_used_ / cfg_.num_disks) % std::max<int64_t>(
+          region_per_disk - flush_bytes, 1);
+  const int32_t disk = log_disk_cursor_;
+  log_disk_cursor_ = (log_disk_cursor_ + 1) % cfg_.num_disks;
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+  const int64_t aligned = std::max<int64_t>(
+      sector, (flush_bytes / sector) * sector);
+  IssueDiskOp(disk, log_start + (offset_in_region / sector) * sector, aligned,
+              /*is_write=*/true, [](bool) {});
+  log_used_ += flush_bytes;
+  // Background replay starts at the high-water mark, well before the log is
+  // hard-full, so foreground writes rarely stall outright.
+  if (!replaying_ &&
+      log_used_ >= static_cast<int64_t>(
+                       kHighWater * static_cast<double>(log_cfg_.log_region_bytes))) {
+    StartReplay();
+  }
+}
+
+void ParityLogController::StartReplay() {
+  replaying_ = true;
+  ++log_replays_;
+  ReplayNextBatch(log_used_);
+}
+
+void ParityLogController::ReplayNextBatch(int64_t remaining_bytes) {
+  (void)remaining_bytes;
+  // Stop once drained to the low-water mark: the array returns to pure
+  // foreground service and the log refills before the next replay.
+  if (log_used_ <= static_cast<int64_t>(
+                       kLowWater * static_cast<double>(log_cfg_.log_region_bytes))) {
+    replaying_ = false;
+    return;
+  }
+  const int64_t unit = layout_.stripe_unit();
+  const int64_t batch_bytes = std::min<int64_t>(
+      log_used_, static_cast<int64_t>(log_cfg_.replay_batch_stripes) * unit);
+  const int64_t log_start = layout_.num_stripes() * unit;
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+
+  // One big sequential log read, then parity read+write pairs for each
+  // affected stripe unit, spread over the disks round-robin. Foreground
+  // requests share the disks FCFS -- this is the Section 2 "interference".
+  const auto parity_units = static_cast<int32_t>((batch_bytes + unit - 1) / unit);
+  auto after_log = [this, parity_units, unit, batch_bytes](bool) {
+    auto join = Join::Make(parity_units, [this, batch_bytes] {
+      // The batch's log space is reclaimed: resume any hard-stalled writes.
+      log_used_ = std::max<int64_t>(0, log_used_ - batch_bytes);
+      std::vector<std::function<void()>> runnable;
+      runnable.swap(stalled_);
+      for (auto& run : runnable) {
+        run();
+      }
+      ReplayNextBatch(log_used_);
+    });
+    for (int32_t i = 0; i < parity_units; ++i) {
+      // Representative parity locations spread across stripes and disks.
+      const int64_t stripe =
+          (replay_position_ + i) % std::max<int64_t>(layout_.num_stripes(), 1);
+      const int32_t pd = layout_.ParityDisk(stripe);
+      IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/false,
+                  [this, pd, stripe, unit, join](bool) {
+                    IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/true,
+                                [join](bool) { join->Dec(); });
+                  });
+    }
+    replay_position_ += parity_units;
+  };
+  const int64_t aligned = std::max<int64_t>(
+      sector, (batch_bytes / sector) * sector);
+  IssueDiskOp(log_disk_cursor_, log_start, aligned, /*is_write=*/false,
+              std::move(after_log));
+}
+
+}  // namespace afraid

@@ -1,0 +1,101 @@
+// Parity-update policies: the control knob of AFRAID.
+//
+// "By regulating the parity update policy, AFRAID allows a smooth trade-off
+// between performance and availability." The controller consults its policy
+// at three moments:
+//   * per stripe write  -- should this write run in RAID 5 mode (synchronous
+//     parity, 3-4 I/Os in the critical path) or AFRAID mode (1 I/O + mark)?
+//   * when the idle detector fires -- may a background rebuild run?
+//   * after markings / rebuild steps / a periodic tick -- must a rebuild be
+//     *forced* even though the array is busy?
+//
+// The paper's configurations map onto these hooks:
+//   RAID 5            = always RAID 5 mode.
+//   RAID 0            = never RAID 5 mode, never rebuild ("an AFRAID that
+//                       simply never did parity updates").
+//   baseline AFRAID   = never RAID 5 mode, rebuild on idle only.
+//   MTTDL_x           = revert to RAID 5 mode while the achieved disk-related
+//                       MTTDL falls below the target x; additionally force a
+//                       rebuild when more than 20 stripes are unprotected.
+//   auto-switch (§5)  = start in RAID 5 mode; switch to AFRAID once observed
+//                       idleness shows the redundancy deficit stays bounded.
+
+#ifndef AFRAID_CORE_POLICY_H_
+#define AFRAID_CORE_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "avail/model.h"
+#include "sim/time.h"
+
+namespace afraid {
+
+// Snapshot of controller state offered to policy decisions.
+struct PolicyContext {
+  SimTime now = 0;
+  SimTime elapsed = 0;               // Since the controller started.
+  int64_t dirty_stripes = 0;         // Currently unprotected stripes.
+  double t_unprot_fraction = 0.0;    // Achieved Tunprot/Ttotal so far.
+  double mean_parity_lag_bytes = 0.0;  // Achieved mean parity lag so far.
+  double idle_fraction = 0.0;        // Fraction of time with no client work.
+  bool array_busy = false;           // Client requests currently in flight.
+  const AvailabilityParams* avail = nullptr;
+};
+
+class ParityPolicy {
+ public:
+  virtual ~ParityPolicy() = default;
+  virtual std::string Name() const = 0;
+
+  // True: this stripe write must update parity synchronously (RAID 5 mode).
+  virtual bool UseRaid5Write(const PolicyContext& ctx) = 0;
+
+  // True: background rebuilds may run when the array is idle.
+  virtual bool RebuildOnIdle(const PolicyContext& ctx) = 0;
+
+  // True: a rebuild must start (or keep going) now even if the array is busy.
+  virtual bool ForceRebuild(const PolicyContext& ctx) = 0;
+};
+
+// Factory descriptions, so experiment harnesses can sweep policies by value.
+struct PolicySpec {
+  enum class Kind {
+    kRaid0,
+    kRaid5,
+    kAfraidBaseline,
+    kMttdlTarget,
+    kStripeThreshold,
+    kAutoSwitch,
+  };
+  Kind kind = Kind::kAfraidBaseline;
+  double mttdl_target_hours = 0.0;    // For kMttdlTarget.
+  int64_t stripe_threshold = 20;      // For kMttdlTarget / kStripeThreshold.
+  double idle_fraction_needed = 0.3;  // For kAutoSwitch.
+
+  static PolicySpec Raid0() { return {Kind::kRaid0, 0, 0, 0}; }
+  static PolicySpec Raid5() { return {Kind::kRaid5, 0, 0, 0}; }
+  static PolicySpec AfraidBaseline() { return {Kind::kAfraidBaseline, 0, 0, 0}; }
+  static PolicySpec MttdlTarget(double hours, int64_t threshold = 20) {
+    return {Kind::kMttdlTarget, hours, threshold, 0};
+  }
+  static PolicySpec StripeThreshold(int64_t threshold) {
+    return {Kind::kStripeThreshold, 0, threshold, 0};
+  }
+  static PolicySpec AutoSwitch(double idle_fraction_needed = 0.3) {
+    return {Kind::kAutoSwitch, 0, 20, idle_fraction_needed};
+  }
+
+  std::string Label() const;
+};
+
+std::unique_ptr<ParityPolicy> MakePolicy(const PolicySpec& spec);
+
+// The achieved disk-related MTTDL used by the MTTDL_x policy: equation (2c)
+// evaluated on the statistics accumulated so far.
+double AchievedMttdlHours(const PolicyContext& ctx);
+
+}  // namespace afraid
+
+#endif  // AFRAID_CORE_POLICY_H_

@@ -1,0 +1,442 @@
+#include "core/raid6_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+namespace afraid {
+namespace {
+
+struct Join {
+  int32_t remaining = 0;
+  std::function<void()> done;
+  static std::shared_ptr<Join> Make(int32_t n, std::function<void()> done) {
+    auto j = std::make_shared<Join>();
+    j->remaining = n;
+    j->done = std::move(done);
+    return j;
+  }
+  void Dec() {
+    if (--remaining == 0) {
+      done();
+    }
+  }
+};
+
+}  // namespace
+
+std::string Raid6ModeName(Raid6Mode mode) {
+  switch (mode) {
+    case Raid6Mode::kSynchronous:
+      return "RAID6";
+    case Raid6Mode::kDeferQ:
+      return "RAID6-deferQ";
+    case Raid6Mode::kDeferBoth:
+      return "RAID6-AFRAID";
+  }
+  return "unknown";
+}
+
+Raid6Controller::Raid6Controller(Simulator* sim, const ArrayConfig& config,
+                                 Raid6Mode mode)
+    : sim_(sim),
+      cfg_(config),
+      mode_(mode),
+      layout_(config.num_disks, config.stripe_unit_bytes,
+              DiskGeometry(config.disk_spec.zones, config.disk_spec.heads,
+                           config.disk_spec.sector_bytes)
+                  .CapacityBytes(),
+              /*parity_blocks=*/2),
+      p_stale_(layout_.num_stripes()),
+      q_stale_(layout_.num_stripes()),
+      q_only_stale_(sim->Now()),
+      both_stale_(sim->Now()) {
+  assert(cfg_.num_disks >= 4);
+  for (int32_t d = 0; d < cfg_.num_disks; ++d) {
+    disks_.push_back(std::make_unique<DiskModel>(sim_, cfg_.disk_spec, d));
+  }
+  if (cfg_.track_content) {
+    content_ = std::make_unique<ContentModel>(
+        layout_.data_blocks_per_stripe(), /*parity_blocks=*/2,
+        static_cast<int32_t>(cfg_.stripe_unit_bytes / cfg_.disk_spec.sector_bytes));
+  }
+  idle_detector_ = std::make_unique<IdleDetector>(sim_, cfg_.idle_delay,
+                                                  [this] { MaybeStartRebuild(); });
+}
+
+Raid6Controller::~Raid6Controller() = default;
+
+uint64_t Raid6Controller::QOfData(const ContentModel& content, int64_t stripe,
+                                  int32_t data_blocks, int32_t sector) {
+  uint64_t q = 0;
+  for (int32_t j = 0; j < data_blocks; ++j) {
+    q ^= Gf256::MulWord(content.GetData(stripe, j, sector), Gf256::Pow2(j));
+  }
+  return q;
+}
+
+bool Raid6Controller::StripeFullyConsistent(int64_t stripe) const {
+  assert(content_ != nullptr);
+  const int32_t n = layout_.data_blocks_per_stripe();
+  for (int32_t s = 0; s < content_->sectors_per_unit(); ++s) {
+    if (content_->GetParity(stripe, s, 0) != content_->XorOfData(stripe, s)) {
+      return false;
+    }
+    if (content_->GetParity(stripe, s, 1) != QOfData(*content_, stripe, n, s)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Raid6Controller::UpdateExposure() {
+  const double stripe_bytes =
+      static_cast<double>(layout_.data_blocks_per_stripe()) *
+      static_cast<double>(layout_.stripe_unit());
+  const double both = static_cast<double>(p_stale_.DirtyCount()) * stripe_bytes;
+  const double q_only =
+      static_cast<double>(q_stale_.DirtyCount() - p_stale_.DirtyCount()) *
+      stripe_bytes;
+  both_stale_.Set(sim_->Now(), both);
+  q_only_stale_.Set(sim_->Now(), q_only);
+}
+
+void Raid6Controller::MarkStale(int64_t stripe, bool p, bool q) {
+  if (p) {
+    p_stale_.Mark(stripe);
+  }
+  if (q) {
+    q_stale_.Mark(stripe);
+  }
+  UpdateExposure();
+}
+
+void Raid6Controller::ClearStale(int64_t stripe) {
+  p_stale_.Clear(stripe);
+  q_stale_.Clear(stripe);
+  UpdateExposure();
+}
+
+void Raid6Controller::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length,
+                                  bool is_write, std::function<void(bool)> done) {
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+  assert(byte_offset % sector == 0 && length > 0 && length % sector == 0);
+  ++disk_ops_;
+  DiskOp op;
+  op.lba = byte_offset / sector;
+  op.sectors = static_cast<int32_t>(length / sector);
+  op.is_write = is_write;
+  disks_[static_cast<size_t>(disk)]->Submit(
+      op, [done = std::move(done)](const DiskOpResult& r) { done(r.ok); });
+}
+
+void Raid6Controller::NoteClientStart() {
+  if (outstanding_clients_++ == 0) {
+    idle_detector_->NoteBusy();
+  }
+}
+
+void Raid6Controller::NoteClientEnd() {
+  assert(outstanding_clients_ > 0);
+  if (--outstanding_clients_ == 0) {
+    idle_detector_->NoteIdle();
+  }
+}
+
+void Raid6Controller::Submit(const ClientRequest& request, RequestDone done) {
+  assert(request.size > 0);
+  assert(request.offset >= 0 &&
+         request.offset + request.size <= layout_.data_capacity_bytes());
+  NoteClientStart();
+  auto wrapped = [this, done = std::move(done)] {
+    done();
+    NoteClientEnd();
+  };
+  if (request.is_write) {
+    DoWrite(request, std::move(wrapped));
+  } else {
+    DoRead(request, std::move(wrapped));
+  }
+}
+
+void Raid6Controller::DoRead(const ClientRequest& r, RequestDone done) {
+  const auto segs = layout_.Split(r.offset, r.size);
+  auto join = Join::Make(static_cast<int32_t>(segs.size()), std::move(done));
+  for (const Segment& seg : segs) {
+    const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
+    IssueDiskOp(disk, seg.stripe * layout_.stripe_unit() + seg.offset_in_block,
+                seg.length, /*is_write=*/false, [join](bool) { join->Dec(); });
+  }
+}
+
+void Raid6Controller::DoWrite(const ClientRequest& r, RequestDone done) {
+  const auto segs = layout_.Split(r.offset, r.size);
+  std::map<int64_t, std::vector<Segment>> groups;
+  for (const Segment& seg : segs) {
+    groups[seg.stripe].push_back(seg);
+  }
+  auto join = Join::Make(static_cast<int32_t>(groups.size()), std::move(done));
+  for (auto& [stripe, group] : groups) {
+    WriteStripeGroup(r.id, stripe, group, [join] { join->Dec(); });
+  }
+}
+
+void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
+                                       const std::vector<Segment>& segs,
+                                       std::function<void()> group_done) {
+  // For clarity this controller serialises all work on a stripe (writes and
+  // rebuilds alike take the stripe exclusively); cross-stripe parallelism is
+  // untouched. The RAID 5-family controller models the finer shared locking.
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, stripe, segs,
+                                                group_done = std::move(group_done)] {
+    const int32_t sector = cfg_.disk_spec.sector_bytes;
+    const int64_t unit = layout_.stripe_unit();
+
+    // Parity deltas over the touched span (valid because of the exclusive
+    // lock): dP = old ^ new; dQ = g^j * (old ^ new).
+    int32_t span_lo = INT32_MAX;
+    int32_t span_hi = 0;
+    for (const Segment& seg : segs) {
+      span_lo = std::min(span_lo, seg.offset_in_block);
+      span_hi = std::max(span_hi, seg.offset_in_block + seg.length);
+    }
+    const int32_t first_sector = span_lo / sector;
+    const int32_t span_sectors = (span_hi - span_lo) / sector;
+    std::vector<uint64_t> dp(static_cast<size_t>(span_sectors), 0);
+    std::vector<uint64_t> dq(static_cast<size_t>(span_sectors), 0);
+    if (content_ != nullptr) {
+      for (const Segment& seg : segs) {
+        const int32_t first = seg.offset_in_block / sector;
+        const int32_t count = seg.length / sector;
+        const int64_t logical_first = seg.logical_offset / sector;
+        for (int32_t i = 0; i < count; ++i) {
+          const uint64_t old_v =
+              content_->GetData(stripe, seg.block_in_stripe, first + i);
+          const uint64_t new_v = ContentModel::MixTag(request_id, logical_first + i);
+          const uint64_t delta = old_v ^ new_v;
+          dp[static_cast<size_t>(first + i - first_sector)] ^= delta;
+          dq[static_cast<size_t>(first + i - first_sector)] ^=
+              Gf256::MulWord(delta, Gf256::Pow2(seg.block_in_stripe));
+        }
+      }
+    }
+
+    const bool update_p = mode_ != Raid6Mode::kDeferBoth;
+    const bool update_q = mode_ == Raid6Mode::kSynchronous;
+
+    auto finish = [this, stripe, group_done] {
+      locks_.Release(stripe, LockMode::kExclusive);
+      // Deferred parity work may now be pending.
+      if (mode_ != Raid6Mode::kSynchronous && q_stale_.DirtyCount() > 0 &&
+          drain_done_ != nullptr && !rebuilding_) {
+        MaybeStartRebuild();
+      }
+      group_done();
+    };
+
+    auto write_phase = [this, request_id, stripe, segs, span_lo, span_hi,
+                        first_sector, sector, unit, update_p, update_q,
+                        dp = std::move(dp), dq = std::move(dq),
+                        finish = std::move(finish)]() mutable {
+      const int32_t writes = static_cast<int32_t>(segs.size()) +
+                             (update_p ? 1 : 0) + (update_q ? 1 : 0);
+      auto join = Join::Make(writes, std::move(finish));
+      for (const Segment& seg : segs) {
+        const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
+        IssueDiskOp(disk, stripe * unit + seg.offset_in_block, seg.length,
+                    /*is_write=*/true, [this, request_id, seg, sector, join](bool ok) {
+                      if (ok && content_ != nullptr) {
+                        const int32_t first = seg.offset_in_block / sector;
+                        const int32_t count = seg.length / sector;
+                        const int64_t logical_first = seg.logical_offset / sector;
+                        for (int32_t i = 0; i < count; ++i) {
+                          content_->SetData(seg.stripe, seg.block_in_stripe, first + i,
+                                            ContentModel::MixTag(request_id,
+                                                                 logical_first + i));
+                        }
+                      }
+                      join->Dec();
+                    });
+      }
+      if (update_p) {
+        IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit + span_lo,
+                    span_hi - span_lo, /*is_write=*/true,
+                    [this, stripe, first_sector, dp, join](bool ok) {
+                      if (ok && content_ != nullptr) {
+                        for (size_t i = 0; i < dp.size(); ++i) {
+                          const auto s = first_sector + static_cast<int32_t>(i);
+                          content_->SetParity(
+                              stripe, s, content_->GetParity(stripe, s, 0) ^ dp[i], 0);
+                        }
+                      }
+                      join->Dec();
+                    });
+      }
+      if (update_q) {
+        IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit + span_lo,
+                    span_hi - span_lo, /*is_write=*/true,
+                    [this, stripe, first_sector, dq, join](bool ok) {
+                      if (ok && content_ != nullptr) {
+                        for (size_t i = 0; i < dq.size(); ++i) {
+                          const auto s = first_sector + static_cast<int32_t>(i);
+                          content_->SetParity(
+                              stripe, s, content_->GetParity(stripe, s, 1) ^ dq[i], 1);
+                        }
+                      }
+                      join->Dec();
+                    });
+      }
+    };
+
+    // Staleness marking happens before data hits the disk.
+    switch (mode_) {
+      case Raid6Mode::kSynchronous:
+        break;
+      case Raid6Mode::kDeferQ:
+        MarkStale(stripe, /*p=*/false, /*q=*/true);
+        break;
+      case Raid6Mode::kDeferBoth:
+        MarkStale(stripe, /*p=*/true, /*q=*/true);
+        break;
+    }
+
+    // Pre-read phase: old data for every written segment, plus old P/Q spans
+    // when the corresponding parity is updated in place. A parity that is
+    // already stale needs no pre-read (the rebuild recomputes from scratch).
+    int32_t reads = 0;
+    if (update_p || update_q) {
+      reads += static_cast<int32_t>(segs.size());
+    }
+    if (update_p) {
+      ++reads;
+    }
+    if (update_q) {
+      ++reads;
+    }
+    if (reads == 0) {
+      write_phase();
+      return;
+    }
+    auto read_join = Join::Make(reads, std::move(write_phase));
+    if (update_p || update_q) {
+      for (const Segment& seg : segs) {
+        const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
+        IssueDiskOp(disk, stripe * unit + seg.offset_in_block, seg.length,
+                    /*is_write=*/false, [read_join](bool) { read_join->Dec(); });
+      }
+    }
+    if (update_p) {
+      IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit + span_lo,
+                  span_hi - span_lo, /*is_write=*/false,
+                  [read_join](bool) { read_join->Dec(); });
+    }
+    if (update_q) {
+      IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit + span_lo,
+                  span_hi - span_lo, /*is_write=*/false,
+                  [read_join](bool) { read_join->Dec(); });
+    }
+  });
+}
+
+void Raid6Controller::MaybeStartRebuild() {
+  if (rebuilding_ || q_stale_.DirtyCount() == 0) {
+    if (!rebuilding_ && drain_done_ != nullptr && q_stale_.DirtyCount() == 0) {
+      auto done = std::move(drain_done_);
+      drain_done_ = nullptr;
+      done();
+    }
+    return;
+  }
+  rebuilding_ = true;
+  RebuildNext();
+}
+
+void Raid6Controller::RebuildNext() {
+  const int64_t stripe = q_stale_.NextDirty(rebuild_cursor_);
+  if (stripe < 0) {
+    rebuilding_ = false;
+    if (drain_done_ != nullptr) {
+      auto done = std::move(drain_done_);
+      drain_done_ = nullptr;
+      done();
+    }
+    return;
+  }
+  RebuildStripe(stripe, [this, stripe] {
+    rebuild_cursor_ = stripe + 1;
+    ++stripes_rebuilt_;
+    const bool keep_going = drain_done_ != nullptr || outstanding_clients_ == 0;
+    if (keep_going && q_stale_.DirtyCount() > 0) {
+      RebuildNext();
+    } else {
+      rebuilding_ = false;
+      if (drain_done_ != nullptr && q_stale_.DirtyCount() == 0) {
+        auto done = std::move(drain_done_);
+        drain_done_ = nullptr;
+        done();
+      }
+    }
+  });
+}
+
+void Raid6Controller::RebuildStripe(int64_t stripe, std::function<void()> step_done) {
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe,
+                                                step_done = std::move(step_done)] {
+    const int32_t n = layout_.data_blocks_per_stripe();
+    const int64_t unit = layout_.stripe_unit();
+    const bool p_needed = p_stale_.IsDirty(stripe);
+
+    auto writes = [this, stripe, unit, n, p_needed,
+                   step_done = std::move(step_done)]() mutable {
+      auto finish = [this, stripe, step_done = std::move(step_done)] {
+        ClearStale(stripe);
+        locks_.Release(stripe, LockMode::kExclusive);
+        step_done();
+      };
+      auto join = Join::Make(p_needed ? 2 : 1, std::move(finish));
+      if (p_needed) {
+        IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit, unit,
+                    /*is_write=*/true, [this, stripe, join](bool ok) {
+                      if (ok && content_ != nullptr) {
+                        for (int32_t s = 0; s < content_->sectors_per_unit(); ++s) {
+                          content_->SetParity(stripe, s, content_->XorOfData(stripe, s),
+                                              0);
+                        }
+                      }
+                      join->Dec();
+                    });
+      }
+      IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit, unit,
+                  /*is_write=*/true, [this, stripe, n, join](bool ok) {
+                    if (ok && content_ != nullptr) {
+                      for (int32_t s = 0; s < content_->sectors_per_unit(); ++s) {
+                        content_->SetParity(stripe, s,
+                                            QOfData(*content_, stripe, n, s), 1);
+                      }
+                    }
+                    join->Dec();
+                  });
+    };
+
+    auto read_join = Join::Make(n, std::move(writes));
+    for (int32_t j = 0; j < n; ++j) {
+      IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+                  /*is_write=*/false, [read_join](bool) { read_join->Dec(); });
+    }
+  });
+}
+
+void Raid6Controller::RebuildAll(std::function<void()> done) {
+  if (q_stale_.DirtyCount() == 0) {
+    sim_->After(0, std::move(done));
+    return;
+  }
+  drain_done_ = std::move(done);
+  if (!rebuilding_) {
+    rebuilding_ = true;
+    RebuildNext();
+  }
+}
+
+}  // namespace afraid

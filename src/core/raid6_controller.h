@@ -1,0 +1,128 @@
+// RAID 6 + AFRAID (Section 5 extension).
+//
+// "A RAID 6 array keeps two parity blocks for each stripe, and thus pays an
+// even higher penalty for doing small updates than does RAID 5. The AFRAID
+// technique could be combined with the RAID 6 parity scheme to delay either
+// or both parity-block updates: if only one was deferred, partial redundancy
+// protection would be available immediately, and full redundancy once the
+// parity-rebuild happened for the other parity block."
+//
+// This controller implements the three operating points:
+//   kSynchronous -- classic RAID 6: a small write pre-reads old data, old P
+//                   and old Q, then writes data, P and Q (6 I/Os).
+//   kDeferQ      -- data + P synchronous (4 I/Os, like RAID 5), Q deferred
+//                   to idle time: single-failure tolerance immediately, dual
+//                   tolerance after the rebuild.
+//   kDeferBoth   -- pure AFRAID write (1 I/O); both parities rebuilt in idle.
+//
+// P is the xor parity; Q is the GF(256) Reed-Solomon parity
+// Q = sum_j g^j D_j (see array/gf256.h). Per-stripe staleness is tracked in
+// two NVRAM bitmaps (2 bits per stripe, vs AFRAID's 1). The focus of this
+// class is write-path timing and parity consistency; the failure/recovery
+// machinery lives in the RAID 5-family AfraidController.
+
+#ifndef AFRAID_CORE_RAID6_CONTROLLER_H_
+#define AFRAID_CORE_RAID6_CONTROLLER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <memory>
+#include <vector>
+
+#include "array/content.h"
+#include "array/controller.h"
+#include "array/gf256.h"
+#include "array/idle_detector.h"
+#include "array/layout.h"
+#include "array/nvram.h"
+#include "array/stripe_lock.h"
+#include "core/array_config.h"
+#include "disk/disk_model.h"
+#include "sim/simulator.h"
+#include "stats/time_weighted.h"
+
+namespace afraid {
+
+enum class Raid6Mode {
+  kSynchronous,  // Update P and Q in the write's critical path.
+  kDeferQ,       // Update P synchronously; defer Q to idle periods.
+  kDeferBoth,    // Defer P and Q (full AFRAID behaviour).
+};
+
+std::string Raid6ModeName(Raid6Mode mode);
+
+class Raid6Controller : public ArrayController {
+ public:
+  Raid6Controller(Simulator* sim, const ArrayConfig& config, Raid6Mode mode);
+  ~Raid6Controller() override;
+
+  void Submit(const ClientRequest& request, RequestDone done) override;
+  int64_t DataCapacityBytes() const override { return layout_.data_capacity_bytes(); }
+
+  // Forces both parities of every stale stripe fresh; for tests/quiesce.
+  void RebuildAll(std::function<void()> done);
+
+  // --- Introspection ---
+  const StripeLayout& layout() const { return layout_; }
+  const ContentModel* content() const { return content_.get(); }
+  Raid6Mode mode() const { return mode_; }
+  int64_t StaleP() const { return p_stale_.DirtyCount(); }
+  int64_t StaleQ() const { return q_stale_.DirtyCount(); }
+  uint64_t StripesRebuilt() const { return stripes_rebuilt_; }
+  uint64_t DiskOpsIssued() const { return disk_ops_; }
+  // Time-average bytes covered by fewer than 2 / fewer than 1 parities.
+  double MeanSingleExposedBytes() const { return q_only_stale_.MeanTo(sim_->Now()); }
+  double MeanFullyExposedBytes() const { return both_stale_.MeanTo(sim_->Now()); }
+  double TQStaleFraction() const { return q_only_stale_.PositiveFractionTo(sim_->Now()); }
+  double TBothStaleFraction() const { return both_stale_.PositiveFractionTo(sim_->Now()); }
+
+  // True iff stripe's P (and Q) match the data per the content model.
+  bool StripeFullyConsistent(int64_t stripe) const;
+
+  // Pure Q algebra (exposed for tests): Q value of one sector position.
+  static uint64_t QOfData(const ContentModel& content, int64_t stripe,
+                          int32_t data_blocks, int32_t sector);
+
+ private:
+  void DoRead(const ClientRequest& r, RequestDone done);
+  void DoWrite(const ClientRequest& r, RequestDone done);
+  void WriteStripeGroup(uint64_t request_id, int64_t stripe,
+                        const std::vector<Segment>& segs,
+                        std::function<void()> group_done);
+  void MaybeStartRebuild();
+  void RebuildNext();
+  void RebuildStripe(int64_t stripe, std::function<void()> step_done);
+  void IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length, bool is_write,
+                   std::function<void(bool)> done);
+  void MarkStale(int64_t stripe, bool p, bool q);
+  void ClearStale(int64_t stripe);
+  void UpdateExposure();
+  void NoteClientStart();
+  void NoteClientEnd();
+
+  Simulator* sim_;
+  ArrayConfig cfg_;
+  Raid6Mode mode_;
+  std::vector<std::unique_ptr<DiskModel>> disks_;
+  StripeLayout layout_;
+  StripeLockTable locks_;
+  NvramBitmap p_stale_;
+  NvramBitmap q_stale_;
+  std::unique_ptr<ContentModel> content_;
+  std::unique_ptr<IdleDetector> idle_detector_;
+
+  int32_t outstanding_clients_ = 0;
+  bool rebuilding_ = false;
+  int64_t rebuild_cursor_ = 0;
+  uint64_t stripes_rebuilt_ = 0;
+  uint64_t disk_ops_ = 0;
+  std::function<void()> drain_done_;
+
+  TimeWeightedValue q_only_stale_;  // Bytes protected by P only.
+  TimeWeightedValue both_stale_;    // Bytes with no live parity.
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_CORE_RAID6_CONTROLLER_H_

@@ -1,0 +1,56 @@
+// Per-run simulation results: the raw material of every table and figure.
+
+#ifndef AFRAID_CORE_REPORT_H_
+#define AFRAID_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "avail/model.h"
+
+namespace afraid {
+
+struct SimReport {
+  std::string workload;
+  std::string policy;
+
+  // Request-level performance (milliseconds; measured driver-entry to
+  // array-completion, open loop -- Section 4.1).
+  uint64_t requests = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  double mean_io_ms = 0.0;
+  double mean_read_ms = 0.0;
+  double mean_write_ms = 0.0;
+  double median_io_ms = 0.0;
+  double p95_io_ms = 0.0;
+  double max_io_ms = 0.0;
+
+  // Run shape.
+  double duration_s = 0.0;        // Simulated seconds covered by the run.
+  double idle_fraction = 0.0;     // Fraction of time with no client work.
+  double mean_queue_depth = 0.0;  // Time-average requests in the driver.
+
+  // AFRAID availability inputs (Section 3).
+  double mean_parity_lag_bytes = 0.0;
+  double t_unprot_fraction = 0.0;
+  int64_t max_dirty_stripes = 0;
+
+  // Mechanism counters.
+  uint64_t stripes_rebuilt = 0;
+  uint64_t rebuild_passes = 0;
+  uint64_t afraid_mode_writes = 0;
+  uint64_t raid5_mode_writes = 0;
+  uint64_t disk_ops_total = 0;
+  uint64_t disk_ops_rebuild = 0;
+  uint64_t disk_ops_parity = 0;    // Synchronous parity writes + pre-reads.
+  uint64_t cache_hits = 0;
+  double disk_utilization = 0.0;   // Mean across disks.
+
+  // Availability model outputs (attached by the harness).
+  AvailabilityReport avail;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_CORE_REPORT_H_

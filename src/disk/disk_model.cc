@@ -1,0 +1,197 @@
+#include "disk/disk_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace afraid {
+
+DiskModel::DiskModel(Simulator* sim, DiskSpec spec, int32_t disk_id)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      geometry_(spec_.zones, spec_.heads, spec_.sector_bytes),
+      seek_model_(spec_.seek),
+      disk_id_(disk_id),
+      busy_time_(sim->Now()) {}
+
+int32_t DiskModel::TrackSkew(int32_t sectors_per_track) const {
+  // One skew value stands in for both track skew and cylinder skew: enough
+  // sectors to hide the worst single-track move -- a head switch, or a
+  // track-to-track seek plus write settle -- plus one sector of margin.
+  // (Real disks use a smaller skew for head switches; the approximation
+  // costs well under a millisecond per head switch.)
+  const double rev = static_cast<double>(spec_.RevolutionTime());
+  const double worst_move = std::max<double>(
+      static_cast<double>(spec_.head_switch),
+      static_cast<double>(seek_model_.SeekTime(1) + spec_.write_settle));
+  const double frac = worst_move / rev;
+  return static_cast<int32_t>(std::ceil(frac * sectors_per_track)) + 1;
+}
+
+SimDuration DiskModel::RotationalWait(SimTime now, const Chs& chs) const {
+  const int64_t rev = spec_.RevolutionTime();
+  const int32_t spt = chs.sectors_per_track;
+  const int64_t skew = static_cast<int64_t>(TrackSkew(spt)) * chs.track_index;
+  const int32_t slot = static_cast<int32_t>((chs.sector + skew) % spt);
+  const double target_frac = static_cast<double>(slot) / spt;
+  const double cur_frac = static_cast<double>(now % rev) / static_cast<double>(rev);
+  double wait_frac = target_frac - cur_frac;
+  if (wait_frac < 0.0) {
+    wait_frac += 1.0;
+  }
+  return static_cast<SimDuration>(wait_frac * static_cast<double>(rev) + 0.5);
+}
+
+ServiceBreakdown DiskModel::ComputeService(SimTime start, const DiskOp& op,
+                                           int32_t from_cylinder,
+                                           int32_t* end_cylinder) const {
+  assert(op.sectors > 0);
+  assert(op.lba >= 0 && op.lba + op.sectors <= geometry_.TotalSectors());
+
+  ServiceBreakdown bd;
+  bd.overhead = spec_.controller_overhead;
+  SimTime t = start + bd.overhead;
+
+  Chs chs = geometry_.ToChs(op.lba);
+  bd.seek = seek_model_.SeekTime(chs.cylinder - from_cylinder);
+  if (op.is_write) {
+    bd.seek += spec_.write_settle;
+  }
+  t += bd.seek;
+
+  const int64_t rev = spec_.RevolutionTime();
+  int64_t lba = op.lba;
+  int32_t remaining = op.sectors;
+  bool first_track = true;
+  while (remaining > 0) {
+    if (!first_track) {
+      // Move to the next track: same cylinder -> head switch; otherwise a
+      // (short) seek. Writes settle again after the repositioning.
+      const Chs next = geometry_.ToChs(lba);
+      SimDuration move = 0;
+      if (next.cylinder == chs.cylinder) {
+        move = spec_.head_switch;
+      } else {
+        move = seek_model_.SeekTime(next.cylinder - chs.cylinder);
+        if (op.is_write) {
+          move += spec_.write_settle;
+        }
+      }
+      bd.transfer += move;
+      t += move;
+      chs = next;
+    }
+    const SimDuration rot = RotationalWait(t, chs);
+    bd.rotation += rot;
+    t += rot;
+
+    const int32_t on_track = std::min<int32_t>(remaining, chs.sectors_per_track - chs.sector);
+    const auto media = static_cast<SimDuration>(
+        static_cast<double>(rev) * on_track / chs.sectors_per_track + 0.5);
+    bd.transfer += media;
+    t += media;
+    lba += on_track;
+    remaining -= on_track;
+    first_track = false;
+  }
+
+  if (end_cylinder != nullptr) {
+    // Arm finishes over the cylinder holding the final sector.
+    *end_cylinder = geometry_.ToChs(lba - 1).cylinder;
+  }
+  return bd;
+}
+
+void DiskModel::Submit(const DiskOp& op, DiskOpCallback done) {
+  assert(op.sectors > 0);
+  const SimTime now = sim_->Now();
+  if (failed_) {
+    DiskOpResult result;
+    result.ok = false;
+    result.submitted = now;
+    result.service_start = now;
+    result.finish = now;
+    sim_->After(0, [done = std::move(done), result] { done(result); });
+    return;
+  }
+  queue_.push_back(Pending{op, std::move(done), now});
+  if (!busy_) {
+    StartNext();
+  }
+}
+
+void DiskModel::StartNext() {
+  assert(!busy_);
+  if (queue_.empty() || failed_) {
+    return;
+  }
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  busy_time_.Set(sim_->Now(), 1.0);
+
+  const SimTime service_start = sim_->Now();
+  int32_t end_cylinder = current_cylinder_;
+  const ServiceBreakdown bd = ComputeService(service_start, p.op, current_cylinder_,
+                                             &end_cylinder);
+  current_cylinder_ = end_cylinder;
+  sim_->After(bd.Total(), [this, p = std::move(p), bd, service_start]() mutable {
+    CompleteCurrent(p, bd, service_start);
+  });
+}
+
+void DiskModel::CompleteCurrent(const Pending& p, const ServiceBreakdown& breakdown,
+                                SimTime service_start) {
+  const SimTime now = sim_->Now();
+  busy_ = false;
+  busy_time_.Set(now, 0.0);
+
+  DiskOpResult result;
+  result.submitted = p.submitted;
+  result.service_start = service_start;
+  result.finish = now;
+  if (failed_) {
+    // The mechanism died mid-flight; report failure, do not count the op.
+    result.ok = false;
+  } else {
+    result.ok = true;
+    result.breakdown = breakdown;
+    ++ops_completed_;
+    sectors_transferred_ += p.op.sectors;
+    service_times_.Add(ToMilliseconds(now - service_start));
+  }
+  p.done(result);
+  if (!failed_) {
+    StartNext();
+  }
+}
+
+void DiskModel::Fail() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  // Everything queued (not yet started) fails now. The in-flight op, if any,
+  // will observe failed_ when its completion event fires.
+  const SimTime now = sim_->Now();
+  std::deque<Pending> doomed;
+  doomed.swap(queue_);
+  for (Pending& p : doomed) {
+    DiskOpResult result;
+    result.ok = false;
+    result.submitted = p.submitted;
+    result.service_start = now;
+    result.finish = now;
+    sim_->After(0, [done = std::move(p.done), result] { done(result); });
+  }
+}
+
+void DiskModel::Replace() {
+  assert(queue_.empty());
+  assert(!busy_);
+  failed_ = false;
+  current_cylinder_ = 0;
+}
+
+}  // namespace afraid

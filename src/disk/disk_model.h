@@ -1,0 +1,136 @@
+// An event-driven model of a single disk mechanism.
+//
+// Timing follows [Ruemmler94]: per-command controller overhead, a
+// distance-dependent seek (plus write settle on writes), rotational latency
+// against a continuously spinning platter, and zone-dependent media transfer
+// with head-switch and track-switch costs. Tracks are skewed so that
+// sequential transfers crossing a track boundary lose only the switch time,
+// not a full revolution.
+//
+// The disk services its queue FCFS (the paper's arrays used FCFS at the
+// back-end device drivers) and is non-preemptive: once started, an operation
+// runs to completion. Spin-synchronisation across an array falls out of the
+// model for free: all disks share the simulator clock and have the same RPM,
+// so their angular positions are identical at all times.
+
+#ifndef AFRAID_DISK_DISK_MODEL_H_
+#define AFRAID_DISK_DISK_MODEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "disk/disk_spec.h"
+#include "disk/geometry.h"
+#include "disk/seek_model.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "stats/streaming.h"
+#include "stats/time_weighted.h"
+
+namespace afraid {
+
+// One contiguous sector-level operation against a disk.
+struct DiskOp {
+  int64_t lba = 0;        // First sector.
+  int32_t sectors = 0;    // Number of sectors (> 0).
+  bool is_write = false;
+};
+
+// Where the service time went, for tests and analysis.
+struct ServiceBreakdown {
+  SimDuration overhead = 0;
+  SimDuration seek = 0;      // Includes write settle for writes.
+  SimDuration rotation = 0;  // Rotational latency plus mid-transfer realigns.
+  SimDuration transfer = 0;  // Media time moving sectors, plus head switches.
+
+  SimDuration Total() const { return overhead + seek + rotation + transfer; }
+};
+
+struct DiskOpResult {
+  bool ok = true;                 // False if the disk failed.
+  SimTime submitted = 0;          // When Submit() was called.
+  SimTime service_start = 0;      // When the mechanism picked the op up.
+  SimTime finish = 0;             // Completion time.
+  ServiceBreakdown breakdown;     // Zero for failed ops.
+};
+
+using DiskOpCallback = std::function<void(const DiskOpResult&)>;
+
+class DiskModel {
+ public:
+  DiskModel(Simulator* sim, DiskSpec spec, int32_t disk_id);
+  DiskModel(const DiskModel&) = delete;
+  DiskModel& operator=(const DiskModel&) = delete;
+
+  // Enqueues an operation. The callback fires at completion time; if the disk
+  // is (or becomes) failed, it fires with ok=false.
+  void Submit(const DiskOp& op, DiskOpCallback done);
+
+  // Marks the disk failed. The in-flight operation and everything queued
+  // complete immediately with ok=false; later Submits fail at submit time.
+  void Fail();
+
+  // Installs a fresh (replacement) mechanism: clears the failure, resets the
+  // arm to cylinder 0. Queue must be empty (callers drain by failing first).
+  void Replace();
+
+  bool failed() const { return failed_; }
+  int32_t disk_id() const { return disk_id_; }
+  const DiskSpec& spec() const { return spec_; }
+  const DiskGeometry& geometry() const { return geometry_; }
+  int64_t TotalSectors() const { return geometry_.TotalSectors(); }
+
+  // True when no operation is in flight or queued.
+  bool Idle() const { return !busy_ && queue_.empty(); }
+  size_t QueueDepth() const { return queue_.size() + (busy_ ? 1 : 0); }
+
+  // Pure timing query: what would servicing `op` cost if started at `start`
+  // with the arm at cylinder `from_cylinder`? Does not disturb disk state.
+  // Also reports the cylinder where the arm ends up.
+  ServiceBreakdown ComputeService(SimTime start, const DiskOp& op,
+                                  int32_t from_cylinder, int32_t* end_cylinder) const;
+
+  // Lifetime statistics.
+  uint64_t OpsCompleted() const { return ops_completed_; }
+  int64_t SectorsTransferred() const { return sectors_transferred_; }
+  double UtilizationTo(SimTime now) const { return busy_time_.PositiveFractionTo(now); }
+  const StreamingStats& ServiceTimes() const { return service_times_; }
+
+ private:
+  struct Pending {
+    DiskOp op;
+    DiskOpCallback done;
+    SimTime submitted = 0;
+  };
+
+  void StartNext();
+  void CompleteCurrent(const Pending& p, const ServiceBreakdown& breakdown,
+                       SimTime service_start);
+  // Time from `now` until the start of sector `sector` (with skew applied) of
+  // the track described by `chs` passes under the head.
+  SimDuration RotationalWait(SimTime now, const Chs& chs) const;
+  // Skew, in sectors, applied per global track index in the given zone.
+  int32_t TrackSkew(int32_t sectors_per_track) const;
+
+  Simulator* sim_;
+  DiskSpec spec_;
+  DiskGeometry geometry_;
+  SeekModel seek_model_;
+  int32_t disk_id_;
+
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  bool failed_ = false;
+  int32_t current_cylinder_ = 0;
+
+  uint64_t ops_completed_ = 0;
+  int64_t sectors_transferred_ = 0;
+  TimeWeightedValue busy_time_;
+  StreamingStats service_times_;  // Milliseconds.
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_DISK_DISK_MODEL_H_

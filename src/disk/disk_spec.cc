@@ -1,0 +1,49 @@
+#include "disk/disk_spec.h"
+
+namespace afraid {
+
+DiskSpec DiskSpec::HpC3325Like() {
+  DiskSpec spec;
+  spec.name = "HP-C3325-like 2GB 5400rpm";
+  // Three zones, 9 surfaces, 512-byte sectors:
+  //   1400 cyl x 126 spt + 1500 cyl x 108 spt + 1415 cyl x 90 spt
+  // = 4,191,750 sectors = 2,146,176,000 bytes (~2.0 GB).
+  // Outer-zone media rate: 126*512 B / 11.11 ms = 5.8 MB/s; inner: 4.1 MB/s.
+  spec.zones = {{1400, 126}, {1500, 108}, {1415, 90}};
+  spec.heads = 9;
+  spec.sector_bytes = 512;
+  spec.rpm = 5400.0;
+  spec.seek = SeekModelParams{
+      .single_cylinder_ms = 1.0,
+      .short_coeff_ms = 0.42,
+      .boundary_cylinders = 400,
+      .long_base_ms = 8.8,
+      .long_slope_ms = 0.0015,
+  };
+  spec.head_switch = MillisecondsF(0.8);
+  spec.write_settle = MillisecondsF(0.5);
+  spec.controller_overhead = MillisecondsF(0.5);
+  return spec;
+}
+
+DiskSpec DiskSpec::TinyTestDisk() {
+  DiskSpec spec;
+  spec.name = "tiny-test-disk 2MiB";
+  spec.zones = {{64, 16}};
+  spec.heads = 4;
+  spec.sector_bytes = 512;
+  spec.rpm = 6000.0;  // 10 ms revolution: round numbers for hand checks.
+  spec.seek = SeekModelParams{
+      .single_cylinder_ms = 1.0,
+      .short_coeff_ms = 0.5,
+      .boundary_cylinders = 16,
+      .long_base_ms = 2.0,
+      .long_slope_ms = 0.05,
+  };
+  spec.head_switch = MillisecondsF(0.5);
+  spec.write_settle = MillisecondsF(0.25);
+  spec.controller_overhead = MillisecondsF(0.25);
+  return spec;
+}
+
+}  // namespace afraid

@@ -1,0 +1,48 @@
+// Parameter bundle describing one disk mechanism, plus calibrated presets.
+//
+// The AFRAID paper modelled HP C3325 2 GB 3.5" 5400 RPM disks [HPC3324] using
+// the calibrated models of [Ruemmler94]. The HpC3325Like() preset reproduces
+// the characteristics the paper's results depend on: ~2 GB capacity, 11.1 ms
+// revolution, ~1-15 ms seeks, and ~5 MB/s sustained media rate.
+
+#ifndef AFRAID_DISK_DISK_SPEC_H_
+#define AFRAID_DISK_DISK_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "disk/geometry.h"
+#include "disk/seek_model.h"
+#include "sim/time.h"
+
+namespace afraid {
+
+struct DiskSpec {
+  std::string name;
+  std::vector<DiskZone> zones;
+  int32_t heads = 0;
+  int32_t sector_bytes = 512;
+  double rpm = 5400.0;
+  SeekModelParams seek;
+  SimDuration head_switch = MillisecondsF(0.8);       // Surface change on one cylinder.
+  SimDuration write_settle = MillisecondsF(0.5);      // Extra settle before writing.
+  SimDuration controller_overhead = MillisecondsF(0.5);  // Per-command fixed cost.
+
+  // Time for one full revolution.
+  SimDuration RevolutionTime() const {
+    return SecondsF(60.0 / rpm);
+  }
+
+  // A preset approximating the HP C3325 used in the paper: 2 GB, 5400 RPM,
+  // 9 surfaces, three recording zones averaging ~5 MB/s.
+  static DiskSpec HpC3325Like();
+
+  // A deliberately tiny disk for unit tests (fast to reason about by hand):
+  // 1 zone, 4 heads, 16 sectors/track, 64 cylinders -> 4096 sectors = 2 MiB.
+  static DiskSpec TinyTestDisk();
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_DISK_DISK_SPEC_H_

@@ -1,0 +1,67 @@
+// Zoned disk geometry and logical-block addressing.
+//
+// Models a multi-zone (zone-bit-recorded) disk: outer zones hold more sectors
+// per track than inner ones, which is what gives modern disks their higher
+// sustained transfer rate on outer cylinders. Logical blocks are mapped in
+// the conventional order: zone (outer to inner), then cylinder, then head
+// (surface), then sector within the track.
+
+#ifndef AFRAID_DISK_GEOMETRY_H_
+#define AFRAID_DISK_GEOMETRY_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace afraid {
+
+struct DiskZone {
+  int32_t cylinders = 0;          // Number of cylinders in this zone.
+  int32_t sectors_per_track = 0;  // Sectors on each track of this zone.
+};
+
+// Physical coordinates of a logical block.
+struct Chs {
+  int32_t zone = 0;
+  int32_t cylinder = 0;        // Global cylinder index (0 = outermost).
+  int32_t head = 0;            // Surface index.
+  int32_t sector = 0;          // Sector index within the track.
+  int64_t track_index = 0;     // Global track index = cylinder * heads + head.
+  int32_t sectors_per_track = 0;
+};
+
+class DiskGeometry {
+ public:
+  DiskGeometry(std::vector<DiskZone> zones, int32_t heads, int32_t sector_bytes);
+
+  int64_t TotalSectors() const { return total_sectors_; }
+  int64_t CapacityBytes() const { return total_sectors_ * sector_bytes_; }
+  int32_t Heads() const { return heads_; }
+  int32_t SectorBytes() const { return sector_bytes_; }
+  int32_t TotalCylinders() const { return total_cylinders_; }
+  const std::vector<DiskZone>& Zones() const { return zones_; }
+
+  // Maps a logical block address (sector number) to physical coordinates.
+  // Precondition: 0 <= lba < TotalSectors().
+  Chs ToChs(int64_t lba) const;
+
+  // Inverse of ToChs (used by tests to prove the mapping is a bijection).
+  int64_t ToLba(const Chs& chs) const;
+
+  // Sectors per track in the zone that holds `lba`.
+  int32_t SectorsPerTrackAt(int64_t lba) const { return ToChs(lba).sectors_per_track; }
+
+ private:
+  std::vector<DiskZone> zones_;
+  int32_t heads_;
+  int32_t sector_bytes_;
+  int32_t total_cylinders_ = 0;
+  int64_t total_sectors_ = 0;
+  // Precomputed per-zone cumulative values for O(#zones) lookup.
+  std::vector<int64_t> zone_first_sector_;
+  std::vector<int32_t> zone_first_cylinder_;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_DISK_GEOMETRY_H_

@@ -1,0 +1,63 @@
+// Ruemmler-Wilkes seek-time model [Ruemmler94].
+//
+// Seek time as a function of seek distance d (in cylinders):
+//   d == 0               -> 0
+//   0 < d < boundary     -> single_cyl + short_coeff * sqrt(d - 1)
+//   d >= boundary        -> long_base + long_slope * d
+// The square-root region models the acceleration-limited portion of the arm
+// trajectory; the linear region models the coast-at-max-velocity portion.
+// Parameters are chosen so the curve is continuous and monotone.
+
+#ifndef AFRAID_DISK_SEEK_MODEL_H_
+#define AFRAID_DISK_SEEK_MODEL_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace afraid {
+
+struct SeekModelParams {
+  double single_cylinder_ms = 1.0;  // Track-to-track seek.
+  double short_coeff_ms = 0.42;     // sqrt-region coefficient.
+  int32_t boundary_cylinders = 400;
+  double long_base_ms = 8.8;
+  double long_slope_ms = 0.0015;  // ms per cylinder in the linear region.
+};
+
+class SeekModel {
+ public:
+  explicit SeekModel(const SeekModelParams& p) : p_(p) {
+    assert(p_.single_cylinder_ms >= 0.0);
+    assert(p_.boundary_cylinders >= 1);
+  }
+
+  // Seek time for a move of `distance` cylinders (absolute value taken).
+  SimDuration SeekTime(int64_t distance) const {
+    if (distance < 0) {
+      distance = -distance;
+    }
+    if (distance == 0) {
+      return 0;
+    }
+    double ms = 0.0;
+    if (distance < p_.boundary_cylinders) {
+      ms = p_.single_cylinder_ms +
+           p_.short_coeff_ms * std::sqrt(static_cast<double>(distance - 1));
+    } else {
+      ms = p_.long_base_ms + p_.long_slope_ms * static_cast<double>(distance);
+    }
+    return MillisecondsF(ms);
+  }
+
+  const SeekModelParams& params() const { return p_; }
+
+ private:
+  SeekModelParams p_;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_DISK_SEEK_MODEL_H_

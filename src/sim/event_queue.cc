@@ -1,0 +1,66 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace afraid {
+
+EventId EventQueue::Schedule(SimTime when, Callback fn) {
+  const EventId id = next_seq_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return false;  // Never scheduled, already fired, or already cancelled.
+  }
+  pending_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty()) {
+    const EventId id = heap_.top().seq;
+    auto it = cancelled_.find(id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkimCancelled();
+  if (heap_.empty()) {
+    return kSimTimeNever;
+  }
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  SkimCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() returns a const reference; the callback must be
+  // moved out, so we const_cast the entry. This is safe because we pop
+  // immediately and never compare the moved-from element.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.fn)};
+  pending_.erase(top.seq);
+  heap_.pop();
+  return fired;
+}
+
+void EventQueue::Clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+  cancelled_.clear();
+  pending_.clear();
+}
+
+}  // namespace afraid

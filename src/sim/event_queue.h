@@ -1,0 +1,90 @@
+// A cancellable min-heap event queue for discrete-event simulation.
+//
+// Events scheduled for the same instant fire in scheduling order (a strict
+// FIFO tie-break), which keeps simulations deterministic regardless of heap
+// internals. Cancellation is lazy: a cancelled event stays in the heap but is
+// skipped when popped, so Cancel() is O(1).
+
+#ifndef AFRAID_SIM_EVENT_QUEUE_H_
+#define AFRAID_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace afraid {
+
+// Opaque handle identifying a scheduled event. Zero is never a valid id.
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` to run at absolute time `when`. Returns a handle usable
+  // with Cancel(). `when` may be in the past relative to other queued events;
+  // ordering is purely by (time, insertion sequence).
+  EventId Schedule(SimTime when, Callback fn);
+
+  // Cancels a pending event. Returns true if the event was pending (and is
+  // now cancelled), false if it already fired, was already cancelled, or the
+  // id is invalid.
+  bool Cancel(EventId id);
+
+  // True if no live (non-cancelled) events remain.
+  bool Empty() const { return pending_.empty(); }
+
+  // Number of live events.
+  size_t Size() const { return pending_.size(); }
+
+  // Time of the earliest live event; kSimTimeNever when empty.
+  SimTime NextTime();
+
+  // Removes and returns the earliest live event. Precondition: !Empty().
+  // The returned time is the event's scheduled time.
+  struct Fired {
+    SimTime time = 0;
+    Callback fn;
+  };
+  Fired PopNext();
+
+  // Drops everything, including pending cancellations.
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime time = 0;
+    uint64_t seq = 0;  // Insertion order; also the EventId.
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops cancelled entries off the top of the heap.
+  void SkimCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    // Live (scheduled, not yet fired/cancelled) ids.
+  std::unordered_set<EventId> cancelled_;  // Cancelled ids still physically in the heap.
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_SIM_EVENT_QUEUE_H_

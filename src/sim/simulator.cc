@@ -1,0 +1,37 @@
+#include "sim/simulator.h"
+
+namespace afraid {
+
+void Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.Empty()) {
+    const SimTime next = queue_.NextTime();
+    if (next > deadline) {
+      break;
+    }
+    auto fired = queue_.PopNext();
+    now_ = fired.time;
+    ++events_processed_;
+    fired.fn();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void Simulator::RunToEnd() {
+  while (Step()) {
+  }
+}
+
+bool Simulator::Step() {
+  if (queue_.Empty()) {
+    return false;
+  }
+  auto fired = queue_.PopNext();
+  now_ = fired.time;
+  ++events_processed_;
+  fired.fn();
+  return true;
+}
+
+}  // namespace afraid

@@ -1,0 +1,75 @@
+// The discrete-event simulation driver: a clock plus an event queue.
+//
+// Components schedule callbacks against the Simulator; RunUntil()/RunToEnd()
+// advance the clock to each event in order and invoke it. This mirrors the
+// structure of the Pantheon simulator used in the AFRAID paper: everything in
+// the modelled array (disk mechanics, controller state machines, idle
+// detection, trace arrival processes) is expressed as events.
+
+#ifndef AFRAID_SIM_SIMULATOR_H_
+#define AFRAID_SIM_SIMULATOR_H_
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace afraid {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `when`, which must not be in the past.
+  EventId At(SimTime when, EventQueue::Callback fn) {
+    assert(when >= now_);
+    return queue_.Schedule(when, std::move(fn));
+  }
+
+  // Schedules `fn` after a non-negative delay from now.
+  EventId After(SimDuration delay, EventQueue::Callback fn) {
+    assert(delay >= 0);
+    return queue_.Schedule(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event; see EventQueue::Cancel.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs events until the queue is empty or the next event is after
+  // `deadline`; the clock finishes at min(deadline, last event time) — i.e.
+  // RunUntil leaves Now() at `deadline` if the queue drained earlier events.
+  void RunUntil(SimTime deadline);
+
+  // Runs until no events remain.
+  void RunToEnd();
+
+  // Executes exactly one event, if any. Returns false if the queue was empty.
+  bool Step();
+
+  // True if no pending events remain.
+  bool Idle() const { return queue_.Empty(); }
+
+  // Number of pending events.
+  size_t PendingEvents() const { return queue_.Size(); }
+
+  // Total events executed since construction.
+  uint64_t EventsProcessed() const { return events_processed_; }
+
+  // Time of the next pending event (kSimTimeNever if none).
+  SimTime NextEventTime() { return queue_.NextTime(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_SIM_SIMULATOR_H_

@@ -1,0 +1,25 @@
+#include "sim/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace afraid {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double abs = d < 0 ? -static_cast<double>(d) : static_cast<double>(d);
+  if (abs < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", d);
+  } else if (abs < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3gus", static_cast<double>(d) / 1e3);
+  } else if (abs < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.4gms", static_cast<double>(d) / 1e6);
+  } else if (abs < 3.6e12) {
+    std::snprintf(buf, sizeof(buf), "%.4gs", static_cast<double>(d) / 1e9);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4gh", static_cast<double>(d) / 3.6e12);
+  }
+  return buf;
+}
+
+}  // namespace afraid

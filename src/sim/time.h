@@ -1,0 +1,55 @@
+// Simulated time for the AFRAID discrete-event simulator.
+//
+// All simulated time is kept as a signed 64-bit count of nanoseconds. A signed
+// type makes interval arithmetic (deadline - now) safe, and 64 bits of
+// nanoseconds covers ~292 years of simulated time, far beyond any experiment
+// in this repository.
+
+#ifndef AFRAID_SIM_TIME_H_
+#define AFRAID_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace afraid {
+
+// A point in simulated time, in nanoseconds since the start of the simulation.
+using SimTime = int64_t;
+
+// A span of simulated time, in nanoseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+// Duration constructors. Usage: `Milliseconds(100)`, `Seconds(3.5)`.
+constexpr SimDuration Nanoseconds(int64_t n) { return n; }
+constexpr SimDuration Microseconds(int64_t n) { return n * 1'000; }
+constexpr SimDuration Milliseconds(int64_t n) { return n * 1'000'000; }
+constexpr SimDuration Seconds(int64_t n) { return n * 1'000'000'000; }
+constexpr SimDuration Minutes(int64_t n) { return n * 60'000'000'000; }
+constexpr SimDuration Hours(int64_t n) { return n * 3'600'000'000'000; }
+
+// Floating-point duration constructors, for model parameters that are
+// naturally fractional (e.g. a 9.4 ms seek). Rounds to the nearest nanosecond.
+constexpr SimDuration MicrosecondsF(double us) {
+  return static_cast<SimDuration>(us * 1e3 + (us >= 0 ? 0.5 : -0.5));
+}
+constexpr SimDuration MillisecondsF(double ms) {
+  return static_cast<SimDuration>(ms * 1e6 + (ms >= 0 ? 0.5 : -0.5));
+}
+constexpr SimDuration SecondsF(double s) {
+  return static_cast<SimDuration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+// Conversions back to floating point units.
+constexpr double ToMicroseconds(SimDuration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMilliseconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+constexpr double ToHours(SimDuration d) { return static_cast<double>(d) / 3.6e12; }
+
+// Renders a duration with an adaptive unit, e.g. "12.3ms", "4.56s".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace afraid
+
+#endif  // AFRAID_SIM_TIME_H_

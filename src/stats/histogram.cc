@@ -1,0 +1,38 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace afraid {
+
+std::string Histogram::Render(size_t max_width) const {
+  uint64_t peak = 1;
+  for (uint64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len =
+        static_cast<size_t>(static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+                            static_cast<double>(max_width));
+    std::snprintf(line, sizeof(line), "[%10.3g, %10.3g) %8llu ", BucketLow(i), BucketLow(i + 1),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof(line), "underflow: %llu\n",
+                  static_cast<unsigned long long>(underflow_));
+    out += line;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof(line), "overflow: %llu\n",
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace afraid

@@ -1,0 +1,56 @@
+// A simple fixed-width histogram for distribution summaries in reports.
+
+#ifndef AFRAID_STATS_HISTOGRAM_H_
+#define AFRAID_STATS_HISTOGRAM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace afraid {
+
+class Histogram {
+ public:
+  // Buckets of width `bucket_width` starting at `lo`; values >= lo +
+  // num_buckets*width land in the overflow bucket, values < lo in underflow.
+  Histogram(double lo, double bucket_width, size_t num_buckets)
+      : lo_(lo), width_(bucket_width), counts_(num_buckets, 0) {
+    assert(bucket_width > 0.0 && num_buckets > 0);
+  }
+
+  void Add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    const auto idx = static_cast<size_t>((x - lo_) / width_);
+    if (idx >= counts_.size()) {
+      ++overflow_;
+      return;
+    }
+    ++counts_[idx];
+  }
+
+  uint64_t Total() const { return total_; }
+  uint64_t Underflow() const { return underflow_; }
+  uint64_t Overflow() const { return overflow_; }
+  const std::vector<uint64_t>& Counts() const { return counts_; }
+  double BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+
+  // Renders an ASCII bar chart, `max_width` columns for the largest bucket.
+  std::string Render(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_STATS_HISTOGRAM_H_

@@ -1,0 +1,74 @@
+// A retained-sample collection supporting exact percentiles.
+//
+// Latency distributions in the experiments are small enough (<= a few million
+// samples) that retaining everything is cheaper and more faithful than a
+// sketch. Percentile() uses nth_element, so queries are O(n) but mutate only
+// a scratch copy kept inside the object.
+
+#ifndef AFRAID_STATS_SAMPLE_SET_H_
+#define AFRAID_STATS_SAMPLE_SET_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "stats/streaming.h"
+
+namespace afraid {
+
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    summary_.Add(x);
+    sorted_ = false;
+  }
+
+  uint64_t Count() const { return summary_.Count(); }
+  double Mean() const { return summary_.Mean(); }
+  double Min() const { return summary_.Min(); }
+  double Max() const { return summary_.Max(); }
+  double StdDev() const { return summary_.StdDev(); }
+  double Sum() const { return summary_.Sum(); }
+
+  // Exact p-quantile with linear interpolation, p in [0, 1].
+  double Percentile(double p) {
+    assert(p >= 0.0 && p <= 1.0);
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    EnsureSorted();
+    const double pos = p * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double Median() { return Percentile(0.5); }
+
+  const std::vector<double>& Samples() const { return samples_; }
+
+  void Reset() {
+    samples_.clear();
+    summary_.Reset();
+    sorted_ = false;
+  }
+
+ private:
+  void EnsureSorted() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  std::vector<double> samples_;
+  StreamingStats summary_;
+  bool sorted_ = false;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_STATS_SAMPLE_SET_H_

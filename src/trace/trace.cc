@@ -1,0 +1,113 @@
+#include "trace/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace afraid {
+
+TraceStats ComputeTraceStats(const Trace& trace) {
+  TraceStats s;
+  s.requests = trace.records.size();
+  if (trace.records.empty()) {
+    return s;
+  }
+  int64_t total_bytes = 0;
+  SimDuration idle_100ms = 0;
+  SimTime prev = 0;
+  for (const TraceRecord& r : trace.records) {
+    if (r.is_write) {
+      ++s.writes;
+      s.bytes_written += r.size;
+    } else {
+      s.bytes_read += r.size;
+    }
+    total_bytes += r.size;
+    const SimDuration gap = r.time - prev;
+    if (gap > Milliseconds(100)) {
+      idle_100ms += gap - Milliseconds(100);
+    }
+    prev = r.time;
+  }
+  s.mean_size_bytes = static_cast<double>(total_bytes) / static_cast<double>(s.requests);
+  const SimDuration duration = trace.Duration();
+  if (s.requests > 1 && duration > 0) {
+    s.mean_interarrival_ms =
+        ToMilliseconds(duration) / static_cast<double>(s.requests - 1);
+    s.idle_fraction_100ms = static_cast<double>(idle_100ms) / static_cast<double>(duration);
+  }
+  s.write_fraction = static_cast<double>(s.writes) / static_cast<double>(s.requests);
+  return s;
+}
+
+std::string SerializeTrace(const Trace& trace) {
+  std::string out;
+  out += "# afraid-trace v1\n";
+  out += "# name " + trace.name + "\n";
+  char line[96];
+  for (const TraceRecord& r : trace.records) {
+    std::snprintf(line, sizeof(line), "%" PRId64 " %c %" PRId64 " %d\n", r.time,
+                  r.is_write ? 'W' : 'R', r.offset, r.size);
+    out += line;
+  }
+  return out;
+}
+
+bool ParseTrace(const std::string& text, Trace* out) {
+  out->name.clear();
+  out->records.clear();
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      std::istringstream hdr(line.substr(1));
+      std::string key;
+      hdr >> key;
+      if (key == "name") {
+        hdr >> std::ws;
+        std::getline(hdr, out->name);
+      }
+      continue;
+    }
+    TraceRecord r;
+    char op = 0;
+    std::istringstream row(line);
+    if (!(row >> r.time >> op >> r.offset >> r.size)) {
+      return false;
+    }
+    if (op != 'R' && op != 'W') {
+      return false;
+    }
+    if (r.time < 0 || r.offset < 0 || r.size <= 0) {
+      return false;
+    }
+    r.is_write = (op == 'W');
+    out->records.push_back(r);
+  }
+  return true;
+}
+
+bool WriteTraceFile(const std::string& path, const Trace& trace) {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f) {
+    return false;
+  }
+  f << SerializeTrace(trace);
+  return static_cast<bool>(f);
+}
+
+bool ReadTraceFile(const std::string& path, Trace* out) {
+  std::ifstream f(path);
+  if (!f) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseTrace(buf.str(), out);
+}
+
+}  // namespace afraid

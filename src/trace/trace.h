@@ -1,0 +1,64 @@
+// I/O trace records: the unit of workload in all experiments.
+//
+// A trace is an open-loop arrival schedule: each record carries the wall time
+// at which the client issued the request, independent of when earlier
+// requests complete. The paper stresses that its traces are replayed open
+// loop ("given that we are using an open-queueing, trace-driven workload"),
+// so queueing delay is fully visible in the measured I/O times.
+
+#ifndef AFRAID_TRACE_TRACE_H_
+#define AFRAID_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace afraid {
+
+struct TraceRecord {
+  SimTime time = 0;          // Arrival (issue) time.
+  int64_t offset = 0;        // Byte offset into the array's logical space.
+  int32_t size = 0;          // Bytes; positive, sector-aligned.
+  bool is_write = false;
+};
+
+struct Trace {
+  std::string name;
+  std::vector<TraceRecord> records;
+
+  bool Empty() const { return records.empty(); }
+  size_t Size() const { return records.size(); }
+  SimTime Duration() const { return records.empty() ? 0 : records.back().time; }
+};
+
+// Simple arrival-side statistics of a trace (no simulation involved).
+struct TraceStats {
+  uint64_t requests = 0;
+  uint64_t writes = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  double mean_size_bytes = 0.0;
+  double mean_interarrival_ms = 0.0;
+  double write_fraction = 0.0;
+  // Fraction of the trace duration lying in arrival gaps longer than 100 ms:
+  // a cheap burstiness proxy (idle time available to an AFRAID rebuilder).
+  double idle_fraction_100ms = 0.0;
+};
+
+TraceStats ComputeTraceStats(const Trace& trace);
+
+// Text serialisation. Format: '#'-prefixed comment/header lines, then one
+// record per line: "<time_ns> <R|W> <offset_bytes> <size_bytes>".
+std::string SerializeTrace(const Trace& trace);
+// Parses SerializeTrace output. Returns false (and leaves *out unspecified)
+// on malformed input.
+bool ParseTrace(const std::string& text, Trace* out);
+// File convenience wrappers; return false on I/O or parse errors.
+bool WriteTraceFile(const std::string& path, const Trace& trace);
+bool ReadTraceFile(const std::string& path, Trace* out);
+
+}  // namespace afraid
+
+#endif  // AFRAID_TRACE_TRACE_H_

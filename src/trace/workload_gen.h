@@ -1,0 +1,83 @@
+// Synthetic bursty-workload generator (ON/OFF model).
+//
+// We do not have the HP trace archive the paper replayed (hplajw, snake,
+// cello, netware, ATT, AS400), so each trace is replaced by a parameterised
+// synthetic generator capturing the two properties AFRAID's results turn on:
+//
+//   * burstiness -- client activity arrives in bursts separated by idle gaps
+//     (heavy-tailed, per [Ruemmler93]); the idle gaps are where AFRAID
+//     rebuilds parity "for free";
+//   * write intensity -- the fraction and size of writes determines both the
+//     RAID 5 small-update penalty being avoided and the parity lag created.
+//
+// The model alternates ON (burst) and OFF (idle) periods. Idle-period
+// lengths are Pareto-distributed (heavy tail: occasional very long quiet
+// spells, as real systems show overnight). Burst lengths are geometric in
+// request count; within a burst, inter-arrival gaps are exponential. Request
+// addresses mix sequential runs, hot regions and a uniform background;
+// request sizes come from a discrete distribution.
+
+#ifndef AFRAID_TRACE_WORKLOAD_GEN_H_
+#define AFRAID_TRACE_WORKLOAD_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+#include "trace/trace.h"
+
+namespace afraid {
+
+struct WorkloadParams {
+  std::string name;
+  uint64_t seed = 1;
+
+  // Byte span of the logical address space to generate over. The experiment
+  // harness overwrites this with the target array's data capacity.
+  int64_t address_space_bytes = 0;
+
+  // --- Burst (ON/OFF) structure ---
+  double mean_burst_requests = 10.0;  // Geometric mean burst length, >= 1.
+  double mean_idle_ms = 500.0;     // Mean OFF-period length...
+  double idle_pareto_alpha = 1.3;  // ...with a Pareto tail of this shape (> 1).
+  double max_idle_ms = 120000.0;   // Truncation to keep runs finite.
+  // Multi-timescale burstiness: real systems are quiet for minutes-to-hours
+  // between working sets (lunch, night), not just between request bursts.
+  // With this probability an OFF period is drawn from the *long* idle
+  // distribution instead. These long slack periods are exactly where AFRAID
+  // recovers redundancy at zero client-visible cost.
+  double long_idle_prob = 0.0;
+  double mean_long_idle_ms = 60000.0;
+  double long_idle_alpha = 1.5;
+  double max_long_idle_ms = 1.8e6;  // 30 minutes.
+  double intra_burst_gap_ms = 15.0;   // Mean exponential gap inside a burst.
+
+  // --- Request mix ---
+  double write_fraction = 0.5;
+  // (size_bytes, weight) pairs; sizes must be multiples of align_bytes.
+  std::vector<std::pair<int32_t, double>> size_dist = {{8192, 1.0}};
+  double seq_prob = 0.3;        // P(request continues the current run).
+  int32_t hot_regions = 4;      // Number of hot spots...
+  double hot_fraction = 0.6;    // ...receiving this fraction of new runs...
+  double hot_region_frac = 0.01;  // ...each spanning this fraction of space.
+  int32_t align_bytes = 512;
+};
+
+// Generates a trace until either `max_requests` records exist or simulated
+// time passes `max_duration` (whichever is first; either may be generous).
+Trace GenerateWorkload(const WorkloadParams& params, uint64_t max_requests,
+                       SimDuration max_duration);
+
+// The nine named workloads of the paper's Section 4.1 (synthetic stand-ins;
+// see DESIGN.md "Substitutions"). Address space is left 0 for the caller.
+std::vector<WorkloadParams> PaperWorkloads();
+
+// Finds a paper workload by name; returns false if unknown.
+bool FindWorkload(const std::string& name, WorkloadParams* out);
+
+}  // namespace afraid
+
+#endif  // AFRAID_TRACE_WORKLOAD_GEN_H_

@@ -1,0 +1,276 @@
+// Unit tests for the smaller array-substrate pieces: NVRAM bitmap, LRU
+// caches, stripe locks, idle detector, content model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "array/cache.h"
+#include "array/content.h"
+#include "array/idle_detector.h"
+#include "array/nvram.h"
+#include "array/stripe_lock.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+namespace {
+
+// --- NvramBitmap -------------------------------------------------------------
+
+TEST(Nvram, MarkClearCount) {
+  NvramBitmap nv(100);
+  EXPECT_EQ(nv.DirtyCount(), 0);
+  EXPECT_TRUE(nv.Mark(5));
+  EXPECT_FALSE(nv.Mark(5));  // Re-marking is a no-op.
+  EXPECT_TRUE(nv.Mark(17));
+  EXPECT_EQ(nv.DirtyCount(), 2);
+  EXPECT_TRUE(nv.IsDirty(5));
+  EXPECT_FALSE(nv.IsDirty(6));
+  EXPECT_TRUE(nv.Clear(5));
+  EXPECT_FALSE(nv.Clear(5));
+  EXPECT_EQ(nv.DirtyCount(), 1);
+}
+
+TEST(Nvram, NextDirtySweepsAscendingAndWraps) {
+  NvramBitmap nv(100);
+  nv.Mark(10);
+  nv.Mark(50);
+  nv.Mark(90);
+  EXPECT_EQ(nv.NextDirty(0), 10);
+  EXPECT_EQ(nv.NextDirty(11), 50);
+  EXPECT_EQ(nv.NextDirty(91), 10);  // Wraps.
+  EXPECT_EQ(nv.NextDirty(50), 50);  // Inclusive.
+  nv.Clear(10);
+  nv.Clear(50);
+  nv.Clear(90);
+  EXPECT_EQ(nv.NextDirty(0), -1);
+}
+
+TEST(Nvram, FailLosesAllKnowledge) {
+  NvramBitmap nv(100);
+  nv.Mark(1);
+  nv.Mark(2);
+  nv.Fail();
+  EXPECT_TRUE(nv.failed());
+  EXPECT_EQ(nv.DirtyCount(), 0);
+  nv.Repair();
+  EXPECT_FALSE(nv.failed());
+}
+
+TEST(Nvram, HardwareCostIsOneBitPerStripe) {
+  // The paper: ~3 KB of NVRAM per GB of data for a 5-wide, 8 KB-unit array.
+  const int64_t stripes_per_gb_of_data = (1LL << 30) / (4 * 8192);
+  NvramBitmap nv(stripes_per_gb_of_data);
+  EXPECT_EQ(nv.HardwareBits(), stripes_per_gb_of_data);
+  EXPECT_NEAR(static_cast<double>(nv.HardwareBits()) / 8.0 / 1024.0, 4.0, 0.1);
+}
+
+// --- BlockLruCache -----------------------------------------------------------
+
+TEST(Cache, HitAndMissAccounting) {
+  BlockLruCache c(4 * 8192, 8192);
+  EXPECT_EQ(c.Capacity(), 4);
+  EXPECT_FALSE(c.Lookup(1));
+  c.Insert(1);
+  EXPECT_TRUE(c.Lookup(1));
+  EXPECT_EQ(c.Hits(), 1u);
+  EXPECT_EQ(c.Misses(), 1u);
+}
+
+TEST(Cache, EvictsLeastRecentlyUsed) {
+  BlockLruCache c(3 * 8192, 8192);
+  c.Insert(1);
+  c.Insert(2);
+  c.Insert(3);
+  EXPECT_TRUE(c.Lookup(1));  // 1 becomes most recent; 2 is now LRU.
+  c.Insert(4);               // Evicts 2.
+  EXPECT_FALSE(c.Contains(2));
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_TRUE(c.Contains(3));
+  EXPECT_TRUE(c.Contains(4));
+  EXPECT_EQ(c.Size(), 3);
+}
+
+TEST(Cache, InsertExistingRefreshesWithoutGrowth) {
+  BlockLruCache c(2 * 8192, 8192);
+  c.Insert(1);
+  c.Insert(2);
+  c.Insert(1);  // Refresh, not duplicate: now 2 is LRU.
+  c.Insert(3);
+  EXPECT_FALSE(c.Contains(2));
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_EQ(c.Size(), 2);
+}
+
+TEST(Cache, InvalidateRemoves) {
+  BlockLruCache c(2 * 8192, 8192);
+  c.Insert(7);
+  c.Invalidate(7);
+  EXPECT_FALSE(c.Contains(7));
+  c.Invalidate(7);  // Idempotent.
+}
+
+TEST(Cache, ZeroCapacityNeverStores) {
+  BlockLruCache c(0, 8192);
+  c.Insert(1);
+  EXPECT_FALSE(c.Contains(1));
+}
+
+// --- StripeLockTable ---------------------------------------------------------
+
+TEST(StripeLock, SharedHoldersCoexist) {
+  StripeLockTable locks;
+  int granted = 0;
+  locks.Acquire(1, LockMode::kShared, [&] { ++granted; });
+  locks.Acquire(1, LockMode::kShared, [&] { ++granted; });
+  EXPECT_EQ(granted, 2);
+  locks.Release(1, LockMode::kShared);
+  locks.Release(1, LockMode::kShared);
+  EXPECT_FALSE(locks.Busy(1));
+}
+
+TEST(StripeLock, ExclusiveWaitsForShared) {
+  StripeLockTable locks;
+  bool excl = false;
+  locks.Acquire(1, LockMode::kShared, [] {});
+  locks.Acquire(1, LockMode::kExclusive, [&] { excl = true; });
+  EXPECT_FALSE(excl);
+  locks.Release(1, LockMode::kShared);
+  EXPECT_TRUE(excl);
+  EXPECT_TRUE(locks.HeldExclusive(1));
+  locks.Release(1, LockMode::kExclusive);
+  EXPECT_FALSE(locks.Busy(1));
+}
+
+TEST(StripeLock, SharedWaitsBehindQueuedExclusive) {
+  // FIFO fairness: a shared request arriving after a waiting exclusive must
+  // not starve it.
+  StripeLockTable locks;
+  std::vector<int> order;
+  locks.Acquire(1, LockMode::kShared, [&] { order.push_back(1); });
+  locks.Acquire(1, LockMode::kExclusive, [&] { order.push_back(2); });
+  locks.Acquire(1, LockMode::kShared, [&] { order.push_back(3); });
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  locks.Release(1, LockMode::kShared);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  locks.Release(1, LockMode::kExclusive);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  locks.Release(1, LockMode::kShared);
+  EXPECT_FALSE(locks.Busy(1));
+}
+
+TEST(StripeLock, IndependentStripesDoNotInterfere) {
+  StripeLockTable locks;
+  bool a = false;
+  bool b = false;
+  locks.Acquire(1, LockMode::kExclusive, [&] { a = true; });
+  locks.Acquire(2, LockMode::kExclusive, [&] { b = true; });
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+}
+
+TEST(StripeLock, BatchedSharedAdmissionAfterExclusive) {
+  StripeLockTable locks;
+  int shared = 0;
+  locks.Acquire(9, LockMode::kExclusive, [] {});
+  locks.Acquire(9, LockMode::kShared, [&] { ++shared; });
+  locks.Acquire(9, LockMode::kShared, [&] { ++shared; });
+  EXPECT_EQ(shared, 0);
+  locks.Release(9, LockMode::kExclusive);
+  EXPECT_EQ(shared, 2);  // Both shared admitted together.
+}
+
+// --- IdleDetector ------------------------------------------------------------
+
+TEST(IdleDetector, FiresAfterDelayFromStart) {
+  Simulator sim;
+  int fires = 0;
+  IdleDetector det(&sim, Milliseconds(100), [&] { ++fires; });
+  sim.RunUntil(Milliseconds(99));
+  EXPECT_EQ(fires, 0);
+  sim.RunUntil(Milliseconds(101));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(IdleDetector, BusyCancelsAndIdleRearms) {
+  Simulator sim;
+  int fires = 0;
+  IdleDetector det(&sim, Milliseconds(100), [&] { ++fires; });
+  sim.RunUntil(Milliseconds(50));
+  det.NoteBusy();
+  sim.RunUntil(Milliseconds(300));
+  EXPECT_EQ(fires, 0);  // Still busy: never fires.
+  det.NoteIdle();
+  sim.RunUntil(Milliseconds(399));
+  EXPECT_EQ(fires, 0);
+  sim.RunUntil(Milliseconds(401));
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(det.Firings(), 1u);
+}
+
+TEST(IdleDetector, FiresOncePerIdlePeriod) {
+  Simulator sim;
+  int fires = 0;
+  IdleDetector det(&sim, Milliseconds(100), [&] { ++fires; });
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(fires, 1);  // Not repeatedly during one long idle period.
+}
+
+// --- ContentModel ------------------------------------------------------------
+
+TEST(Content, FreshStripesAreConsistent) {
+  ContentModel m(4, 1, 16);
+  EXPECT_TRUE(m.StripeConsistent(0));
+  EXPECT_TRUE(m.StripeConsistent(12345));
+}
+
+TEST(Content, ParityAlgebra) {
+  ContentModel m(4, 1, 4);
+  m.SetData(7, 0, 2, 0xAAAA);
+  m.SetData(7, 3, 2, 0x5555);
+  EXPECT_FALSE(m.StripeConsistent(7));
+  m.SetParity(7, 2, m.XorOfData(7, 2));
+  // Sectors 0, 1, 3 are all-zero data with zero parity -- consistent; sector
+  // 2 was just fixed, so the whole stripe is now consistent.
+  EXPECT_TRUE(m.StripeConsistent(7));
+  EXPECT_EQ(m.GetParity(7, 2), 0xAAAAu ^ 0x5555u);
+}
+
+TEST(Content, ReconstructRecoversData) {
+  ContentModel m(4, 1, 2);
+  for (int32_t j = 0; j < 4; ++j) {
+    m.SetData(3, j, 0, ContentModel::MixTag(42, j));
+  }
+  m.SetParity(3, 0, m.XorOfData(3, 0));
+  for (int32_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(m.ReconstructData(3, j, 0), ContentModel::MixTag(42, j));
+  }
+}
+
+TEST(Content, ReconstructWrongWhenParityStale) {
+  ContentModel m(4, 1, 2);
+  m.SetData(3, 0, 0, 111);
+  m.SetParity(3, 0, m.XorOfData(3, 0));
+  m.SetData(3, 0, 0, 222);  // Deferred parity: not refreshed.
+  EXPECT_NE(m.ReconstructData(3, 0, 0), 222u);
+  EXPECT_EQ(m.ReconstructData(3, 0, 0), 111u);  // Xor returns the stale view.
+}
+
+TEST(Content, MixTagNonZeroAndSpread) {
+  Rng rng(1);
+  int collisions = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t a = ContentModel::MixTag(rng.UniformInt(1, 1000),
+                                            rng.UniformInt(0, 100000));
+    EXPECT_NE(a, 0u);
+    if (a == ContentModel::MixTag(rng.UniformInt(1, 1000),
+                                  rng.UniformInt(0, 100000))) {
+      ++collisions;
+    }
+  }
+  EXPECT_LT(collisions, 3);
+}
+
+}  // namespace
+}  // namespace afraid

@@ -1,0 +1,107 @@
+#include "array/idle_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "array/host_driver.h"
+#include "core/afraid_controller.h"
+#include "core/experiment.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+namespace {
+
+TEST(IdlePredictor, NoPredictionWithoutHistory) {
+  IdlePredictor p;
+  EXPECT_EQ(p.PredictIdleDuration(), 0);
+  p.ObserveIdlePeriod(Seconds(1));
+  p.ObserveIdlePeriod(Seconds(1));
+  EXPECT_EQ(p.PredictIdleDuration(), 0);  // Below the minimum history.
+}
+
+TEST(IdlePredictor, ConvergesOnSteadyInput) {
+  IdlePredictor p;
+  for (int i = 0; i < 50; ++i) {
+    p.ObserveIdlePeriod(Milliseconds(500));
+  }
+  // Deviation goes to ~0, so the prediction approaches the mean.
+  EXPECT_NEAR(static_cast<double>(p.PredictIdleDuration()),
+              static_cast<double>(Milliseconds(500)), 1e7);
+}
+
+TEST(IdlePredictor, DiscountsForVariance) {
+  IdlePredictor steady;
+  IdlePredictor noisy;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    steady.ObserveIdlePeriod(Milliseconds(500));
+    noisy.ObserveIdlePeriod(Milliseconds(rng.Bernoulli(0.5) ? 100 : 900));
+  }
+  // Same mean, but the noisy stream predicts less (conservative).
+  EXPECT_LT(noisy.PredictIdleDuration(), steady.PredictIdleDuration());
+}
+
+TEST(IdlePredictor, AdaptsToRegimeChange) {
+  IdlePredictor p;
+  for (int i = 0; i < 50; ++i) {
+    p.ObserveIdlePeriod(Milliseconds(100));
+  }
+  const SimDuration before = p.PredictIdleDuration();
+  for (int i = 0; i < 50; ++i) {
+    p.ObserveIdlePeriod(Seconds(10));
+  }
+  EXPECT_GT(p.PredictIdleDuration(), before * 10);
+}
+
+TEST(IdlePredictor, RemainingHasSurvivalFloor) {
+  IdlePredictor p;
+  for (int i = 0; i < 50; ++i) {
+    p.ObserveIdlePeriod(Seconds(1));
+  }
+  const SimDuration base = p.PredictIdleDuration();
+  // Deep into the period, the estimate floors at a quarter of base rather
+  // than going negative (idle periods are heavy-tailed).
+  EXPECT_EQ(p.PredictRemaining(base * 3), base / 4);
+  EXPECT_GT(p.PredictRemaining(Milliseconds(100)), base / 2);
+}
+
+// End-to-end: with the predictor on, a workload made of many too-short gaps
+// plus rare long gaps should see fewer rebuild passes started in the short
+// gaps (counted as predictor skips), without losing eventual redundancy.
+TEST(IdlePredictor, ControllerSkipsHopelessGaps) {
+  ArrayConfig cfg;
+  cfg.disk_spec = DiskSpec::TinyTestDisk();
+  cfg.num_disks = 5;
+  cfg.stripe_unit_bytes = 8192;
+  cfg.use_idle_predictor = true;
+  cfg.idle_delay = Milliseconds(20);
+
+  Simulator sim;
+  AfraidController ctl(&sim, cfg, MakePolicy(PolicySpec::AfraidBaseline()),
+                       AvailabilityParamsFor(cfg));
+  HostDriver driver(&sim, &ctl, 5);
+  Rng rng(9);
+  // Train: bursts separated by ~35 ms gaps (too short for a ~30 ms rebuild
+  // after the 20 ms detector delay).
+  for (int burst = 0; burst < 40; ++burst) {
+    for (int i = 0; i < 3; ++i) {
+      driver.Submit(rng.UniformInt(0, 200) * 8192, 8192, true);
+    }
+    while (!driver.Drained()) {
+      sim.Step();
+    }
+    sim.RunUntil(sim.Now() + Milliseconds(35));
+  }
+  EXPECT_GT(ctl.PredictorSkips(), 0u);
+  EXPECT_GT(ctl.idle_predictor().Observations(), 10u);
+  // A long quiet spell still lets everything rebuild... eventually the
+  // predictor cannot veto forever because RebuildAll forces it.
+  bool drained = false;
+  ctl.RebuildAll([&drained] { drained = true; });
+  sim.RunToEnd();
+  EXPECT_TRUE(drained);
+  EXPECT_EQ(ctl.nvram().DirtyCount(), 0);
+}
+
+}  // namespace
+}  // namespace afraid

@@ -1,0 +1,172 @@
+// Tests of the Section 3 availability equations against the paper's own
+// worked numbers, plus algebraic sanity properties.
+
+#include "avail/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace afraid {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(AvailModel, Table1Defaults) {
+  AvailabilityParams p;
+  EXPECT_DOUBLE_EQ(p.mttf_disk_raw_hours, 1e6);
+  EXPECT_DOUBLE_EQ(p.mttdl_support_hours, 2e6);
+  EXPECT_DOUBLE_EQ(p.coverage, 0.5);
+  EXPECT_DOUBLE_EQ(p.mttr_hours, 48.0);
+  EXPECT_EQ(p.TotalDisks(), 5);
+  // Coverage 0.5 doubles the effective MTTF of unexpected failures.
+  EXPECT_DOUBLE_EQ(p.EffectiveDiskMttfHours(), 2e6);
+}
+
+TEST(AvailModel, Eq1MatchesPaper) {
+  // "With a 5-disk array, and the parameters of Table 1, this gives a
+  // theoretical MTTDL of ~4.10^9 hours, or about 475,000 years."
+  AvailabilityParams p;
+  const double mttdl = MttdlRaidCatastrophicHours(p);
+  EXPECT_NEAR(mttdl, 4.17e9, 0.05e9);
+  EXPECT_NEAR(mttdl / (24 * 365.25), 475'000, 5'000);  // Years.
+}
+
+TEST(AvailModel, Eq2ReducesToRaidWhenAlwaysProtected) {
+  AvailabilityParams p;
+  EXPECT_EQ(MttdlAfraidUnprotectedHours(p, 0.0), kInf);
+  EXPECT_DOUBLE_EQ(MttdlAfraidHours(p, 0.0), MttdlRaidCatastrophicHours(p));
+}
+
+TEST(AvailModel, Eq2FloorWhenAlwaysUnprotected) {
+  // Permanently unprotected: MTTDL -> MTTF_eff/(N+1) = 400k hours, slightly
+  // reduced by the (tiny) RAID-mode term at fraction 1 (which vanishes).
+  AvailabilityParams p;
+  EXPECT_DOUBLE_EQ(MttdlAfraidUnprotectedHours(p, 1.0), 2e6 / 5.0);
+  EXPECT_DOUBLE_EQ(MttdlAfraidHours(p, 1.0), 2e6 / 5.0);
+}
+
+TEST(AvailModel, MttdlAfraidMonotoneInUnprotFraction) {
+  AvailabilityParams p;
+  double prev = kInf;
+  for (double f = 0.0; f <= 1.0; f += 0.05) {
+    const double m = MttdlAfraidHours(p, f);
+    EXPECT_LE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(AvailModel, AfraidAlwaysBetweenRaid0AndRaid5) {
+  AvailabilityParams p;
+  for (double f : {0.001, 0.01, 0.1, 0.5, 0.99}) {
+    const double m = MttdlAfraidHours(p, f);
+    EXPECT_GT(m, MttdlRaid0Hours(p));
+    EXPECT_LT(m, MttdlRaidCatastrophicHours(p));
+  }
+}
+
+TEST(AvailModel, Eq3MatchesPaper) {
+  // "The RAID 5 array we considered earlier would have a MDLR of ~0.8
+  // bytes/hour from this failure mode."
+  AvailabilityParams p;
+  EXPECT_NEAR(MdlrRaidCatastrophicBph(p), 0.82, 0.05);
+}
+
+TEST(AvailModel, Eq4LinearInParityLag) {
+  AvailabilityParams p;
+  EXPECT_DOUBLE_EQ(MdlrUnprotectedBph(p, 0.0), 0.0);
+  const double one_mb = MdlrUnprotectedBph(p, 1 << 20);
+  EXPECT_DOUBLE_EQ(MdlrUnprotectedBph(p, 2 << 20), 2 * one_mb);
+  // (lag/N)*(N+1)/MTTF = (1MB/4)*5/2e6 = 0.655 bytes/hour.
+  EXPECT_NEAR(one_mb, 0.655, 0.01);
+}
+
+TEST(AvailModel, SupportMdlrMatchesPaper) {
+  // "With a 2M hour MTTDL, our 5-disk array would suffer a MDLR of
+  // 4.0KB/hour; using the 150k hour figure from [Gibson93] would increase
+  // this to 53KB/hour."
+  AvailabilityParams p;
+  EXPECT_NEAR(MdlrSupportBph(p) / 1024.0, 4.1, 0.2);
+  p.mttdl_support_hours = 150e3;
+  EXPECT_NEAR(MdlrSupportBph(p) / 1024.0, 54.6, 2.0);
+}
+
+TEST(AvailModel, NvramPrestoServeMatchesPaper) {
+  // "the popular PrestoServe card has a predicted MTTF of 15k hours; with
+  // 1MB of vulnerable data, this corresponds to an MDLR of 67 bytes/hour."
+  EXPECT_NEAR(MdlrNvramBph(15e3, 1 << 20), 69.9, 3.0);
+}
+
+TEST(AvailModel, PowerFailureMatchesPaper) {
+  // "a 10% write duty cycle on a 5-disk RAID 5 gives a MTTDL of only 43k
+  // hours ... a high-grade ups with an MTTF of 200k hours ... returns the
+  // MTTDL for the array's external power components to 2M hours."
+  EXPECT_DOUBLE_EQ(MttdlPowerHours(4300, 0.10), 43e3);
+  EXPECT_DOUBLE_EQ(MttdlPowerHours(200e3, 0.10), 2e6);
+}
+
+TEST(AvailModel, LossProbabilityMatchesPaper) {
+  // "An aggregate MTTDL of a million hours (114 years) translates into only
+  // a 2.6% likelihood of any data loss at all during a typical 3-year array
+  // lifetime."
+  EXPECT_NEAR(1e6 / (24 * 365.25), 114, 1.0);
+  EXPECT_NEAR(LossProbability(1e6, 26e3) * 100.0, 2.6, 0.05);
+}
+
+TEST(AvailModel, CombineMttdlIsHarmonic) {
+  EXPECT_DOUBLE_EQ(CombineMttdlHours({2e6, 2e6}), 1e6);
+  EXPECT_DOUBLE_EQ(CombineMttdlHours({kInf, 5e5}), 5e5);
+  EXPECT_EQ(CombineMttdlHours({kInf, kInf}), kInf);
+  // Combination is commutative and bounded by the minimum.
+  EXPECT_DOUBLE_EQ(CombineMttdlHours({1e6, 3e6}), CombineMttdlHours({3e6, 1e6}));
+  EXPECT_LT(CombineMttdlHours({1e6, 3e6}), 1e6);
+}
+
+TEST(AvailModel, ReportRaid5) {
+  AvailabilityParams p;
+  const auto r = MakeAvailabilityReport(p, RedundancyScheme::kRaid5, 0, 0);
+  EXPECT_NEAR(r.mttdl_disk_hours, 4.17e9, 0.05e9);
+  // Support-dominated overall (the Section 3.3 lesson).
+  EXPECT_NEAR(r.mttdl_overall_hours, 2e6, 0.01e6);
+  EXPECT_NEAR(r.mdlr_overall_bph, MdlrSupportBph(p) + 0.82, 0.1);
+}
+
+TEST(AvailModel, ReportRaid0) {
+  AvailabilityParams p;
+  const auto r = MakeAvailabilityReport(p, RedundancyScheme::kRaid0, 1.0, 1e9);
+  EXPECT_DOUBLE_EQ(r.mttdl_disk_hours, 200e3);
+  EXPECT_LT(r.mttdl_overall_hours, 200e3);
+  // A whole disk per loss event.
+  EXPECT_NEAR(r.mdlr_disk_bph, 2.147e9 / 200e3, 100.0);
+}
+
+TEST(AvailModel, ReportAfraidUsesMeasuredInputs) {
+  AvailabilityParams p;
+  const auto r = MakeAvailabilityReport(p, RedundancyScheme::kAfraid, 0.05, 64 * 1024);
+  EXPECT_DOUBLE_EQ(r.mttdl_disk_hours, MttdlAfraidHours(p, 0.05));
+  EXPECT_DOUBLE_EQ(r.mdlr_disk_bph, MdlrAfraidBph(p, 0.05, 64 * 1024));
+  EXPECT_EQ(r.t_unprot_fraction, 0.05);
+}
+
+TEST(AvailModel, SchemeNames) {
+  EXPECT_EQ(SchemeName(RedundancyScheme::kRaid0), "RAID 0");
+  EXPECT_EQ(SchemeName(RedundancyScheme::kRaid5), "RAID 5");
+  EXPECT_EQ(SchemeName(RedundancyScheme::kAfraid), "AFRAID");
+}
+
+// The end-to-end availability argument of Section 3.6: once the disk-related
+// MTTDL exceeds a few million hours, support components dominate and further
+// disk-layer heroics buy nothing.
+TEST(AvailModel, EndToEndAvailabilityArgument) {
+  AvailabilityParams p;
+  const double raid5 = CombineMttdlHours({MttdlRaidCatastrophicHours(p),
+                                          p.mttdl_support_hours});
+  const double afraid_good = CombineMttdlHours({MttdlAfraidHours(p, 0.01),
+                                                p.mttdl_support_hours});
+  // A bursty-workload AFRAID gives up only a sliver of overall availability.
+  EXPECT_GT(afraid_good / raid5, 0.90);
+}
+
+}  // namespace
+}  // namespace afraid

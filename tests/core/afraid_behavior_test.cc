@@ -1,0 +1,274 @@
+// AFRAID-specific behaviour: marking, idle-triggered rebuilds, preemption,
+// parity-lag accounting, paritypoints, and the policy machinery.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/host_driver.h"
+#include "core/afraid_controller.h"
+#include "core/experiment.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+namespace {
+
+ArrayConfig TinyConfig() {
+  ArrayConfig cfg;
+  cfg.disk_spec = DiskSpec::TinyTestDisk();
+  cfg.num_disks = 5;
+  cfg.stripe_unit_bytes = 8192;
+  cfg.track_content = true;
+  return cfg;
+}
+
+class AfraidRig : public ::testing::Test {
+ protected:
+  void Build(PolicySpec spec, ArrayConfig cfg) {
+    cfg_ = cfg;
+    ctl_ = std::make_unique<AfraidController>(&sim_, cfg_, MakePolicy(spec),
+                                              AvailabilityParamsFor(cfg_));
+    driver_ = std::make_unique<HostDriver>(&sim_, ctl_.get(), cfg_.MaxActive());
+  }
+  void Build(PolicySpec spec = PolicySpec::AfraidBaseline()) {
+    Build(spec, TinyConfig());
+  }
+
+  ArrayConfig cfg_;
+  Simulator sim_;
+  std::unique_ptr<AfraidController> ctl_;
+  std::unique_ptr<HostDriver> driver_;
+};
+
+TEST_F(AfraidRig, WriteMarksAllTouchedStripes) {
+  Build();
+  driver_->Submit(3 * 8192, 3 * 8192, true);  // Last block of stripe 0 + 2 more.
+  sim_.RunUntil(Milliseconds(50));
+  EXPECT_TRUE(ctl_->nvram().IsDirty(0));
+  EXPECT_TRUE(ctl_->nvram().IsDirty(1));
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 2);
+}
+
+TEST_F(AfraidRig, ParityLagCountsWholeStripes) {
+  // "Any write to a stripe unprotects it all": lag = N * S per dirty stripe.
+  Build();
+  driver_->Submit(0, 512, true);  // A single sector still exposes N blocks.
+  sim_.RunUntil(Milliseconds(50));
+  EXPECT_DOUBLE_EQ(ctl_->CurrentParityLagBytes(), 4.0 * 8192.0);
+}
+
+TEST_F(AfraidRig, IdleRebuildAfterConfiguredDelay) {
+  ArrayConfig cfg = TinyConfig();
+  cfg.idle_delay = Milliseconds(250);
+  Build(PolicySpec::AfraidBaseline(), cfg);
+  driver_->Submit(0, 8192, true);
+  sim_.RunToEnd();  // Write finishes, 250 ms later the rebuild runs.
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 0);
+  EXPECT_EQ(ctl_->StripesRebuilt(), 1u);
+  EXPECT_DOUBLE_EQ(ctl_->CurrentParityLagBytes(), 0.0);
+  EXPECT_TRUE(ctl_->content()->StripeConsistent(0));
+}
+
+TEST_F(AfraidRig, RebuildCoalescesAdjacentStripesInOrder) {
+  Build();
+  // Dirty stripes 5, 6, 7 and 20 out of order.
+  driver_->Submit(20 * 4 * 8192, 8192, true);
+  driver_->Submit(6 * 4 * 8192, 8192, true);
+  driver_->Submit(5 * 4 * 8192, 8192, true);
+  driver_->Submit(7 * 4 * 8192, 8192, true);
+  sim_.RunToEnd();
+  EXPECT_EQ(ctl_->StripesRebuilt(), 4u);
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 0);
+}
+
+TEST_F(AfraidRig, RebuildPreemptedByForegroundBetweenStripes) {
+  Build();
+  // Dirty a lot of stripes, let the rebuild start, then inject a client
+  // request: the pass must stop early (baseline policy: idle-only).
+  for (int i = 0; i < 12; ++i) {
+    driver_->Submit(i * 4 * 8192, 8192, true);
+  }
+  sim_.RunToEnd();
+  ASSERT_EQ(ctl_->nvram().DirtyCount(), 0);  // All rebuilt eventually.
+
+  for (int i = 0; i < 12; ++i) {
+    driver_->Submit(i * 4 * 8192, 8192, true);
+  }
+  // Run until just after the idle detector fires and one or two stripes
+  // rebuild, then submit a burst of reads.
+  const uint64_t rebuilt_before = ctl_->StripesRebuilt();
+  sim_.RunUntil(sim_.Now() + Milliseconds(160));
+  driver_->Submit(100 * 4 * 8192, 8192, false);
+  driver_->Submit(101 * 4 * 8192, 8192, false);
+  sim_.RunUntil(sim_.Now() + Milliseconds(30));
+  // Rebuild stopped with work remaining (preempted between stripes).
+  EXPECT_GT(ctl_->nvram().DirtyCount(), 0);
+  sim_.RunToEnd();
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 0);
+  EXPECT_GT(ctl_->StripesRebuilt(), rebuilt_before);
+}
+
+TEST_F(AfraidRig, ConcurrentWritesToOneStripeProceedInParallel) {
+  Build();
+  // Two writes to different blocks of stripe 0 at the same instant: both
+  // should finish within a single disk-op time of each other (shared lock).
+  driver_->Submit(0, 8192, true);
+  driver_->Submit(8192, 8192, true);
+  sim_.RunUntil(Milliseconds(60));
+  EXPECT_EQ(driver_->Completed(), 2u);
+  const double spread = driver_->AllLatencies().Max() - driver_->AllLatencies().Min();
+  EXPECT_LT(spread, 15.0);  // Not serialised behind each other.
+}
+
+TEST_F(AfraidRig, WriteBlocksBehindInProgressRebuildOfSameStripe) {
+  Build();
+  driver_->Submit(0, 8192, true);
+  sim_.RunToEnd();  // Stripe 0 clean again; rebuild done.
+  // Dirty it, wait for the rebuild to be mid-stripe, then write again.
+  driver_->Submit(0, 8192, true);
+  while (!driver_->Drained()) {
+    sim_.Step();
+  }
+  sim_.RunUntil(sim_.Now() + Milliseconds(105));  // Idle fires at +100ms.
+  ASSERT_TRUE(ctl_->RebuildInProgress());
+  driver_->Submit(8192, 8192, true);  // Same stripe: must wait for the lock.
+  sim_.RunToEnd();
+  EXPECT_EQ(driver_->Completed(), 3u);
+  EXPECT_TRUE(ctl_->content()->StripeConsistent(0));
+}
+
+TEST_F(AfraidRig, ParityPointForcesRedundancy) {
+  Build(PolicySpec::Raid0());  // Never rebuilds on its own.
+  driver_->Submit(0, 8192, true);
+  driver_->Submit(50 * 4 * 8192, 8192, true);
+  sim_.RunToEnd();
+  ASSERT_EQ(ctl_->nvram().DirtyCount(), 2);
+  bool done = false;
+  ctl_->ParityPoint(0, 8192, [&done] { done = true; });
+  sim_.RunToEnd();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ctl_->nvram().IsDirty(0));
+  EXPECT_TRUE(ctl_->content()->StripeConsistent(0));
+}
+
+TEST_F(AfraidRig, ParityPointOnCleanRangeCompletesImmediately) {
+  Build();
+  bool done = false;
+  ctl_->ParityPoint(0, 4 * 8192, [&done] { done = true; });
+  sim_.RunToEnd();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(AfraidRig, RebuildAllQuiesces) {
+  Build(PolicySpec::Raid0());
+  for (int i = 0; i < 5; ++i) {
+    driver_->Submit(i * 4 * 8192, 8192, true);
+  }
+  sim_.RunToEnd();
+  ASSERT_EQ(ctl_->nvram().DirtyCount(), 5);
+  bool done = false;
+  ctl_->RebuildAll([&done] { done = true; });
+  sim_.RunToEnd();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 0);
+}
+
+TEST_F(AfraidRig, TUnprotFractionTracksExposureWindow) {
+  ArrayConfig cfg = TinyConfig();
+  cfg.idle_delay = Milliseconds(100);
+  Build(PolicySpec::AfraidBaseline(), cfg);
+  driver_->Submit(0, 8192, true);
+  sim_.RunToEnd();
+  const SimTime end = sim_.Now();
+  // Unprotected from the write start (~0) until the rebuild finished (end).
+  // The fraction over [0, end] should be large (most of this short run).
+  EXPECT_GT(ctl_->TUnprotFraction(), 0.5);
+  // Now accrue protected time: the fraction decays.
+  sim_.RunUntil(end * 10);
+  EXPECT_LT(ctl_->TUnprotFraction(), 0.15);
+}
+
+TEST_F(AfraidRig, StripeThresholdPolicyForcesRebuildUnderLoad) {
+  Build(PolicySpec::StripeThreshold(3));
+  // Keep the array continuously busy while dirtying > 3 stripes.
+  for (int i = 0; i < 8; ++i) {
+    driver_->Submit(i * 4 * 8192, 8192, true);
+  }
+  sim_.RunUntil(Milliseconds(95));  // Before any idle firing.
+  EXPECT_GT(ctl_->StripesRebuilt(), 0u);
+  sim_.RunToEnd();
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 0);
+}
+
+TEST_F(AfraidRig, NvramFailureForcesRaid5ModeWrites) {
+  Build();
+  ctl_->FailNvram();
+  driver_->Submit(0, 8192, true);
+  sim_.RunToEnd();
+  // No marking possible; the write must have updated parity synchronously.
+  EXPECT_EQ(ctl_->Raid5ModeStripeWrites(), 1u);
+  EXPECT_EQ(ctl_->AfraidModeStripeWrites(), 0u);
+  EXPECT_TRUE(ctl_->content()->StripeConsistent(0));
+}
+
+TEST_F(AfraidRig, FullScrubRestoresConsistencyAfterNvramLoss) {
+  ArrayConfig cfg = TinyConfig();
+  Build(PolicySpec::Raid0(), cfg);
+  driver_->Submit(0, 8192, true);
+  driver_->Submit(9 * 4 * 8192, 8192, true);
+  sim_.RunToEnd();
+  ASSERT_FALSE(ctl_->content()->StripeConsistent(0));
+  ASSERT_FALSE(ctl_->content()->StripeConsistent(9));
+  ctl_->FailNvram();
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 0);  // Knowledge lost.
+  bool done = false;
+  ctl_->StartFullScrub([&done] { done = true; });
+  sim_.RunToEnd();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ctl_->nvram().failed());
+  for (int64_t s : ctl_->content()->TouchedStripes()) {
+    EXPECT_TRUE(ctl_->content()->StripeConsistent(s)) << "stripe " << s;
+  }
+  EXPECT_DOUBLE_EQ(ctl_->CurrentParityLagBytes(), 0.0);
+}
+
+TEST_F(AfraidRig, ScrubTimeMatchesPaperBallpark) {
+  // Section 3.1: full-array parity rebuild "about ten minutes for an array
+  // using 2GB disks that can read at a sustained rate of 5MB/s". Our tiny
+  // test disk is 2 MiB, so the scrub should take roughly (2 MiB / disk rate)
+  // with overheads -- just sanity-check it is tens of seconds, not hours.
+  Build(PolicySpec::AfraidBaseline());
+  bool done = false;
+  const SimTime start = sim_.Now();
+  ctl_->StartFullScrub([&done] { done = true; });
+  sim_.RunToEnd();
+  ASSERT_TRUE(done);
+  const double secs = ToSeconds(sim_.Now() - start);
+  // 256 stripes x ~5 I/Os x ~10 ms each, with parallel reads: O(10 s).
+  EXPECT_GT(secs, 1.0);
+  EXPECT_LT(secs, 60.0);
+}
+
+TEST_F(AfraidRig, MttdlPolicyRevertsUnderSustainedExposure) {
+  Build(PolicySpec::MttdlTarget(3e6));
+  // Hammer writes with no idle: exposure accrues and the policy must start
+  // issuing RAID 5-mode writes.
+  for (int i = 0; i < 60; ++i) {
+    driver_->Submit(i * 4 * 8192, 8192, true);
+  }
+  sim_.RunToEnd();
+  EXPECT_GT(ctl_->Raid5ModeStripeWrites(), 0u);
+}
+
+TEST_F(AfraidRig, PolicyContextReflectsState) {
+  Build();
+  driver_->Submit(0, 8192, true);
+  sim_.RunUntil(Milliseconds(50));
+  const PolicyContext ctx = ctl_->MakePolicyContext();
+  EXPECT_EQ(ctx.dirty_stripes, 1);
+  EXPECT_GT(ctx.t_unprot_fraction, 0.0);
+  EXPECT_EQ(ctx.avail->num_data_disks, 4);
+}
+
+}  // namespace
+}  // namespace afraid

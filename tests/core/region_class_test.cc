@@ -1,0 +1,137 @@
+// Section 5 per-region redundancy classes: stripe ranges pinned to RAID 5,
+// AFRAID or RAID 0-style behaviour, overriding the installed policy.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/host_driver.h"
+#include "core/afraid_controller.h"
+#include "core/experiment.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+namespace {
+
+ArrayConfig TinyConfig() {
+  ArrayConfig cfg;
+  cfg.disk_spec = DiskSpec::TinyTestDisk();
+  cfg.num_disks = 5;
+  cfg.stripe_unit_bytes = 8192;
+  cfg.track_content = true;
+  return cfg;
+}
+
+class RegionRig : public ::testing::Test {
+ protected:
+  void Build(PolicySpec spec) {
+    ctl_ = std::make_unique<AfraidController>(&sim_, TinyConfig(), MakePolicy(spec),
+                                              AvailabilityParamsFor(TinyConfig()));
+    driver_ = std::make_unique<HostDriver>(&sim_, ctl_.get(), 5);
+  }
+  void Write(int64_t offset) {
+    driver_->Submit(offset, 8192, true);
+    sim_.RunToEnd();
+  }
+
+  Simulator sim_;
+  std::unique_ptr<AfraidController> ctl_;
+  std::unique_ptr<HostDriver> driver_;
+};
+
+constexpr int64_t kStripeBytes = 4 * 8192;  // N * S.
+
+TEST_F(RegionRig, DefaultIsPolicyDefault) {
+  Build(PolicySpec::AfraidBaseline());
+  EXPECT_EQ(ctl_->RegionClassOf(0), AfraidController::RedundancyClass::kPolicyDefault);
+}
+
+TEST_F(RegionRig, RegionLookupAndPrecedence) {
+  Build(PolicySpec::AfraidBaseline());
+  ctl_->SetRegionClass(0, 10 * kStripeBytes,
+                       AfraidController::RedundancyClass::kAlwaysRaid5);
+  ctl_->SetRegionClass(5 * kStripeBytes, 2 * kStripeBytes,
+                       AfraidController::RedundancyClass::kNeverParity);
+  EXPECT_EQ(ctl_->RegionClassOf(0), AfraidController::RedundancyClass::kAlwaysRaid5);
+  EXPECT_EQ(ctl_->RegionClassOf(5), AfraidController::RedundancyClass::kNeverParity);
+  EXPECT_EQ(ctl_->RegionClassOf(6), AfraidController::RedundancyClass::kNeverParity);
+  EXPECT_EQ(ctl_->RegionClassOf(7), AfraidController::RedundancyClass::kAlwaysRaid5);
+  EXPECT_EQ(ctl_->RegionClassOf(10),
+            AfraidController::RedundancyClass::kPolicyDefault);
+}
+
+TEST_F(RegionRig, AlwaysRaid5RegionWritesSynchronously) {
+  Build(PolicySpec::AfraidBaseline());  // Policy would defer parity...
+  ctl_->SetRegionClass(0, kStripeBytes,
+                       AfraidController::RedundancyClass::kAlwaysRaid5);
+  Write(0);  // ...but the region forces RAID 5.
+  EXPECT_EQ(ctl_->Raid5ModeStripeWrites(), 1u);
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 0);
+  EXPECT_TRUE(ctl_->content()->StripeConsistent(0));
+  // Outside the region, the policy rules: deferred write.
+  Write(20 * kStripeBytes);
+  EXPECT_EQ(ctl_->AfraidModeStripeWrites(), 1u);
+}
+
+TEST_F(RegionRig, AlwaysAfraidRegionDefersEvenUnderRaid5Policy) {
+  Build(PolicySpec::Raid5());
+  ctl_->SetRegionClass(0, kStripeBytes,
+                       AfraidController::RedundancyClass::kAlwaysAfraid);
+  driver_->Submit(0, 8192, true);
+  while (!driver_->Drained()) {
+    sim_.Step();
+  }
+  EXPECT_EQ(ctl_->AfraidModeStripeWrites(), 1u);
+  EXPECT_TRUE(ctl_->nvram().IsDirty(0));
+  sim_.RunToEnd();  // Idle rebuild still cleans it up.
+  EXPECT_FALSE(ctl_->nvram().IsDirty(0));
+}
+
+TEST_F(RegionRig, NeverParityRegionIsSkippedByRebuilds) {
+  Build(PolicySpec::AfraidBaseline());
+  ctl_->SetRegionClass(0, kStripeBytes,
+                       AfraidController::RedundancyClass::kNeverParity);
+  Write(0);                   // RAID 0-style stripe.
+  Write(30 * kStripeBytes);   // Normal stripe.
+  // The rebuild pass cleaned the normal stripe but left the RAID 0 region.
+  EXPECT_TRUE(ctl_->nvram().IsDirty(0));
+  EXPECT_FALSE(ctl_->nvram().IsDirty(30));
+  EXPECT_FALSE(ctl_->content()->StripeConsistent(0));
+}
+
+TEST_F(RegionRig, RebuildAllIgnoresNeverParityStripes) {
+  Build(PolicySpec::Raid0());
+  ctl_->SetRegionClass(0, kStripeBytes,
+                       AfraidController::RedundancyClass::kNeverParity);
+  Write(0);
+  Write(10 * kStripeBytes);
+  bool done = false;
+  ctl_->RebuildAll([&done] { done = true; });
+  sim_.RunToEnd();
+  EXPECT_TRUE(done);  // Completes without waiting on the RAID 0 stripe.
+  EXPECT_TRUE(ctl_->nvram().IsDirty(0));
+  EXPECT_FALSE(ctl_->nvram().IsDirty(10));
+}
+
+TEST_F(RegionRig, MixedClassesCoexistInOneRun) {
+  Build(PolicySpec::AfraidBaseline());
+  ctl_->SetRegionClass(0, 4 * kStripeBytes,
+                       AfraidController::RedundancyClass::kAlwaysRaid5);
+  ctl_->SetRegionClass(8 * kStripeBytes, 4 * kStripeBytes,
+                       AfraidController::RedundancyClass::kNeverParity);
+  for (int64_t s = 0; s < 16; ++s) {
+    Write(s * kStripeBytes);
+  }
+  sim_.RunToEnd();
+  for (int64_t s = 0; s < 16; ++s) {
+    if (s >= 8 && s < 12) {
+      EXPECT_TRUE(ctl_->nvram().IsDirty(s)) << s;   // RAID 0 region.
+    } else {
+      EXPECT_FALSE(ctl_->nvram().IsDirty(s)) << s;  // RAID 5 or rebuilt.
+      EXPECT_TRUE(ctl_->content()->StripeConsistent(s)) << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace afraid

@@ -1,0 +1,176 @@
+// Section 5 sub-stripe marking: M marking bits per stripe make the unit of
+// parity reconstruction a band of height S/M, so small writes unprotect --
+// and later rebuild -- only the touched fraction of the stripe.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "array/host_driver.h"
+#include "core/afraid_controller.h"
+#include "core/experiment.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+namespace {
+
+ArrayConfig BandConfig(int32_t marks) {
+  ArrayConfig cfg;
+  cfg.disk_spec = DiskSpec::TinyTestDisk();
+  cfg.num_disks = 5;
+  cfg.stripe_unit_bytes = 8192;  // 16 sectors per unit.
+  cfg.marks_per_stripe = marks;
+  cfg.track_content = true;
+  return cfg;
+}
+
+class BandRig : public ::testing::Test {
+ protected:
+  void Build(int32_t marks, PolicySpec spec = PolicySpec::AfraidBaseline()) {
+    cfg_ = BandConfig(marks);
+    ctl_ = std::make_unique<AfraidController>(&sim_, cfg_, MakePolicy(spec),
+                                              AvailabilityParamsFor(cfg_));
+    driver_ = std::make_unique<HostDriver>(&sim_, ctl_.get(), 5);
+  }
+
+  ArrayConfig cfg_;
+  Simulator sim_;
+  std::unique_ptr<AfraidController> ctl_;
+  std::unique_ptr<HostDriver> driver_;
+};
+
+TEST_F(BandRig, SmallWriteMarksOnlyItsBand) {
+  Build(4);  // Bands of 2 KB.
+  driver_->Submit(0, 2048, true);  // Exactly band 0 of stripe 0.
+  sim_.RunUntil(Milliseconds(50));
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 1);
+  // Lag counts one band: N * S / M = 4 * 8192 / 4.
+  EXPECT_DOUBLE_EQ(ctl_->CurrentParityLagBytes(), 4.0 * 8192.0 / 4.0);
+}
+
+TEST_F(BandRig, SpanningWriteMarksAllCoveredBands) {
+  Build(4);
+  driver_->Submit(1024, 4096, true);  // Bytes 1K-5K: bands 0, 1, 2.
+  sim_.RunUntil(Milliseconds(50));
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 3);
+}
+
+TEST_F(BandRig, RebuildRefreshesBandByBand) {
+  Build(4);
+  driver_->Submit(0, 2048, true);
+  sim_.RunToEnd();  // Idle rebuild runs.
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 0);
+  EXPECT_EQ(ctl_->StripesRebuilt(), 1u);  // One band.
+  EXPECT_TRUE(ctl_->content()->StripeConsistent(0));
+}
+
+TEST_F(BandRig, RebuildTransfersOnlyTheBand) {
+  // With M = 4 a band rebuild moves 1/4 of the data a stripe rebuild would.
+  uint64_t ops_m1 = 0;
+  int64_t sectors_m1 = 0;
+  uint64_t ops_m4 = 0;
+  int64_t sectors_m4 = 0;
+  for (int32_t marks : {1, 4}) {
+    Simulator sim;
+    const ArrayConfig cfg = BandConfig(marks);
+    AfraidController ctl(&sim, cfg, MakePolicy(PolicySpec::AfraidBaseline()),
+                         AvailabilityParamsFor(cfg));
+    HostDriver driver(&sim, &ctl, 5);
+    driver.Submit(0, 2048, true);
+    sim.RunToEnd();
+    int64_t sectors = 0;
+    for (int32_t d = 0; d < cfg.num_disks; ++d) {
+      sectors += ctl.disk(d).SectorsTransferred();
+    }
+    if (marks == 1) {
+      ops_m1 = ctl.TotalDiskOps();
+      sectors_m1 = sectors;
+    } else {
+      ops_m4 = ctl.TotalDiskOps();
+      sectors_m4 = sectors;
+    }
+  }
+  EXPECT_EQ(ops_m1, ops_m4);  // Same I/O count (1 write + 4 reads + 1 write)...
+  EXPECT_GT(sectors_m1, sectors_m4);  // ...but far fewer sectors moved.
+}
+
+TEST_F(BandRig, RmwAllowedWhenOtherBandDirty) {
+  // Stripe has a dirty band; a RAID 5-mode write to a *clean* band of the
+  // same stripe can still RMW (band-granular parity validity).
+  Build(4, PolicySpec::Raid0());  // Dirty a band, never rebuild.
+  driver_->Submit(0, 2048, true);  // Band 0 dirty.
+  sim_.RunToEnd();
+  ASSERT_EQ(ctl_->nvram().DirtyCount(), 1);
+
+  // Inject a RAID 5-style write to band 3 via a forced-RAID 5 region.
+  ctl_->SetRegionClass(0, 4 * 8192, AfraidController::RedundancyClass::kAlwaysRaid5);
+  driver_->Submit(6144, 2048, true);  // Band 3 of block 0.
+  sim_.RunToEnd();
+  // RMW happened (old-parity read) and band 0 stayed dirty.
+  EXPECT_EQ(ctl_->DiskOps(DiskOpPurpose::kOldParityRead), 1u);
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 1);
+  EXPECT_TRUE(ctl_->nvram().IsDirty(0));  // Band key 0 = stripe 0 band 0.
+}
+
+TEST_F(BandRig, WriteToDirtyBandForcesFullParityRefresh) {
+  Build(4, PolicySpec::Raid0());
+  driver_->Submit(0, 2048, true);  // Band 0 dirty.
+  sim_.RunToEnd();
+  ctl_->SetRegionClass(0, 4 * 8192, AfraidController::RedundancyClass::kAlwaysRaid5);
+  driver_->Submit(0, 2048, true);  // Same dirty band, RAID 5-forced.
+  sim_.RunToEnd();
+  // Reconstruct-write path: parity rewritten from scratch, everything clean.
+  EXPECT_EQ(ctl_->nvram().DirtyCount(), 0);
+  EXPECT_TRUE(ctl_->content()->StripeConsistent(0));
+}
+
+TEST_F(BandRig, DegradedLossIsBandGranular) {
+  Build(4, PolicySpec::Raid0());
+  driver_->Submit(0, 2048, true);  // Band 0 of block 0 dirty.
+  sim_.RunToEnd();
+  const int32_t victim = ctl_->layout().DataDisk(0, 0);
+  ctl_->FailDisk(victim);
+  // Reading band 3 (clean) of the failed block reconstructs fine...
+  driver_->Submit(6144, 2048, false);
+  sim_.RunToEnd();
+  EXPECT_EQ(ctl_->LossEvents(), 0u);
+  // ...reading band 0 (dirty) is a loss.
+  driver_->Submit(0, 2048, false);
+  sim_.RunToEnd();
+  EXPECT_EQ(ctl_->LossEvents(), 1u);
+  EXPECT_EQ(ctl_->BytesLost(), 2048);
+}
+
+TEST_F(BandRig, RandomizedConsistencyAcrossMarkCounts) {
+  for (int32_t marks : {1, 2, 4, 8, 16}) {
+    Simulator sim;
+    const ArrayConfig cfg = BandConfig(marks);
+    AfraidController ctl(&sim, cfg, MakePolicy(PolicySpec::AfraidBaseline()),
+                         AvailabilityParamsFor(cfg));
+    HostDriver driver(&sim, &ctl, 5);
+    Rng rng(1000 + static_cast<uint64_t>(marks));
+    const int64_t cap = ctl.DataCapacityBytes();
+    for (int i = 0; i < 50; ++i) {
+      const int32_t size = static_cast<int32_t>(512 * rng.UniformInt(1, 24));
+      driver.Submit(512 * rng.UniformInt(0, (cap - size) / 512), size,
+                    rng.Bernoulli(0.7));
+      if (rng.Bernoulli(0.3)) {
+        sim.RunUntil(sim.Now() + Milliseconds(rng.UniformInt(1, 300)));
+      }
+    }
+    sim.RunToEnd();
+    bool drained = false;
+    ctl.RebuildAll([&drained] { drained = true; });
+    sim.RunToEnd();
+    ASSERT_TRUE(drained) << "marks=" << marks;
+    EXPECT_EQ(ctl.nvram().DirtyCount(), 0) << "marks=" << marks;
+    for (int64_t s : ctl.content()->TouchedStripes()) {
+      EXPECT_TRUE(ctl.content()->StripeConsistent(s))
+          << "marks=" << marks << " stripe " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace afraid

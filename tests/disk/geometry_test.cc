@@ -1,0 +1,104 @@
+#include "disk/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_spec.h"
+#include "sim/random.h"
+
+namespace afraid {
+namespace {
+
+DiskGeometry Hp() {
+  const DiskSpec spec = DiskSpec::HpC3325Like();
+  return DiskGeometry(spec.zones, spec.heads, spec.sector_bytes);
+}
+
+TEST(Geometry, HpPresetCapacityIsAbout2GB) {
+  const DiskGeometry g = Hp();
+  EXPECT_EQ(g.CapacityBytes(), 2'146'176'000);
+  EXPECT_EQ(g.TotalSectors(), 4'191'750);
+  EXPECT_EQ(g.TotalCylinders(), 4315);
+}
+
+TEST(Geometry, FirstAndLastSector) {
+  const DiskGeometry g = Hp();
+  const Chs first = g.ToChs(0);
+  EXPECT_EQ(first.zone, 0);
+  EXPECT_EQ(first.cylinder, 0);
+  EXPECT_EQ(first.head, 0);
+  EXPECT_EQ(first.sector, 0);
+  EXPECT_EQ(first.sectors_per_track, 126);
+
+  const Chs last = g.ToChs(g.TotalSectors() - 1);
+  EXPECT_EQ(last.zone, 2);
+  EXPECT_EQ(last.cylinder, g.TotalCylinders() - 1);
+  EXPECT_EQ(last.head, g.Heads() - 1);
+  EXPECT_EQ(last.sector, 89);
+  EXPECT_EQ(last.sectors_per_track, 90);
+}
+
+TEST(Geometry, ZoneBoundaries) {
+  const DiskGeometry g = Hp();
+  // Zone 0: 1400 cylinders x 9 heads x 126 spt.
+  const int64_t zone0_sectors = 1400LL * 9 * 126;
+  EXPECT_EQ(g.ToChs(zone0_sectors - 1).zone, 0);
+  EXPECT_EQ(g.ToChs(zone0_sectors).zone, 1);
+  EXPECT_EQ(g.ToChs(zone0_sectors).cylinder, 1400);
+  EXPECT_EQ(g.ToChs(zone0_sectors).sector, 0);
+}
+
+TEST(Geometry, MappingIsBijective) {
+  const DiskGeometry g = Hp();
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t lba = rng.UniformInt(0, g.TotalSectors() - 1);
+    const Chs chs = g.ToChs(lba);
+    EXPECT_EQ(g.ToLba(chs), lba);
+    EXPECT_GE(chs.sector, 0);
+    EXPECT_LT(chs.sector, chs.sectors_per_track);
+    EXPECT_GE(chs.head, 0);
+    EXPECT_LT(chs.head, g.Heads());
+  }
+}
+
+TEST(Geometry, ConsecutiveLbasAreConsecutiveOnTrack) {
+  const DiskGeometry g = Hp();
+  const Chs a = g.ToChs(100);
+  const Chs b = g.ToChs(101);
+  EXPECT_EQ(a.cylinder, b.cylinder);
+  EXPECT_EQ(a.head, b.head);
+  EXPECT_EQ(a.sector + 1, b.sector);
+}
+
+TEST(Geometry, TrackBoundaryAdvancesHeadThenCylinder) {
+  const DiskGeometry g = Hp();
+  // End of the first track.
+  const Chs end_track = g.ToChs(125);
+  EXPECT_EQ(end_track.sector, 125);
+  const Chs next = g.ToChs(126);
+  EXPECT_EQ(next.head, 1);
+  EXPECT_EQ(next.sector, 0);
+  EXPECT_EQ(next.cylinder, 0);
+  // End of the first cylinder.
+  const Chs last_of_cyl = g.ToChs(126 * 9 - 1);
+  EXPECT_EQ(last_of_cyl.head, 8);
+  const Chs first_of_next = g.ToChs(126 * 9);
+  EXPECT_EQ(first_of_next.cylinder, 1);
+  EXPECT_EQ(first_of_next.head, 0);
+}
+
+TEST(Geometry, TinyDiskPreset) {
+  const DiskSpec spec = DiskSpec::TinyTestDisk();
+  const DiskGeometry g(spec.zones, spec.heads, spec.sector_bytes);
+  EXPECT_EQ(g.TotalSectors(), 64 * 16 * 4);
+  EXPECT_EQ(g.CapacityBytes(), 2 * 1024 * 1024);
+}
+
+TEST(Geometry, TrackIndexIsGlobal) {
+  const DiskGeometry g = Hp();
+  const Chs chs = g.ToChs(126LL * 9 * 3 + 126 * 2 + 7);  // Cyl 3, head 2, sector 7.
+  EXPECT_EQ(chs.track_index, 3 * 9 + 2);
+}
+
+}  // namespace
+}  // namespace afraid

@@ -1,0 +1,148 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace afraid {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  EXPECT_EQ(q.NextTime(), kSimTimeNever);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, PopReturnsScheduledTime) {
+  EventQueue q;
+  q.Schedule(1234, [] {});
+  EXPECT_EQ(q.NextTime(), 1234);
+  auto fired = q.PopNext();
+  EXPECT_EQ(fired.time, 1234);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.Schedule(10, [&] { ++fired; });
+  q.Schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_EQ(q.NextTime(), 20);
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId a = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_FALSE(q.Cancel(a));
+}
+
+TEST(EventQueue, CancelFiredEventFails) {
+  EventQueue q;
+  const EventId a = q.Schedule(10, [] {});
+  q.PopNext();
+  EXPECT_FALSE(q.Cancel(a));
+}
+
+TEST(EventQueue, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(999));
+}
+
+TEST(EventQueue, CancelHeadThenNextTimeSkips) {
+  EventQueue q;
+  const EventId a = q.Schedule(5, [] {});
+  q.Schedule(10, [] {});
+  q.Cancel(a);
+  EXPECT_EQ(q.NextTime(), 10);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.NextTime(), kSimTimeNever);
+}
+
+// Property: against a shadow model, random schedule/cancel/pop sequences
+// always pop live events in (time, seq) order.
+TEST(EventQueueProperty, RandomizedAgainstShadowModel) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    EventQueue q;
+    struct Shadow {
+      SimTime time;
+      EventId id;
+      bool cancelled = false;
+      std::shared_ptr<bool> fired = std::make_shared<bool>(false);
+    };
+    std::vector<Shadow> shadow;
+
+    for (int step = 0; step < 2000; ++step) {
+      const double roll = rng.UniformDouble(0, 1);
+      if (roll < 0.55) {
+        const SimTime t = rng.UniformInt(0, 1000);
+        Shadow s;
+        s.time = t;
+        s.id = q.Schedule(t, [flag = s.fired] { *flag = true; });
+        shadow.push_back(std::move(s));
+      } else if (roll < 0.75 && !shadow.empty()) {
+        auto& s = shadow[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(shadow.size()) - 1))];
+        EXPECT_EQ(q.Cancel(s.id), !s.cancelled && !*s.fired);
+        s.cancelled = true;
+      } else if (!q.Empty()) {
+        q.PopNext().fn();
+      }
+    }
+    // Whatever is left must drain in non-decreasing time order.
+    SimTime prev = -1;
+    while (!q.Empty()) {
+      auto fired = q.PopNext();
+      EXPECT_GE(fired.time, prev);
+      prev = fired.time;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace afraid

@@ -1,0 +1,125 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace afraid {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1'000'000) == b.UniformInt(0, 1'000'000)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.ExponentialMean(25.0);
+  }
+  EXPECT_NEAR(sum / n, 25.0, 0.5);
+}
+
+TEST(Rng, ParetoRespectsMinimumAndCap) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Pareto(1.5, 10.0, 500.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LE(v, 500.0);
+  }
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  // Untruncated Pareto mean = alpha*xm/(alpha-1).
+  Rng rng(17);
+  const double alpha = 2.5;
+  const double xm = 4.0;
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Pareto(alpha, xm);
+  }
+  EXPECT_NEAR(sum / n, alpha * xm / (alpha - 1.0), 0.15);
+}
+
+TEST(Rng, BernoulliFraction) {
+  Rng rng(19);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    heads += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricTrialsMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.GeometricTrials(0.1));
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.3);  // Mean trials = 1/p.
+}
+
+TEST(Rng, GeometricTrialsAtLeastOne) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.GeometricTrials(0.99), 1);
+  }
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(31);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.Fork();
+  // The child stream should not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1'000'000) == child.UniformInt(0, 1'000'000)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace afraid

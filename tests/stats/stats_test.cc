@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.h"
+#include "stats/histogram.h"
+#include "stats/sample_set.h"
+#include "stats/streaming.h"
+#include "stats/summary.h"
+#include "stats/time_weighted.h"
+
+namespace afraid {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+}
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(StreamingStats, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  StreamingStats all;
+  StreamingStats a;
+  StreamingStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(10, 3);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_NEAR(a.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(a.Variance(), all.Variance(), 1e-7);
+  EXPECT_EQ(a.Min(), all.Min());
+  EXPECT_EQ(a.Max(), all.Max());
+}
+
+TEST(SampleSet, PercentilesExact) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(0.95), 95.05, 1e-9);
+}
+
+TEST(SampleSet, AddAfterPercentileStillCorrect) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+  s.Add(100.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_EQ(s.Count(), 3u);
+}
+
+TEST(TimeWeighted, PiecewiseConstantIntegration) {
+  TimeWeightedValue v(0, 0.0);
+  v.Set(Seconds(10), 4.0);   // 0 for 10 s, then 4.
+  v.Set(Seconds(20), 0.0);   // 4 for 10 s, then 0.
+  EXPECT_DOUBLE_EQ(v.IntegralTo(Seconds(30)), 40.0);
+  EXPECT_DOUBLE_EQ(v.MeanTo(Seconds(30)), 40.0 / 30.0);
+  EXPECT_DOUBLE_EQ(v.PositiveSecondsTo(Seconds(30)), 10.0);
+  EXPECT_DOUBLE_EQ(v.PositiveFractionTo(Seconds(30)), 1.0 / 3.0);
+}
+
+TEST(TimeWeighted, AddAccumulates) {
+  TimeWeightedValue v(0, 0.0);
+  v.Add(Seconds(1), 2.0);
+  v.Add(Seconds(2), 3.0);
+  EXPECT_DOUBLE_EQ(v.Current(), 5.0);
+  v.Add(Seconds(3), -5.0);
+  EXPECT_DOUBLE_EQ(v.Current(), 0.0);
+  // Integral: 0*1 + 2*1 + 5*1 = 7.
+  EXPECT_DOUBLE_EQ(v.IntegralTo(Seconds(3)), 7.0);
+}
+
+TEST(TimeWeighted, NonZeroStart) {
+  TimeWeightedValue v(Seconds(100), 1.0);
+  EXPECT_DOUBLE_EQ(v.MeanTo(Seconds(110)), 1.0);
+  EXPECT_DOUBLE_EQ(v.PositiveFractionTo(Seconds(110)), 1.0);
+}
+
+TEST(TimeWeightedProperty, MatchesBruteForceReplay) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    TimeWeightedValue v(0, 0.0);
+    std::vector<std::pair<SimTime, double>> changes;  // (time, new value)
+    SimTime t = 0;
+    double value = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      t += Milliseconds(rng.UniformInt(1, 1000));
+      value = rng.UniformInt(0, 3) == 0 ? 0.0 : rng.UniformDouble(0.5, 10.0);
+      v.Set(t, value);
+      changes.emplace_back(t, value);
+    }
+    const SimTime end = t + Seconds(5);
+    // Brute force.
+    double integral = 0.0;
+    double positive = 0.0;
+    SimTime prev = 0;
+    double cur = 0.0;
+    for (const auto& [ct, cv] : changes) {
+      integral += cur * ToSeconds(ct - prev);
+      if (cur > 0) {
+        positive += ToSeconds(ct - prev);
+      }
+      prev = ct;
+      cur = cv;
+    }
+    integral += cur * ToSeconds(end - prev);
+    if (cur > 0) {
+      positive += ToSeconds(end - prev);
+    }
+    EXPECT_NEAR(v.IntegralTo(end), integral, 1e-6);
+    EXPECT_NEAR(v.PositiveSecondsTo(end), positive, 1e-9);
+  }
+}
+
+TEST(Summary, GeometricMean) {
+  EXPECT_DOUBLE_EQ(GeometricMean({4.0}), 4.0);
+  EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Summary, MeansOrdering) {
+  // HM <= GM <= AM for positive values.
+  const std::vector<double> xs = {1.0, 3.0, 9.0, 27.0};
+  EXPECT_LE(HarmonicMean(xs), GeometricMean(xs) + 1e-12);
+  EXPECT_LE(GeometricMean(xs), ArithmeticMean(xs) + 1e-12);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);  // [0,50) in 5 buckets.
+  h.Add(-1);
+  h.Add(0);
+  h.Add(9.99);
+  h.Add(10);
+  h.Add(49.9);
+  h.Add(50);
+  h.Add(1000);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 2u);
+  EXPECT_EQ(h.Counts()[0], 2u);
+  EXPECT_EQ(h.Counts()[1], 1u);
+  EXPECT_EQ(h.Counts()[4], 1u);
+  EXPECT_EQ(h.Total(), 7u);
+  EXPECT_FALSE(h.Render().empty());
+}
+
+}  // namespace
+}  // namespace afraid
