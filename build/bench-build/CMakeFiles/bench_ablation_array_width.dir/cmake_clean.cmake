@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_array_width"
+  "../bench/bench_ablation_array_width.pdb"
+  "CMakeFiles/bench_ablation_array_width.dir/bench_ablation_array_width.cc.o"
+  "CMakeFiles/bench_ablation_array_width.dir/bench_ablation_array_width.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_array_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_idle_delay"
+  "../bench/bench_ablation_idle_delay.pdb"
+  "CMakeFiles/bench_ablation_idle_delay.dir/bench_ablation_idle_delay.cc.o"
+  "CMakeFiles/bench_ablation_idle_delay.dir/bench_ablation_idle_delay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_idle_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

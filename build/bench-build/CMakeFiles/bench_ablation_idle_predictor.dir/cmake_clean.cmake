@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_idle_predictor"
+  "../bench/bench_ablation_idle_predictor.pdb"
+  "CMakeFiles/bench_ablation_idle_predictor.dir/bench_ablation_idle_predictor.cc.o"
+  "CMakeFiles/bench_ablation_idle_predictor.dir/bench_ablation_idle_predictor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_idle_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_raid6"
+  "../bench/bench_ablation_raid6.pdb"
+  "CMakeFiles/bench_ablation_raid6.dir/bench_ablation_raid6.cc.o"
+  "CMakeFiles/bench_ablation_raid6.dir/bench_ablation_raid6.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_raid6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_substripe"
+  "../bench/bench_ablation_substripe.pdb"
+  "CMakeFiles/bench_ablation_substripe.dir/bench_ablation_substripe.cc.o"
+  "CMakeFiles/bench_ablation_substripe.dir/bench_ablation_substripe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_substripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_small_update"
+  "../bench/bench_fig1_small_update.pdb"
+  "CMakeFiles/bench_fig1_small_update.dir/bench_fig1_small_update.cc.o"
+  "CMakeFiles/bench_fig1_small_update.dir/bench_fig1_small_update.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_small_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

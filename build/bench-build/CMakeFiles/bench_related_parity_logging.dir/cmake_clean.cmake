@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_related_parity_logging"
+  "../bench/bench_related_parity_logging.pdb"
+  "CMakeFiles/bench_related_parity_logging.dir/bench_related_parity_logging.cc.o"
+  "CMakeFiles/bench_related_parity_logging.dir/bench_related_parity_logging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_parity_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_availability"
+  "../bench/bench_table3_availability.pdb"
+  "CMakeFiles/bench_table3_availability.dir/bench_table3_availability.cc.o"
+  "CMakeFiles/bench_table3_availability.dir/bench_table3_availability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

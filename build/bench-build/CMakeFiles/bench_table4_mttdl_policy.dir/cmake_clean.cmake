@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_mttdl_policy"
+  "../bench/bench_table4_mttdl_policy.pdb"
+  "CMakeFiles/bench_table4_mttdl_policy.dir/bench_table4_mttdl_policy.cc.o"
+  "CMakeFiles/bench_table4_mttdl_policy.dir/bench_table4_mttdl_policy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mttdl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

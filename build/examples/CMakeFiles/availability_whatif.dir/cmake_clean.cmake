@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_whatif.dir/availability_whatif.cpp.o"
+  "CMakeFiles/availability_whatif.dir/availability_whatif.cpp.o.d"
+  "availability_whatif"
+  "availability_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

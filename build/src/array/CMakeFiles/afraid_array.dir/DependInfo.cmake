@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/host_driver.cc" "src/array/CMakeFiles/afraid_array.dir/host_driver.cc.o" "gcc" "src/array/CMakeFiles/afraid_array.dir/host_driver.cc.o.d"
+  "/root/repo/src/array/layout.cc" "src/array/CMakeFiles/afraid_array.dir/layout.cc.o" "gcc" "src/array/CMakeFiles/afraid_array.dir/layout.cc.o.d"
+  "/root/repo/src/array/stripe_lock.cc" "src/array/CMakeFiles/afraid_array.dir/stripe_lock.cc.o" "gcc" "src/array/CMakeFiles/afraid_array.dir/stripe_lock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/afraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/afraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/afraid_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

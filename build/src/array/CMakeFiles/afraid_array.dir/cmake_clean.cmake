@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afraid_array.dir/host_driver.cc.o"
+  "CMakeFiles/afraid_array.dir/host_driver.cc.o.d"
+  "CMakeFiles/afraid_array.dir/layout.cc.o"
+  "CMakeFiles/afraid_array.dir/layout.cc.o.d"
+  "CMakeFiles/afraid_array.dir/stripe_lock.cc.o"
+  "CMakeFiles/afraid_array.dir/stripe_lock.cc.o.d"
+  "libafraid_array.a"
+  "libafraid_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afraid_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afraid_avail.dir/model.cc.o"
+  "CMakeFiles/afraid_avail.dir/model.cc.o.d"
+  "libafraid_avail.a"
+  "libafraid_avail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afraid_avail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/afraid_controller.cc" "src/core/CMakeFiles/afraid_core.dir/afraid_controller.cc.o" "gcc" "src/core/CMakeFiles/afraid_core.dir/afraid_controller.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/afraid_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/afraid_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/parity_log_controller.cc" "src/core/CMakeFiles/afraid_core.dir/parity_log_controller.cc.o" "gcc" "src/core/CMakeFiles/afraid_core.dir/parity_log_controller.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/afraid_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/afraid_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/raid6_controller.cc" "src/core/CMakeFiles/afraid_core.dir/raid6_controller.cc.o" "gcc" "src/core/CMakeFiles/afraid_core.dir/raid6_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/array/CMakeFiles/afraid_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/avail/CMakeFiles/afraid_avail.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/afraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/afraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/afraid_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/afraid_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

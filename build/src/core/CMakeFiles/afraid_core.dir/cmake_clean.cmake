@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afraid_core.dir/afraid_controller.cc.o"
+  "CMakeFiles/afraid_core.dir/afraid_controller.cc.o.d"
+  "CMakeFiles/afraid_core.dir/experiment.cc.o"
+  "CMakeFiles/afraid_core.dir/experiment.cc.o.d"
+  "CMakeFiles/afraid_core.dir/parity_log_controller.cc.o"
+  "CMakeFiles/afraid_core.dir/parity_log_controller.cc.o.d"
+  "CMakeFiles/afraid_core.dir/policy.cc.o"
+  "CMakeFiles/afraid_core.dir/policy.cc.o.d"
+  "CMakeFiles/afraid_core.dir/raid6_controller.cc.o"
+  "CMakeFiles/afraid_core.dir/raid6_controller.cc.o.d"
+  "libafraid_core.a"
+  "libafraid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afraid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

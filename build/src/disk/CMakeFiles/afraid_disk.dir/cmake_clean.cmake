@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afraid_disk.dir/disk_model.cc.o"
+  "CMakeFiles/afraid_disk.dir/disk_model.cc.o.d"
+  "CMakeFiles/afraid_disk.dir/disk_spec.cc.o"
+  "CMakeFiles/afraid_disk.dir/disk_spec.cc.o.d"
+  "CMakeFiles/afraid_disk.dir/geometry.cc.o"
+  "CMakeFiles/afraid_disk.dir/geometry.cc.o.d"
+  "libafraid_disk.a"
+  "libafraid_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afraid_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

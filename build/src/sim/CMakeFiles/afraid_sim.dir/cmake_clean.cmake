@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afraid_sim.dir/event_queue.cc.o"
+  "CMakeFiles/afraid_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/afraid_sim.dir/simulator.cc.o"
+  "CMakeFiles/afraid_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/afraid_sim.dir/time.cc.o"
+  "CMakeFiles/afraid_sim.dir/time.cc.o.d"
+  "libafraid_sim.a"
+  "libafraid_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afraid_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

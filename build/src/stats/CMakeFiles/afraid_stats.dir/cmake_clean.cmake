@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afraid_stats.dir/histogram.cc.o"
+  "CMakeFiles/afraid_stats.dir/histogram.cc.o.d"
+  "libafraid_stats.a"
+  "libafraid_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afraid_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

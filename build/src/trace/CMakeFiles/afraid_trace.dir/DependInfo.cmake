@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/afraid_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/afraid_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/transform.cc" "src/trace/CMakeFiles/afraid_trace.dir/transform.cc.o" "gcc" "src/trace/CMakeFiles/afraid_trace.dir/transform.cc.o.d"
+  "/root/repo/src/trace/workload_gen.cc" "src/trace/CMakeFiles/afraid_trace.dir/workload_gen.cc.o" "gcc" "src/trace/CMakeFiles/afraid_trace.dir/workload_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/afraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/afraid_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afraid_trace.dir/trace.cc.o"
+  "CMakeFiles/afraid_trace.dir/trace.cc.o.d"
+  "CMakeFiles/afraid_trace.dir/transform.cc.o"
+  "CMakeFiles/afraid_trace.dir/transform.cc.o.d"
+  "CMakeFiles/afraid_trace.dir/workload_gen.cc.o"
+  "CMakeFiles/afraid_trace.dir/workload_gen.cc.o.d"
+  "libafraid_trace.a"
+  "libafraid_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afraid_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

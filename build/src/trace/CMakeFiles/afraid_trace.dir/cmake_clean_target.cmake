@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libafraid_trace.a"
+)

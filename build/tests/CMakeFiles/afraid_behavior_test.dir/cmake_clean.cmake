@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/afraid_behavior_test.dir/core/afraid_behavior_test.cc.o"
+  "CMakeFiles/afraid_behavior_test.dir/core/afraid_behavior_test.cc.o.d"
+  "afraid_behavior_test"
+  "afraid_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/afraid_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/array/array_parts_test.cc" "tests/CMakeFiles/array_parts_test.dir/array/array_parts_test.cc.o" "gcc" "tests/CMakeFiles/array_parts_test.dir/array/array_parts_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/afraid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/afraid_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/avail/CMakeFiles/afraid_avail.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/afraid_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/afraid_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/afraid_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/afraid_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

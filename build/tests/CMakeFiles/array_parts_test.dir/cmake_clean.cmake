@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_parts_test.dir/array/array_parts_test.cc.o"
+  "CMakeFiles/array_parts_test.dir/array/array_parts_test.cc.o.d"
+  "array_parts_test"
+  "array_parts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_parts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avail_model_test.dir/avail/model_test.cc.o"
+  "CMakeFiles/avail_model_test.dir/avail/model_test.cc.o.d"
+  "avail_model_test"
+  "avail_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avail_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_sweep_test.dir/core/config_sweep_test.cc.o"
+  "CMakeFiles/config_sweep_test.dir/core/config_sweep_test.cc.o.d"
+  "config_sweep_test"
+  "config_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_smoke_test.dir/core/controller_smoke_test.cc.o"
+  "CMakeFiles/controller_smoke_test.dir/core/controller_smoke_test.cc.o.d"
+  "controller_smoke_test"
+  "controller_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

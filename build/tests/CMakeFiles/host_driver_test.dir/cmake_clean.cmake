@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_driver_test.dir/array/host_driver_test.cc.o"
+  "CMakeFiles/host_driver_test.dir/array/host_driver_test.cc.o.d"
+  "host_driver_test"
+  "host_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

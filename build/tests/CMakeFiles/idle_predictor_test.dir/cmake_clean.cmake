@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idle_predictor_test.dir/array/idle_predictor_test.cc.o"
+  "CMakeFiles/idle_predictor_test.dir/array/idle_predictor_test.cc.o.d"
+  "idle_predictor_test"
+  "idle_predictor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idle_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parity_log_test.dir/core/parity_log_test.cc.o"
+  "CMakeFiles/parity_log_test.dir/core/parity_log_test.cc.o.d"
+  "parity_log_test"
+  "parity_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parity_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

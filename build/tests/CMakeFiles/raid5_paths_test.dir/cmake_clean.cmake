@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raid5_paths_test.dir/core/raid5_paths_test.cc.o"
+  "CMakeFiles/raid5_paths_test.dir/core/raid5_paths_test.cc.o.d"
+  "raid5_paths_test"
+  "raid5_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raid5_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

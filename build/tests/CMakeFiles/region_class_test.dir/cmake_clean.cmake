@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/region_class_test.dir/core/region_class_test.cc.o"
+  "CMakeFiles/region_class_test.dir/core/region_class_test.cc.o.d"
+  "region_class_test"
+  "region_class_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/region_class_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substripe_marking_test.dir/core/substripe_marking_test.cc.o"
+  "CMakeFiles/substripe_marking_test.dir/core/substripe_marking_test.cc.o.d"
+  "substripe_marking_test"
+  "substripe_marking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substripe_marking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
