@@ -1,0 +1,61 @@
+// Monte-Carlo availability in miniature: run a small fault-injection
+// campaign for one policy and compare the empirical MTTDL/MDLR with the
+// Section 3 analytic model.
+//
+// This is the minimal-code tour of src/faultsim/: build a CampaignConfig,
+// run it on a thread pool, print the comparison. The full four-policy
+// campaign with CI tables lives in bench/bench_mc_availability.cc.
+//
+//   $ ./examples/availability_mc [lifetimes] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiment.h"
+#include "faultsim/report.h"
+#include "faultsim/runner.h"
+#include "trace/workload_gen.h"
+
+using namespace afraid;
+
+int main(int argc, char** argv) {
+  const int32_t lifetimes =
+      argc > 1 ? static_cast<int32_t>(std::strtol(argv[1], nullptr, 10)) : 60;
+  const uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1996;
+
+  CampaignConfig c;
+  c.array.disk_spec = DiskSpec::TinyTestDisk();  // Small: drills sweep all stripes.
+  c.array.num_disks = 5;
+  c.array.stripe_unit_bytes = 8192;
+  c.policy = PolicySpec::AfraidBaseline();
+  c.workload = PaperWorkloads().front();
+  c.faults = FaultModelParams::From(AvailabilityParamsFor(c.array),
+                                    SchemeFor(c.policy));
+  c.lifetimes = lifetimes;
+  c.base_seed = seed;
+  c.max_lifetime_hours = 5e7;
+
+  std::printf("running %d simulated array lifetimes of '%s' under workload '%s'...\n",
+              c.lifetimes, c.policy.Label().c_str(), c.workload.name.c_str());
+  const CampaignSummary summary = RunCampaign(c, /*num_threads=*/0);
+  const SchemeComparison cmp = CompareWithModel(c, summary);
+
+  std::printf("\n  disk failures injected:   %llu (plus %llu predicted & averted)\n",
+              static_cast<unsigned long long>(summary.disk_failures),
+              static_cast<unsigned long long>(summary.predicted_averted));
+  std::printf("  failure drills run:       %llu (faults landing on a dirty array)\n",
+              static_cast<unsigned long long>(summary.drills));
+  std::printf("  lifetimes ending in loss: %llu of %d\n",
+              static_cast<unsigned long long>(summary.loss_events), c.lifetimes);
+  std::printf("  measured t_unprot:        %.4f   parity lag: %.1f KB\n\n",
+              summary.mean_t_unprot_fraction,
+              summary.mean_parity_lag_bytes / 1024.0);
+
+  PrintComparisonTable(stdout, {cmp});
+
+  std::printf("\nEvery lifetime is a pure function of (config, index): rerunning\n"
+              "with the same seed reproduces these numbers exactly, on any\n"
+              "thread count.\n");
+  return 0;
+}

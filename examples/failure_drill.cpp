@@ -1,20 +1,20 @@
 // Failure drill: inject a disk failure mid-workload and walk through
 // AFRAID's loss semantics -- what the Section 3 availability model prices.
 //
-// Shows: degraded reads via parity reconstruction; which stripes were
-// unprotected at failure time (the AFRAID loss mode); replacement and
-// reconstruction back to full redundancy; the per-incident accounting.
+// The drill itself is the faultsim subsystem's ExposureModel::FailureDrill:
+// the exact code path the Monte-Carlo availability campaign
+// (bench_mc_availability) runs thousands of times, here run once with
+// per-incident narration from the controller's loss-event hooks.
 //
 //   $ ./examples/failure_drill [seed]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "array/host_driver.h"
-#include "core/afraid_controller.h"
 #include "core/experiment.h"
+#include "faultsim/exposure.h"
 #include "sim/random.h"
-#include "sim/simulator.h"
+#include "trace/workload_gen.h"
 
 using namespace afraid;
 
@@ -28,70 +28,53 @@ int main(int argc, char** argv) {
   cfg.stripe_unit_bytes = 8192;
   cfg.track_content = true;  // Functional verification of every byte.
 
-  Simulator sim;
-  AfraidController array(&sim, cfg, MakePolicy(PolicySpec::AfraidBaseline()),
-                         AvailabilityParamsFor(cfg));
-  HostDriver driver(&sim, &array, cfg.MaxActive());
-  Rng rng(seed);
+  WorkloadParams workload = PaperWorkloads().front();
+  ExposureModel exposure(cfg, PolicySpec::AfraidBaseline(), workload, seed);
+  const AfraidController& array = exposure.controller();
 
-  // Phase 1: a bursty write workload; some stripes will be mid-exposure.
-  std::printf("phase 1: writing 40 random blocks in bursts...\n");
-  const int64_t blocks = array.DataCapacityBytes() / cfg.stripe_unit_bytes;
-  for (int i = 0; i < 40; ++i) {
-    driver.Submit(rng.UniformInt(0, blocks - 1) * cfg.stripe_unit_bytes,
-                  static_cast<int32_t>(cfg.stripe_unit_bytes), /*is_write=*/true);
-    if (rng.Bernoulli(0.25)) {
-      sim.RunUntil(sim.Now() + Milliseconds(rng.UniformInt(20, 300)));
-    }
-  }
-  while (!driver.Drained()) {
-    sim.Step();
+  // Phase 1: run the bursty workload, stopping at an instant when some
+  // stripes are mid-exposure (between a write and its deferred parity
+  // update) -- the window the AFRAID loss mode prices.
+  std::printf("phase 1: running workload '%s' until stripes are exposed...\n",
+              workload.name.c_str());
+  exposure.Advance(Seconds(30));
+  for (int i = 0; i < 4000 && exposure.DirtyBands() == 0; ++i) {
+    exposure.Advance(Milliseconds(250));
   }
   std::printf("  %lld stripes currently unprotected (parity lag %.0f KB)\n",
-              static_cast<long long>(array.nvram().DirtyCount()),
-              array.CurrentParityLagBytes() / 1024.0);
+              static_cast<long long>(exposure.DirtyBands()),
+              exposure.CurrentParityLagBytes() / 1024.0);
 
-  // Phase 2: a disk dies *right now*, mid-exposure.
+  // Phase 2: a disk dies *right now*, with requests still in flight. The
+  // drill lets outstanding work finish degraded, installs a replacement, and
+  // runs the reconstruction sweep to completion.
+  Rng rng(DeriveStreamSeed(seed, /*stream=*/1));
   const auto victim = static_cast<int32_t>(rng.UniformInt(0, cfg.num_disks - 1));
-  const int64_t dirty_at_failure = array.nvram().DirtyCount();
-  std::printf("\nphase 2: disk %d fails! (%lld stripes unprotected at that instant)\n",
-              victim, static_cast<long long>(dirty_at_failure));
-  array.FailDisk(victim);
-
-  // Degraded reads still work -- each is reconstructed from the survivors.
-  std::printf("  issuing reads in degraded mode...\n");
-  for (int i = 0; i < 10; ++i) {
-    driver.Submit(rng.UniformInt(0, blocks - 1) * cfg.stripe_unit_bytes,
-                  static_cast<int32_t>(cfg.stripe_unit_bytes), /*is_write=*/false);
-  }
-  while (!driver.Drained()) {
-    sim.Step();
-  }
+  std::printf("\nphase 2: disk %d fails mid-flight! running the drill...\n", victim);
+  const DrillResult drill = exposure.FailureDrill(victim);
+  std::printf("  %lld stripes were unprotected at the instant of failure\n",
+              static_cast<long long>(drill.dirty_bands_at_failure));
   std::printf("  degraded reads served: %llu reconstruct-reads issued\n",
               static_cast<unsigned long long>(
                   array.DiskOps(DiskOpPurpose::kReconstructRead)));
+  std::printf("  recovery (drain + replace + reconstruct): %.1f simulated seconds\n",
+              ToSeconds(drill.recovery_time));
 
-  // Phase 3: replace the disk and rebuild it.
-  std::printf("\nphase 3: replacement installed; reconstructing %lld stripes...\n",
-              static_cast<long long>(array.layout().num_stripes()));
-  array.ReplaceDisk(victim);
-  const SimTime recon_start = sim.Now();
-  bool done = false;
-  array.StartReconstruction([&done] { done = true; });
-  sim.RunToEnd();
-  std::printf("  reconstruction finished in %.1f simulated seconds\n",
-              ToSeconds(sim.Now() - recon_start));
-
-  // Phase 4: the bill. Stripes that were unprotected when the disk died and
-  // had a data block on it are gone; everything else survived.
-  std::printf("\nphase 4: damage report\n");
+  // Phase 3: the bill, incident by incident, from the controller's
+  // loss-event hooks (the campaign's accounting, verbatim).
+  std::printf("\nphase 3: damage report\n");
+  for (const LossEvent& ev : drill.events) {
+    std::printf("  t=%.3fs stripe %lld: lost %lld bytes (%s)\n",
+                ToSeconds(ev.time), static_cast<long long>(ev.stripe),
+                static_cast<long long>(ev.bytes), LossCauseName(ev.cause));
+  }
   std::printf("  loss events:  %llu\n",
-              static_cast<unsigned long long>(array.LossEvents()));
+              static_cast<unsigned long long>(drill.loss_events));
   std::printf("  bytes lost:   %lld (out of %lld data bytes)\n",
-              static_cast<long long>(array.BytesLost()),
+              static_cast<long long>(drill.bytes_lost),
               static_cast<long long>(array.DataCapacityBytes()));
   std::printf("  array fully redundant again: %s\n",
-              array.nvram().DirtyCount() == 0 ? "yes" : "no");
+              exposure.DirtyBands() == 0 ? "yes" : "no");
   std::printf("\nCompare: a RAID 5 would have lost nothing (parity always fresh);\n"
               "a RAID 0 would have lost one disk in five of *everything*.\n"
               "AFRAID's exposure is bounded by the parity lag at failure time --\n"

@@ -104,24 +104,50 @@ AvailabilityReport MakeAvailabilityReport(const AvailabilityParams& p,
   r.scheme = scheme;
   r.t_unprot_fraction = t_unprot_fraction;
   r.mean_parity_lag_bytes = mean_parity_lag_bytes;
-  switch (scheme) {
-    case RedundancyScheme::kRaid0:
-      r.mttdl_disk_hours = MttdlRaid0Hours(p);
-      r.mdlr_disk_bph = MdlrRaid0Bph(p);
-      break;
-    case RedundancyScheme::kRaid5:
-      r.mttdl_disk_hours = MttdlRaidCatastrophicHours(p);
-      r.mdlr_disk_bph = MdlrRaidCatastrophicBph(p);
-      break;
-    case RedundancyScheme::kAfraid:
-      r.mttdl_disk_hours = MttdlAfraidHours(p, t_unprot_fraction);
-      r.mdlr_disk_bph = MdlrAfraidBph(p, t_unprot_fraction, mean_parity_lag_bytes);
-      break;
-  }
+  r.mttdl_disk_hours = MttdlDiskHoursFor(p, scheme, t_unprot_fraction);
+  r.mdlr_disk_bph =
+      MdlrDiskBphFor(p, scheme, t_unprot_fraction, mean_parity_lag_bytes);
   r.mttdl_overall_hours =
       CombineMttdlHours({r.mttdl_disk_hours, p.mttdl_support_hours});
   r.mdlr_overall_bph = r.mdlr_disk_bph + MdlrSupportBph(p);
   return r;
+}
+
+double MttdlDiskHoursFor(const AvailabilityParams& p, RedundancyScheme scheme,
+                         double t_unprot_fraction) {
+  switch (scheme) {
+    case RedundancyScheme::kRaid0:
+      return MttdlRaid0Hours(p);
+    case RedundancyScheme::kRaid5:
+      return MttdlRaidCatastrophicHours(p);
+    case RedundancyScheme::kAfraid:
+      return MttdlAfraidHours(p, t_unprot_fraction);
+  }
+  return kInf;
+}
+
+double MdlrDiskBphFor(const AvailabilityParams& p, RedundancyScheme scheme,
+                      double t_unprot_fraction, double mean_parity_lag_bytes) {
+  switch (scheme) {
+    case RedundancyScheme::kRaid0:
+      return MdlrRaid0Bph(p);
+    case RedundancyScheme::kRaid5:
+      return MdlrRaidCatastrophicBph(p);
+    case RedundancyScheme::kAfraid:
+      return MdlrAfraidBph(p, t_unprot_fraction, mean_parity_lag_bytes);
+  }
+  return 0.0;
+}
+
+double MeasuredOverPredicted(double measured, double predicted) {
+  if (measured == kInf && predicted == kInf) {
+    return 1.0;
+  }
+  if (predicted == kInf) {
+    return 0.0;
+  }
+  assert(predicted > 0.0);
+  return measured / predicted;
 }
 
 std::string SchemeName(RedundancyScheme scheme) {

@@ -126,6 +126,24 @@ AvailabilityReport MakeAvailabilityReport(const AvailabilityParams& p,
 
 std::string SchemeName(RedundancyScheme scheme);
 
+// --- Predicted-vs-measured comparison helpers --------------------------------
+//
+// Scheme-dispatched forms of the disk-related predictions, so an empirical
+// estimator (e.g. the src/faultsim/ Monte-Carlo campaign) can fetch the
+// matching analytic number for any scheme without re-implementing the switch
+// in MakeAvailabilityReport.
+
+double MttdlDiskHoursFor(const AvailabilityParams& p, RedundancyScheme scheme,
+                         double t_unprot_fraction);
+
+double MdlrDiskBphFor(const AvailabilityParams& p, RedundancyScheme scheme,
+                      double t_unprot_fraction, double mean_parity_lag_bytes);
+
+// Relative error of a measurement against a prediction, as measured/predicted.
+// Infinite prediction with finite measurement (or vice versa) yields +-inf;
+// both infinite yields 1 (perfect agreement at "never").
+double MeasuredOverPredicted(double measured, double predicted);
+
 }  // namespace afraid
 
 #endif  // AFRAID_AVAIL_MODEL_H_

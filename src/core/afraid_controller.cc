@@ -33,6 +33,16 @@ struct Join {
 
 }  // namespace
 
+const char* LossCauseName(LossCause cause) {
+  switch (cause) {
+    case LossCause::kStaleParityDegradedRead:
+      return "stale-parity degraded read";
+    case LossCause::kStaleParityReconstruction:
+      return "stale-parity reconstruction";
+  }
+  return "unknown";
+}
+
 AfraidController::AfraidController(Simulator* sim, const ArrayConfig& config,
                                    std::unique_ptr<ParityPolicy> policy,
                                    const AvailabilityParams& avail_params)
@@ -216,6 +226,20 @@ bool AfraidController::WantRaid5Write() {
   return policy_->UseRaid5Write(MakePolicyContext());
 }
 
+void AfraidController::RecordLoss(LossCause cause, int64_t stripe, int64_t bytes) {
+  assert(bytes > 0);
+  ++loss_events_;
+  bytes_lost_ += bytes;
+  if (loss_listener_) {
+    LossEvent ev;
+    ev.time = sim_->Now();
+    ev.cause = cause;
+    ev.stripe = stripe;
+    ev.bytes = bytes;
+    loss_listener_(ev);
+  }
+}
+
 void AfraidController::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length,
                                    bool is_write, DiskOpPurpose purpose,
                                    std::function<void(bool ok)> done) {
@@ -297,8 +321,7 @@ void AfraidController::DegradedReadSegment(const Segment& seg,
         // Parity was stale for this band when the disk died: the
         // reconstructed bytes are not the data the client wrote. Record the
         // loss (Section 3.2).
-        ++loss_events_;
-        bytes_lost_ += seg.length;
+        RecordLoss(LossCause::kStaleParityDegradedRead, stripe, seg.length);
       }
       locks_.Release(stripe, LockMode::kExclusive);
       seg_done();
@@ -1097,9 +1120,9 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
                       }
                       if (dirty_bands > 0) {
                         // Only the stale bands of the lost block are gone.
-                        ++loss_events_;
-                        bytes_lost_ += dirty_bands *
-                                       (layout_.stripe_unit() / cfg_.marks_per_stripe);
+                        RecordLoss(LossCause::kStaleParityReconstruction, stripe,
+                                   dirty_bands *
+                                       (layout_.stripe_unit() / cfg_.marks_per_stripe));
                       }
                       ClearAllBands(stripe);
                     }

@@ -72,6 +72,29 @@ enum class DiskOpPurpose : int32_t {
   kNumPurposes,
 };
 
+// Why data was lost (Section 3.2's small-loss modes, as the controller's
+// machinery actually encounters them).
+enum class LossCause : int32_t {
+  // A degraded read reconstructed a range whose parity was stale when the
+  // disk died: the bytes returned are not what the client wrote.
+  kStaleParityDegradedRead = 0,
+  // The replacement-disk sweep rebuilt a data block from stale parity: the
+  // stale bands of that block are unrecoverable.
+  kStaleParityReconstruction,
+};
+
+// One data-loss incident, as observed by the controller's failure machinery.
+// The Monte-Carlo fault-injection campaign (src/faultsim/) and the failure
+// drill example consume these instead of re-deriving loss from counters.
+struct LossEvent {
+  SimTime time = 0;
+  LossCause cause = LossCause::kStaleParityDegradedRead;
+  int64_t stripe = -1;
+  int64_t bytes = 0;
+};
+
+const char* LossCauseName(LossCause cause);
+
 class AfraidController : public ArrayController {
  public:
   AfraidController(Simulator* sim, const ArrayConfig& config,
@@ -154,6 +177,12 @@ class AfraidController : public ArrayController {
   uint64_t CacheHits() const { return read_cache_.Hits() + staging_.Hits(); }
   uint64_t LossEvents() const { return loss_events_; }
   int64_t BytesLost() const { return bytes_lost_; }
+
+  // Observer of data-loss incidents. At most one listener; pass nullptr to
+  // clear. The listener fires synchronously from the simulation event that
+  // detects the loss, after the counters above have been updated.
+  using LossListener = std::function<void(const LossEvent&)>;
+  void SetLossListener(LossListener listener) { loss_listener_ = std::move(listener); }
   const ParityPolicy& policy() const { return *policy_; }
 
   // Functional read-back of current logical content (content tracking only):
@@ -202,6 +231,8 @@ class AfraidController : public ArrayController {
   // --- Helpers ---
   void IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length, bool is_write,
                    DiskOpPurpose purpose, std::function<void(bool ok)> done);
+  // Central loss accounting: updates the counters and notifies the listener.
+  void RecordLoss(LossCause cause, int64_t stripe, int64_t bytes);
 
   // Sub-stripe marking (Section 5): the NVRAM bitmap is keyed by *band*,
   // band key = stripe * M + band, where band b covers byte range
@@ -301,6 +332,7 @@ class AfraidController : public ArrayController {
   int64_t max_dirty_ = 0;
   uint64_t loss_events_ = 0;
   int64_t bytes_lost_ = 0;
+  LossListener loss_listener_;
 };
 
 }  // namespace afraid

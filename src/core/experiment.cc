@@ -110,13 +110,8 @@ SimReport RunExperiment(const ArrayConfig& config, const PolicySpec& spec,
 
   // Attach the availability model (Section 3) evaluated on the measured
   // parity-lag statistics.
-  RedundancyScheme scheme = RedundancyScheme::kAfraid;
-  if (spec.kind == PolicySpec::Kind::kRaid0) {
-    scheme = RedundancyScheme::kRaid0;
-  } else if (spec.kind == PolicySpec::Kind::kRaid5) {
-    scheme = RedundancyScheme::kRaid5;
-  }
-  rep.avail = MakeAvailabilityReport(avail_params, scheme, rep.t_unprot_fraction,
+  rep.avail = MakeAvailabilityReport(avail_params, SchemeFor(spec),
+                                     rep.t_unprot_fraction,
                                      rep.mean_parity_lag_bytes);
   return rep;
 }

@@ -173,4 +173,15 @@ std::unique_ptr<ParityPolicy> MakePolicy(const PolicySpec& spec) {
   return nullptr;
 }
 
+RedundancyScheme SchemeFor(const PolicySpec& spec) {
+  switch (spec.kind) {
+    case PolicySpec::Kind::kRaid0:
+      return RedundancyScheme::kRaid0;
+    case PolicySpec::Kind::kRaid5:
+      return RedundancyScheme::kRaid5;
+    default:
+      return RedundancyScheme::kAfraid;
+  }
+}
+
 }  // namespace afraid

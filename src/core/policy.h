@@ -92,6 +92,10 @@ struct PolicySpec {
 
 std::unique_ptr<ParityPolicy> MakePolicy(const PolicySpec& spec);
 
+// The Section 3 redundancy scheme whose equations price arrays run under
+// this policy (every deferred-parity policy is an AFRAID for the model).
+RedundancyScheme SchemeFor(const PolicySpec& spec);
+
 // The achieved disk-related MTTDL used by the MTTDL_x policy: equation (2c)
 // evaluated on the statistics accumulated so far.
 double AchievedMttdlHours(const PolicyContext& ctx);

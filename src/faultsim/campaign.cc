@@ -1,0 +1,155 @@
+#include "faultsim/campaign.h"
+
+#include <cassert>
+#include <limits>
+
+#include "core/experiment.h"
+#include "faultsim/exposure.h"
+#include "faultsim/scenario.h"
+#include "sim/random.h"
+
+namespace afraid {
+namespace {
+
+// Bytes lost to a catastrophic dual failure: two disks' worth, less the
+// parity fraction (the numerator of Eq. (3)).
+double CatastrophicLossBytes(const AvailabilityParams& p) {
+  return 2.0 * p.disk_bytes * p.num_data_disks / (p.num_data_disks + 1);
+}
+
+}  // namespace
+
+LifetimeResult RunLifetime(const CampaignConfig& config, int32_t index) {
+  LifetimeResult res;
+  res.seed = DeriveStreamSeed(config.base_seed, static_cast<uint64_t>(index));
+  Rng seeds(res.seed);
+  const uint64_t scenario_seed = static_cast<uint64_t>(seeds.engine()());
+  const uint64_t exposure_seed = static_cast<uint64_t>(seeds.engine()());
+  const uint64_t sample_seed = static_cast<uint64_t>(seeds.engine()());
+  Rng sampler(sample_seed);
+
+  const AvailabilityParams avail = AvailabilityParamsFor(config.array);
+
+  ExposureModel exposure(config.array, config.policy, config.workload,
+                         exposure_seed);
+  exposure.Advance(config.exposure_warmup);
+  while (exposure.RequestsCompleted() < config.warmup_requests) {
+    exposure.Advance(Seconds(10));
+  }
+
+  auto sample_gap = [&]() -> SimDuration {
+    return static_cast<SimDuration>(
+        sampler.UniformDouble(static_cast<double>(config.min_sample_gap),
+                              static_cast<double>(config.max_sample_gap)));
+  };
+
+  auto record_loss = [&](double now_hours, int64_t bytes) {
+    res.data_loss = true;
+    res.first_loss_hours = now_hours;
+    res.bytes_lost += bytes;
+  };
+
+  ScenarioEngine* engine = nullptr;
+  ScenarioEvents events;
+  events.on_disk_failure = [&](int32_t disk, double now_hours) {
+    if (engine->FailedDisks() >= 2) {
+      // A second unpredicted failure inside an open repair window: the
+      // redundant copy is gone too. Priced analytically (Eq. (3) numerator);
+      // the array simulation models at most one concurrent failure. RAID 0
+      // lifetimes almost never reach this: the first failure already loses.
+      ++res.catastrophic_events;
+      record_loss(now_hours,
+                  static_cast<int64_t>(CatastrophicLossBytes(avail)));
+      engine->Stop();
+      return;
+    }
+    // Sample the stationary exposure process at a fresh random instant.
+    exposure.Advance(sample_gap());
+    if (exposure.DirtyBands() == 0) {
+      // Every stripe has fresh parity: reconstruction provably loses
+      // nothing, so skip the (expensive) drill. This is the common case for
+      // RAID 5 and for AFRAID after a long idle period.
+      return;
+    }
+    ++res.drills;
+    const DrillResult drill = exposure.FailureDrill(disk);
+    if (drill.bytes_lost > 0) {
+      // One fault with stale stripes = one data-loss incident (Eq. (2a)'s
+      // event), however many stripes it touched.
+      ++res.unprotected_loss_events;
+      record_loss(now_hours, drill.bytes_lost);
+      engine->Stop();
+    }
+  };
+  events.on_nvram_loss = [&](double now_hours) {
+    // Exercise the controller's conservative scrub-the-world response; the
+    // marking memory itself holds no client data, so loss only occurs when
+    // the NVRAM is configured as also caching vulnerable client bytes.
+    const DrillResult drill = exposure.NvramDrill();
+    int64_t bytes = drill.bytes_lost;  // Scrub itself is lossless.
+    bytes += static_cast<int64_t>(config.faults.nvram_vulnerable_bytes);
+    if (bytes > 0) {
+      ++res.nvram_loss_events;
+      record_loss(now_hours, bytes);
+      engine->Stop();
+    }
+  };
+  events.on_support_loss = [&](double now_hours) {
+    ++res.support_loss_events;
+    record_loss(now_hours, static_cast<int64_t>(avail.ArrayDataBytes()));
+    engine->Stop();
+  };
+
+  ScenarioEngine scenario(config.faults, config.array.num_disks, scenario_seed,
+                          events);
+  engine = &scenario;
+  scenario.RunUntil(config.max_lifetime_hours);
+
+  res.hours_observed =
+      res.data_loss ? res.first_loss_hours : config.max_lifetime_hours;
+  res.disk_failures = scenario.DiskFailures();
+  res.predicted_averted = scenario.PredictedAverted();
+  res.nvram_losses = scenario.NvramLosses();
+  res.t_unprot_fraction = exposure.TUnprotFraction();
+  res.mean_parity_lag_bytes = exposure.MeanParityLagBytes();
+  return res;
+}
+
+CampaignSummary Summarize(const CampaignConfig& config,
+                          const std::vector<LifetimeResult>& lifetimes) {
+  CampaignSummary s;
+  s.label = config.Label();
+  s.lifetimes = static_cast<int32_t>(lifetimes.size());
+  if (lifetimes.empty()) {
+    return s;  // The estimators below need at least one observed lifetime.
+  }
+  std::vector<double> loss_bytes;
+  std::vector<double> hours;
+  loss_bytes.reserve(lifetimes.size());
+  hours.reserve(lifetimes.size());
+  // Strictly sequential reduction in lifetime order: keeps the summary
+  // bit-identical regardless of how many threads produced the results.
+  for (const LifetimeResult& r : lifetimes) {
+    s.total_hours += r.hours_observed;
+    s.loss_events += r.data_loss ? 1 : 0;
+    s.total_bytes_lost += r.bytes_lost;
+    s.unprotected_loss_events += r.unprotected_loss_events;
+    s.catastrophic_events += r.catastrophic_events;
+    s.nvram_loss_events += r.nvram_loss_events;
+    s.support_loss_events += r.support_loss_events;
+    s.disk_failures += r.disk_failures;
+    s.predicted_averted += r.predicted_averted;
+    s.drills += r.drills;
+    s.mean_t_unprot_fraction += r.t_unprot_fraction;
+    s.mean_parity_lag_bytes += r.mean_parity_lag_bytes;
+    loss_bytes.push_back(static_cast<double>(r.bytes_lost));
+    hours.push_back(r.hours_observed);
+  }
+  s.mean_t_unprot_fraction /= static_cast<double>(lifetimes.size());
+  s.mean_parity_lag_bytes /= static_cast<double>(lifetimes.size());
+  s.mttdl_hours = MttdlCiHours(s.loss_events, s.total_hours);
+  s.mdlr_bph = RatioCi(loss_bytes, hours);
+  return s;
+}
+
+}  // namespace afraid

@@ -1,0 +1,157 @@
+#include "faultsim/exposure.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace afraid {
+namespace {
+
+// Chunk sizing for the endless workload replay: small enough that lazily
+// regenerating stays cheap, large enough that chunk seams (rare idle-period
+// truncation) do not distort burst statistics.
+constexpr uint64_t kChunkRequests = 4096;
+constexpr SimDuration kChunkDuration = Minutes(10);
+
+}  // namespace
+
+ExposureModel::ExposureModel(const ArrayConfig& config, const PolicySpec& policy,
+                             const WorkloadParams& workload, uint64_t seed)
+    : cfg_(config), rng_(seed), workload_(workload) {
+  controller_ = std::make_unique<AfraidController>(
+      &sim_, cfg_, MakePolicy(policy), AvailabilityParamsFor(cfg_));
+  driver_ = std::make_unique<HostDriver>(&sim_, controller_.get(), cfg_.MaxActive(),
+                                         cfg_.host_sched);
+  workload_.address_space_bytes = controller_->DataCapacityBytes();
+  controller_->SetLossListener(
+      [this](const LossEvent& ev) { drill_events_.push_back(ev); });
+  EnsureArrivalScheduled();
+}
+
+ExposureModel::~ExposureModel() = default;
+
+void ExposureModel::EnsureArrivalScheduled() {
+  if (feeding_paused_ || arrival_pending_) {
+    return;
+  }
+  if (next_record_ >= chunk_.records.size()) {
+    // Current chunk exhausted: generate the next one, rebased to now. Each
+    // chunk gets a fresh derived seed so the process never repeats.
+    workload_.seed = static_cast<uint64_t>(rng_.engine()());
+    chunk_ = GenerateWorkload(workload_, kChunkRequests, kChunkDuration);
+    assert(!chunk_.records.empty());
+    next_record_ = 0;
+    chunk_base_ = sim_.Now();
+  }
+  const SimTime due = chunk_base_ + chunk_.records[next_record_].time;
+  arrival_pending_ = true;
+  pending_arrival_ = sim_.At(std::max(due, sim_.Now()), [this] {
+    arrival_pending_ = false;
+    const TraceRecord& r = chunk_.records[next_record_];
+    driver_->Submit(r.offset, r.size, r.is_write);
+    ++next_record_;
+    EnsureArrivalScheduled();
+  });
+}
+
+void ExposureModel::PauseFeeding() {
+  feeding_paused_ = true;
+  if (arrival_pending_) {
+    sim_.Cancel(pending_arrival_);
+    arrival_pending_ = false;
+  }
+}
+
+void ExposureModel::ResumeFeeding() {
+  assert(feeding_paused_);
+  feeding_paused_ = false;
+  // Rebase the chunk so the next arrival preserves its inter-arrival gap
+  // from the previous record rather than firing a burst of "overdue" work.
+  if (next_record_ < chunk_.records.size()) {
+    const SimTime prev =
+        next_record_ > 0 ? chunk_.records[next_record_ - 1].time : 0;
+    chunk_base_ = sim_.Now() - prev;
+  }
+  EnsureArrivalScheduled();
+}
+
+void ExposureModel::Advance(SimDuration d) {
+  assert(d >= 0);
+  assert(!feeding_paused_);
+  sim_.RunUntil(sim_.Now() + d);
+}
+
+void ExposureModel::RunUntilDrained() {
+  while (!driver_->Drained()) {
+    const bool progressed = sim_.Step();
+    assert(progressed);
+    (void)progressed;
+  }
+}
+
+DrillResult ExposureModel::FinishDrill(const DrillResult& partial, SimTime started) {
+  DrillResult r = partial;
+  r.recovery_time = sim_.Now() - started;
+  r.events = std::move(drill_events_);
+  drill_events_.clear();
+  for (const LossEvent& ev : r.events) {
+    r.bytes_lost += ev.bytes;
+  }
+  r.loss_events = r.events.size();
+  ResumeFeeding();
+  return r;
+}
+
+DrillResult ExposureModel::FailureDrill(int32_t disk) {
+  assert(disk >= 0 && disk < cfg_.num_disks);
+  DrillResult r;
+  r.dirty_bands_at_failure = DirtyBands();
+  r.parity_lag_at_failure_bytes = CurrentParityLagBytes();
+  drill_events_.clear();
+  const SimTime started = sim_.Now();
+
+  // The disk dies at this very instant: whatever was queued or mid-flight
+  // completes degraded, through the controller's own failure paths.
+  PauseFeeding();
+  controller_->FailDisk(disk);
+  RunUntilDrained();
+
+  // Replacement + reconstruction sweep; stale stripes with data on the dead
+  // disk surface as loss events through the controller hooks.
+  controller_->ReplaceDisk(disk);
+  bool done = false;
+  controller_->StartReconstruction([&done] { done = true; });
+  while (!done) {
+    const bool progressed = sim_.Step();
+    assert(progressed);
+    (void)progressed;
+  }
+  return FinishDrill(r, started);
+}
+
+DrillResult ExposureModel::NvramDrill() {
+  DrillResult r;
+  r.dirty_bands_at_failure = DirtyBands();
+  r.parity_lag_at_failure_bytes = CurrentParityLagBytes();
+  drill_events_.clear();
+  const SimTime started = sim_.Now();
+
+  // Quiesce first: StartFullScrub requires no rebuild pass in flight, and
+  // the controller forbids new AFRAID-mode markings while the NVRAM is
+  // failed. (The marking-loss semantics do not depend on the exposure state
+  // the way a disk failure does.)
+  PauseFeeding();
+  RunUntilDrained();
+  sim_.RunToEnd();  // Trailing idle-triggered rebuild passes finish here.
+  controller_->FailNvram();
+  bool done = false;
+  controller_->StartFullScrub([&done] { done = true; });
+  while (!done) {
+    const bool progressed = sim_.Step();
+    assert(progressed);
+    (void)progressed;
+  }
+  return FinishDrill(r, started);
+}
+
+}  // namespace afraid

@@ -1,0 +1,68 @@
+// Parameters of the Monte-Carlo fault-injection model, and the time scale of
+// the fault timeline.
+//
+// The fault timeline runs on its own Simulator, but at a different scale from
+// the array simulation: disk lifetimes span billions of hours while array
+// mechanics play out in nanoseconds, and 4e9 hours of nanoseconds overflows
+// SimTime. On the timeline, one tick is one MICROHOUR (1e-6 h = 3.6 ms),
+// giving ~9e12 hours of range with resolution far below MTTR-scale dynamics.
+
+#ifndef AFRAID_FAULTSIM_FAULT_MODEL_H_
+#define AFRAID_FAULTSIM_FAULT_MODEL_H_
+
+#include <cstdint>
+
+#include "avail/model.h"
+#include "sim/time.h"
+
+namespace afraid {
+
+// --- Timeline time scale -----------------------------------------------------
+
+constexpr SimTime TimelineFromHours(double hours) {
+  return static_cast<SimTime>(hours * 1e6 + 0.5);
+}
+constexpr double TimelineToHours(SimTime t) { return static_cast<double>(t) * 1e-6; }
+
+// --- Fault process parameters ------------------------------------------------
+
+struct FaultModelParams {
+  // Per-disk raw failure process (Table 1): exponential with this mean. The
+  // coverage model splits each failure into predicted (fraction C, repaired
+  // before it bites when the array has redundancy to migrate from) and
+  // unpredicted (the array goes degraded for the repair time).
+  double mttf_disk_raw_hours = 1e6;
+  double coverage = 0.5;
+  double mttr_hours = 48.0;
+  // Whether a predicted failure can be averted by proactive migration. True
+  // for redundant schemes; false for RAID 0, where "prediction doesn't help
+  // when there is no redundancy to migrate onto" (avail/model.cc).
+  bool prediction_averts_loss = true;
+
+  // NVRAM marking-memory faults; 0 disables NVRAM fault injection. When
+  // `nvram_vulnerable_bytes` > 0 the NVRAM is modelled as also holding that
+  // much client data (the Section 3.4 single-copy PrestoServe-style card),
+  // so each NVRAM loss is itself a data-loss event.
+  double nvram_mttf_hours = 0.0;
+  double nvram_vulnerable_bytes = 0.0;
+
+  // Support-hardware faults (Section 3.3): each loses the whole array;
+  // 0 excludes them so empirical numbers compare against the *disk-related*
+  // Eqs. (1)-(5).
+  double support_mttdl_hours = 0.0;
+
+  // Derives the fault process matching an analytic parameter set, so the
+  // empirical campaign and the model price exactly the same hardware.
+  static FaultModelParams From(const AvailabilityParams& p, RedundancyScheme scheme) {
+    FaultModelParams f;
+    f.mttf_disk_raw_hours = p.mttf_disk_raw_hours;
+    f.coverage = p.coverage;
+    f.mttr_hours = p.mttr_hours;
+    f.prediction_averts_loss = scheme != RedundancyScheme::kRaid0;
+    return f;
+  }
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_FAULTSIM_FAULT_MODEL_H_

@@ -1,0 +1,180 @@
+#include "faultsim/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/experiment.h"
+#include "core/policy.h"
+
+namespace afraid {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string FmtG(double v) {
+  if (std::isinf(v)) {
+    return v > 0 ? "inf" : "-inf";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string JsonNum(double v) {
+  if (std::isinf(v) || std::isnan(v)) {
+    return "null";  // JSON has no infinities.
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+SchemeComparison CompareWithModel(const CampaignConfig& config,
+                                  const CampaignSummary& summary) {
+  SchemeComparison c;
+  c.empirical = summary;
+  c.scheme = SchemeFor(config.policy);
+  c.params = AvailabilityParamsFor(config.array);
+
+  // Disk-related predictions at the campaign's measured exposure inputs.
+  std::vector<double> mttdls = {MttdlDiskHoursFor(c.params, c.scheme,
+                                                  summary.mean_t_unprot_fraction)};
+  double mdlr = MdlrDiskBphFor(c.params, c.scheme,
+                               summary.mean_t_unprot_fraction,
+                               summary.mean_parity_lag_bytes);
+  // Non-disk fault processes the campaign injected, on the same scale.
+  const FaultModelParams& f = config.faults;
+  if (f.nvram_mttf_hours > 0.0 && f.nvram_vulnerable_bytes > 0.0) {
+    mttdls.push_back(f.nvram_mttf_hours);
+    mdlr += MdlrNvramBph(f.nvram_mttf_hours, f.nvram_vulnerable_bytes);
+  }
+  if (f.support_mttdl_hours > 0.0) {
+    mttdls.push_back(f.support_mttdl_hours);
+    mdlr += c.params.ArrayDataBytes() / f.support_mttdl_hours;
+  }
+  c.analytic_mttdl_hours = CombineMttdlHours(mttdls);
+  c.analytic_mdlr_bph = mdlr;
+
+  c.mttdl_ratio =
+      MeasuredOverPredicted(summary.mttdl_hours.point, c.analytic_mttdl_hours);
+  c.mdlr_ratio =
+      MeasuredOverPredicted(summary.mdlr_bph.point, c.analytic_mdlr_bph);
+  c.mttdl_in_ci = summary.mttdl_hours.Contains(c.analytic_mttdl_hours);
+  return c;
+}
+
+void PrintComparisonTable(FILE* out, const std::vector<SchemeComparison>& rows) {
+  std::fprintf(out,
+               "%-18s %9s %7s %12s %26s %12s %8s %12s %24s %8s\n",
+               "policy", "lifetimes", "losses", "mttdl(h)", "mttdl 95% CI",
+               "model(h)", "ratio", "mdlr(B/h)", "mdlr 95% CI", "ratio");
+  for (const SchemeComparison& c : rows) {
+    const CampaignSummary& s = c.empirical;
+    char mttdl_ci[64];
+    std::snprintf(mttdl_ci, sizeof(mttdl_ci), "[%s, %s]%s",
+                  FmtG(s.mttdl_hours.lo).c_str(), FmtG(s.mttdl_hours.hi).c_str(),
+                  c.mttdl_in_ci ? "*" : " ");
+    char mdlr_ci[64];
+    std::snprintf(mdlr_ci, sizeof(mdlr_ci), "[%s, %s]",
+                  FmtG(s.mdlr_bph.lo).c_str(), FmtG(s.mdlr_bph.hi).c_str());
+    std::fprintf(out,
+                 "%-18s %9d %7llu %12s %26s %12s %8s %12s %24s %8s\n",
+                 s.label.c_str(), s.lifetimes,
+                 static_cast<unsigned long long>(s.loss_events),
+                 FmtG(s.mttdl_hours.point).c_str(), mttdl_ci,
+                 FmtG(c.analytic_mttdl_hours).c_str(), FmtG(c.mttdl_ratio).c_str(),
+                 FmtG(s.mdlr_bph.point).c_str(), mdlr_ci,
+                 FmtG(c.mdlr_ratio).c_str());
+  }
+  std::fprintf(out,
+               "  (* = analytic MTTDL inside the empirical 95%% CI; "
+               "ratio = measured/predicted)\n");
+}
+
+std::string ComparisonJson(const std::vector<SchemeComparison>& rows) {
+  std::string out = "{\n  \"campaigns\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SchemeComparison& c = rows[i];
+    const CampaignSummary& s = c.empirical;
+    out += "    {\n";
+    out += "      \"label\": \"" + s.label + "\",\n";
+    out += "      \"scheme\": \"" + SchemeName(c.scheme) + "\",\n";
+    out += "      \"lifetimes\": " + std::to_string(s.lifetimes) + ",\n";
+    out += "      \"loss_events\": " + std::to_string(s.loss_events) + ",\n";
+    out += "      \"total_hours\": " + JsonNum(s.total_hours) + ",\n";
+    out += "      \"total_bytes_lost\": " + std::to_string(s.total_bytes_lost) + ",\n";
+    out += "      \"loss_breakdown\": {\"unprotected\": " +
+           std::to_string(s.unprotected_loss_events) + ", \"catastrophic\": " +
+           std::to_string(s.catastrophic_events) + ", \"nvram\": " +
+           std::to_string(s.nvram_loss_events) + ", \"support\": " +
+           std::to_string(s.support_loss_events) + "},\n";
+    out += "      \"disk_failures\": " + std::to_string(s.disk_failures) + ",\n";
+    out += "      \"predicted_averted\": " + std::to_string(s.predicted_averted) + ",\n";
+    out += "      \"drills\": " + std::to_string(s.drills) + ",\n";
+    out += "      \"mean_t_unprot_fraction\": " + JsonNum(s.mean_t_unprot_fraction) + ",\n";
+    out += "      \"mean_parity_lag_bytes\": " + JsonNum(s.mean_parity_lag_bytes) + ",\n";
+    out += "      \"mttdl_hours\": {\"point\": " + JsonNum(s.mttdl_hours.point) +
+           ", \"lo\": " + JsonNum(s.mttdl_hours.lo) +
+           ", \"hi\": " + JsonNum(s.mttdl_hours.hi) + "},\n";
+    out += "      \"mdlr_bph\": {\"point\": " + JsonNum(s.mdlr_bph.point) +
+           ", \"lo\": " + JsonNum(s.mdlr_bph.lo) +
+           ", \"hi\": " + JsonNum(s.mdlr_bph.hi) + "},\n";
+    out += "      \"analytic_mttdl_hours\": " + JsonNum(c.analytic_mttdl_hours) + ",\n";
+    out += "      \"analytic_mdlr_bph\": " + JsonNum(c.analytic_mdlr_bph) + ",\n";
+    out += "      \"mttdl_ratio\": " + JsonNum(c.mttdl_ratio) + ",\n";
+    out += "      \"mdlr_ratio\": " + JsonNum(c.mdlr_ratio) + ",\n";
+    out += std::string("      \"mttdl_in_ci\": ") +
+           (c.mttdl_in_ci ? "true" : "false") + "\n";
+    out += i + 1 < rows.size() ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+std::string ComparisonCsv(const std::vector<SchemeComparison>& rows) {
+  std::string out =
+      "label,scheme,lifetimes,loss_events,total_hours,total_bytes_lost,"
+      "unprotected,catastrophic,nvram,support,disk_failures,predicted_averted,"
+      "drills,mean_t_unprot_fraction,mean_parity_lag_bytes,"
+      "mttdl_hours,mttdl_lo,mttdl_hi,mdlr_bph,mdlr_lo,mdlr_hi,"
+      "analytic_mttdl_hours,analytic_mdlr_bph,mttdl_ratio,mdlr_ratio,"
+      "mttdl_in_ci\n";
+  for (const SchemeComparison& c : rows) {
+    const CampaignSummary& s = c.empirical;
+    out += s.label + "," + SchemeName(c.scheme) + "," +
+           std::to_string(s.lifetimes) + "," + std::to_string(s.loss_events) +
+           "," + FmtG(s.total_hours) + "," + std::to_string(s.total_bytes_lost) +
+           "," + std::to_string(s.unprotected_loss_events) + "," +
+           std::to_string(s.catastrophic_events) + "," +
+           std::to_string(s.nvram_loss_events) + "," +
+           std::to_string(s.support_loss_events) + "," +
+           std::to_string(s.disk_failures) + "," +
+           std::to_string(s.predicted_averted) + "," + std::to_string(s.drills) +
+           "," + FmtG(s.mean_t_unprot_fraction) + "," +
+           FmtG(s.mean_parity_lag_bytes) + "," + FmtG(s.mttdl_hours.point) +
+           "," + FmtG(s.mttdl_hours.lo) + "," + FmtG(s.mttdl_hours.hi) + "," +
+           FmtG(s.mdlr_bph.point) + "," + FmtG(s.mdlr_bph.lo) + "," +
+           FmtG(s.mdlr_bph.hi) + "," + FmtG(c.analytic_mttdl_hours) + "," +
+           FmtG(c.analytic_mdlr_bph) + "," + FmtG(c.mttdl_ratio) + "," +
+           FmtG(c.mdlr_ratio) + "," + (c.mttdl_in_ci ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& body) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = n == body.size() && std::fclose(f) == 0;
+  if (n != body.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+}  // namespace afraid

@@ -1,0 +1,56 @@
+// Empirical-vs-analytic comparison reports for Monte-Carlo campaigns.
+//
+// For each campaign the analytic prediction is evaluated with the SAME
+// parameters the fault process used (avail params derived from the array
+// config) and the SAME exposure inputs the campaign measured (mean
+// t_unprot_fraction / parity lag from the live array simulations), so any
+// residual gap between columns is the model's own approximation error, not a
+// parameter mismatch.
+
+#ifndef AFRAID_FAULTSIM_REPORT_H_
+#define AFRAID_FAULTSIM_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "avail/model.h"
+#include "faultsim/campaign.h"
+
+namespace afraid {
+
+// One row of the comparison: a campaign next to its analytic prediction.
+struct SchemeComparison {
+  CampaignSummary empirical;
+  RedundancyScheme scheme = RedundancyScheme::kAfraid;
+  AvailabilityParams params;
+
+  // Predictions at the measured exposure inputs. Disk-related (Eqs. (1)-(5))
+  // plus NVRAM/support contributions when the fault model injected them.
+  double analytic_mttdl_hours = 0.0;
+  double analytic_mdlr_bph = 0.0;
+
+  // measured / predicted (1.0 = perfect agreement; see MeasuredOverPredicted).
+  double mttdl_ratio = 0.0;
+  double mdlr_ratio = 0.0;
+
+  // Whether the analytic prediction falls inside the empirical 95% CI.
+  bool mttdl_in_ci = false;
+};
+
+SchemeComparison CompareWithModel(const CampaignConfig& config,
+                                  const CampaignSummary& summary);
+
+// Human-readable side-by-side table.
+void PrintComparisonTable(FILE* out, const std::vector<SchemeComparison>& rows);
+
+// Machine-readable emitters. JSON encodes infinities as null.
+std::string ComparisonJson(const std::vector<SchemeComparison>& rows);
+std::string ComparisonCsv(const std::vector<SchemeComparison>& rows);
+
+// Convenience: writes `body` to `path`; returns false on I/O error.
+bool WriteTextFile(const std::string& path, const std::string& body);
+
+}  // namespace afraid
+
+#endif  // AFRAID_FAULTSIM_REPORT_H_

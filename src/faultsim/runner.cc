@@ -1,0 +1,68 @@
+#include "faultsim/runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace afraid {
+
+int32_t EffectiveThreads(int32_t requested, int32_t lifetimes) {
+  int32_t n = requested;
+  if (n < 1) {
+    n = static_cast<int32_t>(std::thread::hardware_concurrency());
+    if (n < 1) {
+      n = 1;
+    }
+  }
+  if (n > lifetimes) {
+    n = lifetimes;
+  }
+  return n < 1 ? 1 : n;
+}
+
+std::vector<LifetimeResult> RunCampaignLifetimes(const CampaignConfig& config,
+                                                 int32_t num_threads) {
+  const int32_t count = config.lifetimes;
+  std::vector<LifetimeResult> results(static_cast<size_t>(count < 0 ? 0 : count));
+  if (count <= 0) {
+    return results;
+  }
+  const int32_t threads = EffectiveThreads(num_threads, count);
+  if (threads == 1) {
+    for (int32_t i = 0; i < count; ++i) {
+      results[static_cast<size_t>(i)] = RunLifetime(config, i);
+    }
+    return results;
+  }
+
+  std::atomic<int32_t> next{0};
+  std::mutex results_mu;
+  auto worker = [&] {
+    for (;;) {
+      const int32_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) {
+        return;
+      }
+      // Entirely self-contained: which worker runs lifetime i cannot affect
+      // its result, only where it is computed.
+      LifetimeResult r = RunLifetime(config, i);
+      std::lock_guard<std::mutex> lock(results_mu);
+      results[static_cast<size_t>(i)] = std::move(r);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int32_t t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return results;
+}
+
+CampaignSummary RunCampaign(const CampaignConfig& config, int32_t num_threads) {
+  return Summarize(config, RunCampaignLifetimes(config, num_threads));
+}
+
+}  // namespace afraid

@@ -1,0 +1,35 @@
+// Parallel campaign runner: spreads a campaign's independent lifetimes over
+// a std::thread pool.
+//
+// Each lifetime is a pure function of (config, index) -- it owns its
+// Simulator, controller, and RNG streams, all seeded by
+// DeriveStreamSeed(base_seed, index) -- so workers share nothing but the
+// work-item counter and the result vector. Results land in their index slot
+// under a mutex, and the summary is reduced sequentially by index afterwards,
+// making the output bit-identical for any thread count.
+
+#ifndef AFRAID_FAULTSIM_RUNNER_H_
+#define AFRAID_FAULTSIM_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "faultsim/campaign.h"
+
+namespace afraid {
+
+// Thread count actually used for `requested`: values < 1 mean "use the
+// hardware concurrency", and the pool never exceeds the lifetime count.
+int32_t EffectiveThreads(int32_t requested, int32_t lifetimes);
+
+// Runs all lifetimes of the campaign on `num_threads` workers (see
+// EffectiveThreads). Returns per-lifetime results ordered by index.
+std::vector<LifetimeResult> RunCampaignLifetimes(const CampaignConfig& config,
+                                                 int32_t num_threads);
+
+// RunCampaignLifetimes + Summarize.
+CampaignSummary RunCampaign(const CampaignConfig& config, int32_t num_threads);
+
+}  // namespace afraid
+
+#endif  // AFRAID_FAULTSIM_RUNNER_H_

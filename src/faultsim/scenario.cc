@@ -1,0 +1,113 @@
+#include "faultsim/scenario.h"
+
+#include <cassert>
+
+namespace afraid {
+
+ScenarioEngine::ScenarioEngine(const FaultModelParams& params, int32_t num_disks,
+                               uint64_t seed, ScenarioEvents events)
+    : params_(params), num_disks_(num_disks), rng_(seed), events_(std::move(events)) {
+  assert(num_disks_ > 0);
+  assert(params_.mttf_disk_raw_hours > 0.0);
+  assert(params_.coverage >= 0.0 && params_.coverage < 1.0);
+  assert(params_.mttr_hours > 0.0);
+  for (int32_t d = 0; d < num_disks_; ++d) {
+    ScheduleDiskFailure(d);
+  }
+  if (params_.nvram_mttf_hours > 0.0) {
+    ScheduleNvramLoss();
+  }
+  if (params_.support_mttdl_hours > 0.0) {
+    ScheduleSupportLoss();
+  }
+}
+
+void ScenarioEngine::RunUntil(double hours) {
+  const SimTime deadline = TimelineFromHours(hours);
+  while (!stopped_ && !sim_.Idle() && sim_.NextEventTime() <= deadline) {
+    sim_.Step();
+  }
+  if (!stopped_ && sim_.Now() < deadline) {
+    sim_.RunUntil(deadline);  // No events remain before it: just advance the clock.
+  }
+}
+
+void ScenarioEngine::ScheduleDiskFailure(int32_t disk) {
+  const double ttf_hours = rng_.ExponentialMean(params_.mttf_disk_raw_hours);
+  sim_.After(TimelineFromHours(ttf_hours), [this, disk] {
+    if (stopped_) {
+      return;
+    }
+    OnDiskFails(disk);
+  });
+}
+
+void ScenarioEngine::OnDiskFails(int32_t disk) {
+  const bool predicted = rng_.Bernoulli(params_.coverage);
+  if (predicted && params_.prediction_averts_loss) {
+    // Caught in advance: the disk is migrated onto a replacement before it
+    // dies, with no window of exposure. Good-as-new clock restart.
+    ++predicted_averted_;
+    if (events_.on_predicted_averted) {
+      events_.on_predicted_averted(disk, NowHours());
+    }
+    if (!stopped_) {
+      ScheduleDiskFailure(disk);
+    }
+    return;
+  }
+  ++disk_failures_;
+  failed_.insert(disk);
+  if (events_.on_disk_failure) {
+    events_.on_disk_failure(disk, NowHours());
+  }
+  if (stopped_) {
+    return;
+  }
+  sim_.After(TimelineFromHours(params_.mttr_hours), [this, disk] {
+    if (stopped_) {
+      return;
+    }
+    failed_.erase(disk);
+    if (events_.on_repair_complete) {
+      events_.on_repair_complete(disk, NowHours());
+    }
+    if (!stopped_) {
+      ScheduleDiskFailure(disk);
+    }
+  });
+}
+
+void ScenarioEngine::ScheduleNvramLoss() {
+  const double ttf_hours = rng_.ExponentialMean(params_.nvram_mttf_hours);
+  sim_.After(TimelineFromHours(ttf_hours), [this] {
+    if (stopped_) {
+      return;
+    }
+    ++nvram_losses_;
+    if (events_.on_nvram_loss) {
+      events_.on_nvram_loss(NowHours());
+    }
+    if (!stopped_) {
+      ScheduleNvramLoss();  // Immediate replacement of the failed part.
+    }
+  });
+}
+
+void ScenarioEngine::ScheduleSupportLoss() {
+  const double ttf_hours = rng_.ExponentialMean(params_.support_mttdl_hours);
+  sim_.After(TimelineFromHours(ttf_hours), [this] {
+    if (stopped_) {
+      return;
+    }
+    ++support_losses_;
+    if (events_.on_support_loss) {
+      events_.on_support_loss(NowHours());
+    }
+    if (!stopped_) {
+      ScheduleSupportLoss();
+    }
+  });
+}
+
+}  // namespace afraid

@@ -1,0 +1,99 @@
+// The fault scenario generator: one simulated array lifetime's worth of
+// hardware faults as first-class discrete events.
+//
+// A ScenarioEngine owns a Simulator running at the timeline scale (one tick =
+// one microhour; see fault_model.h) and keeps one exponential failure clock
+// per disk, plus optional NVRAM and support-hardware clocks, all drawn from a
+// single seeded Rng. Events:
+//
+//   * disk failure -- classified predicted (probability C) or unpredicted at
+//     the instant it fires. A predicted failure on a redundant array is
+//     averted: the disk is proactively migrated and its clock restarts (this
+//     is exactly the EffectiveDiskMttfHours() model). An unpredicted failure
+//     puts the disk in the failed set and schedules its repair completion
+//     after MTTR.
+//   * repair completion -- the disk leaves the failed set; its failure clock
+//     restarts (good-as-new replacement).
+//   * NVRAM marking-memory loss / support-hardware loss -- exponential, with
+//     immediate replacement.
+//
+// The engine only *generates* the fault process; the campaign layer decides
+// what each event costs by consulting the live array controller (exposure.h).
+// Callbacks fire synchronously from timeline events; calling Stop() from a
+// callback (first data loss detected) halts the run.
+
+#ifndef AFRAID_FAULTSIM_SCENARIO_H_
+#define AFRAID_FAULTSIM_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "faultsim/fault_model.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace afraid {
+
+// Observer of timeline events. Unset callbacks are skipped. `now_hours` is
+// the timeline time of the event.
+struct ScenarioEvents {
+  // An unpredicted failure: the array is degraded until the repair completes.
+  std::function<void(int32_t disk, double now_hours)> on_disk_failure;
+  // A predicted failure that was averted by proactive migration.
+  std::function<void(int32_t disk, double now_hours)> on_predicted_averted;
+  std::function<void(int32_t disk, double now_hours)> on_repair_complete;
+  std::function<void(double now_hours)> on_nvram_loss;
+  std::function<void(double now_hours)> on_support_loss;
+};
+
+class ScenarioEngine {
+ public:
+  ScenarioEngine(const FaultModelParams& params, int32_t num_disks, uint64_t seed,
+                 ScenarioEvents events);
+
+  // Runs timeline events in order until `hours` (exclusive), the event queue
+  // drains (cannot happen before Stop()), or a callback calls Stop(). Leaves
+  // NowHours() at the last processed event, or `hours` if none remained.
+  void RunUntil(double hours);
+
+  // Halts event processing; pending events are abandoned.
+  void Stop() { stopped_ = true; }
+  bool Stopped() const { return stopped_; }
+
+  double NowHours() const { return TimelineToHours(sim_.Now()); }
+
+  // Disks currently in an unpredicted-failure repair window.
+  int32_t FailedDisks() const { return static_cast<int32_t>(failed_.size()); }
+  bool IsFailed(int32_t disk) const { return failed_.contains(disk); }
+
+  // Event counts so far.
+  uint64_t DiskFailures() const { return disk_failures_; }
+  uint64_t PredictedAverted() const { return predicted_averted_; }
+  uint64_t NvramLosses() const { return nvram_losses_; }
+  uint64_t SupportLosses() const { return support_losses_; }
+
+ private:
+  void ScheduleDiskFailure(int32_t disk);
+  void ScheduleNvramLoss();
+  void ScheduleSupportLoss();
+  void OnDiskFails(int32_t disk);
+
+  FaultModelParams params_;
+  int32_t num_disks_;
+  Simulator sim_;
+  Rng rng_;
+  ScenarioEvents events_;
+
+  std::set<int32_t> failed_;
+  bool stopped_ = false;
+  uint64_t disk_failures_ = 0;
+  uint64_t predicted_averted_ = 0;
+  uint64_t nvram_losses_ = 0;
+  uint64_t support_losses_ = 0;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_FAULTSIM_SCENARIO_H_

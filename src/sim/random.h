@@ -17,6 +17,19 @@
 
 namespace afraid {
 
+// Derives statistically independent seeds from a (base seed, stream index)
+// pair via the SplitMix64 finalizer. Unlike Rng::Fork(), which depends on how
+// many draws the parent has made, the derived seed is a pure function of its
+// inputs -- so parallel workers (one RNG stream per worker or per Monte-Carlo
+// lifetime) get identical streams no matter how work is scheduled across
+// threads. Stream 0 with base b differs from Rng(b) itself.
+constexpr uint64_t DeriveStreamSeed(uint64_t base, uint64_t stream) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}

@@ -1,0 +1,118 @@
+// Confidence-interval estimators for the Monte-Carlo availability campaign.
+//
+// Two estimation problems arise when measuring MTTDL/MDLR empirically:
+//
+//   * Event *rates* from censored lifetimes: each simulated lifetime runs
+//     until its first data loss or a time cap, so the data are exponential
+//     observations with right-censoring. The MLE of the rate is
+//     events/total-time; exact intervals follow from the chi-square
+//     distribution of 2*events (+2) degrees of freedom. Zero observed events
+//     still yield a finite lower bound on MTTDL (the "rule of three" shape).
+//
+//   * Ratio estimators over per-lifetime pairs (bytes lost, hours observed):
+//     MDLR = sum(bytes)/sum(hours). The delta-method standard error of the
+//     combined ratio handles unequal lifetime lengths (losses truncate early).
+//
+// Everything here is closed-form; the chi-square quantile is exact at df = 2
+// and uses the Wilson-Hilferty cube approximation elsewhere.
+
+#ifndef AFRAID_STATS_CONFIDENCE_H_
+#define AFRAID_STATS_CONFIDENCE_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace afraid {
+
+// A two-sided interval [lo, hi] around a point estimate.
+struct ConfidenceInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+};
+
+// Standard normal quantile for the central 95% interval.
+inline constexpr double kZ975 = 1.959963984540054;
+
+// Chi-square quantile with `df` degrees of freedom at probability p, where z
+// is the standard normal quantile of p. df = 2 (the zero- and one-event
+// interval bounds) is an exponential distribution and handled exactly; other
+// df use the Wilson-Hilferty cube approximation, whose largest error here is
+// the df = 4 lower tail (~8% low, i.e. slightly conservative intervals).
+inline double ChiSquareQuantile(double df, double z) {
+  assert(df > 0.0);
+  if (df == 2.0) {
+    const double p = 0.5 * std::erfc(-z / std::sqrt(2.0));
+    return -2.0 * std::log1p(-p);
+  }
+  const double a = 2.0 / (9.0 * df);
+  const double c = 1.0 - a + z * std::sqrt(a);
+  return df * c * c * c;
+}
+
+// 95% CI for an exponential-event MTTDL estimated from `events` losses over
+// `total_hours` of (censored) observation. The point estimate is the MLE
+// total/events; with zero events the point and upper bound are +infinity and
+// the lower bound is the 95% one-sided limit (2T / chi2_{2,0.975} ~ T/3.7).
+inline ConfidenceInterval MttdlCiHours(uint64_t events, double total_hours) {
+  assert(total_hours > 0.0);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ConfidenceInterval ci;
+  const double d = static_cast<double>(events);
+  // Rate interval: [chi2_{2d, 0.025}/2T, chi2_{2d+2, 0.975}/2T]; invert for
+  // the mean-time interval.
+  ci.lo = 2.0 * total_hours / ChiSquareQuantile(2.0 * d + 2.0, kZ975);
+  if (events == 0) {
+    ci.point = kInf;
+    ci.hi = kInf;
+  } else {
+    ci.point = total_hours / d;
+    ci.hi = 2.0 * total_hours / ChiSquareQuantile(2.0 * d, -kZ975);
+  }
+  return ci;
+}
+
+// 95% CI for a combined ratio sum(num)/sum(den) over paired per-lifetime
+// observations, via the delta-method standard error. Suits MDLR (bytes lost
+// per hour) where lifetimes have unequal lengths. Degenerates gracefully:
+// fewer than two pairs yield a zero-width interval.
+inline ConfidenceInterval RatioCi(const std::vector<double>& num,
+                                  const std::vector<double>& den) {
+  assert(num.size() == den.size());
+  ConfidenceInterval ci;
+  double sn = 0.0;
+  double sd = 0.0;
+  for (size_t i = 0; i < num.size(); ++i) {
+    sn += num[i];
+    sd += den[i];
+  }
+  assert(sd > 0.0);
+  const double r = sn / sd;
+  ci.point = r;
+  const size_t k = num.size();
+  if (k < 2) {
+    ci.lo = ci.hi = r;
+    return ci;
+  }
+  const double dbar = sd / static_cast<double>(k);
+  double ss = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double resid = num[i] - r * den[i];
+    ss += resid * resid;
+  }
+  const double se = std::sqrt(ss / static_cast<double>(k - 1) /
+                              static_cast<double>(k)) /
+                    dbar;
+  ci.lo = std::max(0.0, r - kZ975 * se);
+  ci.hi = r + kZ975 * se;
+  return ci;
+}
+
+}  // namespace afraid
+
+#endif  // AFRAID_STATS_CONFIDENCE_H_

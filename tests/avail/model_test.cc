@@ -155,6 +155,84 @@ TEST(AvailModel, SchemeNames) {
   EXPECT_EQ(SchemeName(RedundancyScheme::kAfraid), "AFRAID");
 }
 
+TEST(AvailModel, Eq2RaidTermDivergesWhenAlwaysUnprotected) {
+  // At fraction 1 the array spends no time in RAID mode, so the RAID-mode
+  // loss channel (2b) contributes nothing: its MTTDL is +infinity, and the
+  // combination (2c) is carried entirely by the unprotected term (2a).
+  AvailabilityParams p;
+  EXPECT_EQ(MttdlAfraidRaidHours(p, 1.0), kInf);
+  EXPECT_DOUBLE_EQ(MttdlAfraidHours(p, 1.0), MttdlAfraidUnprotectedHours(p, 1.0));
+}
+
+TEST(AvailModel, SingleDataDiskDegenerateArray) {
+  // N = 1: a two-disk mirror-like array. Every equation must stay finite
+  // and ordered; this exercises the N*(N+1) and (N+1)/N factors at their
+  // smallest legal value.
+  AvailabilityParams p;
+  p.num_data_disks = 1;
+  EXPECT_EQ(p.TotalDisks(), 2);
+  // Eq. (1): MTTF_eff^2 / (1*2*48).
+  EXPECT_DOUBLE_EQ(MttdlRaidCatastrophicHours(p), 2e6 * 2e6 / (1.0 * 2.0 * 48.0));
+  // Eq. (2a) at full exposure: MTTF_eff / 2.
+  EXPECT_DOUBLE_EQ(MttdlAfraidUnprotectedHours(p, 1.0), 1e6);
+  // RAID 0 with both disks holding data: raw MTTF / 2.
+  EXPECT_DOUBLE_EQ(MttdlRaid0Hours(p), 5e5);
+  // Eq. (3): two disks' worth less the parity half = one disk per event.
+  EXPECT_DOUBLE_EQ(MdlrRaidCatastrophicBph(p),
+                   p.disk_bytes / MttdlRaidCatastrophicHours(p));
+  // Eq. (4): lag/N doubles the per-lag weight at N = 1.
+  EXPECT_GT(MdlrUnprotectedBph(p, 1 << 20), 0.0);
+  // Eq. (5) combines both without blowing up.
+  const double mdlr = MdlrAfraidBph(p, 0.5, 1 << 20);
+  EXPECT_TRUE(std::isfinite(mdlr));
+  EXPECT_GT(mdlr, 0.0);
+  // Ordering survives the degenerate width.
+  EXPECT_LT(MttdlRaid0Hours(p), MttdlAfraidHours(p, 0.1));
+  EXPECT_LT(MttdlAfraidHours(p, 0.1), MttdlRaidCatastrophicHours(p));
+}
+
+TEST(AvailModel, MttdlAfraidStrictlyMonotoneOnFineGrid) {
+  // Monotonicity on a fine grid, including the near-0 and near-1 ends where
+  // the harmonic combination switches between its two regimes.
+  AvailabilityParams p;
+  double prev = MttdlAfraidHours(p, 0.0);
+  for (int i = 1; i <= 1000; ++i) {
+    const double f = static_cast<double>(i) / 1000.0;
+    const double m = MttdlAfraidHours(p, f);
+    EXPECT_LT(m, prev) << "not strictly decreasing at f=" << f;
+    EXPECT_TRUE(std::isfinite(m)) << f;
+    prev = m;
+  }
+  EXPECT_DOUBLE_EQ(prev, MttdlAfraidHours(p, 1.0));
+}
+
+TEST(AvailModel, SchemeDispatchedHelpersMatchDirectEquations) {
+  AvailabilityParams p;
+  EXPECT_DOUBLE_EQ(MttdlDiskHoursFor(p, RedundancyScheme::kRaid0, 0.3),
+                   MttdlRaid0Hours(p));
+  EXPECT_DOUBLE_EQ(MttdlDiskHoursFor(p, RedundancyScheme::kRaid5, 0.3),
+                   MttdlRaidCatastrophicHours(p));
+  EXPECT_DOUBLE_EQ(MttdlDiskHoursFor(p, RedundancyScheme::kAfraid, 0.3),
+                   MttdlAfraidHours(p, 0.3));
+  EXPECT_DOUBLE_EQ(MdlrDiskBphFor(p, RedundancyScheme::kRaid0, 0.3, 1 << 20),
+                   MdlrRaid0Bph(p));
+  EXPECT_DOUBLE_EQ(MdlrDiskBphFor(p, RedundancyScheme::kRaid5, 0.3, 1 << 20),
+                   MdlrRaidCatastrophicBph(p));
+  EXPECT_DOUBLE_EQ(MdlrDiskBphFor(p, RedundancyScheme::kAfraid, 0.3, 1 << 20),
+                   MdlrAfraidBph(p, 0.3, 1 << 20));
+  // The report path and the helpers must agree (one switch, two callers).
+  const auto r = MakeAvailabilityReport(p, RedundancyScheme::kAfraid, 0.3, 1 << 20);
+  EXPECT_DOUBLE_EQ(r.mttdl_disk_hours,
+                   MttdlDiskHoursFor(p, RedundancyScheme::kAfraid, 0.3));
+}
+
+TEST(AvailModel, MeasuredOverPredictedHandlesInfinities) {
+  EXPECT_DOUBLE_EQ(MeasuredOverPredicted(2.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(MeasuredOverPredicted(kInf, kInf), 1.0);
+  EXPECT_DOUBLE_EQ(MeasuredOverPredicted(5.0, kInf), 0.0);
+  EXPECT_EQ(MeasuredOverPredicted(kInf, 5.0), kInf);
+}
+
 // The end-to-end availability argument of Section 3.6: once the disk-related
 // MTTDL exceeds a few million hours, support components dominate and further
 // disk-layer heroics buy nothing.

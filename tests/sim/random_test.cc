@@ -121,5 +121,30 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_LT(same, 5);
 }
 
+TEST(DeriveStreamSeed, DeterministicAndOrderIndependent) {
+  // Pure function of (base, stream): the same pair always maps to the same
+  // seed, however many other streams were derived in between. This is what
+  // makes parallel Monte-Carlo lifetimes independent of thread scheduling.
+  EXPECT_EQ(DeriveStreamSeed(1, 0), DeriveStreamSeed(1, 0));
+  EXPECT_NE(DeriveStreamSeed(1, 0), DeriveStreamSeed(1, 1));
+  EXPECT_NE(DeriveStreamSeed(1, 0), DeriveStreamSeed(2, 0));
+  // Zero base must not collapse to a degenerate stream family.
+  EXPECT_NE(DeriveStreamSeed(0, 0), 0u);
+  EXPECT_NE(DeriveStreamSeed(0, 0), DeriveStreamSeed(0, 1));
+}
+
+TEST(DeriveStreamSeed, AdjacentStreamsAreDecorrelated) {
+  // Rngs seeded from adjacent stream indices should behave independently.
+  Rng a(DeriveStreamSeed(7, 100));
+  Rng b(DeriveStreamSeed(7, 101));
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.UniformInt(0, 1'000'000) == b.UniformInt(0, 1'000'000)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
 }  // namespace
 }  // namespace afraid

@@ -1,0 +1,97 @@
+#include "stats/confidence.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace afraid {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ChiSquareQuantileTest, MatchesTabulatedValues) {
+  // chi2_{2, 0.975} = 7.3778 and chi2_{2, 0.025} = 0.050636; df = 2 is the
+  // exact exponential branch, so these are tight.
+  EXPECT_NEAR(ChiSquareQuantile(2.0, kZ975), 7.3778, 1e-3);
+  EXPECT_NEAR(ChiSquareQuantile(2.0, -kZ975), 0.050636, 1e-4);
+  // chi2_{10, 0.975} = 20.483, chi2_{10, 0.025} = 3.2470.
+  EXPECT_NEAR(ChiSquareQuantile(10.0, kZ975), 20.483, 0.1);
+  EXPECT_NEAR(ChiSquareQuantile(10.0, -kZ975), 3.2470, 0.05);
+  // The median of a chi-square is a bit below its mean (df).
+  EXPECT_LT(ChiSquareQuantile(4.0, 0.0), 4.0);
+  EXPECT_GT(ChiSquareQuantile(4.0, 0.0), 3.0);
+}
+
+TEST(MttdlCiTest, ZeroEventsGivesFiniteLowerBoundOnly) {
+  const ConfidenceInterval ci = MttdlCiHours(0, 1000.0);
+  EXPECT_EQ(ci.point, kInf);
+  EXPECT_EQ(ci.hi, kInf);
+  // One-sided 95% bound: 2T / chi2_{2,0.975} = 2000/7.38 ~ 271 ("rule of
+  // three" shape: with zero events in T hours, MTTDL > ~T/3.7).
+  EXPECT_GT(ci.lo, 200.0);
+  EXPECT_LT(ci.lo, 300.0);
+  EXPECT_TRUE(ci.Contains(kInf));
+}
+
+TEST(MttdlCiTest, PointIsTotalOverEvents) {
+  const ConfidenceInterval ci = MttdlCiHours(4, 1000.0);
+  EXPECT_DOUBLE_EQ(ci.point, 250.0);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_TRUE(ci.Contains(ci.point));
+  EXPECT_FALSE(ci.Contains(0.0));
+}
+
+TEST(MttdlCiTest, IntervalNarrowsWithMoreEvents) {
+  // Same rate (1 event / 100 h), increasing sample: the relative width of
+  // the interval must shrink.
+  const ConfidenceInterval few = MttdlCiHours(4, 400.0);
+  const ConfidenceInterval many = MttdlCiHours(100, 10000.0);
+  EXPECT_DOUBLE_EQ(few.point, many.point);
+  EXPECT_LT(many.hi - many.lo, few.hi - few.lo);
+  EXPECT_GT(many.lo, few.lo);
+  EXPECT_LT(many.hi, few.hi);
+}
+
+TEST(MttdlCiTest, CoverageOnExactExponentialData) {
+  // With d events in total time T from a true-rate process, the CI should
+  // contain the truth for "typical" data (d ~ T * rate).
+  const double true_mttdl = 500.0;
+  const ConfidenceInterval ci = MttdlCiHours(20, 20 * true_mttdl);
+  EXPECT_TRUE(ci.Contains(true_mttdl));
+}
+
+TEST(RatioCiTest, PointIsCombinedRatio) {
+  const ConfidenceInterval ci = RatioCi({10.0, 20.0, 30.0}, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ci.point, 10.0);
+  // All pairs agree exactly: zero residuals, zero-width interval.
+  EXPECT_DOUBLE_EQ(ci.lo, 10.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 10.0);
+}
+
+TEST(RatioCiTest, DisagreementWidensInterval) {
+  const ConfidenceInterval ci = RatioCi({0.0, 40.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(ci.point, 10.0);
+  EXPECT_LT(ci.lo, 10.0);
+  EXPECT_GT(ci.hi, 10.0);
+}
+
+TEST(RatioCiTest, LowerBoundClampedToZero) {
+  // Mostly-zero numerators with one outlier: the normal interval would dip
+  // below zero; a loss rate cannot.
+  const ConfidenceInterval ci =
+      RatioCi({0.0, 0.0, 0.0, 0.0, 100.0}, {1.0, 1.0, 1.0, 1.0, 1.0});
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, ci.point);
+}
+
+TEST(RatioCiTest, SinglePairIsDegenerate) {
+  const ConfidenceInterval ci = RatioCi({5.0}, {2.0});
+  EXPECT_DOUBLE_EQ(ci.point, 2.5);
+  EXPECT_DOUBLE_EQ(ci.lo, 2.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 2.5);
+}
+
+}  // namespace
+}  // namespace afraid
