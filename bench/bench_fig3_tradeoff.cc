@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/sweep.h"
 #include "stats/summary.h"
 
 namespace afraid {
@@ -45,26 +46,30 @@ int Run() {
 
   // Per-policy geometric means across workloads of (RAID5 mean I/O time /
   // policy mean I/O time) and (policy overall MTTDL / RAID5 overall MTTDL).
-  std::vector<double> raid5_io_ms;
-  for (const WorkloadParams& wl : PaperWorkloads()) {
-    raid5_io_ms.push_back(
-        RunWorkload(cfg, PolicySpec::Raid5(), wl, max_requests, max_duration)
-            .mean_io_ms);
-  }
-  for (const Point& pt : points) {
+  // The whole (point x workload) grid fans out over a thread pool; each cell
+  // is deterministic in its inputs, so the frontier is bit-identical for any
+  // AFRAID_BENCH_THREADS. Points[0] is RAID 5 itself: its row doubles as the
+  // ratio baseline (the serial harness recomputed it to identical values).
+  const std::vector<WorkloadParams> workloads = PaperWorkloads();
+  const int64_t per_point = static_cast<int64_t>(workloads.size());
+  const std::vector<SimReport> reports = ParallelSweep(
+      static_cast<int64_t>(points.size()) * per_point, [&](int64_t cell) {
+        return RunWorkload(cfg, points[static_cast<size_t>(cell / per_point)].spec,
+                           workloads[static_cast<size_t>(cell % per_point)],
+                           max_requests, max_duration);
+      });
+  for (size_t p = 0; p < points.size(); ++p) {
     std::vector<double> perf_ratios;
     std::vector<double> avail_ratios;
-    size_t i = 0;
-    for (const WorkloadParams& wl : PaperWorkloads()) {
-      const SimReport rep = RunWorkload(cfg, pt.spec, wl, max_requests, max_duration);
-      perf_ratios.push_back(raid5_io_ms[i] / rep.mean_io_ms);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      const SimReport& rep = reports[p * workloads.size() + w];
+      perf_ratios.push_back(reports[w].mean_io_ms / rep.mean_io_ms);
       avail_ratios.push_back(rep.avail.mttdl_overall_hours / raid5_overall);
-      ++i;
     }
     const double perf = GeometricMean(perf_ratios);
     const double avail = GeometricMean(avail_ratios);
-    std::printf("%-14s %18.2f %18.3f %13.0f%%\n", pt.label.c_str(), perf, avail,
-                (perf - 1.0) * 100.0);
+    std::printf("%-14s %18.2f %18.3f %13.0f%%\n", points[p].label.c_str(), perf,
+                avail, (perf - 1.0) * 100.0);
   }
   PrintRule();
   std::printf("paper reference points: +42%% perf at 0.90x avail; +97%% at 0.77x; "

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/sweep.h"
 
 namespace afraid {
 namespace {
@@ -27,6 +28,18 @@ int Run() {
       PolicySpec::AfraidBaseline(),
   };
 
+  // Independent (workload x policy) cells, fanned out over a thread pool
+  // (AFRAID_BENCH_THREADS) and printed in grid order: bit-identical to the
+  // serial sweep at any thread count.
+  const std::vector<WorkloadParams> workloads = PaperWorkloads();
+  const int64_t per_row = static_cast<int64_t>(sweep.size());
+  const std::vector<SimReport> reports = ParallelSweep(
+      static_cast<int64_t>(workloads.size()) * per_row, [&](int64_t cell) {
+        return RunWorkload(cfg, sweep[static_cast<size_t>(cell % per_row)],
+                           workloads[static_cast<size_t>(cell / per_row)],
+                           max_requests, max_duration);
+      });
+
   PrintHeader("Figure 4: mean I/O time (ms) per workload across policies");
   std::printf("%-12s", "workload");
   for (const PolicySpec& spec : sweep) {
@@ -34,11 +47,10 @@ int Run() {
   }
   std::printf("\n");
   PrintRule(104);
-  for (const WorkloadParams& wl : PaperWorkloads()) {
-    std::printf("%-12s", wl.name.c_str());
-    for (const PolicySpec& spec : sweep) {
-      const SimReport rep = RunWorkload(cfg, spec, wl, max_requests, max_duration);
-      std::printf(" %12.2f", rep.mean_io_ms);
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    std::printf("%-12s", workloads[w].name.c_str());
+    for (size_t p = 0; p < sweep.size(); ++p) {
+      std::printf(" %12.2f", reports[w * sweep.size() + p].mean_io_ms);
     }
     std::printf("\n");
   }

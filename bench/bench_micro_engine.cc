@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "array/content.h"
 #include "array/layout.h"
 #include "disk/disk_model.h"
 #include "sim/event_queue.h"
@@ -29,6 +33,76 @@ void BM_EventQueueScheduleFire(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // Timeout-manager pattern (idle detectors, request deadlines): most
+  // scheduled events are cancelled and replaced before they ever fire, so the
+  // queue spends its time on Schedule/Cancel pairs plus skimming dead entries.
+  EventQueue q;
+  Rng rng(42);
+  int64_t sink = 0;
+  std::vector<EventId> slots(64, kInvalidEventId);
+  for (auto _ : state) {
+    for (int i = 0; i < 512; ++i) {
+      const size_t k = static_cast<size_t>(rng.UniformInt(0, 63));
+      if (slots[k] != kInvalidEventId) {
+        q.Cancel(slots[k]);
+      }
+      slots[k] = q.Schedule(rng.UniformInt(0, 1'000'000), [&sink] { ++sink; });
+    }
+    while (!q.Empty()) {
+      q.PopNext().fn();
+    }
+    std::fill(slots.begin(), slots.end(), kInvalidEventId);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+void BM_ContentModelStripeWalk(benchmark::State& state) {
+  // Whole-model consistency scan: what StripeConsistent/rebuild verification
+  // does for every touched stripe -- an XorOfData per sector position.
+  const int32_t n = 4, spu = 16;
+  ContentModel m(n, 1, spu);
+  for (int64_t s = 0; s < 256; ++s) {
+    const int64_t stripe = s * 7;  // Sparse stripe keys, as real traces give.
+    for (int32_t j = 0; j < n; ++j) {
+      for (int32_t i = 0; i < spu; ++i) {
+        m.SetData(stripe, j, i, ContentModel::MixTag(s * 64 + j * 16 + i, s));
+      }
+    }
+    for (int32_t i = 0; i < spu; ++i) {
+      m.SetParity(stripe, i, m.XorOfData(stripe, i));
+    }
+  }
+  for (auto _ : state) {
+    bool ok = true;
+    for (int64_t s = 0; s < 256; ++s) {
+      ok &= m.StripeConsistent(s * 7);
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ContentModelStripeWalk);
+
+void BM_ContentModelSetGet(benchmark::State& state) {
+  // Random single-sector updates and parity reads, the per-transfer pattern
+  // the controllers issue from the write paths.
+  ContentModel m(4, 1, 16);
+  Rng rng(42);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 256; ++i) {
+      const int64_t stripe = rng.UniformInt(0, 511);
+      const int32_t j = static_cast<int32_t>(rng.UniformInt(0, 3));
+      const int32_t sec = static_cast<int32_t>(rng.UniformInt(0, 15));
+      m.SetData(stripe, j, sec, x + static_cast<uint64_t>(i) + 1);
+      x ^= m.GetData(stripe, j, sec) ^ m.GetParity(stripe, sec);
+    }
+  }
+  benchmark::DoNotOptimize(x);
+}
+BENCHMARK(BM_ContentModelSetGet);
 
 void BM_DiskComputeService(benchmark::State& state) {
   Simulator sim;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/sweep.h"
 #include "stats/summary.h"
 
 namespace afraid {
@@ -20,6 +21,22 @@ int Run() {
   const uint64_t max_requests = BenchRequests();
   const SimDuration max_duration = BenchDuration();
 
+  // Every (workload, policy) cell is independent, so the grid fans out over
+  // a thread pool (AFRAID_BENCH_THREADS) and is reduced in row order below.
+  // Each workload keeps its own fixed seed -- the three policies of a row
+  // must replay the identical trace -- so rows match the serial harness
+  // bit for bit at any thread count.
+  const std::vector<WorkloadParams> workloads = PaperWorkloads();
+  const std::vector<PolicySpec> policies = {
+      PolicySpec::Raid5(), PolicySpec::AfraidBaseline(), PolicySpec::Raid0()};
+  const int64_t per_row = static_cast<int64_t>(policies.size());
+  const std::vector<SimReport> reports = ParallelSweep(
+      static_cast<int64_t>(workloads.size()) * per_row, [&](int64_t cell) {
+        return RunWorkload(cfg, policies[static_cast<size_t>(cell % per_row)],
+                           workloads[static_cast<size_t>(cell / per_row)],
+                           max_requests, max_duration);
+      });
+
   PrintHeader(
       "Table 2 / Figure 2: mean I/O time (ms) -- RAID 5 vs AFRAID vs RAID 0");
   std::printf("%-12s %10s %10s %10s | %8s %8s | %6s\n", "workload", "RAID5", "AFRAID",
@@ -28,19 +45,17 @@ int Run() {
 
   std::vector<double> afraid_speedups;
   std::vector<double> raid0_speedups;
-  for (const WorkloadParams& wl : PaperWorkloads()) {
-    const SimReport r5 =
-        RunWorkload(cfg, PolicySpec::Raid5(), wl, max_requests, max_duration);
-    const SimReport af =
-        RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl, max_requests, max_duration);
-    const SimReport r0 =
-        RunWorkload(cfg, PolicySpec::Raid0(), wl, max_requests, max_duration);
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    const SimReport& r5 = reports[w * 3];
+    const SimReport& af = reports[w * 3 + 1];
+    const SimReport& r0 = reports[w * 3 + 2];
     const double a_speedup = r5.mean_io_ms / af.mean_io_ms;
     const double z_speedup = r5.mean_io_ms / r0.mean_io_ms;
     afraid_speedups.push_back(a_speedup);
     raid0_speedups.push_back(z_speedup);
-    std::printf("%-12s %10.2f %10.2f %10.2f | %8.2f %8.2f | %6llu\n", wl.name.c_str(),
-                r5.mean_io_ms, af.mean_io_ms, r0.mean_io_ms, a_speedup, z_speedup,
+    std::printf("%-12s %10.2f %10.2f %10.2f | %8.2f %8.2f | %6llu\n",
+                workloads[w].name.c_str(), r5.mean_io_ms, af.mean_io_ms,
+                r0.mean_io_ms, a_speedup, z_speedup,
                 static_cast<unsigned long long>(r5.requests));
   }
   PrintRule();

@@ -11,13 +11,21 @@
 //
 // Storage is sparse per stripe: untouched stripes are implicitly all-zero,
 // which is parity-consistent by construction (a freshly initialised array).
+//
+// Layout: a single open-addressed hash table maps stripe number to a slot in
+// one contiguous value array. Each stripe's values are stored sector-major --
+// all N+P block values for sector 0, then for sector 1, ... -- so XorOfData
+// (the rebuild/degraded-read inner loop) reduces over a contiguous run of
+// data values that the compiler can vectorise. A one-entry lookup cache
+// short-circuits the probe for the per-transfer bursts of Get/Set the
+// controllers issue against a single stripe.
 
 #ifndef AFRAID_ARRAY_CONTENT_H_
 #define AFRAID_ARRAY_CONTENT_H_
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace afraid {
@@ -27,7 +35,13 @@ class ContentModel {
   // `data_blocks` = N; `parity_blocks` = 1 (RAID 5) or 2 (RAID 6);
   // `sectors_per_unit` = stripe_unit_bytes / sector_bytes.
   ContentModel(int32_t data_blocks, int32_t parity_blocks, int32_t sectors_per_unit)
-      : n_(data_blocks), pb_(parity_blocks), spu_(sectors_per_unit) {
+      : n_(data_blocks),
+        pb_(parity_blocks),
+        spu_(sectors_per_unit),
+        width_(data_blocks + parity_blocks),
+        stride_(static_cast<size_t>(data_blocks + parity_blocks) *
+                static_cast<size_t>(sectors_per_unit)),
+        buckets_(kInitialBuckets, kEmptyBucket) {
     assert(n_ > 0 && pb_ >= 1 && spu_ > 0);
   }
 
@@ -56,10 +70,17 @@ class ContentModel {
 
   // Xor of all data blocks of the stripe at one sector position: what a full
   // parity rebuild computes, and what degraded-mode reconstruction recovers.
+  // The reduction runs over `n_` contiguous values.
   uint64_t XorOfData(int64_t stripe, int32_t sector) const {
+    assert(sector >= 0 && sector < spu_);
+    const uint32_t slot = FindSlot(stripe);
+    if (slot == kNoStripe) {
+      return 0;
+    }
+    const uint64_t* row = RowPtr(slot, sector);
     uint64_t x = 0;
     for (int32_t j = 0; j < n_; ++j) {
-      x ^= GetData(stripe, j, sector);
+      x ^= row[j];
     }
     return x;
   }
@@ -67,34 +88,32 @@ class ContentModel {
   // Reconstruction of data block j from the other data blocks and P parity:
   // xor of everything except block j.
   uint64_t ReconstructData(int64_t stripe, int32_t j, int32_t sector) const {
-    uint64_t x = GetParity(stripe, sector);
-    for (int32_t k = 0; k < n_; ++k) {
-      if (k != j) {
-        x ^= GetData(stripe, k, sector);
-      }
-    }
-    return x;
+    return XorOfData(stripe, sector) ^ GetData(stripe, j, sector) ^
+           GetParity(stripe, sector);
   }
 
   // True iff P parity equals the xor of the data at every sector position.
   bool StripeConsistent(int64_t stripe) const {
+    const uint32_t slot = FindSlot(stripe);
+    if (slot == kNoStripe) {
+      return true;  // Implicitly all-zero, hence consistent.
+    }
     for (int32_t s = 0; s < spu_; ++s) {
-      if (GetParity(stripe, s) != XorOfData(stripe, s)) {
+      const uint64_t* row = RowPtr(slot, s);
+      uint64_t x = 0;
+      for (int32_t j = 0; j < n_; ++j) {
+        x ^= row[j];
+      }
+      if (row[n_] != x) {
         return false;
       }
     }
     return true;
   }
 
-  // Stripes that have ever been written (for whole-model consistency scans).
-  std::vector<int64_t> TouchedStripes() const {
-    std::vector<int64_t> out;
-    out.reserve(stripes_.size());
-    for (const auto& [s, _] : stripes_) {
-      out.push_back(s);
-    }
-    return out;
-  }
+  // Stripes that have ever been written (for whole-model consistency scans),
+  // in first-touch order.
+  std::vector<int64_t> TouchedStripes() const { return stripe_of_slot_; }
 
   // The unique value a client write `tag` deposits into logical sector
   // `logical_sector`. Tests recompute this to know what to expect.
@@ -109,28 +128,108 @@ class ContentModel {
   }
 
  private:
-  uint64_t Get(int64_t stripe, int32_t slot, int32_t sector) const {
+  static constexpr uint32_t kEmptyBucket = 0;   // Buckets hold slot index + 1.
+  static constexpr uint32_t kNoStripe = 0xffffffffu;
+  static constexpr size_t kInitialBuckets = 64;  // Power of two.
+
+  static uint64_t HashStripe(int64_t stripe) {
+    uint64_t z = static_cast<uint64_t>(stripe) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  const uint64_t* RowPtr(uint32_t slot, int32_t sector) const {
+    return values_.data() + static_cast<size_t>(slot) * stride_ +
+           static_cast<size_t>(sector) * static_cast<size_t>(width_);
+  }
+
+  size_t ValueIndex(uint32_t slot, int32_t block, int32_t sector) const {
+    return static_cast<size_t>(slot) * stride_ +
+           static_cast<size_t>(sector) * static_cast<size_t>(width_) +
+           static_cast<size_t>(block);
+  }
+
+  // Linear-probe lookup; kNoStripe if the stripe was never written.
+  uint32_t FindSlot(int64_t stripe) const {
+    if (cached_slot_ != kNoStripe && cached_stripe_ == stripe) {
+      return cached_slot_;
+    }
+    const size_t mask = buckets_.size() - 1;
+    for (size_t b = HashStripe(stripe) & mask;; b = (b + 1) & mask) {
+      const uint32_t entry = buckets_[b];
+      if (entry == kEmptyBucket) {
+        return kNoStripe;
+      }
+      const uint32_t slot = entry - 1;
+      if (stripe_of_slot_[slot] == stripe) {
+        cached_stripe_ = stripe;
+        cached_slot_ = slot;
+        return slot;
+      }
+    }
+  }
+
+  uint32_t FindOrInsertSlot(int64_t stripe) {
+    const uint32_t found = FindSlot(stripe);
+    if (found != kNoStripe) {
+      return found;
+    }
+    // Grow at 50% load so probe sequences stay short.
+    if ((stripe_of_slot_.size() + 1) * 2 > buckets_.size()) {
+      Rehash(buckets_.size() * 2);
+    }
+    const uint32_t slot = static_cast<uint32_t>(stripe_of_slot_.size());
+    stripe_of_slot_.push_back(stripe);
+    values_.resize(values_.size() + stride_, 0);
+    const size_t mask = buckets_.size() - 1;
+    size_t b = HashStripe(stripe) & mask;
+    while (buckets_[b] != kEmptyBucket) {
+      b = (b + 1) & mask;
+    }
+    buckets_[b] = slot + 1;
+    cached_stripe_ = stripe;
+    cached_slot_ = slot;
+    return slot;
+  }
+
+  void Rehash(size_t new_buckets) {
+    buckets_.assign(new_buckets, kEmptyBucket);
+    const size_t mask = new_buckets - 1;
+    for (uint32_t slot = 0; slot < stripe_of_slot_.size(); ++slot) {
+      size_t b = HashStripe(stripe_of_slot_[slot]) & mask;
+      while (buckets_[b] != kEmptyBucket) {
+        b = (b + 1) & mask;
+      }
+      buckets_[b] = slot + 1;
+    }
+  }
+
+  uint64_t Get(int64_t stripe, int32_t block, int32_t sector) const {
     assert(sector >= 0 && sector < spu_);
-    auto it = stripes_.find(stripe);
-    if (it == stripes_.end()) {
+    const uint32_t slot = FindSlot(stripe);
+    if (slot == kNoStripe) {
       return 0;
     }
-    return it->second[static_cast<size_t>(slot) * spu_ + sector];
+    return values_[ValueIndex(slot, block, sector)];
   }
-  void Set(int64_t stripe, int32_t slot, int32_t sector, uint64_t v) {
+  void Set(int64_t stripe, int32_t block, int32_t sector, uint64_t v) {
     assert(sector >= 0 && sector < spu_);
-    auto it = stripes_.find(stripe);
-    if (it == stripes_.end()) {
-      it = stripes_.emplace(stripe, std::vector<uint64_t>(
-                                        static_cast<size_t>(n_ + pb_) * spu_, 0)).first;
-    }
-    it->second[static_cast<size_t>(slot) * spu_ + sector] = v;
+    values_[ValueIndex(FindOrInsertSlot(stripe), block, sector)] = v;
   }
 
   int32_t n_;
   int32_t pb_;
   int32_t spu_;
-  std::unordered_map<int64_t, std::vector<uint64_t>> stripes_;
+  int32_t width_;   // n_ + pb_: values per sector row.
+  size_t stride_;   // Values per stripe.
+
+  std::vector<uint32_t> buckets_;        // Open-addressed: slot index + 1.
+  std::vector<int64_t> stripe_of_slot_;  // Slot -> stripe key, touch order.
+  std::vector<uint64_t> values_;         // Slot-contiguous, sector-major.
+
+  mutable int64_t cached_stripe_ = 0;
+  mutable uint32_t cached_slot_ = kNoStripe;
 };
 
 }  // namespace afraid

@@ -1,0 +1,58 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace afraid {
+
+int32_t SweepThreads() {
+  if (const char* env = std::getenv("AFRAID_BENCH_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) {
+      return static_cast<int32_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int32_t>(hw) : 1;
+}
+
+namespace internal {
+
+void RunSweep(int64_t cells, int32_t threads,
+              const std::function<void(int64_t)>& run_cell) {
+  if (cells <= 0) {
+    return;
+  }
+  int32_t n = threads > 0 ? threads : SweepThreads();
+  if (n > cells) {
+    n = static_cast<int32_t>(cells);
+  }
+  if (n <= 1) {
+    for (int64_t i = 0; i < cells; ++i) {
+      run_cell(i);
+    }
+    return;
+  }
+  std::atomic<int64_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells) {
+        return;
+      }
+      run_cell(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(n));
+  for (int32_t t = 0; t < n; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace internal
+}  // namespace afraid

@@ -1,0 +1,65 @@
+// Deterministic parallel fan-out for independent experiment cells.
+//
+// Every table/figure harness in bench/ evaluates a grid of (workload x
+// policy) cells, and each cell -- a RunExperiment/RunWorkload invocation --
+// is a pure function of its inputs: it owns its Simulator, controller and
+// RNG streams, so cells share nothing. ParallelSweep spreads the cells over
+// a std::thread pool and collects results by cell index, which makes the
+// output bit-identical for any thread count: which worker computes a cell
+// can never change what the cell computes, only where. This generalises the
+// faultsim campaign runner's pattern (src/faultsim/runner.h) to the whole
+// bench suite.
+//
+// Cells that need their own random stream derive it with SweepCellSeed
+// (SplitMix64 stream derivation, as the faultsim runner uses per lifetime)
+// rather than sharing a mutated RNG, keeping the per-cell streams a pure
+// function of (base seed, cell index).
+
+#ifndef AFRAID_CORE_SWEEP_H_
+#define AFRAID_CORE_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace afraid {
+
+// Thread count used when the caller does not pin one: the AFRAID_BENCH_THREADS
+// environment variable if set to >= 1, else the hardware concurrency (min 1).
+int32_t SweepThreads();
+
+// Deterministic per-cell seed: a pure function of (base_seed, cell), so the
+// streams are identical no matter how cells are scheduled across threads.
+inline uint64_t SweepCellSeed(uint64_t base_seed, int64_t cell) {
+  return DeriveStreamSeed(base_seed, static_cast<uint64_t>(cell));
+}
+
+namespace internal {
+// Runs run_cell(0..cells-1) on a pool of `threads` workers (<= 0 means
+// SweepThreads(); the pool never exceeds the cell count).
+void RunSweep(int64_t cells, int32_t threads,
+              const std::function<void(int64_t)>& run_cell);
+}  // namespace internal
+
+// Evaluates fn(i) for every cell index i in [0, cells) and returns the
+// results ordered by index. `fn` must be safe to invoke concurrently from
+// multiple threads (pure cells are; see the header comment).
+template <typename Fn>
+auto ParallelSweep(int64_t cells, Fn&& fn, int32_t threads = 0)
+    -> std::vector<std::invoke_result_t<Fn&, int64_t>> {
+  using Result = std::invoke_result_t<Fn&, int64_t>;
+  std::vector<Result> results(static_cast<size_t>(cells < 0 ? 0 : cells));
+  // Each worker writes only its own cell's slot; distinct vector elements,
+  // so no synchronisation beyond the work counter and the joins is needed.
+  internal::RunSweep(cells, threads, [&](int64_t i) {
+    results[static_cast<size_t>(i)] = fn(i);
+  });
+  return results;
+}
+
+}  // namespace afraid
+
+#endif  // AFRAID_CORE_SWEEP_H_

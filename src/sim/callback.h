@@ -1,0 +1,146 @@
+// A move-only `void()` callable with small-buffer optimisation, used for
+// simulation events.
+//
+// std::function is the wrong shape for an event queue: it requires copyable
+// captures (so completion continuations cannot own their state via
+// unique_ptr), and captures beyond the implementation's tiny inline buffer
+// cost a heap allocation per scheduled event. EventCallback stores captures
+// up to kInlineBytes directly inside the object -- sized so every callback
+// the simulator schedules today fits -- and falls back to a heap box only for
+// oversized captures. Move-only captures are fully supported.
+
+#ifndef AFRAID_SIM_CALLBACK_H_
+#define AFRAID_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace afraid {
+
+class EventCallback {
+ public:
+  // Generous enough for the fattest controller continuation (a lambda over a
+  // handful of pointers, 64-bit scalars and a shared_ptr join handle).
+  static constexpr size_t kInlineBytes = 48;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (kFitsInline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  // Destroys the held callable (and its captures), leaving the object empty.
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) {
+        ops_->destroy(storage_);
+      }
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-constructs `dst` from `src`, then destroys `src`. Null when a raw
+    // byte copy of the buffer is equivalent (the common case: lambdas over
+    // pointers and scalars), letting moves skip the indirect call.
+    void (*relocate)(void* src, void* dst);
+    // Null when destruction is a no-op.
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr bool kFitsInline =
+      sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr bool kTriviallyRelocatable =
+      std::is_trivially_copyable_v<Fn> && std::is_trivially_destructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      kTriviallyRelocatable<Fn>
+          ? nullptr
+          : +[](void* src, void* dst) {
+              Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+              ::new (dst) Fn(std::move(*from));
+              from->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
+  };
+
+  // Heap-boxed callables relocate by copying the owning pointer.
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      nullptr,
+      [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+  };
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+// The fast path deliberately copies the whole fixed-size buffer (three vector
+// moves) rather than just sizeof(Fn) bytes; the tail past the capture is
+// indeterminate, which is fine for unsigned char, but GCC flags the read.
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+  void MoveFrom(EventCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      ops_ = other.ops_;
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, kInlineBytes);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_SIM_CALLBACK_H_

@@ -1,66 +1,187 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace afraid {
 
 EventId EventQueue::Schedule(SimTime when, Callback fn) {
-  const EventId id = next_seq_++;
-  heap_.push(Entry{when, id, std::move(fn)});
-  pending_.insert(id);
-  return id;
+  uint32_t s;
+  if (free_head_ != kNoSlot) {
+    s = free_head_;
+    free_head_ = slots_[s].next_free;
+  } else {
+    s = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[s];
+  slot.fn = std::move(fn);
+  heap_.push_back(HeapEntry{when, next_seq_++, s, slot.gen});
+  SiftUp(heap_.size() - 1);
+  ++live_;
+  return (static_cast<uint64_t>(slot.gen) << 32) | s;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) {
-    return false;  // Never scheduled, already fired, or already cancelled.
+  const uint32_t s = static_cast<uint32_t>(id);
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (gen == 0 || s >= slots_.size() || slots_[s].gen != gen) {
+    return false;  // Never scheduled, already fired/cancelled, or recycled.
   }
-  pending_.erase(it);
-  cancelled_.insert(id);
+  // The heap entry goes stale (its stamp no longer matches) and is removed
+  // lazily; the slot is immediately reusable because a recycled slot gets a
+  // fresh generation.
+  ReleaseSlot(s);
+  --live_;
+  // Under cancel-heavy churn the heap would otherwise fill with stale
+  // entries, each costing a full sift when it reaches the top. Once they
+  // outnumber live events, one linear compaction removes them all.
+  if (++dead_ > live_ && heap_.size() >= 64) {
+    Compact();
+  }
   return true;
 }
 
-void EventQueue::SkimCancelled() {
-  while (!heap_.empty()) {
-    const EventId id = heap_.top().seq;
-    auto it = cancelled_.find(id);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::ReleaseSlot(uint32_t s) const {
+  Slot& slot = slots_[s];
+  if (++slot.gen == 0) {
+    slot.gen = 1;  // Keep generation 0 permanently invalid across wraps.
+  }
+  slot.fn.Reset();
+  slot.next_free = free_head_;
+  free_head_ = s;
+}
+
+void EventQueue::SkimDead() const {
+  while (!heap_.empty() && !Live(heap_.front())) {
+    PopRoot();
+    --dead_;
   }
 }
 
-SimTime EventQueue::NextTime() {
-  SkimCancelled();
+SimTime EventQueue::NextTime() const {
+  SkimDead();
   if (heap_.empty()) {
     return kSimTimeNever;
   }
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::PopNext() {
-  SkimCancelled();
+  SkimDead();
   assert(!heap_.empty());
-  // priority_queue::top() returns a const reference; the callback must be
-  // moved out, so we const_cast the entry. This is safe because we pop
-  // immediately and never compare the moved-from element.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, std::move(top.fn)};
-  pending_.erase(top.seq);
-  heap_.pop();
+  const HeapEntry top = heap_.front();
+  Fired fired{top.time, std::move(slots_[top.slot].fn)};
+  ReleaseSlot(top.slot);
+  --live_;
+  PopRoot();
   return fired;
 }
 
 void EventQueue::Clear() {
-  while (!heap_.empty()) {
-    heap_.pop();
+  // Release every live slot so outstanding ids stop matching and captured
+  // state is destroyed now, not at queue destruction.
+  for (const HeapEntry& e : heap_) {
+    if (Live(e)) {
+      ReleaseSlot(e.slot);
+    }
   }
-  cancelled_.clear();
-  pending_.clear();
+  heap_.clear();
+  dead_ = 0;
+  live_ = 0;
+}
+
+void EventQueue::SiftUp(size_t i) const {
+  const HeapEntry e = heap_[i];
+  const OrderKey k = Key(e);
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (k >= Key(heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::SiftDown(size_t i) const {
+  const HeapEntry e = heap_[i];
+  const size_t n = heap_.size();
+  const OrderKey k = Key(e);
+  for (;;) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    // Branchless best-of-children: child times are effectively random, so a
+    // compare-and-branch here mispredicts constantly; conditional moves on
+    // the packed key don't.
+    size_t best = first_child;
+    OrderKey bestk = Key(heap_[first_child]);
+    const size_t end = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < end; ++c) {
+      const OrderKey ck = Key(heap_[c]);
+      const bool lt = ck < bestk;
+      best = lt ? c : best;
+      bestk = lt ? ck : bestk;
+    }
+    if (bestk >= k) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::PopRoot() const {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return;
+  }
+  const OrderKey lastk = Key(last);
+  size_t i = 0;
+  for (;;) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    OrderKey bestk = Key(heap_[first_child]);
+    const size_t end = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < end; ++c) {
+      const OrderKey ck = Key(heap_[c]);
+      const bool lt = ck < bestk;
+      best = lt ? c : best;
+      bestk = lt ? ck : bestk;
+    }
+    if (bestk >= lastk) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void EventQueue::Compact() const {
+  size_t out = 0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (Live(heap_[i])) {
+      heap_[out++] = heap_[i];
+    }
+  }
+  heap_.resize(out);
+  dead_ = 0;
+  if (out > 1) {
+    for (size_t i = (out - 2) / 4 + 1; i-- > 0;) {
+      SiftDown(i);
+    }
+  }
 }
 
 }  // namespace afraid

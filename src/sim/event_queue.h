@@ -1,31 +1,42 @@
 // A cancellable min-heap event queue for discrete-event simulation.
 //
 // Events scheduled for the same instant fire in scheduling order (a strict
-// FIFO tie-break), which keeps simulations deterministic regardless of heap
-// internals. Cancellation is lazy: a cancelled event stays in the heap but is
-// skipped when popped, so Cancel() is O(1).
+// FIFO tie-break on an insertion sequence number), which keeps simulations
+// deterministic regardless of heap internals. The pop order is therefore a
+// pure function of the Schedule/Cancel history -- heap arity and slab layout
+// cannot change results.
+//
+// Internals: callbacks live in a slab of reusable slots; the heap itself is a
+// 4-ary implicit heap of small POD entries (time, seq, slot, generation).
+// EventIds embed the slot index and a per-slot generation stamp, so Cancel()
+// is a bounds check plus a generation compare -- O(1), no hashing -- and a
+// stale id (already fired, already cancelled, or recycled) simply fails the
+// compare. Cancellation is lazy: the dead heap entry is skimmed when it
+// reaches the top. Callbacks use EventCallback (small-buffer, move-only), so
+// scheduling an event performs no per-event heap allocation for ordinary
+// captures.
 
 #ifndef AFRAID_SIM_EVENT_QUEUE_H_
 #define AFRAID_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace afraid {
 
-// Opaque handle identifying a scheduled event. Zero is never a valid id.
+// Opaque handle identifying a scheduled event: generation stamp in the high
+// 32 bits, slot index in the low 32. Zero is never a valid id (generation
+// stamps start at 1).
 using EventId = uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -42,13 +53,15 @@ class EventQueue {
   bool Cancel(EventId id);
 
   // True if no live (non-cancelled) events remain.
-  bool Empty() const { return pending_.empty(); }
+  bool Empty() const { return live_ == 0; }
 
   // Number of live events.
-  size_t Size() const { return pending_.size(); }
+  size_t Size() const { return live_; }
 
-  // Time of the earliest live event; kSimTimeNever when empty.
-  SimTime NextTime();
+  // Time of the earliest live event; kSimTimeNever when empty. Logically
+  // const: it may skim dead heap entries, which never changes the sequence
+  // of events observed.
+  SimTime NextTime() const;
 
   // Removes and returns the earliest live event. Precondition: !Empty().
   // The returned time is the event's scheduled time.
@@ -58,30 +71,73 @@ class EventQueue {
   };
   Fired PopNext();
 
-  // Drops everything, including pending cancellations.
+  // Drops every pending event, destroying its callback, and invalidates all
+  // outstanding EventIds (their slots' generations are bumped, so a
+  // post-Clear Cancel of a pre-Clear id fails). The queue is immediately
+  // reusable; slot storage is retained for reuse.
   void Clear();
 
  private:
-  struct Entry {
-    SimTime time = 0;
-    uint64_t seq = 0;  // Insertion order; also the EventId.
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  // Callback storage, reused across events. `gen` must match the heap
+  // entry's stamp for the event to be live; it is bumped when the event
+  // fires, is cancelled, or the queue is cleared.
+  struct Slot {
     Callback fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
-    }
+    uint32_t gen = 1;
+    uint32_t next_free = kNoSlot;
   };
 
-  // Pops cancelled entries off the top of the heap.
-  void SkimCancelled();
+  // One 4-ary-heap element. 24 bytes, trivially copyable: sifting moves
+  // these, never the callbacks.
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;   // Insertion order; the FIFO tie-break at equal times.
+    uint32_t slot;
+    uint32_t gen;
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;    // Live (scheduled, not yet fired/cancelled) ids.
-  std::unordered_set<EventId> cancelled_;  // Cancelled ids still physically in the heap.
+  // The heap order (time, then insertion seq) packed into one signed 128-bit
+  // key: a single-flag comparison the sift loops can turn into conditional
+  // moves instead of data-dependent branches. Identical ordering to
+  // lexicographic (time, seq) -- the high half compares signed times, and at
+  // equal times the low half compares seqs as unsigned.
+  using OrderKey = __int128;
+  static OrderKey Key(const HeapEntry& e) {
+    return (static_cast<OrderKey>(e.time) << 64) |
+           static_cast<unsigned __int128>(e.seq);
+  }
+
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    return Key(a) < Key(b);
+  }
+
+  bool Live(const HeapEntry& e) const { return slots_[e.slot].gen == e.gen; }
+
+  // Bumps the slot's generation (invalidating its id), destroys the
+  // callback, and returns the slot to the free list.
+  void ReleaseSlot(uint32_t s) const;
+
+  // Removes dead entries from the top of the heap.
+  void SkimDead() const;
+
+  void SiftUp(size_t i) const;
+  void SiftDown(size_t i) const;
+  void PopRoot() const;  // Removes heap_[0], restoring the heap property.
+
+  // Filters every dead entry out of the heap and Floyd-rebuilds it: O(n)
+  // once, versus one O(log n) sift per dead entry skimmed at the top.
+  // Triggered from Cancel() when dead entries outnumber live ones.
+  void Compact() const;
+
+  // Mutable so NextTime() can skim lazily-cancelled entries; skimming is
+  // invisible to callers (it only discards entries that can never fire).
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::vector<Slot> slots_;
+  mutable uint32_t free_head_ = kNoSlot;
+  mutable size_t dead_ = 0;  // Stale entries still physically in the heap.
+  size_t live_ = 0;
   uint64_t next_seq_ = 1;
 };
 

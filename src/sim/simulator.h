@@ -62,7 +62,7 @@ class Simulator {
   uint64_t EventsProcessed() const { return events_processed_; }
 
   // Time of the next pending event (kSimTimeNever if none).
-  SimTime NextEventTime() { return queue_.NextTime(); }
+  SimTime NextEventTime() const { return queue_.NextTime(); }
 
  private:
   EventQueue queue_;

@@ -103,6 +103,121 @@ TEST(EventQueue, ClearDropsEverything) {
   EXPECT_EQ(q.NextTime(), kSimTimeNever);
 }
 
+TEST(EventQueue, MoveOnlyCaptureFires) {
+  // std::function could not hold this callback at all; the slab queue's
+  // SBO callback type must both store and fire a move-only capture.
+  EventQueue q;
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  q.Schedule(5, [owned = std::move(owned), &seen] { seen = *owned; });
+  auto fired = q.PopNext();
+  fired.fn();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(EventQueue, MoveOnlyCaptureSurvivesCancelAndClear) {
+  // Cancel/Clear must destroy move-only captures exactly once (ASan-checked).
+  EventQueue q;
+  auto shared = std::make_shared<int>(1);
+  const EventId a = q.Schedule(5, [p = shared] { (void)p; });
+  q.Schedule(6, [p = shared] { (void)p; });
+  EXPECT_EQ(shared.use_count(), 3);
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_EQ(shared.use_count(), 2);
+  q.Clear();
+  EXPECT_EQ(shared.use_count(), 1);
+}
+
+TEST(EventQueue, LargeCaptureFallsBackToHeapBox) {
+  EventQueue q;
+  struct Big {
+    uint64_t pad[16];  // 128 bytes: beyond any reasonable inline buffer.
+  };
+  Big big{};
+  big.pad[15] = 99;
+  uint64_t seen = 0;
+  q.Schedule(1, [big, &seen] { seen = big.pad[15]; });
+  q.PopNext().fn();
+  EXPECT_EQ(seen, 99u);
+}
+
+TEST(EventQueue, CancelAfterFireOnRecycledSlotFails) {
+  // After event A fires, its slab slot may be reused by event B. A's stale
+  // id must fail the generation check rather than cancelling B.
+  EventQueue q;
+  const EventId a = q.Schedule(10, [] {});
+  q.PopNext();
+  const EventId b = q.Schedule(20, [] {});
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_TRUE(q.Cancel(b));
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, ClearThenReschedule) {
+  EventQueue q;
+  const EventId old_id = q.Schedule(10, [] { FAIL() << "cleared event fired"; });
+  q.Clear();
+  // Old ids are invalidated even though their slots will be recycled.
+  EXPECT_FALSE(q.Cancel(old_id));
+  int fired = 0;
+  q.Schedule(3, [&] { ++fired; });
+  const EventId c = q.Schedule(1, [&] { ++fired; });
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_EQ(q.NextTime(), 1);
+  EXPECT_TRUE(q.Cancel(c));
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, SameInstantFifoSurvivesCancellations) {
+  // FIFO among same-time survivors must hold even when earlier-scheduled
+  // neighbours are cancelled around them.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(q.Schedule(7, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 32; i += 2) {
+    q.Cancel(ids[static_cast<size_t>(i)]);
+  }
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  std::vector<int> expected;
+  for (int i = 1; i < 32; i += 2) {
+    expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, NextTimeIsConstCorrect) {
+  EventQueue q;
+  const EventId a = q.Schedule(5, [] {});
+  q.Schedule(9, [] {});
+  q.Cancel(a);
+  const EventQueue& cq = q;  // NextTime must be callable on a const queue.
+  EXPECT_EQ(cq.NextTime(), 9);
+  EXPECT_EQ(cq.Size(), 1u);
+}
+
+TEST(EventQueue, IdsStayUniqueAcrossSlotReuse) {
+  EventQueue q;
+  std::vector<EventId> seen;
+  for (int round = 0; round < 100; ++round) {
+    const EventId id = q.Schedule(round, [] {});
+    for (EventId prior : seen) {
+      EXPECT_NE(id, prior);
+    }
+    seen.push_back(id);
+    q.PopNext();  // Frees the slot for reuse next round.
+  }
+}
+
 // Property: against a shadow model, random schedule/cancel/pop sequences
 // always pop live events in (time, seq) order.
 TEST(EventQueueProperty, RandomizedAgainstShadowModel) {

@@ -88,6 +88,17 @@ TEST(Simulator, CountsProcessedEvents) {
   EXPECT_EQ(sim.EventsProcessed(), 7u);
 }
 
+TEST(Simulator, NextEventTimeIsConstCorrect) {
+  Simulator sim;
+  const EventId id = sim.After(4, [] {});
+  sim.After(9, [] {});
+  sim.Cancel(id);
+  const Simulator& csim = sim;  // Readable from const observers.
+  EXPECT_EQ(csim.NextEventTime(), 9);
+  EXPECT_FALSE(csim.Idle());
+  EXPECT_EQ(csim.PendingEvents(), 1u);
+}
+
 TEST(Simulator, SameTimeEventsFifoEvenWhenScheduledFromEvents) {
   Simulator sim;
   std::vector<int> order;
