@@ -23,13 +23,18 @@ int Run() {
   std::printf("%6s %14s %14s %10s %16s %14s\n", "disks", "RAID5 ms", "AFRAID ms",
               "speedup", "rebuild I/Os", "I/Os/stripe");
   PrintRule();
+  BenchReportSink sink("ablation_array_width");
   for (int32_t disks : {3, 4, 5, 8, 12}) {
     ArrayConfig cfg = PaperArrayConfig();
     cfg.num_disks = disks;
     const SimReport r5 =
-        RunWorkload(cfg, PolicySpec::Raid5(), wl, max_requests, max_duration);
+        Experiment(cfg).Policy(PolicySpec::Raid5()).Workload(wl, max_requests, max_duration)
+            .Run();
     const SimReport af =
-        RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl, max_requests, max_duration);
+        Experiment(cfg).Policy(PolicySpec::AfraidBaseline())
+            .Workload(wl, max_requests, max_duration).Run();
+    sink.Add(std::to_string(disks) + "disks/" + r5.policy, r5);
+    sink.Add(std::to_string(disks) + "disks/" + af.policy, af);
     const double per_stripe =
         af.stripes_rebuilt == 0
             ? 0.0

@@ -21,13 +21,18 @@ int Run() {
   PrintHeader("Ablation: host-driver scheduling, CLOOK vs FCFS (workload ATT)");
   std::printf("%-10s %14s %14s %12s\n", "scheme", "CLOOK ms", "FCFS ms", "FCFS/CLOOK");
   PrintRule();
+  BenchReportSink sink("ablation_host_sched");
   for (const PolicySpec& spec :
        {PolicySpec::Raid5(), PolicySpec::AfraidBaseline(), PolicySpec::Raid0()}) {
     ArrayConfig cfg = PaperArrayConfig();
     cfg.host_sched = HostSched::kClook;
-    const SimReport clook = RunWorkload(cfg, spec, wl, max_requests, max_duration);
+    const SimReport clook = Experiment(cfg).Policy(spec)
+        .Workload(wl, max_requests, max_duration).Run();
     cfg.host_sched = HostSched::kFcfs;
-    const SimReport fcfs = RunWorkload(cfg, spec, wl, max_requests, max_duration);
+    const SimReport fcfs = Experiment(cfg).Policy(spec)
+        .Workload(wl, max_requests, max_duration).Run();
+    sink.Add(clook.policy + "/clook", clook);
+    sink.Add(fcfs.policy + "/fcfs", fcfs);
     std::printf("%-10s %14.2f %14.2f %11.2fx\n", clook.policy.c_str(),
                 clook.mean_io_ms, fcfs.mean_io_ms,
                 fcfs.mean_io_ms / clook.mean_io_ms);

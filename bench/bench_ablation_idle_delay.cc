@@ -23,10 +23,12 @@ int Run() {
   std::printf("%-12s %12s %10s %12s %14s\n", "idle delay", "mean ms", "Tunprot",
               "lag (KB)", "rebuild I/Os");
   PrintRule();
+  BenchReportSink sink("ablation_idle_delay");
   for (int64_t delay_ms : {10, 50, 100, 250, 1000, 5000}) {
     cfg.idle_delay = Milliseconds(delay_ms);
-    const SimReport rep = RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl,
-                                      max_requests, max_duration);
+    const SimReport rep = Experiment(cfg).Policy(PolicySpec::AfraidBaseline())
+        .Workload(wl, max_requests, max_duration).Run();
+    sink.Add("idle_delay=" + std::to_string(delay_ms) + "ms", rep);
     std::printf("%9lldms %12.2f %10.4f %12.1f %14llu\n",
                 static_cast<long long>(delay_ms), rep.mean_io_ms,
                 rep.t_unprot_fraction, rep.mean_parity_lag_bytes / 1024.0,

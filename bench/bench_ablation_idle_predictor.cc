@@ -44,14 +44,17 @@ int Run() {
     wl.size_dist = {{4096, 0.5}, {8192, 0.5}};
     workloads.push_back(wl);
   }
+  BenchReportSink sink("ablation_idle_predictor");
   for (const WorkloadParams& wl : workloads) {
     ArrayConfig cfg = PaperArrayConfig();
     cfg.use_idle_predictor = false;
-    const SimReport timer = RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl,
-                                        max_requests, max_duration);
+    const SimReport timer = Experiment(cfg).Policy(PolicySpec::AfraidBaseline())
+        .Workload(wl, max_requests, max_duration).Run();
     cfg.use_idle_predictor = true;
-    const SimReport pred = RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl,
-                                       max_requests, max_duration);
+    const SimReport pred = Experiment(cfg).Policy(PolicySpec::AfraidBaseline())
+        .Workload(wl, max_requests, max_duration).Run();
+    sink.Add(wl.name + "/timer", timer);
+    sink.Add(wl.name + "/predictor", pred);
     std::printf("%-12s %14.2f %14.2f | %10.4f %10.4f\n", wl.name.c_str(),
                 timer.mean_io_ms, pred.mean_io_ms, timer.t_unprot_fraction,
                 pred.t_unprot_fraction);

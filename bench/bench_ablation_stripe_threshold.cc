@@ -25,9 +25,11 @@ int Run() {
   std::printf("%10s %12s %12s %12s %14s\n", "threshold", "mean ms", "lag (KB)",
               "MDLRunp b/h", "max dirty");
   PrintRule();
+  BenchReportSink sink("ablation_stripe_threshold");
   for (int64_t threshold : {1, 5, 20, 100, 1000, 1000000}) {
-    const SimReport rep = RunWorkload(cfg, PolicySpec::StripeThreshold(threshold), wl,
-                                      max_requests, max_duration);
+    const SimReport rep = Experiment(cfg).Policy(PolicySpec::StripeThreshold(threshold))
+        .Workload(wl, max_requests, max_duration).Run();
+    sink.Add("threshold=" + std::to_string(threshold), rep);
     std::printf("%10lld %12.2f %12.1f %12.3f %14lld\n",
                 static_cast<long long>(threshold), rep.mean_io_ms,
                 rep.mean_parity_lag_bytes / 1024.0,

@@ -26,11 +26,13 @@ int Run() {
   std::printf("%4s %12s %12s %12s %16s %16s\n", "M", "mean ms", "lag (KB)",
               "NVRAM bits", "bands rebuilt", "rebuild I/Os");
   PrintRule();
+  BenchReportSink sink("ablation_substripe");
   for (int32_t marks : {1, 2, 4, 8, 16}) {
     ArrayConfig cfg = PaperArrayConfig();
     cfg.marks_per_stripe = marks;
-    const SimReport rep = RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl,
-                                      max_requests, max_duration);
+    const SimReport rep = Experiment(cfg).Policy(PolicySpec::AfraidBaseline())
+        .Workload(wl, max_requests, max_duration).Run();
+    sink.Add("marks=" + std::to_string(marks), rep);
     // NVRAM cost: M bits per stripe.
     const StripeLayout layout(cfg.num_disks, cfg.stripe_unit_bytes,
                               DiskGeometry(cfg.disk_spec.zones, cfg.disk_spec.heads,

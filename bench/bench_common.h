@@ -12,12 +12,16 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/array_config.h"
 #include "core/experiment.h"
 #include "core/policy.h"
 #include "core/report.h"
+#include "obs/artifacts.h"
+#include "obs/json.h"
+#include "obs/report_io.h"
 #include "trace/workload_gen.h"
 
 namespace afraid {
@@ -59,6 +63,70 @@ inline void PrintHeader(const std::string& title) {
   std::printf("%s\n", title.c_str());
   PrintRule();
 }
+
+// Machine-readable bench output, behind the one SimReport serializer
+// (obs/report_io.h). Each bench collects its labelled reports into a sink;
+// when AFRAID_BENCH_OUT=<dir> is set the destructor writes
+// <dir>/<bench>.json (array of {"label", "report"} rows) and <dir>/<bench>.csv.
+// Without the variable the sink is inert and the printed tables stay the
+// bench's only output.
+class BenchReportSink {
+ public:
+  explicit BenchReportSink(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {
+    if (const char* env = std::getenv("AFRAID_BENCH_OUT")) {
+      if (env[0] != '\0') {
+        out_dir_ = env;
+      }
+    }
+  }
+  BenchReportSink(const BenchReportSink&) = delete;
+  BenchReportSink& operator=(const BenchReportSink&) = delete;
+
+  bool enabled() const { return !out_dir_.empty(); }
+
+  void Add(std::string label, const SimReport& rep) {
+    if (enabled()) {
+      rows_.push_back({std::move(label), rep});
+    }
+  }
+
+  ~BenchReportSink() {
+    if (!enabled() || rows_.empty()) {
+      return;
+    }
+    RunArtifacts artifacts(out_dir_);
+    if (!artifacts.ok()) {
+      std::fprintf(stderr, "AFRAID_BENCH_OUT: %s\n", artifacts.error().c_str());
+      return;
+    }
+    JsonWriter w;
+    w.BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      w.Key("label").Value(row.label);
+      w.Key("report");
+      AppendSimReportJson(w, row.report);
+      w.EndObject();
+    }
+    w.EndArray();
+    artifacts.WriteText(bench_name_ + ".json", std::move(w).Take() + "\n");
+    std::string csv = "label," + SimReportCsvHeader() + "\n";
+    for (const Row& row : rows_) {
+      csv += row.label + "," + SimReportCsvRow(row.report) + "\n";
+    }
+    artifacts.WriteText(bench_name_ + ".csv", csv);
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    SimReport report;
+  };
+  std::string bench_name_;
+  std::string out_dir_;
+  std::vector<Row> rows_;
+};
 
 // Human-readable hours (engineering notation like the paper: "4.2e9 h").
 inline std::string Hours(double h) {

@@ -54,10 +54,18 @@ int Run() {
   const int64_t per_point = static_cast<int64_t>(workloads.size());
   const std::vector<SimReport> reports = ParallelSweep(
       static_cast<int64_t>(points.size()) * per_point, [&](int64_t cell) {
-        return RunWorkload(cfg, points[static_cast<size_t>(cell / per_point)].spec,
-                           workloads[static_cast<size_t>(cell % per_point)],
-                           max_requests, max_duration);
+        return Experiment(cfg).Policy(points[static_cast<size_t>(cell / per_point)].spec)
+            .Workload(workloads[static_cast<size_t>(cell % per_point)], max_requests,
+                      max_duration)
+            .Run();
       });
+  BenchReportSink sink("fig3_tradeoff");
+  for (size_t p = 0; p < points.size(); ++p) {
+    for (size_t w = 0; w < workloads.size(); ++w) {
+      sink.Add(points[p].label + "/" + workloads[w].name,
+               reports[p * workloads.size() + w]);
+    }
+  }
   for (size_t p = 0; p < points.size(); ++p) {
     std::vector<double> perf_ratios;
     std::vector<double> avail_ratios;

@@ -35,10 +35,15 @@ int Run() {
   const int64_t per_row = static_cast<int64_t>(sweep.size());
   const std::vector<SimReport> reports = ParallelSweep(
       static_cast<int64_t>(workloads.size()) * per_row, [&](int64_t cell) {
-        return RunWorkload(cfg, sweep[static_cast<size_t>(cell % per_row)],
-                           workloads[static_cast<size_t>(cell / per_row)],
-                           max_requests, max_duration);
+        return Experiment(cfg).Policy(sweep[static_cast<size_t>(cell % per_row)])
+            .Workload(workloads[static_cast<size_t>(cell / per_row)], max_requests,
+                      max_duration)
+            .Run();
       });
+  BenchReportSink sink("fig4_policy_sweep");
+  for (const SimReport& rep : reports) {
+    sink.Add(rep.workload + "/" + rep.policy, rep);
+  }
 
   PrintHeader("Figure 4: mean I/O time (ms) per workload across policies");
   std::printf("%-12s", "workload");

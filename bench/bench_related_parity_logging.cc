@@ -52,6 +52,7 @@ int Run() {
   std::printf("%-12s %10s %12s %10s %10s | %8s %10s\n", "workload", "RAID5",
               "ParityLog", "AFRAID", "RAID0", "replays", "AFR Tunp");
   PrintRule();
+  BenchReportSink sink("related_parity_logging");
   for (const char* name : {"cello-usr", "cello-news", "ATT"}) {
     WorkloadParams wl;
     FindWorkload(name, &wl);
@@ -64,9 +65,13 @@ int Run() {
     }
     const Trace trace = GenerateWorkload(wl, max_requests, max_duration);
 
-    const SimReport r5 = RunExperiment(cfg, PolicySpec::Raid5(), trace);
-    const SimReport af = RunExperiment(cfg, PolicySpec::AfraidBaseline(), trace);
-    const SimReport r0 = RunExperiment(cfg, PolicySpec::Raid0(), trace);
+    const SimReport r5 = Experiment(cfg).Policy(PolicySpec::Raid5()).Trace(trace).Run();
+    const SimReport af = Experiment(cfg).Policy(PolicySpec::AfraidBaseline()).Trace(trace)
+        .Run();
+    const SimReport r0 = Experiment(cfg).Policy(PolicySpec::Raid0()).Trace(trace).Run();
+    sink.Add(std::string(name) + "/" + r5.policy, r5);
+    sink.Add(std::string(name) + "/" + af.policy, af);
+    sink.Add(std::string(name) + "/" + r0.policy, r0);
     uint64_t replays = 0;
     const double pl_ms = RunParityLog(trace, cfg, lc, &replays);
     std::printf("%-12s %10.2f %12.2f %10.2f %10.2f | %8llu %10.4f\n", name,

@@ -32,10 +32,16 @@ int Run() {
   const int64_t per_row = static_cast<int64_t>(policies.size());
   const std::vector<SimReport> reports = ParallelSweep(
       static_cast<int64_t>(workloads.size()) * per_row, [&](int64_t cell) {
-        return RunWorkload(cfg, policies[static_cast<size_t>(cell % per_row)],
-                           workloads[static_cast<size_t>(cell / per_row)],
-                           max_requests, max_duration);
+        return Experiment(cfg).Policy(policies[static_cast<size_t>(cell % per_row)])
+            .Workload(workloads[static_cast<size_t>(cell / per_row)], max_requests,
+                      max_duration)
+            .Run();
       });
+
+  BenchReportSink sink("table2_performance");
+  for (const SimReport& rep : reports) {
+    sink.Add(rep.workload + "/" + rep.policy, rep);
+  }
 
   PrintHeader(
       "Table 2 / Figure 2: mean I/O time (ms) -- RAID 5 vs AFRAID vs RAID 0");

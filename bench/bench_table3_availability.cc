@@ -37,9 +37,12 @@ int Run() {
   const double raid0_overall =
       CombineMttdlHours({MttdlRaid0Hours(ap), ap.mttdl_support_hours});
 
+  BenchReportSink sink("table3_availability");
   for (const WorkloadParams& wl : PaperWorkloads()) {
     const SimReport af =
-        RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl, max_requests, max_duration);
+        Experiment(cfg).Policy(PolicySpec::AfraidBaseline())
+            .Workload(wl, max_requests, max_duration).Run();
+    sink.Add(wl.name, af);
     const double mdlr_unprot = MdlrUnprotectedBph(ap, af.mean_parity_lag_bytes);
     std::printf("%-12s %10.1f %9.4f %12s %12s %12.3f %12.1f\n", wl.name.c_str(),
                 af.mean_parity_lag_bytes / 1024.0, af.t_unprot_fraction,

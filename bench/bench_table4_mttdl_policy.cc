@@ -34,11 +34,13 @@ int Run() {
 
   bool ever_above_5pct_short = false;
   double worst_mdlr_unprot = 0.0;
+  BenchReportSink sink("table4_mttdl_policy");
   for (const WorkloadParams& wl : PaperWorkloads()) {
     std::printf("%-12s", wl.name.c_str());
     for (double t : targets_hours) {
-      const SimReport rep = RunWorkload(cfg, PolicySpec::MttdlTarget(t), wl,
-                                        max_requests, max_duration);
+      const SimReport rep = Experiment(cfg).Policy(PolicySpec::MttdlTarget(t))
+          .Workload(wl, max_requests, max_duration).Run();
+      sink.Add(wl.name + "/" + rep.policy, rep);
       const double achieved = rep.avail.mttdl_disk_hours;
       const double shortfall_pct =
           achieved >= t ? 0.0 : (1.0 - achieved / t) * 100.0;

@@ -47,9 +47,11 @@ int main(int argc, char** argv) {
   std::printf("%-12s %10s %9s %12s %12s %10s %10s\n", "policy", "mean ms", "Tunprot",
               "MTTDLdisk/h", "MTTDLall/h", "r5-writes", "rebuilds");
   const SimReport raid5 =
-      RunWorkload(cfg, PolicySpec::Raid5(), wl, max_requests, Hours(24));
+      Experiment(cfg).Policy(PolicySpec::Raid5()).Workload(wl, max_requests, Hours(24))
+          .Run();
   for (const PolicySpec& spec : sweep) {
-    const SimReport rep = RunWorkload(cfg, spec, wl, max_requests, Hours(24));
+    const SimReport rep = Experiment(cfg).Policy(spec).Workload(wl, max_requests, Hours(24))
+        .Run();
     std::printf("%-12s %10.2f %9.4f %12.3g %12.3g %10llu %10llu", rep.policy.c_str(),
                 rep.mean_io_ms, rep.t_unprot_fraction, rep.avail.mttdl_disk_hours,
                 rep.avail.mttdl_overall_hours,

@@ -7,6 +7,11 @@
 //   $ ./examples/trace_replay                     # default: cello-usr
 //   $ ./examples/trace_replay ATT 20000           # preset, request cap
 //   $ ./examples/trace_replay /tmp/my_trace.txt   # replay a trace file
+//
+// Set AFRAID_OBS_DIR=<dir> to record each scheme's run: <dir>/<scheme>/ gets
+// report.json, metrics.jsonl and a Chrome-trace timeline (trace.json) to open
+// in chrome://tracing or https://ui.perfetto.dev. The printed comparison is
+// identical with or without recording.
 
 #include <cstdio>
 #include <cstdlib>
@@ -63,16 +68,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const char* obs_env = std::getenv("AFRAID_OBS_DIR");
+  const std::string obs_dir = obs_env != nullptr ? obs_env : "";
+
   std::printf("\n%-10s %10s %10s %10s %10s %12s %12s\n", "scheme", "mean ms",
               "median", "95th", "max", "MTTDL all/h", "MDLR B/h");
   for (const PolicySpec& spec :
        {PolicySpec::Raid5(), PolicySpec::AfraidBaseline(), PolicySpec::Raid0()}) {
-    const SimReport rep = RunExperiment(cfg, spec, trace);
+    Experiment exp(cfg);
+    exp.Policy(spec).Trace(trace);
+    if (!obs_dir.empty()) {
+      ObserveOptions opts;
+      opts.artifacts_dir = obs_dir + "/" + spec.Label();
+      exp.Observe(opts);
+    }
+    const SimReport rep = exp.Run();
     std::printf("%-10s %10.2f %10.2f %10.2f %10.1f %12.3g %12.1f\n",
                 rep.policy.c_str(), rep.mean_io_ms, rep.median_io_ms, rep.p95_io_ms,
                 rep.max_io_ms, rep.avail.mttdl_overall_hours,
                 rep.avail.mdlr_overall_bph);
   }
   std::printf("\nAFRAID goal: RAID 0-like latency, RAID 5-like availability.\n");
+  if (!obs_dir.empty()) {
+    std::fprintf(stderr, "recorded run artifacts under %s/<scheme>/\n",
+                 obs_dir.c_str());
+  }
   return 0;
 }

@@ -5,11 +5,12 @@
 namespace afraid {
 
 HostDriver::HostDriver(Simulator* sim, ArrayController* array, int32_t max_active,
-                       HostSched sched)
+                       HostSched sched, Probe probe)
     : sim_(sim),
       array_(array),
       max_active_(max_active),
       sched_(sched),
+      probe_(probe.NewTrack("driver")),
       occupancy_(sim->Now()) {}
 
 void HostDriver::Submit(int64_t offset, int32_t size, bool is_write) {
@@ -23,6 +24,12 @@ void HostDriver::Submit(int64_t offset, int32_t size, bool is_write) {
   r.arrival = sim_->Now();
   ++accepted_;
   occupancy_.Add(sim_->Now(), +1.0);
+  if (probe_) {
+    probe_.AsyncBegin(is_write ? "write" : "read", r.id, r.arrival,
+                      "{\"offset\":" + std::to_string(offset) +
+                          ",\"bytes\":" + std::to_string(size) + "}");
+    probe_.Counter("driver occupancy", r.arrival, occupancy_.Current());
+  }
   // The queue key selects the discipline: offset order for CLOOK, arrival
   // order for FCFS (the request id is the arrival sequence number).
   queue_.emplace(sched_ == HostSched::kClook ? offset : static_cast<int64_t>(r.id),
@@ -52,6 +59,10 @@ void HostDriver::OnComplete(const ClientRequest& r) {
   --active_;
   ++completed_;
   occupancy_.Add(sim_->Now(), -1.0);
+  if (probe_) {
+    probe_.AsyncEnd(r.is_write ? "write" : "read", r.id, sim_->Now());
+    probe_.Counter("driver occupancy", sim_->Now(), occupancy_.Current());
+  }
   const double ms = ToMilliseconds(sim_->Now() - r.arrival);
   all_ms_.Add(ms);
   if (r.is_write) {

@@ -22,6 +22,7 @@
 
 #include "array/controller.h"
 #include "array/request.h"
+#include "obs/probe.h"
 #include "sim/simulator.h"
 #include "stats/sample_set.h"
 #include "stats/time_weighted.h"
@@ -36,9 +37,11 @@ enum class HostSched {
 
 class HostDriver {
  public:
-  // `max_active` <= 0 means "unlimited".
+  // `max_active` <= 0 means "unlimited". A non-null `probe` makes the driver
+  // open a "driver" trace track carrying one async span per client request
+  // (arrival -> completion) and an occupancy counter timeline.
   HostDriver(Simulator* sim, ArrayController* array, int32_t max_active,
-             HostSched sched = HostSched::kClook);
+             HostSched sched = HostSched::kClook, Probe probe = {});
   HostDriver(const HostDriver&) = delete;
   HostDriver& operator=(const HostDriver&) = delete;
 
@@ -67,6 +70,7 @@ class HostDriver {
   ArrayController* array_;
   int32_t max_active_;
   HostSched sched_;
+  Probe probe_;  // Bound to the driver's own track when tracing.
 
   // Queued (not yet dispatched) requests. For CLOOK the key is the starting
   // offset; for FCFS it is the arrival sequence number. multimap: several

@@ -33,6 +33,34 @@ struct Join {
 
 }  // namespace
 
+const char* DiskOpPurposeName(DiskOpPurpose purpose) {
+  switch (purpose) {
+    case DiskOpPurpose::kClientRead:
+      return "client read";
+    case DiskOpPurpose::kClientWrite:
+      return "client write";
+    case DiskOpPurpose::kOldDataRead:
+      return "old-data read";
+    case DiskOpPurpose::kOldParityRead:
+      return "old-parity read";
+    case DiskOpPurpose::kParityWrite:
+      return "parity write";
+    case DiskOpPurpose::kReconstructRead:
+      return "reconstruct read";
+    case DiskOpPurpose::kRebuildRead:
+      return "rebuild read";
+    case DiskOpPurpose::kRebuildWrite:
+      return "rebuild write";
+    case DiskOpPurpose::kRecoveryRead:
+      return "recovery read";
+    case DiskOpPurpose::kRecoveryWrite:
+      return "recovery write";
+    case DiskOpPurpose::kNumPurposes:
+      break;
+  }
+  return "unknown";
+}
+
 const char* LossCauseName(LossCause cause) {
   switch (cause) {
     case LossCause::kStaleParityDegradedRead:
@@ -45,7 +73,7 @@ const char* LossCauseName(LossCause cause) {
 
 AfraidController::AfraidController(Simulator* sim, const ArrayConfig& config,
                                    std::unique_ptr<ParityPolicy> policy,
-                                   const AvailabilityParams& avail_params)
+                                   const AvailabilityParams& avail_params, Probe probe)
     : sim_(sim),
       cfg_(config),
       policy_(std::move(policy)),
@@ -69,8 +97,12 @@ AfraidController::AfraidController(Simulator* sim, const ArrayConfig& config,
              cfg_.marks_per_stripe ==
          0);
   for (int32_t d = 0; d < cfg_.num_disks; ++d) {
-    disks_.push_back(std::make_unique<DiskModel>(sim_, cfg_.disk_spec, d));
+    const Probe disk_probe = probe.NewTrack("disk" + std::to_string(d));
+    disk_probes_.push_back(disk_probe);
+    disks_.push_back(std::make_unique<DiskModel>(sim_, cfg_.disk_spec, d, disk_probe));
   }
+  ctrl_probe_ = probe.NewTrack("controller");
+  rebuild_probe_ = probe.NewTrack("rebuild");
   if (cfg_.track_content) {
     content_ = std::make_unique<ContentModel>(
         layout_.data_blocks_per_stripe(), layout_.parity_blocks(),
@@ -94,8 +126,7 @@ AfraidController::AfraidController(Simulator* sim, const ArrayConfig& config,
       }
     }
     if (policy_->RebuildOnIdle(MakePolicyContext())) {
-      rebuilding_ = true;
-      ++rebuild_passes_;
+      BeginRebuildPass();
       RebuildNext();
     }
   });
@@ -230,6 +261,9 @@ void AfraidController::RecordLoss(LossCause cause, int64_t stripe, int64_t bytes
   assert(bytes > 0);
   ++loss_events_;
   bytes_lost_ += bytes;
+  if (ctrl_probe_) {
+    ctrl_probe_.Instant(std::string("data loss: ") + LossCauseName(cause), sim_->Now());
+  }
   if (loss_listener_) {
     LossEvent ev;
     ev.time = sim_->Now();
@@ -252,8 +286,22 @@ void AfraidController::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t le
   op.lba = byte_offset / sector;
   op.sectors = static_cast<int32_t>(length / sector);
   op.is_write = is_write;
-  disks_[static_cast<size_t>(disk)]->Submit(
-      op, [done = std::move(done)](const DiskOpResult& r) { done(r.ok); });
+  const Probe disk_probe =
+      disk_probes_.empty() ? Probe() : disk_probes_[static_cast<size_t>(disk)];
+  if (disk_probe) {
+    disks_[static_cast<size_t>(disk)]->Submit(
+        op, [disk_probe, purpose, done = std::move(done)](const DiskOpResult& r) {
+          if (r.ok) {
+            // Emitted at completion, so per-track spans are ordered by finish
+            // time (tests/obs asserts this invariant).
+            disk_probe.Complete(DiskOpPurposeName(purpose), r.service_start, r.finish);
+          }
+          done(r.ok);
+        });
+  } else {
+    disks_[static_cast<size_t>(disk)]->Submit(
+        op, [done = std::move(done)](const DiskOpResult& r) { done(r.ok); });
+  }
 }
 
 // --- Client entry point -------------------------------------------------------
@@ -399,7 +447,14 @@ void AfraidController::RunStripeWriteGroup(uint64_t request_id, int64_t stripe,
       }
     }
   }
-  if (degraded || forced_raid5 || (!already_exposed && WantRaid5Write())) {
+  // Evaluation order matters: WantRaid5Write() consults (and may advance)
+  // the policy, so it must stay short-circuited exactly as before.
+  const bool use_raid5 = degraded || forced_raid5 || (!already_exposed && WantRaid5Write());
+  if (ctrl_probe_ && use_raid5 != last_write_raid5_) {
+    ctrl_probe_.Instant(use_raid5 ? "mode: RAID5" : "mode: AFRAID", sim_->Now());
+  }
+  last_write_raid5_ = use_raid5;
+  if (use_raid5) {
     ++raid5_mode_writes_;
     Raid5WriteGroup(request_id, stripe, segs, attempt, std::move(group_done));
   } else {
@@ -801,9 +856,25 @@ void AfraidController::TriggerRebuildCheck() {
   }
   const bool forced = !watchers_.empty() || policy_->ForceRebuild(MakePolicyContext());
   if (forced) {
-    rebuilding_ = true;
-    ++rebuild_passes_;
+    BeginRebuildPass();
     RebuildNext();
+  }
+}
+
+void AfraidController::BeginRebuildPass() {
+  assert(!rebuilding_);
+  rebuilding_ = true;
+  ++rebuild_passes_;
+  if (rebuild_probe_) {
+    rebuild_probe_.AsyncBegin("rebuild pass", rebuild_passes_, sim_->Now());
+  }
+}
+
+void AfraidController::EndRebuildPass() {
+  assert(rebuilding_);
+  rebuilding_ = false;
+  if (rebuild_probe_) {
+    rebuild_probe_.AsyncEnd("rebuild pass", rebuild_passes_, sim_->Now());
   }
 }
 
@@ -851,19 +922,22 @@ int64_t AfraidController::PickRebuildableKey(int64_t from) const {
 void AfraidController::RebuildNext() {
   assert(rebuilding_);
   if (failed_disk_ >= 0 || nvram_.failed()) {
-    rebuilding_ = false;
+    EndRebuildPass();
     return;
   }
   const int64_t key = PickRebuildableKey(rebuild_cursor_);
   if (key < 0) {
-    rebuilding_ = false;
+    EndRebuildPass();
     return;
   }
   const SimTime step_start = sim_->Now();
   RebuildBand(key, [this, key, step_start](bool ok) {
     rebuild_cursor_ = key + 1;
+    if (rebuild_probe_) {
+      rebuild_probe_.Complete("band", step_start, sim_->Now());
+    }
     if (!ok) {
-      rebuilding_ = false;
+      EndRebuildPass();
       return;
     }
     // Keep the predictor's rebuild-quantum estimate fresh (EWMA).
@@ -876,7 +950,7 @@ void AfraidController::RebuildNext() {
     if (keep_going && nvram_.DirtyCount() > 0) {
       RebuildNext();
     } else {
-      rebuilding_ = false;
+      EndRebuildPass();
     }
   });
 }
@@ -994,6 +1068,9 @@ void AfraidController::FailDisk(int32_t disk) {
   assert(failed_disk_ < 0 && recovering_disk_ < 0);
   failed_disk_ = disk;
   disks_[static_cast<size_t>(disk)]->Fail();
+  if (ctrl_probe_) {
+    ctrl_probe_.Instant("fail disk" + std::to_string(disk), sim_->Now());
+  }
 }
 
 void AfraidController::ReplaceDisk(int32_t disk) {
@@ -1002,6 +1079,9 @@ void AfraidController::ReplaceDisk(int32_t disk) {
   failed_disk_ = -1;
   recovering_disk_ = disk;
   recovery_frontier_ = 0;
+  if (ctrl_probe_) {
+    ctrl_probe_.Instant("replace disk" + std::to_string(disk), sim_->Now());
+  }
   // The replacement mechanism is blank; model its contents as zeroes.
   if (content_ != nullptr) {
     for (int64_t s : content_->TouchedStripes()) {
@@ -1026,6 +1106,9 @@ void AfraidController::StartReconstruction(std::function<void()> done) {
   assert(!reconstruction_active_);
   reconstruction_active_ = true;
   reconstruction_done_ = std::move(done);
+  if (rebuild_probe_) {
+    rebuild_probe_.AsyncBegin("reconstruction", 1, sim_->Now());
+  }
   ReconstructNextStripe(0);
 }
 
@@ -1034,6 +1117,9 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
     reconstruction_active_ = false;
     recovering_disk_ = -1;
     recovery_frontier_ = 0;
+    if (rebuild_probe_) {
+      rebuild_probe_.AsyncEnd("reconstruction", 1, sim_->Now());
+    }
     auto done = std::move(reconstruction_done_);
     if (done) {
       done();
@@ -1143,18 +1229,29 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
   });
 }
 
-void AfraidController::FailNvram() { nvram_.Fail(); }
+void AfraidController::FailNvram() {
+  nvram_.Fail();
+  if (ctrl_probe_) {
+    ctrl_probe_.Instant("nvram loss", sim_->Now());
+  }
+}
 
 void AfraidController::StartFullScrub(std::function<void()> done) {
   assert(!scrub_active_ && !rebuilding_);
   scrub_active_ = true;
   scrub_done_ = std::move(done);
+  if (rebuild_probe_) {
+    rebuild_probe_.AsyncBegin("scrub", 1, sim_->Now());
+  }
   ScrubNextStripe(0);
 }
 
 void AfraidController::ScrubNextStripe(int64_t stripe) {
   if (stripe >= layout_.num_stripes()) {
     scrub_active_ = false;
+    if (rebuild_probe_) {
+      rebuild_probe_.AsyncEnd("scrub", 1, sim_->Now());
+    }
     nvram_.Repair();
     // Every stripe's parity is fresh: the true unprotected volume is zero
     // again (the marking bits lost in the NVRAM failure are irrelevant now).

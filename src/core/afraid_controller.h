@@ -52,6 +52,7 @@
 #include "core/array_config.h"
 #include "core/policy.h"
 #include "disk/disk_model.h"
+#include "obs/probe.h"
 #include "sim/simulator.h"
 #include "stats/time_weighted.h"
 
@@ -71,6 +72,9 @@ enum class DiskOpPurpose : int32_t {
   kRecoveryWrite,
   kNumPurposes,
 };
+
+// Human-readable purpose label (trace span names, reports).
+const char* DiskOpPurposeName(DiskOpPurpose purpose);
 
 // Why data was lost (Section 3.2's small-loss modes, as the controller's
 // machinery actually encounters them).
@@ -97,9 +101,13 @@ const char* LossCauseName(LossCause cause);
 
 class AfraidController : public ArrayController {
  public:
+  // A non-null `probe` turns tracing on: the controller opens one track per
+  // disk (purpose-labelled service spans + queue-depth counters), a
+  // "controller" track (mode flips, injected faults, data-loss incidents)
+  // and a "rebuild" track (rebuild passes, band steps, recovery sweeps).
   AfraidController(Simulator* sim, const ArrayConfig& config,
                    std::unique_ptr<ParityPolicy> policy,
-                   const AvailabilityParams& avail_params);
+                   const AvailabilityParams& avail_params, Probe probe = {});
   ~AfraidController() override;
 
   // --- ArrayController interface ---------------------------------------------
@@ -173,6 +181,9 @@ class AfraidController : public ArrayController {
   const IdlePredictor& idle_predictor() const { return idle_predictor_; }
   uint64_t AfraidModeStripeWrites() const { return afraid_mode_writes_; }
   uint64_t Raid5ModeStripeWrites() const { return raid5_mode_writes_; }
+  // True if the most recent stripe-write group took the RAID 5 path (the
+  // "current mode" gauge the metrics snapshots sample).
+  bool LastWriteModeRaid5() const { return last_write_raid5_; }
   int64_t MaxDirtyStripes() const { return max_dirty_; }
   uint64_t CacheHits() const { return read_cache_.Hits() + staging_.Hits(); }
   uint64_t LossEvents() const { return loss_events_; }
@@ -221,6 +232,10 @@ class AfraidController : public ArrayController {
 
   // --- Rebuild engine ---
   void TriggerRebuildCheck();
+  // The rebuilding_ flag only flips through these, so the trace's
+  // rebuild-pass spans cannot drift out of sync with the engine state.
+  void BeginRebuildPass();
+  void EndRebuildPass();
   void RebuildNext();
   void RebuildBand(int64_t band_key, std::function<void(bool ok)> step_done);
 
@@ -269,6 +284,11 @@ class AfraidController : public ArrayController {
   ArrayConfig cfg_;
   std::unique_ptr<ParityPolicy> policy_;
   AvailabilityParams avail_params_;
+
+  // Tracing handles (all null when observability is off).
+  Probe ctrl_probe_;
+  Probe rebuild_probe_;
+  std::vector<Probe> disk_probes_;  // One per disk, same track as its DiskModel.
 
   std::vector<std::unique_ptr<DiskModel>> disks_;
   StripeLayout layout_;
@@ -329,6 +349,7 @@ class AfraidController : public ArrayController {
   std::array<uint64_t, static_cast<size_t>(DiskOpPurpose::kNumPurposes)> disk_ops_{};
   uint64_t afraid_mode_writes_ = 0;
   uint64_t raid5_mode_writes_ = 0;
+  bool last_write_raid5_ = false;
   int64_t max_dirty_ = 0;
   uint64_t loss_events_ = 0;
   int64_t bytes_lost_ = 0;

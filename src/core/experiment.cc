@@ -7,6 +7,10 @@
 #include "array/host_driver.h"
 #include "core/afraid_controller.h"
 #include "disk/geometry.h"
+#include "obs/artifacts.h"
+#include "obs/metrics.h"
+#include "obs/probe.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 
 namespace afraid {
@@ -42,6 +46,43 @@ class TraceReplayer {
   size_t next_ = 0;
 };
 
+// Registers the standard metric set against the live components. Samplers
+// only *read* component state, so a snapshot cannot alter the simulation.
+void RegisterMetrics(MetricsRegistry* metrics, const ArrayConfig& config,
+                     AfraidController* controller, HostDriver* driver) {
+  const MetricId parity_lag = metrics->AddGauge("parity_lag_bytes");
+  const MetricId dirty_bands = metrics->AddGauge("dirty_bands");
+  const MetricId occupancy = metrics->AddGauge("driver_occupancy");
+  const MetricId mode_raid5 = metrics->AddGauge("mode_raid5");
+  const MetricId requests = metrics->AddCounter("requests_completed");
+  const MetricId disk_ops = metrics->AddCounter("disk_ops_total");
+  const MetricId rebuilt = metrics->AddCounter("stripes_rebuilt");
+  const MetricId losses = metrics->AddCounter("loss_events");
+  std::vector<MetricId> disk_util;
+  std::vector<MetricId> disk_queue;
+  for (int32_t d = 0; d < config.num_disks; ++d) {
+    disk_util.push_back(metrics->AddGauge("disk" + std::to_string(d) + "_util"));
+    disk_queue.push_back(
+        metrics->AddGauge("disk" + std::to_string(d) + "_queue_depth"));
+  }
+  metrics->AddSampler([=, num_disks = config.num_disks](SimTime now) {
+    metrics->Set(parity_lag, controller->CurrentParityLagBytes());
+    metrics->Set(dirty_bands, static_cast<double>(controller->nvram().DirtyCount()));
+    metrics->Set(occupancy, driver->Occupancy().Current());
+    metrics->Set(mode_raid5, controller->LastWriteModeRaid5() ? 1.0 : 0.0);
+    metrics->Set(requests, static_cast<double>(driver->Completed()));
+    metrics->Set(disk_ops, static_cast<double>(controller->TotalDiskOps()));
+    metrics->Set(rebuilt, static_cast<double>(controller->StripesRebuilt()));
+    metrics->Set(losses, static_cast<double>(controller->LossEvents()));
+    for (int32_t d = 0; d < num_disks; ++d) {
+      metrics->Set(disk_util[static_cast<size_t>(d)],
+                   controller->disk(d).UtilizationTo(now));
+      metrics->Set(disk_queue[static_cast<size_t>(d)],
+                   static_cast<double>(controller->disk(d).QueueDepth()));
+    }
+  });
+}
+
 }  // namespace
 
 AvailabilityParams AvailabilityParamsFor(const ArrayConfig& config) {
@@ -54,19 +95,66 @@ AvailabilityParams AvailabilityParamsFor(const ArrayConfig& config) {
   return p;
 }
 
-SimReport RunExperiment(const ArrayConfig& config, const PolicySpec& spec,
-                        const Trace& trace) {
+SimReport Experiment::Run() {
+  afraid::Trace generated;
+  if (have_workload_) {
+    WorkloadParams params = workload_;
+    // Size the workload to the array's client-visible capacity.
+    const DiskGeometry geom(cfg_.disk_spec.zones, cfg_.disk_spec.heads,
+                            cfg_.disk_spec.sector_bytes);
+    const StripeLayout layout(cfg_.num_disks, cfg_.stripe_unit_bytes,
+                              geom.CapacityBytes(), cfg_.parity_blocks);
+    params.address_space_bytes = layout.data_capacity_bytes();
+    generated = GenerateWorkload(params, max_requests_, max_duration_);
+    trace_ = &generated;
+  }
+  assert(trace_ != nullptr && "Experiment needs Trace() or Workload()");
+  const afraid::Trace& trace = *trace_;
+
   Simulator sim;
-  const AvailabilityParams avail_params = AvailabilityParamsFor(config);
-  AfraidController controller(&sim, config, MakePolicy(spec), avail_params);
-  HostDriver driver(&sim, &controller, config.MaxActive(), config.host_sched);
+  const AvailabilityParams avail_params = AvailabilityParamsFor(cfg_);
+
+  std::unique_ptr<Tracer> tracer;
+  if (observe_ && obs_.trace) {
+    tracer = std::make_unique<Tracer>();
+  }
+  AfraidController controller(&sim, cfg_, MakePolicy(spec_), avail_params,
+                              Probe(tracer.get()));
+  HostDriver driver(&sim, &controller, cfg_.MaxActive(), cfg_.host_sched,
+                    Probe(tracer.get()));
   TraceReplayer replayer(&sim, &driver, trace);
   replayer.Start();
+
+  std::unique_ptr<MetricsRegistry> metrics;
+  if (observe_ && obs_.metrics) {
+    metrics = std::make_unique<MetricsRegistry>();
+    RegisterMetrics(metrics.get(), cfg_, &controller, &driver);
+  }
 
   // Run the arrival schedule plus whatever work it leaves behind. Background
   // rebuilds triggered by trailing idleness run here too; measurement of the
   // lag statistics ends at the instant the last request completes.
-  sim.RunToEnd();
+  if (metrics == nullptr) {
+    sim.RunToEnd();
+  } else {
+    // Same event trajectory, but with snapshots interleaved *between* events:
+    // before each event we record every whole sampling interval that elapses
+    // strictly before it. The clock never advances for a snapshot, so the
+    // run (and its SimReport) stays bit-identical to the unobserved one.
+    const SimDuration interval =
+        obs_.metrics_interval > 0 ? obs_.metrics_interval : Milliseconds(100);
+    metrics->Snapshot(sim.Now());
+    SimTime next_snap = sim.Now() + interval;
+    while (!sim.Idle()) {
+      const SimTime horizon = sim.NextEventTime();
+      while (next_snap < horizon) {
+        metrics->Snapshot(next_snap);
+        next_snap += interval;
+      }
+      sim.Step();
+    }
+    metrics->Snapshot(sim.Now());
+  }
   assert(driver.Drained());
 
   SimReport rep;
@@ -103,31 +191,52 @@ SimReport RunExperiment(const ArrayConfig& config, const PolicySpec& spec,
                         controller.DiskOps(DiskOpPurpose::kOldParityRead);
   rep.cache_hits = controller.CacheHits();
   double util = 0.0;
-  for (int32_t d = 0; d < config.num_disks; ++d) {
+  for (int32_t d = 0; d < cfg_.num_disks; ++d) {
     util += controller.disk(d).UtilizationTo(now);
   }
-  rep.disk_utilization = util / config.num_disks;
+  rep.disk_utilization = util / cfg_.num_disks;
 
   // Attach the availability model (Section 3) evaluated on the measured
   // parity-lag statistics.
-  rep.avail = MakeAvailabilityReport(avail_params, SchemeFor(spec),
+  rep.avail = MakeAvailabilityReport(avail_params, SchemeFor(spec_),
                                      rep.t_unprot_fraction,
                                      rep.mean_parity_lag_bytes);
+
+  if (metrics != nullptr) {
+    // The client I/O latency distribution, from the driver's sample sets
+    // (filled after the run; the histogram is a serialization view).
+    Histogram* h = metrics->AddHistogram("io_latency_ms", 0.0, 2.0, 50);
+    for (double ms : driver.AllLatencies().Samples()) {
+      h->Add(ms);
+    }
+  }
+  if (observe_ && !obs_.artifacts_dir.empty()) {
+    RunArtifacts artifacts(obs_.artifacts_dir);
+    if (artifacts.ok()) {
+      artifacts.WriteReport(rep);
+      if (metrics != nullptr) {
+        artifacts.WriteMetrics(*metrics);
+      }
+      if (tracer != nullptr) {
+        artifacts.WriteTrace(*tracer);
+      }
+    }
+  }
   return rep;
+}
+
+SimReport RunExperiment(const ArrayConfig& config, const PolicySpec& spec,
+                        const Trace& trace) {
+  return Experiment(config).Policy(spec).Trace(trace).Run();
 }
 
 SimReport RunWorkload(const ArrayConfig& config, const PolicySpec& spec,
                       const WorkloadParams& workload, uint64_t max_requests,
                       SimDuration max_duration) {
-  WorkloadParams params = workload;
-  // Size the workload to the array's client-visible capacity.
-  const DiskGeometry geom(config.disk_spec.zones, config.disk_spec.heads,
-                          config.disk_spec.sector_bytes);
-  const StripeLayout layout(config.num_disks, config.stripe_unit_bytes,
-                            geom.CapacityBytes(), config.parity_blocks);
-  params.address_space_bytes = layout.data_capacity_bytes();
-  const Trace trace = GenerateWorkload(params, max_requests, max_duration);
-  return RunExperiment(config, spec, trace);
+  return Experiment(config)
+      .Policy(spec)
+      .Workload(workload, max_requests, max_duration)
+      .Run();
 }
 
 }  // namespace afraid

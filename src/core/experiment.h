@@ -1,6 +1,22 @@
 // The experiment harness: replay a trace against a configured array and
 // collect the SimReport. This is the exact loop behind every table and
 // figure reproduction in bench/.
+//
+// The primary entry point is the Experiment builder:
+//
+//   SimReport rep = Experiment(config)
+//                       .Policy(spec)
+//                       .Trace(trace)          // or .Workload(params, n, d)
+//                       .Observe(opts)         // optional
+//                       .Run();
+//
+// Observe() turns on the src/obs/ layer for the run: a Chrome-trace timeline
+// of every component, periodic metric snapshots, and a run directory with
+// report.json / metrics.jsonl / trace.json. Observability never perturbs the
+// simulation: snapshots are taken between simulator events and the trace is
+// written from completion callbacks, so an observed run executes the exact
+// same event trajectory -- and produces the bit-identical SimReport -- as an
+// unobserved one.
 
 #ifndef AFRAID_CORE_EXPERIMENT_H_
 #define AFRAID_CORE_EXPERIMENT_H_
@@ -21,15 +37,71 @@ namespace afraid {
 // (N, S, Vdisk from the config; failure-rate assumptions from Table 1).
 AvailabilityParams AvailabilityParamsFor(const ArrayConfig& config);
 
-// Replays `trace` open-loop against a fresh array built from `config` with
-// the policy described by `spec`. Runs until every request has completed
-// (background rebuilds may still be pending at the end, as in the paper:
-// measurement covers the trace interval).
+// What Experiment::Observe() records.
+struct ObserveOptions {
+  // Run directory for report.json / metrics.jsonl / trace.json. Empty keeps
+  // everything in memory (useful for tests that inspect the collectors).
+  std::string artifacts_dir;
+  bool trace = true;    // Chrome Trace Event timeline.
+  bool metrics = true;  // Periodic metric snapshots.
+  SimDuration metrics_interval = Milliseconds(100);
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ArrayConfig& config) : cfg_(config) {}
+
+  Experiment& Policy(const PolicySpec& spec) {
+    spec_ = spec;
+    return *this;
+  }
+
+  // Replays `trace` open-loop. The caller keeps it alive through Run().
+  Experiment& Trace(const afraid::Trace& trace) {
+    trace_ = &trace;
+    have_workload_ = false;
+    return *this;
+  }
+
+  // Generates the synthetic workload, sized to the array's client-visible
+  // capacity, and replays it. `max_requests` bounds harness run time.
+  Experiment& Workload(const WorkloadParams& params, uint64_t max_requests,
+                       SimDuration max_duration) {
+    workload_ = params;
+    max_requests_ = max_requests;
+    max_duration_ = max_duration;
+    have_workload_ = true;
+    trace_ = nullptr;
+    return *this;
+  }
+
+  Experiment& Observe(const ObserveOptions& opts) {
+    obs_ = opts;
+    observe_ = true;
+    return *this;
+  }
+
+  // Builds the array, runs every request to completion (background rebuilds
+  // triggered by trailing idleness included) and returns the report. With
+  // Observe(), also writes the run directory. Requires Trace() or Workload().
+  SimReport Run();
+
+ private:
+  ArrayConfig cfg_;
+  PolicySpec spec_{};
+  const afraid::Trace* trace_ = nullptr;
+  bool have_workload_ = false;
+  WorkloadParams workload_{};
+  uint64_t max_requests_ = 0;
+  SimDuration max_duration_ = 0;
+  bool observe_ = false;
+  ObserveOptions obs_{};
+};
+
+// Deprecated free-function forms, kept for older call sites; use the
+// Experiment builder in new code.
 SimReport RunExperiment(const ArrayConfig& config, const PolicySpec& spec,
                         const Trace& trace);
-
-// Convenience: generate the named synthetic workload sized to the array and
-// run it. `max_requests` bounds harness run time.
 SimReport RunWorkload(const ArrayConfig& config, const PolicySpec& spec,
                       const WorkloadParams& workload, uint64_t max_requests,
                       SimDuration max_duration);

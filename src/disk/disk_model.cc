@@ -7,13 +7,18 @@
 
 namespace afraid {
 
-DiskModel::DiskModel(Simulator* sim, DiskSpec spec, int32_t disk_id)
+DiskModel::DiskModel(Simulator* sim, DiskSpec spec, int32_t disk_id, Probe probe)
     : sim_(sim),
       spec_(std::move(spec)),
       geometry_(spec_.zones, spec_.heads, spec_.sector_bytes),
       seek_model_(spec_.seek),
       disk_id_(disk_id),
-      busy_time_(sim->Now()) {}
+      probe_(probe),
+      busy_time_(sim->Now()) {
+  if (probe_) {
+    queue_counter_name_ = "disk" + std::to_string(disk_id_) + " queue";
+  }
+}
 
 int32_t DiskModel::TrackSkew(int32_t sectors_per_track) const {
   // One skew value stands in for both track skew and cylinder skew: enough
@@ -116,6 +121,9 @@ void DiskModel::Submit(const DiskOp& op, DiskOpCallback done) {
     return;
   }
   queue_.push_back(Pending{op, std::move(done), now});
+  if (probe_) {
+    probe_.Counter(queue_counter_name_, now, static_cast<double>(QueueDepth()));
+  }
   if (!busy_) {
     StartNext();
   }
@@ -146,6 +154,9 @@ void DiskModel::CompleteCurrent(const Pending& p, const ServiceBreakdown& breakd
   const SimTime now = sim_->Now();
   busy_ = false;
   busy_time_.Set(now, 0.0);
+  if (probe_) {
+    probe_.Counter(queue_counter_name_, now, static_cast<double>(QueueDepth()));
+  }
 
   DiskOpResult result;
   result.submitted = p.submitted;

@@ -24,6 +24,7 @@
 #include "disk/disk_spec.h"
 #include "disk/geometry.h"
 #include "disk/seek_model.h"
+#include "obs/probe.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "stats/streaming.h"
@@ -60,7 +61,10 @@ using DiskOpCallback = std::function<void(const DiskOpResult&)>;
 
 class DiskModel {
  public:
-  DiskModel(Simulator* sim, DiskSpec spec, int32_t disk_id);
+  // `probe`, when non-null, should be bound to this disk's trace track; the
+  // model emits a queue-depth counter timeline on it (array-level code emits
+  // the purpose-labelled service spans).
+  DiskModel(Simulator* sim, DiskSpec spec, int32_t disk_id, Probe probe = {});
   DiskModel(const DiskModel&) = delete;
   DiskModel& operator=(const DiskModel&) = delete;
 
@@ -119,6 +123,8 @@ class DiskModel {
   DiskGeometry geometry_;
   SeekModel seek_model_;
   int32_t disk_id_;
+  Probe probe_;
+  std::string queue_counter_name_;  // Built once; empty when probe_ is null.
 
   std::deque<Pending> queue_;
   bool busy_ = false;

@@ -16,12 +16,13 @@ constexpr SimDuration kChunkDuration = Minutes(10);
 }  // namespace
 
 ExposureModel::ExposureModel(const ArrayConfig& config, const PolicySpec& policy,
-                             const WorkloadParams& workload, uint64_t seed)
-    : cfg_(config), rng_(seed), workload_(workload) {
+                             const WorkloadParams& workload, uint64_t seed, Probe probe)
+    : cfg_(config), rng_(seed), workload_(workload),
+      fault_probe_(probe.NewTrack("faults")) {
   controller_ = std::make_unique<AfraidController>(
-      &sim_, cfg_, MakePolicy(policy), AvailabilityParamsFor(cfg_));
+      &sim_, cfg_, MakePolicy(policy), AvailabilityParamsFor(cfg_), probe);
   driver_ = std::make_unique<HostDriver>(&sim_, controller_.get(), cfg_.MaxActive(),
-                                         cfg_.host_sched);
+                                         cfg_.host_sched, probe);
   workload_.address_space_bytes = controller_->DataCapacityBytes();
   controller_->SetLossListener(
       [this](const LossEvent& ev) { drill_events_.push_back(ev); });
@@ -90,6 +91,9 @@ void ExposureModel::RunUntilDrained() {
 }
 
 DrillResult ExposureModel::FinishDrill(const DrillResult& partial, SimTime started) {
+  if (fault_probe_) {
+    fault_probe_.Instant("drill: recovered", sim_.Now());
+  }
   DrillResult r = partial;
   r.recovery_time = sim_.Now() - started;
   r.events = std::move(drill_events_);
@@ -113,6 +117,9 @@ DrillResult ExposureModel::FailureDrill(int32_t disk) {
   // The disk dies at this very instant: whatever was queued or mid-flight
   // completes degraded, through the controller's own failure paths.
   PauseFeeding();
+  if (fault_probe_) {
+    fault_probe_.Instant("drill: fail disk" + std::to_string(disk), sim_.Now());
+  }
   controller_->FailDisk(disk);
   RunUntilDrained();
 
@@ -143,6 +150,9 @@ DrillResult ExposureModel::NvramDrill() {
   PauseFeeding();
   RunUntilDrained();
   sim_.RunToEnd();  // Trailing idle-triggered rebuild passes finish here.
+  if (fault_probe_) {
+    fault_probe_.Instant("drill: nvram loss", sim_.Now());
+  }
   controller_->FailNvram();
   bool done = false;
   controller_->StartFullScrub([&done] { done = true; });

@@ -57,8 +57,11 @@ struct DrillResult {
 
 class ExposureModel {
  public:
+  // A non-null `probe` traces the embedded array simulation (disk, driver
+  // and controller tracks as usual) plus a "faults" track marking each
+  // drill's injection and recovery completion.
   ExposureModel(const ArrayConfig& config, const PolicySpec& policy,
-                const WorkloadParams& workload, uint64_t seed);
+                const WorkloadParams& workload, uint64_t seed, Probe probe = {});
   ~ExposureModel();
   ExposureModel(const ExposureModel&) = delete;
   ExposureModel& operator=(const ExposureModel&) = delete;
@@ -108,6 +111,7 @@ class ExposureModel {
   Simulator sim_;
   Rng rng_;
   WorkloadParams workload_;
+  Probe fault_probe_;  // "faults" track; null when not tracing.
   std::unique_ptr<AfraidController> controller_;
   std::unique_ptr<HostDriver> driver_;
 

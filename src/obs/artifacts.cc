@@ -1,0 +1,54 @@
+#include "obs/artifacts.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "obs/report_io.h"
+
+namespace afraid {
+
+RunArtifacts::RunArtifacts(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // create_directories reports success-with-no-op for an existing directory;
+  // double-check the path is usable either way.
+  if (std::filesystem::is_directory(dir_, ec)) {
+    ok_ = true;
+  } else {
+    error_ = "cannot create run directory " + dir_ + ": " + ec.message();
+  }
+}
+
+bool RunArtifacts::WriteText(const std::string& filename, const std::string& content) {
+  if (!ok_) {
+    return false;
+  }
+  const std::string path = dir_ + "/" + filename;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    error_ = "cannot open " + path;
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != content.size() || !closed) {
+    error_ = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool RunArtifacts::WriteReport(const SimReport& rep) {
+  return WriteText("report.json", SimReportToJson(rep) + "\n");
+}
+
+bool RunArtifacts::WriteMetrics(const MetricsRegistry& metrics) {
+  return WriteText("metrics.jsonl", metrics.ToJsonLines());
+}
+
+bool RunArtifacts::WriteTrace(const Tracer& tracer) {
+  return WriteText("trace.json", tracer.ToJson() + "\n");
+}
+
+}  // namespace afraid

@@ -1,0 +1,46 @@
+// The run-artifacts writer: one directory per observed run, holding the
+// single source of truth for that run's output.
+//
+//   <dir>/report.json    -- the SimReport (obs/report_io.h serializer).
+//   <dir>/metrics.jsonl  -- metric snapshots (obs/metrics.h, JSONL).
+//   <dir>/trace.json     -- Chrome Trace Event Format (obs/tracer.h); open
+//                           in chrome://tracing or https://ui.perfetto.dev.
+//
+// The directory (and parents) are created on construction. Writers return
+// false on I/O failure and leave a diagnostic in error().
+
+#ifndef AFRAID_OBS_ARTIFACTS_H_
+#define AFRAID_OBS_ARTIFACTS_H_
+
+#include <string>
+
+#include "core/report.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace afraid {
+
+class RunArtifacts {
+ public:
+  explicit RunArtifacts(std::string dir);
+
+  // False if the run directory could not be created.
+  bool ok() const { return ok_; }
+  const std::string& dir() const { return dir_; }
+  const std::string& error() const { return error_; }
+
+  bool WriteReport(const SimReport& rep);
+  bool WriteMetrics(const MetricsRegistry& metrics);
+  bool WriteTrace(const Tracer& tracer);
+  // Escape hatch for auxiliary artifacts (input traces, notes).
+  bool WriteText(const std::string& filename, const std::string& content);
+
+ private:
+  std::string dir_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_OBS_ARTIFACTS_H_

@@ -1,0 +1,110 @@
+// Minimal JSON support for the observability layer: a streaming writer used
+// by every artifact serializer (report.json, metrics.jsonl, trace.json), and
+// a small recursive-descent reader used by the validation tooling and tests
+// to parse those artifacts back.
+//
+// The writer emits non-finite doubles as the bare literals Infinity /
+// -Infinity / NaN (the availability model legitimately produces infinite
+// MTTDLs). Python's json module and the reader below both accept them;
+// strictly-conforming consumers should treat report fields as possibly
+// non-finite.
+
+#ifndef AFRAID_OBS_JSON_H_
+#define AFRAID_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afraid {
+
+// --- Writer -------------------------------------------------------------------
+
+// Streaming JSON writer with automatic comma placement. Usage:
+//   JsonWriter w;
+//   w.BeginObject().Key("requests").Value(int64_t{42}).EndObject();
+//   std::string out = std::move(w).Take();
+// The caller is responsible for well-formed nesting (asserted in debug).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& Value(std::string_view s);
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(double d);
+  JsonWriter& Value(int64_t i);
+  JsonWriter& Value(uint64_t u);
+  JsonWriter& Value(int32_t i) { return Value(static_cast<int64_t>(i)); }
+  JsonWriter& Value(bool b);
+  JsonWriter& Null();
+  // Appends pre-serialized JSON verbatim (e.g. a nested object built earlier).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() && { return std::move(out_); }
+
+ private:
+  void MaybeComma();
+  std::string out_;
+  // One entry per open container: true until the first element is written.
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+// Escapes `s` into a double-quoted JSON string literal.
+std::string JsonEscape(std::string_view s);
+
+// --- Reader -------------------------------------------------------------------
+
+// A parsed JSON value. Arrays/objects own their children; object key order is
+// preserved (Get() does a linear scan -- artifacts are small).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  int64_t AsInt() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& Items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    return members_;
+  }
+
+  // Object member lookup; nullptr if absent or not an object.
+  const JsonValue* Get(std::string_view key) const;
+  // Convenience: Get(key)->AsDouble() with a default for absent members.
+  double GetNumber(std::string_view key, double fallback = 0.0) const;
+  std::string GetString(std::string_view key, std::string fallback = "") const;
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Parses `text` into *out. Returns false (with a position/diagnostic in
+// *error if non-null) on malformed input. Accepts the writer's non-finite
+// literals (Infinity, -Infinity, NaN).
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error = nullptr);
+
+}  // namespace afraid
+
+#endif  // AFRAID_OBS_JSON_H_

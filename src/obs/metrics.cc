@@ -1,0 +1,101 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace afraid {
+
+MetricId MetricsRegistry::AddScalar(std::string name, bool counter) {
+  assert(rows_.empty() && "register all metrics before the first snapshot");
+  names_.push_back(std::move(name));
+  is_counter_.push_back(counter);
+  values_.push_back(0.0);
+  return names_.size() - 1;
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string name, double lo,
+                                         double bucket_width, size_t num_buckets) {
+  histograms_.push_back(
+      {std::move(name), std::make_unique<Histogram>(lo, bucket_width, num_buckets)});
+  return histograms_.back().histogram.get();
+}
+
+void MetricsRegistry::AddSampler(std::function<void(SimTime)> sampler) {
+  samplers_.push_back(std::move(sampler));
+}
+
+void MetricsRegistry::Snapshot(SimTime now) {
+  assert(rows_.empty() || now >= rows_.back().time);
+  for (const auto& sampler : samplers_) {
+    sampler(now);
+  }
+  rows_.push_back({now, values_});
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  for (const NamedHistogram& h : histograms_) {
+    if (h.name == name) {
+      return h.histogram.get();
+    }
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::ToJsonLines() const {
+  std::string out;
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").Value("schema");
+    w.Key("metrics").BeginArray();
+    for (size_t i = 0; i < names_.size(); ++i) {
+      w.BeginObject();
+      w.Key("name").Value(names_[i]);
+      w.Key("kind").Value(is_counter_[i] ? "counter" : "gauge");
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    out += std::move(w).Take();
+    out += '\n';
+  }
+  for (const SnapshotRow& row : rows_) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").Value("snapshot");
+    w.Key("t_s").Value(ToSeconds(row.time));
+    w.Key("values").BeginArray();
+    for (double v : row.values) {
+      w.Value(v);
+    }
+    w.EndArray();
+    w.EndObject();
+    out += std::move(w).Take();
+    out += '\n';
+  }
+  for (const NamedHistogram& h : histograms_) {
+    const Histogram& hist = *h.histogram;
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").Value("histogram");
+    w.Key("name").Value(h.name);
+    w.Key("lo").Value(hist.BucketLow(0));
+    w.Key("bucket_width").Value(hist.BucketLow(1) - hist.BucketLow(0));
+    w.Key("counts").BeginArray();
+    for (uint64_t c : hist.Counts()) {
+      w.Value(c);
+    }
+    w.EndArray();
+    w.Key("underflow").Value(hist.Underflow());
+    w.Key("overflow").Value(hist.Overflow());
+    w.Key("total").Value(hist.Total());
+    w.EndObject();
+    out += std::move(w).Take();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace afraid

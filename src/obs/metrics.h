@@ -1,0 +1,91 @@
+// The metrics registry: named counters, gauges and histograms with periodic
+// simulated-time snapshots.
+//
+// Scalar metrics (counters and gauges) live in one flat slot array; a
+// snapshot first runs every registered sampler (a pull hook that reads live
+// component state -- per-disk utilization, queue depths, dirty-stripe count,
+// parity-lag bytes -- into its gauges) and then records one row of all slot
+// values at the given simulated time. The experiment runner takes snapshots
+// *between* simulation events, so sampling can never perturb the simulated
+// trajectory: a run with metrics enabled executes the exact same event
+// sequence as one without.
+//
+// Serialization (ToJsonLines) is JSONL, one self-describing record per line:
+//   {"type":"schema","metrics":[{"name":...,"kind":"counter"|"gauge"},...]}
+//   {"type":"snapshot","t_s":<seconds>,"values":[...]}   (one per snapshot)
+//   {"type":"histogram","name":...,"lo":...,"bucket_width":...,
+//    "counts":[...],"underflow":N,"overflow":N,"total":N}
+
+#ifndef AFRAID_OBS_METRICS_H_
+#define AFRAID_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/histogram.h"
+
+namespace afraid {
+
+using MetricId = size_t;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration. Names should be unique; duplicates are kept verbatim
+  // (consumers key rows by position, not name).
+  MetricId AddCounter(std::string name) { return AddScalar(std::move(name), true); }
+  MetricId AddGauge(std::string name) { return AddScalar(std::move(name), false); }
+  Histogram* AddHistogram(std::string name, double lo, double bucket_width,
+                          size_t num_buckets);
+
+  // Scalar updates (cheap stores; safe on any simulation hot path).
+  void Set(MetricId id, double value) { values_[id] = value; }
+  void Inc(MetricId id, double delta = 1.0) { values_[id] += delta; }
+  double Value(MetricId id) const { return values_[id]; }
+
+  // Pull hooks run at the start of every Snapshot(), in registration order.
+  void AddSampler(std::function<void(SimTime)> sampler);
+
+  // Runs the samplers, then appends one row of all scalar values at `now`.
+  // `now` must be monotonically non-decreasing across calls.
+  void Snapshot(SimTime now);
+
+  struct SnapshotRow {
+    SimTime time = 0;
+    std::vector<double> values;
+  };
+
+  size_t NumScalars() const { return names_.size(); }
+  size_t NumSnapshots() const { return rows_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::vector<SnapshotRow>& rows() const { return rows_; }
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  std::string ToJsonLines() const;
+
+ private:
+  MetricId AddScalar(std::string name, bool counter);
+
+  std::vector<std::string> names_;
+  std::vector<bool> is_counter_;
+  std::vector<double> values_;
+  std::vector<std::function<void(SimTime)>> samplers_;
+  std::vector<SnapshotRow> rows_;
+
+  struct NamedHistogram {
+    std::string name;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::vector<NamedHistogram> histograms_;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_OBS_METRICS_H_

@@ -1,0 +1,108 @@
+#include "obs/report_io.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "avail/model.h"
+
+namespace afraid {
+namespace {
+
+std::string FormatDouble(double d) {
+  if (std::isnan(d)) {
+    return "nan";
+  }
+  if (std::isinf(d)) {
+    return d > 0 ? "inf" : "-inf";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return buf;
+}
+
+// One field walk drives both serializations so they cannot diverge.
+template <typename StringFn, typename UintFn, typename IntFn, typename DoubleFn>
+void ForEachField(const SimReport& rep, StringFn on_string, UintFn on_uint,
+                  IntFn on_int, DoubleFn on_double) {
+  on_string("workload", rep.workload);
+  on_string("policy", rep.policy);
+  on_uint("requests", rep.requests);
+  on_uint("reads", rep.reads);
+  on_uint("writes", rep.writes);
+  on_double("mean_io_ms", rep.mean_io_ms);
+  on_double("mean_read_ms", rep.mean_read_ms);
+  on_double("mean_write_ms", rep.mean_write_ms);
+  on_double("median_io_ms", rep.median_io_ms);
+  on_double("p95_io_ms", rep.p95_io_ms);
+  on_double("max_io_ms", rep.max_io_ms);
+  on_double("duration_s", rep.duration_s);
+  on_double("idle_fraction", rep.idle_fraction);
+  on_double("mean_queue_depth", rep.mean_queue_depth);
+  on_double("mean_parity_lag_bytes", rep.mean_parity_lag_bytes);
+  on_double("t_unprot_fraction", rep.t_unprot_fraction);
+  on_int("max_dirty_stripes", rep.max_dirty_stripes);
+  on_uint("stripes_rebuilt", rep.stripes_rebuilt);
+  on_uint("rebuild_passes", rep.rebuild_passes);
+  on_uint("afraid_mode_writes", rep.afraid_mode_writes);
+  on_uint("raid5_mode_writes", rep.raid5_mode_writes);
+  on_uint("disk_ops_total", rep.disk_ops_total);
+  on_uint("disk_ops_rebuild", rep.disk_ops_rebuild);
+  on_uint("disk_ops_parity", rep.disk_ops_parity);
+  on_uint("cache_hits", rep.cache_hits);
+  on_double("disk_utilization", rep.disk_utilization);
+  on_string("avail_scheme", SchemeName(rep.avail.scheme));
+  on_double("mttdl_disk_hours", rep.avail.mttdl_disk_hours);
+  on_double("mttdl_overall_hours", rep.avail.mttdl_overall_hours);
+  on_double("mdlr_disk_bph", rep.avail.mdlr_disk_bph);
+  on_double("mdlr_overall_bph", rep.avail.mdlr_overall_bph);
+}
+
+}  // namespace
+
+void AppendSimReportJson(JsonWriter& w, const SimReport& rep) {
+  w.BeginObject();
+  ForEachField(
+      rep,
+      [&](const char* name, const std::string& v) { w.Key(name).Value(v); },
+      [&](const char* name, uint64_t v) { w.Key(name).Value(v); },
+      [&](const char* name, int64_t v) { w.Key(name).Value(v); },
+      [&](const char* name, double v) { w.Key(name).Value(v); });
+  w.EndObject();
+}
+
+std::string SimReportToJson(const SimReport& rep) {
+  JsonWriter w;
+  AppendSimReportJson(w, rep);
+  return std::move(w).Take();
+}
+
+std::string SimReportCsvHeader() {
+  std::string out;
+  SimReport dummy;
+  ForEachField(
+      dummy,
+      [&](const char* name, const std::string&) { out += name; out += ','; },
+      [&](const char* name, uint64_t) { out += name; out += ','; },
+      [&](const char* name, int64_t) { out += name; out += ','; },
+      [&](const char* name, double) { out += name; out += ','; });
+  if (!out.empty()) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string SimReportCsvRow(const SimReport& rep) {
+  std::string out;
+  ForEachField(
+      rep,
+      [&](const char*, const std::string& v) { out += v; out += ','; },
+      [&](const char*, uint64_t v) { out += std::to_string(v); out += ','; },
+      [&](const char*, int64_t v) { out += std::to_string(v); out += ','; },
+      [&](const char*, double v) { out += FormatDouble(v); out += ','; });
+  if (!out.empty()) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace afraid

@@ -1,0 +1,32 @@
+// The single SimReport serializer: JSON and CSV forms of a run's results.
+//
+// Every machine-readable report in the repository goes through these two
+// functions -- the RunArtifacts writer (report.json), the bench harnesses'
+// AFRAID_BENCH_OUT emitters, and any future exporter -- so field names and
+// ordering can never drift between outputs.
+
+#ifndef AFRAID_OBS_REPORT_IO_H_
+#define AFRAID_OBS_REPORT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "obs/json.h"
+
+namespace afraid {
+
+// Appends the report as a JSON object to an in-flight writer (for embedding
+// in larger documents, e.g. a bench's array of rows).
+void AppendSimReportJson(JsonWriter& w, const SimReport& rep);
+
+// The report as a standalone JSON object.
+std::string SimReportToJson(const SimReport& rep);
+
+// CSV: a fixed header and matching row. Field order matches the JSON.
+std::string SimReportCsvHeader();
+std::string SimReportCsvRow(const SimReport& rep);
+
+}  // namespace afraid
+
+#endif  // AFRAID_OBS_REPORT_IO_H_

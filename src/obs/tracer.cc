@@ -1,0 +1,127 @@
+#include "obs/tracer.h"
+
+#include <utility>
+
+#include "obs/json.h"
+
+namespace afraid {
+namespace {
+
+// Chrome trace timestamps are microseconds; keep sub-us precision (our clock
+// is ns) as a fractional part.
+double ToTraceUs(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace
+
+int32_t Tracer::AddTrack(const std::string& name) {
+  track_names_.push_back(name);
+  return static_cast<int32_t>(track_names_.size() - 1);
+}
+
+void Tracer::Complete(int32_t track, std::string name, SimTime start, SimTime end,
+                      std::string args_json) {
+  TraceEvent ev;
+  ev.phase = 'X';
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.ts = start;
+  ev.dur = end - start;
+  ev.args_json = std::move(args_json);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::AsyncBegin(int32_t track, std::string name, uint64_t id, SimTime ts,
+                        std::string args_json) {
+  TraceEvent ev;
+  ev.phase = 'b';
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.ts = ts;
+  ev.id = id;
+  ev.args_json = std::move(args_json);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::AsyncEnd(int32_t track, std::string name, uint64_t id, SimTime ts) {
+  TraceEvent ev;
+  ev.phase = 'e';
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.ts = ts;
+  ev.id = id;
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::Instant(int32_t track, std::string name, SimTime ts) {
+  TraceEvent ev;
+  ev.phase = 'i';
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.ts = ts;
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::Counter(int32_t track, std::string name, SimTime ts, double value) {
+  TraceEvent ev;
+  ev.phase = 'C';
+  ev.track = track;
+  ev.name = std::move(name);
+  ev.ts = ts;
+  ev.value = value;
+  events_.push_back(std::move(ev));
+}
+
+std::string Tracer::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+  // Track-name metadata first: viewers sort tracks by these records.
+  for (size_t tid = 0; tid < track_names_.size(); ++tid) {
+    w.BeginObject();
+    w.Key("ph").Value("M");
+    w.Key("name").Value("thread_name");
+    w.Key("pid").Value(int64_t{1});
+    w.Key("tid").Value(static_cast<int64_t>(tid));
+    w.Key("args").BeginObject().Key("name").Value(track_names_[tid]).EndObject();
+    w.EndObject();
+  }
+  for (const TraceEvent& ev : events_) {
+    w.BeginObject();
+    w.Key("ph").Value(std::string_view(&ev.phase, 1));
+    w.Key("name").Value(ev.name);
+    w.Key("pid").Value(int64_t{1});
+    w.Key("tid").Value(static_cast<int64_t>(ev.track));
+    w.Key("ts").Value(ToTraceUs(ev.ts));
+    switch (ev.phase) {
+      case 'X':
+        w.Key("dur").Value(ToTraceUs(ev.dur));
+        break;
+      case 'b':
+      case 'e':
+        // Async spans need a category + id; scope ids per track so request
+        // ids can never collide with rebuild-pass ids.
+        w.Key("cat").Value(track_names_[static_cast<size_t>(ev.track)]);
+        w.Key("id").Value(ev.id);
+        break;
+      case 'i':
+        w.Key("s").Value("t");  // Thread-scoped instant.
+        break;
+      case 'C':
+        break;
+      default:
+        break;
+    }
+    if (ev.phase == 'C') {
+      w.Key("args").BeginObject().Key("value").Value(ev.value).EndObject();
+    } else if (!ev.args_json.empty()) {
+      w.Key("args").Raw(ev.args_json);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+}  // namespace afraid

@@ -1,0 +1,79 @@
+// Chrome Trace Event Format emitter.
+//
+// Components push events through Probe handles (obs/probe.h); the tracer
+// buffers them in memory and serializes the whole run to the JSON object
+// format ({"traceEvents": [...]}) that chrome://tracing and Perfetto load
+// directly. One simulated run maps onto one trace "process"; every modelled
+// component (host driver, controller, each disk, the rebuild engine, the
+// fault injector) gets its own named track (a trace "thread").
+//
+// Event phases used:
+//   X  complete span (ts + dur)        -- disk ops, rebuild band steps.
+//   b/e async span (id-matched)        -- client requests (they overlap
+//                                         arbitrarily, so they cannot nest on
+//                                         a synchronous track), rebuild
+//                                         passes, recovery sweeps.
+//   i  instant                          -- mode flips, injected faults,
+//                                         data-loss incidents.
+//   C  counter                          -- queue depths, parity-lag bytes.
+//
+// Timestamps are simulated time converted to microseconds (the format's
+// unit). All spans are emitted at completion time, so per-track X events are
+// appended in completion order (the invariant tests/obs/ asserts). Viewers
+// re-sort by start time when rendering.
+
+#ifndef AFRAID_OBS_TRACER_H_
+#define AFRAID_OBS_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace afraid {
+
+struct TraceEvent {
+  char phase = 'X';       // X, b, e, i, C.
+  int32_t track = 0;      // tid.
+  std::string name;
+  SimTime ts = 0;         // Nanoseconds (converted to us on serialization).
+  SimDuration dur = 0;    // X only.
+  uint64_t id = 0;        // b/e only.
+  double value = 0.0;     // C only.
+  std::string args_json;  // Optional pre-serialized args object ("{...}").
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Registers a named track; returns its tid. Emitted as thread_name
+  // metadata so viewers show the name instead of a bare number.
+  int32_t AddTrack(const std::string& name);
+
+  void Complete(int32_t track, std::string name, SimTime start, SimTime end,
+                std::string args_json = {});
+  void AsyncBegin(int32_t track, std::string name, uint64_t id, SimTime ts,
+                  std::string args_json = {});
+  void AsyncEnd(int32_t track, std::string name, uint64_t id, SimTime ts);
+  void Instant(int32_t track, std::string name, SimTime ts);
+  void Counter(int32_t track, std::string name, SimTime ts, double value);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<std::string>& tracks() const { return track_names_; }
+  size_t NumEvents() const { return events_.size(); }
+
+  // Serializes to the Chrome Trace Event Format JSON object form.
+  std::string ToJson() const;
+
+ private:
+  std::vector<std::string> track_names_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace afraid
+
+#endif  // AFRAID_OBS_TRACER_H_

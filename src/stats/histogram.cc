@@ -5,6 +5,30 @@
 
 namespace afraid {
 
+double Histogram::Quantile(double p) const {
+  assert(p >= 0.0 && p <= 1.0);
+  if (total_ == 0) {
+    return 0.0;  // No samples: quantiles of an empty distribution are 0.
+  }
+  // Rank in [0, total-1], linearly interpolated -- the same convention as
+  // SampleSet::Percentile, so the two agree on exact data.
+  const double rank = p * static_cast<double>(total_ - 1);
+  double cum = static_cast<double>(underflow_);
+  if (rank < cum) {
+    return lo_;  // Underflow mass: best available estimate is the low edge.
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (c > 0.0 && rank < cum + c) {
+      // Uniform within the bucket; the +0.5 centres each sample in its
+      // 1/c-wide slice (a single sample maps to the bucket midpoint).
+      return BucketLow(i) + width_ * ((rank - cum + 0.5) / c);
+    }
+    cum += c;
+  }
+  return BucketLow(counts_.size());  // Overflow mass: the top bucket edge.
+}
+
 std::string Histogram::Render(size_t max_width) const {
   uint64_t peak = 1;
   for (uint64_t c : counts_) {

@@ -39,6 +39,13 @@ class Histogram {
   const std::vector<uint64_t>& Counts() const { return counts_; }
   double BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
 
+  // Interpolated p-quantile (p in [0, 1]) estimated from the bucket counts:
+  // mass is uniform within a bucket, underflow sits at `lo`, overflow at the
+  // top bucket edge. Defined on all inputs: 0.0 with no samples; a single
+  // sample returns its bucket midpoint for every p.
+  double Quantile(double p) const;
+  double Median() const { return Quantile(0.5); }
+
   // Renders an ASCII bar chart, `max_width` columns for the largest bucket.
   std::string Render(size_t max_width = 50) const;
 

@@ -38,7 +38,9 @@ class TimeWeightedValue {
     return integral_ + value_ * ToSeconds(now - last_change_);
   }
 
-  // Time-average of the signal over [start, now].
+  // Time-average of the signal over [start, now]. At zero elapsed time the
+  // average over the empty interval is defined as the current value (not the
+  // 0/0 the integral form would produce).
   double MeanTo(SimTime now) const {
     const double span = ToSeconds(now - start_);
     return span <= 0.0 ? value_ : IntegralTo(now) / span;
@@ -53,7 +55,9 @@ class TimeWeightedValue {
     return t;
   }
 
-  // Fraction of [start, now] the signal has been strictly positive.
+  // Fraction of [start, now] the signal has been strictly positive. At zero
+  // elapsed time this is 1 if the signal is currently positive, else 0
+  // (consistent with MeanTo's empty-interval convention, and never 0/0).
   double PositiveFractionTo(SimTime now) const {
     const double span = ToSeconds(now - start_);
     return span <= 0.0 ? (value_ > 0.0 ? 1.0 : 0.0) : PositiveSecondsTo(now) / span;

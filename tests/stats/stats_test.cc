@@ -148,6 +148,44 @@ TEST(Summary, MeansOrdering) {
   EXPECT_LE(GeometricMean(xs), ArithmeticMean(xs) + 1e-12);
 }
 
+TEST(StreamingStats, MergeWithEmptySides) {
+  StreamingStats filled;
+  filled.Add(1.0);
+  filled.Add(3.0);
+
+  StreamingStats empty_lhs;
+  empty_lhs.Merge(filled);  // Empty left side adopts the other stream.
+  EXPECT_EQ(empty_lhs.Count(), 2u);
+  EXPECT_DOUBLE_EQ(empty_lhs.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty_lhs.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty_lhs.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(empty_lhs.Variance(), 2.0);
+
+  StreamingStats empty_rhs;
+  filled.Merge(empty_rhs);  // Empty right side is a no-op.
+  EXPECT_EQ(filled.Count(), 2u);
+  EXPECT_DOUBLE_EQ(filled.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(filled.Variance(), 2.0);
+
+  StreamingStats a;
+  StreamingStats b;
+  a.Merge(b);  // Both empty stays empty (and all-zero, not NaN).
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Variance(), 0.0);
+}
+
+TEST(TimeWeighted, ZeroElapsedIsCurrentValueNotNan) {
+  TimeWeightedValue positive(Seconds(5), 3.0);
+  EXPECT_DOUBLE_EQ(positive.MeanTo(Seconds(5)), 3.0);
+  EXPECT_DOUBLE_EQ(positive.PositiveFractionTo(Seconds(5)), 1.0);
+  EXPECT_DOUBLE_EQ(positive.IntegralTo(Seconds(5)), 0.0);
+
+  TimeWeightedValue zero(Seconds(5), 0.0);
+  EXPECT_DOUBLE_EQ(zero.MeanTo(Seconds(5)), 0.0);
+  EXPECT_DOUBLE_EQ(zero.PositiveFractionTo(Seconds(5)), 0.0);
+}
+
 TEST(Histogram, BucketsAndOverflow) {
   Histogram h(0.0, 10.0, 5);  // [0,50) in 5 buckets.
   h.Add(-1);
@@ -164,6 +202,45 @@ TEST(Histogram, BucketsAndOverflow) {
   EXPECT_EQ(h.Counts()[4], 1u);
   EXPECT_EQ(h.Total(), 7u);
   EXPECT_FALSE(h.Render().empty());
+}
+
+TEST(Histogram, QuantileEmptyAndSingleSample) {
+  Histogram empty(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Median(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Quantile(1.0), 0.0);
+
+  Histogram one(0.0, 10.0, 5);
+  one.Add(23.0);  // Lands in [20, 30).
+  for (double p : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(one.Quantile(p), 25.0) << "p=" << p;  // Bucket midpoint.
+  }
+}
+
+TEST(Histogram, QuantileUnderflowAndOverflowMass) {
+  Histogram h(10.0, 5.0, 4);  // Covers [10, 30).
+  h.Add(-100.0);
+  h.Add(-50.0);
+  h.Add(1000.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 10.0);  // Underflow pinned to the low edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 30.0);  // Overflow pinned to the top edge.
+}
+
+TEST(Histogram, QuantileTracksExactPercentiles) {
+  // Dense-bucket histogram vs the exact SampleSet on the same data: with one
+  // sample per bucket midpoint the two rank conventions must agree exactly;
+  // on arbitrary data they agree to within one bucket width.
+  Histogram h(0.0, 1.0, 100);
+  SampleSet s;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i) + 0.5;
+    h.Add(x);
+    s.Add(x);
+  }
+  for (double p : {0.0, 0.1, 0.5, 0.9, 0.95, 1.0}) {
+    EXPECT_NEAR(h.Quantile(p), s.Percentile(p), 1.0) << "p=" << p;
+  }
+  EXPECT_NEAR(h.Median(), s.Median(), 1.0);
 }
 
 }  // namespace
