@@ -5,10 +5,16 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <set>
 #include <vector>
 
 #include "array/content.h"
+#include "array/host_driver.h"
 #include "array/layout.h"
+#include "array/nvram.h"
+#include "core/afraid_controller.h"
+#include "core/experiment.h"
+#include "core/policy.h"
 #include "disk/disk_model.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
@@ -147,6 +153,95 @@ void BM_WorkloadGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorkloadGeneration);
+
+// The marking-memory churn every client write performs: Mark on arrival,
+// IsDirty probes from the write paths, Clear from the rebuilder. Clustered
+// keys with re-marks, like a bursty trace.
+void BM_NvramMarkClear(benchmark::State& state) {
+  NvramBitmap bm(1 << 18);
+  Rng rng(42);
+  int64_t marked = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      const int64_t s = rng.UniformInt(0, (1 << 14) - 1) * 3;
+      marked += bm.Mark(s) ? 1 : 0;
+      benchmark::DoNotOptimize(bm.IsDirty(s + 1));
+      if ((i & 3) == 0) {
+        marked -= bm.Clear(s) ? 1 : 0;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(marked);
+}
+BENCHMARK(BM_NvramMarkClear);
+
+// The same workload against the ordered-set bookkeeping NvramBitmap used
+// before the two-level bitmap, kept as an in-binary reference point.
+void BM_NvramMarkClearSetRef(benchmark::State& state) {
+  std::set<int64_t> dirty;
+  Rng rng(42);
+  int64_t marked = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      const int64_t s = rng.UniformInt(0, (1 << 14) - 1) * 3;
+      marked += dirty.insert(s).second ? 1 : 0;
+      benchmark::DoNotOptimize(dirty.count(s + 1));
+      if ((i & 3) == 0) {
+        marked -= dirty.erase(s) > 0 ? 1 : 0;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(marked);
+}
+BENCHMARK(BM_NvramMarkClearSetRef);
+
+// The rebuilder's ascending sweep: NextDirty from a moving cursor across a
+// sparse dirty population, one full wrap per iteration.
+void BM_NvramNextDirtySweep(benchmark::State& state) {
+  NvramBitmap bm(1 << 18);
+  Rng rng(42);
+  for (int i = 0; i < 4096; ++i) {
+    bm.Mark(rng.UniformInt(0, (1 << 18) - 1));
+  }
+  const int64_t n = bm.DirtyCount();
+  for (auto _ : state) {
+    int64_t cursor = 0;
+    int64_t sum = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t k = bm.NextDirty(cursor);
+      sum += k;
+      cursor = k + 1;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_NvramNextDirtySweep);
+
+// End-to-end client path: a burst of small writes through the host driver,
+// AFRAID controller and disks, then the idle rebuild sweep that re-protects
+// every marked stripe. This is the steady-state loop the table/figure
+// harnesses run millions of times.
+void BM_ControllerWritePath(benchmark::State& state) {
+  ArrayConfig cfg;
+  for (auto _ : state) {
+    Simulator sim;
+    AfraidController array(&sim, cfg, MakePolicy(PolicySpec::AfraidBaseline()),
+                           AvailabilityParamsFor(cfg));
+    HostDriver driver(&sim, &array, cfg.MaxActive());
+    Rng rng(42);
+    const int64_t units = array.DataCapacityBytes() / cfg.stripe_unit_bytes;
+    for (int i = 0; i < 512; ++i) {
+      const int64_t off = rng.UniformInt(0, units - 2) * cfg.stripe_unit_bytes;
+      driver.Submit(off, 8192, /*is_write=*/true);
+    }
+    while (!driver.Drained()) {
+      sim.Step();
+    }
+    sim.RunToEnd();
+    benchmark::DoNotOptimize(driver.WriteLatencies().Mean());
+  }
+}
+BENCHMARK(BM_ControllerWritePath);
 
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {

@@ -9,14 +9,17 @@
 // hit ("unless it is already cached in the array controller", Section 1).
 //
 // Granularity is one stripe unit; a 256 KB cache over 8 KB units is 32 slots.
+// The representation is flat and allocation-free after construction: fixed
+// slot array, intrusive index-linked LRU list, and an open-addressed index
+// with backward-shift deletion -- no std::list / node-map churn on the
+// per-request path.
 
 #ifndef AFRAID_ARRAY_CACHE_H_
 #define AFRAID_ARRAY_CACHE_H_
 
 #include <cassert>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 namespace afraid {
 
@@ -27,60 +30,186 @@ class BlockLruCache {
   BlockLruCache(int64_t capacity_bytes, int64_t block_bytes)
       : max_blocks_(capacity_bytes / block_bytes) {
     assert(block_bytes > 0);
+    slots_.resize(static_cast<size_t>(max_blocks_));
+    free_slots_.reserve(static_cast<size_t>(max_blocks_));
+    for (int32_t i = static_cast<int32_t>(max_blocks_) - 1; i >= 0; --i) {
+      free_slots_.push_back(i);
+    }
+    // Bucket count: smallest power of two >= 2 * capacity (min 8), so the
+    // open-addressed index stays at most half full.
+    size_t buckets = 8;
+    while (buckets < static_cast<size_t>(max_blocks_) * 2) {
+      buckets *= 2;
+    }
+    buckets_.assign(buckets, kEmpty);
   }
 
   // True (and refreshes recency) if the block is cached. Counts a hit or a
   // miss for the statistics.
   bool Lookup(int64_t block) {
-    auto it = index_.find(block);
-    if (it == index_.end()) {
+    const int32_t s = FindSlot(block);
+    if (s == kEmpty) {
       ++misses_;
       return false;
     }
-    lru_.splice(lru_.begin(), lru_, it->second);
+    MoveToFront(s);
     ++hits_;
     return true;
   }
 
   // Peek without stats/recency side effects.
-  bool Contains(int64_t block) const { return index_.contains(block); }
+  bool Contains(int64_t block) const { return FindSlot(block) != kEmpty; }
 
   // Inserts (or refreshes) a block, evicting the least recently used.
   void Insert(int64_t block) {
     if (max_blocks_ == 0) {
       return;
     }
-    auto it = index_.find(block);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
+    const int32_t existing = FindSlot(block);
+    if (existing != kEmpty) {
+      MoveToFront(existing);
       return;
     }
-    lru_.push_front(block);
-    index_[block] = lru_.begin();
-    if (static_cast<int64_t>(lru_.size()) > max_blocks_) {
-      index_.erase(lru_.back());
-      lru_.pop_back();
+    if (free_slots_.empty()) {
+      EvictTail();
     }
+    const int32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[s].key = block;
+    LinkFront(s);
+    IndexInsert(block, s);
   }
 
   // Drops a block (e.g. contents no longer match disk).
   void Invalidate(int64_t block) {
-    auto it = index_.find(block);
-    if (it != index_.end()) {
-      lru_.erase(it->second);
-      index_.erase(it);
+    const int32_t s = FindSlot(block);
+    if (s != kEmpty) {
+      IndexErase(block);
+      Unlink(s);
+      free_slots_.push_back(s);
     }
   }
 
-  int64_t Size() const { return static_cast<int64_t>(lru_.size()); }
+  int64_t Size() const {
+    return max_blocks_ - static_cast<int64_t>(free_slots_.size());
+  }
   int64_t Capacity() const { return max_blocks_; }
   uint64_t Hits() const { return hits_; }
   uint64_t Misses() const { return misses_; }
 
  private:
+  static constexpr int32_t kEmpty = -1;
+
+  struct Slot {
+    int64_t key = 0;
+    int32_t prev = kEmpty;  // LRU links (index into slots_).
+    int32_t next = kEmpty;
+  };
+
+  size_t Bucket(int64_t key) const {
+    // Fibonacci hash of the block number onto the bucket ring.
+    return static_cast<size_t>(
+               (static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull) >> 32) &
+           (buckets_.size() - 1);
+  }
+
+  int32_t FindSlot(int64_t key) const {
+    if (max_blocks_ == 0) {
+      return kEmpty;
+    }
+    const size_t mask = buckets_.size() - 1;
+    for (size_t b = Bucket(key);; b = (b + 1) & mask) {
+      const int32_t s = buckets_[b];
+      if (s == kEmpty) {
+        return kEmpty;
+      }
+      if (slots_[s].key == key) {
+        return s;
+      }
+    }
+  }
+
+  void IndexInsert(int64_t key, int32_t slot) {
+    const size_t mask = buckets_.size() - 1;
+    size_t b = Bucket(key);
+    while (buckets_[b] != kEmpty) {
+      b = (b + 1) & mask;
+    }
+    buckets_[b] = slot;
+  }
+
+  void IndexErase(int64_t key) {
+    const size_t mask = buckets_.size() - 1;
+    size_t b = Bucket(key);
+    while (slots_[buckets_[b]].key != key) {
+      b = (b + 1) & mask;
+    }
+    // Backward-shift deletion keeps probe chains contiguous.
+    size_t hole = b;
+    buckets_[hole] = kEmpty;
+    for (size_t i = (hole + 1) & mask; buckets_[i] != kEmpty;
+         i = (i + 1) & mask) {
+      const size_t home = Bucket(slots_[buckets_[i]].key);
+      // Move i's entry into the hole if its probe chain passes through it,
+      // i.e. the hole lies in [home, i] on the ring.
+      const size_t dist_hole = (hole - home) & mask;
+      const size_t dist_i = (i - home) & mask;
+      if (dist_hole <= dist_i) {
+        buckets_[hole] = buckets_[i];
+        buckets_[i] = kEmpty;
+        hole = i;
+      }
+    }
+  }
+
+  void LinkFront(int32_t s) {
+    slots_[s].prev = kEmpty;
+    slots_[s].next = head_;
+    if (head_ != kEmpty) {
+      slots_[head_].prev = s;
+    }
+    head_ = s;
+    if (tail_ == kEmpty) {
+      tail_ = s;
+    }
+  }
+
+  void Unlink(int32_t s) {
+    Slot& sl = slots_[s];
+    if (sl.prev != kEmpty) {
+      slots_[sl.prev].next = sl.next;
+    } else {
+      head_ = sl.next;
+    }
+    if (sl.next != kEmpty) {
+      slots_[sl.next].prev = sl.prev;
+    } else {
+      tail_ = sl.prev;
+    }
+  }
+
+  void MoveToFront(int32_t s) {
+    if (head_ == s) {
+      return;
+    }
+    Unlink(s);
+    LinkFront(s);
+  }
+
+  void EvictTail() {
+    const int32_t s = tail_;
+    assert(s != kEmpty);
+    IndexErase(slots_[s].key);
+    Unlink(s);
+    free_slots_.push_back(s);
+  }
+
   int64_t max_blocks_;
-  std::list<int64_t> lru_;  // Front = most recent.
-  std::unordered_map<int64_t, std::list<int64_t>::iterator> index_;
+  std::vector<Slot> slots_;          // Fixed at max_blocks_ entries.
+  std::vector<int32_t> free_slots_;  // Unused slot indices.
+  std::vector<int32_t> buckets_;     // Open-addressed index into slots_.
+  int32_t head_ = kEmpty;            // Most recently used.
+  int32_t tail_ = kEmpty;            // Least recently used.
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

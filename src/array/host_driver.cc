@@ -11,6 +11,8 @@ HostDriver::HostDriver(Simulator* sim, ArrayController* array, int32_t max_activ
       max_active_(max_active),
       sched_(sched),
       probe_(probe.NewTrack("driver")),
+      queue_(std::less<int64_t>(),
+             PoolAllocator<std::pair<const int64_t, ClientRequest>>(&queue_nodes_)),
       occupancy_(sim->Now()) {}
 
 void HostDriver::Submit(int64_t offset, int32_t size, bool is_write) {

@@ -23,6 +23,7 @@
 #include "array/controller.h"
 #include "array/request.h"
 #include "obs/probe.h"
+#include "sim/arena.h"
 #include "sim/simulator.h"
 #include "stats/sample_set.h"
 #include "stats/time_weighted.h"
@@ -62,6 +63,14 @@ class HostDriver {
   // Time-weighted number of requests in the driver (queued + active).
   const TimeWeightedValue& Occupancy() const { return occupancy_; }
 
+  // Pre-sizes the latency sample vectors for `n` expected requests, so a
+  // measured steady state never reallocates them (allocation-free path).
+  void ReserveLatencySamples(size_t n) {
+    all_ms_.Reserve(n);
+    read_ms_.Reserve(n);
+    write_ms_.Reserve(n);
+  }
+
  private:
   void TryDispatch();
   void OnComplete(const ClientRequest& r);
@@ -74,8 +83,12 @@ class HostDriver {
 
   // Queued (not yet dispatched) requests. For CLOOK the key is the starting
   // offset; for FCFS it is the arrival sequence number. multimap: several
-  // queued requests may share a key.
-  std::multimap<int64_t, ClientRequest> queue_;
+  // queued requests may share a key. Tree nodes come from the recycling
+  // NodePool, so a bounded queue population stops allocating after warm-up.
+  NodePool queue_nodes_;
+  std::multimap<int64_t, ClientRequest, std::less<int64_t>,
+                PoolAllocator<std::pair<const int64_t, ClientRequest>>>
+      queue_;
   int64_t sweep_offset_ = 0;  // CLOOK arm position.
   int32_t active_ = 0;
 

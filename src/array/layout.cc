@@ -51,10 +51,17 @@ int64_t StripeLayout::StripeOfOffset(int64_t logical_offset) const {
 }
 
 std::vector<Segment> StripeLayout::Split(int64_t logical_offset, int64_t length) const {
+  std::vector<Segment> segments;
+  SplitInto(logical_offset, length, &segments);
+  return segments;
+}
+
+void StripeLayout::SplitInto(int64_t logical_offset, int64_t length,
+                             std::vector<Segment>* segments) const {
   assert(logical_offset >= 0);
   assert(length > 0);
   assert(logical_offset + length <= data_capacity_bytes());
-  std::vector<Segment> segments;
+  segments->clear();
   const int32_t n = data_blocks_per_stripe();
   int64_t off = logical_offset;
   int64_t remaining = length;
@@ -69,11 +76,10 @@ std::vector<Segment> StripeLayout::Split(int64_t logical_offset, int64_t length)
     seg.logical_offset = off;
     seg.offset_in_block = in_block;
     seg.length = len;
-    segments.push_back(seg);
+    segments->push_back(seg);
     off += len;
     remaining -= len;
   }
-  return segments;
 }
 
 }  // namespace afraid

@@ -77,7 +77,14 @@ class StripeLayout {
   int64_t StripeOfOffset(int64_t logical_offset) const;
 
   // Splits a byte range of the logical data space into stripe-unit segments.
+  // Segments come out with monotonically nondecreasing stripe numbers, so a
+  // per-stripe grouping is a contiguous-run scan of the result.
   std::vector<Segment> Split(int64_t logical_offset, int64_t length) const;
+
+  // Allocation-free variant: clears `segments` and appends into it, reusing
+  // its capacity. The request fast path feeds this from a pooled vector.
+  void SplitInto(int64_t logical_offset, int64_t length,
+                 std::vector<Segment>* segments) const;
 
   // Inverse check helper: logical byte offset of data block j of stripe s.
   int64_t LogicalOffsetOf(int64_t stripe, int32_t j) const {

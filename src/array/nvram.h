@@ -6,10 +6,14 @@
 // stripe does nothing." (Section 1.1.)
 //
 // The hardware cost is ~1 bit per stripe (3 KB of NVRAM per GB of storage
-// for a 5-wide, 8 KB-stripe-unit array). We keep an ordered set alongside
-// the semantic bitmap so the rebuilder can sweep dirty stripes in ascending
-// order, which naturally coalesces adjacent dirty stripes into near-
-// sequential disk accesses.
+// for a 5-wide, 8 KB-stripe-unit array). The in-simulator representation is
+// a two-level 64-bit word bitmap: `words_` holds the dirty bits themselves,
+// and `summary_` holds one bit per word of `words_` (set iff that word is
+// nonzero). Mark/Clear/IsDirty are O(1) bit twiddles; NextDirty ctz-scans
+// the summary level so a sweep over a sparse bitmap skips 4096 stripes per
+// summary word probed. Ascending iteration order -- the rebuilder's sweep
+// order, which coalesces adjacent dirty stripes into near-sequential disk
+// accesses -- is preserved by construction.
 //
 // Fail() models the loss of the marking memory: the dirty information is
 // gone, and the array must conservatively rebuild parity everywhere
@@ -18,65 +22,172 @@
 #ifndef AFRAID_ARRAY_NVRAM_H_
 #define AFRAID_ARRAY_NVRAM_H_
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <set>
+#include <iterator>
+#include <vector>
 
 namespace afraid {
 
 class NvramBitmap {
  public:
-  explicit NvramBitmap(int64_t num_stripes) : num_stripes_(num_stripes) {}
+  explicit NvramBitmap(int64_t num_stripes)
+      : num_stripes_(num_stripes),
+        words_(static_cast<size_t>((num_stripes + 63) / 64), 0),
+        summary_((words_.size() + 63) / 64, 0) {}
 
   // Marks a stripe unredundant. Returns true if the stripe was newly marked,
   // false if it was already marked (re-marking is a no-op).
   bool Mark(int64_t stripe) {
     assert(stripe >= 0 && stripe < num_stripes_);
-    return dirty_.insert(stripe).second;
+    const auto w = static_cast<size_t>(stripe >> 6);
+    const uint64_t bit = 1ull << (stripe & 63);
+    if ((words_[w] & bit) != 0) {
+      return false;
+    }
+    words_[w] |= bit;
+    summary_[w >> 6] |= 1ull << (w & 63);
+    ++dirty_count_;
+    return true;
   }
 
   // Clears the mark after a successful parity rebuild. Returns true if the
   // stripe was marked.
   bool Clear(int64_t stripe) {
     assert(stripe >= 0 && stripe < num_stripes_);
-    return dirty_.erase(stripe) > 0;
+    const auto w = static_cast<size_t>(stripe >> 6);
+    const uint64_t bit = 1ull << (stripe & 63);
+    if ((words_[w] & bit) == 0) {
+      return false;
+    }
+    words_[w] &= ~bit;
+    if (words_[w] == 0) {
+      summary_[w >> 6] &= ~(1ull << (w & 63));
+    }
+    --dirty_count_;
+    return true;
   }
 
-  bool IsDirty(int64_t stripe) const { return dirty_.contains(stripe); }
-  int64_t DirtyCount() const { return static_cast<int64_t>(dirty_.size()); }
+  bool IsDirty(int64_t stripe) const {
+    assert(stripe >= 0 && stripe < num_stripes_);
+    return (words_[static_cast<size_t>(stripe >> 6)] >> (stripe & 63) & 1) != 0;
+  }
+
+  int64_t DirtyCount() const { return dirty_count_; }
   int64_t NumStripes() const { return num_stripes_; }
   bool failed() const { return failed_; }
 
   // Smallest dirty stripe >= `from`, wrapping to the smallest overall;
-  // -1 if nothing is dirty. This is the rebuilder's sweep order.
+  // -1 if nothing is dirty. This is the rebuilder's sweep order. `from` past
+  // the end of the bitmap wraps, matching the ordered-set semantics this
+  // replaced (callers probe with last_rebuilt_key + 1).
   int64_t NextDirty(int64_t from) const {
-    if (dirty_.empty()) {
+    if (dirty_count_ == 0) {
       return -1;
     }
-    auto it = dirty_.lower_bound(from);
-    if (it == dirty_.end()) {
-      it = dirty_.begin();
+    if (from < 0 || from >= num_stripes_) {
+      from = 0;
     }
-    return *it;
+    const int64_t found = ScanFrom(from);
+    return found >= 0 ? found : ScanFrom(0);
   }
 
-  const std::set<int64_t>& DirtyStripes() const { return dirty_; }
+  // Forward iteration over the dirty stripes in ascending order. The view is
+  // invalidated by any Mark/Clear/Fail, like the set iterators it replaced.
+  class DirtyIterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = int64_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const int64_t*;
+    using reference = int64_t;
+
+    DirtyIterator() = default;
+    DirtyIterator(const NvramBitmap* bitmap, int64_t cur)
+        : bitmap_(bitmap), cur_(cur) {}
+
+    int64_t operator*() const { return cur_; }
+    DirtyIterator& operator++() {
+      cur_ = cur_ + 1 < bitmap_->num_stripes_ ? bitmap_->ScanFrom(cur_ + 1) : -1;
+      return *this;
+    }
+    DirtyIterator operator++(int) {
+      DirtyIterator old = *this;
+      ++*this;
+      return old;
+    }
+    bool operator==(const DirtyIterator& o) const { return cur_ == o.cur_; }
+    bool operator!=(const DirtyIterator& o) const { return cur_ != o.cur_; }
+
+   private:
+    const NvramBitmap* bitmap_ = nullptr;
+    int64_t cur_ = -1;
+  };
+
+  class DirtyView {
+   public:
+    explicit DirtyView(const NvramBitmap* bitmap) : bitmap_(bitmap) {}
+    DirtyIterator begin() const {
+      return DirtyIterator(bitmap_,
+                           bitmap_->dirty_count_ == 0 ? -1 : bitmap_->ScanFrom(0));
+    }
+    DirtyIterator end() const { return DirtyIterator(bitmap_, -1); }
+    bool empty() const { return bitmap_->dirty_count_ == 0; }
+    size_t size() const { return static_cast<size_t>(bitmap_->dirty_count_); }
+
+   private:
+    const NvramBitmap* bitmap_;
+  };
+
+  DirtyView DirtyStripes() const { return DirtyView(this); }
 
   // Models NVRAM failure: all marking knowledge is lost.
   void Fail() {
     failed_ = true;
-    dirty_.clear();
+    std::fill(words_.begin(), words_.end(), 0);
+    std::fill(summary_.begin(), summary_.end(), 0);
+    dirty_count_ = 0;
   }
 
   // Replacement of the failed part (after the recovery scrub).
   void Repair() { failed_ = false; }
 
-  // NVRAM bits this bitmap would occupy in hardware.
+  // NVRAM bits this bitmap would occupy in hardware (the summary level is a
+  // simulator acceleration, not part of the modelled hardware).
   int64_t HardwareBits() const { return num_stripes_; }
 
  private:
+  // First dirty stripe >= `from` without wrapping; -1 if none.
+  int64_t ScanFrom(int64_t from) const {
+    auto w = static_cast<size_t>(from >> 6);
+    const uint64_t head = words_[w] & (~0ull << (from & 63));
+    if (head != 0) {
+      return static_cast<int64_t>(w << 6) + Ctz(head);
+    }
+    // Summary scan: bits for words strictly after w. `2ull << 63` wraps to 0,
+    // correctly masking out the whole word when w is its last bit.
+    size_t s = w >> 6;
+    uint64_t sword = summary_[s] & ~((2ull << (w & 63)) - 1);
+    for (;;) {
+      if (sword != 0) {
+        const size_t w2 = (s << 6) + static_cast<size_t>(Ctz(sword));
+        return static_cast<int64_t>(w2 << 6) + Ctz(words_[w2]);
+      }
+      if (++s >= summary_.size()) {
+        return -1;
+      }
+      sword = summary_[s];
+    }
+  }
+
+  static int32_t Ctz(uint64_t x) { return __builtin_ctzll(x); }
+
   int64_t num_stripes_;
-  std::set<int64_t> dirty_;
+  std::vector<uint64_t> words_;    // Bit per stripe.
+  std::vector<uint64_t> summary_;  // Bit per word of words_ (set iff nonzero).
+  int64_t dirty_count_ = 0;
   bool failed_ = false;
 };
 

@@ -4,8 +4,8 @@
 #define AFRAID_ARRAY_REQUEST_H_
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace afraid {
@@ -19,7 +19,8 @@ struct ClientRequest {
 };
 
 // Completion notification: fires when the array has finished the request.
-using RequestDone = std::function<void()>;
+// Sized so the host driver's [driver, request] capture stays inline.
+using RequestDone = SmallCallback<void(), 48>;
 
 }  // namespace afraid
 

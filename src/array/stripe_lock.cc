@@ -1,12 +1,26 @@
 #include "array/stripe_lock.h"
 
 #include <utility>
-#include <vector>
 
 namespace afraid {
 
+StripeLockTable::State* StripeLockTable::AcquireState() {
+  if (state_free_.empty()) {
+    state_storage_.push_back(std::make_unique<State>());
+    state_free_.push_back(state_storage_.back().get());
+  }
+  State* st = state_free_.back();
+  state_free_.pop_back();
+  assert(st->shared_held == 0 && !st->exclusive_held && st->waiters.empty());
+  return st;
+}
+
 void StripeLockTable::Acquire(int64_t stripe, LockMode mode, Grant granted) {
-  State& st = stripes_[stripe];
+  auto it = stripes_.find(stripe);
+  if (it == stripes_.end()) {
+    it = stripes_.emplace(stripe, AcquireState()).first;
+  }
+  State& st = *it->second;
   const bool free_for_shared =
       !st.exclusive_held && st.waiters.empty() && mode == LockMode::kShared;
   const bool free_for_exclusive = !st.exclusive_held && st.shared_held == 0 &&
@@ -27,46 +41,53 @@ void StripeLockTable::Acquire(int64_t stripe, LockMode mode, Grant granted) {
 void StripeLockTable::Release(int64_t stripe, LockMode mode) {
   auto it = stripes_.find(stripe);
   assert(it != stripes_.end());
-  State& st = it->second;
+  State* st = it->second;
   if (mode == LockMode::kShared) {
-    assert(st.shared_held > 0);
-    --st.shared_held;
+    assert(st->shared_held > 0);
+    --st->shared_held;
   } else {
-    assert(st.exclusive_held);
-    st.exclusive_held = false;
+    assert(st->exclusive_held);
+    st->exclusive_held = false;
   }
   Pump(stripe, st);
 }
 
-void StripeLockTable::Pump(int64_t stripe, State& st) {
+void StripeLockTable::Pump(int64_t stripe, State* st) {
   // Collect the grants to run *after* mutating state: a grant callback may
-  // re-enter Acquire/Release on this same stripe.
-  std::vector<Grant> to_run;
-  while (!st.waiters.empty()) {
-    Waiter& w = st.waiters.front();
+  // re-enter Acquire/Release on this same stripe. The scratch vector is
+  // shared across nested Pumps stack-wise, so steady state never allocates.
+  const size_t base = pump_run_.size();
+  while (!st->waiters.empty()) {
+    Waiter& w = st->waiters.front();
     if (w.mode == LockMode::kShared) {
-      if (st.exclusive_held) {
+      if (st->exclusive_held) {
         break;
       }
-      ++st.shared_held;
-      to_run.push_back(std::move(w.granted));
-      st.waiters.pop_front();
+      ++st->shared_held;
+      pump_run_.push_back(std::move(w.granted));
+      st->waiters.pop_front();
     } else {
-      if (st.exclusive_held || st.shared_held > 0) {
+      if (st->exclusive_held || st->shared_held > 0) {
         break;
       }
-      st.exclusive_held = true;
-      to_run.push_back(std::move(w.granted));
-      st.waiters.pop_front();
+      st->exclusive_held = true;
+      pump_run_.push_back(std::move(w.granted));
+      st->waiters.pop_front();
       break;  // Exclusive admits exactly one.
     }
   }
-  if (st.shared_held == 0 && !st.exclusive_held && st.waiters.empty()) {
+  if (st->shared_held == 0 && !st->exclusive_held && st->waiters.empty()) {
     stripes_.erase(stripe);
+    state_free_.push_back(st);
   }
-  for (Grant& g : to_run) {
+  const size_t admitted = pump_run_.size() - base;
+  for (size_t i = 0; i < admitted; ++i) {
+    // Move out before invoking: a re-entrant Pump may push into (and grow)
+    // pump_run_ while this grant runs.
+    Grant g = std::move(pump_run_[base + i]);
     g();
   }
+  pump_run_.resize(base);
 }
 
 }  // namespace afraid

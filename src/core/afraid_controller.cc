@@ -2,36 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <utility>
 
 namespace afraid {
-namespace {
-
-// Join counter shared by the sub-operations of one compound step.
-struct Join {
-  int32_t remaining = 0;
-  bool failed = false;
-  std::function<void(bool ok)> done;
-
-  static std::shared_ptr<Join> Make(int32_t n, std::function<void(bool ok)> done) {
-    auto j = std::make_shared<Join>();
-    j->remaining = n;
-    j->done = std::move(done);
-    return j;
-  }
-  void Arm(int32_t extra) { remaining += extra; }
-  void Dec(bool ok) {
-    if (!ok) {
-      failed = true;
-    }
-    if (--remaining == 0) {
-      done(!failed);
-    }
-  }
-};
-
-}  // namespace
 
 const char* DiskOpPurposeName(DiskOpPurpose purpose) {
   switch (purpose) {
@@ -276,7 +249,7 @@ void AfraidController::RecordLoss(LossCause cause, int64_t stripe, int64_t bytes
 
 void AfraidController::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length,
                                    bool is_write, DiskOpPurpose purpose,
-                                   std::function<void(bool ok)> done) {
+                                   DiskDone done) {
   assert(disk >= 0 && disk < cfg_.num_disks);
   const int32_t sector = cfg_.disk_spec.sector_bytes;
   assert(byte_offset % sector == 0);
@@ -290,7 +263,8 @@ void AfraidController::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t le
       disk_probes_.empty() ? Probe() : disk_probes_[static_cast<size_t>(disk)];
   if (disk_probe) {
     disks_[static_cast<size_t>(disk)]->Submit(
-        op, [disk_probe, purpose, done = std::move(done)](const DiskOpResult& r) {
+        op,
+        [disk_probe, purpose, done = std::move(done)](const DiskOpResult& r) mutable {
           if (r.ok) {
             // Emitted at completion, so per-track spans are ordered by finish
             // time (tests/obs asserts this invariant).
@@ -300,7 +274,7 @@ void AfraidController::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t le
         });
   } else {
     disks_[static_cast<size_t>(disk)]->Submit(
-        op, [done = std::move(done)](const DiskOpResult& r) { done(r.ok); });
+        op, [done = std::move(done)](const DiskOpResult& r) mutable { done(r.ok); });
   }
 }
 
@@ -311,30 +285,33 @@ void AfraidController::Submit(const ClientRequest& request, RequestDone done) {
   assert(request.offset >= 0 &&
          request.offset + request.size <= layout_.data_capacity_bytes());
   NoteClientStart();
-  auto wrapped = [this, done = std::move(done)] {
-    done();
-    NoteClientEnd();
-  };
+  // The client-completion + NoteClientEnd pair is folded into the request's
+  // join callback (DoRead/DoWrite) so no intermediate wrapper is needed.
   if (request.is_write) {
-    DoWrite(request, std::move(wrapped));
+    DoWrite(request, std::move(done));
   } else {
-    DoRead(request, std::move(wrapped));
+    DoRead(request, std::move(done));
   }
 }
 
 // --- Reads ----------------------------------------------------------------------
 
 void AfraidController::DoRead(const ClientRequest& r, RequestDone done) {
-  std::vector<Segment> segs = layout_.Split(r.offset, r.size);
-  auto join = Join::Make(static_cast<int32_t>(segs.size()),
-                         [done = std::move(done)](bool) { done(); });
-  for (const Segment& seg : segs) {
+  // The split scratch is only read within this synchronous loop; every
+  // continuation captures its Segment by value.
+  layout_.SplitInto(r.offset, r.size, &read_split_scratch_);
+  JoinBlock* join = joins_.Make(static_cast<int32_t>(read_split_scratch_.size()),
+                                [this, done = std::move(done)](bool) mutable {
+                                  done();
+                                  NoteClientEnd();
+                                });
+  for (const Segment& seg : read_split_scratch_) {
     const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
     const bool need_degraded =
         disk == failed_disk_ ||
         (disk == recovering_disk_ && seg.stripe >= recovery_frontier_);
     if (need_degraded) {
-      DegradedReadSegment(seg, [join] { join->Dec(true); });
+      DegradedReadSegment(seg, join);
       continue;
     }
     const int64_t key = BlockKey(seg.stripe, seg.block_in_stripe);
@@ -352,19 +329,17 @@ void AfraidController::DoRead(const ClientRequest& r, RequestDone done) {
                     join->Dec(true);
                   } else {
                     // The disk died mid-flight: recover via parity.
-                    DegradedReadSegment(seg, [join] { join->Dec(true); });
+                    DegradedReadSegment(seg, join);
                   }
                 });
   }
 }
 
-void AfraidController::DegradedReadSegment(const Segment& seg,
-                                           std::function<void()> seg_done) {
+void AfraidController::DegradedReadSegment(const Segment& seg, JoinBlock* parent) {
   const int64_t stripe = seg.stripe;
-  locks_.Acquire(stripe, LockMode::kExclusive, [this, seg, stripe,
-                                                seg_done = std::move(seg_done)] {
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, seg, stripe, parent] {
     const int32_t n = layout_.data_blocks_per_stripe();
-    auto finish = [this, seg, stripe, seg_done](bool) {
+    auto finish = [this, seg, stripe, parent](bool) {
       if (RangeDirty(stripe, seg.offset_in_block, seg.length)) {
         // Parity was stale for this band when the disk died: the
         // reconstructed bytes are not the data the client wrote. Record the
@@ -372,9 +347,9 @@ void AfraidController::DegradedReadSegment(const Segment& seg,
         RecordLoss(LossCause::kStaleParityDegradedRead, stripe, seg.length);
       }
       locks_.Release(stripe, LockMode::kExclusive);
-      seg_done();
+      parent->Dec(true);
     };
-    auto join = Join::Make(n, std::move(finish));  // n-1 data reads + parity.
+    JoinBlock* join = joins_.Make(n, finish);  // n-1 data reads + parity.
     for (int32_t j = 0; j < n; ++j) {
       if (j == seg.block_in_stripe) {
         continue;
@@ -394,22 +369,41 @@ void AfraidController::DegradedReadSegment(const Segment& seg,
 // --- Writes ---------------------------------------------------------------------
 
 void AfraidController::DoWrite(const ClientRequest& r, RequestDone done) {
-  std::vector<Segment> segs = layout_.Split(r.offset, r.size);
-  std::map<int64_t, std::vector<Segment>> groups;
-  for (const Segment& seg : segs) {
-    groups[seg.stripe].push_back(seg);
+  // The pooled segment vector stays alive (and in place) until the request's
+  // join fires; the per-stripe groups are spans into it. Split emits
+  // nondecreasing stripe numbers, so the old std::map grouping is equivalent
+  // to a contiguous-run scan -- same groups, same ascending order.
+  std::vector<Segment>* segs = seg_pool_.Acquire();
+  layout_.SplitInto(r.offset, r.size, segs);
+  int32_t n_groups = 0;
+  for (size_t i = 0; i < segs->size(); ++i) {
+    if (i == 0 || (*segs)[i].stripe != (*segs)[i - 1].stripe) {
+      ++n_groups;
+    }
   }
-  auto join = Join::Make(static_cast<int32_t>(groups.size()),
-                         [done = std::move(done)](bool) { done(); });
-  for (auto& [stripe, group_segs] : groups) {
-    RunStripeWriteGroup(r.id, stripe, std::move(group_segs), 0,
-                        [join] { join->Dec(true); });
+  JoinBlock* join =
+      joins_.Make(n_groups, [this, done = std::move(done), segs](bool) mutable {
+        seg_pool_.Release(segs);
+        done();
+        NoteClientEnd();
+      });
+  const Segment* base = segs->data();
+  size_t i = 0;
+  while (i < segs->size()) {
+    size_t j = i + 1;
+    while (j < segs->size() && (*segs)[j].stripe == (*segs)[i].stripe) {
+      ++j;
+    }
+    RunStripeWriteGroup(r.id, (*segs)[i].stripe,
+                        Span<Segment>{base + i, static_cast<int32_t>(j - i)}, 0,
+                        join);
+    i = j;
   }
 }
 
 void AfraidController::RunStripeWriteGroup(uint64_t request_id, int64_t stripe,
-                                           std::vector<Segment> segs, int32_t attempt,
-                                           std::function<void()> group_done) {
+                                           Span<Segment> segs, int32_t attempt,
+                                           JoinBlock* group_join) {
   const bool degraded =
       failed_disk_ >= 0 ||
       (recovering_disk_ >= 0 && stripe >= recovery_frontier_);
@@ -417,13 +411,13 @@ void AfraidController::RunStripeWriteGroup(uint64_t request_id, int64_t stripe,
   const RedundancyClass cls = RegionClassOf(stripe);
   if (!degraded && cls == RedundancyClass::kAlwaysAfraid) {
     ++afraid_mode_writes_;
-    AfraidWriteGroup(request_id, stripe, segs, attempt, std::move(group_done));
+    AfraidWriteGroup(request_id, stripe, segs, attempt, group_join);
     return;
   }
   if (!degraded && cls == RedundancyClass::kNeverParity) {
     // RAID 0-style region: mark-and-forget (the rebuilder skips it).
     ++afraid_mode_writes_;
-    AfraidWriteGroup(request_id, stripe, segs, attempt, std::move(group_done));
+    AfraidWriteGroup(request_id, stripe, segs, attempt, group_join);
     return;
   }
   const bool forced_raid5 = cls == RedundancyClass::kAlwaysRaid5;
@@ -456,19 +450,18 @@ void AfraidController::RunStripeWriteGroup(uint64_t request_id, int64_t stripe,
   last_write_raid5_ = use_raid5;
   if (use_raid5) {
     ++raid5_mode_writes_;
-    Raid5WriteGroup(request_id, stripe, segs, attempt, std::move(group_done));
+    Raid5WriteGroup(request_id, stripe, segs, attempt, group_join);
   } else {
     ++afraid_mode_writes_;
-    AfraidWriteGroup(request_id, stripe, segs, attempt, std::move(group_done));
+    AfraidWriteGroup(request_id, stripe, segs, attempt, group_join);
   }
 }
 
 void AfraidController::AfraidWriteGroup(uint64_t request_id, int64_t stripe,
-                                        const std::vector<Segment>& segs,
-                                        int32_t attempt,
-                                        std::function<void()> group_done) {
-  locks_.Acquire(stripe, LockMode::kShared, [this, request_id, stripe, segs, attempt,
-                                             group_done = std::move(group_done)] {
+                                        Span<Segment> segs, int32_t attempt,
+                                        JoinBlock* group_join) {
+  locks_.Acquire(stripe, LockMode::kShared, [this, request_id, stripe, segs,
+                                             attempt, group_join] {
     // Mark first: the bands must read as unredundant before any new data is
     // on disk, or a crash window would hide the stale parity.
     for (const Segment& seg : segs) {
@@ -478,17 +471,17 @@ void AfraidController::AfraidWriteGroup(uint64_t request_id, int64_t stripe,
     TriggerRebuildCheck();
 
     auto finish = [this, request_id, stripe, segs, attempt,
-                   group_done](bool all_ok) {
+                   group_join](bool all_ok) {
       locks_.Release(stripe, LockMode::kShared);
       if (!all_ok && attempt < 2) {
         // A disk died under us: rerun this group through the (now degraded)
         // RAID 5 path, which routes around the failed mechanism.
-        RunStripeWriteGroup(request_id, stripe, segs, attempt + 1, group_done);
+        RunStripeWriteGroup(request_id, stripe, segs, attempt + 1, group_join);
         return;
       }
-      group_done();
+      group_join->Dec(true);
     };
-    auto join = Join::Make(static_cast<int32_t>(segs.size()), std::move(finish));
+    JoinBlock* join = joins_.Make(segs.count, finish);
     for (const Segment& seg : segs) {
       const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
       const int64_t off = stripe * layout_.stripe_unit() + seg.offset_in_block;
@@ -526,12 +519,10 @@ void AfraidController::ApplyDataWrite(uint64_t request_id, const Segment& seg) {
 }
 
 void AfraidController::Raid5WriteGroup(uint64_t request_id, int64_t stripe,
-                                       const std::vector<Segment>& segs,
-                                       int32_t attempt,
-                                       std::function<void()> group_done) {
+                                       Span<Segment> segs, int32_t attempt,
+                                       JoinBlock* group_join) {
   locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, stripe, segs,
-                                                attempt,
-                                                group_done = std::move(group_done)] {
+                                                attempt, group_join] {
     const int32_t n = layout_.data_blocks_per_stripe();
     const int64_t unit = layout_.stripe_unit();
     // A stale band under any written range forces a from-scratch parity
@@ -545,13 +536,15 @@ void AfraidController::Raid5WriteGroup(uint64_t request_id, int64_t stripe,
       }
     }
 
-    // Which data blocks does this group touch, and fully or partially?
-    std::vector<const Segment*> by_block(static_cast<size_t>(n), nullptr);
+    // Which data blocks does this group touch, and fully or partially? The
+    // by-block table is reused scratch, consumed synchronously below (the
+    // write steps re-derive anything they need from the segment span).
+    by_block_scratch_.assign(static_cast<size_t>(n), nullptr);
     int32_t covered = 0;
     int32_t fully_covered = 0;
     for (const Segment& seg : segs) {
-      assert(by_block[static_cast<size_t>(seg.block_in_stripe)] == nullptr);
-      by_block[static_cast<size_t>(seg.block_in_stripe)] = &seg;
+      assert(by_block_scratch_[static_cast<size_t>(seg.block_in_stripe)] == nullptr);
+      by_block_scratch_[static_cast<size_t>(seg.block_in_stripe)] = &seg;
       ++covered;
       if (seg.length == unit) {
         ++fully_covered;
@@ -574,49 +567,57 @@ void AfraidController::Raid5WriteGroup(uint64_t request_id, int64_t stripe,
 
     const bool full_parity_rewrite = full_stripe || reconstruct;
     auto finish = [this, request_id, stripe, segs, attempt, full_parity_rewrite,
-                   group_done](bool all_ok) {
+                   group_join](bool all_ok) {
       if (all_ok && full_parity_rewrite) {
         ClearAllBands(stripe);  // The full parity unit is fresh again.
       }
       locks_.Release(stripe, LockMode::kExclusive);
       if (!all_ok && attempt < 2) {
-        RunStripeWriteGroup(request_id, stripe, segs, attempt + 1, group_done);
+        RunStripeWriteGroup(request_id, stripe, segs, attempt + 1, group_join);
         return;
       }
-      group_done();
+      group_join->Dec(true);
     };
+    JoinBlock* fin = joins_.Make(1, finish);
 
     if (full_stripe) {
-      WriteFullStripe(request_id, stripe, segs, std::move(finish));
+      WriteFullStripe(request_id, stripe, segs, fin);
     } else if (reconstruct) {
-      ReconstructWrite(request_id, stripe, segs, by_block, std::move(finish));
+      ReconstructWrite(request_id, stripe, segs, fin);
     } else {
-      ReadModifyWrite(request_id, stripe, segs, std::move(finish));
+      ReadModifyWrite(request_id, stripe, segs, fin);
     }
   });
 }
 
 void AfraidController::WriteFullStripe(uint64_t request_id, int64_t stripe,
-                                       const std::vector<Segment>& segs,
-                                       std::function<void(bool ok)> finish) {
+                                       Span<Segment> segs, JoinBlock* fin) {
   const int64_t unit = layout_.stripe_unit();
   const int32_t sector = cfg_.disk_spec.sector_bytes;
   const auto spu = static_cast<int32_t>(unit / sector);
 
   // Precompute the new parity: xor of the new data values at each position.
-  std::vector<uint64_t> parity_vals;
+  // The pooled buffer lives until this step's join fires (the parity-write
+  // callback reads it); released in the join's completion.
+  std::vector<uint64_t>* pv = nullptr;
   if (content_ != nullptr) {
-    parity_vals.assign(static_cast<size_t>(spu), 0);
+    pv = u64_pool_.Acquire();
+    pv->assign(static_cast<size_t>(spu), 0);
     for (const Segment& seg : segs) {
       const int64_t logical_first = seg.logical_offset / sector;
       for (int32_t i = 0; i < spu; ++i) {
-        parity_vals[static_cast<size_t>(i)] ^=
+        (*pv)[static_cast<size_t>(i)] ^=
             ContentModel::MixTag(request_id, logical_first + i);
       }
     }
   }
 
-  auto join = Join::Make(static_cast<int32_t>(segs.size()) + 1, std::move(finish));
+  JoinBlock* join = joins_.Make(segs.count + 1, [this, pv, fin](bool ok) {
+    if (pv != nullptr) {
+      u64_pool_.Release(pv);
+    }
+    fin->Dec(ok);
+  });
   for (const Segment& seg : segs) {
     const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
     if (disk == failed_disk_) {
@@ -637,11 +638,10 @@ void AfraidController::WriteFullStripe(uint64_t request_id, int64_t stripe,
     sim_->After(0, [join] { join->Dec(true); });
   } else {
     IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/true, DiskOpPurpose::kParityWrite,
-                [this, stripe, parity_vals = std::move(parity_vals), spu,
-                 join](bool ok) {
+                [this, stripe, pv, spu, join](bool ok) {
                   if (ok && content_ != nullptr) {
                     for (int32_t i = 0; i < spu; ++i) {
-                      content_->SetParity(stripe, i, parity_vals[static_cast<size_t>(i)]);
+                      content_->SetParity(stripe, i, (*pv)[static_cast<size_t>(i)]);
                     }
                   }
                   join->Dec(ok);
@@ -650,9 +650,7 @@ void AfraidController::WriteFullStripe(uint64_t request_id, int64_t stripe,
 }
 
 void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
-                                        const std::vector<Segment>& segs,
-                                        const std::vector<const Segment*>& by_block,
-                                        std::function<void(bool ok)> finish) {
+                                        Span<Segment> segs, JoinBlock* fin) {
   const int32_t n = layout_.data_blocks_per_stripe();
   const int64_t unit = layout_.stripe_unit();
   const int32_t sector = cfg_.disk_spec.sector_bytes;
@@ -660,12 +658,15 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
 
   // Precompute the post-write parity now: the exclusive lock guarantees no
   // other mutation of this stripe until we finish, so current content is
-  // exactly what the companion reads will observe.
-  std::vector<uint64_t> parity_vals;
+  // exactly what the companion reads will observe. by_block_scratch_ (filled
+  // by the caller) is consumed synchronously within this call; the pooled
+  // parity buffer lives until the write phase's join fires.
+  std::vector<uint64_t>* pv = nullptr;
   if (content_ != nullptr) {
-    parity_vals.assign(static_cast<size_t>(spu), 0);
+    pv = u64_pool_.Acquire();
+    pv->assign(static_cast<size_t>(spu), 0);
     for (int32_t j = 0; j < n; ++j) {
-      const Segment* seg = by_block[static_cast<size_t>(j)];
+      const Segment* seg = by_block_scratch_[static_cast<size_t>(j)];
       for (int32_t i = 0; i < spu; ++i) {
         uint64_t v = content_->GetData(stripe, j, i);
         if (seg != nullptr) {
@@ -676,21 +677,28 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
                                      seg->logical_offset / sector + (i - first));
           }
         }
-        parity_vals[static_cast<size_t>(i)] ^= v;
+        (*pv)[static_cast<size_t>(i)] ^= v;
       }
     }
   }
 
   // Phase 1: read (fully) every data block that is not fully overwritten.
-  auto write_phase = [this, request_id, stripe, segs, spu,
-                      parity_vals = std::move(parity_vals),
-                      finish = std::move(finish)](bool reads_ok) mutable {
+  auto write_phase = [this, request_id, stripe, segs, spu, pv,
+                      fin](bool reads_ok) {
     if (!reads_ok) {
-      finish(false);
+      if (pv != nullptr) {
+        u64_pool_.Release(pv);
+      }
+      fin->Dec(false);
       return;
     }
     const int64_t unit2 = layout_.stripe_unit();
-    auto join = Join::Make(static_cast<int32_t>(segs.size()) + 1, std::move(finish));
+    JoinBlock* join = joins_.Make(segs.count + 1, [this, pv, fin](bool ok) {
+      if (pv != nullptr) {
+        u64_pool_.Release(pv);
+      }
+      fin->Dec(ok);
+    });
     for (const Segment& seg : segs) {
       const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
       if (disk == failed_disk_) {
@@ -712,11 +720,11 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
     } else {
       IssueDiskOp(pd, stripe * unit2, unit2, /*is_write=*/true,
                   DiskOpPurpose::kParityWrite,
-                  [this, stripe, parity_vals, spu, join](bool ok) {
+                  [this, stripe, pv, spu, join](bool ok) {
                     if (ok && content_ != nullptr) {
                       for (int32_t i = 0; i < spu; ++i) {
                         content_->SetParity(stripe, i,
-                                            parity_vals[static_cast<size_t>(i)]);
+                                            (*pv)[static_cast<size_t>(i)]);
                       }
                     }
                     join->Dec(ok);
@@ -726,7 +734,7 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
 
   int32_t reads_needed = 0;
   for (int32_t j = 0; j < n; ++j) {
-    const Segment* seg = by_block[static_cast<size_t>(j)];
+    const Segment* seg = by_block_scratch_[static_cast<size_t>(j)];
     const bool fully = seg != nullptr && seg->length == unit;
     const int32_t disk = layout_.DataDisk(stripe, j);
     if (!fully && disk != failed_disk_) {
@@ -737,9 +745,9 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
     write_phase(true);
     return;
   }
-  auto read_join = Join::Make(reads_needed, std::move(write_phase));
+  JoinBlock* read_join = joins_.Make(reads_needed, write_phase);
   for (int32_t j = 0; j < n; ++j) {
-    const Segment* seg = by_block[static_cast<size_t>(j)];
+    const Segment* seg = by_block_scratch_[static_cast<size_t>(j)];
     const bool fully = seg != nullptr && seg->length == unit;
     const int32_t disk = layout_.DataDisk(stripe, j);
     if (fully || disk == failed_disk_) {
@@ -752,8 +760,7 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
 }
 
 void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
-                                       const std::vector<Segment>& segs,
-                                       std::function<void(bool ok)> finish) {
+                                       Span<Segment> segs, JoinBlock* fin) {
   const int64_t unit = layout_.stripe_unit();
   const int32_t sector = cfg_.disk_spec.sector_bytes;
 
@@ -768,10 +775,13 @@ void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
 
   // Precompute the xor delta (old ^ new) per parity sector in the span; the
   // exclusive lock makes "old" well defined for the whole group lifetime.
+  // Pooled buffer, released when the write phase's join fires (or on a
+  // failed read phase).
   const int32_t span_sectors = (span_hi - span_lo) / sector;
-  std::vector<uint64_t> delta;
+  std::vector<uint64_t>* delta = nullptr;
   if (content_ != nullptr) {
-    delta.assign(static_cast<size_t>(span_sectors), 0);
+    delta = u64_pool_.Acquire();
+    delta->assign(static_cast<size_t>(span_sectors), 0);
     for (const Segment& seg : segs) {
       const int32_t first = seg.offset_in_block / sector;
       const int32_t count = seg.length / sector;
@@ -780,20 +790,27 @@ void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
         const uint64_t old_v =
             content_->GetData(stripe, seg.block_in_stripe, first + i);
         const uint64_t new_v = ContentModel::MixTag(request_id, logical_first + i);
-        delta[static_cast<size_t>(first + i - span_lo / sector)] ^= old_v ^ new_v;
+        (*delta)[static_cast<size_t>(first + i - span_lo / sector)] ^= old_v ^ new_v;
       }
     }
   }
 
   auto write_phase = [this, request_id, stripe, segs, span_lo, span_hi, sector,
-                      delta = std::move(delta),
-                      finish = std::move(finish)](bool reads_ok) mutable {
+                      delta, fin](bool reads_ok) {
     if (!reads_ok) {
-      finish(false);
+      if (delta != nullptr) {
+        u64_pool_.Release(delta);
+      }
+      fin->Dec(false);
       return;
     }
     const int64_t unit2 = layout_.stripe_unit();
-    auto join = Join::Make(static_cast<int32_t>(segs.size()) + 1, std::move(finish));
+    JoinBlock* join = joins_.Make(segs.count + 1, [this, delta, fin](bool ok) {
+      if (delta != nullptr) {
+        u64_pool_.Release(delta);
+      }
+      fin->Dec(ok);
+    });
     for (const Segment& seg : segs) {
       const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
       const int64_t off = stripe * unit2 + seg.offset_in_block;
@@ -811,10 +828,10 @@ void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
                 [this, stripe, span_lo, sector, delta, join](bool ok) {
                   if (ok && content_ != nullptr) {
                     const int32_t first = span_lo / sector;
-                    for (size_t i = 0; i < delta.size(); ++i) {
+                    for (size_t i = 0; i < delta->size(); ++i) {
                       const auto s = first + static_cast<int32_t>(i);
                       content_->SetParity(stripe, s,
-                                          content_->GetParity(stripe, s) ^ delta[i]);
+                                          content_->GetParity(stripe, s) ^ (*delta)[i]);
                     }
                   }
                   join->Dec(ok);
@@ -822,19 +839,20 @@ void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
   };
 
   // Phase 1: pre-read old data (skipped on controller cache hits) and old
-  // parity. These are the extra critical-path I/Os AFRAID eliminates.
+  // parity. These are the extra critical-path I/Os AFRAID eliminates. The
+  // need-read table is reused scratch, consumed before this call returns.
   int32_t reads_needed = 1;  // Parity span.
-  std::vector<const Segment*> need_read;
+  need_read_scratch_.clear();
   for (const Segment& seg : segs) {
     const int64_t key = BlockKey(stripe, seg.block_in_stripe);
     if (read_cache_.Lookup(key) || staging_.Lookup(key)) {
       continue;  // Old contents already in the controller.
     }
-    need_read.push_back(&seg);
+    need_read_scratch_.push_back(&seg);
     ++reads_needed;
   }
-  auto read_join = Join::Make(reads_needed, std::move(write_phase));
-  for (const Segment* seg : need_read) {
+  JoinBlock* read_join = joins_.Make(reads_needed, write_phase);
+  for (const Segment* seg : need_read_scratch_) {
     const int32_t disk = layout_.DataDisk(stripe, seg->block_in_stripe);
     const int64_t off = stripe * unit + seg->offset_in_block;
     IssueDiskOp(disk, off, seg->length, /*is_write=*/false,
@@ -903,19 +921,19 @@ AfraidController::RedundancyClass AfraidController::RegionClassOf(
 // First dirty band key at/after `from` (wrapping) whose stripe's region
 // permits parity maintenance; -1 if none.
 int64_t AfraidController::PickRebuildableKey(int64_t from) const {
-  const auto& dirty = nvram_.DirtyStripes();
-  if (dirty.empty()) {
+  // NextDirty wraps, so walking key+1 from the first hit visits every dirty
+  // key exactly once in the same order the ordered-set scan used to.
+  const int64_t first = nvram_.NextDirty(from);
+  if (first < 0) {
     return -1;
   }
-  auto it = dirty.lower_bound(from);
-  for (size_t i = 0; i < dirty.size(); ++i, ++it) {
-    if (it == dirty.end()) {
-      it = dirty.begin();
+  int64_t key = first;
+  do {
+    if (RegionClassOf(key / cfg_.marks_per_stripe) != RedundancyClass::kNeverParity) {
+      return key;
     }
-    if (RegionClassOf(*it / cfg_.marks_per_stripe) != RedundancyClass::kNeverParity) {
-      return *it;
-    }
-  }
+    key = nvram_.NextDirty(key + 1);
+  } while (key != first);
   return -1;
 }
 
@@ -931,7 +949,7 @@ void AfraidController::RebuildNext() {
     return;
   }
   const SimTime step_start = sim_->Now();
-  RebuildBand(key, [this, key, step_start](bool ok) {
+  JoinBlock* step_join = joins_.Make(1, [this, key, step_start](bool ok) {
     rebuild_cursor_ = key + 1;
     if (rebuild_probe_) {
       rebuild_probe_.Complete("band", step_start, sim_->Now());
@@ -953,18 +971,18 @@ void AfraidController::RebuildNext() {
       EndRebuildPass();
     }
   });
+  RebuildBand(key, step_join);
 }
 
-void AfraidController::RebuildBand(int64_t band_key,
-                                   std::function<void(bool ok)> step_done) {
+void AfraidController::RebuildBand(int64_t band_key, JoinBlock* step_join) {
   const int64_t stripe = band_key / cfg_.marks_per_stripe;
   const auto band = static_cast<int32_t>(band_key % cfg_.marks_per_stripe);
   locks_.Acquire(stripe, LockMode::kExclusive, [this, band_key, stripe, band,
-                                                step_done = std::move(step_done)] {
+                                                step_join] {
     if (!nvram_.IsDirty(band_key)) {
       // A racing RAID 5-mode write refreshed the parity while we waited.
       locks_.Release(stripe, LockMode::kExclusive);
-      step_done(true);
+      step_join->Dec(true);
       return;
     }
     const int32_t n = layout_.data_blocks_per_stripe();
@@ -975,38 +993,36 @@ void AfraidController::RebuildBand(int64_t band_key,
     const auto first_sector = static_cast<int32_t>(band * band_height / sector);
     const auto band_sectors = static_cast<int32_t>(band_height / sector);
 
-    auto write_parity = [this, band_key, stripe, band_off, band_height, first_sector,
-                         band_sectors](bool reads_ok, std::function<void(bool)> done) {
-      if (!reads_ok) {
-        done(false);
-        return;
-      }
-      const int32_t pd = layout_.ParityDisk(stripe);
-      IssueDiskOp(pd, band_off, band_height, /*is_write=*/true,
-                  DiskOpPurpose::kRebuildWrite,
-                  [this, band_key, stripe, first_sector, band_sectors,
-                   done](bool ok) {
-                    if (ok) {
-                      if (content_ != nullptr) {
-                        for (int32_t i = 0; i < band_sectors; ++i) {
-                          content_->SetParity(stripe, first_sector + i,
-                                              content_->XorOfData(stripe,
-                                                                  first_sector + i));
+    // Read every data block's band; once all are in, write the recomputed
+    // parity band, then release the lock and report to the step join.
+    JoinBlock* read_join = joins_.Make(
+        n, [this, band_key, stripe, band_off, band_height, first_sector,
+            band_sectors, step_join](bool reads_ok) {
+          if (!reads_ok) {
+            locks_.Release(stripe, LockMode::kExclusive);
+            step_join->Dec(false);
+            return;
+          }
+          const int32_t pd = layout_.ParityDisk(stripe);
+          IssueDiskOp(pd, band_off, band_height, /*is_write=*/true,
+                      DiskOpPurpose::kRebuildWrite,
+                      [this, band_key, stripe, first_sector, band_sectors,
+                       step_join](bool ok) {
+                        if (ok) {
+                          if (content_ != nullptr) {
+                            for (int32_t i = 0; i < band_sectors; ++i) {
+                              content_->SetParity(
+                                  stripe, first_sector + i,
+                                  content_->XorOfData(stripe, first_sector + i));
+                            }
+                          }
+                          ClearBandKey(band_key);
+                          ++stripes_rebuilt_;
                         }
-                      }
-                      ClearBandKey(band_key);
-                      ++stripes_rebuilt_;
-                    }
-                    done(ok);
-                  });
-    };
-
-    auto finish = [this, stripe, step_done](bool ok) {
-      locks_.Release(stripe, LockMode::kExclusive);
-      step_done(ok);
-    };
-    auto read_join = Join::Make(
-        n, [write_parity, finish](bool ok) { write_parity(ok, finish); });
+                        locks_.Release(stripe, LockMode::kExclusive);
+                        step_join->Dec(ok);
+                      });
+        });
     for (int32_t j = 0; j < n; ++j) {
       const int32_t d = layout_.DataDisk(stripe, j);
       IssueDiskOp(d, band_off, band_height, /*is_write=*/false,
@@ -1161,7 +1177,7 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
                       advance(ok2);
                     });
       };
-      auto join = Join::Make(n, std::move(write));
+      JoinBlock* join = joins_.Make(n, std::move(write));
       for (int32_t j = 0; j < n; ++j) {
         IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
                     /*is_write=*/false, DiskOpPurpose::kRecoveryRead,
@@ -1215,7 +1231,7 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
                     advance(ok2);
                   });
     };
-    auto join = Join::Make(n, std::move(write));  // n-1 data + parity reads.
+    JoinBlock* join = joins_.Make(n, std::move(write));  // n-1 data + parity reads.
     for (int32_t j = 0; j < n; ++j) {
       if (j == j_target) {
         continue;
@@ -1284,7 +1300,7 @@ void AfraidController::ScrubNextStripe(int64_t stripe) {
                     advance(ok2);
                   });
     };
-    auto join = Join::Make(n, std::move(write));
+    JoinBlock* join = joins_.Make(n, std::move(write));
     for (int32_t j = 0; j < n; ++j) {
       IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
                   /*is_write=*/false, DiskOpPurpose::kRebuildRead,
@@ -1302,7 +1318,8 @@ std::vector<uint64_t> AfraidController::ReadLogicalCurrent(int64_t offset,
   assert(offset % sector == 0 && length % sector == 0);
   std::vector<uint64_t> out;
   out.reserve(static_cast<size_t>(length / sector));
-  for (const Segment& seg : layout_.Split(offset, length)) {
+  layout_.SplitInto(offset, length, &read_back_scratch_);
+  for (const Segment& seg : read_back_scratch_) {
     const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
     const bool degraded =
         disk == failed_disk_ ||

@@ -53,6 +53,7 @@
 #include "core/policy.h"
 #include "disk/disk_model.h"
 #include "obs/probe.h"
+#include "sim/arena.h"
 #include "sim/simulator.h"
 #include "stats/time_weighted.h"
 
@@ -205,28 +206,28 @@ class AfraidController : public ArrayController {
 
  private:
   // --- Client paths ---
+  // The write-path plumbing hands pooled storage around: `segs` spans point
+  // into a seg_pool_ vector owned by the request's join, `fin`/`group_join`
+  // are pooled join blocks, and the callbacks must not retain any of them
+  // past their completion (the arena reuse contract, see DESIGN.md).
   void DoRead(const ClientRequest& r, RequestDone done);
   void DoWrite(const ClientRequest& r, RequestDone done);
   void RunStripeWriteGroup(uint64_t request_id, int64_t stripe,
-                           std::vector<Segment> segs, int32_t attempt,
-                           std::function<void()> group_done);
-  void AfraidWriteGroup(uint64_t request_id, int64_t stripe,
-                        const std::vector<Segment>& segs, int32_t attempt,
-                        std::function<void()> group_done);
-  void Raid5WriteGroup(uint64_t request_id, int64_t stripe,
-                       const std::vector<Segment>& segs, int32_t attempt,
-                       std::function<void()> group_done);
-  void WriteFullStripe(uint64_t request_id, int64_t stripe,
-                       const std::vector<Segment>& segs,
-                       std::function<void(bool ok)> finish);
-  void ReconstructWrite(uint64_t request_id, int64_t stripe,
-                        const std::vector<Segment>& segs,
-                        const std::vector<const Segment*>& by_block,
-                        std::function<void(bool ok)> finish);
-  void ReadModifyWrite(uint64_t request_id, int64_t stripe,
-                       const std::vector<Segment>& segs,
-                       std::function<void(bool ok)> finish);
-  void DegradedReadSegment(const Segment& seg, std::function<void()> seg_done);
+                           Span<Segment> segs, int32_t attempt,
+                           JoinBlock* group_join);
+  void AfraidWriteGroup(uint64_t request_id, int64_t stripe, Span<Segment> segs,
+                        int32_t attempt, JoinBlock* group_join);
+  void Raid5WriteGroup(uint64_t request_id, int64_t stripe, Span<Segment> segs,
+                       int32_t attempt, JoinBlock* group_join);
+  // Each runs `fin->Dec(ok)` exactly once when the whole step completes.
+  void WriteFullStripe(uint64_t request_id, int64_t stripe, Span<Segment> segs,
+                       JoinBlock* fin);
+  void ReconstructWrite(uint64_t request_id, int64_t stripe, Span<Segment> segs,
+                        JoinBlock* fin);
+  void ReadModifyWrite(uint64_t request_id, int64_t stripe, Span<Segment> segs,
+                       JoinBlock* fin);
+  // Runs `parent->Dec(true)` when the reconstruction completes.
+  void DegradedReadSegment(const Segment& seg, JoinBlock* parent);
   // Post-completion bookkeeping of one data-segment write (caches, content).
   void ApplyDataWrite(uint64_t request_id, const Segment& seg);
 
@@ -237,7 +238,8 @@ class AfraidController : public ArrayController {
   void BeginRebuildPass();
   void EndRebuildPass();
   void RebuildNext();
-  void RebuildBand(int64_t band_key, std::function<void(bool ok)> step_done);
+  // Runs `step_join->Dec(ok)` when the band step completes.
+  void RebuildBand(int64_t band_key, JoinBlock* step_join);
 
   // --- Recovery sweeps ---
   void ReconstructNextStripe(int64_t stripe);
@@ -245,7 +247,7 @@ class AfraidController : public ArrayController {
 
   // --- Helpers ---
   void IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length, bool is_write,
-                   DiskOpPurpose purpose, std::function<void(bool ok)> done);
+                   DiskOpPurpose purpose, DiskDone done);
   // Central loss accounting: updates the counters and notifies the listener.
   void RecordLoss(LossCause cause, int64_t stripe, int64_t bytes);
 
@@ -298,6 +300,17 @@ class AfraidController : public ArrayController {
   BlockLruCache staging_;
   std::unique_ptr<ContentModel> content_;
   std::unique_ptr<IdleDetector> idle_detector_;
+
+  // Request-path scratch arena: pooled joins, pooled per-request segment
+  // vectors (alive until the request's join fires), pooled parity/delta
+  // buffers, and synchronous-only scratch vectors reused across calls.
+  JoinPool joins_;
+  VecPool<Segment> seg_pool_;
+  VecPool<uint64_t> u64_pool_;
+  std::vector<Segment> read_split_scratch_;          // DoRead (synchronous).
+  mutable std::vector<Segment> read_back_scratch_;   // ReadLogicalCurrent.
+  std::vector<const Segment*> by_block_scratch_;     // Raid5WriteGroup.
+  std::vector<const Segment*> need_read_scratch_;    // ReadModifyWrite.
 
   SimTime start_time_;
   int32_t outstanding_clients_ = 0;

@@ -7,25 +7,6 @@
 #include "disk/geometry.h"
 
 namespace afraid {
-namespace {
-
-struct Join {
-  int32_t remaining = 0;
-  std::function<void()> done;
-  static std::shared_ptr<Join> Make(int32_t n, std::function<void()> done) {
-    auto j = std::make_shared<Join>();
-    j->remaining = n;
-    j->done = std::move(done);
-    return j;
-  }
-  void Dec() {
-    if (--remaining == 0) {
-      done();
-    }
-  }
-};
-
-}  // namespace
 
 ParityLogController::ParityLogController(Simulator* sim, const ArrayConfig& config,
                                          const ParityLogConfig& log_config)
@@ -48,7 +29,7 @@ ParityLogController::~ParityLogController() = default;
 
 void ParityLogController::IssueDiskOp(int32_t disk, int64_t byte_offset,
                                       int64_t length, bool is_write,
-                                      std::function<void(bool)> done) {
+                                      DiskDone done) {
   const int32_t sector = cfg_.disk_spec.sector_bytes;
   assert(byte_offset % sector == 0 && length > 0 && length % sector == 0);
   ++disk_ops_;
@@ -57,7 +38,7 @@ void ParityLogController::IssueDiskOp(int32_t disk, int64_t byte_offset,
   op.sectors = static_cast<int32_t>(length / sector);
   op.is_write = is_write;
   disks_[static_cast<size_t>(disk)]->Submit(
-      op, [done = std::move(done)](const DiskOpResult& r) { done(r.ok); });
+      op, [done = std::move(done)](const DiskOpResult& r) mutable { done(r.ok); });
 }
 
 void ParityLogController::Submit(const ClientRequest& request, RequestDone done) {
@@ -72,51 +53,52 @@ void ParityLogController::Submit(const ClientRequest& request, RequestDone done)
 }
 
 void ParityLogController::DoRead(const ClientRequest& r, RequestDone done) {
-  const auto segs = layout_.Split(r.offset, r.size);
-  auto join = Join::Make(static_cast<int32_t>(segs.size()), std::move(done));
-  for (const Segment& seg : segs) {
+  layout_.SplitInto(r.offset, r.size, &split_scratch_);
+  JoinBlock* join = joins_.Make(
+      static_cast<int32_t>(split_scratch_.size()),
+      [done = std::move(done)](bool) mutable { done(); });
+  for (const Segment& seg : split_scratch_) {
     IssueDiskOp(layout_.DataDisk(seg.stripe, seg.block_in_stripe),
                 seg.stripe * layout_.stripe_unit() + seg.offset_in_block, seg.length,
-                /*is_write=*/false, [join](bool) { join->Dec(); });
+                /*is_write=*/false, [join](bool) { join->Dec(true); });
   }
 }
 
 void ParityLogController::DoWrite(const ClientRequest& r, RequestDone done) {
-  const auto segs = layout_.Split(r.offset, r.size);
-  auto join = Join::Make(static_cast<int32_t>(segs.size()), std::move(done));
-  for (const Segment& seg : segs) {
-    auto run = [this, id = r.id, seg, join] {
-      WriteSegment(id, seg, [join] { join->Dec(); });
-    };
+  layout_.SplitInto(r.offset, r.size, &split_scratch_);
+  JoinBlock* join = joins_.Make(
+      static_cast<int32_t>(split_scratch_.size()),
+      [done = std::move(done)](bool) mutable { done(); });
+  for (const Segment& seg : split_scratch_) {
     if (log_used_ >= log_cfg_.log_region_bytes) {
       // The log is hard-full: "the pending parity updates must be applied
       // immediately, interrupting foreground processing to do so." The
       // write resumes as soon as a replay batch reclaims space.
       ++hard_stalls_;
-      stalled_.push_back(std::move(run));
+      stalled_.push_back(StalledWrite{r.id, seg, join});
     } else {
-      run();
+      WriteSegment(r.id, seg, join);
     }
   }
 }
 
 void ParityLogController::WriteSegment(uint64_t request_id, const Segment& seg,
-                                       std::function<void()> seg_done) {
+                                       JoinBlock* join) {
   (void)request_id;
   const int64_t stripe = seg.stripe;
-  locks_.Acquire(stripe, LockMode::kExclusive, [this, seg, stripe,
-                                                seg_done = std::move(seg_done)] {
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, seg, stripe, join] {
     const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
     const int64_t off = stripe * layout_.stripe_unit() + seg.offset_in_block;
+    const int32_t length = seg.length;
     // Read-modify-write on the data block only; the parity-update image
     // (old xor new) goes to the NVRAM log buffer instead of the parity disk.
-    IssueDiskOp(disk, off, seg.length, /*is_write=*/false,
-                [this, seg, stripe, disk, off, seg_done](bool) {
-                  IssueDiskOp(disk, off, seg.length, /*is_write=*/true,
-                              [this, seg, stripe, seg_done](bool) {
-                                AppendImages(seg.length);
+    IssueDiskOp(disk, off, length, /*is_write=*/false,
+                [this, length, stripe, disk, off, join](bool) {
+                  IssueDiskOp(disk, off, length, /*is_write=*/true,
+                              [this, length, stripe, join](bool) {
+                                AppendImages(length);
                                 locks_.Release(stripe, LockMode::kExclusive);
-                                seg_done();
+                                join->Dec(true);
                               });
                 });
   });
@@ -184,14 +166,14 @@ void ParityLogController::ReplayNextBatch(int64_t remaining_bytes) {
   // requests share the disks FCFS -- this is the Section 2 "interference".
   const auto parity_units = static_cast<int32_t>((batch_bytes + unit - 1) / unit);
   auto after_log = [this, parity_units, unit, batch_bytes](bool) {
-    auto join = Join::Make(parity_units, [this, batch_bytes] {
+    JoinBlock* join = joins_.Make(parity_units, [this, batch_bytes](bool) {
       // The batch's log space is reclaimed: resume any hard-stalled writes.
       log_used_ = std::max<int64_t>(0, log_used_ - batch_bytes);
-      std::vector<std::function<void()>> runnable;
-      runnable.swap(stalled_);
-      for (auto& run : runnable) {
-        run();
+      runnable_scratch_.swap(stalled_);
+      for (const StalledWrite& w : runnable_scratch_) {
+        WriteSegment(w.request_id, w.seg, w.join);
       }
+      runnable_scratch_.clear();
       ReplayNextBatch(log_used_);
     });
     for (int32_t i = 0; i < parity_units; ++i) {
@@ -202,7 +184,7 @@ void ParityLogController::ReplayNextBatch(int64_t remaining_bytes) {
       IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/false,
                   [this, pd, stripe, unit, join](bool) {
                     IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/true,
-                                [join](bool) { join->Dec(); });
+                                [join](bool) { join->Dec(true); });
                   });
     }
     replay_position_ += parity_units;

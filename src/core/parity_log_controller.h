@@ -30,7 +30,6 @@
 #define AFRAID_CORE_PARITY_LOG_CONTROLLER_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -39,6 +38,7 @@
 #include "array/stripe_lock.h"
 #include "core/array_config.h"
 #include "disk/disk_model.h"
+#include "sim/arena.h"
 #include "sim/simulator.h"
 
 namespace afraid {
@@ -78,10 +78,17 @@ class ParityLogController : public ArrayController {
   bool ReplayInProgress() const { return replaying_; }
 
  private:
+  // A write segment parked while the log is hard-full, resumed (in arrival
+  // order) when a replay batch reclaims space.
+  struct StalledWrite {
+    uint64_t request_id = 0;
+    Segment seg;
+    JoinBlock* join = nullptr;
+  };
+
   void DoRead(const ClientRequest& r, RequestDone done);
   void DoWrite(const ClientRequest& r, RequestDone done);
-  void WriteSegment(uint64_t request_id, const Segment& seg,
-                    std::function<void()> seg_done);
+  void WriteSegment(uint64_t request_id, const Segment& seg, JoinBlock* join);
   // Appends `bytes` of parity-update images to the NVRAM buffer; may
   // trigger a buffer flush to the on-disk log, and then a full replay.
   void AppendImages(int64_t bytes);
@@ -89,7 +96,7 @@ class ParityLogController : public ArrayController {
   void StartReplay();
   void ReplayNextBatch(int64_t remaining_bytes);
   void IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length, bool is_write,
-                   std::function<void(bool)> done);
+                   DiskDone done);
 
   Simulator* sim_;
   ArrayConfig cfg_;
@@ -98,11 +105,16 @@ class ParityLogController : public ArrayController {
   StripeLayout layout_;
   StripeLockTable locks_;
 
+  // Steady-state pooled storage (see DESIGN.md, "Arena reuse contract").
+  JoinPool joins_;
+  std::vector<Segment> split_scratch_;  // Consumed synchronously per request.
+  std::vector<StalledWrite> stalled_;   // Writes waiting for replay.
+  std::vector<StalledWrite> runnable_scratch_;
+
   int64_t nvram_used_ = 0;   // Bytes of images in the NVRAM buffer.
   int64_t log_used_ = 0;     // Bytes of images in the on-disk log region.
   int32_t log_disk_cursor_ = 0;  // Round-robin disk for log segment writes.
   bool replaying_ = false;
-  std::vector<std::function<void()>> stalled_;  // Writes waiting for replay.
 
   int64_t replay_position_ = 0;  // Stripe cursor for replayed parity units.
   static constexpr double kHighWater = 0.75;

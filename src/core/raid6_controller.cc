@@ -2,29 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <utility>
 
 namespace afraid {
-namespace {
-
-struct Join {
-  int32_t remaining = 0;
-  std::function<void()> done;
-  static std::shared_ptr<Join> Make(int32_t n, std::function<void()> done) {
-    auto j = std::make_shared<Join>();
-    j->remaining = n;
-    j->done = std::move(done);
-    return j;
-  }
-  void Dec() {
-    if (--remaining == 0) {
-      done();
-    }
-  }
-};
-
-}  // namespace
 
 std::string Raid6ModeName(Raid6Mode mode) {
   switch (mode) {
@@ -119,7 +99,7 @@ void Raid6Controller::ClearStale(int64_t stripe) {
 }
 
 void Raid6Controller::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length,
-                                  bool is_write, std::function<void(bool)> done) {
+                                  bool is_write, DiskDone done) {
   const int32_t sector = cfg_.disk_spec.sector_bytes;
   assert(byte_offset % sector == 0 && length > 0 && length % sector == 0);
   ++disk_ops_;
@@ -128,7 +108,7 @@ void Raid6Controller::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t len
   op.sectors = static_cast<int32_t>(length / sector);
   op.is_write = is_write;
   disks_[static_cast<size_t>(disk)]->Submit(
-      op, [done = std::move(done)](const DiskOpResult& r) { done(r.ok); });
+      op, [done = std::move(done)](const DiskOpResult& r) mutable { done(r.ok); });
 }
 
 void Raid6Controller::NoteClientStart() {
@@ -149,52 +129,75 @@ void Raid6Controller::Submit(const ClientRequest& request, RequestDone done) {
   assert(request.offset >= 0 &&
          request.offset + request.size <= layout_.data_capacity_bytes());
   NoteClientStart();
-  auto wrapped = [this, done = std::move(done)] {
-    done();
-    NoteClientEnd();
-  };
+  // The request join folds NoteClientEnd in after `done` (same order the old
+  // wrapper ran them), sparing a second allocation-prone indirection.
   if (request.is_write) {
-    DoWrite(request, std::move(wrapped));
+    DoWrite(request, std::move(done));
   } else {
-    DoRead(request, std::move(wrapped));
+    DoRead(request, std::move(done));
   }
 }
 
 void Raid6Controller::DoRead(const ClientRequest& r, RequestDone done) {
-  const auto segs = layout_.Split(r.offset, r.size);
-  auto join = Join::Make(static_cast<int32_t>(segs.size()), std::move(done));
-  for (const Segment& seg : segs) {
+  layout_.SplitInto(r.offset, r.size, &read_split_scratch_);
+  JoinBlock* join = joins_.Make(
+      static_cast<int32_t>(read_split_scratch_.size()),
+      [this, done = std::move(done)](bool) mutable {
+        done();
+        NoteClientEnd();
+      });
+  for (const Segment& seg : read_split_scratch_) {
     const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
     IssueDiskOp(disk, seg.stripe * layout_.stripe_unit() + seg.offset_in_block,
-                seg.length, /*is_write=*/false, [join](bool) { join->Dec(); });
+                seg.length, /*is_write=*/false, [join](bool) { join->Dec(true); });
   }
 }
 
 void Raid6Controller::DoWrite(const ClientRequest& r, RequestDone done) {
-  const auto segs = layout_.Split(r.offset, r.size);
-  std::map<int64_t, std::vector<Segment>> groups;
-  for (const Segment& seg : segs) {
-    groups[seg.stripe].push_back(seg);
+  // Split emits segments with nondecreasing stripe numbers, so grouping by
+  // stripe is a contiguous-run scan -- same groups, same ascending dispatch
+  // order as the ordered-map grouping this replaces. The pooled vector stays
+  // alive (spans point into it) until the request join fires.
+  std::vector<Segment>* segs = seg_pool_.Acquire();
+  layout_.SplitInto(r.offset, r.size, segs);
+  int32_t n_groups = 0;
+  for (size_t i = 0; i < segs->size(); ++i) {
+    if (i == 0 || (*segs)[i].stripe != (*segs)[i - 1].stripe) {
+      ++n_groups;
+    }
   }
-  auto join = Join::Make(static_cast<int32_t>(groups.size()), std::move(done));
-  for (auto& [stripe, group] : groups) {
-    WriteStripeGroup(r.id, stripe, group, [join] { join->Dec(); });
+  JoinBlock* join =
+      joins_.Make(n_groups, [this, done = std::move(done), segs](bool) mutable {
+        seg_pool_.Release(segs);
+        done();
+        NoteClientEnd();
+      });
+  const Segment* base = segs->data();
+  size_t i = 0;
+  while (i < segs->size()) {
+    size_t j = i + 1;
+    while (j < segs->size() && (*segs)[j].stripe == (*segs)[i].stripe) {
+      ++j;
+    }
+    WriteStripeGroup(r.id, (*segs)[i].stripe,
+                     Span<Segment>{base + i, static_cast<int32_t>(j - i)}, join);
+    i = j;
   }
 }
 
 void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
-                                       const std::vector<Segment>& segs,
-                                       std::function<void()> group_done) {
+                                       Span<Segment> segs, JoinBlock* group_join) {
   // For clarity this controller serialises all work on a stripe (writes and
   // rebuilds alike take the stripe exclusively); cross-stripe parallelism is
   // untouched. The RAID 5-family controller models the finer shared locking.
   locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, stripe, segs,
-                                                group_done = std::move(group_done)] {
+                                                group_join] {
     const int32_t sector = cfg_.disk_spec.sector_bytes;
     const int64_t unit = layout_.stripe_unit();
 
     // Parity deltas over the touched span (valid because of the exclusive
-    // lock): dP = old ^ new; dQ = g^j * (old ^ new).
+    // lock): dP = old ^ new; dQ = g^j * (old ^ new). Pooled buffers,
+    // released when the write phase's join fires.
     int32_t span_lo = INT32_MAX;
     int32_t span_hi = 0;
     for (const Segment& seg : segs) {
@@ -203,9 +206,13 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
     }
     const int32_t first_sector = span_lo / sector;
     const int32_t span_sectors = (span_hi - span_lo) / sector;
-    std::vector<uint64_t> dp(static_cast<size_t>(span_sectors), 0);
-    std::vector<uint64_t> dq(static_cast<size_t>(span_sectors), 0);
+    std::vector<uint64_t>* dp = nullptr;
+    std::vector<uint64_t>* dq = nullptr;
     if (content_ != nullptr) {
+      dp = u64_pool_.Acquire();
+      dq = u64_pool_.Acquire();
+      dp->assign(static_cast<size_t>(span_sectors), 0);
+      dq->assign(static_cast<size_t>(span_sectors), 0);
       for (const Segment& seg : segs) {
         const int32_t first = seg.offset_in_block / sector;
         const int32_t count = seg.length / sector;
@@ -215,8 +222,8 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
               content_->GetData(stripe, seg.block_in_stripe, first + i);
           const uint64_t new_v = ContentModel::MixTag(request_id, logical_first + i);
           const uint64_t delta = old_v ^ new_v;
-          dp[static_cast<size_t>(first + i - first_sector)] ^= delta;
-          dq[static_cast<size_t>(first + i - first_sector)] ^=
+          (*dp)[static_cast<size_t>(first + i - first_sector)] ^= delta;
+          (*dq)[static_cast<size_t>(first + i - first_sector)] ^=
               Gf256::MulWord(delta, Gf256::Pow2(seg.block_in_stripe));
         }
       }
@@ -225,23 +232,25 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
     const bool update_p = mode_ != Raid6Mode::kDeferBoth;
     const bool update_q = mode_ == Raid6Mode::kSynchronous;
 
-    auto finish = [this, stripe, group_done] {
-      locks_.Release(stripe, LockMode::kExclusive);
-      // Deferred parity work may now be pending.
-      if (mode_ != Raid6Mode::kSynchronous && q_stale_.DirtyCount() > 0 &&
-          drain_done_ != nullptr && !rebuilding_) {
-        MaybeStartRebuild();
-      }
-      group_done();
-    };
-
     auto write_phase = [this, request_id, stripe, segs, span_lo, span_hi,
-                        first_sector, sector, unit, update_p, update_q,
-                        dp = std::move(dp), dq = std::move(dq),
-                        finish = std::move(finish)]() mutable {
-      const int32_t writes = static_cast<int32_t>(segs.size()) +
-                             (update_p ? 1 : 0) + (update_q ? 1 : 0);
-      auto join = Join::Make(writes, std::move(finish));
+                        first_sector, sector, unit, update_p, update_q, dp, dq,
+                        group_join](bool) {
+      const int32_t writes =
+          segs.count + (update_p ? 1 : 0) + (update_q ? 1 : 0);
+      JoinBlock* join = joins_.Make(writes, [this, stripe, dp, dq,
+                                             group_join](bool) {
+        if (dp != nullptr) {
+          u64_pool_.Release(dp);
+          u64_pool_.Release(dq);
+        }
+        locks_.Release(stripe, LockMode::kExclusive);
+        // Deferred parity work may now be pending.
+        if (mode_ != Raid6Mode::kSynchronous && q_stale_.DirtyCount() > 0 &&
+            drain_done_ != nullptr && !rebuilding_) {
+          MaybeStartRebuild();
+        }
+        group_join->Dec(true);
+      });
       for (const Segment& seg : segs) {
         const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
         IssueDiskOp(disk, stripe * unit + seg.offset_in_block, seg.length,
@@ -256,7 +265,7 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
                                                                  logical_first + i));
                         }
                       }
-                      join->Dec();
+                      join->Dec(true);
                     });
       }
       if (update_p) {
@@ -264,13 +273,14 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
                     span_hi - span_lo, /*is_write=*/true,
                     [this, stripe, first_sector, dp, join](bool ok) {
                       if (ok && content_ != nullptr) {
-                        for (size_t i = 0; i < dp.size(); ++i) {
+                        for (size_t i = 0; i < dp->size(); ++i) {
                           const auto s = first_sector + static_cast<int32_t>(i);
                           content_->SetParity(
-                              stripe, s, content_->GetParity(stripe, s, 0) ^ dp[i], 0);
+                              stripe, s, content_->GetParity(stripe, s, 0) ^ (*dp)[i],
+                              0);
                         }
                       }
-                      join->Dec();
+                      join->Dec(true);
                     });
       }
       if (update_q) {
@@ -278,13 +288,14 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
                     span_hi - span_lo, /*is_write=*/true,
                     [this, stripe, first_sector, dq, join](bool ok) {
                       if (ok && content_ != nullptr) {
-                        for (size_t i = 0; i < dq.size(); ++i) {
+                        for (size_t i = 0; i < dq->size(); ++i) {
                           const auto s = first_sector + static_cast<int32_t>(i);
                           content_->SetParity(
-                              stripe, s, content_->GetParity(stripe, s, 1) ^ dq[i], 1);
+                              stripe, s, content_->GetParity(stripe, s, 1) ^ (*dq)[i],
+                              1);
                         }
                       }
-                      join->Dec();
+                      join->Dec(true);
                     });
       }
     };
@@ -315,26 +326,26 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
       ++reads;
     }
     if (reads == 0) {
-      write_phase();
+      write_phase(true);
       return;
     }
-    auto read_join = Join::Make(reads, std::move(write_phase));
+    JoinBlock* read_join = joins_.Make(reads, write_phase);
     if (update_p || update_q) {
       for (const Segment& seg : segs) {
         const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
         IssueDiskOp(disk, stripe * unit + seg.offset_in_block, seg.length,
-                    /*is_write=*/false, [read_join](bool) { read_join->Dec(); });
+                    /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
       }
     }
     if (update_p) {
       IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit + span_lo,
                   span_hi - span_lo, /*is_write=*/false,
-                  [read_join](bool) { read_join->Dec(); });
+                  [read_join](bool) { read_join->Dec(true); });
     }
     if (update_q) {
       IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit + span_lo,
                   span_hi - span_lo, /*is_write=*/false,
-                  [read_join](bool) { read_join->Dec(); });
+                  [read_join](bool) { read_join->Dec(true); });
     }
   });
 }
@@ -363,7 +374,7 @@ void Raid6Controller::RebuildNext() {
     }
     return;
   }
-  RebuildStripe(stripe, [this, stripe] {
+  JoinBlock* step_join = joins_.Make(1, [this, stripe](bool) {
     rebuild_cursor_ = stripe + 1;
     ++stripes_rebuilt_;
     const bool keep_going = drain_done_ != nullptr || outstanding_clients_ == 0;
@@ -378,23 +389,22 @@ void Raid6Controller::RebuildNext() {
       }
     }
   });
+  RebuildStripe(stripe, step_join);
 }
 
-void Raid6Controller::RebuildStripe(int64_t stripe, std::function<void()> step_done) {
-  locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe,
-                                                step_done = std::move(step_done)] {
+void Raid6Controller::RebuildStripe(int64_t stripe, JoinBlock* step_join) {
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe, step_join] {
     const int32_t n = layout_.data_blocks_per_stripe();
     const int64_t unit = layout_.stripe_unit();
     const bool p_needed = p_stale_.IsDirty(stripe);
 
-    auto writes = [this, stripe, unit, n, p_needed,
-                   step_done = std::move(step_done)]() mutable {
-      auto finish = [this, stripe, step_done = std::move(step_done)] {
-        ClearStale(stripe);
-        locks_.Release(stripe, LockMode::kExclusive);
-        step_done();
-      };
-      auto join = Join::Make(p_needed ? 2 : 1, std::move(finish));
+    auto writes = [this, stripe, unit, n, p_needed, step_join](bool) {
+      JoinBlock* join =
+          joins_.Make(p_needed ? 2 : 1, [this, stripe, step_join](bool) {
+            ClearStale(stripe);
+            locks_.Release(stripe, LockMode::kExclusive);
+            step_join->Dec(true);
+          });
       if (p_needed) {
         IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit, unit,
                     /*is_write=*/true, [this, stripe, join](bool ok) {
@@ -404,7 +414,7 @@ void Raid6Controller::RebuildStripe(int64_t stripe, std::function<void()> step_d
                                               0);
                         }
                       }
-                      join->Dec();
+                      join->Dec(true);
                     });
       }
       IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit, unit,
@@ -415,14 +425,14 @@ void Raid6Controller::RebuildStripe(int64_t stripe, std::function<void()> step_d
                                             QOfData(*content_, stripe, n, s), 1);
                       }
                     }
-                    join->Dec();
+                    join->Dec(true);
                   });
     };
 
-    auto read_join = Join::Make(n, std::move(writes));
+    JoinBlock* read_join = joins_.Make(n, writes);
     for (int32_t j = 0; j < n; ++j) {
       IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
-                  /*is_write=*/false, [read_join](bool) { read_join->Dec(); });
+                  /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
     }
   });
 }

@@ -39,6 +39,7 @@
 #include "array/stripe_lock.h"
 #include "core/array_config.h"
 #include "disk/disk_model.h"
+#include "sim/arena.h"
 #include "sim/simulator.h"
 #include "stats/time_weighted.h"
 
@@ -87,14 +88,13 @@ class Raid6Controller : public ArrayController {
  private:
   void DoRead(const ClientRequest& r, RequestDone done);
   void DoWrite(const ClientRequest& r, RequestDone done);
-  void WriteStripeGroup(uint64_t request_id, int64_t stripe,
-                        const std::vector<Segment>& segs,
-                        std::function<void()> group_done);
+  void WriteStripeGroup(uint64_t request_id, int64_t stripe, Span<Segment> segs,
+                        JoinBlock* group_join);
   void MaybeStartRebuild();
   void RebuildNext();
-  void RebuildStripe(int64_t stripe, std::function<void()> step_done);
+  void RebuildStripe(int64_t stripe, JoinBlock* step_join);
   void IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t length, bool is_write,
-                   std::function<void(bool)> done);
+                   DiskDone done);
   void MarkStale(int64_t stripe, bool p, bool q);
   void ClearStale(int64_t stripe);
   void UpdateExposure();
@@ -111,6 +111,14 @@ class Raid6Controller : public ArrayController {
   NvramBitmap q_stale_;
   std::unique_ptr<ContentModel> content_;
   std::unique_ptr<IdleDetector> idle_detector_;
+
+  // Steady-state pooled storage (see DESIGN.md, "Arena reuse contract"):
+  // write splits live in a seg_pool_ vector owned by the request's join;
+  // dp/dq parity deltas live in u64_pool_ vectors until the write join fires.
+  JoinPool joins_;
+  VecPool<Segment> seg_pool_;
+  VecPool<uint64_t> u64_pool_;
+  std::vector<Segment> read_split_scratch_;  // DoRead (synchronous).
 
   int32_t outstanding_clients_ = 0;
   bool rebuilding_ = false;

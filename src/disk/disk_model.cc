@@ -117,7 +117,7 @@ void DiskModel::Submit(const DiskOp& op, DiskOpCallback done) {
     result.submitted = now;
     result.service_start = now;
     result.finish = now;
-    sim_->After(0, [done = std::move(done), result] { done(result); });
+    sim_->After(0, [done = std::move(done), result]() mutable { done(result); });
     return;
   }
   queue_.push_back(Pending{op, std::move(done), now});
@@ -134,22 +134,38 @@ void DiskModel::StartNext() {
   if (queue_.empty() || failed_) {
     return;
   }
-  Pending p = std::move(queue_.front());
+  if (inflight_free_.empty()) {
+    inflight_slots_.push_back(std::make_unique<InFlight>());
+    inflight_free_.push_back(static_cast<int32_t>(inflight_slots_.size()) - 1);
+  }
+  const int32_t slot = inflight_free_.back();
+  inflight_free_.pop_back();
+  InFlight& f = *inflight_slots_[slot];
+  f.p = std::move(queue_.front());
   queue_.pop_front();
   busy_ = true;
   busy_time_.Set(sim_->Now(), 1.0);
 
-  const SimTime service_start = sim_->Now();
+  f.service_start = sim_->Now();
   int32_t end_cylinder = current_cylinder_;
-  const ServiceBreakdown bd = ComputeService(service_start, p.op, current_cylinder_,
-                                             &end_cylinder);
+  f.bd = ComputeService(f.service_start, f.p.op, current_cylinder_, &end_cylinder);
   current_cylinder_ = end_cylinder;
-  sim_->After(bd.Total(), [this, p = std::move(p), bd, service_start]() mutable {
-    CompleteCurrent(p, bd, service_start);
-  });
+  sim_->After(f.bd.Total(), [this, slot] { CompleteSlot(slot); });
 }
 
-void DiskModel::CompleteCurrent(const Pending& p, const ServiceBreakdown& breakdown,
+void DiskModel::CompleteSlot(int32_t slot) {
+  InFlight& f = *inflight_slots_[slot];
+  Pending p = std::move(f.p);
+  const ServiceBreakdown bd = f.bd;
+  const SimTime service_start = f.service_start;
+  // The slot is free for reuse before the completion callback runs -- the
+  // callback may re-enter Submit and start the next operation.
+  f.p = Pending{};
+  inflight_free_.push_back(slot);
+  CompleteCurrent(p, bd, service_start);
+}
+
+void DiskModel::CompleteCurrent(Pending& p, const ServiceBreakdown& breakdown,
                                 SimTime service_start) {
   const SimTime now = sim_->Now();
   busy_ = false;
@@ -186,15 +202,15 @@ void DiskModel::Fail() {
   // Everything queued (not yet started) fails now. The in-flight op, if any,
   // will observe failed_ when its completion event fires.
   const SimTime now = sim_->Now();
-  std::deque<Pending> doomed;
-  doomed.swap(queue_);
-  for (Pending& p : doomed) {
+  while (!queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
     DiskOpResult result;
     result.ok = false;
     result.submitted = p.submitted;
     result.service_start = now;
     result.finish = now;
-    sim_->After(0, [done = std::move(p.done), result] { done(result); });
+    sim_->After(0, [done = std::move(p.done), result]() mutable { done(result); });
   }
 }
 

@@ -17,9 +17,12 @@
 #define AFRAID_DISK_DISK_MODEL_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "sim/arena.h"
+#include "sim/callback.h"
 
 #include "disk/disk_spec.h"
 #include "disk/geometry.h"
@@ -57,7 +60,10 @@ struct DiskOpResult {
   ServiceBreakdown breakdown;     // Zero for failed ops.
 };
 
-using DiskOpCallback = std::function<void(const DiskOpResult&)>;
+// Sized for the controllers' completion continuations (the probe-wrapped
+// purpose-labelled span emitter carrying a DiskDone is the fattest capture
+// today, at 104 bytes).
+using DiskOpCallback = SmallCallback<void(const DiskOpResult&), 112>;
 
 class DiskModel {
  public:
@@ -108,9 +114,20 @@ class DiskModel {
     DiskOpCallback done;
     SimTime submitted = 0;
   };
+  // In-flight operation context, pooled so the completion event captures only
+  // [this, slot] and the hot path never heap-allocates. A slot per op (not a
+  // single member) deliberately preserves the existing completion semantics:
+  // CompleteCurrent runs the callback after releasing the mechanism, so a
+  // re-entrant Submit can overlap with StartNext (see ROADMAP).
+  struct InFlight {
+    Pending p;
+    ServiceBreakdown bd;
+    SimTime service_start = 0;
+  };
 
   void StartNext();
-  void CompleteCurrent(const Pending& p, const ServiceBreakdown& breakdown,
+  void CompleteSlot(int32_t slot);
+  void CompleteCurrent(Pending& p, const ServiceBreakdown& breakdown,
                        SimTime service_start);
   // Time from `now` until the start of sector `sector` (with skew applied) of
   // the track described by `chs` passes under the head.
@@ -126,7 +143,9 @@ class DiskModel {
   Probe probe_;
   std::string queue_counter_name_;  // Built once; empty when probe_ is null.
 
-  std::deque<Pending> queue_;
+  RingQueue<Pending> queue_;
+  std::vector<std::unique_ptr<InFlight>> inflight_slots_;
+  std::vector<int32_t> inflight_free_;
   bool busy_ = false;
   bool failed_ = false;
   int32_t current_cylinder_ = 0;

@@ -1,7 +1,6 @@
 #include "faultsim/runner.h"
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 namespace afraid {
@@ -36,7 +35,6 @@ std::vector<LifetimeResult> RunCampaignLifetimes(const CampaignConfig& config,
   }
 
   std::atomic<int32_t> next{0};
-  std::mutex results_mu;
   auto worker = [&] {
     for (;;) {
       const int32_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -44,10 +42,11 @@ std::vector<LifetimeResult> RunCampaignLifetimes(const CampaignConfig& config,
         return;
       }
       // Entirely self-contained: which worker runs lifetime i cannot affect
-      // its result, only where it is computed.
-      LifetimeResult r = RunLifetime(config, i);
-      std::lock_guard<std::mutex> lock(results_mu);
-      results[static_cast<size_t>(i)] = std::move(r);
+      // its result, only where it is computed -- and each slot is written by
+      // exactly one worker (the fetch_add hands out distinct indices), so no
+      // lock is needed around the preallocated results vector. The joins
+      // below publish the writes to the caller.
+      results[static_cast<size_t>(i)] = RunLifetime(config, i);
     }
   };
   std::vector<std::thread> pool;

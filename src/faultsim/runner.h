@@ -4,9 +4,10 @@
 // Each lifetime is a pure function of (config, index) -- it owns its
 // Simulator, controller, and RNG streams, all seeded by
 // DeriveStreamSeed(base_seed, index) -- so workers share nothing but the
-// work-item counter and the result vector. Results land in their index slot
-// under a mutex, and the summary is reduced sequentially by index afterwards,
-// making the output bit-identical for any thread count.
+// work-item counter and the result vector. Each result lands lock-free in
+// its own index slot (distinct slots, one writer each; the thread joins
+// publish the writes), and the summary is reduced sequentially by index
+// afterwards, making the output bit-identical for any thread count.
 
 #ifndef AFRAID_FAULTSIM_RUNNER_H_
 #define AFRAID_FAULTSIM_RUNNER_H_

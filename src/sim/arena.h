@@ -1,0 +1,257 @@
+// Reusable-storage primitives for the steady-state request path.
+//
+// The controllers' fast path (client request -> controller -> disk and back)
+// must not heap-allocate once warmed up: every structure it needs per request
+// is drawn from one of these pools and returned when the request completes.
+// The pools never shrink -- capacity reached during warm-up is capacity kept
+// -- which is exactly the behaviour a real array controller's preallocated
+// request contexts would have.
+//
+// Contract for all pooled storage: a borrower must not retain a pointer/span
+// past the completion callback that releases it (see DESIGN.md, "Arena reuse
+// contract").
+
+#ifndef AFRAID_SIM_ARENA_H_
+#define AFRAID_SIM_ARENA_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "sim/callback.h"
+
+namespace afraid {
+
+// A borrowed view over pooled contiguous storage (e.g. a request's Split
+// segments). Plain pointer+count so it fits in small callback captures.
+template <typename T>
+struct Span {
+  const T* data = nullptr;
+  int32_t count = 0;
+
+  const T* begin() const { return data; }
+  const T* end() const { return data + count; }
+  const T& operator[](int32_t i) const { return data[i]; }
+  int32_t size() const { return count; }
+  bool empty() const { return count == 0; }
+};
+
+// FIFO queue over a power-of-two ring buffer; replaces std::deque on the
+// request path (libstdc++'s deque allocates even when default-constructed
+// empty, and node churn defeats the allocation-free goal). T must be
+// default-constructible and movable.
+template <typename T>
+class RingQueue {
+ public:
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+
+  T& front() {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+
+  void push_back(T v) {
+    if (count_ == buf_.size()) {
+      Grow();
+    }
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(v);
+    ++count_;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    buf_[head_] = T();  // Drop held resources (callback captures) eagerly.
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+  }
+
+ private:
+  void Grow() {
+    const size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (size_t i = 0; i < count_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_.swap(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;  // Capacity is always a power of two.
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+// Size-bucketed free-list backing for node-based containers (the host
+// driver's sweep queue, the lock table's stripe map). Nodes are carved from
+// slabs and recycled by size class, so a container that churns nodes at a
+// bounded population allocates only during warm-up.
+class NodePool {
+ public:
+  NodePool() = default;
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  void* Allocate(size_t bytes) {
+    const size_t bucket = BucketOf(bytes);
+    if (bucket >= free_.size()) {
+      free_.resize(bucket + 1);
+    }
+    auto& list = free_[bucket];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      return p;
+    }
+    const size_t need = bucket * kAlign;
+    if (bump_left_ < need) {
+      const size_t slab = need > kSlabBytes ? need : kSlabBytes;
+      slabs_.push_back(std::make_unique<unsigned char[]>(slab));
+      bump_ = slabs_.back().get();
+      bump_left_ = slab;
+    }
+    void* p = bump_;
+    bump_ += need;
+    bump_left_ -= need;
+    return p;
+  }
+
+  void Deallocate(void* p, size_t bytes) {
+    free_[BucketOf(bytes)].push_back(p);
+  }
+
+ private:
+  static constexpr size_t kAlign = alignof(std::max_align_t);
+  static constexpr size_t kSlabBytes = 16 * 1024;
+
+  static size_t BucketOf(size_t bytes) { return (bytes + kAlign - 1) / kAlign; }
+
+  std::vector<std::vector<void*>> free_;  // Indexed by size bucket.
+  std::vector<std::unique_ptr<unsigned char[]>> slabs_;
+  unsigned char* bump_ = nullptr;
+  size_t bump_left_ = 0;
+};
+
+// Minimal std allocator over a NodePool. Single-object allocations (the
+// node-based containers' steady diet) go through the pool; array allocations
+// (hash-table bucket vectors during a rehash) fall through to operator new.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(NodePool* pool) : pool_(pool) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& o) : pool_(o.pool_) {}  // NOLINT
+
+  T* allocate(size_t n) {
+    if (n == 1) {
+      return static_cast<T*>(pool_->Allocate(sizeof(T)));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) {
+    if (n == 1) {
+      pool_->Deallocate(p, sizeof(T));
+    } else {
+      ::operator delete(p);
+    }
+  }
+
+  bool operator==(const PoolAllocator& o) const { return pool_ == o.pool_; }
+  bool operator!=(const PoolAllocator& o) const { return pool_ != o.pool_; }
+
+  NodePool* pool_;
+};
+
+// Free list of std::vector<T> scratch buffers. Acquire() hands out a cleared
+// vector whose capacity survives from previous uses; Release() returns it.
+template <typename T>
+class VecPool {
+ public:
+  std::vector<T>* Acquire() {
+    if (free_.empty()) {
+      storage_.push_back(std::make_unique<std::vector<T>>());
+      free_.push_back(storage_.back().get());
+    }
+    std::vector<T>* v = free_.back();
+    free_.pop_back();
+    v->clear();
+    return v;
+  }
+
+  void Release(std::vector<T>* v) { free_.push_back(v); }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<T>>> storage_;
+  std::vector<std::vector<T>*> free_;
+};
+
+// Disk-completion continuation handed to the controllers' IssueDiskOp
+// helpers. Sized for the fattest per-segment capture (this + Segment + key +
+// join pointer).
+using DiskDone = SmallCallback<void(bool), 64>;
+
+// Pooled fan-in block: one completion callback runs after `count` Dec()s,
+// with failure latching, replacing the per-request shared_ptr<Join>. Blocks
+// live in a stable-address pool and are recycled the moment they fire, so a
+// warmed-up controller's joins never touch the heap. Sized for the
+// controllers' fattest finish continuation.
+using JoinDone = SmallCallback<void(bool), 128>;
+
+class JoinPool;
+
+struct JoinBlock {
+  int32_t remaining = 0;
+  bool failed = false;
+  JoinDone done;
+  JoinPool* pool = nullptr;
+
+  inline void Dec(bool ok);
+};
+
+class JoinPool {
+ public:
+  JoinBlock* Make(int32_t count, JoinDone done) {
+    assert(count > 0);
+    if (free_.empty()) {
+      blocks_.push_back(std::make_unique<JoinBlock>());
+      free_.push_back(blocks_.back().get());
+    }
+    JoinBlock* j = free_.back();
+    free_.pop_back();
+    j->remaining = count;
+    j->failed = false;
+    j->done = std::move(done);
+    j->pool = this;
+    return j;
+  }
+
+  void Release(JoinBlock* j) { free_.push_back(j); }
+
+ private:
+  std::vector<std::unique_ptr<JoinBlock>> blocks_;
+  std::vector<JoinBlock*> free_;
+};
+
+// The block is released before its callback runs, so the callback may itself
+// draw new joins from the pool (and may reuse this very block).
+inline void JoinBlock::Dec(bool ok) {
+  if (!ok) {
+    failed = true;
+  }
+  if (--remaining == 0) {
+    JoinDone d = std::move(done);
+    const bool all_ok = !failed;
+    pool->Release(this);
+    d(all_ok);
+  }
+}
+
+}  // namespace afraid
+
+#endif  // AFRAID_SIM_ARENA_H_

@@ -1,13 +1,13 @@
-// A move-only `void()` callable with small-buffer optimisation, used for
-// simulation events.
+// Move-only callables with small-buffer optimisation, used for simulation
+// events and the controllers' completion continuations.
 //
-// std::function is the wrong shape for an event queue: it requires copyable
+// std::function is the wrong shape for these paths: it requires copyable
 // captures (so completion continuations cannot own their state via
 // unique_ptr), and captures beyond the implementation's tiny inline buffer
-// cost a heap allocation per scheduled event. EventCallback stores captures
-// up to kInlineBytes directly inside the object -- sized so every callback
-// the simulator schedules today fits -- and falls back to a heap box only for
-// oversized captures. Move-only captures are fully supported.
+// cost a heap allocation per callback. SmallCallback<Sig, N> stores captures
+// up to N bytes directly inside the object -- each seam sizes its alias so
+// every callback it carries today fits -- and falls back to a heap box only
+// for oversized captures. Move-only captures are fully supported.
 
 #ifndef AFRAID_SIM_CALLBACK_H_
 #define AFRAID_SIM_CALLBACK_H_
@@ -20,19 +20,21 @@
 
 namespace afraid {
 
-class EventCallback {
- public:
-  // Generous enough for the fattest controller continuation (a lambda over a
-  // handful of pointers, 64-bit scalars and a shared_ptr join handle).
-  static constexpr size_t kInlineBytes = 48;
+template <typename Signature, size_t InlineBytes = 48>
+class SmallCallback;  // Only the R(Args...) specialisation exists.
 
-  EventCallback() = default;
+template <typename R, typename... Args, size_t InlineBytes>
+class SmallCallback<R(Args...), InlineBytes> {
+ public:
+  static constexpr size_t kInlineBytes = InlineBytes;
+
+  SmallCallback() = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, EventCallback> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     if constexpr (kFitsInline<Fn>) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
@@ -43,8 +45,8 @@ class EventCallback {
     }
   }
 
-  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
-  EventCallback& operator=(EventCallback&& other) noexcept {
+  SmallCallback(SmallCallback&& other) noexcept { MoveFrom(other); }
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
     if (this != &other) {
       Reset();
       MoveFrom(other);
@@ -52,14 +54,16 @@ class EventCallback {
     return *this;
   }
 
-  EventCallback(const EventCallback&) = delete;
-  EventCallback& operator=(const EventCallback&) = delete;
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
 
-  ~EventCallback() { Reset(); }
+  ~SmallCallback() { Reset(); }
 
   explicit operator bool() const { return ops_ != nullptr; }
 
-  void operator()() { ops_->invoke(storage_); }
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
 
   // Destroys the held callable (and its captures), leaving the object empty.
   void Reset() {
@@ -73,7 +77,7 @@ class EventCallback {
 
  private:
   struct Ops {
-    void (*invoke)(void* self);
+    R (*invoke)(void* self, Args&&... args);
     // Move-constructs `dst` from `src`, then destroys `src`. Null when a raw
     // byte copy of the buffer is equivalent (the common case: lambdas over
     // pointers and scalars), letting moves skip the indirect call.
@@ -93,7 +97,10 @@ class EventCallback {
 
   template <typename Fn>
   static constexpr Ops kInlineOps = {
-      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      [](void* self, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(self)))(
+            std::forward<Args>(args)...);
+      },
       kTriviallyRelocatable<Fn>
           ? nullptr
           : +[](void* src, void* dst) {
@@ -109,20 +116,23 @@ class EventCallback {
   // Heap-boxed callables relocate by copying the owning pointer.
   template <typename Fn>
   static constexpr Ops kHeapOps = {
-      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      [](void* self, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(self)))(
+            std::forward<Args>(args)...);
+      },
       nullptr,
       [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
   };
 
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic push
-// The fast path deliberately copies the whole fixed-size buffer (three vector
-// moves) rather than just sizeof(Fn) bytes; the tail past the capture is
-// indeterminate, which is fine for unsigned char, but GCC flags the read.
+// The fast path deliberately copies the whole fixed-size buffer rather than
+// just sizeof(Fn) bytes; the tail past the capture is indeterminate, which is
+// fine for unsigned char, but GCC flags the read.
 #pragma GCC diagnostic ignored "-Wuninitialized"
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
 #endif
-  void MoveFrom(EventCallback& other) noexcept {
+  void MoveFrom(SmallCallback& other) noexcept {
     if (other.ops_ != nullptr) {
       ops_ = other.ops_;
       if (ops_->relocate != nullptr) {
@@ -140,6 +150,10 @@ class EventCallback {
   alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+// The event queue's callback: a move-only void() sized so every callback the
+// simulator schedules today fits inline.
+using EventCallback = SmallCallback<void(), 48>;
 
 }  // namespace afraid
 

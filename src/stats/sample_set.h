@@ -50,6 +50,10 @@ class SampleSet {
 
   const std::vector<double>& Samples() const { return samples_; }
 
+  // Pre-sizes the backing storage so a steady stream of Add()s does not
+  // reallocate mid-run (used by allocation-free-path harnesses).
+  void Reserve(size_t n) { samples_.reserve(n); }
+
   void Reset() {
     samples_.clear();
     summary_.Reset();

@@ -19,7 +19,7 @@ class FakeArray : public ArrayController {
     dispatched_.push_back(request.offset);
     ++in_flight_;
     max_in_flight_ = std::max(max_in_flight_, in_flight_);
-    sim_->After(service_, [this, done = std::move(done)] {
+    sim_->After(service_, [this, done = std::move(done)]() mutable {
       --in_flight_;
       done();
     });

@@ -1,0 +1,136 @@
+// Randomized equivalence test: NvramBitmap against a std::set<int64_t>
+// reference model. The bitmap replaced an ordered set in the controller, so
+// every observable -- Mark/Clear return values, IsDirty, DirtyCount,
+// NextDirty's wrap-around sweep, and ascending iteration -- must match the
+// set semantics exactly.
+
+#include "array/nvram.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+namespace afraid {
+namespace {
+
+// The ordered-set semantics NextDirty replaced: smallest element >= from,
+// wrapping to the smallest overall; -1 when empty. `from` outside the valid
+// range behaves like 0 (callers probe with last_rebuilt_key + 1, which can
+// run one past the end).
+int64_t ReferenceNext(const std::set<int64_t>& ref, int64_t from, int64_t n) {
+  if (ref.empty()) {
+    return -1;
+  }
+  if (from < 0 || from >= n) {
+    from = 0;
+  }
+  auto it = ref.lower_bound(from);
+  if (it == ref.end()) {
+    it = ref.begin();
+  }
+  return *it;
+}
+
+void CheckAgainstReference(const NvramBitmap& bm, const std::set<int64_t>& ref,
+                           int64_t n) {
+  ASSERT_EQ(bm.DirtyCount(), static_cast<int64_t>(ref.size()));
+  // Full iteration must produce the set's ascending order.
+  const auto view = bm.DirtyStripes();
+  EXPECT_EQ(view.empty(), ref.empty());
+  EXPECT_EQ(view.size(), ref.size());
+  std::vector<int64_t> got(view.begin(), view.end());
+  std::vector<int64_t> want(ref.begin(), ref.end());
+  ASSERT_EQ(got, want);
+}
+
+TEST(NvramBitmapTest, RandomizedEquivalenceWithSetReference) {
+  // Sizes straddle the word (64) and summary-word (4096) boundaries, plus a
+  // non-multiple to exercise the partial last word.
+  for (const int64_t n : {1, 63, 64, 65, 130, 4096, 4100, 9000}) {
+    std::mt19937_64 rng(0x5eed0000 + static_cast<uint64_t>(n));
+    std::uniform_int_distribution<int64_t> stripe_dist(0, n - 1);
+    std::uniform_int_distribution<int> op_dist(0, 99);
+
+    NvramBitmap bm(n);
+    std::set<int64_t> ref;
+
+    for (int step = 0; step < 3000; ++step) {
+      const int op = op_dist(rng);
+      if (op < 45) {
+        const int64_t s = stripe_dist(rng);
+        EXPECT_EQ(bm.Mark(s), ref.insert(s).second);
+      } else if (op < 85) {
+        const int64_t s = stripe_dist(rng);
+        EXPECT_EQ(bm.Clear(s), ref.erase(s) > 0);
+      } else if (op < 95) {
+        // Probe NextDirty at an arbitrary point, including one past the end
+        // (the rebuild cursor's wrap probe) and far out of range.
+        std::uniform_int_distribution<int64_t> from_dist(0, n + 2);
+        const int64_t from = from_dist(rng);
+        EXPECT_EQ(bm.NextDirty(from), ReferenceNext(ref, from, n))
+            << "n=" << n << " from=" << from;
+      } else {
+        const int64_t s = stripe_dist(rng);
+        EXPECT_EQ(bm.IsDirty(s), ref.contains(s));
+      }
+      if (step % 250 == 0) {
+        CheckAgainstReference(bm, ref, n);
+      }
+    }
+    CheckAgainstReference(bm, ref, n);
+
+    // Sweep NextDirty across every possible cursor position once at the end.
+    for (int64_t from = 0; from <= n; ++from) {
+      ASSERT_EQ(bm.NextDirty(from), ReferenceNext(ref, from, n))
+          << "n=" << n << " from=" << from;
+    }
+  }
+}
+
+TEST(NvramBitmapTest, FailLosesAllMarksAndRepairRestores) {
+  NvramBitmap bm(5000);
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int64_t> stripe_dist(0, 4999);
+  for (int i = 0; i < 400; ++i) {
+    bm.Mark(stripe_dist(rng));
+  }
+  ASSERT_GT(bm.DirtyCount(), 0);
+  ASSERT_FALSE(bm.failed());
+
+  bm.Fail();
+  EXPECT_TRUE(bm.failed());
+  EXPECT_EQ(bm.DirtyCount(), 0);
+  EXPECT_EQ(bm.NextDirty(0), -1);
+  EXPECT_TRUE(bm.DirtyStripes().empty());
+  for (int64_t s = 0; s < 5000; ++s) {
+    ASSERT_FALSE(bm.IsDirty(s));
+  }
+
+  // The part is replaced; marking works again from a clean slate.
+  bm.Repair();
+  EXPECT_FALSE(bm.failed());
+  EXPECT_TRUE(bm.Mark(4097));
+  EXPECT_EQ(bm.DirtyCount(), 1);
+  EXPECT_EQ(bm.NextDirty(0), 4097);
+  EXPECT_EQ(bm.NextDirty(4098), 4097);  // Wraps to the only dirty stripe.
+}
+
+TEST(NvramBitmapTest, FirstMarkAfterAllClearIsFoundFromAnyCursor) {
+  NvramBitmap bm(8192);
+  EXPECT_EQ(bm.NextDirty(0), -1);
+  EXPECT_TRUE(bm.Mark(7000));
+  EXPECT_FALSE(bm.Mark(7000));  // Re-marking is a no-op.
+  EXPECT_EQ(bm.NextDirty(0), 7000);
+  EXPECT_EQ(bm.NextDirty(7000), 7000);
+  EXPECT_EQ(bm.NextDirty(7001), 7000);  // Wrap.
+  EXPECT_TRUE(bm.Clear(7000));
+  EXPECT_FALSE(bm.Clear(7000));
+  EXPECT_EQ(bm.NextDirty(0), -1);
+  EXPECT_EQ(bm.DirtyCount(), 0);
+  EXPECT_EQ(bm.HardwareBits(), 8192);
+}
+
+}  // namespace
+}  // namespace afraid

@@ -171,8 +171,10 @@ TEST_P(RandomOpsTest, SingleDiskFailureLosesExactlyUnprotectedStripes) {
     sim.Step();
   }
   const auto victim = static_cast<int32_t>(rng.UniformInt(0, cfg.num_disks - 1));
-  // Snapshot which stripes are unprotected right now.
-  const std::set<int64_t> dirty_at_failure = ctl.nvram().DirtyStripes();
+  // Snapshot which stripes are unprotected right now (materialised: the
+  // bitmap view is invalidated by the failure below).
+  const auto dirty_view = ctl.nvram().DirtyStripes();
+  const std::set<int64_t> dirty_at_failure(dirty_view.begin(), dirty_view.end());
   ctl.FailDisk(victim);
 
   // Recoverability check per written block.
