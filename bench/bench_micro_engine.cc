@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "array/content.h"
@@ -16,9 +17,11 @@
 #include "core/experiment.h"
 #include "core/policy.h"
 #include "disk/disk_model.h"
+#include "disk/seek_model.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 #include "trace/workload_gen.h"
 
 namespace afraid {
@@ -242,6 +245,178 @@ void BM_ControllerWritePath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ControllerWritePath);
+
+// --- Compiled replay pipeline: fast paths vs their in-tree references -------
+
+std::string BenchTraceText() {
+  WorkloadParams p = PaperWorkloads()[2];  // cello-usr.
+  p.address_space_bytes = 8LL << 30;
+  return SerializeTrace(GenerateWorkload(p, 20'000, Hours(24)));
+}
+
+// The hand-rolled scanner on a 20k-record serialized cello-usr workload.
+void BM_TraceParse(benchmark::State& state) {
+  const std::string text = BenchTraceText();
+  Trace out;
+  for (auto _ : state) {
+    const TraceStatus st = ParseTraceText(text, &out);
+    benchmark::DoNotOptimize(st.ok);
+    benchmark::DoNotOptimize(out.records.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_TraceParse);
+
+// The legacy getline-plus-istringstream parser on the same text.
+void BM_TraceParseStreamRef(benchmark::State& state) {
+  const std::string text = BenchTraceText();
+  Trace out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseTraceStreamRef(text, &out));
+    benchmark::DoNotOptimize(out.records.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_TraceParseStreamRef);
+
+// Address -> (stripe, block, disk) mapping per segment, the layout math the
+// request path runs: strength-reduced (FastDiv64) in StripeLayout...
+void BM_LayoutMap(benchmark::State& state) {
+  StripeLayout layout(5, 8192, 2'000'000'000, 1);
+  Rng rng(42);
+  const int64_t cap = layout.data_capacity_bytes();
+  std::vector<int64_t> offsets(4096);
+  for (int64_t& off : offsets) {
+    off = rng.UniformInt(0, cap - 1);
+  }
+  for (auto _ : state) {
+    int64_t sink = 0;
+    for (const int64_t off : offsets) {
+      const int64_t stripe = layout.StripeOfOffset(off);
+      sink += layout.DataDisk(stripe, 0) + layout.ParityDisk(stripe);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_LayoutMap);
+
+// ...versus the same mapping with hardware div/mod. The divisors are member
+// variables at runtime in StripeLayout (the compiler cannot fold them), so
+// the reference makes its divisors opaque too -- otherwise the benchmark
+// would measure the compiler's own constant strength reduction, which the
+// pre-FastDiv64 layout never benefited from.
+void BM_LayoutMapDivRef(benchmark::State& state) {
+  int32_t nd = 5;
+  int64_t unit = 8192;
+  benchmark::DoNotOptimize(nd);
+  benchmark::DoNotOptimize(unit);
+  const int64_t stripe_bytes = unit * (nd - 1);
+  Rng rng(42);
+  const int64_t cap = (2'000'000'000 / unit) * stripe_bytes;
+  std::vector<int64_t> offsets(4096);
+  for (int64_t& off : offsets) {
+    off = rng.UniformInt(0, cap - 1);
+  }
+  for (auto _ : state) {
+    int64_t sink = 0;
+    for (const int64_t off : offsets) {
+      const int64_t stripe = off / stripe_bytes;
+      const auto anchor = static_cast<int32_t>(nd - 1 - stripe % nd);
+      sink += (anchor + 1) % nd + anchor;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_LayoutMapDivRef);
+
+// Seek-time lookup across the tabulated distance range...
+void BM_SeekTime(benchmark::State& state) {
+  SeekModel m(DiskSpec::HpC3325Like().seek);
+  m.PrecomputeTable(4314);
+  Rng rng(42);
+  std::vector<int64_t> dists(4096);
+  for (int64_t& d : dists) {
+    d = rng.UniformInt(-4314, 4314);
+  }
+  for (auto _ : state) {
+    SimDuration sum = 0;
+    for (const int64_t d : dists) {
+      sum += m.SeekTime(d);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SeekTime);
+
+// ...versus evaluating the Ruemmler-Wilkes curve (sqrt and all) every time.
+void BM_SeekTimeAnalyticRef(benchmark::State& state) {
+  SeekModel m(DiskSpec::HpC3325Like().seek);
+  Rng rng(42);
+  std::vector<int64_t> dists(4096);
+  for (int64_t& d : dists) {
+    d = rng.UniformInt(-4314, 4314);
+  }
+  for (auto _ : state) {
+    SimDuration sum = 0;
+    for (const int64_t d : dists) {
+      sum += m.AnalyticSeekTime(d);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_SeekTimeAnalyticRef);
+
+// Whole-stripe parity recompute (rebuild/scrub inner loop): one batched
+// XorOfDataAll sweep per stripe...
+void BM_XorOfDataAll(benchmark::State& state) {
+  const int32_t n = 4, spu = 16;
+  ContentModel m(n, 1, spu);
+  for (int64_t s = 0; s < 256; ++s) {
+    for (int32_t j = 0; j < n; ++j) {
+      for (int32_t i = 0; i < spu; ++i) {
+        m.SetData(s * 7, j, i, ContentModel::MixTag(s * 64 + j * 16 + i, s));
+      }
+    }
+  }
+  std::vector<uint64_t> parity(spu);
+  for (auto _ : state) {
+    uint64_t sink = 0;
+    for (int64_t s = 0; s < 256; ++s) {
+      m.XorOfDataAll(s * 7, parity.data());
+      sink ^= parity[0] ^ parity[spu - 1];
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_XorOfDataAll);
+
+// ...versus the per-sector XorOfData calls it replaced (a hash probe per
+// sector position instead of one per stripe).
+void BM_XorOfDataPerSectorRef(benchmark::State& state) {
+  const int32_t n = 4, spu = 16;
+  ContentModel m(n, 1, spu);
+  for (int64_t s = 0; s < 256; ++s) {
+    for (int32_t j = 0; j < n; ++j) {
+      for (int32_t i = 0; i < spu; ++i) {
+        m.SetData(s * 7, j, i, ContentModel::MixTag(s * 64 + j * 16 + i, s));
+      }
+    }
+  }
+  std::vector<uint64_t> parity(spu);
+  for (auto _ : state) {
+    uint64_t sink = 0;
+    for (int64_t s = 0; s < 256; ++s) {
+      for (int32_t i = 0; i < spu; ++i) {
+        parity[static_cast<size_t>(i)] = m.XorOfData(s * 7, i);
+      }
+      sink ^= parity[0] ^ parity[spu - 1];
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_XorOfDataPerSectorRef);
 
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {

@@ -85,6 +85,52 @@ class ContentModel {
     return x;
   }
 
+  // Word-batched variant: out[i] = XorOfData(stripe, first + i) for i in
+  // [0, count). One slot lookup and one contiguous sweep over the stripe's
+  // sector-major rows instead of a lookup + reduction call per sector --
+  // the shape the parity rebuild and scrub paths consume.
+  void XorOfDataRange(int64_t stripe, int32_t first, int32_t count,
+                      uint64_t* out) const {
+    assert(first >= 0 && count >= 0 && first + count <= spu_);
+    const uint32_t slot = FindSlot(stripe);
+    if (slot == kNoStripe) {
+      for (int32_t i = 0; i < count; ++i) {
+        out[i] = 0;
+      }
+      return;
+    }
+    const uint64_t* row = RowPtr(slot, first);
+    for (int32_t i = 0; i < count; ++i, row += width_) {
+      uint64_t x = 0;
+      for (int32_t j = 0; j < n_; ++j) {
+        x ^= row[j];
+      }
+      out[i] = x;
+    }
+  }
+
+  // All sector positions of the stripe; `out` must hold sectors_per_unit()
+  // values.
+  void XorOfDataAll(int64_t stripe, uint64_t* out) const {
+    XorOfDataRange(stripe, 0, spu_, out);
+  }
+
+  // Batch parity store: SetParity(stripe, first + i, vals[i], which) for i in
+  // [0, count), with a single slot resolution.
+  void SetParityRange(int64_t stripe, int32_t first, int32_t count,
+                      const uint64_t* vals, int32_t which = 0) {
+    assert(which >= 0 && which < pb_);
+    assert(first >= 0 && count >= 0 && first + count <= spu_);
+    if (count == 0) {
+      return;
+    }
+    const uint32_t slot = FindOrInsertSlot(stripe);
+    uint64_t* cell = values_.data() + ValueIndex(slot, n_ + which, first);
+    for (int32_t i = 0; i < count; ++i, cell += width_) {
+      *cell = vals[i];
+    }
+  }
+
   // Reconstruction of data block j from the other data blocks and P parity:
   // xor of everything except block j.
   uint64_t ReconstructData(int64_t stripe, int32_t j, int32_t sector) const {

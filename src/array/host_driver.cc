@@ -16,6 +16,11 @@ HostDriver::HostDriver(Simulator* sim, ArrayController* array, int32_t max_activ
       occupancy_(sim->Now()) {}
 
 void HostDriver::Submit(int64_t offset, int32_t size, bool is_write) {
+  SubmitPlanned(offset, size, is_write, nullptr, 0);
+}
+
+void HostDriver::SubmitPlanned(int64_t offset, int32_t size, bool is_write,
+                               const Segment* segs, int32_t seg_count) {
   assert(size > 0);
   assert(offset >= 0 && offset + size <= array_->DataCapacityBytes());
   ClientRequest r;
@@ -24,6 +29,8 @@ void HostDriver::Submit(int64_t offset, int32_t size, bool is_write) {
   r.size = size;
   r.is_write = is_write;
   r.arrival = sim_->Now();
+  r.plan_segs = segs;
+  r.plan_seg_count = seg_count;
   ++accepted_;
   occupancy_.Add(sim_->Now(), +1.0);
   if (probe_) {
@@ -53,21 +60,24 @@ void HostDriver::TryDispatch() {
     queue_.erase(it);
     sweep_offset_ = r.offset;
     ++active_;
-    array_->Submit(r, [this, r] { OnComplete(r); });
+    // Capture only the fields the completion needs: the whole ClientRequest
+    // (with its plan span) no longer fits RequestDone's inline buffer.
+    array_->Submit(r, [this, id = r.id, is_write = r.is_write,
+                       arrival = r.arrival] { OnComplete(id, is_write, arrival); });
   }
 }
 
-void HostDriver::OnComplete(const ClientRequest& r) {
+void HostDriver::OnComplete(uint64_t id, bool is_write, SimTime arrival) {
   --active_;
   ++completed_;
   occupancy_.Add(sim_->Now(), -1.0);
   if (probe_) {
-    probe_.AsyncEnd(r.is_write ? "write" : "read", r.id, sim_->Now());
+    probe_.AsyncEnd(is_write ? "write" : "read", id, sim_->Now());
     probe_.Counter("driver occupancy", sim_->Now(), occupancy_.Current());
   }
-  const double ms = ToMilliseconds(sim_->Now() - r.arrival);
+  const double ms = ToMilliseconds(sim_->Now() - arrival);
   all_ms_.Add(ms);
-  if (r.is_write) {
+  if (is_write) {
     write_ms_.Add(ms);
   } else {
     read_ms_.Add(ms);

@@ -14,6 +14,10 @@ StripeLayout::StripeLayout(int32_t num_disks, int64_t stripe_unit_bytes,
   assert(stripe_unit_ > 0);
   num_stripes_ = disk_capacity_bytes / stripe_unit_;
   assert(num_stripes_ > 0);
+  unit_div_ = FastDiv64(stripe_unit_);
+  data_div_ = FastDiv64(data_blocks_per_stripe());
+  stripe_bytes_div_ = FastDiv64(stripe_unit_ * data_blocks_per_stripe());
+  disks_div_ = FastDiv64(num_disks_);
 }
 
 int32_t StripeLayout::ParityDisk(int64_t stripe, int32_t which) const {
@@ -21,20 +25,21 @@ int32_t StripeLayout::ParityDisk(int64_t stripe, int32_t which) const {
   // The "anchor" parity (Q when there are two) rotates right-to-left; P sits
   // immediately to its left (mod num_disks). With one parity block, the
   // anchor *is* P, giving the classic left-symmetric rotation.
-  const auto anchor = static_cast<int32_t>(num_disks_ - 1 - (stripe % num_disks_));
+  const int32_t anchor = AnchorDisk(stripe);
   if (which == parity_blocks_ - 1) {
     return anchor;
   }
-  return (anchor + num_disks_ - 1) % num_disks_;
+  const int32_t left = anchor + num_disks_ - 1;  // < 2 * num_disks_.
+  return left >= num_disks_ ? left - num_disks_ : left;
 }
 
 int32_t StripeLayout::DataDisk(int64_t stripe, int32_t j) const {
   assert(j >= 0 && j < data_blocks_per_stripe());
-  const auto anchor = static_cast<int32_t>(num_disks_ - 1 - (stripe % num_disks_));
   // Data blocks fill the slots just right of the anchor, wrapping; with two
   // parity blocks the slot at anchor-1 (i.e. anchor + num_disks - 1) is P,
   // which the range anchor+1 .. anchor+num_disks-2 never reaches.
-  return (anchor + 1 + j) % num_disks_;
+  const int32_t slot = AnchorDisk(stripe) + 1 + j;  // < 2 * num_disks_.
+  return slot >= num_disks_ ? slot - num_disks_ : slot;
 }
 
 BlockLoc StripeLayout::DataLocation(int64_t stripe, int32_t j) const {
@@ -47,7 +52,7 @@ BlockLoc StripeLayout::ParityLocation(int64_t stripe, int32_t which) const {
 
 int64_t StripeLayout::StripeOfOffset(int64_t logical_offset) const {
   assert(logical_offset >= 0 && logical_offset < data_capacity_bytes());
-  return logical_offset / (stripe_unit_ * data_blocks_per_stripe());
+  return stripe_bytes_div_.Div(logical_offset);
 }
 
 std::vector<Segment> StripeLayout::Split(int64_t logical_offset, int64_t length) const {
@@ -62,17 +67,18 @@ void StripeLayout::SplitInto(int64_t logical_offset, int64_t length,
   assert(length > 0);
   assert(logical_offset + length <= data_capacity_bytes());
   segments->clear();
-  const int32_t n = data_blocks_per_stripe();
   int64_t off = logical_offset;
   int64_t remaining = length;
   while (remaining > 0) {
-    const int64_t unit_index = off / stripe_unit_;  // Global data-block index.
-    const auto in_block = static_cast<int32_t>(off % stripe_unit_);
+    const int64_t unit_index = unit_div_.Div(off);  // Global data-block index.
+    const auto in_block = static_cast<int32_t>(off - unit_index * stripe_unit_);
     const auto len = static_cast<int32_t>(
         std::min<int64_t>(remaining, stripe_unit_ - in_block));
+    const int64_t stripe = data_div_.Div(unit_index);
     Segment seg;
-    seg.stripe = unit_index / n;
-    seg.block_in_stripe = static_cast<int32_t>(unit_index % n);
+    seg.stripe = stripe;
+    seg.block_in_stripe = static_cast<int32_t>(
+        unit_index - stripe * data_blocks_per_stripe());
     seg.logical_offset = off;
     seg.offset_in_block = in_block;
     seg.length = len;

@@ -1,0 +1,31 @@
+#include "array/plan.h"
+
+namespace afraid {
+
+RequestPlan::RequestPlan(const Trace& trace, const StripeLayout& layout) {
+  records_.reserve(trace.records.size());
+  // Lower bound: one segment per record; multi-unit requests add more as
+  // they are resolved.
+  segments_.reserve(trace.records.size());
+  std::vector<Segment> scratch;
+  for (const TraceRecord& t : trace.records) {
+    PlanRecord r;
+    r.time = t.time;
+    r.offset = t.offset;
+    r.size = t.size;
+    r.is_write = t.is_write;
+    layout.SplitInto(t.offset, t.size, &scratch);
+    r.seg_begin = static_cast<uint32_t>(segments_.size());
+    r.seg_count = static_cast<uint32_t>(scratch.size());
+    const Segment& first = scratch.front();
+    r.stripe = first.stripe;
+    r.block_in_stripe = first.block_in_stripe;
+    r.disk = layout.DataDisk(first.stripe, first.block_in_stripe);
+    r.disk_offset =
+        first.stripe * layout.stripe_unit() + first.offset_in_block;
+    segments_.insert(segments_.end(), scratch.begin(), scratch.end());
+    records_.push_back(r);
+  }
+}
+
+}  // namespace afraid

@@ -297,15 +297,21 @@ void AfraidController::Submit(const ClientRequest& request, RequestDone done) {
 // --- Reads ----------------------------------------------------------------------
 
 void AfraidController::DoRead(const ClientRequest& r, RequestDone done) {
-  // The split scratch is only read within this synchronous loop; every
-  // continuation captures its Segment by value.
-  layout_.SplitInto(r.offset, r.size, &read_split_scratch_);
-  JoinBlock* join = joins_.Make(static_cast<int32_t>(read_split_scratch_.size()),
+  // Planned requests carry their precompiled Split(); unplanned ones split
+  // into the scratch, which is only read within this synchronous loop (every
+  // continuation captures its Segment by value).
+  Span<Segment> segs{r.plan_segs, r.plan_seg_count};
+  if (r.plan_segs == nullptr) {
+    layout_.SplitInto(r.offset, r.size, &read_split_scratch_);
+    segs = Span<Segment>{read_split_scratch_.data(),
+                         static_cast<int32_t>(read_split_scratch_.size())};
+  }
+  JoinBlock* join = joins_.Make(segs.count,
                                 [this, done = std::move(done)](bool) mutable {
                                   done();
                                   NoteClientEnd();
                                 });
-  for (const Segment& seg : read_split_scratch_) {
+  for (const Segment& seg : segs) {
     const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
     const bool need_degraded =
         disk == failed_disk_ ||
@@ -369,32 +375,42 @@ void AfraidController::DegradedReadSegment(const Segment& seg, JoinBlock* parent
 // --- Writes ---------------------------------------------------------------------
 
 void AfraidController::DoWrite(const ClientRequest& r, RequestDone done) {
-  // The pooled segment vector stays alive (and in place) until the request's
-  // join fires; the per-stripe groups are spans into it. Split emits
-  // nondecreasing stripe numbers, so the old std::map grouping is equivalent
-  // to a contiguous-run scan -- same groups, same ascending order.
-  std::vector<Segment>* segs = seg_pool_.Acquire();
-  layout_.SplitInto(r.offset, r.size, segs);
+  // The segments must stay alive (and in place) until the request's join
+  // fires; the per-stripe groups are spans into them. A planned request's
+  // segments live in the RequestPlan (stable for the whole run); otherwise a
+  // pooled vector holds them, owned by the join. Split emits nondecreasing
+  // stripe numbers, so the old std::map grouping is equivalent to a
+  // contiguous-run scan -- same groups, same ascending order.
+  std::vector<Segment>* pooled = nullptr;
+  const Segment* base = r.plan_segs;
+  auto count = static_cast<size_t>(r.plan_seg_count);
+  if (base == nullptr) {
+    pooled = seg_pool_.Acquire();
+    layout_.SplitInto(r.offset, r.size, pooled);
+    base = pooled->data();
+    count = pooled->size();
+  }
   int32_t n_groups = 0;
-  for (size_t i = 0; i < segs->size(); ++i) {
-    if (i == 0 || (*segs)[i].stripe != (*segs)[i - 1].stripe) {
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0 || base[i].stripe != base[i - 1].stripe) {
       ++n_groups;
     }
   }
   JoinBlock* join =
-      joins_.Make(n_groups, [this, done = std::move(done), segs](bool) mutable {
-        seg_pool_.Release(segs);
+      joins_.Make(n_groups, [this, done = std::move(done), pooled](bool) mutable {
+        if (pooled != nullptr) {
+          seg_pool_.Release(pooled);
+        }
         done();
         NoteClientEnd();
       });
-  const Segment* base = segs->data();
   size_t i = 0;
-  while (i < segs->size()) {
+  while (i < count) {
     size_t j = i + 1;
-    while (j < segs->size() && (*segs)[j].stripe == (*segs)[i].stripe) {
+    while (j < count && base[j].stripe == base[i].stripe) {
       ++j;
     }
-    RunStripeWriteGroup(r.id, (*segs)[i].stripe,
+    RunStripeWriteGroup(r.id, base[i].stripe,
                         Span<Segment>{base + i, static_cast<int32_t>(j - i)}, 0,
                         join);
     i = j;
@@ -1010,11 +1026,16 @@ void AfraidController::RebuildBand(int64_t band_key, JoinBlock* step_join) {
                        step_join](bool ok) {
                         if (ok) {
                           if (content_ != nullptr) {
-                            for (int32_t i = 0; i < band_sectors; ++i) {
-                              content_->SetParity(
-                                  stripe, first_sector + i,
-                                  content_->XorOfData(stripe, first_sector + i));
-                            }
+                            // One batched sweep over the band's sectors in
+                            // place of a lookup + reduction per sector.
+                            parity_scratch_.resize(
+                                static_cast<size_t>(band_sectors));
+                            content_->XorOfDataRange(stripe, first_sector,
+                                                     band_sectors,
+                                                     parity_scratch_.data());
+                            content_->SetParityRange(stripe, first_sector,
+                                                     band_sectors,
+                                                     parity_scratch_.data());
                           }
                           ClearBandKey(band_key);
                           ++stripes_rebuilt_;
@@ -1167,10 +1188,11 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
                     DiskOpPurpose::kRecoveryWrite, [this, stripe, advance](bool ok2) {
                       if (ok2) {
                         if (content_ != nullptr) {
-                          for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
-                            content_->SetParity(stripe, i,
-                                                content_->XorOfData(stripe, i));
-                          }
+                          const int32_t spu = content_->sectors_per_unit();
+                          parity_scratch_.resize(static_cast<size_t>(spu));
+                          content_->XorOfDataAll(stripe, parity_scratch_.data());
+                          content_->SetParityRange(stripe, 0, spu,
+                                                   parity_scratch_.data());
                         }
                         ClearAllBands(stripe);
                       }
@@ -1293,9 +1315,11 @@ void AfraidController::ScrubNextStripe(int64_t stripe) {
       IssueDiskOp(layout_.ParityDisk(stripe), stripe * unit, unit, /*is_write=*/true,
                   DiskOpPurpose::kRebuildWrite, [this, stripe, advance](bool ok2) {
                     if (ok2 && content_ != nullptr) {
-                      for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
-                        content_->SetParity(stripe, i, content_->XorOfData(stripe, i));
-                      }
+                      const int32_t spu = content_->sectors_per_unit();
+                      parity_scratch_.resize(static_cast<size_t>(spu));
+                      content_->XorOfDataAll(stripe, parity_scratch_.data());
+                      content_->SetParityRange(stripe, 0, spu,
+                                               parity_scratch_.data());
                     }
                     advance(ok2);
                   });

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "array/host_driver.h"
+#include "array/plan.h"
 #include "core/afraid_controller.h"
 #include "disk/geometry.h"
 #include "obs/artifacts.h"
@@ -16,25 +17,29 @@
 namespace afraid {
 namespace {
 
-// Feeds trace records into the host driver at their arrival times. Arrival
-// events are chained (one pending event at a time) so the event queue stays
-// small even for multi-million-record traces.
-class TraceReplayer {
+// Feeds precompiled plan records into the host driver at their arrival
+// times. Arrival events are chained (one pending event at a time) so the
+// event queue stays small even for multi-million-record traces. The plan's
+// arrival schedule and segments match the trace exactly (array/plan.h), so a
+// planned replay walks the bit-identical event trajectory a record-by-record
+// replay would.
+class PlanReplayer {
  public:
-  TraceReplayer(Simulator* sim, HostDriver* driver, const Trace& trace)
-      : sim_(sim), driver_(driver), trace_(trace) {}
+  PlanReplayer(Simulator* sim, HostDriver* driver, const RequestPlan& plan)
+      : sim_(sim), driver_(driver), plan_(plan) {}
 
   void Start() { ScheduleNext(); }
-  bool Finished() const { return next_ >= trace_.records.size(); }
+  bool Finished() const { return next_ >= plan_.size(); }
 
  private:
   void ScheduleNext() {
     if (Finished()) {
       return;
     }
-    const TraceRecord& r = trace_.records[next_];
+    const PlanRecord& r = plan_.record(next_);
     sim_->At(std::max(r.time, sim_->Now()), [this, &r] {
-      driver_->Submit(r.offset, r.size, r.is_write);
+      const Span<Segment> segs = plan_.segments(next_);
+      driver_->SubmitPlanned(r.offset, r.size, r.is_write, segs.data, segs.count);
       ++next_;
       ScheduleNext();
     });
@@ -42,7 +47,7 @@ class TraceReplayer {
 
   Simulator* sim_;
   HostDriver* driver_;
-  const Trace& trace_;
+  const RequestPlan& plan_;
   size_t next_ = 0;
 };
 
@@ -122,7 +127,17 @@ SimReport Experiment::Run() {
                               Probe(tracer.get()));
   HostDriver driver(&sim, &controller, cfg_.MaxActive(), cfg_.host_sched,
                     Probe(tracer.get()));
-  TraceReplayer replayer(&sim, &driver, trace);
+  // Compile the replay plan: every record's layout mapping is resolved here,
+  // once, against the same layout the controller derives from cfg_; the
+  // simulation loop then never divides by the stripe geometry. The plan
+  // outlives the run, so controllers hold spans into it across continuations.
+  const DiskGeometry plan_geom(cfg_.disk_spec.zones, cfg_.disk_spec.heads,
+                               cfg_.disk_spec.sector_bytes);
+  const StripeLayout plan_layout(cfg_.num_disks, cfg_.stripe_unit_bytes,
+                                 plan_geom.CapacityBytes(), cfg_.parity_blocks);
+  const RequestPlan plan(trace, plan_layout);
+  driver.ReserveLatencySamples(plan.size());
+  PlanReplayer replayer(&sim, &driver, plan);
   replayer.Start();
 
   std::unique_ptr<MetricsRegistry> metrics;

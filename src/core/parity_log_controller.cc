@@ -53,11 +53,16 @@ void ParityLogController::Submit(const ClientRequest& request, RequestDone done)
 }
 
 void ParityLogController::DoRead(const ClientRequest& r, RequestDone done) {
-  layout_.SplitInto(r.offset, r.size, &split_scratch_);
+  // Planned requests carry their precompiled Split() (see array/plan.h).
+  Span<Segment> segs{r.plan_segs, r.plan_seg_count};
+  if (r.plan_segs == nullptr) {
+    layout_.SplitInto(r.offset, r.size, &split_scratch_);
+    segs = Span<Segment>{split_scratch_.data(),
+                         static_cast<int32_t>(split_scratch_.size())};
+  }
   JoinBlock* join = joins_.Make(
-      static_cast<int32_t>(split_scratch_.size()),
-      [done = std::move(done)](bool) mutable { done(); });
-  for (const Segment& seg : split_scratch_) {
+      segs.count, [done = std::move(done)](bool) mutable { done(); });
+  for (const Segment& seg : segs) {
     IssueDiskOp(layout_.DataDisk(seg.stripe, seg.block_in_stripe),
                 seg.stripe * layout_.stripe_unit() + seg.offset_in_block, seg.length,
                 /*is_write=*/false, [join](bool) { join->Dec(true); });
@@ -65,11 +70,15 @@ void ParityLogController::DoRead(const ClientRequest& r, RequestDone done) {
 }
 
 void ParityLogController::DoWrite(const ClientRequest& r, RequestDone done) {
-  layout_.SplitInto(r.offset, r.size, &split_scratch_);
+  Span<Segment> segs{r.plan_segs, r.plan_seg_count};
+  if (r.plan_segs == nullptr) {
+    layout_.SplitInto(r.offset, r.size, &split_scratch_);
+    segs = Span<Segment>{split_scratch_.data(),
+                         static_cast<int32_t>(split_scratch_.size())};
+  }
   JoinBlock* join = joins_.Make(
-      static_cast<int32_t>(split_scratch_.size()),
-      [done = std::move(done)](bool) mutable { done(); });
-  for (const Segment& seg : split_scratch_) {
+      segs.count, [done = std::move(done)](bool) mutable { done(); });
+  for (const Segment& seg : segs) {
     if (log_used_ >= log_cfg_.log_region_bytes) {
       // The log is hard-full: "the pending parity updates must be applied
       // immediately, interrupting foreground processing to do so." The

@@ -139,14 +139,20 @@ void Raid6Controller::Submit(const ClientRequest& request, RequestDone done) {
 }
 
 void Raid6Controller::DoRead(const ClientRequest& r, RequestDone done) {
-  layout_.SplitInto(r.offset, r.size, &read_split_scratch_);
+  // Planned requests carry their precompiled Split() (see array/plan.h).
+  Span<Segment> segs{r.plan_segs, r.plan_seg_count};
+  if (r.plan_segs == nullptr) {
+    layout_.SplitInto(r.offset, r.size, &read_split_scratch_);
+    segs = Span<Segment>{read_split_scratch_.data(),
+                         static_cast<int32_t>(read_split_scratch_.size())};
+  }
   JoinBlock* join = joins_.Make(
-      static_cast<int32_t>(read_split_scratch_.size()),
+      segs.count,
       [this, done = std::move(done)](bool) mutable {
         done();
         NoteClientEnd();
       });
-  for (const Segment& seg : read_split_scratch_) {
+  for (const Segment& seg : segs) {
     const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
     IssueDiskOp(disk, seg.stripe * layout_.stripe_unit() + seg.offset_in_block,
                 seg.length, /*is_write=*/false, [join](bool) { join->Dec(true); });
@@ -156,30 +162,40 @@ void Raid6Controller::DoRead(const ClientRequest& r, RequestDone done) {
 void Raid6Controller::DoWrite(const ClientRequest& r, RequestDone done) {
   // Split emits segments with nondecreasing stripe numbers, so grouping by
   // stripe is a contiguous-run scan -- same groups, same ascending dispatch
-  // order as the ordered-map grouping this replaces. The pooled vector stays
-  // alive (spans point into it) until the request join fires.
-  std::vector<Segment>* segs = seg_pool_.Acquire();
-  layout_.SplitInto(r.offset, r.size, segs);
+  // order as the ordered-map grouping this replaces. The segments stay alive
+  // (spans point into them) until the request join fires: planned requests
+  // use the run-lifetime RequestPlan storage, unplanned ones a pooled vector
+  // owned by the join.
+  std::vector<Segment>* pooled = nullptr;
+  const Segment* base = r.plan_segs;
+  auto count = static_cast<size_t>(r.plan_seg_count);
+  if (base == nullptr) {
+    pooled = seg_pool_.Acquire();
+    layout_.SplitInto(r.offset, r.size, pooled);
+    base = pooled->data();
+    count = pooled->size();
+  }
   int32_t n_groups = 0;
-  for (size_t i = 0; i < segs->size(); ++i) {
-    if (i == 0 || (*segs)[i].stripe != (*segs)[i - 1].stripe) {
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0 || base[i].stripe != base[i - 1].stripe) {
       ++n_groups;
     }
   }
   JoinBlock* join =
-      joins_.Make(n_groups, [this, done = std::move(done), segs](bool) mutable {
-        seg_pool_.Release(segs);
+      joins_.Make(n_groups, [this, done = std::move(done), pooled](bool) mutable {
+        if (pooled != nullptr) {
+          seg_pool_.Release(pooled);
+        }
         done();
         NoteClientEnd();
       });
-  const Segment* base = segs->data();
   size_t i = 0;
-  while (i < segs->size()) {
+  while (i < count) {
     size_t j = i + 1;
-    while (j < segs->size() && (*segs)[j].stripe == (*segs)[i].stripe) {
+    while (j < count && base[j].stripe == base[i].stripe) {
       ++j;
     }
-    WriteStripeGroup(r.id, (*segs)[i].stripe,
+    WriteStripeGroup(r.id, base[i].stripe,
                      Span<Segment>{base + i, static_cast<int32_t>(j - i)}, join);
     i = j;
   }
@@ -409,10 +425,11 @@ void Raid6Controller::RebuildStripe(int64_t stripe, JoinBlock* step_join) {
         IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit, unit,
                     /*is_write=*/true, [this, stripe, join](bool ok) {
                       if (ok && content_ != nullptr) {
-                        for (int32_t s = 0; s < content_->sectors_per_unit(); ++s) {
-                          content_->SetParity(stripe, s, content_->XorOfData(stripe, s),
-                                              0);
-                        }
+                        const int32_t spu = content_->sectors_per_unit();
+                        parity_scratch_.resize(static_cast<size_t>(spu));
+                        content_->XorOfDataAll(stripe, parity_scratch_.data());
+                        content_->SetParityRange(stripe, 0, spu,
+                                                 parity_scratch_.data(), 0);
                       }
                       join->Dec(true);
                     });

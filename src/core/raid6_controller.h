@@ -119,6 +119,7 @@ class Raid6Controller : public ArrayController {
   VecPool<Segment> seg_pool_;
   VecPool<uint64_t> u64_pool_;
   std::vector<Segment> read_split_scratch_;  // DoRead (synchronous).
+  std::vector<uint64_t> parity_scratch_;     // Batched parity recompute.
 
   int32_t outstanding_clients_ = 0;
   bool rebuilding_ = false;

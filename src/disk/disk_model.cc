@@ -15,6 +15,10 @@ DiskModel::DiskModel(Simulator* sim, DiskSpec spec, int32_t disk_id, Probe probe
       disk_id_(disk_id),
       probe_(probe),
       busy_time_(sim->Now()) {
+  // Freeze the seek curve into a per-distance table: the longest possible
+  // move is TotalCylinders-1, so every SeekTime the mechanism can ask for
+  // becomes a load instead of a sqrt. The table is exact (see seek_model.h).
+  seek_model_.PrecomputeTable(geometry_.TotalCylinders() - 1);
   if (probe_) {
     queue_counter_name_ = "disk" + std::to_string(disk_id_) + " queue";
   }

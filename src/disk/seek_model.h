@@ -7,6 +7,14 @@
 // The square-root region models the acceleration-limited portion of the arm
 // trajectory; the linear region models the coast-at-max-velocity portion.
 // Parameters are chosen so the curve is continuous and monotone.
+//
+// The analytic curve costs a sqrt per evaluation, and the disk model
+// evaluates it once (sometimes twice) per disk operation. Since seek
+// distances are bounded by the disk's cylinder count, PrecomputeTable()
+// freezes the curve into one table entry per distance; SeekTime() then is a
+// bounds-checked load. The table is exact -- each entry is the analytic
+// value at that integer distance, so a tabulated model is indistinguishable
+// from the analytic one (tests assert equality at every distance).
 
 #ifndef AFRAID_DISK_SEEK_MODEL_H_
 #define AFRAID_DISK_SEEK_MODEL_H_
@@ -14,6 +22,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include "sim/time.h"
 
@@ -34,8 +43,9 @@ class SeekModel {
     assert(p_.boundary_cylinders >= 1);
   }
 
-  // Seek time for a move of `distance` cylinders (absolute value taken).
-  SimDuration SeekTime(int64_t distance) const {
+  // The analytic Ruemmler-Wilkes curve. Source of truth: PrecomputeTable()
+  // fills the lookup table from it, and tests use it as the oracle.
+  SimDuration AnalyticSeekTime(int64_t distance) const {
     if (distance < 0) {
       distance = -distance;
     }
@@ -52,10 +62,34 @@ class SeekModel {
     return MillisecondsF(ms);
   }
 
+  // Tabulates distances [0, max_distance]. Every distance a disk of
+  // max_distance+1 cylinders can produce becomes a single load.
+  void PrecomputeTable(int32_t max_distance) {
+    assert(max_distance >= 0);
+    lut_.resize(static_cast<size_t>(max_distance) + 1);
+    for (int32_t d = 0; d <= max_distance; ++d) {
+      lut_[static_cast<size_t>(d)] = AnalyticSeekTime(d);
+    }
+  }
+
+  // Seek time for a move of `distance` cylinders (absolute value taken).
+  // A table load when the distance is covered by PrecomputeTable(), the
+  // analytic curve otherwise.
+  SimDuration SeekTime(int64_t distance) const {
+    const uint64_t d =
+        static_cast<uint64_t>(distance < 0 ? -distance : distance);
+    if (d < lut_.size()) {
+      return lut_[d];
+    }
+    return AnalyticSeekTime(static_cast<int64_t>(d));
+  }
+
   const SeekModelParams& params() const { return p_; }
+  int64_t TableSize() const { return static_cast<int64_t>(lut_.size()); }
 
  private:
   SeekModelParams p_;
+  std::vector<SimDuration> lut_;  // lut_[d] == AnalyticSeekTime(d).
 };
 
 }  // namespace afraid

@@ -1,8 +1,11 @@
 #include "trace/trace.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace afraid {
@@ -54,7 +57,175 @@ std::string SerializeTrace(const Trace& trace) {
   return out;
 }
 
-bool ParseTrace(const std::string& text, Trace* out) {
+std::string TraceStatus::Format(const std::string& source) const {
+  if (ok) {
+    return source + ": ok";
+  }
+  if (line <= 0) {
+    return source + ": " + message;
+  }
+  return source + ":" + std::to_string(line) + ": " + message;
+}
+
+// --- The fast scanner ---------------------------------------------------------
+
+namespace {
+
+inline bool IsFieldSep(char c) { return c == ' ' || c == '\t'; }
+
+// Consumes [ \t]+; false if no separator was present.
+inline bool SkipSep(const char*& p, const char* end) {
+  if (p >= end || !IsFieldSep(*p)) {
+    return false;
+  }
+  do {
+    ++p;
+  } while (p < end && IsFieldSep(*p));
+  return true;
+}
+
+// Decimal int64 with optional leading '-'. False on no digits or overflow.
+inline bool ScanInt64(const char*& p, const char* end, int64_t* out) {
+  bool neg = false;
+  if (p < end && *p == '-') {
+    neg = true;
+    ++p;
+  }
+  if (p >= end || *p < '0' || *p > '9') {
+    return false;
+  }
+  uint64_t v = 0;
+  constexpr uint64_t kMax = static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  do {
+    const uint64_t d = static_cast<uint64_t>(*p - '0');
+    if (v > (kMax - d) / 10) {
+      return false;
+    }
+    v = v * 10 + d;
+    ++p;
+  } while (p < end && *p >= '0' && *p <= '9');
+  const auto sv = static_cast<int64_t>(v);
+  *out = neg ? -sv : sv;
+  return true;
+}
+
+}  // namespace
+
+TraceStatus ParseTraceText(std::string_view text, Trace* out) {
+  out->name.clear();
+  out->records.clear();
+  // One reservation up front: at most one record per newline, so the record
+  // vector never reallocates during the scan.
+  out->records.reserve(
+      static_cast<size_t>(std::count(text.begin(), text.end(), '\n')) + 1);
+
+  const char* p = text.data();
+  const char* const end = p + text.size();
+  int64_t line_no = 0;
+  while (p < end) {
+    ++line_no;
+    const char* eol = static_cast<const char*>(
+        memchr(p, '\n', static_cast<size_t>(end - p)));
+    const char* line_end = eol != nullptr ? eol : end;
+    if (line_end > p && line_end[-1] == '\r') {
+      --line_end;
+    }
+    const char* next = eol != nullptr ? eol + 1 : end;
+    if (p == line_end) {  // Empty line.
+      p = next;
+      continue;
+    }
+    if (*p == '#') {  // Comment / header line.
+      const char* h = p + 1;
+      SkipSep(h, line_end);
+      const char* key_begin = h;
+      while (h < line_end && !IsFieldSep(*h)) {
+        ++h;
+      }
+      if (std::string_view(key_begin, static_cast<size_t>(h - key_begin)) ==
+          "name") {
+        SkipSep(h, line_end);
+        out->name.assign(h, static_cast<size_t>(line_end - h));
+      }
+      p = next;
+      continue;
+    }
+
+    // "<time> <R|W> <offset> <size>".
+    TraceRecord r;
+    SkipSep(p, line_end);
+    if (!ScanInt64(p, line_end, &r.time)) {
+      return TraceStatus::Error(line_no, "malformed time field");
+    }
+    if (!SkipSep(p, line_end) || p >= line_end) {
+      return TraceStatus::Error(line_no, "truncated record (expected '<time> <R|W> <offset> <size>')");
+    }
+    const char op = *p++;
+    if (op != 'R' && op != 'W') {
+      return TraceStatus::Error(line_no, "malformed op field (expected R or W)");
+    }
+    if (!SkipSep(p, line_end) || p >= line_end) {
+      return TraceStatus::Error(line_no, "truncated record (expected '<time> <R|W> <offset> <size>')");
+    }
+    if (!ScanInt64(p, line_end, &r.offset)) {
+      return TraceStatus::Error(line_no, "malformed offset field");
+    }
+    if (!SkipSep(p, line_end) || p >= line_end) {
+      return TraceStatus::Error(line_no, "truncated record (expected '<time> <R|W> <offset> <size>')");
+    }
+    int64_t size64 = 0;
+    if (!ScanInt64(p, line_end, &size64) ||
+        size64 > std::numeric_limits<int32_t>::max() ||
+        size64 < std::numeric_limits<int32_t>::min()) {
+      return TraceStatus::Error(line_no, "malformed size field");
+    }
+    r.size = static_cast<int32_t>(size64);
+    SkipSep(p, line_end);
+    if (p != line_end) {
+      return TraceStatus::Error(line_no, "trailing characters after record");
+    }
+    if (r.time < 0) {
+      return TraceStatus::Error(line_no, "negative time");
+    }
+    if (r.offset < 0) {
+      return TraceStatus::Error(line_no, "negative offset");
+    }
+    if (r.size <= 0) {
+      return TraceStatus::Error(line_no, "non-positive size");
+    }
+    r.is_write = (op == 'W');
+    out->records.push_back(r);
+    p = next;
+  }
+  return TraceStatus::Ok();
+}
+
+TraceStatus LoadTraceFile(const std::string& path, Trace* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return TraceStatus::Error(0, "cannot open trace file");
+  }
+  std::string buf;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long size = std::ftell(f);
+    if (size > 0) {
+      buf.resize(static_cast<size_t>(size));
+    }
+    std::rewind(f);
+  }
+  // Single read into the owned buffer; the scanner works in place on it.
+  const size_t got = buf.empty() ? 0 : std::fread(buf.data(), 1, buf.size(), f);
+  const bool read_ok = std::ferror(f) == 0 && got == buf.size();
+  std::fclose(f);
+  if (!read_ok) {
+    return TraceStatus::Error(0, "error reading trace file");
+  }
+  return ParseTraceText(buf, out);
+}
+
+// --- Legacy stream parser (reference oracle) ----------------------------------
+
+bool ParseTraceStreamRef(const std::string& text, Trace* out) {
   out->name.clear();
   out->records.clear();
   std::istringstream in(text);
@@ -91,6 +262,12 @@ bool ParseTrace(const std::string& text, Trace* out) {
   return true;
 }
 
+// --- Compatibility wrappers ---------------------------------------------------
+
+bool ParseTrace(const std::string& text, Trace* out) {
+  return ParseTraceText(text, out).ok;
+}
+
 bool WriteTraceFile(const std::string& path, const Trace& trace) {
   std::ofstream f(path, std::ios::out | std::ios::trunc);
   if (!f) {
@@ -101,13 +278,7 @@ bool WriteTraceFile(const std::string& path, const Trace& trace) {
 }
 
 bool ReadTraceFile(const std::string& path, Trace* out) {
-  std::ifstream f(path);
-  if (!f) {
-    return false;
-  }
-  std::ostringstream buf;
-  buf << f.rdbuf();
-  return ParseTrace(buf.str(), out);
+  return LoadTraceFile(path, out).ok;
 }
 
 }  // namespace afraid

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.h"
@@ -52,10 +53,42 @@ TraceStats ComputeTraceStats(const Trace& trace);
 // Text serialisation. Format: '#'-prefixed comment/header lines, then one
 // record per line: "<time_ns> <R|W> <offset_bytes> <size_bytes>".
 std::string SerializeTrace(const Trace& trace);
-// Parses SerializeTrace output. Returns false (and leaves *out unspecified)
-// on malformed input.
+
+// Outcome of parsing or loading a trace: success, or a diagnostic carrying
+// the 1-based line number of the offending record (0 for file-level errors
+// such as a missing file) and a human-readable message.
+struct TraceStatus {
+  bool ok = true;
+  int64_t line = 0;
+  std::string message;
+
+  static TraceStatus Ok() { return TraceStatus{}; }
+  static TraceStatus Error(int64_t line, std::string message) {
+    return TraceStatus{false, line, std::move(message)};
+  }
+  // "trace.txt:12: malformed size field" -- for surfacing to users.
+  std::string Format(const std::string& source) const;
+};
+
+// The fast scanner: a hand-rolled integer/decimal parser over the in-memory
+// text, no streams and no per-line string allocation. Populates *out and
+// returns Ok(), or a TraceStatus naming the first malformed line. Strictly
+// validates each record (unlike the stream parser, trailing junk after the
+// size field is an error, not silently ignored).
+TraceStatus ParseTraceText(std::string_view text, Trace* out);
+
+// Zero-copy ingest: loads the whole file with a single read into an owned
+// buffer, then runs the fast scanner over it. File-level failures (missing
+// file, short read) report with line 0.
+TraceStatus LoadTraceFile(const std::string& path, Trace* out);
+
+// The legacy getline-plus-stream-extraction parser, kept as the reference
+// oracle for the fast scanner: tests assert record-for-record equality on
+// every in-tree workload, and BM_TraceParseStreamRef benchmarks against it.
+bool ParseTraceStreamRef(const std::string& text, Trace* out);
+
+// Compatibility wrappers over the fast path; return false on any error.
 bool ParseTrace(const std::string& text, Trace* out);
-// File convenience wrappers; return false on I/O or parse errors.
 bool WriteTraceFile(const std::string& path, const Trace& trace);
 bool ReadTraceFile(const std::string& path, Trace* out);
 

@@ -184,6 +184,64 @@ TEST(ContentModel, UntouchedStripesAreZeroAndConsistent) {
   EXPECT_TRUE(m.TouchedStripes().empty());
 }
 
+// The word-batched parity sweep against the per-sector primitives it
+// replaces: XorOfDataRange must equal XorOfData at each sector, and
+// SetParityRange must store exactly what per-sector SetParity would.
+TEST(ContentModel, BatchedXorMatchesPerSectorReference) {
+  ContentModel m(4, 2, 8);
+  Rng rng(2026);
+  for (int64_t stripe = 0; stripe < 40; ++stripe) {
+    // A mix of untouched, sparsely touched, and fully written stripes.
+    const int writes = static_cast<int>(rng.UniformInt(0, 20));
+    for (int w = 0; w < writes; ++w) {
+      m.SetData(stripe, static_cast<int32_t>(rng.UniformInt(0, 3)),
+                static_cast<int32_t>(rng.UniformInt(0, 7)),
+                rng.UniformInt(1, 1 << 30));
+    }
+  }
+  std::vector<uint64_t> batch(8);
+  for (int64_t stripe = -3; stripe < 45; ++stripe) {
+    for (int32_t first = 0; first < 8; ++first) {
+      for (int32_t count = 1; count <= 8 - first; ++count) {
+        m.XorOfDataRange(stripe, first, count, batch.data());
+        for (int32_t i = 0; i < count; ++i) {
+          ASSERT_EQ(batch[i], m.XorOfData(stripe, first + i))
+              << "stripe " << stripe << " sector " << (first + i);
+        }
+      }
+    }
+    m.XorOfDataAll(stripe, batch.data());
+    for (int32_t s = 0; s < 8; ++s) {
+      ASSERT_EQ(batch[s], m.XorOfData(stripe, s));
+    }
+  }
+}
+
+TEST(ContentModel, SetParityRangeMatchesPerSectorStores) {
+  for (int32_t which : {0, 1}) {
+    ContentModel batched(3, 2, 8);
+    ContentModel scalar(3, 2, 8);
+    Rng rng(17);
+    for (int step = 0; step < 200; ++step) {
+      const int64_t stripe = rng.UniformInt(-5, 30);  // Includes untouched.
+      const auto first = static_cast<int32_t>(rng.UniformInt(0, 7));
+      const auto count = static_cast<int32_t>(rng.UniformInt(1, 8 - first));
+      std::vector<uint64_t> vals(static_cast<size_t>(count));
+      for (uint64_t& v : vals) {
+        v = rng.UniformInt(0, 1 << 30);
+      }
+      batched.SetParityRange(stripe, first, count, vals.data(), which);
+      for (int32_t i = 0; i < count; ++i) {
+        scalar.SetParity(stripe, first + i, vals[static_cast<size_t>(i)], which);
+      }
+      for (int32_t s = 0; s < 8; ++s) {
+        ASSERT_EQ(batched.GetParity(stripe, s, which),
+                  scalar.GetParity(stripe, s, which));
+      }
+    }
+  }
+}
+
 TEST(ContentModel, TouchedStripesReportsFirstTouchOrder) {
   ContentModel m(2, 1, 2);
   m.SetData(30, 0, 0, 1);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <vector>
 
@@ -120,6 +121,28 @@ TEST(Layout, SplitSpanningBlocksAndStripes) {
   EXPECT_EQ(segs[1].block_in_stripe, 0);
   EXPECT_EQ(segs[1].offset_in_block, 0);
   EXPECT_EQ(segs[1].length, 4096);
+}
+
+TEST(FastDiv, MatchesHardwareDivide) {
+  Rng rng(7);
+  for (int64_t d : std::initializer_list<int64_t>{
+           1, 2, 3, 4, 5, 7, 8, 12, 4096, 8192, 8191, 65536, 1'000'003,
+           int64_t{1} << 40}) {
+    const FastDiv64 fd(d);
+    // Edge values plus a random spray across the full non-negative range.
+    for (int64_t n : {int64_t{0}, int64_t{1}, d - 1, d, d + 1, 2 * d - 1,
+                      std::numeric_limits<int64_t>::max() - 1,
+                      std::numeric_limits<int64_t>::max()}) {
+      EXPECT_EQ(fd.Div(n), n / d) << n << " / " << d;
+      EXPECT_EQ(fd.Mod(n), n % d) << n << " % " << d;
+    }
+    for (int i = 0; i < 10000; ++i) {
+      const int64_t n =
+          rng.UniformInt(0, std::numeric_limits<int64_t>::max() - 1);
+      ASSERT_EQ(fd.Div(n), n / d) << n << " / " << d;
+      ASSERT_EQ(fd.Mod(n), n % d) << n << " % " << d;
+    }
+  }
 }
 
 TEST(LayoutProperty, SplitIsExactCover) {

@@ -1,0 +1,92 @@
+// RequestPlan is a pure precomputation of StripeLayout: the compiled replay
+// pipeline is only sound if the plan's records and segments equal what the
+// layout derives per request. These tests check that equality over randomized
+// traces across array widths and both parity configurations.
+
+#include "array/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "array/layout.h"
+#include "sim/random.h"
+#include "trace/trace.h"
+
+namespace afraid {
+namespace {
+
+Trace RandomTrace(Rng* rng, int64_t capacity, int n) {
+  Trace t;
+  t.name = "plan-test";
+  SimTime now = 0;
+  for (int i = 0; i < n; ++i) {
+    TraceRecord r;
+    now += rng->UniformInt(0, 1'000'000);
+    r.time = now;
+    r.size = static_cast<int32_t>(rng->UniformInt(1, 96 * 1024));
+    r.offset = rng->UniformInt(0, capacity - r.size);
+    r.is_write = rng->UniformInt(0, 1) == 1;
+    t.records.push_back(r);
+  }
+  return t;
+}
+
+TEST(RequestPlan, MatchesLayoutSplitAcrossWidthsAndParity) {
+  Rng rng(20260807);
+  for (int32_t parity_blocks : {1, 2}) {
+    for (int32_t nd = 3; nd <= 16; ++nd) {
+      if (nd <= parity_blocks + 1) {
+        continue;  // Need at least two data blocks per stripe.
+      }
+      const StripeLayout layout(nd, 8192, 4000 * 8192, parity_blocks);
+      const int64_t cap = layout.data_capacity_bytes();
+      // ~10k addresses total, spread over the (parity, width) grid.
+      const Trace t = RandomTrace(&rng, cap, 370);
+      const RequestPlan plan(t, layout);
+
+      ASSERT_EQ(plan.size(), t.records.size());
+      size_t pool_cursor = 0;
+      for (size_t i = 0; i < t.records.size(); ++i) {
+        const TraceRecord& rec = t.records[i];
+        const PlanRecord& pr = plan.record(i);
+        EXPECT_EQ(pr.time, rec.time);
+        EXPECT_EQ(pr.offset, rec.offset);
+        EXPECT_EQ(pr.size, rec.size);
+        EXPECT_EQ(pr.is_write, rec.is_write);
+
+        const auto ref = layout.Split(rec.offset, rec.size);
+        const Span<Segment> got = plan.segments(i);
+        ASSERT_EQ(static_cast<size_t>(got.count), ref.size());
+        for (size_t j = 0; j < ref.size(); ++j) {
+          EXPECT_EQ(got.data[j].stripe, ref[j].stripe);
+          EXPECT_EQ(got.data[j].block_in_stripe, ref[j].block_in_stripe);
+          EXPECT_EQ(got.data[j].offset_in_block, ref[j].offset_in_block);
+          EXPECT_EQ(got.data[j].length, ref[j].length);
+          EXPECT_EQ(got.data[j].logical_offset, ref[j].logical_offset);
+        }
+
+        // The pre-resolved first-unit placement matches the layout's answer.
+        ASSERT_FALSE(ref.empty());
+        EXPECT_EQ(pr.stripe, ref[0].stripe);
+        EXPECT_EQ(pr.block_in_stripe, ref[0].block_in_stripe);
+        EXPECT_EQ(pr.disk, layout.DataDisk(ref[0].stripe, ref[0].block_in_stripe));
+        EXPECT_EQ(pr.disk_offset,
+                  ref[0].stripe * layout.stripe_unit() + ref[0].offset_in_block);
+
+        // Segments pack back to back in trace order.
+        EXPECT_EQ(pr.seg_begin, pool_cursor);
+        pool_cursor += ref.size();
+      }
+      EXPECT_EQ(plan.TotalSegments(), pool_cursor);
+    }
+  }
+}
+
+TEST(RequestPlan, EmptyTraceYieldsEmptyPlan) {
+  const StripeLayout layout(5, 8192, 100 * 8192, 1);
+  const RequestPlan plan(Trace{}, layout);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.TotalSegments(), 0u);
+}
+
+}  // namespace
+}  // namespace afraid

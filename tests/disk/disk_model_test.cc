@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "disk/geometry.h"
 #include "disk/seek_model.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -44,6 +45,28 @@ TEST(SeekModel, FullStrokeUnder20ms) {
   SeekModel m(DiskSpec::HpC3325Like().seek);
   EXPECT_LT(m.SeekTime(4314), MillisecondsF(20.0));
   EXPECT_GT(m.SeekTime(4314), MillisecondsF(10.0));
+}
+
+// The lookup table must be indistinguishable from the analytic curve: exact
+// equality at every representable distance, for both in-tree disk specs.
+TEST(SeekModel, TableExactAtEveryDistance) {
+  for (const DiskSpec& spec :
+       {DiskSpec::HpC3325Like(), DiskSpec::TinyTestDisk()}) {
+    const DiskGeometry geom(spec.zones, spec.heads, spec.sector_bytes);
+    const int64_t max_distance = geom.TotalCylinders() - 1;
+    SeekModel m(spec.seek);
+    m.PrecomputeTable(static_cast<int32_t>(max_distance));
+    ASSERT_EQ(m.TableSize(), max_distance + 1);
+    for (int64_t d = 0; d <= max_distance; ++d) {
+      ASSERT_EQ(m.SeekTime(d), m.AnalyticSeekTime(d))
+          << spec.name << " at distance " << d;
+      ASSERT_EQ(m.SeekTime(-d), m.AnalyticSeekTime(d))
+          << spec.name << " at distance -" << d;
+    }
+    // Past the table: falls back to the analytic curve, still exact.
+    EXPECT_EQ(m.SeekTime(max_distance + 5),
+              m.AnalyticSeekTime(max_distance + 5));
+  }
 }
 
 class DiskModelTest : public ::testing::Test {

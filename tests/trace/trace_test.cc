@@ -61,6 +61,103 @@ TEST(TraceIo, ReadMissingFileFails) {
   EXPECT_FALSE(ReadTraceFile("/nonexistent/path/trace.txt", &out));
 }
 
+// --- Fast scanner diagnostics -------------------------------------------------
+
+TEST(TraceIo, MissingFileReportsFileLevelError) {
+  Trace out;
+  const TraceStatus st = LoadTraceFile("/nonexistent/path/trace.txt", &out);
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.line, 0);
+  EXPECT_EQ(st.message, "cannot open trace file");
+  EXPECT_EQ(st.Format("trace.txt"), "trace.txt: cannot open trace file");
+}
+
+TEST(TraceIo, TruncatedLastLineReportsLineNumber) {
+  Trace out;
+  const TraceStatus st =
+      ParseTraceText("# name t\n0 R 0 512\n100 W 4096\n", &out);
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(st.line, 3);  // 1-based, counting the header line.
+  EXPECT_NE(st.message.find("truncated"), std::string::npos);
+}
+
+TEST(TraceIo, MalformedFieldsNameTheLineAndField) {
+  struct Case {
+    const char* text;
+    int64_t line;
+    const char* substr;
+  };
+  const Case cases[] = {
+      {"0 R 0 512\nx W 0 512\n", 2, "time"},
+      {"0 R 0 512\n5 Q 0 512\n", 2, "op"},
+      {"0 R 0 512\n5 W zz 512\n", 2, "offset"},
+      {"0 R 0 512\n5 W 0 9999999999999\n", 2, "size"},
+      {"0 R 0 512\n5 W 0 512 junk\n", 2, "trailing"},
+      {"0 R 0 512\n-5 W 0 512\n", 2, "negative time"},
+      {"0 R 0 512\n5 W -8 512\n", 2, "negative offset"},
+      {"0 R 0 512\n5 W 0 0\n", 2, "non-positive size"},
+      {"99999999999999999999 R 0 512\n", 1, "time"},  // int64 overflow.
+  };
+  for (const Case& c : cases) {
+    Trace out;
+    const TraceStatus st = ParseTraceText(c.text, &out);
+    EXPECT_FALSE(st.ok) << c.text;
+    EXPECT_EQ(st.line, c.line) << c.text;
+    EXPECT_NE(st.message.find(c.substr), std::string::npos)
+        << c.text << " -> " << st.message;
+  }
+}
+
+TEST(TraceIo, FormatIncludesSourceAndLine) {
+  const TraceStatus st = TraceStatus::Error(12, "malformed size field");
+  EXPECT_EQ(st.Format("cello.trace"), "cello.trace:12: malformed size field");
+}
+
+TEST(TraceIo, ScannerAcceptsFormattingVariants) {
+  Trace out;
+  // Tabs, repeated separators, CRLF line endings, blank lines, and comments
+  // anywhere -- all accepted by the legacy stream parser too.
+  const TraceStatus st = ParseTraceText(
+      "# afraid-trace v1\r\n"
+      "# name  spaced out  \n"
+      "\n"
+      "0\tR\t0\t512\r\n"
+      "  5   W   4096    1024\n"
+      "# trailing comment\n",
+      &out);
+  ASSERT_TRUE(st.ok) << st.Format("inline");
+  EXPECT_EQ(out.name, "spaced out  ");
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.records[1].offset, 4096);
+  EXPECT_EQ(out.records[1].size, 1024);
+  EXPECT_TRUE(out.records[1].is_write);
+}
+
+// The fast scanner against the legacy stream parser, record for record, on
+// every serialized paper workload. This is the golden equivalence the
+// compiled replay pipeline rests on: both parsers must see the same trace.
+TEST(TraceIo, FastScannerMatchesStreamParserOnPaperWorkloads) {
+  for (const WorkloadParams& p : PaperWorkloads()) {
+    WorkloadParams params = p;
+    params.address_space_bytes = 1LL << 30;
+    Trace t = GenerateWorkload(params, 2000, Hours(24));
+    const std::string text = SerializeTrace(t);
+
+    Trace fast;
+    Trace legacy;
+    ASSERT_TRUE(ParseTraceText(text, &fast).ok) << p.name;
+    ASSERT_TRUE(ParseTraceStreamRef(text, &legacy)) << p.name;
+    EXPECT_EQ(fast.name, legacy.name);
+    ASSERT_EQ(fast.records.size(), legacy.records.size()) << p.name;
+    for (size_t i = 0; i < fast.records.size(); ++i) {
+      EXPECT_EQ(fast.records[i].time, legacy.records[i].time);
+      EXPECT_EQ(fast.records[i].offset, legacy.records[i].offset);
+      EXPECT_EQ(fast.records[i].size, legacy.records[i].size);
+      EXPECT_EQ(fast.records[i].is_write, legacy.records[i].is_write);
+    }
+  }
+}
+
 TEST(TraceStats, BasicAccounting) {
   const TraceStats s = ComputeTraceStats(SmallTrace());
   EXPECT_EQ(s.requests, 3u);
