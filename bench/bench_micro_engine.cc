@@ -18,6 +18,8 @@
 #include "core/policy.h"
 #include "disk/disk_model.h"
 #include "disk/seek_model.h"
+#include "fleet/tenants.h"
+#include "fleet/volume_manager.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -434,6 +436,63 @@ void BM_SimulatorTimerChurn(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatorTimerChurn);
+
+// Fleet routing hot path: one logical offset -> (shard, local offset). Both
+// policies compile to the same flat chunk table, so range and consistent
+// hashing must cost the same here -- the whole point of prebuilding the map.
+void BM_FleetRoute(benchmark::State& state) {
+  const int64_t chunk = 1 << 20;
+  const int64_t volume = chunk * 16 * 64;
+  const ShardMap map = ShardMap::ConsistentHash(
+      16, chunk, volume, /*shard_capacity_bytes=*/chunk * 80,
+      /*vnodes_per_shard=*/64, /*seed=*/1);
+  Rng rng(7);
+  std::vector<int64_t> offsets(1024);
+  for (int64_t& off : offsets) {
+    off = rng.UniformInt(0, volume - 1);
+  }
+  int64_t sink = 0;
+  for (auto _ : state) {
+    for (const int64_t off : offsets) {
+      const ShardTarget t = map.Route(off);
+      sink += t.shard + t.local_offset;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(offsets.size()));
+}
+BENCHMARK(BM_FleetRoute);
+
+// A whole (tiny) fleet run per iteration: route, per-shard plan compile,
+// eight independent simulations, and the split-latency join. Guards the
+// end-to-end cost of the fleet layer the way BM_ControllerWritePath guards
+// one array's write path.
+void BM_FleetThroughput(benchmark::State& state) {
+  FleetConfig cfg;
+  cfg.array.disk_spec = DiskSpec::TinyTestDisk();
+  cfg.array.num_disks = 4;
+  cfg.num_shards = 8;
+  cfg.chunk_bytes = 512 * 1024;
+  FleetWorkloadParams wp;
+  wp.seed = 11;
+  wp.num_tenants = 64;
+  wp.max_requests = 2000;
+  wp.max_duration = Minutes(5);
+  const FleetTrace trace =
+      GenerateFleetWorkload(wp, VolumeManager(cfg).VolumeBytes());
+  uint64_t served = 0;
+  for (auto _ : state) {
+    VolumeManager vm(cfg);
+    VolumeManager::RunOptions opts;
+    opts.threads = 1;  // Measure the work, not the thread pool.
+    const FleetReport rep = vm.Run(trace, opts);
+    served += rep.requests;
+  }
+  benchmark::DoNotOptimize(served);
+  state.SetItemsProcessed(static_cast<int64_t>(served));
+}
+BENCHMARK(BM_FleetThroughput);
 
 }  // namespace
 }  // namespace afraid

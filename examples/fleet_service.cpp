@@ -1,0 +1,128 @@
+// Fleet service: one large logical volume striped over many independent
+// arrays, serving over a thousand tenant sessions at once -- with a disk
+// failure and an online repair injected mid-run on one shard while the rest
+// of the fleet keeps serving.
+//
+//   $ ./examples/fleet_service [scheme] [requests]
+//
+// scheme: afraid (default) | raid5 | raid6q | raid6pq | plog
+//
+// The run is bit-identical for any AFRAID_BENCH_THREADS (every shard is an
+// independent deterministic simulation; the sweep only changes who runs
+// which cell when). Set AFRAID_OBS_DIR=<dir> to record <dir>/fleet.json and
+// a per-shard Chrome trace under <dir>/shard<k>/trace.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fleet/tenants.h"
+#include "fleet/volume_manager.h"
+
+using namespace afraid;
+
+int main(int argc, char** argv) {
+  const std::string scheme_arg = argc > 1 ? argv[1] : "afraid";
+  const uint64_t requests =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30000;
+
+  FleetConfig cfg;
+  cfg.num_shards = 8;
+  cfg.chunk_bytes = 4 << 20;
+  cfg.seed = 1996;
+  if (scheme_arg == "afraid") {
+    cfg.scheme = FleetScheme::kAfraid;
+    cfg.policy = PolicySpec::AfraidBaseline();
+  } else if (scheme_arg == "raid5") {
+    cfg.scheme = FleetScheme::kAfraid;  // The policy picks the write path.
+    cfg.policy = PolicySpec::Raid5();
+  } else if (scheme_arg == "raid6q") {
+    cfg.scheme = FleetScheme::kRaid6DeferQ;
+  } else if (scheme_arg == "raid6pq") {
+    cfg.scheme = FleetScheme::kRaid6DeferBoth;
+  } else if (scheme_arg == "plog") {
+    cfg.scheme = FleetScheme::kParityLog;
+  } else {
+    std::fprintf(stderr,
+                 "unknown scheme '%s' (afraid|raid5|raid6q|raid6pq|plog)\n",
+                 scheme_arg.c_str());
+    return 1;
+  }
+
+  const char* obs_env = std::getenv("AFRAID_OBS_DIR");
+  const std::string obs_dir = obs_env != nullptr ? obs_env : "";
+
+  for (const ShardingKind kind :
+       {ShardingKind::kRange, ShardingKind::kConsistentHash}) {
+    cfg.sharding = kind;
+    VolumeManager vm(cfg);
+
+    // The management timeline, registered before the run and applied online:
+    // disk 1 of shard 2 dies at t=20s, a replacement arrives at t=90s and
+    // reconstructs while shard 2 keeps serving degraded. Info snapshots
+    // bracket the incident.
+    vm.DiskFail(Seconds(20), /*shard=*/2, /*disk=*/1);
+    vm.InfoAt(Seconds(60), /*shard=*/-1);
+    vm.DiskRepaired(Seconds(90), /*shard=*/2, /*disk=*/1);
+
+    FleetWorkloadParams wp;
+    wp.name = "fleet-mix";
+    wp.seed = 7;
+    wp.num_tenants = 1200;
+    wp.max_requests = requests;
+    wp.max_duration = Minutes(10);
+    const FleetTrace trace = GenerateFleetWorkload(wp, vm.VolumeBytes());
+
+    VolumeManager::RunOptions opts;
+    if (!obs_dir.empty()) {
+      opts.artifacts_dir = obs_dir + "/" + ShardingKindName(kind);
+      opts.trace_shards = true;
+    }
+    const FleetReport rep = vm.Run(trace, opts);
+
+    std::printf("== %s / %s: %d shards, %d tenants, %zu arrivals over %.0f s "
+                "(volume %.1f GB, %lld chunks, %lld spilled)\n",
+                rep.scheme.c_str(), rep.sharding.c_str(), rep.num_shards,
+                rep.num_tenants, trace.Size(), ToSeconds(trace.Duration()),
+                static_cast<double>(vm.VolumeBytes()) / (1 << 30),
+                static_cast<long long>(vm.shard_map().num_chunks()),
+                static_cast<long long>(vm.shard_map().SpilledChunks()));
+    std::printf("   client latency ms: mean %.2f  p50 %.2f  p90 %.2f  "
+                "p99 %.2f  p999 %.2f  max %.1f\n",
+                rep.mean_ms, rep.p50_ms, rep.p90_ms, rep.p99_ms, rep.p999_ms,
+                rep.max_ms);
+    std::printf("   %llu served (%llu reads / %llu writes), %llu split "
+                "across shards, %llu dropped\n",
+                static_cast<unsigned long long>(rep.requests),
+                static_cast<unsigned long long>(rep.reads),
+                static_cast<unsigned long long>(rep.writes),
+                static_cast<unsigned long long>(rep.split_requests),
+                static_cast<unsigned long long>(rep.dropped));
+    std::printf("   load balance: max/mean %.3f, cv %.3f, byte max/mean %.3f\n",
+                rep.imbalance_max_mean, rep.imbalance_cv,
+                rep.byte_imbalance_max_mean);
+    std::printf("   availability: %.1f degraded shard-seconds, %llu loss "
+                "events, %lld bytes lost\n",
+                rep.degraded_shard_s,
+                static_cast<unsigned long long>(rep.loss_events),
+                static_cast<long long>(rep.bytes_lost));
+    std::printf("   %-6s %9s %8s %8s %10s %7s %9s\n", "shard", "pieces",
+                "mean ms", "p99 ms", "bytes MB", "util", "degr s");
+    for (const ShardReport& s : rep.shards) {
+      std::printf("   s%-5d %9llu %8.2f %8.2f %10.1f %7.3f %9.1f%s\n", s.shard,
+                  static_cast<unsigned long long>(s.requests), s.mean_ms,
+                  s.p99_ms, static_cast<double>(s.bytes) / (1 << 20),
+                  s.disk_utilization, s.degraded_s,
+                  s.disk_failed ? (s.repaired ? "  [failed+repaired]"
+                                              : "  [failed]")
+                                : "");
+    }
+    std::printf("\n");
+  }
+
+  if (!obs_dir.empty()) {
+    std::fprintf(stderr, "recorded fleet artifacts under %s/<sharding>/\n",
+                 obs_dir.c_str());
+  }
+  return 0;
+}

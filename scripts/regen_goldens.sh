@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Regenerates every pinned artifact in one command:
+#   * tests/golden/trace_replay_cello-usr_2000.txt -- the golden replay
+#     transcript CI diffs byte-for-byte against a fresh run;
+#   * BENCH_engine.json -- the micro-benchmark baseline the CI bench gate
+#     compares hot-path timings to (loose factor, Release build).
+#
+# Run from anywhere inside the repo after a change that intentionally moves
+# pinned output, then review the diff before committing:
+#
+#   scripts/regen_goldens.sh
+#   git diff tests/golden BENCH_engine.json
+#
+# Uses its own Release build tree (build-regen/) so a Debug working build is
+# never the source of a pinned baseline.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-regen"
+
+echo "== configuring Release build in $build"
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build" -j --target trace_replay bench_micro_engine >/dev/null
+
+echo "== regenerating tests/golden/trace_replay_cello-usr_2000.txt"
+"$build/examples/trace_replay" cello-usr 2000 \
+    > "$repo/tests/golden/trace_replay_cello-usr_2000.txt"
+
+echo "== regenerating BENCH_engine.json (Release micro-bench baseline)"
+"$build/bench/bench_micro_engine" \
+    --benchmark_min_time=0.2 \
+    --benchmark_out="$repo/BENCH_engine.json" \
+    --benchmark_out_format=json >/dev/null
+
+echo "== done; review with: git diff tests/golden BENCH_engine.json"

@@ -82,6 +82,9 @@ void HostDriver::OnComplete(uint64_t id, bool is_write, SimTime arrival) {
   } else {
     read_ms_.Add(ms);
   }
+  if (completion_listener_) {
+    completion_listener_(id, ms, is_write);
+  }
   TryDispatch();
 }
 

@@ -18,6 +18,7 @@
 #define AFRAID_ARRAY_HOST_DRIVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 
 #include "array/controller.h"
@@ -77,6 +78,15 @@ class HostDriver {
     write_ms_.Reserve(n);
   }
 
+  // Per-request completion hook: fires after the latency samples are
+  // recorded, with the driver-assigned id (1-based, in submission order)
+  // and the measured arrival->completion latency. The fleet layer uses it
+  // to join split requests across shards; null (the default) costs nothing.
+  using CompletionListener = std::function<void(uint64_t id, double ms, bool is_write)>;
+  void SetCompletionListener(CompletionListener listener) {
+    completion_listener_ = std::move(listener);
+  }
+
  private:
   void TryDispatch();
   void OnComplete(uint64_t id, bool is_write, SimTime arrival);
@@ -105,6 +115,7 @@ class HostDriver {
   SampleSet read_ms_;
   SampleSet write_ms_;
   TimeWeightedValue occupancy_;
+  CompletionListener completion_listener_;
 };
 
 }  // namespace afraid

@@ -1,0 +1,148 @@
+#include "fleet/sharding.h"
+
+#include <algorithm>
+
+namespace afraid {
+
+const char* ShardingKindName(ShardingKind kind) {
+  switch (kind) {
+    case ShardingKind::kRange:
+      return "range";
+    case ShardingKind::kConsistentHash:
+      return "chash";
+  }
+  return "?";
+}
+
+int64_t ShardMap::SizeVolume(int32_t num_shards, int64_t shard_capacity_bytes,
+                             int64_t chunk_bytes, double fill_fraction) {
+  assert(num_shards > 0 && shard_capacity_bytes > 0 && chunk_bytes > 0);
+  assert(fill_fraction > 0.0 && fill_fraction <= 1.0);
+  const int64_t total = static_cast<int64_t>(
+      static_cast<double>(shard_capacity_bytes) * num_shards * fill_fraction);
+  const int64_t granule = chunk_bytes * num_shards;
+  const int64_t volume = (total / granule) * granule;
+  assert(volume > 0 && "fleet too small for one chunk per shard");
+  return volume;
+}
+
+ShardMap ShardMap::Range(int32_t num_shards, int64_t chunk_bytes,
+                         int64_t volume_bytes) {
+  assert(num_shards > 0 && chunk_bytes > 0);
+  assert(volume_bytes % chunk_bytes == 0);
+  const int64_t chunks = volume_bytes / chunk_bytes;
+  assert(chunks % num_shards == 0);
+  const int64_t per_shard = chunks / num_shards;
+
+  ShardMap m;
+  m.kind_ = ShardingKind::kRange;
+  m.num_shards_ = num_shards;
+  m.chunk_bytes_ = chunk_bytes;
+  m.volume_bytes_ = volume_bytes;
+  m.chunk_shard_.resize(static_cast<size_t>(chunks));
+  m.chunk_local_.resize(static_cast<size_t>(chunks));
+  m.chunks_per_shard_.assign(static_cast<size_t>(num_shards), per_shard);
+  for (int64_t c = 0; c < chunks; ++c) {
+    m.chunk_shard_[static_cast<size_t>(c)] = static_cast<int32_t>(c / per_shard);
+    m.chunk_local_[static_cast<size_t>(c)] = c % per_shard;
+  }
+  return m;
+}
+
+ShardMap ShardMap::ConsistentHash(int32_t num_shards, int64_t chunk_bytes,
+                                  int64_t volume_bytes,
+                                  int64_t shard_capacity_bytes,
+                                  int32_t vnodes_per_shard, uint64_t seed) {
+  assert(num_shards > 0 && chunk_bytes > 0 && vnodes_per_shard > 0);
+  assert(volume_bytes % chunk_bytes == 0);
+  const int64_t chunks = volume_bytes / chunk_bytes;
+  const int64_t cap_chunks = shard_capacity_bytes / chunk_bytes;
+  assert(cap_chunks * num_shards >= chunks && "volume exceeds fleet capacity");
+
+  // Build the ring: (point, shard) for every virtual node, sorted by point.
+  // Ties (astronomically unlikely) break by shard id for determinism.
+  struct Vnode {
+    uint64_t point;
+    int32_t shard;
+  };
+  std::vector<Vnode> ring;
+  ring.reserve(static_cast<size_t>(num_shards) *
+               static_cast<size_t>(vnodes_per_shard));
+  for (int32_t s = 0; s < num_shards; ++s) {
+    for (int32_t v = 0; v < vnodes_per_shard; ++v) {
+      ring.push_back(Vnode{FleetVnodePoint(seed, s, v), s});
+    }
+  }
+  std::sort(ring.begin(), ring.end(), [](const Vnode& a, const Vnode& b) {
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+
+  ShardMap m;
+  m.kind_ = ShardingKind::kConsistentHash;
+  m.num_shards_ = num_shards;
+  m.chunk_bytes_ = chunk_bytes;
+  m.volume_bytes_ = volume_bytes;
+  m.chunk_shard_.resize(static_cast<size_t>(chunks));
+  m.chunk_local_.resize(static_cast<size_t>(chunks));
+  m.chunks_per_shard_.assign(static_cast<size_t>(num_shards), 0);
+
+  // Assign chunks in ascending chunk order (so local indices are a pure
+  // function of the map, not of request order). Each chunk goes to the
+  // first vnode at or after its ring key whose shard still has capacity;
+  // walking on past full shards is the deterministic spill path.
+  for (int64_t c = 0; c < chunks; ++c) {
+    const uint64_t key = FleetChunkPoint(c);
+    const auto it = std::lower_bound(
+        ring.begin(), ring.end(), key,
+        [](const Vnode& v, uint64_t k) { return v.point < k; });
+    size_t pos = static_cast<size_t>(it - ring.begin()) % ring.size();
+    int32_t owner = -1;
+    for (size_t step = 0; step < ring.size(); ++step) {
+      const int32_t s = ring[(pos + step) % ring.size()].shard;
+      if (m.chunks_per_shard_[static_cast<size_t>(s)] < cap_chunks) {
+        owner = s;
+        if (step > 0) {
+          ++m.spilled_chunks_;
+        }
+        break;
+      }
+    }
+    assert(owner >= 0);
+    m.chunk_shard_[static_cast<size_t>(c)] = owner;
+    m.chunk_local_[static_cast<size_t>(c)] =
+        m.chunks_per_shard_[static_cast<size_t>(owner)]++;
+  }
+  return m;
+}
+
+void ShardMap::SplitRange(int64_t offset, int32_t length,
+                          std::vector<ShardPiece>* pieces) const {
+  pieces->clear();
+  assert(offset >= 0 && length > 0 && offset + length <= volume_bytes_);
+  int64_t at = offset;
+  int64_t remaining = length;
+  while (remaining > 0) {
+    const int64_t chunk_end = (at / chunk_bytes_ + 1) * chunk_bytes_;
+    const int64_t take = std::min(remaining, chunk_end - at);
+    const ShardTarget t = Route(at);
+    // Coalesce with the previous piece when it continues the same shard's
+    // local address space (always true for intra-chunk continuation; also
+    // true across chunks mapped to consecutive local indices).
+    if (!pieces->empty()) {
+      ShardPiece& back = pieces->back();
+      if (back.shard == t.shard &&
+          back.local_offset + back.length == t.local_offset) {
+        back.length += static_cast<int32_t>(take);
+        at += take;
+        remaining -= take;
+        continue;
+      }
+    }
+    pieces->push_back(
+        ShardPiece{t.shard, t.local_offset, static_cast<int32_t>(take)});
+    at += take;
+    remaining -= take;
+  }
+}
+
+}  // namespace afraid

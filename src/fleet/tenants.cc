@@ -1,0 +1,160 @@
+#include "fleet/tenants.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/random.h"
+
+namespace afraid {
+
+std::vector<TenantClass> DefaultTenantClasses() {
+  std::vector<TenantClass> classes;
+
+  {
+    // Interactive: light, very bursty, small mixed I/Os with long quiet
+    // spells -- the hplajw shape scaled to a session.
+    TenantClass c;
+    c.name = "interactive";
+    c.weight = 0.5;
+    c.shape.write_fraction = 0.55;
+    c.shape.mean_burst_requests = 6.0;
+    c.shape.intra_burst_gap_ms = 25.0;
+    c.shape.mean_idle_ms = 2000.0;
+    c.shape.idle_pareto_alpha = 1.3;
+    c.shape.max_idle_ms = 120000.0;
+    c.shape.long_idle_prob = 0.05;
+    c.shape.size_dist = {{4096, 3.0}, {8192, 2.0}, {16384, 1.0}};
+    c.shape.seq_prob = 0.25;
+    c.shape.hot_regions = 2;
+    c.shape.hot_fraction = 0.7;
+    c.shape.hot_region_frac = 0.05;
+    classes.push_back(c);
+  }
+  {
+    // OLTP-ish: steady small updates, short gaps, write-heavy, hot keys.
+    TenantClass c;
+    c.name = "oltp";
+    c.weight = 0.25;
+    c.shape.write_fraction = 0.75;
+    c.shape.mean_burst_requests = 20.0;
+    c.shape.intra_burst_gap_ms = 8.0;
+    c.shape.mean_idle_ms = 300.0;
+    c.shape.idle_pareto_alpha = 1.5;
+    c.shape.max_idle_ms = 30000.0;
+    c.shape.size_dist = {{2048, 2.0}, {4096, 3.0}, {8192, 1.0}};
+    c.shape.seq_prob = 0.1;
+    c.shape.hot_regions = 4;
+    c.shape.hot_fraction = 0.8;
+    c.shape.hot_region_frac = 0.02;
+    classes.push_back(c);
+  }
+  {
+    // Analytics: long sequential read scans, few writes.
+    TenantClass c;
+    c.name = "analytics";
+    c.weight = 0.15;
+    c.shape.write_fraction = 0.05;
+    c.shape.mean_burst_requests = 40.0;
+    c.shape.intra_burst_gap_ms = 5.0;
+    c.shape.mean_idle_ms = 5000.0;
+    c.shape.idle_pareto_alpha = 1.4;
+    c.shape.max_idle_ms = 300000.0;
+    c.shape.size_dist = {{32768, 3.0}, {65536, 1.0}};
+    c.shape.seq_prob = 0.85;
+    c.shape.hot_regions = 1;
+    c.shape.hot_fraction = 0.3;
+    c.shape.hot_region_frac = 0.2;
+    classes.push_back(c);
+  }
+  {
+    // Backup: occasional long sequential write streams.
+    TenantClass c;
+    c.name = "backup";
+    c.weight = 0.1;
+    c.shape.write_fraction = 0.95;
+    c.shape.mean_burst_requests = 60.0;
+    c.shape.intra_burst_gap_ms = 4.0;
+    c.shape.mean_idle_ms = 20000.0;
+    c.shape.idle_pareto_alpha = 1.6;
+    c.shape.max_idle_ms = 600000.0;
+    c.shape.size_dist = {{65536, 1.0}};
+    c.shape.seq_prob = 0.9;
+    c.shape.hot_regions = 0;
+    c.shape.hot_fraction = 0.0;
+    classes.push_back(c);
+  }
+  return classes;
+}
+
+FleetTrace GenerateFleetWorkload(const FleetWorkloadParams& params,
+                                 int64_t volume_bytes) {
+  assert(params.num_tenants > 0);
+  assert(!params.classes.empty());
+  assert(volume_bytes > 0);
+
+  FleetTrace fleet;
+  fleet.name = params.name;
+  fleet.num_tenants = params.num_tenants;
+
+  // Tenant slices tile the volume; the slice must hold the largest request
+  // a class can issue.
+  const int64_t align = 512;
+  int64_t slice = volume_bytes / params.num_tenants;
+  slice -= slice % align;
+  int32_t max_size = 0;
+  for (const TenantClass& c : params.classes) {
+    for (const auto& [size, w] : c.shape.size_dist) {
+      max_size = std::max(max_size, size);
+    }
+  }
+  assert(slice >= max_size && "volume too small for this many tenants");
+
+  const uint64_t per_tenant_cap =
+      std::max<uint64_t>(1, params.max_requests / params.num_tenants);
+
+  std::vector<double> weights;
+  weights.reserve(params.classes.size());
+  for (const TenantClass& c : params.classes) {
+    weights.push_back(c.weight);
+  }
+
+  // Class assignment stream is independent of the request streams, so
+  // adding tenants never perturbs existing ones.
+  Rng class_rng(DeriveStreamSeed(params.seed, 0));
+  fleet.records.reserve(params.max_requests);
+  for (int32_t t = 0; t < params.num_tenants; ++t) {
+    const TenantClass& cls = params.classes[class_rng.WeightedIndex(weights)];
+    WorkloadParams shape = cls.shape;
+    shape.name = cls.name;
+    shape.seed = DeriveStreamSeed(params.seed, 1000u + static_cast<uint64_t>(t));
+    shape.address_space_bytes = slice;
+    shape.align_bytes = align;
+    const Trace session =
+        GenerateWorkload(shape, per_tenant_cap, params.max_duration);
+    const int64_t base = slice * t;
+    // Session start offset from its own stream, so it never perturbs the
+    // request sequence (nor any other tenant's).
+    Rng start_rng(DeriveStreamSeed(params.seed, 2'000'000u + static_cast<uint64_t>(t)));
+    const SimTime start =
+        params.start_jitter > 0
+            ? static_cast<SimTime>(start_rng.UniformDouble(
+                  0.0, static_cast<double>(params.start_jitter)))
+            : 0;
+    for (const TraceRecord& r : session.records) {
+      fleet.records.push_back(
+          FleetRecord{start + r.time, base + r.offset, r.size, r.is_write, t});
+    }
+  }
+
+  // Merge into one arrival stream. The sort key includes the tenant id, and
+  // per-tenant record order is already time-sorted, so the result is a pure
+  // function of (params, volume_bytes).
+  std::stable_sort(fleet.records.begin(), fleet.records.end(),
+                   [](const FleetRecord& a, const FleetRecord& b) {
+                     return a.time != b.time ? a.time < b.time
+                                             : a.tenant < b.tenant;
+                   });
+  return fleet;
+}
+
+}  // namespace afraid

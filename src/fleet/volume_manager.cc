@@ -1,0 +1,572 @@
+#include "fleet/volume_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "array/host_driver.h"
+#include "array/plan.h"
+#include "core/afraid_controller.h"
+#include "core/experiment.h"
+#include "core/parity_log_controller.h"
+#include "core/raid6_controller.h"
+#include "core/sweep.h"
+#include "disk/geometry.h"
+#include "obs/artifacts.h"
+#include "obs/json.h"
+#include "obs/probe.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+#include "stats/sample_set.h"
+
+namespace afraid {
+
+const char* FleetSchemeName(FleetScheme scheme) {
+  switch (scheme) {
+    case FleetScheme::kAfraid:
+      return "afraid";
+    case FleetScheme::kRaid6DeferQ:
+      return "raid6-deferQ";
+    case FleetScheme::kRaid6DeferBoth:
+      return "raid6-deferPQ";
+    case FleetScheme::kParityLog:
+      return "parity-log";
+  }
+  return "?";
+}
+
+const char* MgmtOpKindName(MgmtOp::Kind kind) {
+  switch (kind) {
+    case MgmtOp::Kind::kDiskFail:
+      return "disk_fail";
+    case MgmtOp::Kind::kDiskRepaired:
+      return "disk_repaired";
+    case MgmtOp::Kind::kInfo:
+      return "info";
+    case MgmtOp::Kind::kDestroy:
+      return "destroy";
+  }
+  return "?";
+}
+
+namespace {
+
+// The per-shard half of a fleet run: everything derived from the shard's
+// inputs only, so shards are pure parallel sweep cells.
+struct ShardResult {
+  ShardReport report;
+  // Piece latency by shard-trace record index; < 0 means dropped.
+  std::vector<double> lat;
+  std::unique_ptr<Tracer> tracer;
+};
+
+// Feeds the shard's precompiled plan into its host driver, with destroy
+// (decommission) support: once destroyed, the remaining arrivals are
+// dropped and counted instead of submitted.
+class ShardReplayer {
+ public:
+  ShardReplayer(Simulator* sim, HostDriver* driver, const RequestPlan& plan)
+      : sim_(sim), driver_(driver), plan_(plan) {}
+
+  void Start() { ScheduleNext(); }
+
+  void Destroy() {
+    if (destroyed_) {
+      return;
+    }
+    destroyed_ = true;
+    if (pending_valid_) {
+      sim_->Cancel(pending_);
+      pending_valid_ = false;
+    }
+    dropped_ = plan_.size() - next_;
+    next_ = plan_.size();
+  }
+
+  bool destroyed() const { return destroyed_; }
+  size_t dropped() const { return dropped_; }
+  size_t submitted() const { return plan_.size() - dropped_; }
+
+ private:
+  void ScheduleNext() {
+    if (next_ >= plan_.size()) {
+      return;
+    }
+    const PlanRecord& r = plan_.record(next_);
+    pending_ = sim_->At(std::max(r.time, sim_->Now()), [this] {
+      pending_valid_ = false;
+      const PlanRecord& rec = plan_.record(next_);
+      const Span<Segment> segs = plan_.segments(next_);
+      driver_->SubmitPlanned(rec.offset, rec.size, rec.is_write, segs.data,
+                             segs.count);
+      ++next_;
+      ScheduleNext();
+    });
+    pending_valid_ = true;
+  }
+
+  Simulator* sim_;
+  HostDriver* driver_;
+  const RequestPlan& plan_;
+  size_t next_ = 0;
+  size_t dropped_ = 0;
+  bool destroyed_ = false;
+  bool pending_valid_ = false;
+  EventId pending_{};
+};
+
+// Usable per-disk capacity under `scheme` (the parity log reserves a log
+// region at the end of every disk).
+int64_t DiskCapacityFor(const ArrayConfig& acfg, FleetScheme scheme) {
+  const DiskGeometry geom(acfg.disk_spec.zones, acfg.disk_spec.heads,
+                          acfg.disk_spec.sector_bytes);
+  int64_t cap = geom.CapacityBytes();
+  if (scheme == FleetScheme::kParityLog) {
+    cap -= ParityLogConfig{}.log_region_bytes;
+  }
+  return cap;
+}
+
+ShardResult RunShard(const FleetConfig& cfg, int32_t shard, const Trace& strace,
+                     const std::vector<MgmtOp>& ops, bool trace_on) {
+  ShardResult result;
+  ShardReport& rep = result.report;
+  rep.shard = shard;
+
+  Simulator sim;
+  if (trace_on) {
+    result.tracer = std::make_unique<Tracer>();
+  }
+  const Probe probe(result.tracer.get());
+
+  const ArrayConfig& acfg = cfg.array;
+  std::unique_ptr<AfraidController> afraid;
+  std::unique_ptr<Raid6Controller> raid6;
+  std::unique_ptr<ParityLogController> plog;
+  ArrayController* ctrl = nullptr;
+  switch (cfg.scheme) {
+    case FleetScheme::kAfraid:
+      afraid = std::make_unique<AfraidController>(
+          &sim, acfg, MakePolicy(cfg.policy), AvailabilityParamsFor(acfg),
+          probe);
+      ctrl = afraid.get();
+      break;
+    case FleetScheme::kRaid6DeferQ:
+      raid6 = std::make_unique<Raid6Controller>(&sim, acfg, Raid6Mode::kDeferQ);
+      ctrl = raid6.get();
+      break;
+    case FleetScheme::kRaid6DeferBoth:
+      raid6 =
+          std::make_unique<Raid6Controller>(&sim, acfg, Raid6Mode::kDeferBoth);
+      ctrl = raid6.get();
+      break;
+    case FleetScheme::kParityLog:
+      plog = std::make_unique<ParityLogController>(&sim, acfg,
+                                                   ParityLogConfig{});
+      ctrl = plog.get();
+      break;
+  }
+  HostDriver driver(&sim, ctrl, acfg.MaxActive(), acfg.host_sched, probe);
+
+  // Compile the shard's arrivals once against the controller's exact layout
+  // (the same precomputation the single-array Experiment does).
+  const StripeLayout layout(acfg.num_disks, acfg.stripe_unit_bytes,
+                            DiskCapacityFor(acfg, cfg.scheme),
+                            acfg.parity_blocks);
+  assert(layout.data_capacity_bytes() == ctrl->DataCapacityBytes());
+  const RequestPlan plan(strace, layout);
+  driver.ReserveLatencySamples(plan.size());
+
+  // Piece latencies by submission order: driver ids are 1-based and
+  // assigned in submission order, which is plan-record order.
+  result.lat.assign(plan.size(), -1.0);
+  driver.SetCompletionListener(
+      [&result](uint64_t id, double ms, bool /*is_write*/) {
+        result.lat[static_cast<size_t>(id - 1)] = ms;
+      });
+
+  ShardReplayer replayer(&sim, &driver, plan);
+  replayer.Start();
+
+  // The online management timeline: each op runs inside this shard's event
+  // loop at its simulated time, with client traffic still flowing.
+  SimTime degraded_from = -1;
+  for (const MgmtOp& op : ops) {
+    sim.At(op.time, [&, op] {
+      switch (op.kind) {
+        case MgmtOp::Kind::kDiskFail:
+          if (afraid != nullptr && afraid->failed_disk() < 0 &&
+              afraid->recovering_disk() < 0 && op.disk >= 0 &&
+              op.disk < acfg.num_disks) {
+            afraid->FailDisk(op.disk);
+            rep.disk_failed = true;
+            degraded_from = sim.Now();
+          } else {
+            ++rep.mgmt_unsupported;
+          }
+          break;
+        case MgmtOp::Kind::kDiskRepaired:
+          if (afraid != nullptr && afraid->failed_disk() == op.disk) {
+            afraid->ReplaceDisk(op.disk);
+            afraid->StartReconstruction([&] {
+              rep.repaired = true;
+              if (degraded_from >= 0) {
+                rep.degraded_s += ToSeconds(sim.Now() - degraded_from);
+                degraded_from = -1;
+              }
+            });
+          } else {
+            ++rep.mgmt_unsupported;
+          }
+          break;
+        case MgmtOp::Kind::kInfo: {
+          ShardInfo info;
+          info.time = sim.Now();
+          info.shard = shard;
+          info.destroyed = replayer.destroyed();
+          info.accepted = driver.Accepted();
+          info.completed = driver.Completed();
+          if (afraid != nullptr) {
+            info.failed_disk = afraid->failed_disk();
+            info.recovering_disk = afraid->recovering_disk();
+            info.dirty_bands = afraid->nvram().DirtyCount();
+            info.loss_events = afraid->LossEvents();
+            info.bytes_lost = afraid->BytesLost();
+          } else if (raid6 != nullptr) {
+            info.dirty_bands = raid6->StaleP() + raid6->StaleQ();
+          }
+          rep.infos.push_back(info);
+          break;
+        }
+        case MgmtOp::Kind::kDestroy:
+          replayer.Destroy();
+          rep.destroyed = true;
+          break;
+      }
+    });
+  }
+
+  sim.RunToEnd();
+  assert(driver.Drained());
+  if (degraded_from >= 0) {
+    // Failed and never repaired: degraded until the end of the run.
+    rep.degraded_s += ToSeconds(sim.Now() - degraded_from);
+  }
+
+  rep.requests = driver.Completed();
+  rep.reads = driver.ReadLatencies().Count();
+  rep.writes = driver.WriteLatencies().Count();
+  rep.dropped = replayer.dropped();
+  for (size_t i = 0; i < replayer.submitted(); ++i) {
+    rep.bytes += strace.records[i].size;
+  }
+  rep.mean_ms = driver.AllLatencies().Mean();
+  rep.p99_ms = driver.AllLatencies().Percentile(0.99);
+  rep.max_ms = driver.AllLatencies().Max();
+  rep.duration_s = ToSeconds(sim.Now());
+  if (afraid != nullptr) {
+    double util = 0.0;
+    for (int32_t d = 0; d < acfg.num_disks; ++d) {
+      util += afraid->disk(d).UtilizationTo(sim.Now());
+    }
+    rep.disk_utilization = util / acfg.num_disks;
+    rep.mean_parity_lag_bytes = afraid->MeanParityLagBytes();
+    rep.t_unprot_fraction = afraid->TUnprotFraction();
+    rep.stripes_rebuilt = afraid->StripesRebuilt();
+    rep.loss_events = afraid->LossEvents();
+    rep.bytes_lost = afraid->BytesLost();
+  } else if (raid6 != nullptr) {
+    rep.mean_parity_lag_bytes = raid6->MeanFullyExposedBytes();
+    rep.t_unprot_fraction = raid6->TBothStaleFraction();
+    rep.stripes_rebuilt = raid6->StripesRebuilt();
+  }
+  return result;
+}
+
+}  // namespace
+
+VolumeManager::VolumeManager(const FleetConfig& cfg) : cfg_(cfg) {
+  assert(cfg_.num_shards > 0);
+  // RAID 6 shards keep two parity blocks per stripe regardless of what the
+  // caller left in the array config.
+  if (cfg_.scheme == FleetScheme::kRaid6DeferQ ||
+      cfg_.scheme == FleetScheme::kRaid6DeferBoth) {
+    cfg_.array.parity_blocks = 2;
+  } else {
+    cfg_.array.parity_blocks = 1;
+  }
+  const StripeLayout layout(cfg_.array.num_disks, cfg_.array.stripe_unit_bytes,
+                            DiskCapacityFor(cfg_.array, cfg_.scheme),
+                            cfg_.array.parity_blocks);
+  shard_capacity_ = layout.data_capacity_bytes();
+
+  const int64_t volume = ShardMap::SizeVolume(
+      cfg_.num_shards, shard_capacity_, cfg_.chunk_bytes, cfg_.fill_fraction);
+  if (cfg_.sharding == ShardingKind::kRange) {
+    map_ = ShardMap::Range(cfg_.num_shards, cfg_.chunk_bytes, volume);
+  } else {
+    map_ = ShardMap::ConsistentHash(cfg_.num_shards, cfg_.chunk_bytes, volume,
+                                    shard_capacity_, cfg_.vnodes_per_shard,
+                                    cfg_.seed);
+  }
+}
+
+void VolumeManager::AddOp(MgmtOp::Kind kind, SimTime at, int32_t shard,
+                          int32_t disk) {
+  assert(at >= 0);
+  if (shard < 0) {  // -1 targets every shard (info broadcast).
+    for (int32_t s = 0; s < cfg_.num_shards; ++s) {
+      ops_.push_back(MgmtOp{kind, at, s, disk});
+    }
+    return;
+  }
+  assert(shard < cfg_.num_shards);
+  ops_.push_back(MgmtOp{kind, at, shard, disk});
+}
+
+void VolumeManager::DiskFail(SimTime at, int32_t shard, int32_t disk) {
+  AddOp(MgmtOp::Kind::kDiskFail, at, shard, disk);
+}
+void VolumeManager::DiskRepaired(SimTime at, int32_t shard, int32_t disk) {
+  AddOp(MgmtOp::Kind::kDiskRepaired, at, shard, disk);
+}
+void VolumeManager::InfoAt(SimTime at, int32_t shard) {
+  AddOp(MgmtOp::Kind::kInfo, at, shard, -1);
+}
+void VolumeManager::Destroy(SimTime at, int32_t shard) {
+  AddOp(MgmtOp::Kind::kDestroy, at, shard, -1);
+}
+
+FleetReport VolumeManager::Run(const FleetTrace& trace, const RunOptions& opts) {
+  const int32_t num_shards = cfg_.num_shards;
+
+  // Route every logical record into per-shard traces, remembering which
+  // logical request each piece belongs to for the completion join.
+  std::vector<Trace> shard_traces(static_cast<size_t>(num_shards));
+  std::vector<std::vector<uint32_t>> piece_owner(
+      static_cast<size_t>(num_shards));
+  std::vector<int32_t> piece_count(trace.Size(), 0);
+  std::vector<ShardPiece> scratch;
+  for (size_t r = 0; r < trace.Size(); ++r) {
+    const FleetRecord& rec = trace.records[r];
+    map_.SplitRange(rec.offset, rec.size, &scratch);
+    for (const ShardPiece& p : scratch) {
+      const auto s = static_cast<size_t>(p.shard);
+      shard_traces[s].records.push_back(
+          TraceRecord{rec.time, p.local_offset, p.length, rec.is_write});
+      piece_owner[s].push_back(static_cast<uint32_t>(r));
+    }
+    piece_count[r] = static_cast<int32_t>(scratch.size());
+  }
+  for (int32_t s = 0; s < num_shards; ++s) {
+    shard_traces[static_cast<size_t>(s)].name =
+        trace.name + "/shard" + std::to_string(s);
+  }
+
+  std::vector<std::vector<MgmtOp>> shard_ops(static_cast<size_t>(num_shards));
+  for (const MgmtOp& op : ops_) {
+    shard_ops[static_cast<size_t>(op.shard)].push_back(op);
+  }
+
+  const bool trace_shards = opts.trace_shards && !opts.artifacts_dir.empty();
+  std::vector<ShardResult> results = ParallelSweep(
+      num_shards,
+      [&](int64_t s) {
+        const auto i = static_cast<size_t>(s);
+        return RunShard(cfg_, static_cast<int32_t>(s), shard_traces[i],
+                        shard_ops[i], trace_shards);
+      },
+      opts.threads);
+
+  // Join pieces back into client-visible requests: a split request
+  // completes when its last piece does, so its latency is the max over
+  // pieces (all pieces share the arrival instant).
+  std::vector<double> logical_ms(trace.Size(), -1.0);
+  std::vector<uint8_t> logical_dropped(trace.Size(), 0);
+  for (int32_t s = 0; s < num_shards; ++s) {
+    const auto si = static_cast<size_t>(s);
+    for (size_t i = 0; i < piece_owner[si].size(); ++i) {
+      const uint32_t r = piece_owner[si][i];
+      const double ms = results[si].lat[i];
+      if (ms < 0) {
+        logical_dropped[r] = 1;
+      } else {
+        logical_ms[r] = std::max(logical_ms[r], ms);
+      }
+    }
+  }
+
+  FleetReport rep;
+  rep.workload = trace.name;
+  rep.scheme = FleetSchemeName(cfg_.scheme);
+  rep.sharding = ShardingKindName(map_.kind());
+  rep.num_shards = num_shards;
+  rep.num_tenants = trace.num_tenants;
+  rep.volume_bytes = map_.volume_bytes();
+
+  SampleSet all_ms;
+  SampleSet read_ms;
+  SampleSet write_ms;
+  all_ms.Reserve(trace.Size());
+  for (size_t r = 0; r < trace.Size(); ++r) {
+    if (piece_count[r] > 1) {
+      ++rep.split_requests;
+    }
+    if (logical_dropped[r] != 0 || logical_ms[r] < 0) {
+      ++rep.dropped;
+      continue;
+    }
+    all_ms.Add(logical_ms[r]);
+    if (trace.records[r].is_write) {
+      write_ms.Add(logical_ms[r]);
+    } else {
+      read_ms.Add(logical_ms[r]);
+    }
+  }
+  rep.requests = all_ms.Count();
+  rep.reads = read_ms.Count();
+  rep.writes = write_ms.Count();
+  rep.mean_ms = all_ms.Mean();
+  rep.p50_ms = all_ms.Percentile(0.50);
+  rep.p90_ms = all_ms.Percentile(0.90);
+  rep.p99_ms = all_ms.Percentile(0.99);
+  rep.p999_ms = all_ms.Percentile(0.999);
+  rep.max_ms = all_ms.Max();
+  rep.mean_read_ms = read_ms.Mean();
+  rep.mean_write_ms = write_ms.Mean();
+
+  // Per-shard load balance and availability roll-ups.
+  double sum_req = 0.0;
+  double sum_sq = 0.0;
+  double max_req = 0.0;
+  double sum_bytes = 0.0;
+  double max_bytes = 0.0;
+  for (ShardResult& res : results) {
+    const ShardReport& s = res.report;
+    rep.duration_s = std::max(rep.duration_s, s.duration_s);
+    rep.degraded_shard_s += s.degraded_s;
+    rep.loss_events += s.loss_events;
+    rep.bytes_lost += s.bytes_lost;
+    if (s.destroyed) {
+      ++rep.shards_destroyed;
+    }
+    const auto req = static_cast<double>(s.requests);
+    sum_req += req;
+    sum_sq += req * req;
+    max_req = std::max(max_req, req);
+    const auto bytes = static_cast<double>(s.bytes);
+    sum_bytes += bytes;
+    max_bytes = std::max(max_bytes, bytes);
+    rep.shards.push_back(std::move(res.report));
+  }
+  const double mean_req = sum_req / num_shards;
+  if (mean_req > 0.0) {
+    rep.imbalance_max_mean = max_req / mean_req;
+    const double var = sum_sq / num_shards - mean_req * mean_req;
+    rep.imbalance_cv = std::sqrt(std::max(var, 0.0)) / mean_req;
+  }
+  const double mean_bytes = sum_bytes / num_shards;
+  if (mean_bytes > 0.0) {
+    rep.byte_imbalance_max_mean = max_bytes / mean_bytes;
+  }
+
+  if (!opts.artifacts_dir.empty()) {
+    RunArtifacts artifacts(opts.artifacts_dir);
+    if (artifacts.ok()) {
+      artifacts.WriteText("fleet.json", FleetReportToJson(rep) + "\n");
+      if (trace_shards) {
+        for (int32_t s = 0; s < num_shards; ++s) {
+          const auto si = static_cast<size_t>(s);
+          if (results[si].tracer != nullptr) {
+            RunArtifacts shard_dir(opts.artifacts_dir + "/shard" +
+                                   std::to_string(s));
+            if (shard_dir.ok()) {
+              shard_dir.WriteTrace(*results[si].tracer);
+            }
+          }
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+std::string FleetReportToJson(const FleetReport& rep) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("workload").Value(rep.workload);
+  w.Key("scheme").Value(rep.scheme);
+  w.Key("sharding").Value(rep.sharding);
+  w.Key("num_shards").Value(rep.num_shards);
+  w.Key("num_tenants").Value(rep.num_tenants);
+  w.Key("volume_bytes").Value(rep.volume_bytes);
+  w.Key("requests").Value(rep.requests);
+  w.Key("reads").Value(rep.reads);
+  w.Key("writes").Value(rep.writes);
+  w.Key("dropped").Value(rep.dropped);
+  w.Key("split_requests").Value(rep.split_requests);
+  w.Key("mean_ms").Value(rep.mean_ms);
+  w.Key("p50_ms").Value(rep.p50_ms);
+  w.Key("p90_ms").Value(rep.p90_ms);
+  w.Key("p99_ms").Value(rep.p99_ms);
+  w.Key("p999_ms").Value(rep.p999_ms);
+  w.Key("max_ms").Value(rep.max_ms);
+  w.Key("mean_read_ms").Value(rep.mean_read_ms);
+  w.Key("mean_write_ms").Value(rep.mean_write_ms);
+  w.Key("duration_s").Value(rep.duration_s);
+  w.Key("imbalance_max_mean").Value(rep.imbalance_max_mean);
+  w.Key("imbalance_cv").Value(rep.imbalance_cv);
+  w.Key("byte_imbalance_max_mean").Value(rep.byte_imbalance_max_mean);
+  w.Key("degraded_shard_s").Value(rep.degraded_shard_s);
+  w.Key("loss_events").Value(rep.loss_events);
+  w.Key("bytes_lost").Value(rep.bytes_lost);
+  w.Key("shards_destroyed").Value(rep.shards_destroyed);
+  w.Key("shards").BeginArray();
+  for (const ShardReport& s : rep.shards) {
+    w.BeginObject();
+    w.Key("shard").Value(s.shard);
+    w.Key("requests").Value(s.requests);
+    w.Key("reads").Value(s.reads);
+    w.Key("writes").Value(s.writes);
+    w.Key("dropped").Value(s.dropped);
+    w.Key("bytes").Value(s.bytes);
+    w.Key("mean_ms").Value(s.mean_ms);
+    w.Key("p99_ms").Value(s.p99_ms);
+    w.Key("max_ms").Value(s.max_ms);
+    w.Key("duration_s").Value(s.duration_s);
+    w.Key("disk_utilization").Value(s.disk_utilization);
+    w.Key("mean_parity_lag_bytes").Value(s.mean_parity_lag_bytes);
+    w.Key("t_unprot_fraction").Value(s.t_unprot_fraction);
+    w.Key("stripes_rebuilt").Value(s.stripes_rebuilt);
+    w.Key("loss_events").Value(s.loss_events);
+    w.Key("bytes_lost").Value(s.bytes_lost);
+    w.Key("disk_failed").Value(s.disk_failed);
+    w.Key("repaired").Value(s.repaired);
+    w.Key("degraded_s").Value(s.degraded_s);
+    w.Key("destroyed").Value(s.destroyed);
+    w.Key("mgmt_unsupported").Value(s.mgmt_unsupported);
+    w.Key("infos").BeginArray();
+    for (const ShardInfo& info : s.infos) {
+      w.BeginObject();
+      w.Key("time_s").Value(ToSeconds(info.time));
+      w.Key("destroyed").Value(info.destroyed);
+      w.Key("failed_disk").Value(info.failed_disk);
+      w.Key("recovering_disk").Value(info.recovering_disk);
+      w.Key("accepted").Value(info.accepted);
+      w.Key("completed").Value(info.completed);
+      w.Key("dirty_bands").Value(info.dirty_bands);
+      w.Key("loss_events").Value(info.loss_events);
+      w.Key("bytes_lost").Value(info.bytes_lost);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+}  // namespace afraid

@@ -5,17 +5,38 @@
 
 namespace afraid {
 
+namespace {
+
+// Value at (fractional) `rank` within one sorted tail, interpolating between
+// adjacent retained samples -- the same convention SampleSet::Percentile uses
+// over the full sample vector.
+double TailAtRank(const std::vector<double>& sorted, double rank) {
+  const auto idx = static_cast<size_t>(rank);
+  if (idx + 1 >= sorted.size()) {
+    return sorted.back();
+  }
+  const double frac = rank - static_cast<double>(idx);
+  return sorted[idx] + frac * (sorted[idx + 1] - sorted[idx]);
+}
+
+}  // namespace
+
 double Histogram::Quantile(double p) const {
   assert(p >= 0.0 && p <= 1.0);
   if (total_ == 0) {
     return 0.0;  // No samples: quantiles of an empty distribution are 0.
+  }
+  if (!tails_sorted_) {
+    std::sort(underflow_samples_.begin(), underflow_samples_.end());
+    std::sort(overflow_samples_.begin(), overflow_samples_.end());
+    tails_sorted_ = true;
   }
   // Rank in [0, total-1], linearly interpolated -- the same convention as
   // SampleSet::Percentile, so the two agree on exact data.
   const double rank = p * static_cast<double>(total_ - 1);
   double cum = static_cast<double>(underflow_);
   if (rank < cum) {
-    return lo_;  // Underflow mass: best available estimate is the low edge.
+    return TailAtRank(underflow_samples_, rank);  // Exact underflow sample.
   }
   for (size_t i = 0; i < counts_.size(); ++i) {
     const auto c = static_cast<double>(counts_[i]);
@@ -26,7 +47,8 @@ double Histogram::Quantile(double p) const {
     }
     cum += c;
   }
-  return BucketLow(counts_.size());  // Overflow mass: the top bucket edge.
+  // Overflow mass: exact retained samples, not the top bucket edge.
+  return TailAtRank(overflow_samples_, rank - cum);
 }
 
 std::string Histogram::Render(size_t max_width) const {

@@ -23,11 +23,15 @@ class Histogram {
     ++total_;
     if (x < lo_) {
       ++underflow_;
+      underflow_samples_.push_back(x);
+      tails_sorted_ = false;
       return;
     }
     const auto idx = static_cast<size_t>((x - lo_) / width_);
     if (idx >= counts_.size()) {
       ++overflow_;
+      overflow_samples_.push_back(x);
+      tails_sorted_ = false;
       return;
     }
     ++counts_[idx];
@@ -39,10 +43,13 @@ class Histogram {
   const std::vector<uint64_t>& Counts() const { return counts_; }
   double BucketLow(size_t i) const { return lo_ + width_ * static_cast<double>(i); }
 
-  // Interpolated p-quantile (p in [0, 1]) estimated from the bucket counts:
-  // mass is uniform within a bucket, underflow sits at `lo`, overflow at the
-  // top bucket edge. Defined on all inputs: 0.0 with no samples; a single
-  // sample returns its bucket midpoint for every p.
+  // Interpolated p-quantile (p in [0, 1]). Mass inside the bucketed range is
+  // uniform within its bucket; underflow and overflow samples are retained
+  // exactly (sorted on demand), so tail quantiles stay meaningful however far
+  // past the top bucket the distribution reaches -- p999 at fleet sample
+  // counts lands in the overflow region and is exact there, instead of being
+  // pinned to the top bucket edge. Defined on all inputs: 0.0 with no
+  // samples; a single in-range sample returns its bucket midpoint.
   double Quantile(double p) const;
   double Median() const { return Quantile(0.5); }
 
@@ -56,6 +63,10 @@ class Histogram {
   uint64_t underflow_ = 0;
   uint64_t overflow_ = 0;
   uint64_t total_ = 0;
+  // Out-of-range samples kept exactly; Quantile sorts them lazily.
+  mutable std::vector<double> underflow_samples_;
+  mutable std::vector<double> overflow_samples_;
+  mutable bool tails_sorted_ = true;
 };
 
 }  // namespace afraid

@@ -1,0 +1,211 @@
+// End-to-end fleet runs: thread-count invariance (the acceptance bar for
+// the sharded sweep), online management while traffic flows, and the
+// split-request latency join.
+
+#include "fleet/volume_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "fleet/tenants.h"
+
+namespace afraid {
+namespace {
+
+FleetConfig TinyFleet() {
+  FleetConfig cfg;
+  cfg.array.disk_spec = DiskSpec::TinyTestDisk();
+  cfg.array.num_disks = 4;
+  cfg.array.stripe_unit_bytes = 8192;
+  cfg.num_shards = 8;
+  cfg.chunk_bytes = 512 * 1024;
+  cfg.seed = 5;
+  return cfg;
+}
+
+FleetTrace TinyTenants(int64_t volume_bytes, int32_t tenants = 64,
+                       uint64_t requests = 4000) {
+  FleetWorkloadParams wp;
+  wp.seed = 11;
+  wp.num_tenants = tenants;
+  wp.max_requests = requests;
+  wp.max_duration = Minutes(5);
+  return GenerateFleetWorkload(wp, volume_bytes);
+}
+
+void ExpectShardReportsIdentical(const ShardReport& a, const ShardReport& b) {
+  EXPECT_EQ(a.shard, b.shard);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.max_ms, b.max_ms);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.disk_utilization, b.disk_utilization);
+  EXPECT_EQ(a.mean_parity_lag_bytes, b.mean_parity_lag_bytes);
+  EXPECT_EQ(a.stripes_rebuilt, b.stripes_rebuilt);
+  EXPECT_EQ(a.degraded_s, b.degraded_s);
+}
+
+// Field-by-field exact equality: any double ULP of drift between thread
+// counts is a determinism bug.
+void ExpectFleetReportsIdentical(const FleetReport& a, const FleetReport& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.split_requests, b.split_requests);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_EQ(a.p90_ms, b.p90_ms);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.p999_ms, b.p999_ms);
+  EXPECT_EQ(a.max_ms, b.max_ms);
+  EXPECT_EQ(a.mean_read_ms, b.mean_read_ms);
+  EXPECT_EQ(a.mean_write_ms, b.mean_write_ms);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.imbalance_max_mean, b.imbalance_max_mean);
+  EXPECT_EQ(a.imbalance_cv, b.imbalance_cv);
+  EXPECT_EQ(a.degraded_shard_s, b.degraded_shard_s);
+  EXPECT_EQ(a.loss_events, b.loss_events);
+  EXPECT_EQ(a.bytes_lost, b.bytes_lost);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (size_t i = 0; i < a.shards.size(); ++i) {
+    SCOPED_TRACE(i);
+    ExpectShardReportsIdentical(a.shards[i], b.shards[i]);
+  }
+}
+
+TEST(FleetRun, ThreadCountInvariant) {
+  for (ShardingKind kind :
+       {ShardingKind::kRange, ShardingKind::kConsistentHash}) {
+    SCOPED_TRACE(ShardingKindName(kind));
+    FleetConfig cfg = TinyFleet();
+    cfg.sharding = kind;
+    VolumeManager vm1(cfg);
+    // A mid-run failure + repair must also replay identically.
+    vm1.DiskFail(Seconds(1), /*shard=*/2, /*disk=*/1);
+    vm1.DiskRepaired(Seconds(20), /*shard=*/2, /*disk=*/1);
+    const FleetTrace trace = TinyTenants(vm1.VolumeBytes());
+    ASSERT_GT(trace.Size(), 1000u);
+
+    VolumeManager::RunOptions serial;
+    serial.threads = 1;
+    const FleetReport a = vm1.Run(trace, serial);
+
+    VolumeManager vm8(cfg);
+    vm8.DiskFail(Seconds(1), 2, 1);
+    vm8.DiskRepaired(Seconds(20), 2, 1);
+    VolumeManager::RunOptions fanned;
+    fanned.threads = 8;
+    const FleetReport b = vm8.Run(trace, fanned);
+
+    ExpectFleetReportsIdentical(a, b);
+    EXPECT_GT(a.requests, 0u);
+    EXPECT_GT(a.p999_ms, 0.0);
+    EXPECT_GE(a.p999_ms, a.p99_ms);
+    EXPECT_GE(a.imbalance_max_mean, 1.0);
+  }
+}
+
+TEST(FleetRun, SplitRequestsJoinAtMaxOfPieces) {
+  // chunk == stripe unit makes straddles common; every logical request must
+  // be accounted for exactly once and split latencies must bound the pieces.
+  FleetConfig cfg = TinyFleet();
+  cfg.sharding = ShardingKind::kConsistentHash;  // Scatters adjacent chunks.
+  cfg.chunk_bytes = 64 * 1024;
+  VolumeManager vm(cfg);
+  const FleetTrace trace = TinyTenants(vm.VolumeBytes(), 32, 2000);
+  const FleetReport rep = vm.Run(trace);
+  EXPECT_EQ(rep.requests + rep.dropped, trace.Size());
+  EXPECT_EQ(rep.dropped, 0u);
+  EXPECT_GT(rep.split_requests, 0u);
+  // Shard-served pieces >= logical requests (splits fan out).
+  uint64_t pieces = 0;
+  for (const ShardReport& s : rep.shards) {
+    pieces += s.requests;
+  }
+  EXPECT_GE(pieces, rep.requests);
+  EXPECT_GE(rep.max_ms, rep.p999_ms);
+}
+
+TEST(FleetRun, OnlineFailRepairDegradesOneShardOnly) {
+  FleetConfig cfg = TinyFleet();
+  VolumeManager vm(cfg);
+  vm.DiskFail(Seconds(2), /*shard=*/3, /*disk=*/0);
+  vm.DiskRepaired(Seconds(30), /*shard=*/3, /*disk=*/0);
+  vm.InfoAt(Seconds(5), /*shard=*/-1);  // Broadcast snapshot mid-failure.
+  const FleetTrace trace = TinyTenants(vm.VolumeBytes());
+  const FleetReport rep = vm.Run(trace);
+
+  const ShardReport& failed = rep.shards[3];
+  EXPECT_TRUE(failed.disk_failed);
+  EXPECT_TRUE(failed.repaired);
+  EXPECT_GT(failed.degraded_s, 0.0);
+  EXPECT_GT(failed.requests, 0u);  // Kept serving while degraded.
+  EXPECT_DOUBLE_EQ(rep.degraded_shard_s, failed.degraded_s);
+  for (int32_t s = 0; s < rep.num_shards; ++s) {
+    if (s == 3) {
+      continue;
+    }
+    EXPECT_FALSE(rep.shards[static_cast<size_t>(s)].disk_failed);
+    EXPECT_EQ(rep.shards[static_cast<size_t>(s)].degraded_s, 0.0);
+    EXPECT_GT(rep.shards[static_cast<size_t>(s)].requests, 0u);
+  }
+  // The broadcast info op snapshotted every shard; shard 3's snapshot shows
+  // the failed disk.
+  ASSERT_EQ(failed.infos.size(), 1u);
+  EXPECT_EQ(failed.infos[0].failed_disk, 0);
+  for (const ShardReport& s : rep.shards) {
+    ASSERT_EQ(s.infos.size(), 1u);
+    EXPECT_EQ(s.infos[0].time, Seconds(5));
+  }
+}
+
+TEST(FleetRun, DestroyDropsRemainingTrafficOnThatShardOnly) {
+  FleetConfig cfg = TinyFleet();
+  VolumeManager vm(cfg);
+  vm.Destroy(Seconds(1), /*shard=*/0);
+  const FleetTrace trace = TinyTenants(vm.VolumeBytes());
+  const FleetReport rep = vm.Run(trace);
+  EXPECT_EQ(rep.shards_destroyed, 1);
+  EXPECT_TRUE(rep.shards[0].destroyed);
+  EXPECT_GT(rep.shards[0].dropped, 0u);
+  EXPECT_GT(rep.dropped, 0u);
+  EXPECT_EQ(rep.requests + rep.dropped, trace.Size());
+  for (size_t s = 1; s < rep.shards.size(); ++s) {
+    EXPECT_EQ(rep.shards[s].dropped, 0u);
+  }
+}
+
+TEST(FleetRun, MgmtOpsOnSchemesWithoutFailureSupportAreCounted) {
+  FleetConfig cfg = TinyFleet();
+  cfg.scheme = FleetScheme::kRaid6DeferQ;
+  cfg.num_shards = 2;
+  VolumeManager vm(cfg);
+  vm.DiskFail(Seconds(1), 0, 1);
+  vm.DiskRepaired(Seconds(2), 0, 1);
+  const FleetTrace trace = TinyTenants(vm.VolumeBytes(), 16, 500);
+  const FleetReport rep = vm.Run(trace);
+  EXPECT_EQ(rep.shards[0].mgmt_unsupported, 2u);
+  EXPECT_FALSE(rep.shards[0].disk_failed);
+  EXPECT_GT(rep.requests, 0u);
+}
+
+TEST(FleetRun, Raid6SchemeForcesTwoParityBlocks) {
+  FleetConfig cfg = TinyFleet();
+  cfg.scheme = FleetScheme::kRaid6DeferBoth;
+  cfg.num_shards = 2;
+  const VolumeManager vm(cfg);
+  EXPECT_EQ(vm.config().array.parity_blocks, 2);
+  FleetConfig a = TinyFleet();
+  a.num_shards = 2;
+  const VolumeManager plain(a);
+  // Two parities leave less data capacity per shard.
+  EXPECT_LT(vm.ShardCapacityBytes(), plain.ShardCapacityBytes());
+}
+
+}  // namespace
+}  // namespace afraid

@@ -1,0 +1,263 @@
+// Shard routing is verified exhaustively against naive reference
+// implementations built from first principles: every chunk of every map is
+// checked against an independent re-derivation of the placement, and
+// SplitRange is checked byte-for-byte against single-byte routing.
+
+#include "fleet/sharding.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace afraid {
+namespace {
+
+constexpr int64_t kKiB = 1024;
+
+// ---------------------------------------------------------------------------
+// Naive references. These reimplement the placement rules directly from the
+// documented contract, sharing only the hash primitives with the real code.
+
+// Range: chunk c belongs to shard c / (chunks / num_shards), local index
+// c % (chunks / num_shards).
+ShardTarget NaiveRangeRoute(int64_t offset, int32_t num_shards,
+                            int64_t chunk_bytes, int64_t volume_bytes) {
+  const int64_t chunks = volume_bytes / chunk_bytes;
+  const int64_t per_shard = chunks / num_shards;
+  const int64_t c = offset / chunk_bytes;
+  return ShardTarget{static_cast<int32_t>(c / per_shard),
+                     (c % per_shard) * chunk_bytes + offset % chunk_bytes};
+}
+
+// Consistent hash: sort all (point, shard) vnodes; assign chunks in
+// ascending chunk order to the first vnode at or after FleetChunkPoint(c)
+// whose shard is below cap_chunks, walking the ring (wrapping) otherwise.
+// A linear scan stands in for the real builder's binary search.
+struct NaiveChashMap {
+  std::vector<int32_t> chunk_shard;
+  std::vector<int64_t> chunk_local;
+  std::vector<int64_t> per_shard;
+  int64_t spilled = 0;
+};
+
+NaiveChashMap BuildNaive(int32_t num_shards, int64_t chunk_bytes,
+                         int64_t volume_bytes, int64_t shard_capacity_bytes,
+                         int32_t vnodes_per_shard, uint64_t seed) {
+  struct Pt {
+    uint64_t point;
+    int32_t shard;
+  };
+  std::vector<Pt> ring;
+  for (int32_t s = 0; s < num_shards; ++s) {
+    for (int32_t v = 0; v < vnodes_per_shard; ++v) {
+      ring.push_back(Pt{FleetVnodePoint(seed, s, v), s});
+    }
+  }
+  std::sort(ring.begin(), ring.end(), [](const Pt& a, const Pt& b) {
+    return a.point != b.point ? a.point < b.point : a.shard < b.shard;
+  });
+  const int64_t chunks = volume_bytes / chunk_bytes;
+  const int64_t cap = shard_capacity_bytes / chunk_bytes;
+  NaiveChashMap m;
+  m.chunk_shard.resize(static_cast<size_t>(chunks));
+  m.chunk_local.resize(static_cast<size_t>(chunks));
+  m.per_shard.assign(static_cast<size_t>(num_shards), 0);
+  for (int64_t c = 0; c < chunks; ++c) {
+    const uint64_t key = FleetChunkPoint(c);
+    size_t pos = 0;
+    while (pos < ring.size() && ring[pos].point < key) {
+      ++pos;
+    }
+    pos %= ring.size();
+    for (size_t step = 0; step < ring.size(); ++step) {
+      const int32_t s = ring[(pos + step) % ring.size()].shard;
+      if (m.per_shard[static_cast<size_t>(s)] < cap) {
+        m.chunk_shard[static_cast<size_t>(c)] = s;
+        m.chunk_local[static_cast<size_t>(c)] =
+            m.per_shard[static_cast<size_t>(s)]++;
+        if (step > 0) {
+          ++m.spilled;
+        }
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapRange, ExhaustiveRouteMatchesNaive) {
+  const int32_t shards = 8;
+  const int64_t chunk = 4 * kKiB;
+  const int64_t volume = chunk * shards * 6;  // 48 chunks.
+  const ShardMap m = ShardMap::Range(shards, chunk, volume);
+  EXPECT_EQ(m.kind(), ShardingKind::kRange);
+  EXPECT_EQ(m.num_chunks(), 48);
+  EXPECT_EQ(m.SpilledChunks(), 0);
+  // Every 512-aligned offset plus the chunk-edge neighbourhoods.
+  for (int64_t off = 0; off < volume; off += 512) {
+    const ShardTarget got = m.Route(off);
+    const ShardTarget want = NaiveRangeRoute(off, shards, chunk, volume);
+    ASSERT_EQ(got.shard, want.shard) << "offset " << off;
+    ASSERT_EQ(got.local_offset, want.local_offset) << "offset " << off;
+  }
+  for (int64_t s : m.ChunksPerShard()) {
+    EXPECT_EQ(s, 6);
+  }
+}
+
+TEST(ShardMapConsistentHash, ExhaustiveOwnershipMatchesNaive) {
+  const int32_t shards = 7;  // Deliberately not a power of two.
+  const int64_t chunk = 4 * kKiB;
+  const int64_t cap = 64 * kKiB;  // 16 chunks per shard.
+  const int64_t volume = ShardMap::SizeVolume(shards, cap, chunk, 0.8);
+  ASSERT_GT(volume, 0);
+  ASSERT_EQ(volume % (chunk * shards), 0);
+  const uint64_t seed = 42;
+  const int32_t vnodes = 16;
+  const ShardMap m =
+      ShardMap::ConsistentHash(shards, chunk, volume, cap, vnodes, seed);
+  const NaiveChashMap naive =
+      BuildNaive(shards, chunk, volume, cap, vnodes, seed);
+
+  ASSERT_EQ(m.num_chunks(), static_cast<int64_t>(naive.chunk_shard.size()));
+  for (int64_t c = 0; c < m.num_chunks(); ++c) {
+    const ShardTarget t = m.Route(c * chunk);
+    ASSERT_EQ(t.shard, naive.chunk_shard[static_cast<size_t>(c)])
+        << "chunk " << c;
+    ASSERT_EQ(t.local_offset,
+              naive.chunk_local[static_cast<size_t>(c)] * chunk)
+        << "chunk " << c;
+  }
+  EXPECT_EQ(m.SpilledChunks(), naive.spilled);
+
+  // Capacity is a hard bound and local indices are dense per shard.
+  const int64_t cap_chunks = cap / chunk;
+  std::vector<std::vector<int64_t>> locals(static_cast<size_t>(shards));
+  for (int64_t c = 0; c < m.num_chunks(); ++c) {
+    const ShardTarget t = m.Route(c * chunk);
+    EXPECT_LE(t.local_offset + chunk, cap);
+    locals[static_cast<size_t>(t.shard)].push_back(t.local_offset / chunk);
+  }
+  for (int32_t s = 0; s < shards; ++s) {
+    auto& l = locals[static_cast<size_t>(s)];
+    EXPECT_LE(static_cast<int64_t>(l.size()), cap_chunks);
+    std::sort(l.begin(), l.end());
+    for (size_t i = 0; i < l.size(); ++i) {
+      EXPECT_EQ(l[i], static_cast<int64_t>(i)) << "shard " << s;
+    }
+  }
+}
+
+TEST(ShardMapConsistentHash, TightCapacityForcesSpillButStaysValid) {
+  // fill_fraction 1.0: the volume equals total capacity, so the hash's
+  // natural imbalance must spill -- and every shard still ends exactly full.
+  const int32_t shards = 4;
+  const int64_t chunk = kKiB;
+  const int64_t cap = 8 * kKiB;  // 8 chunks per shard.
+  const int64_t volume = ShardMap::SizeVolume(shards, cap, chunk, 1.0);
+  EXPECT_EQ(volume, 32 * kKiB);
+  const ShardMap m = ShardMap::ConsistentHash(shards, chunk, volume, cap,
+                                              /*vnodes=*/8, /*seed=*/7);
+  EXPECT_GT(m.SpilledChunks(), 0);
+  for (int64_t per : m.ChunksPerShard()) {
+    EXPECT_EQ(per, 8);
+  }
+}
+
+TEST(ShardMapConsistentHash, DeterministicAcrossRebuilds) {
+  const int64_t volume = 4 * kKiB * 8 * 4;
+  const ShardMap a = ShardMap::ConsistentHash(8, 4 * kKiB, volume, 64 * kKiB,
+                                              32, 123);
+  const ShardMap b = ShardMap::ConsistentHash(8, 4 * kKiB, volume, 64 * kKiB,
+                                              32, 123);
+  for (int64_t c = 0; c < a.num_chunks(); ++c) {
+    EXPECT_EQ(a.Route(c * 4 * kKiB).shard, b.Route(c * 4 * kKiB).shard);
+  }
+  // A different seed moves at least one chunk (else the ring ignores it).
+  const ShardMap c = ShardMap::ConsistentHash(8, 4 * kKiB, volume, 64 * kKiB,
+                                              32, 124);
+  bool any_moved = false;
+  for (int64_t i = 0; i < a.num_chunks(); ++i) {
+    any_moved |= a.Route(i * 4 * kKiB).shard != c.Route(i * 4 * kKiB).shard;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+// SplitRange must agree byte-for-byte with Route: every byte of every piece
+// maps back to the same (shard, local) the single-byte router gives.
+void CheckSplitAgainstRoute(const ShardMap& m, int64_t offset, int32_t length,
+                            std::vector<ShardPiece>* scratch) {
+  m.SplitRange(offset, length, scratch);
+  int64_t covered = 0;
+  for (const ShardPiece& p : *scratch) {
+    ASSERT_GT(p.length, 0);
+    for (int64_t i = 0; i < p.length; i += 512) {
+      const ShardTarget t = m.Route(offset + covered + i);
+      ASSERT_EQ(t.shard, p.shard);
+      ASSERT_EQ(t.local_offset, p.local_offset + i);
+    }
+    covered += p.length;
+  }
+  ASSERT_EQ(covered, length);
+  // Adjacent pieces never coalescable (else SplitRange missed a merge).
+  for (size_t i = 1; i < scratch->size(); ++i) {
+    const ShardPiece& a = (*scratch)[i - 1];
+    const ShardPiece& b = (*scratch)[i];
+    EXPECT_FALSE(a.shard == b.shard &&
+                 a.local_offset + a.length == b.local_offset);
+  }
+}
+
+TEST(ShardMap, SplitRangeExhaustiveBothPolicies) {
+  const int32_t shards = 4;
+  const int64_t chunk = 2 * kKiB;
+  const int64_t volume = chunk * shards * 4;
+  const ShardMap maps[] = {
+      ShardMap::Range(shards, chunk, volume),
+      ShardMap::ConsistentHash(shards, chunk, volume, 16 * kKiB, 16, 99),
+  };
+  std::vector<ShardPiece> scratch;
+  for (const ShardMap& m : maps) {
+    for (int64_t off = 0; off < volume; off += 512) {
+      for (int32_t len : {512, 1024, 3 * 512, 4096, 5120}) {
+        if (off + len > volume) {
+          continue;
+        }
+        CheckSplitAgainstRoute(m, off, len, &scratch);
+      }
+    }
+    // A whole-volume scan splits into exactly the per-shard runs.
+    CheckSplitAgainstRoute(m, 0, static_cast<int32_t>(volume), &scratch);
+  }
+}
+
+TEST(ShardMap, RangeShardingCoalescesWithinShard) {
+  // Under range sharding a request inside one shard span is one piece no
+  // matter how many chunks it crosses.
+  const ShardMap m = ShardMap::Range(4, kKiB, 16 * kKiB);  // 4 KiB per shard.
+  std::vector<ShardPiece> pieces;
+  m.SplitRange(0, 4 * 1024, &pieces);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].shard, 0);
+  EXPECT_EQ(pieces[0].length, 4 * 1024);
+  m.SplitRange(3 * 1024, 2 * 1024, &pieces);  // Straddles shards 0 and 1.
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].shard, 0);
+  EXPECT_EQ(pieces[1].shard, 1);
+}
+
+TEST(ShardMap, SizeVolumeRespectsFillFraction) {
+  for (double f : {0.25, 0.5, 0.8, 1.0}) {
+    const int64_t v = ShardMap::SizeVolume(8, 1000 * kKiB, 4 * kKiB, f);
+    EXPECT_EQ(v % (4 * kKiB * 8), 0);
+    EXPECT_LE(static_cast<double>(v), 8 * 1000.0 * kKiB * f);
+    EXPECT_GT(v, 0);
+  }
+}
+
+}  // namespace
+}  // namespace afraid

@@ -218,12 +218,43 @@ TEST(Histogram, QuantileEmptyAndSingleSample) {
 }
 
 TEST(Histogram, QuantileUnderflowAndOverflowMass) {
+  // Out-of-range samples are retained exactly, so the extremes are the real
+  // extremes, not the bucket edges.
   Histogram h(10.0, 5.0, 4);  // Covers [10, 30).
   h.Add(-100.0);
   h.Add(-50.0);
   h.Add(1000.0);
-  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 10.0);  // Underflow pinned to the low edge.
-  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 30.0);  // Overflow pinned to the top edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), -100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), -50.0);
+}
+
+TEST(Histogram, TailQuantilesExactVersusSortedSamples) {
+  // A latency-shaped distribution where the p999 tail lives far past the top
+  // bucket: every quantile that lands in the overflow (or underflow) region
+  // must match SampleSet::Percentile on the same data exactly, because both
+  // interpolate over the same sorted samples with the same rank convention.
+  Histogram h(0.0, 1.0, 50);  // Bucketed range [0, 50).
+  SampleSet s;
+  for (int i = 0; i < 5000; ++i) {
+    // Bulk in-range mass plus a long deterministic tail to ~2000.
+    const double x = (i % 997 < 960)
+                         ? static_cast<double>(i % 47) + 0.25
+                         : 50.0 + static_cast<double>((i * 37) % 1951);
+    h.Add(x);
+    s.Add(x);
+  }
+  h.Add(-3.5);  // A lone underflow sample.
+  s.Add(-3.5);
+  EXPECT_GT(h.Overflow(), 0u);
+  for (double p : {0.995, 0.999, 0.9999, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(p), s.Percentile(p)) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), s.Percentile(0.0));
+  // In-range quantiles keep the bucket-resolution guarantee.
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(h.Quantile(p), s.Percentile(p), 1.0) << "p=" << p;
+  }
 }
 
 TEST(Histogram, QuantileTracksExactPercentiles) {
