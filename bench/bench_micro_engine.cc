@@ -23,6 +23,7 @@
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "trace/recorder.h"
 #include "trace/trace.h"
 #include "trace/workload_gen.h"
 
@@ -493,6 +494,65 @@ void BM_FleetThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(served));
 }
 BENCHMARK(BM_FleetThroughput);
+
+// --- Streaming vs monolithic end-to-end replay ------------------------------
+
+// One pinned 10k-record cello-usr trace file, written once per process and
+// replayed by both variants below so the comparison is apples-to-apples.
+const std::string& ReplayBenchTracePath() {
+  static const std::string* path = [] {
+    WorkloadParams p = PaperWorkloads()[2];  // cello-usr.
+    p.address_space_bytes = 8LL << 30;
+    const Trace t = GenerateWorkload(p, 10'000, Hours(24));
+    auto* s = new std::string("/tmp/afraid_bench_replay.trace");
+    RecordTrace(t, *s);
+    return s;
+  }();
+  return *path;
+}
+
+// End-to-end streamed replay (TraceChunkReader -> StreamingPlanCompiler ->
+// bounded plan-slot ring) with 256 KiB chunks. The CI gate compares this
+// against BM_ReplayThroughputMonolithic: the fixed-memory pipeline must stay
+// within 0.9x of the load-everything path.
+void BM_ReplayThroughput(benchmark::State& state) {
+  const std::string& path = ReplayBenchTracePath();
+  ArrayConfig cfg;
+  uint64_t served = 0;
+  for (auto _ : state) {
+    Experiment exp(cfg);
+    StreamOptions sopts;
+    sopts.chunk_bytes = 256u << 10;
+    exp.Policy(PolicySpec::AfraidBaseline()).TraceFile(path, sopts);
+    const SimReport rep = exp.Run();
+    benchmark::DoNotOptimize(rep.mean_io_ms);
+    served += exp.stream_stats().records;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(served));
+}
+BENCHMARK(BM_ReplayThroughput);
+
+// The monolithic reference: load and parse the whole file, compile one
+// RequestPlan, replay. Same trace, same scheme, O(trace) memory.
+void BM_ReplayThroughputMonolithic(benchmark::State& state) {
+  const std::string& path = ReplayBenchTracePath();
+  ArrayConfig cfg;
+  uint64_t served = 0;
+  for (auto _ : state) {
+    Trace t;
+    if (!LoadTraceFile(path, &t).ok) {
+      state.SkipWithError("cannot load bench trace");
+      break;
+    }
+    Experiment exp(cfg);
+    exp.Policy(PolicySpec::AfraidBaseline()).Trace(t);
+    const SimReport rep = exp.Run();
+    benchmark::DoNotOptimize(rep.mean_io_ms);
+    served += t.records.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(served));
+}
+BENCHMARK(BM_ReplayThroughputMonolithic);
 
 }  // namespace
 }  // namespace afraid

@@ -8,6 +8,19 @@
 //   $ ./examples/trace_replay ATT 20000           # preset, request cap
 //   $ ./examples/trace_replay /tmp/my_trace.txt   # replay a trace file
 //
+// Flags (before or after the positional arguments):
+//   --stream            replay through the fixed-memory streaming pipeline
+//                       (TraceChunkReader + StreamingPlanCompiler) instead of
+//                       loading the whole trace; prints a trailing
+//                       "streaming:" line with peak plan-segment memory
+//   --chunk-bytes N     streaming read-chunk size (default 4 MiB)
+//   --record PATH       write the resolved workload to PATH in the text trace
+//                       format and exit (pin a synthetic preset to disk)
+//
+// Without flags the output is byte-identical to the pinned golden transcript;
+// with --stream only the first line and the trailing "streaming:" line differ
+// from the monolithic replay of the same trace.
+//
 // Set AFRAID_OBS_DIR=<dir> to record each scheme's run: <dir>/<scheme>/ gets
 // report.json, metrics.jsonl and a Chrome-trace timeline (trace.json) to open
 // in chrome://tracing or https://ui.perfetto.dev. The printed comparison is
@@ -18,28 +31,59 @@
 #include <cstring>
 #include <string>
 
+#include <algorithm>
+#include <vector>
+
 #include "array/layout.h"
 #include "core/experiment.h"
 #include "disk/geometry.h"
+#include "trace/recorder.h"
 #include "trace/trace.h"
 #include "trace/workload_gen.h"
 
 using namespace afraid;
 
 int main(int argc, char** argv) {
-  const std::string which = argc > 1 ? argv[1] : "cello-usr";
+  bool stream = false;
+  size_t chunk_bytes = 4u << 20;
+  std::string record_path;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stream") {
+      stream = true;
+    } else if (arg == "--chunk-bytes" && i + 1 < argc) {
+      chunk_bytes = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--record" && i + 1 < argc) {
+      record_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  const std::string which = !pos.empty() ? pos[0] : "cello-usr";
   const uint64_t max_requests =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10000;
+      pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 10000;
 
   ArrayConfig cfg;
   cfg.disk_spec = DiskSpec::HpC3325Like();
   cfg.num_disks = 5;
   cfg.stripe_unit_bytes = 8192;
 
-  // Resolve the workload: file path or preset name.
+  // Resolve the workload: file path or preset name. In streaming mode a file
+  // input is never loaded whole -- that is the point of the pipeline.
   Trace trace;
   WorkloadParams params;
-  if (which.find('/') != std::string::npos) {
+  std::string stream_path;    // Set when --stream: the file actually replayed.
+  std::string temp_path;      // Synthetic preset pinned to disk for streaming.
+  const bool is_file = which.find('/') != std::string::npos;
+  if (is_file && stream && record_path.empty()) {
+    stream_path = which;
+    std::printf("replaying trace file %s (streaming, %zu-byte chunks)\n",
+                which.c_str(), chunk_bytes);
+  } else if (is_file) {
     if (!ReadTraceFile(which, &trace)) {
       std::fprintf(stderr, "cannot read trace file %s\n", which.c_str());
       return 1;
@@ -68,27 +112,81 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!record_path.empty()) {
+    const TraceStatus st = RecordTrace(trace, record_path);
+    if (!st.ok) {
+      std::fprintf(stderr, "record failed: %s\n", st.message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "recorded %zu records to %s\n", trace.Size(),
+                 record_path.c_str());
+    return 0;
+  }
+  if (stream && stream_path.empty()) {
+    // Pin the generated workload so the streaming pipeline has a file to
+    // chunk through; removed before exit.
+    temp_path = "/tmp/afraid_trace_replay_stream.txt";
+    const TraceStatus st = RecordTrace(trace, temp_path);
+    if (!st.ok) {
+      std::fprintf(stderr, "cannot write %s: %s\n", temp_path.c_str(),
+                   st.message.c_str());
+      return 1;
+    }
+    stream_path = temp_path;
+  }
+
   const char* obs_env = std::getenv("AFRAID_OBS_DIR");
   const std::string obs_dir = obs_env != nullptr ? obs_env : "";
 
+  StreamStats peak;  // Max across the three schemes (they ingest identically).
   std::printf("\n%-10s %10s %10s %10s %10s %12s %12s\n", "scheme", "mean ms",
               "median", "95th", "max", "MTTDL all/h", "MDLR B/h");
   for (const PolicySpec& spec :
        {PolicySpec::Raid5(), PolicySpec::AfraidBaseline(), PolicySpec::Raid0()}) {
     Experiment exp(cfg);
-    exp.Policy(spec).Trace(trace);
+    exp.Policy(spec);
+    if (stream) {
+      StreamOptions sopts;
+      sopts.chunk_bytes = chunk_bytes;
+      exp.TraceFile(stream_path, sopts);
+    } else {
+      exp.Trace(trace);
+    }
     if (!obs_dir.empty()) {
       ObserveOptions opts;
       opts.artifacts_dir = obs_dir + "/" + spec.Label();
       exp.Observe(opts);
     }
     const SimReport rep = exp.Run();
+    if (stream && !exp.trace_status().ok) {
+      std::fprintf(stderr, "stream replay failed at line %lld: %s\n",
+                   static_cast<long long>(exp.trace_status().line),
+                   exp.trace_status().message.c_str());
+      return 1;
+    }
+    if (stream) {
+      const StreamStats& s = exp.stream_stats();
+      peak.chunks = std::max(peak.chunks, s.chunks);
+      peak.records = std::max(peak.records, s.records);
+      peak.peak_plan_bytes = std::max(peak.peak_plan_bytes, s.peak_plan_bytes);
+      peak.peak_buffer_bytes =
+          std::max(peak.peak_buffer_bytes, s.peak_buffer_bytes);
+      peak.ring_slots = std::max(peak.ring_slots, s.ring_slots);
+    }
     std::printf("%-10s %10.2f %10.2f %10.2f %10.1f %12.3g %12.1f\n",
                 rep.policy.c_str(), rep.mean_io_ms, rep.median_io_ms, rep.p95_io_ms,
                 rep.max_io_ms, rep.avail.mttdl_overall_hours,
                 rep.avail.mdlr_overall_bph);
   }
   std::printf("\nAFRAID goal: RAID 0-like latency, RAID 5-like availability.\n");
+  if (stream) {
+    std::printf("streaming: chunk_bytes=%zu chunks=%lld records=%llu "
+                "peak_plan_bytes=%zu ring_slots=%d peak_buffer_bytes=%zu\n",
+                chunk_bytes, static_cast<long long>(peak.chunks),
+                static_cast<unsigned long long>(peak.records),
+                peak.peak_plan_bytes, peak.ring_slots, peak.peak_buffer_bytes);
+  }
+  if (!temp_path.empty()) std::remove(temp_path.c_str());
   if (!obs_dir.empty()) {
     std::fprintf(stderr, "recorded run artifacts under %s/<scheme>/\n",
                  obs_dir.c_str());

@@ -13,11 +13,26 @@
 #
 # Uses its own Release build tree (build-regen/) so a Debug working build is
 # never the source of a pinned baseline.
+#
+# All artifacts are staged in a temp directory and moved into place only after
+# every step has succeeded: a failure partway through exits nonzero and leaves
+# the pinned files exactly as they were (no half-regenerated baselines).
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build-regen"
+
+stage="$(mktemp -d "${TMPDIR:-/tmp}/afraid-regen.XXXXXX")"
+cleanup() {
+  status=$?
+  rm -rf "$stage"
+  if [[ $status -ne 0 ]]; then
+    echo "regen_goldens.sh: FAILED (exit $status); pinned artifacts untouched" >&2
+  fi
+  exit $status
+}
+trap cleanup EXIT
 
 echo "== configuring Release build in $build"
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -25,12 +40,18 @@ cmake --build "$build" -j --target trace_replay bench_micro_engine >/dev/null
 
 echo "== regenerating tests/golden/trace_replay_cello-usr_2000.txt"
 "$build/examples/trace_replay" cello-usr 2000 \
-    > "$repo/tests/golden/trace_replay_cello-usr_2000.txt"
+    > "$stage/trace_replay_cello-usr_2000.txt"
 
 echo "== regenerating BENCH_engine.json (Release micro-bench baseline)"
 "$build/bench/bench_micro_engine" \
     --benchmark_min_time=0.2 \
-    --benchmark_out="$repo/BENCH_engine.json" \
+    --benchmark_out="$stage/BENCH_engine.json" \
     --benchmark_out_format=json >/dev/null
+
+# Every step succeeded: publish atomically (same-filesystem staging is not
+# guaranteed, so mv may copy -- but only after all generators have passed).
+mv "$stage/trace_replay_cello-usr_2000.txt" \
+   "$repo/tests/golden/trace_replay_cello-usr_2000.txt"
+mv "$stage/BENCH_engine.json" "$repo/BENCH_engine.json"
 
 echo "== done; review with: git diff tests/golden BENCH_engine.json"

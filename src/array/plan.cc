@@ -2,28 +2,31 @@
 
 namespace afraid {
 
-RequestPlan::RequestPlan(const Trace& trace, const StripeLayout& layout) {
-  records_.reserve(trace.records.size());
+void RequestPlan::Compile(const TraceRecord* records, size_t count,
+                          const StripeLayout& layout) {
+  records_.clear();
+  segments_.clear();
+  records_.reserve(count);
   // Lower bound: one segment per record; multi-unit requests add more as
   // they are resolved.
-  segments_.reserve(trace.records.size());
-  std::vector<Segment> scratch;
-  for (const TraceRecord& t : trace.records) {
+  segments_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const TraceRecord& t = records[i];
     PlanRecord r;
     r.time = t.time;
     r.offset = t.offset;
     r.size = t.size;
     r.is_write = t.is_write;
-    layout.SplitInto(t.offset, t.size, &scratch);
+    layout.SplitInto(t.offset, t.size, &scratch_);
     r.seg_begin = static_cast<uint32_t>(segments_.size());
-    r.seg_count = static_cast<uint32_t>(scratch.size());
-    const Segment& first = scratch.front();
+    r.seg_count = static_cast<uint32_t>(scratch_.size());
+    const Segment& first = scratch_.front();
     r.stripe = first.stripe;
     r.block_in_stripe = first.block_in_stripe;
     r.disk = layout.DataDisk(first.stripe, first.block_in_stripe);
     r.disk_offset =
         first.stripe * layout.stripe_unit() + first.offset_in_block;
-    segments_.insert(segments_.end(), scratch.begin(), scratch.end());
+    segments_.insert(segments_.end(), scratch_.begin(), scratch_.end());
     records_.push_back(r);
   }
 }

@@ -46,10 +46,31 @@ struct PlanRecord {
 
 class RequestPlan {
  public:
+  // An empty plan, to be filled by Compile(). The streaming pipeline keeps a
+  // small ring of these and recompiles them in place, chunk after chunk.
+  RequestPlan() = default;
+
   // Pre-resolves every record of `trace` against `layout`. The layout must
   // match the array the plan will replay against (same disks, stripe unit,
   // capacity, parity blocks).
-  RequestPlan(const Trace& trace, const StripeLayout& layout);
+  RequestPlan(const Trace& trace, const StripeLayout& layout) {
+    Compile(trace.records.data(), trace.records.size(), layout);
+  }
+
+  // Recompiles this plan over `records`, reusing the flat arrays' capacity.
+  // Any Span previously returned by segments() is invalidated -- callers
+  // (the slot ring) must not recompile a plan while replay still holds
+  // segments into it.
+  void Compile(const TraceRecord* records, size_t count,
+               const StripeLayout& layout);
+
+  // Resident bytes of the flat arrays (capacity, not size): the streaming
+  // pipeline's per-slot contribution to peak-memory accounting.
+  size_t MemoryBytes() const {
+    return records_.capacity() * sizeof(PlanRecord) +
+           segments_.capacity() * sizeof(Segment) +
+           scratch_.capacity() * sizeof(Segment);
+  }
 
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
@@ -69,6 +90,7 @@ class RequestPlan {
  private:
   std::vector<PlanRecord> records_;
   std::vector<Segment> segments_;  // All records' segments, back to back.
+  std::vector<Segment> scratch_;   // SplitInto scratch, reused per record.
 };
 
 }  // namespace afraid

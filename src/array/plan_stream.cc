@@ -1,0 +1,111 @@
+#include "array/plan_stream.h"
+
+#include <algorithm>
+
+namespace afraid {
+
+void StreamingPlanReplayer::Feed(const RequestPlan* plan) {
+  if (destroyed_) {
+    dropped_ += plan->size();
+    if (ring_ != nullptr) {
+      ring_->Release(plan);
+    }
+    return;
+  }
+  live_.push_back(LivePlan{plan});
+  if (starved_) {
+    starved_ = false;
+    ScheduleNext();
+  }
+}
+
+void StreamingPlanReplayer::ScheduleNext() {
+  // Skip exhausted plans (including freshly fed empty ones).
+  while (cur_ < live_.size() && next_rec_ >= live_[cur_].plan->size()) {
+    live_[cur_].exhausted = true;
+    ++cur_;
+    next_rec_ = 0;
+  }
+  TryRetire();
+  if (cur_ >= live_.size()) {
+    starved_ = true;
+    return;
+  }
+  const PlanRecord& r = live_[cur_].plan->record(next_rec_);
+  pending_ = sim_->At(std::max(r.time, sim_->Now()), [this] { Fire(); });
+  pending_valid_ = true;
+}
+
+void StreamingPlanReplayer::Fire() {
+  pending_valid_ = false;
+  LivePlan& lp = live_[cur_];
+  const PlanRecord& r = lp.plan->record(next_rec_);
+  const Span<Segment> segs = lp.plan->segments(next_rec_);
+  // Bookkeeping first: the driver assigns this submission id next_id_, and
+  // its completion (always via a later event, but never assume) must find
+  // the outstanding count already raised.
+  const uint64_t id = next_id_++;
+  if (lp.first_id == 0) {
+    lp.first_id = id;
+  }
+  lp.last_id = id;
+  ++lp.outstanding;
+  ++submitted_;
+  if (r.is_write) {
+    submitted_write_bytes_ += r.size;
+  } else {
+    submitted_read_bytes_ += r.size;
+  }
+  ++next_rec_;
+  driver_->SubmitPlanned(r.offset, r.size, r.is_write, segs.data, segs.count);
+  ScheduleNext();
+}
+
+void StreamingPlanReplayer::TryRetire() {
+  // Only plans strictly before the current one are retirable (cur_ > 0
+  // guards the plan still being submitted, even when it is exhausted and
+  // cur_ has not yet moved past it -- it has, by construction, whenever its
+  // exhausted flag is set).
+  while (cur_ > 0 && !live_.empty() && live_.front().exhausted &&
+         live_.front().outstanding == 0) {
+    if (ring_ != nullptr) {
+      ring_->Release(live_.front().plan);
+    }
+    live_.pop_front();
+    --cur_;
+  }
+}
+
+void StreamingPlanReplayer::OnComplete(uint64_t id) {
+  for (LivePlan& lp : live_) {
+    if (lp.first_id != 0 && id >= lp.first_id && id <= lp.last_id) {
+      --lp.outstanding;
+      break;
+    }
+  }
+  TryRetire();
+}
+
+void StreamingPlanReplayer::Destroy() {
+  if (destroyed_) {
+    return;
+  }
+  destroyed_ = true;
+  if (pending_valid_) {
+    sim_->Cancel(pending_);
+    pending_valid_ = false;
+  }
+  // Everything not yet submitted is dropped; mark the tail plans exhausted
+  // so they retire as soon as their in-flight requests (if any) complete.
+  for (size_t i = cur_; i < live_.size(); ++i) {
+    const size_t first = (i == cur_) ? next_rec_ : 0;
+    dropped_ += live_[i].plan->size() - first;
+    live_[i].exhausted = true;
+  }
+  cur_ = live_.size();
+  next_rec_ = 0;
+  starved_ = false;  // Destroyed shards just drain; no more feeding needed.
+  TryRetire();
+}
+
+}  // namespace afraid

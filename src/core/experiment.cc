@@ -6,6 +6,7 @@
 
 #include "array/host_driver.h"
 #include "array/plan.h"
+#include "array/plan_stream.h"
 #include "core/afraid_controller.h"
 #include "disk/geometry.h"
 #include "obs/artifacts.h"
@@ -113,8 +114,9 @@ SimReport Experiment::Run() {
     generated = GenerateWorkload(params, max_requests_, max_duration_);
     trace_ = &generated;
   }
-  assert(trace_ != nullptr && "Experiment needs Trace() or Workload()");
-  const afraid::Trace& trace = *trace_;
+  const bool streaming = !trace_file_.empty();
+  assert((trace_ != nullptr || streaming) &&
+         "Experiment needs Trace(), TraceFile() or Workload()");
 
   Simulator sim;
   const AvailabilityParams avail_params = AvailabilityParamsFor(cfg_);
@@ -135,10 +137,6 @@ SimReport Experiment::Run() {
                                cfg_.disk_spec.sector_bytes);
   const StripeLayout plan_layout(cfg_.num_disks, cfg_.stripe_unit_bytes,
                                  plan_geom.CapacityBytes(), cfg_.parity_blocks);
-  const RequestPlan plan(trace, plan_layout);
-  driver.ReserveLatencySamples(plan.size());
-  PlanReplayer replayer(&sim, &driver, plan);
-  replayer.Start();
 
   std::unique_ptr<MetricsRegistry> metrics;
   if (observe_ && obs_.metrics) {
@@ -146,34 +144,101 @@ SimReport Experiment::Run() {
     RegisterMetrics(metrics.get(), cfg_, &controller, &driver);
   }
 
-  // Run the arrival schedule plus whatever work it leaves behind. Background
-  // rebuilds triggered by trailing idleness run here too; measurement of the
-  // lag statistics ends at the instant the last request completes.
-  if (metrics == nullptr) {
-    sim.RunToEnd();
-  } else {
-    // Same event trajectory, but with snapshots interleaved *between* events:
-    // before each event we record every whole sampling interval that elapses
-    // strictly before it. The clock never advances for a snapshot, so the
-    // run (and its SimReport) stays bit-identical to the unobserved one.
+  std::string workload_name;
+  trace_status_ = TraceStatus::Ok();
+  stream_stats_ = StreamStats{};
+
+  if (streaming) {
+    // Streaming path: pull chunks through the bounded plan ring, feeding the
+    // replayer and stepping the simulator until it starves for the next
+    // chunk. Feeding happens before the next Step, so arrivals enter the
+    // event queue at the same point in the event sequence as the monolithic
+    // replayer's chained arrivals -- the trajectory is byte-identical.
+    TraceChunkReader reader(trace_file_, stream_opts_);
+    StreamingPlanCompiler compiler(&reader, plan_layout);
+    StreamingPlanReplayer replayer(&sim, &driver, compiler.ring());
+    driver.SetCompletionListener(
+        [&replayer](uint64_t id, double, bool) { replayer.OnComplete(id); });
+
     const SimDuration interval =
         obs_.metrics_interval > 0 ? obs_.metrics_interval : Milliseconds(100);
-    metrics->Snapshot(sim.Now());
-    SimTime next_snap = sim.Now() + interval;
-    while (!sim.Idle()) {
-      const SimTime horizon = sim.NextEventTime();
-      while (next_snap < horizon) {
-        metrics->Snapshot(next_snap);
-        next_snap += interval;
-      }
-      sim.Step();
+    SimTime next_snap = 0;
+    if (metrics != nullptr) {
+      metrics->Snapshot(sim.Now());
+      next_snap = sim.Now() + interval;
     }
-    metrics->Snapshot(sim.Now());
+    // Snapshot-between-events stepping, identical to the monolithic loop
+    // below; `more` lets the feed loop break out at starvation.
+    const auto pump = [&](const auto& more) {
+      while (!sim.Idle() && more()) {
+        if (metrics != nullptr) {
+          const SimTime horizon = sim.NextEventTime();
+          while (next_snap < horizon) {
+            metrics->Snapshot(next_snap);
+            next_snap += interval;
+          }
+        }
+        sim.Step();
+      }
+    };
+    while (const RequestPlan* p = compiler.Next()) {
+      driver.ReserveLatencySamples(reader.records_read());
+      replayer.Feed(p);
+      pump([&replayer] { return !replayer.starved(); });
+    }
+    replayer.FinishFeeding();
+    pump([] { return true; });
+    if (metrics != nullptr) {
+      metrics->Snapshot(sim.Now());
+    }
+    driver.SetCompletionListener(nullptr);
+
+    trace_status_ = reader.status();
+    workload_name = reader.name();
+    stream_stats_.chunks = reader.chunks_read();
+    stream_stats_.records = reader.records_read();
+    stream_stats_.peak_plan_bytes = compiler.ring()->peak_bytes();
+    stream_stats_.peak_buffer_bytes = reader.peak_buffer_bytes();
+    stream_stats_.ring_slots = compiler.ring()->slots();
+  } else {
+    const afraid::Trace& trace = *trace_;
+    workload_name = trace.name;
+    const RequestPlan plan(trace, plan_layout);
+    driver.ReserveLatencySamples(plan.size());
+    PlanReplayer replayer(&sim, &driver, plan);
+    replayer.Start();
+
+    // Run the arrival schedule plus whatever work it leaves behind.
+    // Background rebuilds triggered by trailing idleness run here too;
+    // measurement of the lag statistics ends at the instant the last request
+    // completes.
+    if (metrics == nullptr) {
+      sim.RunToEnd();
+    } else {
+      // Same event trajectory, but with snapshots interleaved *between*
+      // events: before each event we record every whole sampling interval
+      // that elapses strictly before it. The clock never advances for a
+      // snapshot, so the run (and its SimReport) stays bit-identical to the
+      // unobserved one.
+      const SimDuration interval =
+          obs_.metrics_interval > 0 ? obs_.metrics_interval : Milliseconds(100);
+      metrics->Snapshot(sim.Now());
+      SimTime next_snap = sim.Now() + interval;
+      while (!sim.Idle()) {
+        const SimTime horizon = sim.NextEventTime();
+        while (next_snap < horizon) {
+          metrics->Snapshot(next_snap);
+          next_snap += interval;
+        }
+        sim.Step();
+      }
+      metrics->Snapshot(sim.Now());
+    }
   }
   assert(driver.Drained());
 
   SimReport rep;
-  rep.workload = trace.name;
+  rep.workload = workload_name;
   rep.policy = controller.policy().Name();
   rep.requests = driver.Completed();
   rep.reads = driver.ReadLatencies().Count();

@@ -29,6 +29,7 @@
 #include "core/policy.h"
 #include "core/report.h"
 #include "trace/trace.h"
+#include "trace/trace_stream.h"
 #include "trace/workload_gen.h"
 
 namespace afraid {
@@ -47,6 +48,17 @@ struct ObserveOptions {
   SimDuration metrics_interval = Milliseconds(100);
 };
 
+// Accounting from a streamed replay (Experiment::TraceFile): how much the
+// fixed-memory pipeline actually held. Peaks depend on chunk size and the
+// in-flight window, never on trace length.
+struct StreamStats {
+  int64_t chunks = 0;           // Non-empty chunks compiled and replayed.
+  uint64_t records = 0;         // Trace records ingested.
+  size_t peak_plan_bytes = 0;   // High-water mark of all plan-slot arrays.
+  size_t peak_buffer_bytes = 0; // High-water mark of the reader's buffers.
+  int32_t ring_slots = 0;       // Plan slots the ring converged to.
+};
+
 class Experiment {
  public:
   explicit Experiment(const ArrayConfig& config) : cfg_(config) {}
@@ -60,8 +72,30 @@ class Experiment {
   Experiment& Trace(const afraid::Trace& trace) {
     trace_ = &trace;
     have_workload_ = false;
+    trace_file_.clear();
     return *this;
   }
+
+  // Streams the trace file through the chunked plan compiler
+  // (array/plan_stream.h): O(chunk) memory in the trace length, and a
+  // byte-identical trajectory -- per-request latencies and final report --
+  // to loading the same file and replaying it via Trace(). Check
+  // trace_status() after Run(); on a parse/file error the report covers the
+  // prefix replayed before the error.
+  Experiment& TraceFile(const std::string& path,
+                        const StreamOptions& opts = StreamOptions()) {
+    trace_file_ = path;
+    stream_opts_ = opts;
+    trace_ = nullptr;
+    have_workload_ = false;
+    return *this;
+  }
+
+  // Outcome of the TraceFile() ingest (Ok for Trace()/Workload() runs).
+  const TraceStatus& trace_status() const { return trace_status_; }
+
+  // Memory/throughput accounting of the last TraceFile() run.
+  const StreamStats& stream_stats() const { return stream_stats_; }
 
   // Generates the synthetic workload, sized to the array's client-visible
   // capacity, and replays it. `max_requests` bounds harness run time.
@@ -72,6 +106,7 @@ class Experiment {
     max_duration_ = max_duration;
     have_workload_ = true;
     trace_ = nullptr;
+    trace_file_.clear();
     return *this;
   }
 
@@ -90,6 +125,10 @@ class Experiment {
   ArrayConfig cfg_;
   PolicySpec spec_{};
   const afraid::Trace* trace_ = nullptr;
+  std::string trace_file_;
+  StreamOptions stream_opts_{};
+  TraceStatus trace_status_{};
+  StreamStats stream_stats_{};
   bool have_workload_ = false;
   WorkloadParams workload_{};
   uint64_t max_requests_ = 0;

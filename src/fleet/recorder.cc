@@ -1,0 +1,29 @@
+#include "fleet/recorder.h"
+
+#include "trace/recorder.h"
+
+namespace afraid {
+
+TraceStatus RecordFleetTrace(const FleetTrace& trace, const std::string& path) {
+  WorkloadRecorder rec(path);
+  rec.SetName(trace.name);
+  rec.SetTenants(trace.num_tenants);
+  for (const FleetRecord& r : trace.records) {
+    rec.Append(TraceRecord{r.time, r.offset, r.size, r.is_write});
+  }
+  rec.Close();
+  return rec.status();
+}
+
+Trace FlattenFleetTrace(const FleetTrace& trace) {
+  Trace out;
+  out.name = trace.name;
+  out.tenants = trace.num_tenants;
+  out.records.reserve(trace.records.size());
+  for (const FleetRecord& r : trace.records) {
+    out.records.push_back(TraceRecord{r.time, r.offset, r.size, r.is_write});
+  }
+  return out;
+}
+
+}  // namespace afraid

@@ -8,6 +8,7 @@
 
 #include "array/host_driver.h"
 #include "array/plan.h"
+#include "array/plan_stream.h"
 #include "core/afraid_controller.h"
 #include "core/experiment.h"
 #include "core/parity_log_controller.h"
@@ -62,61 +63,6 @@ struct ShardResult {
   std::unique_ptr<Tracer> tracer;
 };
 
-// Feeds the shard's precompiled plan into its host driver, with destroy
-// (decommission) support: once destroyed, the remaining arrivals are
-// dropped and counted instead of submitted.
-class ShardReplayer {
- public:
-  ShardReplayer(Simulator* sim, HostDriver* driver, const RequestPlan& plan)
-      : sim_(sim), driver_(driver), plan_(plan) {}
-
-  void Start() { ScheduleNext(); }
-
-  void Destroy() {
-    if (destroyed_) {
-      return;
-    }
-    destroyed_ = true;
-    if (pending_valid_) {
-      sim_->Cancel(pending_);
-      pending_valid_ = false;
-    }
-    dropped_ = plan_.size() - next_;
-    next_ = plan_.size();
-  }
-
-  bool destroyed() const { return destroyed_; }
-  size_t dropped() const { return dropped_; }
-  size_t submitted() const { return plan_.size() - dropped_; }
-
- private:
-  void ScheduleNext() {
-    if (next_ >= plan_.size()) {
-      return;
-    }
-    const PlanRecord& r = plan_.record(next_);
-    pending_ = sim_->At(std::max(r.time, sim_->Now()), [this] {
-      pending_valid_ = false;
-      const PlanRecord& rec = plan_.record(next_);
-      const Span<Segment> segs = plan_.segments(next_);
-      driver_->SubmitPlanned(rec.offset, rec.size, rec.is_write, segs.data,
-                             segs.count);
-      ++next_;
-      ScheduleNext();
-    });
-    pending_valid_ = true;
-  }
-
-  Simulator* sim_;
-  HostDriver* driver_;
-  const RequestPlan& plan_;
-  size_t next_ = 0;
-  size_t dropped_ = 0;
-  bool destroyed_ = false;
-  bool pending_valid_ = false;
-  EventId pending_{};
-};
-
 // Usable per-disk capacity under `scheme` (the parity log reserves a log
 // region at the end of every disk).
 int64_t DiskCapacityFor(const ArrayConfig& acfg, FleetScheme scheme) {
@@ -129,262 +75,252 @@ int64_t DiskCapacityFor(const ArrayConfig& acfg, FleetScheme scheme) {
   return cap;
 }
 
+// One shard as a persistent replay cell: simulator, controller, driver,
+// plan-slot ring and streaming replayer all live across chunks, so the same
+// cell serves both the monolithic path (one Feed with the whole shard trace)
+// and the streamed path (one Feed per routed chunk). Management ops are
+// scheduled lazily, after the first arrival is -- matching the event
+// insertion order of the pre-streaming fleet runner exactly.
+class ShardCell {
+ public:
+  ShardCell(const FleetConfig& cfg, int32_t shard,
+            const std::vector<MgmtOp>& ops, bool trace_on)
+      : cfg_(cfg),
+        shard_(shard),
+        ops_(&ops),
+        layout_(cfg.array.num_disks, cfg.array.stripe_unit_bytes,
+                DiskCapacityFor(cfg.array, cfg.scheme),
+                cfg.array.parity_blocks) {
+    result.report.shard = shard;
+    if (trace_on) {
+      result.tracer = std::make_unique<Tracer>();
+    }
+    const Probe probe(result.tracer.get());
+    const ArrayConfig& acfg = cfg_.array;
+    switch (cfg_.scheme) {
+      case FleetScheme::kAfraid:
+        afraid_ = std::make_unique<AfraidController>(
+            &sim_, acfg, MakePolicy(cfg_.policy), AvailabilityParamsFor(acfg),
+            probe);
+        ctrl_ = afraid_.get();
+        break;
+      case FleetScheme::kRaid6DeferQ:
+        raid6_ =
+            std::make_unique<Raid6Controller>(&sim_, acfg, Raid6Mode::kDeferQ);
+        ctrl_ = raid6_.get();
+        break;
+      case FleetScheme::kRaid6DeferBoth:
+        raid6_ = std::make_unique<Raid6Controller>(&sim_, acfg,
+                                                   Raid6Mode::kDeferBoth);
+        ctrl_ = raid6_.get();
+        break;
+      case FleetScheme::kParityLog:
+        plog_ = std::make_unique<ParityLogController>(&sim_, acfg,
+                                                      ParityLogConfig{});
+        ctrl_ = plog_.get();
+        break;
+    }
+    // The shard's plan layout is the controller's exact layout (the same
+    // precomputation the single-array Experiment does).
+    assert(layout_.data_capacity_bytes() == ctrl_->DataCapacityBytes());
+    driver_ = std::make_unique<HostDriver>(&sim_, ctrl_, acfg.MaxActive(),
+                                           acfg.host_sched, probe);
+    replayer_ =
+        std::make_unique<StreamingPlanReplayer>(&sim_, driver_.get(), &ring_);
+    // Piece latencies by submission order: driver ids are 1-based and
+    // assigned in submission order, which is record order.
+    driver_->SetCompletionListener(
+        [this](uint64_t id, double ms, bool /*is_write*/) {
+          result.lat[static_cast<size_t>(id - 1)] = ms;
+          replayer_->OnComplete(id);
+        });
+  }
+
+  // Compiles `n` routed records into a ring slot and hands them to the
+  // replayer. Latency slots are appended (and stay -1.0 for pieces a
+  // destroy later drops) so the completion join sees every routed piece.
+  void Feed(const TraceRecord* recs, size_t n) {
+    result.lat.resize(result.lat.size() + n, -1.0);
+    if (n == 0) {
+      return;
+    }
+    fed_ += n;
+    driver_->ReserveLatencySamples(fed_);
+    RequestPlan* plan = ring_.Acquire();
+    plan->Compile(recs, n, layout_);
+    ring_.NotePeak();
+    replayer_->Feed(plan);
+  }
+
+  // Steps this shard's simulation until the replayer starves for the next
+  // chunk (or the shard drains).
+  void Advance() {
+    ScheduleOpsOnce();
+    while (!replayer_->starved() && !sim_.Idle()) {
+      sim_.Step();
+    }
+  }
+
+  // No further chunks: drain to completion and harvest the shard report.
+  void Finish() {
+    ScheduleOpsOnce();
+    replayer_->FinishFeeding();
+    sim_.RunToEnd();
+    assert(driver_->Drained());
+    ShardReport& rep = result.report;
+    if (degraded_from_ >= 0) {
+      // Failed and never repaired: degraded until the end of the run.
+      rep.degraded_s += ToSeconds(sim_.Now() - degraded_from_);
+    }
+    rep.requests = driver_->Completed();
+    rep.reads = driver_->ReadLatencies().Count();
+    rep.writes = driver_->WriteLatencies().Count();
+    rep.dropped = replayer_->dropped();
+    rep.bytes =
+        replayer_->submitted_read_bytes() + replayer_->submitted_write_bytes();
+    rep.mean_ms = driver_->AllLatencies().Mean();
+    rep.p99_ms = driver_->AllLatencies().Percentile(0.99);
+    rep.max_ms = driver_->AllLatencies().Max();
+    rep.duration_s = ToSeconds(sim_.Now());
+    const ArrayConfig& acfg = cfg_.array;
+    if (afraid_ != nullptr) {
+      double util = 0.0;
+      for (int32_t d = 0; d < acfg.num_disks; ++d) {
+        util += afraid_->disk(d).UtilizationTo(sim_.Now());
+      }
+      rep.disk_utilization = util / acfg.num_disks;
+      rep.mean_parity_lag_bytes = afraid_->MeanParityLagBytes();
+      rep.t_unprot_fraction = afraid_->TUnprotFraction();
+      rep.stripes_rebuilt = afraid_->StripesRebuilt();
+      rep.loss_events = afraid_->LossEvents();
+      rep.bytes_lost = afraid_->BytesLost();
+    } else if (raid6_ != nullptr) {
+      rep.mean_parity_lag_bytes = raid6_->MeanFullyExposedBytes();
+      rep.t_unprot_fraction = raid6_->TBothStaleFraction();
+      rep.stripes_rebuilt = raid6_->StripesRebuilt();
+    }
+  }
+
+  size_t peak_plan_bytes() const { return ring_.peak_bytes(); }
+
+  ShardResult result;
+
+ private:
+  // The online management timeline: each op runs inside this shard's event
+  // loop at its simulated time, with client traffic still flowing. Deferred
+  // past the first arrival's scheduling (Feed before Advance/Finish) so the
+  // event insertion order matches the pre-streaming runner, which called
+  // replayer.Start() before scheduling ops.
+  void ScheduleOpsOnce() {
+    if (ops_scheduled_) {
+      return;
+    }
+    ops_scheduled_ = true;
+    for (const MgmtOp& op : *ops_) {
+      sim_.At(op.time, [this, op] {
+        ShardReport& rep = result.report;
+        switch (op.kind) {
+          case MgmtOp::Kind::kDiskFail:
+            if (afraid_ != nullptr && afraid_->failed_disk() < 0 &&
+                afraid_->recovering_disk() < 0 && op.disk >= 0 &&
+                op.disk < cfg_.array.num_disks) {
+              afraid_->FailDisk(op.disk);
+              rep.disk_failed = true;
+              degraded_from_ = sim_.Now();
+            } else {
+              ++rep.mgmt_unsupported;
+            }
+            break;
+          case MgmtOp::Kind::kDiskRepaired:
+            if (afraid_ != nullptr && afraid_->failed_disk() == op.disk) {
+              afraid_->ReplaceDisk(op.disk);
+              afraid_->StartReconstruction([this] {
+                result.report.repaired = true;
+                if (degraded_from_ >= 0) {
+                  result.report.degraded_s +=
+                      ToSeconds(sim_.Now() - degraded_from_);
+                  degraded_from_ = -1;
+                }
+              });
+            } else {
+              ++rep.mgmt_unsupported;
+            }
+            break;
+          case MgmtOp::Kind::kInfo: {
+            ShardInfo info;
+            info.time = sim_.Now();
+            info.shard = shard_;
+            info.destroyed = replayer_->destroyed();
+            info.accepted = driver_->Accepted();
+            info.completed = driver_->Completed();
+            if (afraid_ != nullptr) {
+              info.failed_disk = afraid_->failed_disk();
+              info.recovering_disk = afraid_->recovering_disk();
+              info.dirty_bands = afraid_->nvram().DirtyCount();
+              info.loss_events = afraid_->LossEvents();
+              info.bytes_lost = afraid_->BytesLost();
+            } else if (raid6_ != nullptr) {
+              info.dirty_bands = raid6_->StaleP() + raid6_->StaleQ();
+            }
+            rep.infos.push_back(info);
+            break;
+          }
+          case MgmtOp::Kind::kDestroy:
+            replayer_->Destroy();
+            rep.destroyed = true;
+            break;
+        }
+      });
+    }
+  }
+
+  const FleetConfig& cfg_;
+  int32_t shard_;
+  const std::vector<MgmtOp>* ops_;
+  Simulator sim_;
+  std::unique_ptr<AfraidController> afraid_;
+  std::unique_ptr<Raid6Controller> raid6_;
+  std::unique_ptr<ParityLogController> plog_;
+  ArrayController* ctrl_ = nullptr;
+  StripeLayout layout_;
+  std::unique_ptr<HostDriver> driver_;
+  PlanSlotRing ring_;
+  std::unique_ptr<StreamingPlanReplayer> replayer_;
+  SimTime degraded_from_ = -1;
+  uint64_t fed_ = 0;
+  bool ops_scheduled_ = false;
+};
+
 ShardResult RunShard(const FleetConfig& cfg, int32_t shard, const Trace& strace,
                      const std::vector<MgmtOp>& ops, bool trace_on) {
-  ShardResult result;
-  ShardReport& rep = result.report;
-  rep.shard = shard;
-
-  Simulator sim;
-  if (trace_on) {
-    result.tracer = std::make_unique<Tracer>();
-  }
-  const Probe probe(result.tracer.get());
-
-  const ArrayConfig& acfg = cfg.array;
-  std::unique_ptr<AfraidController> afraid;
-  std::unique_ptr<Raid6Controller> raid6;
-  std::unique_ptr<ParityLogController> plog;
-  ArrayController* ctrl = nullptr;
-  switch (cfg.scheme) {
-    case FleetScheme::kAfraid:
-      afraid = std::make_unique<AfraidController>(
-          &sim, acfg, MakePolicy(cfg.policy), AvailabilityParamsFor(acfg),
-          probe);
-      ctrl = afraid.get();
-      break;
-    case FleetScheme::kRaid6DeferQ:
-      raid6 = std::make_unique<Raid6Controller>(&sim, acfg, Raid6Mode::kDeferQ);
-      ctrl = raid6.get();
-      break;
-    case FleetScheme::kRaid6DeferBoth:
-      raid6 =
-          std::make_unique<Raid6Controller>(&sim, acfg, Raid6Mode::kDeferBoth);
-      ctrl = raid6.get();
-      break;
-    case FleetScheme::kParityLog:
-      plog = std::make_unique<ParityLogController>(&sim, acfg,
-                                                   ParityLogConfig{});
-      ctrl = plog.get();
-      break;
-  }
-  HostDriver driver(&sim, ctrl, acfg.MaxActive(), acfg.host_sched, probe);
-
-  // Compile the shard's arrivals once against the controller's exact layout
-  // (the same precomputation the single-array Experiment does).
-  const StripeLayout layout(acfg.num_disks, acfg.stripe_unit_bytes,
-                            DiskCapacityFor(acfg, cfg.scheme),
-                            acfg.parity_blocks);
-  assert(layout.data_capacity_bytes() == ctrl->DataCapacityBytes());
-  const RequestPlan plan(strace, layout);
-  driver.ReserveLatencySamples(plan.size());
-
-  // Piece latencies by submission order: driver ids are 1-based and
-  // assigned in submission order, which is plan-record order.
-  result.lat.assign(plan.size(), -1.0);
-  driver.SetCompletionListener(
-      [&result](uint64_t id, double ms, bool /*is_write*/) {
-        result.lat[static_cast<size_t>(id - 1)] = ms;
-      });
-
-  ShardReplayer replayer(&sim, &driver, plan);
-  replayer.Start();
-
-  // The online management timeline: each op runs inside this shard's event
-  // loop at its simulated time, with client traffic still flowing.
-  SimTime degraded_from = -1;
-  for (const MgmtOp& op : ops) {
-    sim.At(op.time, [&, op] {
-      switch (op.kind) {
-        case MgmtOp::Kind::kDiskFail:
-          if (afraid != nullptr && afraid->failed_disk() < 0 &&
-              afraid->recovering_disk() < 0 && op.disk >= 0 &&
-              op.disk < acfg.num_disks) {
-            afraid->FailDisk(op.disk);
-            rep.disk_failed = true;
-            degraded_from = sim.Now();
-          } else {
-            ++rep.mgmt_unsupported;
-          }
-          break;
-        case MgmtOp::Kind::kDiskRepaired:
-          if (afraid != nullptr && afraid->failed_disk() == op.disk) {
-            afraid->ReplaceDisk(op.disk);
-            afraid->StartReconstruction([&] {
-              rep.repaired = true;
-              if (degraded_from >= 0) {
-                rep.degraded_s += ToSeconds(sim.Now() - degraded_from);
-                degraded_from = -1;
-              }
-            });
-          } else {
-            ++rep.mgmt_unsupported;
-          }
-          break;
-        case MgmtOp::Kind::kInfo: {
-          ShardInfo info;
-          info.time = sim.Now();
-          info.shard = shard;
-          info.destroyed = replayer.destroyed();
-          info.accepted = driver.Accepted();
-          info.completed = driver.Completed();
-          if (afraid != nullptr) {
-            info.failed_disk = afraid->failed_disk();
-            info.recovering_disk = afraid->recovering_disk();
-            info.dirty_bands = afraid->nvram().DirtyCount();
-            info.loss_events = afraid->LossEvents();
-            info.bytes_lost = afraid->BytesLost();
-          } else if (raid6 != nullptr) {
-            info.dirty_bands = raid6->StaleP() + raid6->StaleQ();
-          }
-          rep.infos.push_back(info);
-          break;
-        }
-        case MgmtOp::Kind::kDestroy:
-          replayer.Destroy();
-          rep.destroyed = true;
-          break;
-      }
-    });
-  }
-
-  sim.RunToEnd();
-  assert(driver.Drained());
-  if (degraded_from >= 0) {
-    // Failed and never repaired: degraded until the end of the run.
-    rep.degraded_s += ToSeconds(sim.Now() - degraded_from);
-  }
-
-  rep.requests = driver.Completed();
-  rep.reads = driver.ReadLatencies().Count();
-  rep.writes = driver.WriteLatencies().Count();
-  rep.dropped = replayer.dropped();
-  for (size_t i = 0; i < replayer.submitted(); ++i) {
-    rep.bytes += strace.records[i].size;
-  }
-  rep.mean_ms = driver.AllLatencies().Mean();
-  rep.p99_ms = driver.AllLatencies().Percentile(0.99);
-  rep.max_ms = driver.AllLatencies().Max();
-  rep.duration_s = ToSeconds(sim.Now());
-  if (afraid != nullptr) {
-    double util = 0.0;
-    for (int32_t d = 0; d < acfg.num_disks; ++d) {
-      util += afraid->disk(d).UtilizationTo(sim.Now());
-    }
-    rep.disk_utilization = util / acfg.num_disks;
-    rep.mean_parity_lag_bytes = afraid->MeanParityLagBytes();
-    rep.t_unprot_fraction = afraid->TUnprotFraction();
-    rep.stripes_rebuilt = afraid->StripesRebuilt();
-    rep.loss_events = afraid->LossEvents();
-    rep.bytes_lost = afraid->BytesLost();
-  } else if (raid6 != nullptr) {
-    rep.mean_parity_lag_bytes = raid6->MeanFullyExposedBytes();
-    rep.t_unprot_fraction = raid6->TBothStaleFraction();
-    rep.stripes_rebuilt = raid6->StripesRebuilt();
-  }
-  return result;
+  ShardCell cell(cfg, shard, ops, trace_on);
+  cell.Feed(strace.records.data(), strace.records.size());
+  cell.Finish();
+  return std::move(cell.result);
 }
 
-}  // namespace
+// Per-logical-record routing flags for the completion join.
+constexpr uint8_t kRecWrite = 1;  // The record was a write.
+constexpr uint8_t kRecSplit = 2;  // The record split across shards.
 
-VolumeManager::VolumeManager(const FleetConfig& cfg) : cfg_(cfg) {
-  assert(cfg_.num_shards > 0);
-  // RAID 6 shards keep two parity blocks per stripe regardless of what the
-  // caller left in the array config.
-  if (cfg_.scheme == FleetScheme::kRaid6DeferQ ||
-      cfg_.scheme == FleetScheme::kRaid6DeferBoth) {
-    cfg_.array.parity_blocks = 2;
-  } else {
-    cfg_.array.parity_blocks = 1;
-  }
-  const StripeLayout layout(cfg_.array.num_disks, cfg_.array.stripe_unit_bytes,
-                            DiskCapacityFor(cfg_.array, cfg_.scheme),
-                            cfg_.array.parity_blocks);
-  shard_capacity_ = layout.data_capacity_bytes();
-
-  const int64_t volume = ShardMap::SizeVolume(
-      cfg_.num_shards, shard_capacity_, cfg_.chunk_bytes, cfg_.fill_fraction);
-  if (cfg_.sharding == ShardingKind::kRange) {
-    map_ = ShardMap::Range(cfg_.num_shards, cfg_.chunk_bytes, volume);
-  } else {
-    map_ = ShardMap::ConsistentHash(cfg_.num_shards, cfg_.chunk_bytes, volume,
-                                    shard_capacity_, cfg_.vnodes_per_shard,
-                                    cfg_.seed);
-  }
-}
-
-void VolumeManager::AddOp(MgmtOp::Kind kind, SimTime at, int32_t shard,
-                          int32_t disk) {
-  assert(at >= 0);
-  if (shard < 0) {  // -1 targets every shard (info broadcast).
-    for (int32_t s = 0; s < cfg_.num_shards; ++s) {
-      ops_.push_back(MgmtOp{kind, at, s, disk});
-    }
-    return;
-  }
-  assert(shard < cfg_.num_shards);
-  ops_.push_back(MgmtOp{kind, at, shard, disk});
-}
-
-void VolumeManager::DiskFail(SimTime at, int32_t shard, int32_t disk) {
-  AddOp(MgmtOp::Kind::kDiskFail, at, shard, disk);
-}
-void VolumeManager::DiskRepaired(SimTime at, int32_t shard, int32_t disk) {
-  AddOp(MgmtOp::Kind::kDiskRepaired, at, shard, disk);
-}
-void VolumeManager::InfoAt(SimTime at, int32_t shard) {
-  AddOp(MgmtOp::Kind::kInfo, at, shard, -1);
-}
-void VolumeManager::Destroy(SimTime at, int32_t shard) {
-  AddOp(MgmtOp::Kind::kDestroy, at, shard, -1);
-}
-
-FleetReport VolumeManager::Run(const FleetTrace& trace, const RunOptions& opts) {
-  const int32_t num_shards = cfg_.num_shards;
-
-  // Route every logical record into per-shard traces, remembering which
-  // logical request each piece belongs to for the completion join.
-  std::vector<Trace> shard_traces(static_cast<size_t>(num_shards));
-  std::vector<std::vector<uint32_t>> piece_owner(
-      static_cast<size_t>(num_shards));
-  std::vector<int32_t> piece_count(trace.Size(), 0);
-  std::vector<ShardPiece> scratch;
-  for (size_t r = 0; r < trace.Size(); ++r) {
-    const FleetRecord& rec = trace.records[r];
-    map_.SplitRange(rec.offset, rec.size, &scratch);
-    for (const ShardPiece& p : scratch) {
-      const auto s = static_cast<size_t>(p.shard);
-      shard_traces[s].records.push_back(
-          TraceRecord{rec.time, p.local_offset, p.length, rec.is_write});
-      piece_owner[s].push_back(static_cast<uint32_t>(r));
-    }
-    piece_count[r] = static_cast<int32_t>(scratch.size());
-  }
-  for (int32_t s = 0; s < num_shards; ++s) {
-    shard_traces[static_cast<size_t>(s)].name =
-        trace.name + "/shard" + std::to_string(s);
-  }
-
-  std::vector<std::vector<MgmtOp>> shard_ops(static_cast<size_t>(num_shards));
-  for (const MgmtOp& op : ops_) {
-    shard_ops[static_cast<size_t>(op.shard)].push_back(op);
-  }
-
-  const bool trace_shards = opts.trace_shards && !opts.artifacts_dir.empty();
-  std::vector<ShardResult> results = ParallelSweep(
-      num_shards,
-      [&](int64_t s) {
-        const auto i = static_cast<size_t>(s);
-        return RunShard(cfg_, static_cast<int32_t>(s), shard_traces[i],
-                        shard_ops[i], trace_shards);
-      },
-      opts.threads);
+// Joins per-shard piece latencies back into client-visible requests and
+// assembles the fleet report. Shared verbatim by the monolithic and streamed
+// paths, so both produce field-exact reports from identical shard results.
+FleetReport MergeFleet(const FleetConfig& cfg, const ShardMap& map,
+                       const std::string& workload, int32_t num_tenants,
+                       std::vector<ShardResult> results,
+                       const std::vector<std::vector<uint32_t>>& piece_owner,
+                       const std::vector<uint8_t>& rec_flags,
+                       const VolumeManager::RunOptions& opts,
+                       bool trace_shards) {
+  const int32_t num_shards = cfg.num_shards;
+  const size_t num_records = rec_flags.size();
 
   // Join pieces back into client-visible requests: a split request
   // completes when its last piece does, so its latency is the max over
   // pieces (all pieces share the arrival instant).
-  std::vector<double> logical_ms(trace.Size(), -1.0);
-  std::vector<uint8_t> logical_dropped(trace.Size(), 0);
+  std::vector<double> logical_ms(num_records, -1.0);
+  std::vector<uint8_t> logical_dropped(num_records, 0);
   for (int32_t s = 0; s < num_shards; ++s) {
     const auto si = static_cast<size_t>(s);
     for (size_t i = 0; i < piece_owner[si].size(); ++i) {
@@ -399,19 +335,19 @@ FleetReport VolumeManager::Run(const FleetTrace& trace, const RunOptions& opts) 
   }
 
   FleetReport rep;
-  rep.workload = trace.name;
-  rep.scheme = FleetSchemeName(cfg_.scheme);
-  rep.sharding = ShardingKindName(map_.kind());
+  rep.workload = workload;
+  rep.scheme = FleetSchemeName(cfg.scheme);
+  rep.sharding = ShardingKindName(map.kind());
   rep.num_shards = num_shards;
-  rep.num_tenants = trace.num_tenants;
-  rep.volume_bytes = map_.volume_bytes();
+  rep.num_tenants = num_tenants;
+  rep.volume_bytes = map.volume_bytes();
 
   SampleSet all_ms;
   SampleSet read_ms;
   SampleSet write_ms;
-  all_ms.Reserve(trace.Size());
-  for (size_t r = 0; r < trace.Size(); ++r) {
-    if (piece_count[r] > 1) {
+  all_ms.Reserve(num_records);
+  for (size_t r = 0; r < num_records; ++r) {
+    if ((rec_flags[r] & kRecSplit) != 0) {
       ++rep.split_requests;
     }
     if (logical_dropped[r] != 0 || logical_ms[r] < 0) {
@@ -419,7 +355,7 @@ FleetReport VolumeManager::Run(const FleetTrace& trace, const RunOptions& opts) 
       continue;
     }
     all_ms.Add(logical_ms[r]);
-    if (trace.records[r].is_write) {
+    if ((rec_flags[r] & kRecWrite) != 0) {
       write_ms.Add(logical_ms[r]);
     } else {
       read_ms.Add(logical_ms[r]);
@@ -491,6 +427,177 @@ FleetReport VolumeManager::Run(const FleetTrace& trace, const RunOptions& opts) 
     }
   }
   return rep;
+}
+
+}  // namespace
+
+VolumeManager::VolumeManager(const FleetConfig& cfg) : cfg_(cfg) {
+  assert(cfg_.num_shards > 0);
+  // RAID 6 shards keep two parity blocks per stripe regardless of what the
+  // caller left in the array config.
+  if (cfg_.scheme == FleetScheme::kRaid6DeferQ ||
+      cfg_.scheme == FleetScheme::kRaid6DeferBoth) {
+    cfg_.array.parity_blocks = 2;
+  } else {
+    cfg_.array.parity_blocks = 1;
+  }
+  const StripeLayout layout(cfg_.array.num_disks, cfg_.array.stripe_unit_bytes,
+                            DiskCapacityFor(cfg_.array, cfg_.scheme),
+                            cfg_.array.parity_blocks);
+  shard_capacity_ = layout.data_capacity_bytes();
+
+  const int64_t volume = ShardMap::SizeVolume(
+      cfg_.num_shards, shard_capacity_, cfg_.chunk_bytes, cfg_.fill_fraction);
+  if (cfg_.sharding == ShardingKind::kRange) {
+    map_ = ShardMap::Range(cfg_.num_shards, cfg_.chunk_bytes, volume);
+  } else {
+    map_ = ShardMap::ConsistentHash(cfg_.num_shards, cfg_.chunk_bytes, volume,
+                                    shard_capacity_, cfg_.vnodes_per_shard,
+                                    cfg_.seed);
+  }
+}
+
+void VolumeManager::AddOp(MgmtOp::Kind kind, SimTime at, int32_t shard,
+                          int32_t disk) {
+  assert(at >= 0);
+  if (shard < 0) {  // -1 targets every shard (info broadcast).
+    for (int32_t s = 0; s < cfg_.num_shards; ++s) {
+      ops_.push_back(MgmtOp{kind, at, s, disk});
+    }
+    return;
+  }
+  assert(shard < cfg_.num_shards);
+  ops_.push_back(MgmtOp{kind, at, shard, disk});
+}
+
+void VolumeManager::DiskFail(SimTime at, int32_t shard, int32_t disk) {
+  AddOp(MgmtOp::Kind::kDiskFail, at, shard, disk);
+}
+void VolumeManager::DiskRepaired(SimTime at, int32_t shard, int32_t disk) {
+  AddOp(MgmtOp::Kind::kDiskRepaired, at, shard, disk);
+}
+void VolumeManager::InfoAt(SimTime at, int32_t shard) {
+  AddOp(MgmtOp::Kind::kInfo, at, shard, -1);
+}
+void VolumeManager::Destroy(SimTime at, int32_t shard) {
+  AddOp(MgmtOp::Kind::kDestroy, at, shard, -1);
+}
+
+FleetReport VolumeManager::Run(const FleetTrace& trace, const RunOptions& opts) {
+  const int32_t num_shards = cfg_.num_shards;
+
+  // Route every logical record into per-shard traces, remembering which
+  // logical request each piece belongs to for the completion join.
+  std::vector<Trace> shard_traces(static_cast<size_t>(num_shards));
+  std::vector<std::vector<uint32_t>> piece_owner(
+      static_cast<size_t>(num_shards));
+  std::vector<uint8_t> rec_flags(trace.Size(), 0);
+  std::vector<ShardPiece> scratch;
+  for (size_t r = 0; r < trace.Size(); ++r) {
+    const FleetRecord& rec = trace.records[r];
+    map_.SplitRange(rec.offset, rec.size, &scratch);
+    for (const ShardPiece& p : scratch) {
+      const auto s = static_cast<size_t>(p.shard);
+      shard_traces[s].records.push_back(
+          TraceRecord{rec.time, p.local_offset, p.length, rec.is_write});
+      piece_owner[s].push_back(static_cast<uint32_t>(r));
+    }
+    rec_flags[r] = static_cast<uint8_t>((rec.is_write ? kRecWrite : 0) |
+                                        (scratch.size() > 1 ? kRecSplit : 0));
+  }
+  for (int32_t s = 0; s < num_shards; ++s) {
+    shard_traces[static_cast<size_t>(s)].name =
+        trace.name + "/shard" + std::to_string(s);
+  }
+
+  std::vector<std::vector<MgmtOp>> shard_ops(static_cast<size_t>(num_shards));
+  for (const MgmtOp& op : ops_) {
+    shard_ops[static_cast<size_t>(op.shard)].push_back(op);
+  }
+
+  const bool trace_shards = opts.trace_shards && !opts.artifacts_dir.empty();
+  std::vector<ShardResult> results = ParallelSweep(
+      num_shards,
+      [&](int64_t s) {
+        const auto i = static_cast<size_t>(s);
+        return RunShard(cfg_, static_cast<int32_t>(s), shard_traces[i],
+                        shard_ops[i], trace_shards);
+      },
+      opts.threads);
+
+  return MergeFleet(cfg_, map_, trace.name, trace.num_tenants,
+                    std::move(results), piece_owner, rec_flags, opts,
+                    trace_shards);
+}
+
+FleetReport VolumeManager::RunStreamed(const std::string& path,
+                                       const StreamOptions& sopts,
+                                       const RunOptions& opts,
+                                       TraceStatus* status) {
+  const int32_t num_shards = cfg_.num_shards;
+  TraceChunkReader reader(path, sopts);
+
+  std::vector<std::vector<MgmtOp>> shard_ops(static_cast<size_t>(num_shards));
+  for (const MgmtOp& op : ops_) {
+    shard_ops[static_cast<size_t>(op.shard)].push_back(op);
+  }
+
+  const bool trace_shards = opts.trace_shards && !opts.artifacts_dir.empty();
+  std::vector<std::unique_ptr<ShardCell>> cells;
+  cells.reserve(static_cast<size_t>(num_shards));
+  for (int32_t s = 0; s < num_shards; ++s) {
+    cells.push_back(std::make_unique<ShardCell>(
+        cfg_, s, shard_ops[static_cast<size_t>(s)], trace_shards));
+  }
+
+  // Chunk loop: route this chunk's records into reused per-shard buffers,
+  // then feed-and-advance every shard in parallel (a per-chunk barrier via
+  // the same deterministic sweep Run uses; shards never share state, so the
+  // result is bit-identical for any thread count).
+  std::vector<std::vector<TraceRecord>> shard_chunk(
+      static_cast<size_t>(num_shards));
+  std::vector<std::vector<uint32_t>> piece_owner(
+      static_cast<size_t>(num_shards));
+  std::vector<uint8_t> rec_flags;  // Join state: one byte per logical record.
+  std::vector<ShardPiece> scratch;
+  while (reader.Next()) {
+    for (auto& chunk : shard_chunk) {
+      chunk.clear();
+    }
+    for (const TraceRecord& rec : reader.chunk().records) {
+      const auto r = static_cast<uint32_t>(rec_flags.size());
+      map_.SplitRange(rec.offset, rec.size, &scratch);
+      for (const ShardPiece& p : scratch) {
+        const auto s = static_cast<size_t>(p.shard);
+        shard_chunk[s].push_back(
+            TraceRecord{rec.time, p.local_offset, p.length, rec.is_write});
+        piece_owner[s].push_back(r);
+      }
+      rec_flags.push_back(
+          static_cast<uint8_t>((rec.is_write ? kRecWrite : 0) |
+                               (scratch.size() > 1 ? kRecSplit : 0)));
+    }
+    internal::RunSweep(num_shards, opts.threads, [&](int64_t s) {
+      const auto i = static_cast<size_t>(s);
+      cells[i]->Feed(shard_chunk[i].data(), shard_chunk[i].size());
+      cells[i]->Advance();
+    });
+  }
+  if (status != nullptr) {
+    *status = reader.status();
+  }
+
+  internal::RunSweep(num_shards, opts.threads,
+                     [&](int64_t s) { cells[static_cast<size_t>(s)]->Finish(); });
+
+  std::vector<ShardResult> results;
+  results.reserve(cells.size());
+  for (auto& cell : cells) {
+    results.push_back(std::move(cell->result));
+  }
+  return MergeFleet(cfg_, map_, reader.name(), reader.tenants(),
+                    std::move(results), piece_owner, rec_flags, opts,
+                    trace_shards);
 }
 
 std::string FleetReportToJson(const FleetReport& rep) {

@@ -37,6 +37,8 @@
 #include "fleet/sharding.h"
 #include "fleet/tenants.h"
 #include "sim/time.h"
+#include "trace/trace.h"
+#include "trace/trace_stream.h"
 
 namespace afraid {
 
@@ -187,6 +189,20 @@ class VolumeManager {
   // and merges the fleet report.
   FleetReport Run(const FleetTrace& trace, const RunOptions& opts);
   FleetReport Run(const FleetTrace& trace) { return Run(trace, RunOptions()); }
+
+  // Streams a recorded trace file (trace/recorder.h format; the "# tenants"
+  // header carries the tenant count into the report) through the chunked
+  // pipeline: each chunk is routed through the shard map, compiled into
+  // per-shard plan rings and replayed -- all shards advancing under the
+  // deterministic sweep -- before the next chunk is read. Trace text and
+  // plans stay O(chunk); only the per-request completion join (one latency
+  // and a flag byte per logical request, which the monolithic path keeps
+  // too) scales with the trace. The FleetReport is field-exact vs loading
+  // the same file and calling Run(), for any thread count. On a parse/file
+  // error (*status if non-null) the report covers the replayed prefix.
+  FleetReport RunStreamed(const std::string& path, const StreamOptions& sopts,
+                          const RunOptions& opts,
+                          TraceStatus* status = nullptr);
 
  private:
   void AddOp(MgmtOp::Kind kind, SimTime at, int32_t shard, int32_t disk);

@@ -48,6 +48,9 @@ std::string SerializeTrace(const Trace& trace) {
   std::string out;
   out += "# afraid-trace v1\n";
   out += "# name " + trace.name + "\n";
+  if (trace.tenants > 0) {
+    out += "# tenants " + std::to_string(trace.tenants) + "\n";
+  }
   char line[96];
   for (const TraceRecord& r : trace.records) {
     std::snprintf(line, sizeof(line), "%" PRId64 " %c %" PRId64 " %d\n", r.time,
@@ -113,15 +116,21 @@ inline bool ScanInt64(const char*& p, const char* end, int64_t* out) {
 
 TraceStatus ParseTraceText(std::string_view text, Trace* out) {
   out->name.clear();
+  out->tenants = 0;
   out->records.clear();
   // One reservation up front: at most one record per newline, so the record
   // vector never reallocates during the scan.
   out->records.reserve(
       static_cast<size_t>(std::count(text.begin(), text.end(), '\n')) + 1);
+  int64_t next_line = 0;
+  return ScanTraceChunk(text, 1, out, &next_line);
+}
 
+TraceStatus ScanTraceChunk(std::string_view text, int64_t first_line,
+                           Trace* out, int64_t* next_line) {
   const char* p = text.data();
   const char* const end = p + text.size();
-  int64_t line_no = 0;
+  int64_t line_no = first_line - 1;
   while (p < end) {
     ++line_no;
     const char* eol = static_cast<const char*>(
@@ -142,10 +151,18 @@ TraceStatus ParseTraceText(std::string_view text, Trace* out) {
       while (h < line_end && !IsFieldSep(*h)) {
         ++h;
       }
-      if (std::string_view(key_begin, static_cast<size_t>(h - key_begin)) ==
-          "name") {
+      const std::string_view key(key_begin, static_cast<size_t>(h - key_begin));
+      if (key == "name") {
         SkipSep(h, line_end);
         out->name.assign(h, static_cast<size_t>(line_end - h));
+      } else if (key == "tenants") {
+        SkipSep(h, line_end);
+        int64_t tenants = 0;
+        // Header lines are comments; a malformed value is ignored, not fatal.
+        if (ScanInt64(h, line_end, &tenants) && tenants > 0 &&
+            tenants <= std::numeric_limits<int32_t>::max()) {
+          out->tenants = static_cast<int32_t>(tenants);
+        }
       }
       p = next;
       continue;
@@ -197,6 +214,7 @@ TraceStatus ParseTraceText(std::string_view text, Trace* out) {
     out->records.push_back(r);
     p = next;
   }
+  *next_line = line_no + 1;
   return TraceStatus::Ok();
 }
 
@@ -227,6 +245,7 @@ TraceStatus LoadTraceFile(const std::string& path, Trace* out) {
 
 bool ParseTraceStreamRef(const std::string& text, Trace* out) {
   out->name.clear();
+  out->tenants = 0;
   out->records.clear();
   std::istringstream in(text);
   std::string line;
@@ -241,6 +260,12 @@ bool ParseTraceStreamRef(const std::string& text, Trace* out) {
       if (key == "name") {
         hdr >> std::ws;
         std::getline(hdr, out->name);
+      } else if (key == "tenants") {
+        int64_t tenants = 0;
+        if (hdr >> tenants && tenants > 0 &&
+            tenants <= std::numeric_limits<int32_t>::max()) {
+          out->tenants = static_cast<int32_t>(tenants);
+        }
       }
       continue;
     }

@@ -27,6 +27,9 @@ struct TraceRecord {
 
 struct Trace {
   std::string name;
+  // Tenant-stream count ("# tenants N" header) for traces recorded from a
+  // fleet workload; 0 when the trace carries no tenant metadata.
+  int32_t tenants = 0;
   std::vector<TraceRecord> records;
 
   bool Empty() const { return records.empty(); }
@@ -76,6 +79,17 @@ struct TraceStatus {
 // validates each record (unlike the stream parser, trailing junk after the
 // size field is an error, not silently ignored).
 TraceStatus ParseTraceText(std::string_view text, Trace* out);
+
+// Chunk-mode entry to the same scanner, used by the streaming reader
+// (trace_stream.h): appends the records of `text` to out->records WITHOUT
+// clearing them, numbering diagnostics from `first_line` so a chunked parse
+// reports the same file-absolute line as a monolithic one. `text` must
+// contain only whole lines (the reader carries partial tails across chunk
+// boundaries), except that the final chunk of a file may end mid-line.
+// Header lines ("# name", "# tenants") still apply wherever they appear.
+// On success *next_line receives the first_line value for the next chunk.
+TraceStatus ScanTraceChunk(std::string_view text, int64_t first_line,
+                           Trace* out, int64_t* next_line);
 
 // Zero-copy ingest: loads the whole file with a single read into an owned
 // buffer, then runs the fast scanner over it. File-level failures (missing

@@ -1,0 +1,151 @@
+// Recorder round-trip at fleet scale: a synthetic tenant-mix workload,
+// recorded to the text trace format and streamed back through
+// VolumeManager::RunStreamed, must produce a field-exact FleetReport vs
+// replaying the in-memory workload directly -- at any thread count, any
+// chunk size, and with online management ops (including destroy) in flight.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "fleet/recorder.h"
+#include "fleet/tenants.h"
+#include "fleet/volume_manager.h"
+#include "trace/trace_stream.h"
+
+namespace afraid {
+namespace {
+
+std::string TempPath(const std::string& leaf) {
+  return (std::filesystem::temp_directory_path() / leaf).string();
+}
+
+FleetConfig SmallFleet() {
+  FleetConfig cfg;
+  cfg.array.disk_spec = DiskSpec::TinyTestDisk();
+  cfg.array.num_disks = 4;
+  cfg.num_shards = 8;
+  cfg.chunk_bytes = 256 * 1024;
+  cfg.seed = 5;
+  return cfg;
+}
+
+FleetTrace SmallWorkload(const FleetConfig& cfg, uint64_t max_requests) {
+  FleetWorkloadParams wp;
+  wp.seed = 17;
+  wp.num_tenants = 48;
+  wp.max_requests = max_requests;
+  wp.max_duration = Minutes(10);
+  return GenerateFleetWorkload(wp, VolumeManager(cfg).VolumeBytes());
+}
+
+// Direct synthetic replay vs record + stream of the same workload.
+TEST(FleetStream, RecorderRoundTripFieldExact) {
+  const FleetConfig cfg = SmallFleet();
+  const FleetTrace workload = SmallWorkload(cfg, 3000);
+  const std::string path = TempPath("afraid_fleet_stream_rt.txt");
+  ASSERT_TRUE(RecordFleetTrace(workload, path).ok);
+
+  for (const int32_t threads : {1, 8}) {
+    VolumeManager direct(cfg);
+    VolumeManager::RunOptions opts;
+    opts.threads = threads;
+    const FleetReport want = direct.Run(workload, opts);
+    ASSERT_GT(want.requests, 0u);
+    EXPECT_EQ(want.num_tenants, 48);
+
+    VolumeManager streamed(cfg);
+    StreamOptions sopts;
+    sopts.chunk_bytes = 4096;  // Many chunks: ~20 bytes per record.
+    TraceStatus st;
+    const FleetReport got = streamed.RunStreamed(path, sopts, opts, &st);
+    ASSERT_TRUE(st.ok) << st.message;
+    EXPECT_EQ(FleetReportToJson(got), FleetReportToJson(want))
+        << "threads=" << threads;
+  }
+  std::remove(path.c_str());
+}
+
+// Chunk size must not perturb the trajectory.
+TEST(FleetStream, ChunkSizeInvariance) {
+  const FleetConfig cfg = SmallFleet();
+  const FleetTrace workload = SmallWorkload(cfg, 1500);
+  const std::string path = TempPath("afraid_fleet_stream_chunk.txt");
+  ASSERT_TRUE(RecordFleetTrace(workload, path).ok);
+
+  VolumeManager::RunOptions opts;
+  opts.threads = 1;
+  std::string baseline;
+  for (const size_t chunk : {512u, 8192u, 4u << 20}) {
+    VolumeManager vm(cfg);
+    StreamOptions sopts;
+    sopts.chunk_bytes = chunk;
+    TraceStatus st;
+    const FleetReport rep = vm.RunStreamed(path, sopts, opts, &st);
+    ASSERT_TRUE(st.ok) << st.message;
+    const std::string json = FleetReportToJson(rep);
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "chunk=" << chunk;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// Online management -- a failure/repair cycle, an info snapshot, and a
+// destroy -- lands identically whether the workload arrives monolithic or
+// in chunks, at 1 and 8 threads.
+TEST(FleetStream, ManagementOpsMatchUnderStreaming) {
+  const FleetConfig cfg = SmallFleet();
+  const FleetTrace workload = SmallWorkload(cfg, 3000);
+  const std::string path = TempPath("afraid_fleet_stream_mgmt.txt");
+  ASSERT_TRUE(RecordFleetTrace(workload, path).ok);
+  const SimTime mid = workload.records[workload.records.size() / 2].time;
+  const SimTime late = workload.records[(workload.records.size() * 3) / 4].time;
+
+  for (const int32_t threads : {1, 8}) {
+    auto schedule = [&](VolumeManager* vm) {
+      vm->DiskFail(mid, /*shard=*/2, /*disk=*/1);
+      vm->DiskRepaired(late, /*shard=*/2, /*disk=*/1);
+      vm->InfoAt(late, /*shard=*/0);
+      vm->Destroy(mid, /*shard=*/5);
+    };
+    VolumeManager::RunOptions opts;
+    opts.threads = threads;
+
+    VolumeManager direct(cfg);
+    schedule(&direct);
+    const FleetReport want = direct.Run(workload, opts);
+    EXPECT_TRUE(want.shards[2].disk_failed);
+    EXPECT_TRUE(want.shards[5].destroyed);
+    EXPECT_EQ(want.shards_destroyed, 1);
+
+    VolumeManager streamed(cfg);
+    schedule(&streamed);
+    StreamOptions sopts;
+    sopts.chunk_bytes = 2048;
+    TraceStatus st;
+    const FleetReport got = streamed.RunStreamed(path, sopts, opts, &st);
+    ASSERT_TRUE(st.ok) << st.message;
+    EXPECT_EQ(FleetReportToJson(got), FleetReportToJson(want))
+        << "threads=" << threads;
+  }
+  std::remove(path.c_str());
+}
+
+// A missing file surfaces through the status out-param with an empty report.
+TEST(FleetStream, MissingFileReportsError) {
+  VolumeManager vm(SmallFleet());
+  TraceStatus st;
+  const FleetReport rep = vm.RunStreamed(
+      TempPath("afraid_no_such_fleet_trace.txt"), StreamOptions(),
+      VolumeManager::RunOptions(), &st);
+  EXPECT_FALSE(st.ok);
+  EXPECT_EQ(rep.requests, 0u);
+}
+
+}  // namespace
+}  // namespace afraid
