@@ -34,14 +34,15 @@ int Run() {
 
   struct SchemeRow {
     const char* label;
-    FleetScheme scheme;
+    const char* scheme;  // Registry name (core/scheme_registry.h).
     PolicySpec policy;
   };
   const SchemeRow schemes[] = {
-      {"afraid", FleetScheme::kAfraid, PolicySpec::AfraidBaseline()},
-      {"raid5", FleetScheme::kAfraid, PolicySpec::Raid5()},
-      {"raid6-dq", FleetScheme::kRaid6DeferQ, PolicySpec::AfraidBaseline()},
-      {"plog", FleetScheme::kParityLog, PolicySpec::AfraidBaseline()},
+      {"afraid", "afraid", PolicySpec::AfraidBaseline()},
+      {"raid5", "afraid", PolicySpec::Raid5()},
+      {"raid6-dq", "raid6-deferQ", PolicySpec::AfraidBaseline()},
+      {"plog", "parity-log", PolicySpec::AfraidBaseline()},
+      {"mirror", "mirror", PolicySpec::AfraidBaseline()},
   };
 
   PrintHeader("Fleet grid: scheme x sharding x width, one failed+repaired "

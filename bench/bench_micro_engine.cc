@@ -15,6 +15,7 @@
 #include "array/nvram.h"
 #include "core/afraid_controller.h"
 #include "core/experiment.h"
+#include "core/mirror_controller.h"
 #include "core/policy.h"
 #include "disk/disk_model.h"
 #include "disk/seek_model.h"
@@ -248,6 +249,40 @@ void BM_ControllerWritePath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ControllerWritePath);
+
+// The mirrored scheme's replica-choice read dispatch: availability filter,
+// queue-depth tiebreak, then a shortest-positioning-time estimate on both
+// heads. Runs once per read segment, so it must stay cheap.
+void BM_MirrorReadDispatch(benchmark::State& state) {
+  ArrayConfig cfg;
+  Simulator sim;
+  MirrorController array(&sim, cfg);
+  HostDriver driver(&sim, &array, cfg.MaxActive());
+  // Put the array mid-burst so queue depths and head positions genuinely
+  // differ between the two sides of each pair.
+  Rng rng(7);
+  const int64_t units = array.DataCapacityBytes() / cfg.stripe_unit_bytes;
+  for (int i = 0; i < 64; ++i) {
+    driver.Submit(rng.UniformInt(0, units - 2) * cfg.stripe_unit_bytes, 8192,
+                  /*is_write=*/i % 3 == 0);
+  }
+  for (int i = 0; i < 200 && !driver.Drained(); ++i) {
+    sim.Step();
+  }
+  const StripeLayout& lay = array.layout();
+  const int32_t spu =
+      static_cast<int32_t>(cfg.stripe_unit_bytes / cfg.disk_spec.sector_bytes);
+  DiskOp op;
+  op.sectors = spu;
+  int64_t stripe = 0;
+  for (auto _ : state) {
+    stripe = (stripe + 1) % lay.num_stripes();
+    op.lba = stripe * spu;
+    const int32_t primary = 2 * lay.DataDisk(stripe, 0);
+    benchmark::DoNotOptimize(array.ChooseReplica(stripe, primary, op));
+  }
+}
+BENCHMARK(BM_MirrorReadDispatch);
 
 // --- Compiled replay pipeline: fast paths vs their in-tree references -------
 

@@ -29,8 +29,9 @@ int main(int argc, char** argv) {
   cfg.track_content = true;  // Functional verification of every byte.
 
   WorkloadParams workload = PaperWorkloads().front();
-  ExposureModel exposure(cfg, PolicySpec::AfraidBaseline(), workload, seed);
-  const AfraidController& array = exposure.controller();
+  ExposureModel exposure("afraid", cfg, PolicySpec::AfraidBaseline(), workload,
+                         seed);
+  const ArrayScheme& array = exposure.controller();
 
   // Phase 1: run the bursty workload, stopping at an instant when some
   // stripes are mid-exposure (between a write and its deferred parity
@@ -54,9 +55,8 @@ int main(int argc, char** argv) {
   const DrillResult drill = exposure.FailureDrill(victim);
   std::printf("  %lld stripes were unprotected at the instant of failure\n",
               static_cast<long long>(drill.dirty_bands_at_failure));
-  std::printf("  degraded reads served: %llu reconstruct-reads issued\n",
-              static_cast<unsigned long long>(
-                  array.DiskOps(DiskOpPurpose::kReconstructRead)));
+  std::printf("  rebuild/reconstruct disk ops issued: %llu\n",
+              static_cast<unsigned long long>(array.Stats().disk_ops_rebuild));
   std::printf("  recovery (drain + replace + reconstruct): %.1f simulated seconds\n",
               ToSeconds(drill.recovery_time));
 

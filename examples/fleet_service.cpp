@@ -5,7 +5,9 @@
 //
 //   $ ./examples/fleet_service [scheme] [requests]
 //
-// scheme: afraid (default) | raid5 | raid6q | raid6pq | plog
+// scheme: any registry name (afraid | raid6 | raid6-deferQ | raid6-deferPQ |
+// parity-log | mirror), or "raid5" (afraid under the always-sync policy), or
+// "list" to print the registered schemes and exit.
 //
 // The run is bit-identical for any AFRAID_BENCH_THREADS (every shard is an
 // independent deterministic simulation; the sweep only changes who runs
@@ -16,6 +18,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/scheme_registry.h"
 #include "fleet/tenants.h"
 #include "fleet/volume_manager.h"
 
@@ -26,25 +29,28 @@ int main(int argc, char** argv) {
   const uint64_t requests =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30000;
 
+  if (scheme_arg == "list" || scheme_arg == "--scheme=list") {
+    for (const std::string& name : SchemeRegistry::List()) {
+      std::printf("%-14s %s\n", name.c_str(),
+                  SchemeRegistry::Find(name)->description.c_str());
+    }
+    std::printf("%-14s %s\n", "raid5",
+                "afraid under the always-synchronous-parity policy");
+    return 0;
+  }
+
   FleetConfig cfg;
   cfg.num_shards = 8;
   cfg.chunk_bytes = 4 << 20;
   cfg.seed = 1996;
-  if (scheme_arg == "afraid") {
-    cfg.scheme = FleetScheme::kAfraid;
-    cfg.policy = PolicySpec::AfraidBaseline();
-  } else if (scheme_arg == "raid5") {
-    cfg.scheme = FleetScheme::kAfraid;  // The policy picks the write path.
+  if (scheme_arg == "raid5") {
+    cfg.scheme = "afraid";  // The policy picks the write path.
     cfg.policy = PolicySpec::Raid5();
-  } else if (scheme_arg == "raid6q") {
-    cfg.scheme = FleetScheme::kRaid6DeferQ;
-  } else if (scheme_arg == "raid6pq") {
-    cfg.scheme = FleetScheme::kRaid6DeferBoth;
-  } else if (scheme_arg == "plog") {
-    cfg.scheme = FleetScheme::kParityLog;
+  } else if (SchemeRegistry::Find(scheme_arg) != nullptr) {
+    cfg.scheme = scheme_arg;
   } else {
     std::fprintf(stderr,
-                 "unknown scheme '%s' (afraid|raid5|raid6q|raid6pq|plog)\n",
+                 "unknown scheme '%s' (try 'list' for the registry)\n",
                  scheme_arg.c_str());
     return 1;
   }
@@ -106,6 +112,22 @@ int main(int argc, char** argv) {
                 rep.degraded_shard_s,
                 static_cast<unsigned long long>(rep.loss_events),
                 static_cast<long long>(rep.bytes_lost));
+    uint64_t ref_fail = 0;
+    uint64_t ref_repair = 0;
+    uint64_t ref_info = 0;
+    uint64_t ref_destroy = 0;
+    for (const ShardReport& s : rep.shards) {
+      ref_fail += s.mgmt_unsupported_fail;
+      ref_repair += s.mgmt_unsupported_repair;
+      ref_info += s.mgmt_unsupported_info;
+      ref_destroy += s.mgmt_unsupported_destroy;
+    }
+    std::printf("   mgmt refused: fail %llu  repair %llu  info %llu  "
+                "destroy %llu\n",
+                static_cast<unsigned long long>(ref_fail),
+                static_cast<unsigned long long>(ref_repair),
+                static_cast<unsigned long long>(ref_info),
+                static_cast<unsigned long long>(ref_destroy));
     std::printf("   %-6s %9s %8s %8s %10s %7s %9s\n", "shard", "pieces",
                 "mean ms", "p99 ms", "bytes MB", "util", "degr s");
     for (const ShardReport& s : rep.shards) {

@@ -9,6 +9,10 @@
 //   $ ./examples/trace_replay /tmp/my_trace.txt   # replay a trace file
 //
 // Flags (before or after the positional arguments):
+//   --scheme NAME       replay on one registered array scheme
+//                       (src/core/scheme_registry.h) instead of the default
+//                       RAID 0 / RAID 5 / AFRAID comparison; `--scheme list`
+//                       prints the registry and exits
 //   --stream            replay through the fixed-memory streaming pipeline
 //                       (TraceChunkReader + StreamingPlanCompiler) instead of
 //                       loading the whole trace; prints a trailing
@@ -36,6 +40,7 @@
 
 #include "array/layout.h"
 #include "core/experiment.h"
+#include "core/scheme_registry.h"
 #include "disk/geometry.h"
 #include "trace/recorder.h"
 #include "trace/trace.h"
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
   bool stream = false;
   size_t chunk_bytes = 4u << 20;
   std::string record_path;
+  std::string scheme;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,12 +62,26 @@ int main(int argc, char** argv) {
       chunk_bytes = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (arg == "--record" && i + 1 < argc) {
       record_path = argv[++i];
+    } else if (arg == "--scheme" && i + 1 < argc) {
+      scheme = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
     } else {
       pos.push_back(arg);
     }
+  }
+  if (scheme == "list") {
+    for (const std::string& name : SchemeRegistry::List()) {
+      std::printf("%-14s %s\n", name.c_str(),
+                  SchemeRegistry::Find(name)->description.c_str());
+    }
+    return 0;
+  }
+  if (!scheme.empty() && SchemeRegistry::Find(scheme) == nullptr) {
+    std::fprintf(stderr, "unknown scheme '%s' (try '--scheme list')\n",
+                 scheme.c_str());
+    return 2;
   }
   const std::string which = !pos.empty() ? pos[0] : "cello-usr";
   const uint64_t max_requests =
@@ -91,12 +111,18 @@ int main(int argc, char** argv) {
     std::printf("replaying trace file %s (%zu records)\n", which.c_str(),
                 trace.Size());
   } else if (FindWorkload(which, &params)) {
-    const StripeLayout layout(cfg.num_disks, cfg.stripe_unit_bytes,
-                              DiskGeometry(cfg.disk_spec.zones, cfg.disk_spec.heads,
-                                           cfg.disk_spec.sector_bytes)
-                                  .CapacityBytes(),
-                              cfg.parity_blocks);
-    params.address_space_bytes = layout.data_capacity_bytes();
+    if (!scheme.empty()) {
+      // One scheme: size offsets to its client-visible capacity (smaller than
+      // RAID 5's for mirroring and parity logging).
+      params.address_space_bytes = SchemeRegistry::DataCapacityBytes(scheme, cfg);
+    } else {
+      const StripeLayout layout(cfg.num_disks, cfg.stripe_unit_bytes,
+                                DiskGeometry(cfg.disk_spec.zones, cfg.disk_spec.heads,
+                                             cfg.disk_spec.sector_bytes)
+                                    .CapacityBytes(),
+                                cfg.parity_blocks);
+      params.address_space_bytes = layout.data_capacity_bytes();
+    }
     trace = GenerateWorkload(params, max_requests, Hours(24));
     const TraceStats stats = ComputeTraceStats(trace);
     std::printf("workload %s: %zu requests over %.1f s, %.0f%% writes, "
@@ -138,13 +164,24 @@ int main(int argc, char** argv) {
   const char* obs_env = std::getenv("AFRAID_OBS_DIR");
   const std::string obs_dir = obs_env != nullptr ? obs_env : "";
 
-  StreamStats peak;  // Max across the three schemes (they ingest identically).
+  StreamStats peak;  // Max across the schemes (they ingest identically).
+  // Default: the paper's three-way policy comparison on the AFRAID scheme.
+  // --scheme NAME: one row, any registered organization.
+  std::vector<PolicySpec> specs;
+  if (scheme.empty()) {
+    specs = {PolicySpec::Raid5(), PolicySpec::AfraidBaseline(),
+             PolicySpec::Raid0()};
+  } else {
+    specs = {PolicySpec::AfraidBaseline()};
+  }
   std::printf("\n%-10s %10s %10s %10s %10s %12s %12s\n", "scheme", "mean ms",
               "median", "95th", "max", "MTTDL all/h", "MDLR B/h");
-  for (const PolicySpec& spec :
-       {PolicySpec::Raid5(), PolicySpec::AfraidBaseline(), PolicySpec::Raid0()}) {
+  for (const PolicySpec& spec : specs) {
     Experiment exp(cfg);
     exp.Policy(spec);
+    if (!scheme.empty()) {
+      exp.Scheme(scheme);
+    }
     if (stream) {
       StreamOptions sopts;
       sopts.chunk_bytes = chunk_bytes;
@@ -154,7 +191,7 @@ int main(int argc, char** argv) {
     }
     if (!obs_dir.empty()) {
       ObserveOptions opts;
-      opts.artifacts_dir = obs_dir + "/" + spec.Label();
+      opts.artifacts_dir = obs_dir + "/" + (scheme.empty() ? spec.Label() : scheme);
       exp.Observe(opts);
     }
     const SimReport rep = exp.Run();

@@ -9,7 +9,9 @@ StripeLayout::StripeLayout(int32_t num_disks, int64_t stripe_unit_bytes,
     : num_disks_(num_disks),
       stripe_unit_(stripe_unit_bytes),
       parity_blocks_(parity_blocks) {
-  assert(parity_blocks_ == 1 || parity_blocks_ == 2);
+  // 0 parity blocks = a pure rotated striping layout (mirrored arrays use it
+  // for their column space; ParityDisk is never asked for).
+  assert(parity_blocks_ >= 0 && parity_blocks_ <= 2);
   assert(num_disks_ >= parity_blocks_ + 1);
   assert(stripe_unit_ > 0);
   num_stripes_ = disk_capacity_bytes / stripe_unit_;

@@ -115,6 +115,44 @@ uint64_t AfraidController::TotalDiskOps() const {
   return total;
 }
 
+std::string AfraidController::PolicyLabel() const { return policy_->Name(); }
+
+SchemeState AfraidController::State() const {
+  SchemeState st;
+  st.failed_disk = failed_disk_;
+  st.recovering_disk = recovering_disk_;
+  st.reconstruction_active = reconstruction_active_;
+  st.rebuild_active = rebuilding_;
+  st.dirty_marks = nvram_.DirtyCount();
+  st.parity_lag_bytes = CurrentParityLagBytes();
+  st.last_write_raid5 = last_write_raid5_;
+  st.loss_events = loss_events_;
+  st.bytes_lost = bytes_lost_;
+  return st;
+}
+
+SchemeStats AfraidController::Stats() const {
+  SchemeStats s;
+  s.mean_parity_lag_bytes = MeanParityLagBytes();
+  s.t_unprot_fraction = TUnprotFraction();
+  s.max_dirty_stripes = MaxDirtyStripes();
+  s.stripes_rebuilt = stripes_rebuilt_;
+  s.rebuild_passes = rebuild_passes_;
+  s.afraid_mode_writes = afraid_mode_writes_;
+  s.raid5_mode_writes = raid5_mode_writes_;
+  s.disk_ops_total = TotalDiskOps();
+  s.disk_ops_rebuild = DiskOps(DiskOpPurpose::kRebuildRead) +
+                       DiskOps(DiskOpPurpose::kRebuildWrite);
+  s.disk_ops_parity = DiskOps(DiskOpPurpose::kParityWrite) +
+                      DiskOps(DiskOpPurpose::kOldDataRead) +
+                      DiskOps(DiskOpPurpose::kOldParityRead);
+  s.cache_hits = CacheHits();
+  s.idle_fraction = IdleFraction();
+  s.loss_events = loss_events_;
+  s.bytes_lost = bytes_lost_;
+  return s;
+}
+
 PolicyContext AfraidController::MakePolicyContext() const {
   PolicyContext ctx;
   ctx.now = sim_->Now();
@@ -1100,18 +1138,23 @@ void AfraidController::RebuildAll(std::function<void()> done) {
 
 // --- Failure injection & recovery ---------------------------------------------------
 
-void AfraidController::FailDisk(int32_t disk) {
-  assert(disk >= 0 && disk < cfg_.num_disks);
-  assert(failed_disk_ < 0 && recovering_disk_ < 0);
+bool AfraidController::FailDisk(int32_t disk) {
+  if (disk < 0 || disk >= cfg_.num_disks || failed_disk_ >= 0 ||
+      recovering_disk_ >= 0) {
+    return false;
+  }
   failed_disk_ = disk;
   disks_[static_cast<size_t>(disk)]->Fail();
   if (ctrl_probe_) {
     ctrl_probe_.Instant("fail disk" + std::to_string(disk), sim_->Now());
   }
+  return true;
 }
 
-void AfraidController::ReplaceDisk(int32_t disk) {
-  assert(disk == failed_disk_);
+bool AfraidController::ReplaceDisk(int32_t disk) {
+  if (disk != failed_disk_ || disk < 0) {
+    return false;
+  }
   disks_[static_cast<size_t>(disk)]->Replace();
   failed_disk_ = -1;
   recovering_disk_ = disk;
@@ -1136,17 +1179,20 @@ void AfraidController::ReplaceDisk(int32_t disk) {
       }
     }
   }
+  return true;
 }
 
-void AfraidController::StartReconstruction(std::function<void()> done) {
-  assert(recovering_disk_ >= 0);
-  assert(!reconstruction_active_);
+bool AfraidController::StartReconstruction(std::function<void()> done) {
+  if (recovering_disk_ < 0 || reconstruction_active_) {
+    return false;
+  }
   reconstruction_active_ = true;
   reconstruction_done_ = std::move(done);
   if (rebuild_probe_) {
     rebuild_probe_.AsyncBegin("reconstruction", 1, sim_->Now());
   }
   ReconstructNextStripe(0);
+  return true;
 }
 
 void AfraidController::ReconstructNextStripe(int64_t stripe) {
@@ -1267,21 +1313,25 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
   });
 }
 
-void AfraidController::FailNvram() {
+bool AfraidController::FailNvram() {
   nvram_.Fail();
   if (ctrl_probe_) {
     ctrl_probe_.Instant("nvram loss", sim_->Now());
   }
+  return true;
 }
 
-void AfraidController::StartFullScrub(std::function<void()> done) {
-  assert(!scrub_active_ && !rebuilding_);
+bool AfraidController::StartFullScrub(std::function<void()> done) {
+  if (scrub_active_ || rebuilding_) {
+    return false;
+  }
   scrub_active_ = true;
   scrub_done_ = std::move(done);
   if (rebuild_probe_) {
     rebuild_probe_.AsyncBegin("scrub", 1, sim_->Now());
   }
   ScrubNextStripe(0);
+  return true;
 }
 
 void AfraidController::ScrubNextStripe(int64_t stripe) {

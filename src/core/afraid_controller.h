@@ -42,6 +42,7 @@
 #include "array/cache.h"
 #include "array/content.h"
 #include "array/controller.h"
+#include "array/scheme.h"
 #include "array/idle_detector.h"
 #include "array/idle_predictor.h"
 #include "array/layout.h"
@@ -77,30 +78,10 @@ enum class DiskOpPurpose : int32_t {
 // Human-readable purpose label (trace span names, reports).
 const char* DiskOpPurposeName(DiskOpPurpose purpose);
 
-// Why data was lost (Section 3.2's small-loss modes, as the controller's
-// machinery actually encounters them).
-enum class LossCause : int32_t {
-  // A degraded read reconstructed a range whose parity was stale when the
-  // disk died: the bytes returned are not what the client wrote.
-  kStaleParityDegradedRead = 0,
-  // The replacement-disk sweep rebuilt a data block from stale parity: the
-  // stale bands of that block are unrecoverable.
-  kStaleParityReconstruction,
-};
+// LossCause / LossEvent / LossListener live in array/scheme.h: every scheme's
+// failure machinery reports losses through the same types.
 
-// One data-loss incident, as observed by the controller's failure machinery.
-// The Monte-Carlo fault-injection campaign (src/faultsim/) and the failure
-// drill example consume these instead of re-deriving loss from counters.
-struct LossEvent {
-  SimTime time = 0;
-  LossCause cause = LossCause::kStaleParityDegradedRead;
-  int64_t stripe = -1;
-  int64_t bytes = 0;
-};
-
-const char* LossCauseName(LossCause cause);
-
-class AfraidController : public ArrayController {
+class AfraidController : public ArrayScheme {
  public:
   // A non-null `probe` turns tracing on: the controller opens one track per
   // disk (purpose-labelled service spans + queue-depth counters), a
@@ -115,18 +96,25 @@ class AfraidController : public ArrayController {
   void Submit(const ClientRequest& request, RequestDone done) override;
   int64_t DataCapacityBytes() const override { return layout_.data_capacity_bytes(); }
 
+  // --- ArrayScheme interface ---------------------------------------------------
+  const char* SchemeName() const override { return "afraid"; }
+  std::string PolicyLabel() const override;
+  int32_t num_disks() const override { return cfg_.num_disks; }
+  SchemeState State() const override;
+  SchemeStats Stats() const override;
+
   // --- Failure injection & recovery ------------------------------------------
   // Fails one disk (at most one failure is tolerated at a time).
-  void FailDisk(int32_t disk);
+  bool FailDisk(int32_t disk) override;
   // Installs a replacement mechanism for the failed disk (blank contents).
-  void ReplaceDisk(int32_t disk);
+  bool ReplaceDisk(int32_t disk) override;
   // Rebuilds the replaced disk's contents stripe by stripe; `done` fires when
   // the array is fully redundant again. Runs concurrently with client I/O.
-  void StartReconstruction(std::function<void()> done);
+  bool StartReconstruction(std::function<void()> done) override;
   // Loses the NVRAM marking memory (all dirty knowledge gone).
-  void FailNvram();
+  bool FailNvram() override;
   // The conservative recovery from NVRAM loss: recompute parity everywhere.
-  void StartFullScrub(std::function<void()> done);
+  bool StartFullScrub(std::function<void()> done) override;
 
   // --- Section 5 refinements ---------------------------------------------------
   // Host-requested "paritypoint": force the given byte range redundant;
@@ -153,10 +141,10 @@ class AfraidController : public ArrayController {
   RedundancyClass RegionClassOf(int64_t stripe) const;
 
   // --- Introspection -----------------------------------------------------------
-  const StripeLayout& layout() const { return layout_; }
+  const StripeLayout& layout() const override { return layout_; }
   const NvramBitmap& nvram() const { return nvram_; }
-  const ContentModel* content() const { return content_.get(); }
-  DiskModel& disk(int32_t d) { return *disks_[d]; }
+  const ContentModel* content() const override { return content_.get(); }
+  DiskModel& disk(int32_t d) override { return *disks_[d]; }
   int32_t failed_disk() const { return failed_disk_; }
   int32_t recovering_disk() const { return recovering_disk_; }
   bool RebuildInProgress() const { return rebuilding_; }
@@ -190,11 +178,10 @@ class AfraidController : public ArrayController {
   uint64_t LossEvents() const { return loss_events_; }
   int64_t BytesLost() const { return bytes_lost_; }
 
-  // Observer of data-loss incidents. At most one listener; pass nullptr to
-  // clear. The listener fires synchronously from the simulation event that
-  // detects the loss, after the counters above have been updated.
-  using LossListener = std::function<void(const LossEvent&)>;
-  void SetLossListener(LossListener listener) { loss_listener_ = std::move(listener); }
+  // Observer of data-loss incidents (see array/scheme.h).
+  void SetLossListener(LossListener listener) override {
+    loss_listener_ = std::move(listener);
+  }
   const ParityPolicy& policy() const { return *policy_; }
 
   // Functional read-back of current logical content (content tracking only):

@@ -7,7 +7,9 @@
 #include "array/host_driver.h"
 #include "array/plan.h"
 #include "array/plan_stream.h"
-#include "core/afraid_controller.h"
+#include "array/scheme.h"
+#include "core/scheme_registry.h"
+#include "disk/disk_model.h"
 #include "disk/geometry.h"
 #include "obs/artifacts.h"
 #include "obs/metrics.h"
@@ -55,7 +57,7 @@ class PlanReplayer {
 // Registers the standard metric set against the live components. Samplers
 // only *read* component state, so a snapshot cannot alter the simulation.
 void RegisterMetrics(MetricsRegistry* metrics, const ArrayConfig& config,
-                     AfraidController* controller, HostDriver* driver) {
+                     ArrayScheme* controller, HostDriver* driver) {
   const MetricId parity_lag = metrics->AddGauge("parity_lag_bytes");
   const MetricId dirty_bands = metrics->AddGauge("dirty_bands");
   const MetricId occupancy = metrics->AddGauge("driver_occupancy");
@@ -72,14 +74,16 @@ void RegisterMetrics(MetricsRegistry* metrics, const ArrayConfig& config,
         metrics->AddGauge("disk" + std::to_string(d) + "_queue_depth"));
   }
   metrics->AddSampler([=, num_disks = config.num_disks](SimTime now) {
-    metrics->Set(parity_lag, controller->CurrentParityLagBytes());
-    metrics->Set(dirty_bands, static_cast<double>(controller->nvram().DirtyCount()));
+    const SchemeState state = controller->State();
+    const SchemeStats stats = controller->Stats();
+    metrics->Set(parity_lag, state.parity_lag_bytes);
+    metrics->Set(dirty_bands, static_cast<double>(state.dirty_marks));
     metrics->Set(occupancy, driver->Occupancy().Current());
-    metrics->Set(mode_raid5, controller->LastWriteModeRaid5() ? 1.0 : 0.0);
+    metrics->Set(mode_raid5, state.last_write_raid5 ? 1.0 : 0.0);
     metrics->Set(requests, static_cast<double>(driver->Completed()));
-    metrics->Set(disk_ops, static_cast<double>(controller->TotalDiskOps()));
-    metrics->Set(rebuilt, static_cast<double>(controller->StripesRebuilt()));
-    metrics->Set(losses, static_cast<double>(controller->LossEvents()));
+    metrics->Set(disk_ops, static_cast<double>(stats.disk_ops_total));
+    metrics->Set(rebuilt, static_cast<double>(stats.stripes_rebuilt));
+    metrics->Set(losses, static_cast<double>(state.loss_events));
     for (int32_t d = 0; d < num_disks; ++d) {
       metrics->Set(disk_util[static_cast<size_t>(d)],
                    controller->disk(d).UtilizationTo(now));
@@ -102,15 +106,12 @@ AvailabilityParams AvailabilityParamsFor(const ArrayConfig& config) {
 }
 
 SimReport Experiment::Run() {
+  cfg_ = SchemeRegistry::Normalize(scheme_, cfg_);
   afraid::Trace generated;
   if (have_workload_) {
     WorkloadParams params = workload_;
     // Size the workload to the array's client-visible capacity.
-    const DiskGeometry geom(cfg_.disk_spec.zones, cfg_.disk_spec.heads,
-                            cfg_.disk_spec.sector_bytes);
-    const StripeLayout layout(cfg_.num_disks, cfg_.stripe_unit_bytes,
-                              geom.CapacityBytes(), cfg_.parity_blocks);
-    params.address_space_bytes = layout.data_capacity_bytes();
+    params.address_space_bytes = SchemeRegistry::DataCapacityBytes(scheme_, cfg_);
     generated = GenerateWorkload(params, max_requests_, max_duration_);
     trace_ = &generated;
   }
@@ -125,23 +126,26 @@ SimReport Experiment::Run() {
   if (observe_ && obs_.trace) {
     tracer = std::make_unique<Tracer>();
   }
-  AfraidController controller(&sim, cfg_, MakePolicy(spec_), avail_params,
-                              Probe(tracer.get()));
-  HostDriver driver(&sim, &controller, cfg_.MaxActive(), cfg_.host_sched,
+  SchemeContext ctx;
+  ctx.sim = &sim;
+  ctx.config = cfg_;
+  ctx.policy = spec_;
+  ctx.avail = avail_params;
+  ctx.probe = Probe(tracer.get());
+  std::unique_ptr<ArrayScheme> controller = SchemeRegistry::Create(scheme_, ctx);
+  assert(controller != nullptr && "Experiment: unknown scheme name");
+  HostDriver driver(&sim, controller.get(), cfg_.MaxActive(), cfg_.host_sched,
                     Probe(tracer.get()));
-  // Compile the replay plan: every record's layout mapping is resolved here,
-  // once, against the same layout the controller derives from cfg_; the
-  // simulation loop then never divides by the stripe geometry. The plan
-  // outlives the run, so controllers hold spans into it across continuations.
-  const DiskGeometry plan_geom(cfg_.disk_spec.zones, cfg_.disk_spec.heads,
-                               cfg_.disk_spec.sector_bytes);
-  const StripeLayout plan_layout(cfg_.num_disks, cfg_.stripe_unit_bytes,
-                                 plan_geom.CapacityBytes(), cfg_.parity_blocks);
+  // Compile the replay plan against the exact layout the controller derived
+  // from cfg_: every record's mapping is resolved here, once, so the
+  // simulation loop never divides by the stripe geometry. The plan outlives
+  // the run, so controllers hold spans into it across continuations.
+  const StripeLayout& plan_layout = controller->layout();
 
   std::unique_ptr<MetricsRegistry> metrics;
   if (observe_ && obs_.metrics) {
     metrics = std::make_unique<MetricsRegistry>();
-    RegisterMetrics(metrics.get(), cfg_, &controller, &driver);
+    RegisterMetrics(metrics.get(), cfg_, controller.get(), &driver);
   }
 
   std::string workload_name;
@@ -239,7 +243,7 @@ SimReport Experiment::Run() {
 
   SimReport rep;
   rep.workload = workload_name;
-  rep.policy = controller.policy().Name();
+  rep.policy = controller->PolicyLabel();
   rep.requests = driver.Completed();
   rep.reads = driver.ReadLatencies().Count();
   rep.writes = driver.WriteLatencies().Count();
@@ -252,33 +256,32 @@ SimReport Experiment::Run() {
 
   const SimTime now = sim.Now();
   rep.duration_s = ToSeconds(now);
-  rep.idle_fraction = controller.IdleFraction();
   rep.mean_queue_depth = driver.Occupancy().MeanTo(now);
 
-  rep.mean_parity_lag_bytes = controller.MeanParityLagBytes();
-  rep.t_unprot_fraction = controller.TUnprotFraction();
-  rep.max_dirty_stripes = controller.MaxDirtyStripes();
+  const SchemeStats stats = controller->Stats();
+  rep.idle_fraction = stats.idle_fraction;
+  rep.mean_parity_lag_bytes = stats.mean_parity_lag_bytes;
+  rep.t_unprot_fraction = stats.t_unprot_fraction;
+  rep.max_dirty_stripes = stats.max_dirty_stripes;
 
-  rep.stripes_rebuilt = controller.StripesRebuilt();
-  rep.rebuild_passes = controller.RebuildPasses();
-  rep.afraid_mode_writes = controller.AfraidModeStripeWrites();
-  rep.raid5_mode_writes = controller.Raid5ModeStripeWrites();
-  rep.disk_ops_total = controller.TotalDiskOps();
-  rep.disk_ops_rebuild = controller.DiskOps(DiskOpPurpose::kRebuildRead) +
-                         controller.DiskOps(DiskOpPurpose::kRebuildWrite);
-  rep.disk_ops_parity = controller.DiskOps(DiskOpPurpose::kParityWrite) +
-                        controller.DiskOps(DiskOpPurpose::kOldDataRead) +
-                        controller.DiskOps(DiskOpPurpose::kOldParityRead);
-  rep.cache_hits = controller.CacheHits();
+  rep.stripes_rebuilt = stats.stripes_rebuilt;
+  rep.rebuild_passes = stats.rebuild_passes;
+  rep.afraid_mode_writes = stats.afraid_mode_writes;
+  rep.raid5_mode_writes = stats.raid5_mode_writes;
+  rep.disk_ops_total = stats.disk_ops_total;
+  rep.disk_ops_rebuild = stats.disk_ops_rebuild;
+  rep.disk_ops_parity = stats.disk_ops_parity;
+  rep.cache_hits = stats.cache_hits;
   double util = 0.0;
   for (int32_t d = 0; d < cfg_.num_disks; ++d) {
-    util += controller.disk(d).UtilizationTo(now);
+    util += controller->disk(d).UtilizationTo(now);
   }
   rep.disk_utilization = util / cfg_.num_disks;
 
   // Attach the availability model (Section 3) evaluated on the measured
   // parity-lag statistics.
-  rep.avail = MakeAvailabilityReport(avail_params, SchemeFor(spec_),
+  rep.avail = MakeAvailabilityReport(avail_params,
+                                     SchemeRegistry::AvailSchemeFor(scheme_, spec_),
                                      rep.t_unprot_fraction,
                                      rep.mean_parity_lag_bytes);
 
@@ -303,20 +306,6 @@ SimReport Experiment::Run() {
     }
   }
   return rep;
-}
-
-SimReport RunExperiment(const ArrayConfig& config, const PolicySpec& spec,
-                        const Trace& trace) {
-  return Experiment(config).Policy(spec).Trace(trace).Run();
-}
-
-SimReport RunWorkload(const ArrayConfig& config, const PolicySpec& spec,
-                      const WorkloadParams& workload, uint64_t max_requests,
-                      SimDuration max_duration) {
-  return Experiment(config)
-      .Policy(spec)
-      .Workload(workload, max_requests, max_duration)
-      .Run();
 }
 
 }  // namespace afraid

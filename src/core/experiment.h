@@ -63,6 +63,15 @@ class Experiment {
  public:
   explicit Experiment(const ArrayConfig& config) : cfg_(config) {}
 
+  // Array organization to run, by registry name (src/core/scheme_registry.h);
+  // defaults to "afraid". The config is normalised for the scheme (parity
+  // blocks, mirror disk-count rounding) when Run() constructs the array.
+  Experiment& Scheme(const std::string& name) {
+    scheme_ = name;
+    return *this;
+  }
+
+  // Parity-update policy; consulted only by policy-driven schemes ("afraid").
   Experiment& Policy(const PolicySpec& spec) {
     spec_ = spec;
     return *this;
@@ -123,6 +132,7 @@ class Experiment {
 
  private:
   ArrayConfig cfg_;
+  std::string scheme_ = "afraid";
   PolicySpec spec_{};
   const afraid::Trace* trace_ = nullptr;
   std::string trace_file_;
@@ -136,14 +146,6 @@ class Experiment {
   bool observe_ = false;
   ObserveOptions obs_{};
 };
-
-// Deprecated free-function forms, kept for older call sites; use the
-// Experiment builder in new code.
-SimReport RunExperiment(const ArrayConfig& config, const PolicySpec& spec,
-                        const Trace& trace);
-SimReport RunWorkload(const ArrayConfig& config, const PolicySpec& spec,
-                      const WorkloadParams& workload, uint64_t max_requests,
-                      SimDuration max_duration);
 
 }  // namespace afraid
 

@@ -8,20 +8,41 @@
 
 namespace afraid {
 
+ParityLogConfig ParityLogConfig::FittedTo(int64_t disk_capacity_bytes) const {
+  ParityLogConfig fitted = *this;
+  fitted.log_region_bytes =
+      std::min(fitted.log_region_bytes, disk_capacity_bytes / 4);
+  fitted.nvram_buffer_bytes =
+      std::min(fitted.nvram_buffer_bytes, fitted.log_region_bytes / 4);
+  return fitted;
+}
+
+namespace {
+
+int64_t PlDiskCapacity(const ArrayConfig& config) {
+  return DiskGeometry(config.disk_spec.zones, config.disk_spec.heads,
+                      config.disk_spec.sector_bytes)
+      .CapacityBytes();
+}
+
+}  // namespace
+
 ParityLogController::ParityLogController(Simulator* sim, const ArrayConfig& config,
                                          const ParityLogConfig& log_config)
     : sim_(sim),
       cfg_(config),
-      log_cfg_(log_config),
+      log_cfg_(log_config.FittedTo(PlDiskCapacity(config))),
       layout_(config.num_disks, config.stripe_unit_bytes,
-              DiskGeometry(config.disk_spec.zones, config.disk_spec.heads,
-                           config.disk_spec.sector_bytes)
-                      .CapacityBytes() -
-                  log_config.log_region_bytes,
+              PlDiskCapacity(config) - log_cfg_.log_region_bytes,
               /*parity_blocks=*/1) {
   assert(log_cfg_.log_region_bytes > log_cfg_.nvram_buffer_bytes);
   for (int32_t d = 0; d < cfg_.num_disks; ++d) {
     disks_.push_back(std::make_unique<DiskModel>(sim_, cfg_.disk_spec, d));
+  }
+  if (cfg_.track_content) {
+    content_ = std::make_unique<ContentModel>(
+        layout_.data_blocks_per_stripe(), /*parity_blocks=*/1,
+        static_cast<int32_t>(cfg_.stripe_unit_bytes / cfg_.disk_spec.sector_bytes));
   }
 }
 
@@ -63,10 +84,52 @@ void ParityLogController::DoRead(const ClientRequest& r, RequestDone done) {
   JoinBlock* join = joins_.Make(
       segs.count, [done = std::move(done)](bool) mutable { done(); });
   for (const Segment& seg : segs) {
-    IssueDiskOp(layout_.DataDisk(seg.stripe, seg.block_in_stripe),
+    const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
+    if (DiskUnavailable(disk, seg.stripe)) {
+      DegradedReadSegment(seg, join);
+      continue;
+    }
+    IssueDiskOp(disk,
                 seg.stripe * layout_.stripe_unit() + seg.offset_in_block, seg.length,
                 /*is_write=*/false, [join](bool) { join->Dec(true); });
   }
+}
+
+void ParityLogController::DegradedReadSegment(const Segment& seg, JoinBlock* parent) {
+  locks_.Acquire(seg.stripe, LockMode::kExclusive, [this, seg, parent] {
+    const int64_t stripe = seg.stripe;
+    const int64_t unit = layout_.stripe_unit();
+    const int32_t target = layout_.DataDisk(stripe, seg.block_in_stripe);
+    if (!DiskUnavailable(target, stripe)) {
+      // The reconstruction sweep passed this stripe while we waited on the
+      // lock: plain read.
+      IssueDiskOp(target, stripe * unit + seg.offset_in_block, seg.length,
+                  /*is_write=*/false, [this, stripe, parent](bool) {
+                    locks_.Release(stripe, LockMode::kExclusive);
+                    parent->Dec(true);
+                  });
+      return;
+    }
+    // n-1 surviving data blocks plus the parity block. The pending images
+    // (NVRAM + log, both durable) make the parity information live, so the
+    // reconstructed bytes are exactly the client's data: no loss mode here.
+    const int32_t n = layout_.data_blocks_per_stripe();
+    JoinBlock* join = joins_.Make(n, [this, stripe, parent](bool) {
+      locks_.Release(stripe, LockMode::kExclusive);
+      parent->Dec(true);
+    });
+    for (int32_t j = 0; j < n; ++j) {
+      if (j == seg.block_in_stripe) {
+        continue;
+      }
+      IssueDiskOp(layout_.DataDisk(stripe, j),
+                  stripe * unit + seg.offset_in_block, seg.length,
+                  /*is_write=*/false, [join](bool) { join->Dec(true); });
+    }
+    IssueDiskOp(layout_.ParityDisk(stripe), stripe * unit + seg.offset_in_block,
+                seg.length, /*is_write=*/false,
+                [join](bool) { join->Dec(true); });
+  });
 }
 
 void ParityLogController::DoWrite(const ClientRequest& r, RequestDone done) {
@@ -91,22 +154,58 @@ void ParityLogController::DoWrite(const ClientRequest& r, RequestDone done) {
   }
 }
 
+void ParityLogController::UpdateContentForWrite(uint64_t request_id,
+                                                const Segment& seg) {
+  if (content_ == nullptr) {
+    return;
+  }
+  const int32_t sector = cfg_.disk_spec.sector_bytes;
+  const int32_t first = seg.offset_in_block / sector;
+  const int32_t count = seg.length / sector;
+  const int64_t logical_first = seg.logical_offset / sector;
+  for (int32_t i = 0; i < count; ++i) {
+    content_->SetData(seg.stripe, seg.block_in_stripe, first + i,
+                      ContentModel::MixTag(request_id, logical_first + i));
+  }
+  // The images are durable, so the parity information is always live: the
+  // content model tracks the post-replay parity directly.
+  parity_scratch_.resize(static_cast<size_t>(count));
+  content_->XorOfDataRange(seg.stripe, first, count, parity_scratch_.data());
+  content_->SetParityRange(seg.stripe, first, count, parity_scratch_.data());
+}
+
 void ParityLogController::WriteSegment(uint64_t request_id, const Segment& seg,
                                        JoinBlock* join) {
-  (void)request_id;
   const int64_t stripe = seg.stripe;
-  locks_.Acquire(stripe, LockMode::kExclusive, [this, seg, stripe, join] {
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, seg, stripe,
+                                                join] {
     const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
     const int64_t off = stripe * layout_.stripe_unit() + seg.offset_in_block;
-    const int32_t length = seg.length;
+    if (DiskUnavailable(disk, stripe)) {
+      // The data disk is out: until the sweep restores the block, the new
+      // data exists only as its (durable) parity-update image. No physical
+      // RMW happens.
+      sim_->After(0, [this, request_id, seg, join] {
+        UpdateContentForWrite(request_id, seg);
+        AppendImages(seg.length);
+        locks_.Release(seg.stripe, LockMode::kExclusive);
+        join->Dec(true);
+      });
+      return;
+    }
     // Read-modify-write on the data block only; the parity-update image
     // (old xor new) goes to the NVRAM log buffer instead of the parity disk.
-    IssueDiskOp(disk, off, length, /*is_write=*/false,
-                [this, length, stripe, disk, off, join](bool) {
-                  IssueDiskOp(disk, off, length, /*is_write=*/true,
-                              [this, length, stripe, join](bool) {
-                                AppendImages(length);
-                                locks_.Release(stripe, LockMode::kExclusive);
+    IssueDiskOp(disk, off, seg.length, /*is_write=*/false,
+                [this, request_id, seg, join](bool) {
+                  const int32_t d =
+                      layout_.DataDisk(seg.stripe, seg.block_in_stripe);
+                  const int64_t o =
+                      seg.stripe * layout_.stripe_unit() + seg.offset_in_block;
+                  IssueDiskOp(d, o, seg.length, /*is_write=*/true,
+                              [this, request_id, seg, join](bool) {
+                                UpdateContentForWrite(request_id, seg);
+                                AppendImages(seg.length);
+                                locks_.Release(seg.stripe, LockMode::kExclusive);
                                 join->Dec(true);
                               });
                 });
@@ -132,8 +231,14 @@ void ParityLogController::FlushBuffer() {
   const int64_t offset_in_region =
       (log_used_ / cfg_.num_disks) % std::max<int64_t>(
           region_per_disk - flush_bytes, 1);
-  const int32_t disk = log_disk_cursor_;
+  int32_t disk = log_disk_cursor_;
   log_disk_cursor_ = (log_disk_cursor_ + 1) % cfg_.num_disks;
+  if (disk == failed_disk_) {
+    // Log segments rotate; the dead disk's slot just moves to the next one
+    // (at most one failure at a time, so a single skip suffices).
+    disk = log_disk_cursor_;
+    log_disk_cursor_ = (log_disk_cursor_ + 1) % cfg_.num_disks;
+  }
   const int32_t sector = cfg_.disk_spec.sector_bytes;
   const int64_t aligned = std::max<int64_t>(
       sector, (flush_bytes / sector) * sector);
@@ -190,6 +295,12 @@ void ParityLogController::ReplayNextBatch(int64_t remaining_bytes) {
       const int64_t stripe =
           (replay_position_ + i) % std::max<int64_t>(layout_.num_stripes(), 1);
       const int32_t pd = layout_.ParityDisk(stripe);
+      if (pd == failed_disk_) {
+        // The stripe's parity lives on the dead disk; the image stays
+        // applied only logically until the sweep rewrites the block.
+        sim_->After(0, [join] { join->Dec(true); });
+        continue;
+      }
       IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/false,
                   [this, pd, stripe, unit, join](bool) {
                     IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/true,
@@ -200,8 +311,146 @@ void ParityLogController::ReplayNextBatch(int64_t remaining_bytes) {
   };
   const int64_t aligned = std::max<int64_t>(
       sector, (batch_bytes / sector) * sector);
-  IssueDiskOp(log_disk_cursor_, log_start, aligned, /*is_write=*/false,
+  const int32_t log_disk = log_disk_cursor_ == failed_disk_
+                               ? (log_disk_cursor_ + 1) % cfg_.num_disks
+                               : log_disk_cursor_;
+  IssueDiskOp(log_disk, log_start, aligned, /*is_write=*/false,
               std::move(after_log));
+}
+
+// --- Failure machinery ------------------------------------------------------------
+
+bool ParityLogController::FailDisk(int32_t disk) {
+  if (disk < 0 || disk >= cfg_.num_disks || failed_disk_ >= 0 ||
+      recovering_disk_ >= 0) {
+    return false;
+  }
+  failed_disk_ = disk;
+  disks_[static_cast<size_t>(disk)]->Fail();
+  return true;
+}
+
+bool ParityLogController::ReplaceDisk(int32_t disk) {
+  if (disk != failed_disk_ || disk < 0) {
+    return false;
+  }
+  disks_[static_cast<size_t>(disk)]->Replace();
+  failed_disk_ = -1;
+  recovering_disk_ = disk;
+  recovery_frontier_ = 0;
+  // The replacement mechanism is blank; model its contents as zeroes.
+  if (content_ != nullptr) {
+    for (int64_t s : content_->TouchedStripes()) {
+      for (int32_t j = 0; j < layout_.data_blocks_per_stripe(); ++j) {
+        if (layout_.DataDisk(s, j) == disk) {
+          for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
+            content_->SetData(s, j, i, 0);
+          }
+        }
+      }
+      if (layout_.ParityDisk(s) == disk) {
+        for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
+          content_->SetParity(s, i, 0);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool ParityLogController::StartReconstruction(std::function<void()> done) {
+  if (recovering_disk_ < 0 || reconstruction_active_) {
+    return false;
+  }
+  reconstruction_active_ = true;
+  reconstruction_done_ = std::move(done);
+  ReconstructNextStripe(0);
+  return true;
+}
+
+void ParityLogController::ReconstructNextStripe(int64_t stripe) {
+  if (stripe >= layout_.num_stripes()) {
+    reconstruction_active_ = false;
+    recovering_disk_ = -1;
+    recovery_frontier_ = 0;
+    auto done = std::move(reconstruction_done_);
+    reconstruction_done_ = nullptr;
+    if (done) {
+      done();
+    }
+    return;
+  }
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe] {
+    const int32_t target = recovering_disk_;
+    const int32_t n = layout_.data_blocks_per_stripe();
+    const int64_t unit = layout_.stripe_unit();
+    const int32_t pd = layout_.ParityDisk(stripe);
+    int32_t j_target = -1;
+    for (int32_t j = 0; j < n; ++j) {
+      if (layout_.DataDisk(stripe, j) == target) {
+        j_target = j;
+        break;
+      }
+    }
+    // Logical recovery first, under the lock. Parity is always live (the
+    // images are durable), so both directions are exact: no loss mode.
+    if (content_ != nullptr) {
+      const int32_t spu = content_->sectors_per_unit();
+      if (j_target >= 0) {
+        for (int32_t s = 0; s < spu; ++s) {
+          content_->SetData(stripe, j_target, s,
+                            content_->ReconstructData(stripe, j_target, s));
+        }
+      } else {
+        parity_scratch_.resize(static_cast<size_t>(spu));
+        content_->XorOfDataAll(stripe, parity_scratch_.data());
+        content_->SetParityRange(stripe, 0, spu, parity_scratch_.data());
+      }
+    }
+    auto advance = [this, stripe](bool) {
+      ++stripes_rebuilt_;
+      recovery_frontier_ = stripe + 1;
+      locks_.Release(stripe, LockMode::kExclusive);
+      ReconstructNextStripe(stripe + 1);
+    };
+    auto write_phase = [this, stripe, unit, target, advance](bool) {
+      IssueDiskOp(target, stripe * unit, unit, /*is_write=*/true,
+                  [advance](bool) mutable { advance(true); });
+    };
+    // n reads either way: n-1 survivors + parity for a data target, all n
+    // data blocks for a parity target.
+    JoinBlock* read_join = joins_.Make(n, std::move(write_phase));
+    for (int32_t j = 0; j < n; ++j) {
+      if (j == j_target) {
+        continue;
+      }
+      IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+                  /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
+    }
+    if (j_target >= 0) {
+      IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/false,
+                  [read_join](bool) { read_join->Dec(true); });
+    }
+  });
+}
+
+SchemeState ParityLogController::State() const {
+  SchemeState st;
+  st.failed_disk = failed_disk_;
+  st.recovering_disk = recovering_disk_;
+  st.reconstruction_active = reconstruction_active_;
+  st.rebuild_active = replaying_;
+  st.dirty_marks = PendingImagesBytes();
+  st.parity_lag_bytes = 0.0;  // Full redundancy at all times.
+  return st;
+}
+
+SchemeStats ParityLogController::Stats() const {
+  SchemeStats s;
+  s.rebuild_passes = log_replays_;
+  s.stripes_rebuilt = stripes_rebuilt_;
+  s.disk_ops_total = disk_ops_;
+  return s;
 }
 
 }  // namespace afraid

@@ -89,6 +89,7 @@ void Raid6Controller::MarkStale(int64_t stripe, bool p, bool q) {
   if (q) {
     q_stale_.Mark(stripe);
   }
+  max_stale_stripes_ = std::max(max_stale_stripes_, q_stale_.DirtyCount());
   UpdateExposure();
 }
 
@@ -154,9 +155,57 @@ void Raid6Controller::DoRead(const ClientRequest& r, RequestDone done) {
       });
   for (const Segment& seg : segs) {
     const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
+    if (DiskUnavailable(disk, seg.stripe)) {
+      DegradedReadSegment(seg, join);
+      continue;
+    }
     IssueDiskOp(disk, seg.stripe * layout_.stripe_unit() + seg.offset_in_block,
                 seg.length, /*is_write=*/false, [join](bool) { join->Dec(true); });
   }
+}
+
+void Raid6Controller::DegradedReadSegment(const Segment& seg, JoinBlock* parent) {
+  locks_.Acquire(seg.stripe, LockMode::kExclusive, [this, seg, parent] {
+    const int64_t stripe = seg.stripe;
+    const int64_t unit = layout_.stripe_unit();
+    const int32_t target_disk = layout_.DataDisk(stripe, seg.block_in_stripe);
+    if (!DiskUnavailable(target_disk, stripe)) {
+      // The reconstruction sweep passed this stripe while we waited on the
+      // lock: the block is valid again, plain read.
+      IssueDiskOp(target_disk, stripe * unit + seg.offset_in_block, seg.length,
+                  /*is_write=*/false, [this, stripe, parent](bool) {
+                    locks_.Release(stripe, LockMode::kExclusive);
+                    parent->Dec(true);
+                  });
+      return;
+    }
+    const int32_t n = layout_.data_blocks_per_stripe();
+    const bool p_fresh = !p_stale_.IsDirty(stripe);
+    const bool q_fresh = !q_stale_.IsDirty(stripe);
+    // Reconstruct through P when it is live, through Q when only P is stale
+    // (same I/O count either way). With both stale the bytes returned are not
+    // what the client wrote; P is still read to model the attempt's traffic.
+    const int32_t parity_which = (p_fresh || !q_fresh) ? 0 : 1;
+    auto finish = [this, seg, stripe, p_fresh, q_fresh, parent](bool) {
+      if (!p_fresh && !q_fresh) {
+        RecordLoss(LossCause::kStaleParityDegradedRead, stripe, seg.length);
+      }
+      locks_.Release(stripe, LockMode::kExclusive);
+      parent->Dec(true);
+    };
+    JoinBlock* join = joins_.Make(n, finish);  // n-1 data reads + parity.
+    for (int32_t j = 0; j < n; ++j) {
+      if (j == seg.block_in_stripe) {
+        continue;
+      }
+      IssueDiskOp(layout_.DataDisk(stripe, j),
+                  stripe * unit + seg.offset_in_block, seg.length,
+                  /*is_write=*/false, [join](bool) { join->Dec(true); });
+    }
+    IssueDiskOp(layout_.ParityDisk(stripe, parity_which),
+                stripe * unit + seg.offset_in_block, seg.length,
+                /*is_write=*/false, [join](bool) { join->Dec(true); });
+  });
 }
 
 void Raid6Controller::DoWrite(const ClientRequest& r, RequestDone done) {
@@ -189,20 +238,30 @@ void Raid6Controller::DoWrite(const ClientRequest& r, RequestDone done) {
         done();
         NoteClientEnd();
       });
+  const bool degraded = failed_disk_ >= 0 || recovering_disk_ >= 0;
   size_t i = 0;
   while (i < count) {
     size_t j = i + 1;
     while (j < count && base[j].stripe == base[i].stripe) {
       ++j;
     }
-    WriteStripeGroup(r.id, base[i].stripe,
-                     Span<Segment>{base + i, static_cast<int32_t>(j - i)}, join);
+    const Span<Segment> group{base + i, static_cast<int32_t>(j - i)};
+    if (degraded) {
+      DegradedWriteStripe(r.id, base[i].stripe, group, join);
+    } else {
+      WriteStripeGroup(r.id, base[i].stripe, group, join);
+    }
     i = j;
   }
 }
 
 void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
                                        Span<Segment> segs, JoinBlock* group_join) {
+  if (mode_ == Raid6Mode::kSynchronous) {
+    ++sync_mode_writes_;
+  } else {
+    ++deferred_mode_writes_;
+  }
   // For clarity this controller serialises all work on a stripe (writes and
   // rebuilds alike take the stripe exclusively); cross-stripe parallelism is
   // untouched. The RAID 5-family controller models the finer shared locking.
@@ -367,6 +426,12 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
 }
 
 void Raid6Controller::MaybeStartRebuild() {
+  // No background parity freshening while a disk is missing or the sweep is
+  // repopulating a replacement: the stale stripes need the failure machinery's
+  // reconstruct logic, not a delta rebuild against garbage blocks.
+  if (failed_disk_ >= 0 || recovering_disk_ >= 0) {
+    return;
+  }
   if (rebuilding_ || q_stale_.DirtyCount() == 0) {
     if (!rebuilding_ && drain_done_ != nullptr && q_stale_.DirtyCount() == 0) {
       auto done = std::move(drain_done_);
@@ -464,6 +529,385 @@ void Raid6Controller::RebuildAll(std::function<void()> done) {
     rebuilding_ = true;
     RebuildNext();
   }
+}
+
+// --- Failure machinery ------------------------------------------------------------
+
+void Raid6Controller::DegradedWriteStripe(uint64_t request_id, int64_t stripe,
+                                          Span<Segment> segs,
+                                          JoinBlock* group_join) {
+  // Degraded analogue of AFRAID's forced-RAID 5 mode: with a disk out,
+  // deferring parity would leave the new data unprotected against the failure
+  // already in progress, so the write becomes a synchronous reconstruct-write:
+  // read the surviving untouched data blocks, write the data, and rewrite both
+  // live parities from scratch.
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, stripe, segs,
+                                                group_join] {
+    const int32_t n = layout_.data_blocks_per_stripe();
+    const int64_t unit = layout_.stripe_unit();
+    const int32_t sector = cfg_.disk_spec.sector_bytes;
+    const int32_t p_disk = layout_.ParityDisk(stripe, 0);
+    const int32_t q_disk = layout_.ParityDisk(stripe, 1);
+    const bool p_avail = !DiskUnavailable(p_disk, stripe);
+    const bool q_avail = !DiskUnavailable(q_disk, stripe);
+
+    assert(n <= 62);
+    uint64_t written = 0;
+    for (const Segment& seg : segs) {
+      written |= 1ull << seg.block_in_stripe;
+    }
+
+    // If the unavailable disk holds a data block this group does not rewrite
+    // and both parities were stale when the disk died, the recompute below
+    // enshrines a value nobody can vouch for: that block's old bytes are lost
+    // (Section 3.2's small-loss mode, RAID 6 flavour).
+    if (p_stale_.IsDirty(stripe) && q_stale_.IsDirty(stripe)) {
+      for (int32_t j = 0; j < n; ++j) {
+        if ((written & (1ull << j)) != 0) {
+          continue;
+        }
+        if (DiskUnavailable(layout_.DataDisk(stripe, j), stripe)) {
+          RecordLoss(LossCause::kStaleParityReconstruction, stripe, unit);
+        }
+      }
+    }
+
+    // Logical state first (the exclusive lock spans the whole exchange, so
+    // content may lead the timing ops): data tags, then fresh P and Q. A
+    // parity on the unavailable disk stays stale-marked; the reconstruction
+    // sweep rewrites it.
+    if (content_ != nullptr) {
+      for (const Segment& seg : segs) {
+        const int32_t first = seg.offset_in_block / sector;
+        const int32_t cnt = seg.length / sector;
+        const int64_t logical_first = seg.logical_offset / sector;
+        for (int32_t i = 0; i < cnt; ++i) {
+          content_->SetData(stripe, seg.block_in_stripe, first + i,
+                            ContentModel::MixTag(request_id, logical_first + i));
+        }
+      }
+      const int32_t spu = content_->sectors_per_unit();
+      if (p_avail) {
+        parity_scratch_.resize(static_cast<size_t>(spu));
+        content_->XorOfDataAll(stripe, parity_scratch_.data());
+        content_->SetParityRange(stripe, 0, spu, parity_scratch_.data(), 0);
+      }
+      if (q_avail) {
+        for (int32_t s = 0; s < spu; ++s) {
+          content_->SetParity(stripe, s, QOfData(*content_, stripe, n, s), 1);
+        }
+      }
+    }
+    if (p_avail) {
+      p_stale_.Clear(stripe);
+    }
+    // q_stale_ must stay a superset of p_stale_ (UpdateExposure's subtraction
+    // relies on it), so Q only goes fresh once P is fresh too.
+    if (q_avail && !p_stale_.IsDirty(stripe)) {
+      q_stale_.Clear(stripe);
+    }
+    UpdateExposure();
+    ++sync_mode_writes_;
+
+    // Timing: read surviving untouched data blocks, then write data and the
+    // live parities. Ops aimed at the unavailable disk produce no traffic;
+    // their join slots resolve through a zero-delay event.
+    int32_t reads = 0;
+    for (int32_t j = 0; j < n; ++j) {
+      if ((written & (1ull << j)) != 0 ||
+          DiskUnavailable(layout_.DataDisk(stripe, j), stripe)) {
+        continue;
+      }
+      ++reads;
+    }
+    const int32_t writes = segs.count + (p_avail ? 1 : 0) + (q_avail ? 1 : 0);
+    auto write_phase = [this, stripe, segs, unit, writes, p_avail, q_avail,
+                        p_disk, q_disk, group_join](bool) {
+      JoinBlock* join = joins_.Make(writes, [this, stripe, group_join](bool) {
+        locks_.Release(stripe, LockMode::kExclusive);
+        group_join->Dec(true);
+      });
+      for (const Segment& seg : segs) {
+        const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
+        if (DiskUnavailable(disk, stripe)) {
+          sim_->After(0, [join] { join->Dec(true); });
+          continue;
+        }
+        IssueDiskOp(disk, stripe * unit + seg.offset_in_block, seg.length,
+                    /*is_write=*/true, [join](bool) { join->Dec(true); });
+      }
+      if (p_avail) {
+        IssueDiskOp(p_disk, stripe * unit, unit, /*is_write=*/true,
+                    [join](bool) { join->Dec(true); });
+      }
+      if (q_avail) {
+        IssueDiskOp(q_disk, stripe * unit, unit, /*is_write=*/true,
+                    [join](bool) { join->Dec(true); });
+      }
+    };
+    if (reads == 0) {
+      write_phase(true);
+      return;
+    }
+    JoinBlock* read_join = joins_.Make(reads, std::move(write_phase));
+    for (int32_t j = 0; j < n; ++j) {
+      if ((written & (1ull << j)) != 0) {
+        continue;
+      }
+      const int32_t d = layout_.DataDisk(stripe, j);
+      if (DiskUnavailable(d, stripe)) {
+        continue;
+      }
+      IssueDiskOp(d, stripe * unit, unit, /*is_write=*/false,
+                  [read_join](bool) { read_join->Dec(true); });
+    }
+  });
+}
+
+bool Raid6Controller::FailDisk(int32_t disk) {
+  if (disk < 0 || disk >= cfg_.num_disks || failed_disk_ >= 0 ||
+      recovering_disk_ >= 0) {
+    return false;
+  }
+  failed_disk_ = disk;
+  disks_[static_cast<size_t>(disk)]->Fail();
+  return true;
+}
+
+bool Raid6Controller::ReplaceDisk(int32_t disk) {
+  if (disk != failed_disk_ || disk < 0) {
+    return false;
+  }
+  disks_[static_cast<size_t>(disk)]->Replace();
+  failed_disk_ = -1;
+  recovering_disk_ = disk;
+  recovery_frontier_ = 0;
+  // The replacement mechanism is blank; model its contents as zeroes.
+  if (content_ != nullptr) {
+    for (int64_t s : content_->TouchedStripes()) {
+      for (int32_t j = 0; j < layout_.data_blocks_per_stripe(); ++j) {
+        if (layout_.DataDisk(s, j) == disk) {
+          for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
+            content_->SetData(s, j, i, 0);
+          }
+        }
+      }
+      for (int32_t w = 0; w < 2; ++w) {
+        if (layout_.ParityDisk(s, w) == disk) {
+          for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
+            content_->SetParity(s, i, 0, w);
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool Raid6Controller::StartReconstruction(std::function<void()> done) {
+  if (recovering_disk_ < 0 || reconstruction_active_) {
+    return false;
+  }
+  reconstruction_active_ = true;
+  reconstruction_done_ = std::move(done);
+  ReconstructNextStripe(0);
+  return true;
+}
+
+void Raid6Controller::ReconstructNextStripe(int64_t stripe) {
+  if (stripe >= layout_.num_stripes()) {
+    reconstruction_active_ = false;
+    recovering_disk_ = -1;
+    recovery_frontier_ = 0;
+    auto done = std::move(reconstruction_done_);
+    reconstruction_done_ = nullptr;
+    if (done) {
+      done();
+    }
+    // Deferred-parity work that queued up behind the sweep may resume.
+    MaybeStartRebuild();
+    return;
+  }
+  locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe] {
+    const int32_t target = recovering_disk_;
+    const int32_t n = layout_.data_blocks_per_stripe();
+    const int64_t unit = layout_.stripe_unit();
+    int32_t j_target = -1;
+    for (int32_t j = 0; j < n; ++j) {
+      if (layout_.DataDisk(stripe, j) == target) {
+        j_target = j;
+        break;
+      }
+    }
+    int32_t parity_target = -1;
+    for (int32_t w = 0; w < 2; ++w) {
+      if (layout_.ParityDisk(stripe, w) == target) {
+        parity_target = w;
+        break;
+      }
+    }
+    assert((j_target >= 0) != (parity_target >= 0));
+    const bool p_stale = p_stale_.IsDirty(stripe);
+    const bool q_stale = q_stale_.IsDirty(stripe);
+    // The sweep leaves every stripe behind the frontier fully redundant: it
+    // rewrites the replaced disk's block plus any parity that was stale.
+    const bool write_p = parity_target == 0 || p_stale;
+    const bool write_q = parity_target == 1 || q_stale;
+
+    if (j_target >= 0 && p_stale && q_stale) {
+      // Both parities were stale when the disk died: nothing vouches for the
+      // lost block. What lands on the replacement is the xor of the
+      // survivors against the stale P (the Section 3.2 small-loss mode).
+      RecordLoss(LossCause::kStaleParityReconstruction, stripe, unit);
+    }
+
+    // Logical recovery first, under the lock, in dependency order: the data
+    // block from a live parity, then the parities from the data.
+    if (content_ != nullptr) {
+      const int32_t spu = content_->sectors_per_unit();
+      if (j_target >= 0) {
+        if (p_stale && !q_stale) {
+          // Only Q is live: D_j = g^-j (Q ^ sum_{i != j} g^i D_i).
+          const uint8_t inv = Gf256::Inv(Gf256::Pow2(j_target));
+          for (int32_t s = 0; s < spu; ++s) {
+            uint64_t acc = content_->GetParity(stripe, s, 1);
+            for (int32_t i = 0; i < n; ++i) {
+              if (i == j_target) {
+                continue;
+              }
+              acc ^= Gf256::MulWord(content_->GetData(stripe, i, s),
+                                    Gf256::Pow2(i));
+            }
+            content_->SetData(stripe, j_target, s, Gf256::MulWord(acc, inv));
+          }
+        } else {
+          for (int32_t s = 0; s < spu; ++s) {
+            content_->SetData(stripe, j_target, s,
+                              content_->ReconstructData(stripe, j_target, s));
+          }
+        }
+      }
+      if (write_p) {
+        parity_scratch_.resize(static_cast<size_t>(spu));
+        content_->XorOfDataAll(stripe, parity_scratch_.data());
+        content_->SetParityRange(stripe, 0, spu, parity_scratch_.data(), 0);
+      }
+      if (write_q) {
+        for (int32_t s = 0; s < spu; ++s) {
+          content_->SetParity(stripe, s, QOfData(*content_, stripe, n, s), 1);
+        }
+      }
+    }
+
+    auto advance = [this, stripe, write_p, write_q](bool) {
+      if (write_p) {
+        p_stale_.Clear(stripe);
+      }
+      if (write_q) {
+        q_stale_.Clear(stripe);
+      }
+      UpdateExposure();
+      ++stripes_rebuilt_;
+      recovery_frontier_ = stripe + 1;
+      locks_.Release(stripe, LockMode::kExclusive);
+      ReconstructNextStripe(stripe + 1);
+    };
+
+    // Timing: n reads either way (n-1 survivors + a live parity for a data
+    // target; all n data blocks for a parity target), then the target write
+    // plus any refreshed parity.
+    const int32_t writes =
+        (j_target >= 0 ? 1 : 0) + (write_p ? 1 : 0) + (write_q ? 1 : 0);
+    auto write_phase = [this, stripe, unit, target, j_target, write_p, write_q,
+                        writes, advance](bool) {
+      JoinBlock* join = joins_.Make(writes, advance);
+      if (j_target >= 0) {
+        IssueDiskOp(target, stripe * unit, unit, /*is_write=*/true,
+                    [join](bool) { join->Dec(true); });
+      }
+      if (write_p) {
+        IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit, unit,
+                    /*is_write=*/true, [join](bool) { join->Dec(true); });
+      }
+      if (write_q) {
+        IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit, unit,
+                    /*is_write=*/true, [join](bool) { join->Dec(true); });
+      }
+    };
+    JoinBlock* read_join = joins_.Make(n, std::move(write_phase));
+    if (j_target >= 0) {
+      for (int32_t j = 0; j < n; ++j) {
+        if (j == j_target) {
+          continue;
+        }
+        IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+                    /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
+      }
+      IssueDiskOp(layout_.ParityDisk(stripe, (!p_stale || q_stale) ? 0 : 1),
+                  stripe * unit, unit, /*is_write=*/false,
+                  [read_join](bool) { read_join->Dec(true); });
+    } else {
+      for (int32_t j = 0; j < n; ++j) {
+        IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+                    /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
+      }
+    }
+  });
+}
+
+void Raid6Controller::RecordLoss(LossCause cause, int64_t stripe, int64_t bytes) {
+  ++loss_events_;
+  bytes_lost_ += bytes;
+  if (loss_listener_) {
+    LossEvent ev;
+    ev.time = sim_->Now();
+    ev.cause = cause;
+    ev.stripe = stripe;
+    ev.bytes = bytes;
+    loss_listener_(ev);
+  }
+}
+
+// --- ArrayScheme snapshots --------------------------------------------------------
+
+const char* Raid6Controller::SchemeName() const {
+  switch (mode_) {
+    case Raid6Mode::kSynchronous:
+      return "raid6";
+    case Raid6Mode::kDeferQ:
+      return "raid6-deferQ";
+    case Raid6Mode::kDeferBoth:
+      return "raid6-deferPQ";
+  }
+  return "raid6";
+}
+
+SchemeState Raid6Controller::State() const {
+  SchemeState st;
+  st.failed_disk = failed_disk_;
+  st.recovering_disk = recovering_disk_;
+  st.reconstruction_active = reconstruction_active_;
+  st.rebuild_active = rebuilding_;
+  st.dirty_marks = StaleP() + StaleQ();
+  st.parity_lag_bytes = both_stale_.Current();
+  st.last_write_raid5 = false;
+  st.loss_events = loss_events_;
+  st.bytes_lost = bytes_lost_;
+  return st;
+}
+
+SchemeStats Raid6Controller::Stats() const {
+  SchemeStats s;
+  s.mean_parity_lag_bytes = MeanFullyExposedBytes();
+  s.t_unprot_fraction = TBothStaleFraction();
+  s.max_dirty_stripes = max_stale_stripes_;
+  s.stripes_rebuilt = stripes_rebuilt_;
+  s.afraid_mode_writes = deferred_mode_writes_;
+  s.raid5_mode_writes = sync_mode_writes_;
+  s.disk_ops_total = disk_ops_;
+  s.loss_events = loss_events_;
+  s.bytes_lost = bytes_lost_;
+  return s;
 }
 
 }  // namespace afraid

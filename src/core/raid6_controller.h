@@ -17,9 +17,15 @@
 //
 // P is the xor parity; Q is the GF(256) Reed-Solomon parity
 // Q = sum_j g^j D_j (see array/gf256.h). Per-stripe staleness is tracked in
-// two NVRAM bitmaps (2 bits per stripe, vs AFRAID's 1). The focus of this
-// class is write-path timing and parity consistency; the failure/recovery
-// machinery lives in the RAID 5-family AfraidController.
+// two NVRAM bitmaps (2 bits per stripe, vs AFRAID's 1).
+//
+// Failure machinery (ArrayScheme): single-disk failure with degraded reads
+// (reconstruct through P when fresh, through Q when only P is stale),
+// degraded writes that switch to synchronous full-stripe parity recompute,
+// and a replacement-disk reconstruction sweep that recomputes the target
+// from P, Q, or the surviving data as the stripe's layout dictates. A stripe
+// whose P *and* Q were both stale when the disk died is unrecoverable; the
+// machinery charges a LossEvent exactly as the AFRAID controller does.
 
 #ifndef AFRAID_CORE_RAID6_CONTROLLER_H_
 #define AFRAID_CORE_RAID6_CONTROLLER_H_
@@ -32,6 +38,7 @@
 
 #include "array/content.h"
 #include "array/controller.h"
+#include "array/scheme.h"
 #include "array/gf256.h"
 #include "array/idle_detector.h"
 #include "array/layout.h"
@@ -53,7 +60,7 @@ enum class Raid6Mode {
 
 std::string Raid6ModeName(Raid6Mode mode);
 
-class Raid6Controller : public ArrayController {
+class Raid6Controller : public ArrayScheme {
  public:
   Raid6Controller(Simulator* sim, const ArrayConfig& config, Raid6Mode mode);
   ~Raid6Controller() override;
@@ -64,10 +71,28 @@ class Raid6Controller : public ArrayController {
   // Forces both parities of every stale stripe fresh; for tests/quiesce.
   void RebuildAll(std::function<void()> done);
 
+  // --- ArrayScheme interface ---
+  const char* SchemeName() const override;
+  std::string PolicyLabel() const override { return Raid6ModeName(mode_); }
+  int32_t num_disks() const override { return cfg_.num_disks; }
+  DiskModel& disk(int32_t d) override { return *disks_[d]; }
+  bool FailDisk(int32_t disk) override;
+  bool ReplaceDisk(int32_t disk) override;
+  bool StartReconstruction(std::function<void()> done) override;
+  SchemeState State() const override;
+  SchemeStats Stats() const override;
+  void SetLossListener(LossListener listener) override {
+    loss_listener_ = std::move(listener);
+  }
+
   // --- Introspection ---
-  const StripeLayout& layout() const { return layout_; }
-  const ContentModel* content() const { return content_.get(); }
+  const StripeLayout& layout() const override { return layout_; }
+  const ContentModel* content() const override { return content_.get(); }
   Raid6Mode mode() const { return mode_; }
+  int32_t failed_disk() const { return failed_disk_; }
+  int32_t recovering_disk() const { return recovering_disk_; }
+  uint64_t LossEvents() const { return loss_events_; }
+  int64_t BytesLost() const { return bytes_lost_; }
   int64_t StaleP() const { return p_stale_.DirtyCount(); }
   int64_t StaleQ() const { return q_stale_.DirtyCount(); }
   uint64_t StripesRebuilt() const { return stripes_rebuilt_; }
@@ -90,6 +115,20 @@ class Raid6Controller : public ArrayController {
   void DoWrite(const ClientRequest& r, RequestDone done);
   void WriteStripeGroup(uint64_t request_id, int64_t stripe, Span<Segment> segs,
                         JoinBlock* group_join);
+  // Degraded path: reconstructs one read segment from the surviving blocks
+  // and a live parity; runs `parent->Dec(true)` on completion.
+  void DegradedReadSegment(const Segment& seg, JoinBlock* parent);
+  // Degraded write: synchronous full-stripe P+Q recompute around the
+  // unavailable disk (the RAID 6 analogue of AFRAID's forced RAID 5 mode).
+  void DegradedWriteStripe(uint64_t request_id, int64_t stripe,
+                           Span<Segment> segs, JoinBlock* group_join);
+  void ReconstructNextStripe(int64_t stripe);
+  // True when `disk` cannot serve valid data for `stripe` right now.
+  bool DiskUnavailable(int32_t disk, int64_t stripe) const {
+    return disk == failed_disk_ ||
+           (disk == recovering_disk_ && stripe >= recovery_frontier_);
+  }
+  void RecordLoss(LossCause cause, int64_t stripe, int64_t bytes);
   void MaybeStartRebuild();
   void RebuildNext();
   void RebuildStripe(int64_t stripe, JoinBlock* step_join);
@@ -123,10 +162,23 @@ class Raid6Controller : public ArrayController {
 
   int32_t outstanding_clients_ = 0;
   bool rebuilding_ = false;
+  int64_t max_stale_stripes_ = 0;
   int64_t rebuild_cursor_ = 0;
   uint64_t stripes_rebuilt_ = 0;
   uint64_t disk_ops_ = 0;
   std::function<void()> drain_done_;
+
+  // Failure machinery (mirrors the AfraidController state machine).
+  int32_t failed_disk_ = -1;
+  int32_t recovering_disk_ = -1;
+  int64_t recovery_frontier_ = 0;
+  bool reconstruction_active_ = false;
+  std::function<void()> reconstruction_done_;
+  uint64_t deferred_mode_writes_ = 0;  // Stripe writes with deferred parity.
+  uint64_t sync_mode_writes_ = 0;      // Stripe writes with in-path parity.
+  uint64_t loss_events_ = 0;
+  int64_t bytes_lost_ = 0;
+  LossListener loss_listener_;
 
   TimeWeightedValue q_only_stale_;  // Bytes protected by P only.
   TimeWeightedValue both_stale_;    // Bytes with no live parity.

@@ -1,7 +1,7 @@
 // Deterministic parallel fan-out for independent experiment cells.
 //
 // Every table/figure harness in bench/ evaluates a grid of (workload x
-// policy) cells, and each cell -- a RunExperiment/RunWorkload invocation --
+// policy) cells, and each cell -- an Experiment builder invocation --
 // is a pure function of its inputs: it owns its Simulator, controller and
 // RNG streams, so cells share nothing. ParallelSweep spreads the cells over
 // a std::thread pool and collects results by cell index, which makes the

@@ -96,6 +96,10 @@ class DiskModel {
   bool Idle() const { return !busy_ && queue_.empty(); }
   size_t QueueDepth() const { return queue_.size() + (busy_ ? 1 : 0); }
 
+  // Where the arm currently rests (the position a replica-choice dispatcher
+  // estimates positioning cost from; see core/mirror_controller.h).
+  int32_t CurrentCylinder() const { return current_cylinder_; }
+
   // Pure timing query: what would servicing `op` cost if started at `start`
   // with the arm at cylinder `from_cylinder`? Does not disturb disk state.
   // Also reports the cylinder where the arm ends up.

@@ -30,8 +30,8 @@ LifetimeResult RunLifetime(const CampaignConfig& config, int32_t index) {
 
   const AvailabilityParams avail = AvailabilityParamsFor(config.array);
 
-  ExposureModel exposure(config.array, config.policy, config.workload,
-                         exposure_seed);
+  ExposureModel exposure(config.scheme, config.array, config.policy,
+                         config.workload, exposure_seed);
   exposure.Advance(config.exposure_warmup);
   while (exposure.RequestsCompleted() < config.warmup_requests) {
     exposure.Advance(Seconds(10));

@@ -40,6 +40,8 @@ namespace afraid {
 struct CampaignConfig {
   std::string label;        // Row label in reports (defaults to policy label).
   ArrayConfig array;        // Keep it small: every drill sweeps all stripes.
+  // Array organization, by registry name (src/core/scheme_registry.h).
+  std::string scheme = "afraid";
   PolicySpec policy;
   WorkloadParams workload;  // Address space is sized to the array internally.
   FaultModelParams faults;

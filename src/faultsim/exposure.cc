@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "core/scheme_registry.h"
+
 namespace afraid {
 namespace {
 
@@ -15,12 +17,14 @@ constexpr SimDuration kChunkDuration = Minutes(10);
 
 }  // namespace
 
-ExposureModel::ExposureModel(const ArrayConfig& config, const PolicySpec& policy,
-                             const WorkloadParams& workload, uint64_t seed, Probe probe)
-    : cfg_(config), rng_(seed), workload_(workload),
-      fault_probe_(probe.NewTrack("faults")) {
-  controller_ = std::make_unique<AfraidController>(
-      &sim_, cfg_, MakePolicy(policy), AvailabilityParamsFor(cfg_), probe);
+ExposureModel::ExposureModel(const std::string& scheme, const ArrayConfig& config,
+                             const PolicySpec& policy, const WorkloadParams& workload,
+                             uint64_t seed, Probe probe)
+    : cfg_(SchemeRegistry::Normalize(scheme, config)), rng_(seed),
+      workload_(workload), fault_probe_(probe.NewTrack("faults")) {
+  SchemeContext ctx{&sim_, cfg_, policy, AvailabilityParamsFor(cfg_), probe};
+  controller_ = SchemeRegistry::Create(scheme, ctx);
+  assert(controller_ != nullptr && "ExposureModel: unknown scheme name");
   driver_ = std::make_unique<HostDriver>(&sim_, controller_.get(), cfg_.MaxActive(),
                                          cfg_.host_sched, probe);
   workload_.address_space_bytes = controller_->DataCapacityBytes();
@@ -120,14 +124,20 @@ DrillResult ExposureModel::FailureDrill(int32_t disk) {
   if (fault_probe_) {
     fault_probe_.Instant("drill: fail disk" + std::to_string(disk), sim_.Now());
   }
-  controller_->FailDisk(disk);
+  const bool failed = controller_->FailDisk(disk);
+  assert(failed && "FailureDrill: scheme refused the failure");
+  (void)failed;
   RunUntilDrained();
 
   // Replacement + reconstruction sweep; stale stripes with data on the dead
   // disk surface as loss events through the controller hooks.
-  controller_->ReplaceDisk(disk);
+  const bool replaced = controller_->ReplaceDisk(disk);
+  assert(replaced && "FailureDrill: scheme refused the replacement");
+  (void)replaced;
   bool done = false;
-  controller_->StartReconstruction([&done] { done = true; });
+  const bool sweeping = controller_->StartReconstruction([&done] { done = true; });
+  assert(sweeping && "FailureDrill: scheme refused reconstruction");
+  (void)sweeping;
   while (!done) {
     const bool progressed = sim_.Step();
     assert(progressed);
@@ -153,9 +163,14 @@ DrillResult ExposureModel::NvramDrill() {
   if (fault_probe_) {
     fault_probe_.Instant("drill: nvram loss", sim_.Now());
   }
-  controller_->FailNvram();
+  // Schemes without marking memory refuse the drill; nothing to lose.
+  if (!controller_->FailNvram()) {
+    return FinishDrill(r, started);
+  }
   bool done = false;
-  controller_->StartFullScrub([&done] { done = true; });
+  if (!controller_->StartFullScrub([&done] { done = true; })) {
+    return FinishDrill(r, started);
+  }
   while (!done) {
     const bool progressed = sim_.Step();
     assert(progressed);

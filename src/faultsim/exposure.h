@@ -1,4 +1,4 @@
-// The array exposure model: a live AfraidController sampled by the fault
+// The array exposure model: a live array scheme sampled by the fault
 // timeline.
 //
 // Disk lifetimes span millions of hours; array mechanics play out in
@@ -28,10 +28,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "array/host_driver.h"
-#include "core/afraid_controller.h"
+#include "array/scheme.h"
 #include "core/array_config.h"
 #include "core/experiment.h"
 #include "core/policy.h"
@@ -57,11 +58,13 @@ struct DrillResult {
 
 class ExposureModel {
  public:
-  // A non-null `probe` traces the embedded array simulation (disk, driver
-  // and controller tracks as usual) plus a "faults" track marking each
-  // drill's injection and recovery completion.
-  ExposureModel(const ArrayConfig& config, const PolicySpec& policy,
-                const WorkloadParams& workload, uint64_t seed, Probe probe = {});
+  // `scheme` is a registry name (src/core/scheme_registry.h); the config is
+  // normalised for it. A non-null `probe` traces the embedded array
+  // simulation (disk, driver and controller tracks as usual) plus a "faults"
+  // track marking each drill's injection and recovery completion.
+  ExposureModel(const std::string& scheme, const ArrayConfig& config,
+                const PolicySpec& policy, const WorkloadParams& workload,
+                uint64_t seed, Probe probe = {});
   ~ExposureModel();
   ExposureModel(const ExposureModel&) = delete;
   ExposureModel& operator=(const ExposureModel&) = delete;
@@ -77,8 +80,10 @@ class ExposureModel {
 
   // Current exposure state (the screening the campaign uses to skip drills
   // that provably cannot lose data).
-  int64_t DirtyBands() const { return controller_->nvram().DirtyCount(); }
-  double CurrentParityLagBytes() const { return controller_->CurrentParityLagBytes(); }
+  int64_t DirtyBands() const { return controller_->State().dirty_marks; }
+  double CurrentParityLagBytes() const {
+    return controller_->State().parity_lag_bytes;
+  }
 
   // Fails `disk` NOW (requests may be mid-flight), lets outstanding client
   // work finish degraded, then replaces the disk and runs the reconstruction
@@ -88,15 +93,18 @@ class ExposureModel {
 
   // Loses the NVRAM marking memory and runs the conservative whole-array
   // scrub. With marking-only NVRAM this loses no data (the campaign layer
-  // adds the Section 3.4 vulnerable-bytes loss when configured).
+  // adds the Section 3.4 vulnerable-bytes loss when configured). A no-op
+  // (zero loss, zero recovery time) on schemes without marking memory.
   DrillResult NvramDrill();
 
   // Time-weighted exposure statistics over everything simulated so far.
-  double TUnprotFraction() const { return controller_->TUnprotFraction(); }
-  double MeanParityLagBytes() const { return controller_->MeanParityLagBytes(); }
+  double TUnprotFraction() const { return controller_->Stats().t_unprot_fraction; }
+  double MeanParityLagBytes() const {
+    return controller_->Stats().mean_parity_lag_bytes;
+  }
 
-  const AfraidController& controller() const { return *controller_; }
-  AfraidController& controller() { return *controller_; }
+  const ArrayScheme& controller() const { return *controller_; }
+  ArrayScheme& controller() { return *controller_; }
   Simulator& sim() { return sim_; }
   const HostDriver& driver() const { return *driver_; }
 
@@ -112,7 +120,7 @@ class ExposureModel {
   Rng rng_;
   WorkloadParams workload_;
   Probe fault_probe_;  // "faults" track; null when not tracing.
-  std::unique_ptr<AfraidController> controller_;
+  std::unique_ptr<ArrayScheme> controller_;
   std::unique_ptr<HostDriver> driver_;
 
   // Chunked workload feeding: one pending arrival event at a time, next

@@ -6,6 +6,7 @@
 
 #include "core/experiment.h"
 #include "core/policy.h"
+#include "core/scheme_registry.h"
 
 namespace afraid {
 namespace {
@@ -36,7 +37,7 @@ SchemeComparison CompareWithModel(const CampaignConfig& config,
                                   const CampaignSummary& summary) {
   SchemeComparison c;
   c.empirical = summary;
-  c.scheme = SchemeFor(config.policy);
+  c.scheme = SchemeRegistry::AvailSchemeFor(config.scheme, config.policy);
   c.params = AvailabilityParamsFor(config.array);
 
   // Disk-related predictions at the campaign's measured exposure inputs.

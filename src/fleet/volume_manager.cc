@@ -9,12 +9,11 @@
 #include "array/host_driver.h"
 #include "array/plan.h"
 #include "array/plan_stream.h"
-#include "core/afraid_controller.h"
+#include "array/scheme.h"
 #include "core/experiment.h"
-#include "core/parity_log_controller.h"
-#include "core/raid6_controller.h"
+#include "core/scheme_registry.h"
 #include "core/sweep.h"
-#include "disk/geometry.h"
+#include "disk/disk_model.h"
 #include "obs/artifacts.h"
 #include "obs/json.h"
 #include "obs/probe.h"
@@ -23,20 +22,6 @@
 #include "stats/sample_set.h"
 
 namespace afraid {
-
-const char* FleetSchemeName(FleetScheme scheme) {
-  switch (scheme) {
-    case FleetScheme::kAfraid:
-      return "afraid";
-    case FleetScheme::kRaid6DeferQ:
-      return "raid6-deferQ";
-    case FleetScheme::kRaid6DeferBoth:
-      return "raid6-deferPQ";
-    case FleetScheme::kParityLog:
-      return "parity-log";
-  }
-  return "?";
-}
 
 const char* MgmtOpKindName(MgmtOp::Kind kind) {
   switch (kind) {
@@ -63,18 +48,6 @@ struct ShardResult {
   std::unique_ptr<Tracer> tracer;
 };
 
-// Usable per-disk capacity under `scheme` (the parity log reserves a log
-// region at the end of every disk).
-int64_t DiskCapacityFor(const ArrayConfig& acfg, FleetScheme scheme) {
-  const DiskGeometry geom(acfg.disk_spec.zones, acfg.disk_spec.heads,
-                          acfg.disk_spec.sector_bytes);
-  int64_t cap = geom.CapacityBytes();
-  if (scheme == FleetScheme::kParityLog) {
-    cap -= ParityLogConfig{}.log_region_bytes;
-  }
-  return cap;
-}
-
 // One shard as a persistent replay cell: simulator, controller, driver,
 // plan-slot ring and streaming replayer all live across chunks, so the same
 // cell serves both the monolithic path (one Feed with the whole shard trace)
@@ -85,45 +58,26 @@ class ShardCell {
  public:
   ShardCell(const FleetConfig& cfg, int32_t shard,
             const std::vector<MgmtOp>& ops, bool trace_on)
-      : cfg_(cfg),
-        shard_(shard),
-        ops_(&ops),
-        layout_(cfg.array.num_disks, cfg.array.stripe_unit_bytes,
-                DiskCapacityFor(cfg.array, cfg.scheme),
-                cfg.array.parity_blocks) {
+      : cfg_(cfg), shard_(shard), ops_(&ops) {
     result.report.shard = shard;
     if (trace_on) {
       result.tracer = std::make_unique<Tracer>();
     }
     const Probe probe(result.tracer.get());
-    const ArrayConfig& acfg = cfg_.array;
-    switch (cfg_.scheme) {
-      case FleetScheme::kAfraid:
-        afraid_ = std::make_unique<AfraidController>(
-            &sim_, acfg, MakePolicy(cfg_.policy), AvailabilityParamsFor(acfg),
-            probe);
-        ctrl_ = afraid_.get();
-        break;
-      case FleetScheme::kRaid6DeferQ:
-        raid6_ =
-            std::make_unique<Raid6Controller>(&sim_, acfg, Raid6Mode::kDeferQ);
-        ctrl_ = raid6_.get();
-        break;
-      case FleetScheme::kRaid6DeferBoth:
-        raid6_ = std::make_unique<Raid6Controller>(&sim_, acfg,
-                                                   Raid6Mode::kDeferBoth);
-        ctrl_ = raid6_.get();
-        break;
-      case FleetScheme::kParityLog:
-        plog_ = std::make_unique<ParityLogController>(&sim_, acfg,
-                                                      ParityLogConfig{});
-        ctrl_ = plog_.get();
-        break;
-    }
-    // The shard's plan layout is the controller's exact layout (the same
+    const ArrayConfig& acfg = cfg_.array;  // Normalised by VolumeManager.
+    SchemeContext ctx;
+    ctx.sim = &sim_;
+    ctx.config = acfg;
+    ctx.policy = cfg_.policy;
+    ctx.avail = AvailabilityParamsFor(acfg);
+    ctx.probe = probe;
+    ctrl_ = SchemeRegistry::Create(cfg_.scheme, ctx);
+    assert(ctrl_ != nullptr && "fleet: unknown scheme name");
+    // Plans compile against the controller's exact layout (the same
     // precomputation the single-array Experiment does).
-    assert(layout_.data_capacity_bytes() == ctrl_->DataCapacityBytes());
-    driver_ = std::make_unique<HostDriver>(&sim_, ctrl_, acfg.MaxActive(),
+    assert(SchemeRegistry::DataCapacityBytes(cfg_.scheme, acfg) ==
+           ctrl_->DataCapacityBytes());
+    driver_ = std::make_unique<HostDriver>(&sim_, ctrl_.get(), acfg.MaxActive(),
                                            acfg.host_sched, probe);
     replayer_ =
         std::make_unique<StreamingPlanReplayer>(&sim_, driver_.get(), &ring_);
@@ -147,7 +101,7 @@ class ShardCell {
     fed_ += n;
     driver_->ReserveLatencySamples(fed_);
     RequestPlan* plan = ring_.Acquire();
-    plan->Compile(recs, n, layout_);
+    plan->Compile(recs, n, ctrl_->layout());
     ring_.NotePeak();
     replayer_->Feed(plan);
   }
@@ -182,23 +136,17 @@ class ShardCell {
     rep.p99_ms = driver_->AllLatencies().Percentile(0.99);
     rep.max_ms = driver_->AllLatencies().Max();
     rep.duration_s = ToSeconds(sim_.Now());
-    const ArrayConfig& acfg = cfg_.array;
-    if (afraid_ != nullptr) {
-      double util = 0.0;
-      for (int32_t d = 0; d < acfg.num_disks; ++d) {
-        util += afraid_->disk(d).UtilizationTo(sim_.Now());
-      }
-      rep.disk_utilization = util / acfg.num_disks;
-      rep.mean_parity_lag_bytes = afraid_->MeanParityLagBytes();
-      rep.t_unprot_fraction = afraid_->TUnprotFraction();
-      rep.stripes_rebuilt = afraid_->StripesRebuilt();
-      rep.loss_events = afraid_->LossEvents();
-      rep.bytes_lost = afraid_->BytesLost();
-    } else if (raid6_ != nullptr) {
-      rep.mean_parity_lag_bytes = raid6_->MeanFullyExposedBytes();
-      rep.t_unprot_fraction = raid6_->TBothStaleFraction();
-      rep.stripes_rebuilt = raid6_->StripesRebuilt();
+    double util = 0.0;
+    for (int32_t d = 0; d < ctrl_->num_disks(); ++d) {
+      util += ctrl_->disk(d).UtilizationTo(sim_.Now());
     }
+    rep.disk_utilization = util / ctrl_->num_disks();
+    const SchemeStats stats = ctrl_->Stats();
+    rep.mean_parity_lag_bytes = stats.mean_parity_lag_bytes;
+    rep.t_unprot_fraction = stats.t_unprot_fraction;
+    rep.stripes_rebuilt = stats.stripes_rebuilt;
+    rep.loss_events = stats.loss_events;
+    rep.bytes_lost = stats.bytes_lost;
   }
 
   size_t peak_plan_bytes() const { return ring_.peak_bytes(); }
@@ -221,20 +169,16 @@ class ShardCell {
         ShardReport& rep = result.report;
         switch (op.kind) {
           case MgmtOp::Kind::kDiskFail:
-            if (afraid_ != nullptr && afraid_->failed_disk() < 0 &&
-                afraid_->recovering_disk() < 0 && op.disk >= 0 &&
-                op.disk < cfg_.array.num_disks) {
-              afraid_->FailDisk(op.disk);
+            if (ctrl_->FailDisk(op.disk)) {
               rep.disk_failed = true;
               degraded_from_ = sim_.Now();
             } else {
-              ++rep.mgmt_unsupported;
+              ++rep.mgmt_unsupported_fail;
             }
             break;
           case MgmtOp::Kind::kDiskRepaired:
-            if (afraid_ != nullptr && afraid_->failed_disk() == op.disk) {
-              afraid_->ReplaceDisk(op.disk);
-              afraid_->StartReconstruction([this] {
+            if (ctrl_->ReplaceDisk(op.disk)) {
+              ctrl_->StartReconstruction([this] {
                 result.report.repaired = true;
                 if (degraded_from_ >= 0) {
                   result.report.degraded_s +=
@@ -243,7 +187,7 @@ class ShardCell {
                 }
               });
             } else {
-              ++rep.mgmt_unsupported;
+              ++rep.mgmt_unsupported_repair;
             }
             break;
           case MgmtOp::Kind::kInfo: {
@@ -253,21 +197,22 @@ class ShardCell {
             info.destroyed = replayer_->destroyed();
             info.accepted = driver_->Accepted();
             info.completed = driver_->Completed();
-            if (afraid_ != nullptr) {
-              info.failed_disk = afraid_->failed_disk();
-              info.recovering_disk = afraid_->recovering_disk();
-              info.dirty_bands = afraid_->nvram().DirtyCount();
-              info.loss_events = afraid_->LossEvents();
-              info.bytes_lost = afraid_->BytesLost();
-            } else if (raid6_ != nullptr) {
-              info.dirty_bands = raid6_->StaleP() + raid6_->StaleQ();
-            }
+            const SchemeState state = ctrl_->State();
+            info.failed_disk = state.failed_disk;
+            info.recovering_disk = state.recovering_disk;
+            info.dirty_bands = state.dirty_marks;
+            info.loss_events = state.loss_events;
+            info.bytes_lost = state.bytes_lost;
             rep.infos.push_back(info);
             break;
           }
           case MgmtOp::Kind::kDestroy:
-            replayer_->Destroy();
-            rep.destroyed = true;
+            if (replayer_->destroyed()) {
+              ++rep.mgmt_unsupported_destroy;
+            } else {
+              replayer_->Destroy();
+              rep.destroyed = true;
+            }
             break;
         }
       });
@@ -278,11 +223,7 @@ class ShardCell {
   int32_t shard_;
   const std::vector<MgmtOp>* ops_;
   Simulator sim_;
-  std::unique_ptr<AfraidController> afraid_;
-  std::unique_ptr<Raid6Controller> raid6_;
-  std::unique_ptr<ParityLogController> plog_;
-  ArrayController* ctrl_ = nullptr;
-  StripeLayout layout_;
+  std::unique_ptr<ArrayScheme> ctrl_;
   std::unique_ptr<HostDriver> driver_;
   PlanSlotRing ring_;
   std::unique_ptr<StreamingPlanReplayer> replayer_;
@@ -336,7 +277,7 @@ FleetReport MergeFleet(const FleetConfig& cfg, const ShardMap& map,
 
   FleetReport rep;
   rep.workload = workload;
-  rep.scheme = FleetSchemeName(cfg.scheme);
+  rep.scheme = cfg.scheme;
   rep.sharding = ShardingKindName(map.kind());
   rep.num_shards = num_shards;
   rep.num_tenants = num_tenants;
@@ -433,18 +374,12 @@ FleetReport MergeFleet(const FleetConfig& cfg, const ShardMap& map,
 
 VolumeManager::VolumeManager(const FleetConfig& cfg) : cfg_(cfg) {
   assert(cfg_.num_shards > 0);
-  // RAID 6 shards keep two parity blocks per stripe regardless of what the
-  // caller left in the array config.
-  if (cfg_.scheme == FleetScheme::kRaid6DeferQ ||
-      cfg_.scheme == FleetScheme::kRaid6DeferBoth) {
-    cfg_.array.parity_blocks = 2;
-  } else {
-    cfg_.array.parity_blocks = 1;
-  }
-  const StripeLayout layout(cfg_.array.num_disks, cfg_.array.stripe_unit_bytes,
-                            DiskCapacityFor(cfg_.array, cfg_.scheme),
-                            cfg_.array.parity_blocks);
-  shard_capacity_ = layout.data_capacity_bytes();
+  assert(SchemeRegistry::Find(cfg_.scheme) != nullptr &&
+         "fleet: unknown scheme name");
+  // Fix the array config up for the scheme (parity-block count, mirror
+  // disk-count rounding) regardless of what the caller left in it.
+  cfg_.array = SchemeRegistry::Normalize(cfg_.scheme, cfg_.array);
+  shard_capacity_ = SchemeRegistry::DataCapacityBytes(cfg_.scheme, cfg_.array);
 
   const int64_t volume = ShardMap::SizeVolume(
       cfg_.num_shards, shard_capacity_, cfg_.chunk_bytes, cfg_.fill_fraction);
@@ -653,7 +588,10 @@ std::string FleetReportToJson(const FleetReport& rep) {
     w.Key("repaired").Value(s.repaired);
     w.Key("degraded_s").Value(s.degraded_s);
     w.Key("destroyed").Value(s.destroyed);
-    w.Key("mgmt_unsupported").Value(s.mgmt_unsupported);
+    w.Key("mgmt_unsupported_fail").Value(s.mgmt_unsupported_fail);
+    w.Key("mgmt_unsupported_repair").Value(s.mgmt_unsupported_repair);
+    w.Key("mgmt_unsupported_info").Value(s.mgmt_unsupported_info);
+    w.Key("mgmt_unsupported_destroy").Value(s.mgmt_unsupported_destroy);
     w.Key("infos").BeginArray();
     for (const ShardInfo& info : s.infos) {
       w.BeginObject();

@@ -42,21 +42,15 @@
 
 namespace afraid {
 
-// Which controller each shard runs. kAfraid uses FleetConfig::policy, so
-// RAID 0 / RAID 5 / any AFRAID policy all come through the one scheme.
-enum class FleetScheme {
-  kAfraid,         // AfraidController + FleetConfig::policy.
-  kRaid6DeferQ,    // Raid6Controller, P synchronous, Q deferred.
-  kRaid6DeferBoth, // Raid6Controller, both parities deferred.
-  kParityLog,      // ParityLogController [Stodolsky93].
-};
-
-const char* FleetSchemeName(FleetScheme scheme);
-
 struct FleetConfig {
   ArrayConfig array;  // Per-shard array (disks, stripe unit, caches...).
+  // Consulted by policy-driven schemes only ("afraid"), so RAID 0 / RAID 5 /
+  // any AFRAID policy all come through the one scheme name.
   PolicySpec policy = PolicySpec::AfraidBaseline();
-  FleetScheme scheme = FleetScheme::kAfraid;
+  // Which controller each shard runs, by registry name
+  // (src/core/scheme_registry.h): "afraid", "raid6", "raid6-deferQ",
+  // "raid6-deferPQ", "parity-log", "mirror", or any scheme registered later.
+  std::string scheme = "afraid";
   int32_t num_shards = 8;
   ShardingKind sharding = ShardingKind::kRange;
   int64_t chunk_bytes = 1 << 20;
@@ -116,8 +110,18 @@ struct ShardReport {
   bool repaired = false;
   double degraded_s = 0.0;
   bool destroyed = false;
-  uint64_t mgmt_unsupported = 0;  // Ops this scheme/state could not apply.
-  std::vector<ShardInfo> infos;   // One per `info` op, in time order.
+  // Management ops this scheme/state refused, by op kind. A refusal leaves
+  // the shard unchanged (e.g. failing an out-of-range disk, repairing a disk
+  // that never failed, destroying an already-destroyed shard).
+  uint64_t mgmt_unsupported_fail = 0;
+  uint64_t mgmt_unsupported_repair = 0;
+  uint64_t mgmt_unsupported_info = 0;
+  uint64_t mgmt_unsupported_destroy = 0;
+  uint64_t MgmtUnsupportedTotal() const {
+    return mgmt_unsupported_fail + mgmt_unsupported_repair +
+           mgmt_unsupported_info + mgmt_unsupported_destroy;
+  }
+  std::vector<ShardInfo> infos;  // One per `info` op, in time order.
 };
 
 struct FleetReport {

@@ -118,8 +118,10 @@ TEST(ControllerSmoke, ExperimentHarnessRuns) {
   wl.mean_idle_ms = 300;
   wl.idle_pareto_alpha = 1.5;
   wl.intra_burst_gap_ms = 10;
-  const SimReport rep = RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl,
-                                    /*max_requests=*/500, Minutes(10));
+  const SimReport rep = Experiment(cfg)
+                            .Policy(PolicySpec::AfraidBaseline())
+                            .Workload(wl, /*max_requests=*/500, Minutes(10))
+                            .Run();
   EXPECT_EQ(rep.requests, 500u);
   EXPECT_GT(rep.mean_io_ms, 0.0);
   EXPECT_GT(rep.duration_s, 0.0);

@@ -32,10 +32,14 @@ WorkloadParams FastWorkload() {
 }
 
 TEST(Experiment, Deterministic) {
-  const SimReport a = RunWorkload(SmallConfig(), PolicySpec::AfraidBaseline(),
-                                  FastWorkload(), 800, Minutes(30));
-  const SimReport b = RunWorkload(SmallConfig(), PolicySpec::AfraidBaseline(),
-                                  FastWorkload(), 800, Minutes(30));
+  const SimReport a = Experiment(SmallConfig())
+                          .Policy(PolicySpec::AfraidBaseline())
+                          .Workload(FastWorkload(), 800, Minutes(30))
+                          .Run();
+  const SimReport b = Experiment(SmallConfig())
+                          .Policy(PolicySpec::AfraidBaseline())
+                          .Workload(FastWorkload(), 800, Minutes(30))
+                          .Run();
   EXPECT_EQ(a.requests, b.requests);
   EXPECT_DOUBLE_EQ(a.mean_io_ms, b.mean_io_ms);
   EXPECT_DOUBLE_EQ(a.mean_parity_lag_bytes, b.mean_parity_lag_bytes);
@@ -43,8 +47,10 @@ TEST(Experiment, Deterministic) {
 }
 
 TEST(Experiment, ReportFieldsPlausible) {
-  const SimReport rep = RunWorkload(SmallConfig(), PolicySpec::AfraidBaseline(),
-                                    FastWorkload(), 800, Minutes(30));
+  const SimReport rep = Experiment(SmallConfig())
+                            .Policy(PolicySpec::AfraidBaseline())
+                            .Workload(FastWorkload(), 800, Minutes(30))
+                            .Run();
   EXPECT_EQ(rep.requests, 800u);
   EXPECT_EQ(rep.reads + rep.writes, rep.requests);
   EXPECT_GT(rep.mean_io_ms, 0.0);
@@ -64,12 +70,18 @@ TEST(Experiment, SchemeOrderingsHold) {
   // The paper's core orderings on a bursty write-heavy load:
   //   latency: RAID 0 <= AFRAID < RAID 5
   //   availability (overall MTTDL): RAID 0 < AFRAID <= RAID 5.
-  const SimReport r0 = RunWorkload(SmallConfig(), PolicySpec::Raid0(),
-                                   FastWorkload(), 1200, Minutes(60));
-  const SimReport af = RunWorkload(SmallConfig(), PolicySpec::AfraidBaseline(),
-                                   FastWorkload(), 1200, Minutes(60));
-  const SimReport r5 = RunWorkload(SmallConfig(), PolicySpec::Raid5(),
-                                   FastWorkload(), 1200, Minutes(60));
+  const SimReport r0 = Experiment(SmallConfig())
+                           .Policy(PolicySpec::Raid0())
+                           .Workload(FastWorkload(), 1200, Minutes(60))
+                           .Run();
+  const SimReport af = Experiment(SmallConfig())
+                           .Policy(PolicySpec::AfraidBaseline())
+                           .Workload(FastWorkload(), 1200, Minutes(60))
+                           .Run();
+  const SimReport r5 = Experiment(SmallConfig())
+                           .Policy(PolicySpec::Raid5())
+                           .Workload(FastWorkload(), 1200, Minutes(60))
+                           .Run();
   EXPECT_LE(r0.mean_io_ms, af.mean_io_ms * 1.05);
   EXPECT_LT(af.mean_io_ms, r5.mean_io_ms);
   EXPECT_LT(r0.avail.mttdl_overall_hours, af.avail.mttdl_overall_hours);
@@ -85,10 +97,14 @@ TEST(Experiment, SchemeOrderingsHold) {
 
 TEST(Experiment, MttdlTargetInterpolates) {
   // A mid target lands between RAID 5 and pure AFRAID on both axes.
-  const SimReport af = RunWorkload(SmallConfig(), PolicySpec::AfraidBaseline(),
-                                   FastWorkload(), 1200, Minutes(60));
-  const SimReport mid = RunWorkload(SmallConfig(), PolicySpec::MttdlTarget(2e6),
-                                    FastWorkload(), 1200, Minutes(60));
+  const SimReport af = Experiment(SmallConfig())
+                           .Policy(PolicySpec::AfraidBaseline())
+                           .Workload(FastWorkload(), 1200, Minutes(60))
+                           .Run();
+  const SimReport mid = Experiment(SmallConfig())
+                             .Policy(PolicySpec::MttdlTarget(2e6))
+                             .Workload(FastWorkload(), 1200, Minutes(60))
+                             .Run();
   EXPECT_GE(mid.avail.mttdl_disk_hours, af.avail.mttdl_disk_hours * 0.99);
   EXPECT_GT(mid.raid5_mode_writes + mid.afraid_mode_writes, 0u);
 }
@@ -102,14 +118,15 @@ TEST(Experiment, AvailabilityParamsFollowConfig) {
   EXPECT_DOUBLE_EQ(ap.disk_bytes, 2.0 * 1024 * 1024);
 }
 
-TEST(Experiment, RunExperimentOnExplicitTrace) {
+TEST(Experiment, BuilderOnExplicitTrace) {
   Trace trace;
   trace.name = "explicit";
   for (int i = 0; i < 50; ++i) {
     trace.records.push_back(
         {Milliseconds(i * 20), i * 8192, 8192, i % 2 == 0});
   }
-  const SimReport rep = RunExperiment(SmallConfig(), PolicySpec::Raid5(), trace);
+  const SimReport rep =
+      Experiment(SmallConfig()).Policy(PolicySpec::Raid5()).Trace(trace).Run();
   EXPECT_EQ(rep.requests, 50u);
   EXPECT_EQ(rep.workload, "explicit");
 }

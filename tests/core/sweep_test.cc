@@ -1,6 +1,6 @@
 // ParallelSweep: experiment fan-out must be bit-identical for any thread
 // count. Mirrors the faultsim 1-vs-4-thread determinism test, but for the
-// bench-style (workload x policy) grids built on RunWorkload.
+// bench-style (workload x policy) grids built on the Experiment builder.
 
 #include "core/sweep.h"
 
@@ -66,9 +66,11 @@ TEST(ParallelSweep, Table2ShapedGridIsThreadCountInvariant) {
   const std::vector<PolicySpec> policies = {
       PolicySpec::Raid5(), PolicySpec::AfraidBaseline(), PolicySpec::Raid0()};
   auto cell_fn = [&](int64_t cell) {
-    return RunWorkload(cfg, policies[static_cast<size_t>(cell % 3)],
-                       workloads[static_cast<size_t>(cell / 3)],
-                       /*max_requests=*/400, Minutes(5));
+    return Experiment(cfg)
+        .Policy(policies[static_cast<size_t>(cell % 3)])
+        .Workload(workloads[static_cast<size_t>(cell / 3)],
+                  /*max_requests=*/400, Minutes(5))
+        .Run();
   };
   const int64_t cells = static_cast<int64_t>(workloads.size()) * 3;
   const std::vector<SimReport> serial = ParallelSweep(cells, cell_fn, 1);
@@ -83,6 +85,30 @@ TEST(ParallelSweep, Table2ShapedGridIsThreadCountInvariant) {
   EXPECT_NE(serial[0].mean_io_ms, serial[1].mean_io_ms);
 }
 
+TEST(ParallelSweep, MirrorSchemeAllWorkloadsThreadCountInvariant) {
+  // The mirrored scheme replays every paper workload with bit-identical
+  // reports whatever the fan-out (its replica-choice read dispatch consults
+  // live queue depths and head positions, all inside one shard's sim).
+  const ArrayConfig cfg = TinyArray();
+  const std::vector<WorkloadParams> workloads = PaperWorkloads();
+  auto cell_fn = [&](int64_t cell) {
+    return Experiment(cfg)
+        .Scheme("mirror")
+        .Workload(workloads[static_cast<size_t>(cell)], /*max_requests=*/300,
+                  Minutes(5))
+        .Run();
+  };
+  const auto cells = static_cast<int64_t>(workloads.size());
+  const std::vector<SimReport> serial = ParallelSweep(cells, cell_fn, 1);
+  const std::vector<SimReport> fanned = ParallelSweep(cells, cell_fn, 8);
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(workloads[i].name);
+    EXPECT_EQ(serial[i].policy, "Mirror-SPTF");
+    ExpectReportsIdentical(serial[i], fanned[i]);
+  }
+}
+
 TEST(ParallelSweep, DerivedCellSeedsAreThreadCountInvariant) {
   // Cells that derive their own seed (per-cell RNG streams) stay identical
   // too: the seed is a pure function of (base, index), not of scheduling.
@@ -90,8 +116,10 @@ TEST(ParallelSweep, DerivedCellSeedsAreThreadCountInvariant) {
   auto cell_fn = [&](int64_t cell) {
     WorkloadParams wl = PaperWorkloads().front();
     wl.seed = SweepCellSeed(0xafa1d, cell);
-    return RunWorkload(cfg, PolicySpec::AfraidBaseline(), wl,
-                       /*max_requests=*/300, Minutes(5));
+    return Experiment(cfg)
+        .Policy(PolicySpec::AfraidBaseline())
+        .Workload(wl, /*max_requests=*/300, Minutes(5))
+        .Run();
   };
   const std::vector<SimReport> serial = ParallelSweep(8, cell_fn, 1);
   const std::vector<SimReport> fanned = ParallelSweep(8, cell_fn, 4);

@@ -180,23 +180,56 @@ TEST(FleetRun, DestroyDropsRemainingTrafficOnThatShardOnly) {
   }
 }
 
-TEST(FleetRun, MgmtOpsOnSchemesWithoutFailureSupportAreCounted) {
+TEST(FleetRun, InvalidMgmtOpsAreRefusedAndCountedByKind) {
+  // Every registered scheme now supports fail/repair; refusals come from
+  // *invalid* ops: failing an out-of-range disk, repairing a disk that never
+  // failed. Each lands in its own per-kind counter and leaves the shard
+  // serving normally.
   FleetConfig cfg = TinyFleet();
-  cfg.scheme = FleetScheme::kRaid6DeferQ;
+  cfg.scheme = "raid6-deferQ";
   cfg.num_shards = 2;
   VolumeManager vm(cfg);
-  vm.DiskFail(Seconds(1), 0, 1);
-  vm.DiskRepaired(Seconds(2), 0, 1);
+  vm.DiskFail(Seconds(1), 0, /*disk=*/99);      // Out of range: refused.
+  vm.DiskRepaired(Seconds(2), 0, /*disk=*/1);   // Nothing failed: refused.
   const FleetTrace trace = TinyTenants(vm.VolumeBytes(), 16, 500);
   const FleetReport rep = vm.Run(trace);
-  EXPECT_EQ(rep.shards[0].mgmt_unsupported, 2u);
+  EXPECT_EQ(rep.shards[0].mgmt_unsupported_fail, 1u);
+  EXPECT_EQ(rep.shards[0].mgmt_unsupported_repair, 1u);
+  EXPECT_EQ(rep.shards[0].mgmt_unsupported_info, 0u);
+  EXPECT_EQ(rep.shards[0].mgmt_unsupported_destroy, 0u);
+  EXPECT_EQ(rep.shards[0].MgmtUnsupportedTotal(), 2u);
   EXPECT_FALSE(rep.shards[0].disk_failed);
   EXPECT_GT(rep.requests, 0u);
 }
 
+TEST(FleetRun, ValidFailRepairIsAppliedOnEveryRegisteredScheme) {
+  // The old behaviour (non-afraid schemes refuse fail/repair) is gone: a
+  // well-formed incident must degrade and then repair the shard under every
+  // scheme the registry knows.
+  for (const char* scheme :
+       {"afraid", "raid6", "raid6-deferQ", "raid6-deferPQ", "parity-log",
+        "mirror"}) {
+    SCOPED_TRACE(scheme);
+    FleetConfig cfg = TinyFleet();
+    cfg.scheme = scheme;
+    cfg.num_shards = 2;
+    VolumeManager vm(cfg);
+    vm.DiskFail(Seconds(1), 0, /*disk=*/1);
+    vm.DiskRepaired(Seconds(20), 0, /*disk=*/1);
+    const FleetTrace trace = TinyTenants(vm.VolumeBytes(), 16, 500);
+    const FleetReport rep = vm.Run(trace);
+    EXPECT_TRUE(rep.shards[0].disk_failed);
+    EXPECT_TRUE(rep.shards[0].repaired);
+    EXPECT_GT(rep.shards[0].degraded_s, 0.0);
+    EXPECT_EQ(rep.shards[0].MgmtUnsupportedTotal(), 0u);
+    EXPECT_EQ(rep.shards[1].MgmtUnsupportedTotal(), 0u);
+    EXPECT_GT(rep.requests, 0u);
+  }
+}
+
 TEST(FleetRun, Raid6SchemeForcesTwoParityBlocks) {
   FleetConfig cfg = TinyFleet();
-  cfg.scheme = FleetScheme::kRaid6DeferBoth;
+  cfg.scheme = "raid6-deferPQ";
   cfg.num_shards = 2;
   const VolumeManager vm(cfg);
   EXPECT_EQ(vm.config().array.parity_blocks, 2);
@@ -204,6 +237,21 @@ TEST(FleetRun, Raid6SchemeForcesTwoParityBlocks) {
   a.num_shards = 2;
   const VolumeManager plain(a);
   // Two parities leave less data capacity per shard.
+  EXPECT_LT(vm.ShardCapacityBytes(), plain.ShardCapacityBytes());
+}
+
+TEST(FleetRun, MirrorSchemeRoundsDisksToPairsAndHalvesCapacity) {
+  FleetConfig cfg = TinyFleet();
+  cfg.array.num_disks = 5;
+  cfg.scheme = "mirror";
+  cfg.num_shards = 2;
+  const VolumeManager vm(cfg);
+  EXPECT_EQ(vm.config().array.num_disks, 4);
+  EXPECT_EQ(vm.config().array.parity_blocks, 0);
+  FleetConfig a = TinyFleet();
+  a.num_shards = 2;
+  const VolumeManager plain(a);  // 4 disks, RAID 5: 3 data disks.
+  // Two mirrored columns < three data disks of capacity.
   EXPECT_LT(vm.ShardCapacityBytes(), plain.ShardCapacityBytes());
 }
 
