@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "array/content.h"
+#include "array/decluster.h"
 #include "array/host_driver.h"
 #include "array/layout.h"
 #include "array/nvram.h"
@@ -269,7 +270,7 @@ void BM_MirrorReadDispatch(benchmark::State& state) {
   for (int i = 0; i < 200 && !driver.Drained(); ++i) {
     sim.Step();
   }
-  const StripeLayout& lay = array.layout();
+  const ArrayLayout& lay = array.layout();
   const int32_t spu =
       static_cast<int32_t>(cfg.stripe_unit_bytes / cfg.disk_spec.sector_bytes);
   DiskOp op;
@@ -368,6 +369,56 @@ void BM_LayoutMapDivRef(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LayoutMapDivRef);
+
+// The same per-segment mapping through the compiled-block-design declustered
+// layout (PG(2,3): 13 disks, width 4, lambda = 1). The CI gate pins this to
+// within 1.5x of BM_LayoutMap from the same run: the design tables must keep
+// the hot path at FastDiv64 + table loads, not reintroduce modular search.
+void BM_LayoutMapDecl(benchmark::State& state) {
+  DeclusteredLayout layout(13, 8192, 2'000'000'000, 1, 4);
+  Rng rng(42);
+  const int64_t cap = layout.data_capacity_bytes();
+  std::vector<int64_t> offsets(4096);
+  for (int64_t& off : offsets) {
+    off = rng.UniformInt(0, cap - 1);
+  }
+  for (auto _ : state) {
+    int64_t sink = 0;
+    for (const int64_t off : offsets) {
+      const int64_t stripe = layout.StripeOfOffset(off);
+      sink += layout.DataDisk(stripe, 0) + layout.ParityDisk(stripe);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_LayoutMapDecl);
+
+// The reconstruction sweep's layout work for one failed disk: the membership
+// skip over stripes the disk is not in, then survivor + target placement for
+// the stripes it is. With width 4 of 13 the skip rejects ~69% of stripes off
+// the bitmap alone; this holds the per-stripe cost of that filter visible.
+void BM_DeclusterRebuildSweep(benchmark::State& state) {
+  DeclusteredLayout layout(13, 8192, 2'000'000'000, 1, 4);
+  const int64_t num = std::min<int64_t>(layout.num_stripes(), 65536);
+  const int32_t failed = 0;
+  for (auto _ : state) {
+    int64_t sink = 0;
+    for (int64_t stripe = 0; stripe < num; ++stripe) {
+      if (!layout.StripeUsesDisk(stripe, failed)) {
+        continue;
+      }
+      const BlockLoc pl = layout.ParityLocation(stripe);
+      sink += pl.disk + pl.byte_offset;
+      for (int32_t j = 0; j < layout.data_blocks_per_stripe(); ++j) {
+        const BlockLoc dl = layout.DataLocation(stripe, j);
+        sink += dl.disk + dl.byte_offset;
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * num);
+}
+BENCHMARK(BM_DeclusterRebuildSweep);
 
 // Seek-time lookup across the tabulated distance range...
 void BM_SeekTime(benchmark::State& state) {

@@ -3,11 +3,19 @@
 // failure and an online repair injected mid-run on one shard while the rest
 // of the fleet keeps serving.
 //
-//   $ ./examples/fleet_service [scheme] [requests]
+//   $ ./examples/fleet_service [flags] [scheme] [requests]
 //
 // scheme: any registry name (afraid | raid6 | raid6-deferQ | raid6-deferPQ |
 // parity-log | mirror), or "raid5" (afraid under the always-sync policy), or
 // "list" to print the registered schemes and exit.
+//
+// Flags:
+//   --layout NAME       per-shard parity layout: left-symmetric (default) or
+//                       declustered (narrow block-design stripes, fast rebuild)
+//   --decluster-width K declustered stripe width; 0 = auto (~half the array)
+//   --spares N          per-shard hot-spare pool: repairs draw from the pool
+//                       and are refused when it is empty; a spare_add op
+//                       restocks mid-run (default: unlimited legacy stock)
 //
 // The run is bit-identical for any AFRAID_BENCH_THREADS (every shard is an
 // independent deterministic simulation; the sweep only changes who runs
@@ -17,7 +25,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "array/layout.h"
 #include "core/scheme_registry.h"
 #include "fleet/tenants.h"
 #include "fleet/volume_manager.h"
@@ -25,9 +35,33 @@
 using namespace afraid;
 
 int main(int argc, char** argv) {
-  const std::string scheme_arg = argc > 1 ? argv[1] : "afraid";
+  LayoutKind layout = LayoutKind::kLeftSymmetric;
+  int32_t decluster_width = 0;
+  int32_t spares = -1;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--layout" && i + 1 < argc) {
+      if (!LayoutKindFromName(argv[++i], &layout)) {
+        std::fprintf(stderr,
+                     "unknown layout '%s' (left-symmetric | declustered)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--decluster-width" && i + 1 < argc) {
+      decluster_width = static_cast<int32_t>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--spares" && i + 1 < argc) {
+      spares = static_cast<int32_t>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  const std::string scheme_arg = !pos.empty() ? pos[0] : "afraid";
   const uint64_t requests =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30000;
+      pos.size() > 1 ? std::strtoull(pos[1].c_str(), nullptr, 10) : 30000;
 
   if (scheme_arg == "list" || scheme_arg == "--scheme=list") {
     for (const std::string& name : SchemeRegistry::List()) {
@@ -43,6 +77,9 @@ int main(int argc, char** argv) {
   cfg.num_shards = 8;
   cfg.chunk_bytes = 4 << 20;
   cfg.seed = 1996;
+  cfg.array.layout = layout;
+  cfg.array.decluster_width = decluster_width;
+  cfg.spares = spares;
   if (scheme_arg == "raid5") {
     cfg.scheme = "afraid";  // The policy picks the write path.
     cfg.policy = PolicySpec::Raid5();
@@ -69,6 +106,11 @@ int main(int argc, char** argv) {
     // bracket the incident.
     vm.DiskFail(Seconds(20), /*shard=*/2, /*disk=*/1);
     vm.InfoAt(Seconds(60), /*shard=*/-1);
+    if (spares == 0) {
+      // An empty pool refuses the repair; restock just ahead of it so the
+      // incident still resolves (and the refusal counters stay visible).
+      vm.SpareAdd(Seconds(80), /*shard=*/2);
+    }
     vm.DiskRepaired(Seconds(90), /*shard=*/2, /*disk=*/1);
 
     FleetWorkloadParams wp;
@@ -116,11 +158,17 @@ int main(int argc, char** argv) {
     uint64_t ref_repair = 0;
     uint64_t ref_info = 0;
     uint64_t ref_destroy = 0;
+    uint64_t spares_added = 0;
+    uint64_t spares_used = 0;
+    uint64_t no_spare = 0;
     for (const ShardReport& s : rep.shards) {
       ref_fail += s.mgmt_unsupported_fail;
       ref_repair += s.mgmt_unsupported_repair;
       ref_info += s.mgmt_unsupported_info;
       ref_destroy += s.mgmt_unsupported_destroy;
+      spares_added += s.spares_added;
+      spares_used += s.spares_used;
+      no_spare += s.repairs_refused_no_spare;
     }
     std::printf("   mgmt refused: fail %llu  repair %llu  info %llu  "
                 "destroy %llu\n",
@@ -128,6 +176,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ref_repair),
                 static_cast<unsigned long long>(ref_info),
                 static_cast<unsigned long long>(ref_destroy));
+    if (spares >= 0) {
+      std::printf("   spare pool: start %d/shard, added %llu, used %llu, "
+                  "repairs refused empty %llu\n",
+                  spares, static_cast<unsigned long long>(spares_added),
+                  static_cast<unsigned long long>(spares_used),
+                  static_cast<unsigned long long>(no_spare));
+    }
     std::printf("   %-6s %9s %8s %8s %10s %7s %9s\n", "shard", "pieces",
                 "mean ms", "p99 ms", "bytes MB", "util", "degr s");
     for (const ShardReport& s : rep.shards) {

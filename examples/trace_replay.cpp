@@ -20,6 +20,11 @@
 //   --chunk-bytes N     streaming read-chunk size (default 4 MiB)
 //   --record PATH       write the resolved workload to PATH in the text trace
 //                       format and exit (pin a synthetic preset to disk)
+//   --layout NAME       parity layout: left-symmetric (default) or
+//                       declustered (block-design placement, stripes narrower
+//                       than the array for fast balanced rebuild)
+//   --decluster-width K declustered stripe width (units per stripe incl.
+//                       parity); 0 picks a width near half the array
 //
 // Without flags the output is byte-identical to the pinned golden transcript;
 // with --stream only the first line and the trailing "streaming:" line differ
@@ -38,6 +43,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "array/decluster.h"
 #include "array/layout.h"
 #include "core/experiment.h"
 #include "core/scheme_registry.h"
@@ -53,6 +59,8 @@ int main(int argc, char** argv) {
   size_t chunk_bytes = 4u << 20;
   std::string record_path;
   std::string scheme;
+  LayoutKind layout = LayoutKind::kLeftSymmetric;
+  int32_t decluster_width = 0;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,6 +72,15 @@ int main(int argc, char** argv) {
       record_path = argv[++i];
     } else if (arg == "--scheme" && i + 1 < argc) {
       scheme = argv[++i];
+    } else if (arg == "--layout" && i + 1 < argc) {
+      if (!LayoutKindFromName(argv[++i], &layout)) {
+        std::fprintf(stderr,
+                     "unknown layout '%s' (left-symmetric | declustered)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (arg == "--decluster-width" && i + 1 < argc) {
+      decluster_width = static_cast<int32_t>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -91,6 +108,8 @@ int main(int argc, char** argv) {
   cfg.disk_spec = DiskSpec::HpC3325Like();
   cfg.num_disks = 5;
   cfg.stripe_unit_bytes = 8192;
+  cfg.layout = layout;
+  cfg.decluster_width = decluster_width;
 
   // Resolve the workload: file path or preset name. In streaming mode a file
   // input is never loaded whole -- that is the point of the pipeline.
@@ -116,12 +135,13 @@ int main(int argc, char** argv) {
       // RAID 5's for mirroring and parity logging).
       params.address_space_bytes = SchemeRegistry::DataCapacityBytes(scheme, cfg);
     } else {
-      const StripeLayout layout(cfg.num_disks, cfg.stripe_unit_bytes,
-                                DiskGeometry(cfg.disk_spec.zones, cfg.disk_spec.heads,
-                                             cfg.disk_spec.sector_bytes)
-                                    .CapacityBytes(),
-                                cfg.parity_blocks);
-      params.address_space_bytes = layout.data_capacity_bytes();
+      const auto lay =
+          MakeLayout(cfg.layout, cfg.num_disks, cfg.stripe_unit_bytes,
+                     DiskGeometry(cfg.disk_spec.zones, cfg.disk_spec.heads,
+                                  cfg.disk_spec.sector_bytes)
+                         .CapacityBytes(),
+                     cfg.parity_blocks, cfg.decluster_width);
+      params.address_space_bytes = lay->data_capacity_bytes();
     }
     trace = GenerateWorkload(params, max_requests, Hours(24));
     const TraceStats stats = ComputeTraceStats(trace);

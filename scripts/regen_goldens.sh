@@ -3,13 +3,15 @@
 #   * tests/golden/trace_replay_cello-usr_2000.txt -- the golden replay
 #     transcript CI diffs byte-for-byte against a fresh run;
 #   * BENCH_engine.json -- the micro-benchmark baseline the CI bench gate
-#     compares hot-path timings to (loose factor, Release build).
+#     compares hot-path timings to (loose factor, Release build);
+#   * BENCH_rebuild.json -- the declustering rebuild comparison (window,
+#     client p99 during rebuild, MTTDL) CI checks for layout ordering.
 #
 # Run from anywhere inside the repo after a change that intentionally moves
 # pinned output, then review the diff before committing:
 #
 #   scripts/regen_goldens.sh
-#   git diff tests/golden BENCH_engine.json
+#   git diff tests/golden BENCH_engine.json BENCH_rebuild.json
 #
 # Uses its own Release build tree (build-regen/) so a Debug working build is
 # never the source of a pinned baseline.
@@ -36,7 +38,8 @@ trap cleanup EXIT
 
 echo "== configuring Release build in $build"
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build" -j --target trace_replay bench_micro_engine >/dev/null
+cmake --build "$build" -j --target trace_replay bench_micro_engine \
+    bench_rebuild_decluster >/dev/null
 
 echo "== regenerating tests/golden/trace_replay_cello-usr_2000.txt"
 "$build/examples/trace_replay" cello-usr 2000 \
@@ -48,10 +51,18 @@ echo "== regenerating BENCH_engine.json (Release micro-bench baseline)"
     --benchmark_out="$stage/BENCH_engine.json" \
     --benchmark_out_format=json >/dev/null
 
+echo "== regenerating BENCH_rebuild.json (declustering rebuild comparison)"
+# The bench itself exits nonzero unless the declustered layout beats
+# left-symmetric on both window and p99 at every width, so a regression
+# can never be pinned as a baseline.
+AFRAID_REBUILD_JSON="$stage/BENCH_rebuild.json" \
+    "$build/bench/bench_rebuild_decluster" >/dev/null
+
 # Every step succeeded: publish atomically (same-filesystem staging is not
 # guaranteed, so mv may copy -- but only after all generators have passed).
 mv "$stage/trace_replay_cello-usr_2000.txt" \
    "$repo/tests/golden/trace_replay_cello-usr_2000.txt"
 mv "$stage/BENCH_engine.json" "$repo/BENCH_engine.json"
+mv "$stage/BENCH_rebuild.json" "$repo/BENCH_rebuild.json"
 
-echo "== done; review with: git diff tests/golden BENCH_engine.json"
+echo "== done; review with: git diff tests/golden BENCH_engine.json BENCH_rebuild.json"

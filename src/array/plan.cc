@@ -3,7 +3,7 @@
 namespace afraid {
 
 void RequestPlan::Compile(const TraceRecord* records, size_t count,
-                          const StripeLayout& layout) {
+                          const ArrayLayout& layout) {
   records_.clear();
   segments_.clear();
   records_.reserve(count);
@@ -23,9 +23,9 @@ void RequestPlan::Compile(const TraceRecord* records, size_t count,
     const Segment& first = scratch_.front();
     r.stripe = first.stripe;
     r.block_in_stripe = first.block_in_stripe;
-    r.disk = layout.DataDisk(first.stripe, first.block_in_stripe);
-    r.disk_offset =
-        first.stripe * layout.stripe_unit() + first.offset_in_block;
+    const BlockLoc loc = layout.DataLocation(first.stripe, first.block_in_stripe);
+    r.disk = loc.disk;
+    r.disk_offset = loc.byte_offset + first.offset_in_block;
     segments_.insert(segments_.end(), scratch_.begin(), scratch_.end());
     records_.push_back(r);
   }

@@ -4,7 +4,7 @@
 // Every trace record's layout mapping -- its Split() into stripe-unit
 // segments, plus the (disk, physical offset) of its first unit -- depends
 // only on the record and the array geometry, not on any simulated state. A
-// RequestPlan therefore resolves the whole trace through StripeLayout once,
+// RequestPlan therefore resolves the whole trace through the ArrayLayout once,
 // at load time, into two flat POD arrays: one PlanRecord per trace record
 // and one shared Segment pool the records' spans point into. Replay then
 // walks the plan instead of re-deriving the mapping per request, and the
@@ -53,7 +53,7 @@ class RequestPlan {
   // Pre-resolves every record of `trace` against `layout`. The layout must
   // match the array the plan will replay against (same disks, stripe unit,
   // capacity, parity blocks).
-  RequestPlan(const Trace& trace, const StripeLayout& layout) {
+  RequestPlan(const Trace& trace, const ArrayLayout& layout) {
     Compile(trace.records.data(), trace.records.size(), layout);
   }
 
@@ -62,7 +62,7 @@ class RequestPlan {
   // (the slot ring) must not recompile a plan while replay still holds
   // segments into it.
   void Compile(const TraceRecord* records, size_t count,
-               const StripeLayout& layout);
+               const ArrayLayout& layout);
 
   // Resident bytes of the flat arrays (capacity, not size): the streaming
   // pipeline's per-slot contribution to peak-memory accounting.

@@ -84,8 +84,9 @@ class PlanSlotRing {
 // (StreamingPlanReplayer does this automatically).
 class StreamingPlanCompiler {
  public:
-  StreamingPlanCompiler(TraceChunkReader* reader, const StripeLayout& layout)
-      : reader_(reader), layout_(layout) {}
+  // `layout` must outlive the compiler (the owning controller does).
+  StreamingPlanCompiler(TraceChunkReader* reader, const ArrayLayout& layout)
+      : reader_(reader), layout_(&layout) {}
 
   // Compiles the next non-empty chunk; nullptr at end of trace or on error
   // (check status()).
@@ -95,7 +96,7 @@ class StreamingPlanCompiler {
     }
     RequestPlan* plan = ring_.Acquire();
     plan->Compile(reader_->chunk().records.data(),
-                  reader_->chunk().records.size(), layout_);
+                  reader_->chunk().records.size(), *layout_);
     ring_.NotePeak();
     return plan;
   }
@@ -105,7 +106,7 @@ class StreamingPlanCompiler {
 
  private:
   TraceChunkReader* reader_;
-  StripeLayout layout_;
+  const ArrayLayout* layout_;
   PlanSlotRing ring_;
 };
 

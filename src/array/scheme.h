@@ -106,7 +106,7 @@ class ArrayScheme : public ArrayController {
 
   // The logical-to-physical layout client offsets are resolved through.
   // Request plans must be compiled against this exact layout.
-  virtual const StripeLayout& layout() const = 0;
+  virtual const ArrayLayout& layout() const = 0;
   virtual int32_t num_disks() const = 0;
   virtual DiskModel& disk(int32_t d) = 0;
   // Functional content tracking, if enabled; nullptr otherwise.

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "array/decluster.h"
+
 namespace afraid {
 
 const char* DiskOpPurposeName(DiskOpPurpose purpose) {
@@ -51,12 +53,13 @@ AfraidController::AfraidController(Simulator* sim, const ArrayConfig& config,
       cfg_(config),
       policy_(std::move(policy)),
       avail_params_(avail_params),
-      layout_(config.num_disks, config.stripe_unit_bytes,
-              DiskGeometry(config.disk_spec.zones, config.disk_spec.heads,
-                           config.disk_spec.sector_bytes)
-                  .CapacityBytes(),
-              config.parity_blocks),
-      nvram_(layout_.num_stripes() * config.marks_per_stripe),
+      layout_(MakeLayout(config.layout, config.num_disks,
+                         config.stripe_unit_bytes,
+                         DiskGeometry(config.disk_spec.zones, config.disk_spec.heads,
+                                      config.disk_spec.sector_bytes)
+                             .CapacityBytes(),
+                         config.parity_blocks, config.decluster_width)),
+      nvram_(layout_->num_stripes() * config.marks_per_stripe),
       read_cache_(config.read_cache_bytes, config.stripe_unit_bytes),
       staging_(config.write_staging_bytes, config.stripe_unit_bytes),
       start_time_(sim->Now()),
@@ -78,7 +81,7 @@ AfraidController::AfraidController(Simulator* sim, const ArrayConfig& config,
   rebuild_probe_ = probe.NewTrack("rebuild");
   if (cfg_.track_content) {
     content_ = std::make_unique<ContentModel>(
-        layout_.data_blocks_per_stripe(), layout_.parity_blocks(),
+        layout_->data_blocks_per_stripe(), layout_->parity_blocks(),
         static_cast<int32_t>(cfg_.stripe_unit_bytes / cfg_.disk_spec.sector_bytes));
   }
   idle_detector_ = std::make_unique<IdleDetector>(sim_, cfg_.idle_delay, [this] {
@@ -197,7 +200,7 @@ void AfraidController::NoteClientEnd() {
 
 std::pair<int32_t, int32_t> AfraidController::BandsOfRange(int32_t offset_in_block,
                                                            int32_t length) const {
-  const int64_t band_height = layout_.stripe_unit() / cfg_.marks_per_stripe;
+  const int64_t band_height = layout_->stripe_unit() / cfg_.marks_per_stripe;
   const auto first = static_cast<int32_t>(offset_in_block / band_height);
   const auto last = static_cast<int32_t>((offset_in_block + length - 1) / band_height);
   return {first, last};
@@ -321,7 +324,7 @@ void AfraidController::IssueDiskOp(int32_t disk, int64_t byte_offset, int64_t le
 void AfraidController::Submit(const ClientRequest& request, RequestDone done) {
   assert(request.size > 0);
   assert(request.offset >= 0 &&
-         request.offset + request.size <= layout_.data_capacity_bytes());
+         request.offset + request.size <= layout_->data_capacity_bytes());
   NoteClientStart();
   // The client-completion + NoteClientEnd pair is folded into the request's
   // join callback (DoRead/DoWrite) so no intermediate wrapper is needed.
@@ -340,7 +343,7 @@ void AfraidController::DoRead(const ClientRequest& r, RequestDone done) {
   // continuation captures its Segment by value).
   Span<Segment> segs{r.plan_segs, r.plan_seg_count};
   if (r.plan_segs == nullptr) {
-    layout_.SplitInto(r.offset, r.size, &read_split_scratch_);
+    layout_->SplitInto(r.offset, r.size, &read_split_scratch_);
     segs = Span<Segment>{read_split_scratch_.data(),
                          static_cast<int32_t>(read_split_scratch_.size())};
   }
@@ -350,7 +353,7 @@ void AfraidController::DoRead(const ClientRequest& r, RequestDone done) {
                                   NoteClientEnd();
                                 });
   for (const Segment& seg : segs) {
-    const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
+    const int32_t disk = layout_->DataDisk(seg.stripe, seg.block_in_stripe);
     const bool need_degraded =
         disk == failed_disk_ ||
         (disk == recovering_disk_ && seg.stripe >= recovery_frontier_);
@@ -363,11 +366,13 @@ void AfraidController::DoRead(const ClientRequest& r, RequestDone done) {
       sim_->After(cfg_.cache_hit_time, [join] { join->Dec(true); });
       continue;
     }
-    const int64_t disk_off = seg.stripe * layout_.stripe_unit() + seg.offset_in_block;
+    const int64_t disk_off =
+        layout_->DataLocation(seg.stripe, seg.block_in_stripe).byte_offset +
+        seg.offset_in_block;
     IssueDiskOp(disk, disk_off, seg.length, /*is_write=*/false,
                 DiskOpPurpose::kClientRead, [this, seg, key, join](bool ok) {
                   if (ok) {
-                    if (seg.length == layout_.stripe_unit()) {
+                    if (seg.length == layout_->stripe_unit()) {
                       read_cache_.Insert(key);
                     }
                     join->Dec(true);
@@ -382,7 +387,7 @@ void AfraidController::DoRead(const ClientRequest& r, RequestDone done) {
 void AfraidController::DegradedReadSegment(const Segment& seg, JoinBlock* parent) {
   const int64_t stripe = seg.stripe;
   locks_.Acquire(stripe, LockMode::kExclusive, [this, seg, stripe, parent] {
-    const int32_t n = layout_.data_blocks_per_stripe();
+    const int32_t n = layout_->data_blocks_per_stripe();
     auto finish = [this, seg, stripe, parent](bool) {
       if (RangeDirty(stripe, seg.offset_in_block, seg.length)) {
         // Parity was stale for this band when the disk died: the
@@ -398,14 +403,14 @@ void AfraidController::DegradedReadSegment(const Segment& seg, JoinBlock* parent
       if (j == seg.block_in_stripe) {
         continue;
       }
-      const int32_t d = layout_.DataDisk(stripe, j);
-      const int64_t off = stripe * layout_.stripe_unit() + seg.offset_in_block;
-      IssueDiskOp(d, off, seg.length, /*is_write=*/false,
+      const BlockLoc dl = layout_->DataLocation(stripe, j);
+      const int64_t off = dl.byte_offset + seg.offset_in_block;
+      IssueDiskOp(dl.disk, off, seg.length, /*is_write=*/false,
                   DiskOpPurpose::kReconstructRead, [join](bool ok) { join->Dec(ok); });
     }
-    const int32_t pd = layout_.ParityDisk(stripe);
-    const int64_t poff = stripe * layout_.stripe_unit() + seg.offset_in_block;
-    IssueDiskOp(pd, poff, seg.length, /*is_write=*/false,
+    const BlockLoc pl = layout_->ParityLocation(stripe);
+    const int64_t poff = pl.byte_offset + seg.offset_in_block;
+    IssueDiskOp(pl.disk, poff, seg.length, /*is_write=*/false,
                 DiskOpPurpose::kReconstructRead, [join](bool ok) { join->Dec(ok); });
   });
 }
@@ -424,7 +429,7 @@ void AfraidController::DoWrite(const ClientRequest& r, RequestDone done) {
   auto count = static_cast<size_t>(r.plan_seg_count);
   if (base == nullptr) {
     pooled = seg_pool_.Acquire();
-    layout_.SplitInto(r.offset, r.size, pooled);
+    layout_->SplitInto(r.offset, r.size, pooled);
     base = pooled->data();
     count = pooled->size();
   }
@@ -537,9 +542,9 @@ void AfraidController::AfraidWriteGroup(uint64_t request_id, int64_t stripe,
     };
     JoinBlock* join = joins_.Make(segs.count, finish);
     for (const Segment& seg : segs) {
-      const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
-      const int64_t off = stripe * layout_.stripe_unit() + seg.offset_in_block;
-      IssueDiskOp(disk, off, seg.length, /*is_write=*/true, DiskOpPurpose::kClientWrite,
+      const BlockLoc dl = layout_->DataLocation(stripe, seg.block_in_stripe);
+      const int64_t off = dl.byte_offset + seg.offset_in_block;
+      IssueDiskOp(dl.disk, off, seg.length, /*is_write=*/true, DiskOpPurpose::kClientWrite,
                   [this, request_id, seg, join](bool ok) {
                     if (ok) {
                       ApplyDataWrite(request_id, seg);
@@ -552,7 +557,7 @@ void AfraidController::AfraidWriteGroup(uint64_t request_id, int64_t stripe,
 
 void AfraidController::ApplyDataWrite(uint64_t request_id, const Segment& seg) {
   const int64_t key = BlockKey(seg.stripe, seg.block_in_stripe);
-  if (seg.length == layout_.stripe_unit()) {
+  if (seg.length == layout_->stripe_unit()) {
     staging_.Insert(key);
     read_cache_.Invalidate(key);
   } else {
@@ -577,8 +582,8 @@ void AfraidController::Raid5WriteGroup(uint64_t request_id, int64_t stripe,
                                        JoinBlock* group_join) {
   locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, stripe, segs,
                                                 attempt, group_join] {
-    const int32_t n = layout_.data_blocks_per_stripe();
-    const int64_t unit = layout_.stripe_unit();
+    const int32_t n = layout_->data_blocks_per_stripe();
+    const int64_t unit = layout_->stripe_unit();
     // A stale band under any written range forces a from-scratch parity
     // recompute; stale bands *outside* the written ranges do not (per-band
     // parity validity is exactly what sub-stripe marking buys).
@@ -646,7 +651,7 @@ void AfraidController::Raid5WriteGroup(uint64_t request_id, int64_t stripe,
 
 void AfraidController::WriteFullStripe(uint64_t request_id, int64_t stripe,
                                        Span<Segment> segs, JoinBlock* fin) {
-  const int64_t unit = layout_.stripe_unit();
+  const int64_t unit = layout_->stripe_unit();
   const int32_t sector = cfg_.disk_spec.sector_bytes;
   const auto spu = static_cast<int32_t>(unit / sector);
 
@@ -673,13 +678,13 @@ void AfraidController::WriteFullStripe(uint64_t request_id, int64_t stripe,
     fin->Dec(ok);
   });
   for (const Segment& seg : segs) {
-    const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
-    if (disk == failed_disk_) {
+    const BlockLoc dl = layout_->DataLocation(stripe, seg.block_in_stripe);
+    if (dl.disk == failed_disk_) {
       // The data lives on implicitly via parity (degraded full-stripe write).
       sim_->After(0, [join] { join->Dec(true); });
       continue;
     }
-    IssueDiskOp(disk, stripe * unit, unit, /*is_write=*/true,
+    IssueDiskOp(dl.disk, dl.byte_offset, unit, /*is_write=*/true,
                 DiskOpPurpose::kClientWrite, [this, request_id, seg, join](bool ok) {
                   if (ok) {
                     ApplyDataWrite(request_id, seg);
@@ -687,11 +692,11 @@ void AfraidController::WriteFullStripe(uint64_t request_id, int64_t stripe,
                   join->Dec(ok);
                 });
   }
-  const int32_t pd = layout_.ParityDisk(stripe);
-  if (pd == failed_disk_) {
+  const BlockLoc pl = layout_->ParityLocation(stripe);
+  if (pl.disk == failed_disk_) {
     sim_->After(0, [join] { join->Dec(true); });
   } else {
-    IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/true, DiskOpPurpose::kParityWrite,
+    IssueDiskOp(pl.disk, pl.byte_offset, unit, /*is_write=*/true, DiskOpPurpose::kParityWrite,
                 [this, stripe, pv, spu, join](bool ok) {
                   if (ok && content_ != nullptr) {
                     for (int32_t i = 0; i < spu; ++i) {
@@ -705,8 +710,8 @@ void AfraidController::WriteFullStripe(uint64_t request_id, int64_t stripe,
 
 void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
                                         Span<Segment> segs, JoinBlock* fin) {
-  const int32_t n = layout_.data_blocks_per_stripe();
-  const int64_t unit = layout_.stripe_unit();
+  const int32_t n = layout_->data_blocks_per_stripe();
+  const int64_t unit = layout_->stripe_unit();
   const int32_t sector = cfg_.disk_spec.sector_bytes;
   const auto spu = static_cast<int32_t>(unit / sector);
 
@@ -746,7 +751,7 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
       fin->Dec(false);
       return;
     }
-    const int64_t unit2 = layout_.stripe_unit();
+    const int64_t unit2 = layout_->stripe_unit();
     JoinBlock* join = joins_.Make(segs.count + 1, [this, pv, fin](bool ok) {
       if (pv != nullptr) {
         u64_pool_.Release(pv);
@@ -754,13 +759,13 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
       fin->Dec(ok);
     });
     for (const Segment& seg : segs) {
-      const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
-      if (disk == failed_disk_) {
+      const BlockLoc dl = layout_->DataLocation(stripe, seg.block_in_stripe);
+      if (dl.disk == failed_disk_) {
         sim_->After(0, [join] { join->Dec(true); });
         continue;
       }
-      const int64_t off = stripe * unit2 + seg.offset_in_block;
-      IssueDiskOp(disk, off, seg.length, /*is_write=*/true,
+      const int64_t off = dl.byte_offset + seg.offset_in_block;
+      IssueDiskOp(dl.disk, off, seg.length, /*is_write=*/true,
                   DiskOpPurpose::kClientWrite, [this, request_id, seg, join](bool ok) {
                     if (ok) {
                       ApplyDataWrite(request_id, seg);
@@ -768,11 +773,11 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
                     join->Dec(ok);
                   });
     }
-    const int32_t pd = layout_.ParityDisk(stripe);
-    if (pd == failed_disk_) {
+    const BlockLoc pl = layout_->ParityLocation(stripe);
+    if (pl.disk == failed_disk_) {
       sim_->After(0, [join] { join->Dec(true); });
     } else {
-      IssueDiskOp(pd, stripe * unit2, unit2, /*is_write=*/true,
+      IssueDiskOp(pl.disk, pl.byte_offset, unit2, /*is_write=*/true,
                   DiskOpPurpose::kParityWrite,
                   [this, stripe, pv, spu, join](bool ok) {
                     if (ok && content_ != nullptr) {
@@ -790,7 +795,7 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
   for (int32_t j = 0; j < n; ++j) {
     const Segment* seg = by_block_scratch_[static_cast<size_t>(j)];
     const bool fully = seg != nullptr && seg->length == unit;
-    const int32_t disk = layout_.DataDisk(stripe, j);
+    const int32_t disk = layout_->DataDisk(stripe, j);
     if (!fully && disk != failed_disk_) {
       ++reads_needed;
     }
@@ -803,11 +808,11 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
   for (int32_t j = 0; j < n; ++j) {
     const Segment* seg = by_block_scratch_[static_cast<size_t>(j)];
     const bool fully = seg != nullptr && seg->length == unit;
-    const int32_t disk = layout_.DataDisk(stripe, j);
-    if (fully || disk == failed_disk_) {
+    const BlockLoc dl = layout_->DataLocation(stripe, j);
+    if (fully || dl.disk == failed_disk_) {
       continue;
     }
-    IssueDiskOp(disk, stripe * unit, unit, /*is_write=*/false,
+    IssueDiskOp(dl.disk, dl.byte_offset, unit, /*is_write=*/false,
                 DiskOpPurpose::kReconstructRead,
                 [read_join](bool ok) { read_join->Dec(ok); });
   }
@@ -815,7 +820,6 @@ void AfraidController::ReconstructWrite(uint64_t request_id, int64_t stripe,
 
 void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
                                        Span<Segment> segs, JoinBlock* fin) {
-  const int64_t unit = layout_.stripe_unit();
   const int32_t sector = cfg_.disk_spec.sector_bytes;
 
   // The parity span: the union byte range within the stripe unit touched by
@@ -858,7 +862,6 @@ void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
       fin->Dec(false);
       return;
     }
-    const int64_t unit2 = layout_.stripe_unit();
     JoinBlock* join = joins_.Make(segs.count + 1, [this, delta, fin](bool ok) {
       if (delta != nullptr) {
         u64_pool_.Release(delta);
@@ -866,9 +869,9 @@ void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
       fin->Dec(ok);
     });
     for (const Segment& seg : segs) {
-      const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
-      const int64_t off = stripe * unit2 + seg.offset_in_block;
-      IssueDiskOp(disk, off, seg.length, /*is_write=*/true,
+      const BlockLoc dl = layout_->DataLocation(stripe, seg.block_in_stripe);
+      const int64_t off = dl.byte_offset + seg.offset_in_block;
+      IssueDiskOp(dl.disk, off, seg.length, /*is_write=*/true,
                   DiskOpPurpose::kClientWrite, [this, request_id, seg, join](bool ok) {
                     if (ok) {
                       ApplyDataWrite(request_id, seg);
@@ -876,8 +879,8 @@ void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
                     join->Dec(ok);
                   });
     }
-    const int32_t pd = layout_.ParityDisk(stripe);
-    IssueDiskOp(pd, stripe * unit2 + span_lo, span_hi - span_lo, /*is_write=*/true,
+    const BlockLoc pl = layout_->ParityLocation(stripe);
+    IssueDiskOp(pl.disk, pl.byte_offset + span_lo, span_hi - span_lo, /*is_write=*/true,
                 DiskOpPurpose::kParityWrite,
                 [this, stripe, span_lo, sector, delta, join](bool ok) {
                   if (ok && content_ != nullptr) {
@@ -907,14 +910,14 @@ void AfraidController::ReadModifyWrite(uint64_t request_id, int64_t stripe,
   }
   JoinBlock* read_join = joins_.Make(reads_needed, write_phase);
   for (const Segment* seg : need_read_scratch_) {
-    const int32_t disk = layout_.DataDisk(stripe, seg->block_in_stripe);
-    const int64_t off = stripe * unit + seg->offset_in_block;
-    IssueDiskOp(disk, off, seg->length, /*is_write=*/false,
+    const BlockLoc dl = layout_->DataLocation(stripe, seg->block_in_stripe);
+    const int64_t off = dl.byte_offset + seg->offset_in_block;
+    IssueDiskOp(dl.disk, off, seg->length, /*is_write=*/false,
                 DiskOpPurpose::kOldDataRead,
                 [read_join](bool ok) { read_join->Dec(ok); });
   }
-  const int32_t pd = layout_.ParityDisk(stripe);
-  IssueDiskOp(pd, stripe * unit + span_lo, span_hi - span_lo, /*is_write=*/false,
+  const BlockLoc pl = layout_->ParityLocation(stripe);
+  IssueDiskOp(pl.disk, pl.byte_offset + span_lo, span_hi - span_lo, /*is_write=*/false,
               DiskOpPurpose::kOldParityRead,
               [read_join](bool ok) { read_join->Dec(ok); });
 }
@@ -953,10 +956,10 @@ void AfraidController::EndRebuildPass() {
 void AfraidController::SetRegionClass(int64_t offset, int64_t length,
                                       RedundancyClass cls) {
   assert(length > 0);
-  assert(offset >= 0 && offset + length <= layout_.data_capacity_bytes());
+  assert(offset >= 0 && offset + length <= layout_->data_capacity_bytes());
   Region r;
-  r.first_stripe = layout_.StripeOfOffset(offset);
-  r.last_stripe = layout_.StripeOfOffset(offset + length - 1);
+  r.first_stripe = layout_->StripeOfOffset(offset);
+  r.last_stripe = layout_->StripeOfOffset(offset + length - 1);
   r.cls = cls;
   // Newest-first precedence: prepend.
   regions_.insert(regions_.begin(), r);
@@ -1039,26 +1042,27 @@ void AfraidController::RebuildBand(int64_t band_key, JoinBlock* step_join) {
       step_join->Dec(true);
       return;
     }
-    const int32_t n = layout_.data_blocks_per_stripe();
-    const int64_t unit = layout_.stripe_unit();
+    const int32_t n = layout_->data_blocks_per_stripe();
+    const int64_t unit = layout_->stripe_unit();
     const int64_t band_height = unit / cfg_.marks_per_stripe;
-    const int64_t band_off = stripe * unit + band * band_height;
+    const int64_t band_rel = band * band_height;  // Offset within the unit.
     const int32_t sector = cfg_.disk_spec.sector_bytes;
-    const auto first_sector = static_cast<int32_t>(band * band_height / sector);
+    const auto first_sector = static_cast<int32_t>(band_rel / sector);
     const auto band_sectors = static_cast<int32_t>(band_height / sector);
 
     // Read every data block's band; once all are in, write the recomputed
     // parity band, then release the lock and report to the step join.
     JoinBlock* read_join = joins_.Make(
-        n, [this, band_key, stripe, band_off, band_height, first_sector,
+        n, [this, band_key, stripe, band_rel, band_height, first_sector,
             band_sectors, step_join](bool reads_ok) {
           if (!reads_ok) {
             locks_.Release(stripe, LockMode::kExclusive);
             step_join->Dec(false);
             return;
           }
-          const int32_t pd = layout_.ParityDisk(stripe);
-          IssueDiskOp(pd, band_off, band_height, /*is_write=*/true,
+          const BlockLoc pl = layout_->ParityLocation(stripe);
+          IssueDiskOp(pl.disk, pl.byte_offset + band_rel, band_height,
+                      /*is_write=*/true,
                       DiskOpPurpose::kRebuildWrite,
                       [this, band_key, stripe, first_sector, band_sectors,
                        step_join](bool ok) {
@@ -1083,9 +1087,9 @@ void AfraidController::RebuildBand(int64_t band_key, JoinBlock* step_join) {
                       });
         });
     for (int32_t j = 0; j < n; ++j) {
-      const int32_t d = layout_.DataDisk(stripe, j);
-      IssueDiskOp(d, band_off, band_height, /*is_write=*/false,
-                  DiskOpPurpose::kRebuildRead,
+      const BlockLoc dl = layout_->DataLocation(stripe, j);
+      IssueDiskOp(dl.disk, dl.byte_offset + band_rel, band_height,
+                  /*is_write=*/false, DiskOpPurpose::kRebuildRead,
                   [read_join](bool ok) { read_join->Dec(ok); });
     }
   });
@@ -1096,10 +1100,10 @@ void AfraidController::RebuildBand(int64_t band_key, JoinBlock* step_join) {
 void AfraidController::ParityPoint(int64_t offset, int64_t length,
                                    std::function<void()> done) {
   assert(length > 0);
-  assert(offset >= 0 && offset + length <= layout_.data_capacity_bytes());
+  assert(offset >= 0 && offset + length <= layout_->data_capacity_bytes());
   Watcher w;
-  const int64_t first = layout_.StripeOfOffset(offset);
-  const int64_t last = layout_.StripeOfOffset(offset + length - 1);
+  const int64_t first = layout_->StripeOfOffset(offset);
+  const int64_t last = layout_->StripeOfOffset(offset + length - 1);
   for (int64_t s = first; s <= last; ++s) {
     if (RegionClassOf(s) == RedundancyClass::kNeverParity) {
       continue;
@@ -1165,14 +1169,14 @@ bool AfraidController::ReplaceDisk(int32_t disk) {
   // The replacement mechanism is blank; model its contents as zeroes.
   if (content_ != nullptr) {
     for (int64_t s : content_->TouchedStripes()) {
-      for (int32_t j = 0; j < layout_.data_blocks_per_stripe(); ++j) {
-        if (layout_.DataDisk(s, j) == disk) {
+      for (int32_t j = 0; j < layout_->data_blocks_per_stripe(); ++j) {
+        if (layout_->DataDisk(s, j) == disk) {
           for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
             content_->SetData(s, j, i, 0);
           }
         }
       }
-      if (layout_.ParityDisk(s) == disk) {
+      if (layout_->ParityDisk(s) == disk) {
         for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
           content_->SetParity(s, i, 0);
         }
@@ -1196,7 +1200,14 @@ bool AfraidController::StartReconstruction(std::function<void()> done) {
 }
 
 void AfraidController::ReconstructNextStripe(int64_t stripe) {
-  if (stripe >= layout_.num_stripes()) {
+  // Declustered layouts place only some stripes on any given disk; stripes
+  // without a unit on the replaced disk need no work (and do not count as
+  // rebuilt). Left-symmetric layouts never skip.
+  while (stripe < layout_->num_stripes() &&
+         !layout_->StripeUsesDisk(stripe, recovering_disk_)) {
+    ++stripe;
+  }
+  if (stripe >= layout_->num_stripes()) {
     reconstruction_active_ = false;
     recovering_disk_ = -1;
     recovery_frontier_ = 0;
@@ -1212,9 +1223,9 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
   }
   const int32_t target = recovering_disk_;
   locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe, target] {
-    const int32_t n = layout_.data_blocks_per_stripe();
-    const int64_t unit = layout_.stripe_unit();
-    const int32_t pd = layout_.ParityDisk(stripe);
+    const int32_t n = layout_->data_blocks_per_stripe();
+    const int64_t unit = layout_->stripe_unit();
+    const int32_t pd = layout_->ParityDisk(stripe);
 
     auto advance = [this, stripe](bool) {
       recovery_frontier_ = stripe + 1;
@@ -1225,12 +1236,13 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
     if (pd == target) {
       // The replaced disk held this stripe's parity: recompute from data.
       // Note this is lossless even for a dirty stripe.
-      auto write = [this, stripe, unit, pd, advance](bool ok) {
+      const BlockLoc ploc = layout_->ParityLocation(stripe);
+      auto write = [this, stripe, unit, ploc, advance](bool ok) {
         if (!ok) {
           advance(false);
           return;
         }
-        IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/true,
+        IssueDiskOp(ploc.disk, ploc.byte_offset, unit, /*is_write=*/true,
                     DiskOpPurpose::kRecoveryWrite, [this, stripe, advance](bool ok2) {
                       if (ok2) {
                         if (content_ != nullptr) {
@@ -1247,7 +1259,8 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
       };
       JoinBlock* join = joins_.Make(n, std::move(write));
       for (int32_t j = 0; j < n; ++j) {
-        IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+        const BlockLoc dl = layout_->DataLocation(stripe, j);
+        IssueDiskOp(dl.disk, dl.byte_offset, unit,
                     /*is_write=*/false, DiskOpPurpose::kRecoveryRead,
                     [join](bool ok) { join->Dec(ok); });
       }
@@ -1260,7 +1273,7 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
     // (the Section 3.2 small-loss mode); we record it and move on.
     int32_t j_target = -1;
     for (int32_t j = 0; j < n; ++j) {
-      if (layout_.DataDisk(stripe, j) == target) {
+      if (layout_->DataDisk(stripe, j) == target) {
         j_target = j;
         break;
       }
@@ -1272,13 +1285,14 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
         ++dirty_bands;
       }
     }
-    auto write = [this, stripe, unit, target, j_target, dirty_bands,
+    const int64_t target_off = layout_->DataLocation(stripe, j_target).byte_offset;
+    auto write = [this, stripe, unit, target, target_off, j_target, dirty_bands,
                   advance](bool ok) {
       if (!ok) {
         advance(false);
         return;
       }
-      IssueDiskOp(target, stripe * unit, unit, /*is_write=*/true,
+      IssueDiskOp(target, target_off, unit, /*is_write=*/true,
                   DiskOpPurpose::kRecoveryWrite,
                   [this, stripe, j_target, dirty_bands, advance](bool ok2) {
                     if (ok2) {
@@ -1292,7 +1306,7 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
                         // Only the stale bands of the lost block are gone.
                         RecordLoss(LossCause::kStaleParityReconstruction, stripe,
                                    dirty_bands *
-                                       (layout_.stripe_unit() / cfg_.marks_per_stripe));
+                                       (layout_->stripe_unit() / cfg_.marks_per_stripe));
                       }
                       ClearAllBands(stripe);
                     }
@@ -1304,11 +1318,13 @@ void AfraidController::ReconstructNextStripe(int64_t stripe) {
       if (j == j_target) {
         continue;
       }
-      IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+      const BlockLoc dl = layout_->DataLocation(stripe, j);
+      IssueDiskOp(dl.disk, dl.byte_offset, unit,
                   /*is_write=*/false, DiskOpPurpose::kRecoveryRead,
                   [join](bool ok) { join->Dec(ok); });
     }
-    IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/false,
+    const BlockLoc ploc = layout_->ParityLocation(stripe);
+    IssueDiskOp(ploc.disk, ploc.byte_offset, unit, /*is_write=*/false,
                 DiskOpPurpose::kRecoveryRead, [join](bool ok) { join->Dec(ok); });
   });
 }
@@ -1335,7 +1351,7 @@ bool AfraidController::StartFullScrub(std::function<void()> done) {
 }
 
 void AfraidController::ScrubNextStripe(int64_t stripe) {
-  if (stripe >= layout_.num_stripes()) {
+  if (stripe >= layout_->num_stripes()) {
     scrub_active_ = false;
     if (rebuild_probe_) {
       rebuild_probe_.AsyncEnd("scrub", 1, sim_->Now());
@@ -1351,8 +1367,8 @@ void AfraidController::ScrubNextStripe(int64_t stripe) {
     return;
   }
   locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe] {
-    const int32_t n = layout_.data_blocks_per_stripe();
-    const int64_t unit = layout_.stripe_unit();
+    const int32_t n = layout_->data_blocks_per_stripe();
+    const int64_t unit = layout_->stripe_unit();
     auto write = [this, stripe, unit](bool ok) {
       auto advance = [this, stripe](bool) {
         locks_.Release(stripe, LockMode::kExclusive);
@@ -1362,7 +1378,8 @@ void AfraidController::ScrubNextStripe(int64_t stripe) {
         advance(false);
         return;
       }
-      IssueDiskOp(layout_.ParityDisk(stripe), stripe * unit, unit, /*is_write=*/true,
+      const BlockLoc pl = layout_->ParityLocation(stripe);
+      IssueDiskOp(pl.disk, pl.byte_offset, unit, /*is_write=*/true,
                   DiskOpPurpose::kRebuildWrite, [this, stripe, advance](bool ok2) {
                     if (ok2 && content_ != nullptr) {
                       const int32_t spu = content_->sectors_per_unit();
@@ -1376,7 +1393,8 @@ void AfraidController::ScrubNextStripe(int64_t stripe) {
     };
     JoinBlock* join = joins_.Make(n, std::move(write));
     for (int32_t j = 0; j < n; ++j) {
-      IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+      const BlockLoc dl = layout_->DataLocation(stripe, j);
+      IssueDiskOp(dl.disk, dl.byte_offset, unit,
                   /*is_write=*/false, DiskOpPurpose::kRebuildRead,
                   [join](bool ok) { join->Dec(ok); });
     }
@@ -1392,9 +1410,9 @@ std::vector<uint64_t> AfraidController::ReadLogicalCurrent(int64_t offset,
   assert(offset % sector == 0 && length % sector == 0);
   std::vector<uint64_t> out;
   out.reserve(static_cast<size_t>(length / sector));
-  layout_.SplitInto(offset, length, &read_back_scratch_);
+  layout_->SplitInto(offset, length, &read_back_scratch_);
   for (const Segment& seg : read_back_scratch_) {
-    const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
+    const int32_t disk = layout_->DataDisk(seg.stripe, seg.block_in_stripe);
     const bool degraded =
         disk == failed_disk_ ||
         (disk == recovering_disk_ && seg.stripe >= recovery_frontier_);

@@ -94,7 +94,7 @@ class AfraidController : public ArrayScheme {
 
   // --- ArrayController interface ---------------------------------------------
   void Submit(const ClientRequest& request, RequestDone done) override;
-  int64_t DataCapacityBytes() const override { return layout_.data_capacity_bytes(); }
+  int64_t DataCapacityBytes() const override { return layout_->data_capacity_bytes(); }
 
   // --- ArrayScheme interface ---------------------------------------------------
   const char* SchemeName() const override { return "afraid"; }
@@ -141,7 +141,7 @@ class AfraidController : public ArrayScheme {
   RedundancyClass RegionClassOf(int64_t stripe) const;
 
   // --- Introspection -----------------------------------------------------------
-  const StripeLayout& layout() const override { return layout_; }
+  const ArrayLayout& layout() const override { return *layout_; }
   const NvramBitmap& nvram() const { return nvram_; }
   const ContentModel* content() const override { return content_.get(); }
   DiskModel& disk(int32_t d) override { return *disks_[d]; }
@@ -244,7 +244,7 @@ class AfraidController : public ArrayScheme {
   // baseline) degenerates to one mark per stripe.
   int32_t BandsPerStripe() const { return cfg_.marks_per_stripe; }
   int64_t BandBytesPerStripe() const {
-    return layout_.data_blocks_per_stripe() * layout_.stripe_unit() /
+    return layout_->data_blocks_per_stripe() * layout_->stripe_unit() /
            cfg_.marks_per_stripe;
   }
   // Bands covered by a byte range within the stripe unit (inclusive).
@@ -260,7 +260,7 @@ class AfraidController : public ArrayScheme {
   bool ArrayBusy() const { return outstanding_clients_ > 0; }
   // Data-block cache key: global data-block index.
   int64_t BlockKey(int64_t stripe, int32_t j) const {
-    return stripe * layout_.data_blocks_per_stripe() + j;
+    return stripe * layout_->data_blocks_per_stripe() + j;
   }
   // True if writes must take the RAID 5 path right now (policy or degraded).
   bool WantRaid5Write();
@@ -280,7 +280,7 @@ class AfraidController : public ArrayScheme {
   std::vector<Probe> disk_probes_;  // One per disk, same track as its DiskModel.
 
   std::vector<std::unique_ptr<DiskModel>> disks_;
-  StripeLayout layout_;
+  std::unique_ptr<ArrayLayout> layout_;
   StripeLockTable locks_;
   NvramBitmap nvram_;
   BlockLruCache read_cache_;

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "array/host_driver.h"
+#include "array/layout.h"
 #include "disk/disk_spec.h"
 #include "sim/time.h"
 
@@ -16,6 +17,13 @@ struct ArrayConfig {
   int32_t num_disks = 5;                       // N+1.
   int64_t stripe_unit_bytes = 8192;            // S, the paper's default.
   int32_t parity_blocks = 1;                   // 1 = RAID 5 family; 2 = RAID 6.
+  // Data placement: classic left-symmetric rotation, or block-design parity
+  // declustering (array/decluster.h) for shorter, balanced rebuilds.
+  LayoutKind layout = LayoutKind::kLeftSymmetric;
+  // Declustered stripe width k (units per stripe, parity included); 0 picks
+  // DeclusteredLayout::AutoWidth (about half the array). Ignored for the
+  // left-symmetric layout.
+  int32_t decluster_width = 0;
   int64_t read_cache_bytes = 256 * 1024;       // Section 4.1.
   int64_t write_staging_bytes = 256 * 1024;    // Write-through staging area.
   SimDuration idle_delay = Milliseconds(100);  // Idleness-detector threshold.

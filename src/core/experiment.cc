@@ -140,7 +140,7 @@ SimReport Experiment::Run() {
   // from cfg_: every record's mapping is resolved here, once, so the
   // simulation loop never divides by the stripe geometry. The plan outlives
   // the run, so controllers hold spans into it across continuations.
-  const StripeLayout& plan_layout = controller->layout();
+  const ArrayLayout& plan_layout = controller->layout();
 
   std::unique_ptr<MetricsRegistry> metrics;
   if (observe_ && obs_.metrics) {

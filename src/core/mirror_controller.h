@@ -60,7 +60,7 @@ class MirrorController : public ArrayScheme {
   SchemeStats Stats() const override;
 
   // --- Introspection ---
-  const StripeLayout& layout() const override { return layout_; }
+  const ArrayLayout& layout() const override { return layout_; }
   const ContentModel* content() const override { return content_.get(); }
   int32_t failed_disk() const { return failed_disk_; }
   int32_t recovering_disk() const { return recovering_disk_; }

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "array/decluster.h"
 #include "disk/geometry.h"
 
 namespace afraid {
@@ -32,16 +33,17 @@ ParityLogController::ParityLogController(Simulator* sim, const ArrayConfig& conf
     : sim_(sim),
       cfg_(config),
       log_cfg_(log_config.FittedTo(PlDiskCapacity(config))),
-      layout_(config.num_disks, config.stripe_unit_bytes,
-              PlDiskCapacity(config) - log_cfg_.log_region_bytes,
-              /*parity_blocks=*/1) {
+      layout_(MakeLayout(config.layout, config.num_disks,
+                         config.stripe_unit_bytes,
+                         PlDiskCapacity(config) - log_cfg_.log_region_bytes,
+                         /*parity_blocks=*/1, config.decluster_width)) {
   assert(log_cfg_.log_region_bytes > log_cfg_.nvram_buffer_bytes);
   for (int32_t d = 0; d < cfg_.num_disks; ++d) {
     disks_.push_back(std::make_unique<DiskModel>(sim_, cfg_.disk_spec, d));
   }
   if (cfg_.track_content) {
     content_ = std::make_unique<ContentModel>(
-        layout_.data_blocks_per_stripe(), /*parity_blocks=*/1,
+        layout_->data_blocks_per_stripe(), /*parity_blocks=*/1,
         static_cast<int32_t>(cfg_.stripe_unit_bytes / cfg_.disk_spec.sector_bytes));
   }
 }
@@ -65,7 +67,7 @@ void ParityLogController::IssueDiskOp(int32_t disk, int64_t byte_offset,
 void ParityLogController::Submit(const ClientRequest& request, RequestDone done) {
   assert(request.size > 0);
   assert(request.offset >= 0 &&
-         request.offset + request.size <= layout_.data_capacity_bytes());
+         request.offset + request.size <= layout_->data_capacity_bytes());
   if (request.is_write) {
     DoWrite(request, std::move(done));
   } else {
@@ -77,20 +79,19 @@ void ParityLogController::DoRead(const ClientRequest& r, RequestDone done) {
   // Planned requests carry their precompiled Split() (see array/plan.h).
   Span<Segment> segs{r.plan_segs, r.plan_seg_count};
   if (r.plan_segs == nullptr) {
-    layout_.SplitInto(r.offset, r.size, &split_scratch_);
+    layout_->SplitInto(r.offset, r.size, &split_scratch_);
     segs = Span<Segment>{split_scratch_.data(),
                          static_cast<int32_t>(split_scratch_.size())};
   }
   JoinBlock* join = joins_.Make(
       segs.count, [done = std::move(done)](bool) mutable { done(); });
   for (const Segment& seg : segs) {
-    const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
-    if (DiskUnavailable(disk, seg.stripe)) {
+    const BlockLoc dl = layout_->DataLocation(seg.stripe, seg.block_in_stripe);
+    if (DiskUnavailable(dl.disk, seg.stripe)) {
       DegradedReadSegment(seg, join);
       continue;
     }
-    IssueDiskOp(disk,
-                seg.stripe * layout_.stripe_unit() + seg.offset_in_block, seg.length,
+    IssueDiskOp(dl.disk, dl.byte_offset + seg.offset_in_block, seg.length,
                 /*is_write=*/false, [join](bool) { join->Dec(true); });
   }
 }
@@ -98,12 +99,11 @@ void ParityLogController::DoRead(const ClientRequest& r, RequestDone done) {
 void ParityLogController::DegradedReadSegment(const Segment& seg, JoinBlock* parent) {
   locks_.Acquire(seg.stripe, LockMode::kExclusive, [this, seg, parent] {
     const int64_t stripe = seg.stripe;
-    const int64_t unit = layout_.stripe_unit();
-    const int32_t target = layout_.DataDisk(stripe, seg.block_in_stripe);
-    if (!DiskUnavailable(target, stripe)) {
+    const BlockLoc tl = layout_->DataLocation(stripe, seg.block_in_stripe);
+    if (!DiskUnavailable(tl.disk, stripe)) {
       // The reconstruction sweep passed this stripe while we waited on the
       // lock: plain read.
-      IssueDiskOp(target, stripe * unit + seg.offset_in_block, seg.length,
+      IssueDiskOp(tl.disk, tl.byte_offset + seg.offset_in_block, seg.length,
                   /*is_write=*/false, [this, stripe, parent](bool) {
                     locks_.Release(stripe, LockMode::kExclusive);
                     parent->Dec(true);
@@ -113,7 +113,7 @@ void ParityLogController::DegradedReadSegment(const Segment& seg, JoinBlock* par
     // n-1 surviving data blocks plus the parity block. The pending images
     // (NVRAM + log, both durable) make the parity information live, so the
     // reconstructed bytes are exactly the client's data: no loss mode here.
-    const int32_t n = layout_.data_blocks_per_stripe();
+    const int32_t n = layout_->data_blocks_per_stripe();
     JoinBlock* join = joins_.Make(n, [this, stripe, parent](bool) {
       locks_.Release(stripe, LockMode::kExclusive);
       parent->Dec(true);
@@ -122,12 +122,13 @@ void ParityLogController::DegradedReadSegment(const Segment& seg, JoinBlock* par
       if (j == seg.block_in_stripe) {
         continue;
       }
-      IssueDiskOp(layout_.DataDisk(stripe, j),
-                  stripe * unit + seg.offset_in_block, seg.length,
+      const BlockLoc dl = layout_->DataLocation(stripe, j);
+      IssueDiskOp(dl.disk, dl.byte_offset + seg.offset_in_block, seg.length,
                   /*is_write=*/false, [join](bool) { join->Dec(true); });
     }
-    IssueDiskOp(layout_.ParityDisk(stripe), stripe * unit + seg.offset_in_block,
-                seg.length, /*is_write=*/false,
+    const BlockLoc pl = layout_->ParityLocation(stripe);
+    IssueDiskOp(pl.disk, pl.byte_offset + seg.offset_in_block, seg.length,
+                /*is_write=*/false,
                 [join](bool) { join->Dec(true); });
   });
 }
@@ -135,7 +136,7 @@ void ParityLogController::DegradedReadSegment(const Segment& seg, JoinBlock* par
 void ParityLogController::DoWrite(const ClientRequest& r, RequestDone done) {
   Span<Segment> segs{r.plan_segs, r.plan_seg_count};
   if (r.plan_segs == nullptr) {
-    layout_.SplitInto(r.offset, r.size, &split_scratch_);
+    layout_->SplitInto(r.offset, r.size, &split_scratch_);
     segs = Span<Segment>{split_scratch_.data(),
                          static_cast<int32_t>(split_scratch_.size())};
   }
@@ -179,9 +180,9 @@ void ParityLogController::WriteSegment(uint64_t request_id, const Segment& seg,
   const int64_t stripe = seg.stripe;
   locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, seg, stripe,
                                                 join] {
-    const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
-    const int64_t off = stripe * layout_.stripe_unit() + seg.offset_in_block;
-    if (DiskUnavailable(disk, stripe)) {
+    const BlockLoc dl = layout_->DataLocation(stripe, seg.block_in_stripe);
+    const int64_t off = dl.byte_offset + seg.offset_in_block;
+    if (DiskUnavailable(dl.disk, stripe)) {
       // The data disk is out: until the sweep restores the block, the new
       // data exists only as its (durable) parity-update image. No physical
       // RMW happens.
@@ -195,13 +196,12 @@ void ParityLogController::WriteSegment(uint64_t request_id, const Segment& seg,
     }
     // Read-modify-write on the data block only; the parity-update image
     // (old xor new) goes to the NVRAM log buffer instead of the parity disk.
-    IssueDiskOp(disk, off, seg.length, /*is_write=*/false,
+    IssueDiskOp(dl.disk, off, seg.length, /*is_write=*/false,
                 [this, request_id, seg, join](bool) {
-                  const int32_t d =
-                      layout_.DataDisk(seg.stripe, seg.block_in_stripe);
-                  const int64_t o =
-                      seg.stripe * layout_.stripe_unit() + seg.offset_in_block;
-                  IssueDiskOp(d, o, seg.length, /*is_write=*/true,
+                  const BlockLoc wl =
+                      layout_->DataLocation(seg.stripe, seg.block_in_stripe);
+                  const int64_t o = wl.byte_offset + seg.offset_in_block;
+                  IssueDiskOp(wl.disk, o, seg.length, /*is_write=*/true,
                               [this, request_id, seg, join](bool) {
                                 UpdateContentForWrite(request_id, seg);
                                 AppendImages(seg.length);
@@ -226,7 +226,7 @@ void ParityLogController::FlushBuffer() {
   const int64_t flush_bytes = nvram_used_;
   nvram_used_ = 0;
   ++log_flushes_;
-  const int64_t log_start = layout_.num_stripes() * layout_.stripe_unit();
+  const int64_t log_start = layout_->DiskDataBytes();
   const int64_t region_per_disk = log_cfg_.log_region_bytes;
   const int64_t offset_in_region =
       (log_used_ / cfg_.num_disks) % std::max<int64_t>(
@@ -269,10 +269,10 @@ void ParityLogController::ReplayNextBatch(int64_t remaining_bytes) {
     replaying_ = false;
     return;
   }
-  const int64_t unit = layout_.stripe_unit();
+  const int64_t unit = layout_->stripe_unit();
   const int64_t batch_bytes = std::min<int64_t>(
       log_used_, static_cast<int64_t>(log_cfg_.replay_batch_stripes) * unit);
-  const int64_t log_start = layout_.num_stripes() * unit;
+  const int64_t log_start = layout_->DiskDataBytes();
   const int32_t sector = cfg_.disk_spec.sector_bytes;
 
   // One big sequential log read, then parity read+write pairs for each
@@ -293,17 +293,17 @@ void ParityLogController::ReplayNextBatch(int64_t remaining_bytes) {
     for (int32_t i = 0; i < parity_units; ++i) {
       // Representative parity locations spread across stripes and disks.
       const int64_t stripe =
-          (replay_position_ + i) % std::max<int64_t>(layout_.num_stripes(), 1);
-      const int32_t pd = layout_.ParityDisk(stripe);
-      if (pd == failed_disk_) {
+          (replay_position_ + i) % std::max<int64_t>(layout_->num_stripes(), 1);
+      const BlockLoc pl = layout_->ParityLocation(stripe);
+      if (pl.disk == failed_disk_) {
         // The stripe's parity lives on the dead disk; the image stays
         // applied only logically until the sweep rewrites the block.
         sim_->After(0, [join] { join->Dec(true); });
         continue;
       }
-      IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/false,
-                  [this, pd, stripe, unit, join](bool) {
-                    IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/true,
+      IssueDiskOp(pl.disk, pl.byte_offset, unit, /*is_write=*/false,
+                  [this, pl, unit, join](bool) {
+                    IssueDiskOp(pl.disk, pl.byte_offset, unit, /*is_write=*/true,
                                 [join](bool) { join->Dec(true); });
                   });
     }
@@ -341,14 +341,14 @@ bool ParityLogController::ReplaceDisk(int32_t disk) {
   // The replacement mechanism is blank; model its contents as zeroes.
   if (content_ != nullptr) {
     for (int64_t s : content_->TouchedStripes()) {
-      for (int32_t j = 0; j < layout_.data_blocks_per_stripe(); ++j) {
-        if (layout_.DataDisk(s, j) == disk) {
+      for (int32_t j = 0; j < layout_->data_blocks_per_stripe(); ++j) {
+        if (layout_->DataDisk(s, j) == disk) {
           for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
             content_->SetData(s, j, i, 0);
           }
         }
       }
-      if (layout_.ParityDisk(s) == disk) {
+      if (layout_->ParityDisk(s) == disk) {
         for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
           content_->SetParity(s, i, 0);
         }
@@ -369,7 +369,14 @@ bool ParityLogController::StartReconstruction(std::function<void()> done) {
 }
 
 void ParityLogController::ReconstructNextStripe(int64_t stripe) {
-  if (stripe >= layout_.num_stripes()) {
+  // Declustered layouts leave some stripes entirely off the recovering disk;
+  // they need no sweep work (left-symmetric never skips: every stripe uses
+  // every disk).
+  while (stripe < layout_->num_stripes() &&
+         !layout_->StripeUsesDisk(stripe, recovering_disk_)) {
+    ++stripe;
+  }
+  if (stripe >= layout_->num_stripes()) {
     reconstruction_active_ = false;
     recovering_disk_ = -1;
     recovery_frontier_ = 0;
@@ -382,16 +389,19 @@ void ParityLogController::ReconstructNextStripe(int64_t stripe) {
   }
   locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe] {
     const int32_t target = recovering_disk_;
-    const int32_t n = layout_.data_blocks_per_stripe();
-    const int64_t unit = layout_.stripe_unit();
-    const int32_t pd = layout_.ParityDisk(stripe);
+    const int32_t n = layout_->data_blocks_per_stripe();
+    const int64_t unit = layout_->stripe_unit();
+    const BlockLoc pl = layout_->ParityLocation(stripe);
     int32_t j_target = -1;
     for (int32_t j = 0; j < n; ++j) {
-      if (layout_.DataDisk(stripe, j) == target) {
+      if (layout_->DataDisk(stripe, j) == target) {
         j_target = j;
         break;
       }
     }
+    const int64_t target_off =
+        j_target >= 0 ? layout_->DataLocation(stripe, j_target).byte_offset
+                      : pl.byte_offset;
     // Logical recovery first, under the lock. Parity is always live (the
     // images are durable), so both directions are exact: no loss mode.
     if (content_ != nullptr) {
@@ -413,8 +423,8 @@ void ParityLogController::ReconstructNextStripe(int64_t stripe) {
       locks_.Release(stripe, LockMode::kExclusive);
       ReconstructNextStripe(stripe + 1);
     };
-    auto write_phase = [this, stripe, unit, target, advance](bool) {
-      IssueDiskOp(target, stripe * unit, unit, /*is_write=*/true,
+    auto write_phase = [this, unit, target, target_off, advance](bool) {
+      IssueDiskOp(target, target_off, unit, /*is_write=*/true,
                   [advance](bool) mutable { advance(true); });
     };
     // n reads either way: n-1 survivors + parity for a data target, all n
@@ -424,11 +434,12 @@ void ParityLogController::ReconstructNextStripe(int64_t stripe) {
       if (j == j_target) {
         continue;
       }
-      IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+      const BlockLoc dl = layout_->DataLocation(stripe, j);
+      IssueDiskOp(dl.disk, dl.byte_offset, unit,
                   /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
     }
     if (j_target >= 0) {
-      IssueDiskOp(pd, stripe * unit, unit, /*is_write=*/false,
+      IssueDiskOp(pl.disk, pl.byte_offset, unit, /*is_write=*/false,
                   [read_join](bool) { read_join->Dec(true); });
     }
   });

@@ -78,7 +78,7 @@ class ParityLogController : public ArrayScheme {
   ~ParityLogController() override;
 
   void Submit(const ClientRequest& request, RequestDone done) override;
-  int64_t DataCapacityBytes() const override { return layout_.data_capacity_bytes(); }
+  int64_t DataCapacityBytes() const override { return layout_->data_capacity_bytes(); }
 
   // --- ArrayScheme interface ---
   const char* SchemeName() const override { return "parity-log"; }
@@ -92,7 +92,7 @@ class ParityLogController : public ArrayScheme {
   SchemeStats Stats() const override;
 
   // --- Introspection ---
-  const StripeLayout& layout() const override { return layout_; }
+  const ArrayLayout& layout() const override { return *layout_; }
   const ContentModel* content() const override { return content_.get(); }
   int32_t failed_disk() const { return failed_disk_; }
   int32_t recovering_disk() const { return recovering_disk_; }
@@ -145,7 +145,7 @@ class ParityLogController : public ArrayScheme {
   ArrayConfig cfg_;
   ParityLogConfig log_cfg_;
   std::vector<std::unique_ptr<DiskModel>> disks_;
-  StripeLayout layout_;
+  std::unique_ptr<ArrayLayout> layout_;
   StripeLockTable locks_;
   std::unique_ptr<ContentModel> content_;
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "array/decluster.h"
+
 namespace afraid {
 
 std::string Raid6ModeName(Raid6Mode mode) {
@@ -23,13 +25,14 @@ Raid6Controller::Raid6Controller(Simulator* sim, const ArrayConfig& config,
     : sim_(sim),
       cfg_(config),
       mode_(mode),
-      layout_(config.num_disks, config.stripe_unit_bytes,
-              DiskGeometry(config.disk_spec.zones, config.disk_spec.heads,
-                           config.disk_spec.sector_bytes)
-                  .CapacityBytes(),
-              /*parity_blocks=*/2),
-      p_stale_(layout_.num_stripes()),
-      q_stale_(layout_.num_stripes()),
+      layout_(MakeLayout(config.layout, config.num_disks,
+                         config.stripe_unit_bytes,
+                         DiskGeometry(config.disk_spec.zones, config.disk_spec.heads,
+                                      config.disk_spec.sector_bytes)
+                             .CapacityBytes(),
+                         /*parity_blocks=*/2, config.decluster_width)),
+      p_stale_(layout_->num_stripes()),
+      q_stale_(layout_->num_stripes()),
       q_only_stale_(sim->Now()),
       both_stale_(sim->Now()) {
   assert(cfg_.num_disks >= 4);
@@ -38,7 +41,7 @@ Raid6Controller::Raid6Controller(Simulator* sim, const ArrayConfig& config,
   }
   if (cfg_.track_content) {
     content_ = std::make_unique<ContentModel>(
-        layout_.data_blocks_per_stripe(), /*parity_blocks=*/2,
+        layout_->data_blocks_per_stripe(), /*parity_blocks=*/2,
         static_cast<int32_t>(cfg_.stripe_unit_bytes / cfg_.disk_spec.sector_bytes));
   }
   idle_detector_ = std::make_unique<IdleDetector>(sim_, cfg_.idle_delay,
@@ -58,7 +61,7 @@ uint64_t Raid6Controller::QOfData(const ContentModel& content, int64_t stripe,
 
 bool Raid6Controller::StripeFullyConsistent(int64_t stripe) const {
   assert(content_ != nullptr);
-  const int32_t n = layout_.data_blocks_per_stripe();
+  const int32_t n = layout_->data_blocks_per_stripe();
   for (int32_t s = 0; s < content_->sectors_per_unit(); ++s) {
     if (content_->GetParity(stripe, s, 0) != content_->XorOfData(stripe, s)) {
       return false;
@@ -72,8 +75,8 @@ bool Raid6Controller::StripeFullyConsistent(int64_t stripe) const {
 
 void Raid6Controller::UpdateExposure() {
   const double stripe_bytes =
-      static_cast<double>(layout_.data_blocks_per_stripe()) *
-      static_cast<double>(layout_.stripe_unit());
+      static_cast<double>(layout_->data_blocks_per_stripe()) *
+      static_cast<double>(layout_->stripe_unit());
   const double both = static_cast<double>(p_stale_.DirtyCount()) * stripe_bytes;
   const double q_only =
       static_cast<double>(q_stale_.DirtyCount() - p_stale_.DirtyCount()) *
@@ -128,7 +131,7 @@ void Raid6Controller::NoteClientEnd() {
 void Raid6Controller::Submit(const ClientRequest& request, RequestDone done) {
   assert(request.size > 0);
   assert(request.offset >= 0 &&
-         request.offset + request.size <= layout_.data_capacity_bytes());
+         request.offset + request.size <= layout_->data_capacity_bytes());
   NoteClientStart();
   // The request join folds NoteClientEnd in after `done` (same order the old
   // wrapper ran them), sparing a second allocation-prone indirection.
@@ -143,7 +146,7 @@ void Raid6Controller::DoRead(const ClientRequest& r, RequestDone done) {
   // Planned requests carry their precompiled Split() (see array/plan.h).
   Span<Segment> segs{r.plan_segs, r.plan_seg_count};
   if (r.plan_segs == nullptr) {
-    layout_.SplitInto(r.offset, r.size, &read_split_scratch_);
+    layout_->SplitInto(r.offset, r.size, &read_split_scratch_);
     segs = Span<Segment>{read_split_scratch_.data(),
                          static_cast<int32_t>(read_split_scratch_.size())};
   }
@@ -154,12 +157,12 @@ void Raid6Controller::DoRead(const ClientRequest& r, RequestDone done) {
         NoteClientEnd();
       });
   for (const Segment& seg : segs) {
-    const int32_t disk = layout_.DataDisk(seg.stripe, seg.block_in_stripe);
-    if (DiskUnavailable(disk, seg.stripe)) {
+    const BlockLoc dl = layout_->DataLocation(seg.stripe, seg.block_in_stripe);
+    if (DiskUnavailable(dl.disk, seg.stripe)) {
       DegradedReadSegment(seg, join);
       continue;
     }
-    IssueDiskOp(disk, seg.stripe * layout_.stripe_unit() + seg.offset_in_block,
+    IssueDiskOp(dl.disk, dl.byte_offset + seg.offset_in_block,
                 seg.length, /*is_write=*/false, [join](bool) { join->Dec(true); });
   }
 }
@@ -167,19 +170,18 @@ void Raid6Controller::DoRead(const ClientRequest& r, RequestDone done) {
 void Raid6Controller::DegradedReadSegment(const Segment& seg, JoinBlock* parent) {
   locks_.Acquire(seg.stripe, LockMode::kExclusive, [this, seg, parent] {
     const int64_t stripe = seg.stripe;
-    const int64_t unit = layout_.stripe_unit();
-    const int32_t target_disk = layout_.DataDisk(stripe, seg.block_in_stripe);
-    if (!DiskUnavailable(target_disk, stripe)) {
+    const BlockLoc target = layout_->DataLocation(stripe, seg.block_in_stripe);
+    if (!DiskUnavailable(target.disk, stripe)) {
       // The reconstruction sweep passed this stripe while we waited on the
       // lock: the block is valid again, plain read.
-      IssueDiskOp(target_disk, stripe * unit + seg.offset_in_block, seg.length,
+      IssueDiskOp(target.disk, target.byte_offset + seg.offset_in_block, seg.length,
                   /*is_write=*/false, [this, stripe, parent](bool) {
                     locks_.Release(stripe, LockMode::kExclusive);
                     parent->Dec(true);
                   });
       return;
     }
-    const int32_t n = layout_.data_blocks_per_stripe();
+    const int32_t n = layout_->data_blocks_per_stripe();
     const bool p_fresh = !p_stale_.IsDirty(stripe);
     const bool q_fresh = !q_stale_.IsDirty(stripe);
     // Reconstruct through P when it is live, through Q when only P is stale
@@ -198,12 +200,12 @@ void Raid6Controller::DegradedReadSegment(const Segment& seg, JoinBlock* parent)
       if (j == seg.block_in_stripe) {
         continue;
       }
-      IssueDiskOp(layout_.DataDisk(stripe, j),
-                  stripe * unit + seg.offset_in_block, seg.length,
+      const BlockLoc dl = layout_->DataLocation(stripe, j);
+      IssueDiskOp(dl.disk, dl.byte_offset + seg.offset_in_block, seg.length,
                   /*is_write=*/false, [join](bool) { join->Dec(true); });
     }
-    IssueDiskOp(layout_.ParityDisk(stripe, parity_which),
-                stripe * unit + seg.offset_in_block, seg.length,
+    const BlockLoc pl = layout_->ParityLocation(stripe, parity_which);
+    IssueDiskOp(pl.disk, pl.byte_offset + seg.offset_in_block, seg.length,
                 /*is_write=*/false, [join](bool) { join->Dec(true); });
   });
 }
@@ -220,7 +222,7 @@ void Raid6Controller::DoWrite(const ClientRequest& r, RequestDone done) {
   auto count = static_cast<size_t>(r.plan_seg_count);
   if (base == nullptr) {
     pooled = seg_pool_.Acquire();
-    layout_.SplitInto(r.offset, r.size, pooled);
+    layout_->SplitInto(r.offset, r.size, pooled);
     base = pooled->data();
     count = pooled->size();
   }
@@ -268,7 +270,7 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
   locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, stripe, segs,
                                                 group_join] {
     const int32_t sector = cfg_.disk_spec.sector_bytes;
-    const int64_t unit = layout_.stripe_unit();
+    const int64_t unit = layout_->stripe_unit();
 
     // Parity deltas over the touched span (valid because of the exclusive
     // lock): dP = old ^ new; dQ = g^j * (old ^ new). Pooled buffers,
@@ -327,8 +329,8 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
         group_join->Dec(true);
       });
       for (const Segment& seg : segs) {
-        const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
-        IssueDiskOp(disk, stripe * unit + seg.offset_in_block, seg.length,
+        const BlockLoc dl = layout_->DataLocation(stripe, seg.block_in_stripe);
+        IssueDiskOp(dl.disk, dl.byte_offset + seg.offset_in_block, seg.length,
                     /*is_write=*/true, [this, request_id, seg, sector, join](bool ok) {
                       if (ok && content_ != nullptr) {
                         const int32_t first = seg.offset_in_block / sector;
@@ -344,7 +346,8 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
                     });
       }
       if (update_p) {
-        IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit + span_lo,
+        const BlockLoc pl = layout_->ParityLocation(stripe, 0);
+        IssueDiskOp(pl.disk, pl.byte_offset + span_lo,
                     span_hi - span_lo, /*is_write=*/true,
                     [this, stripe, first_sector, dp, join](bool ok) {
                       if (ok && content_ != nullptr) {
@@ -359,7 +362,8 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
                     });
       }
       if (update_q) {
-        IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit + span_lo,
+        const BlockLoc ql = layout_->ParityLocation(stripe, 1);
+        IssueDiskOp(ql.disk, ql.byte_offset + span_lo,
                     span_hi - span_lo, /*is_write=*/true,
                     [this, stripe, first_sector, dq, join](bool ok) {
                       if (ok && content_ != nullptr) {
@@ -407,18 +411,20 @@ void Raid6Controller::WriteStripeGroup(uint64_t request_id, int64_t stripe,
     JoinBlock* read_join = joins_.Make(reads, write_phase);
     if (update_p || update_q) {
       for (const Segment& seg : segs) {
-        const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
-        IssueDiskOp(disk, stripe * unit + seg.offset_in_block, seg.length,
+        const BlockLoc dl = layout_->DataLocation(stripe, seg.block_in_stripe);
+        IssueDiskOp(dl.disk, dl.byte_offset + seg.offset_in_block, seg.length,
                     /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
       }
     }
     if (update_p) {
-      IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit + span_lo,
+      const BlockLoc pl = layout_->ParityLocation(stripe, 0);
+      IssueDiskOp(pl.disk, pl.byte_offset + span_lo,
                   span_hi - span_lo, /*is_write=*/false,
                   [read_join](bool) { read_join->Dec(true); });
     }
     if (update_q) {
-      IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit + span_lo,
+      const BlockLoc ql = layout_->ParityLocation(stripe, 1);
+      IssueDiskOp(ql.disk, ql.byte_offset + span_lo,
                   span_hi - span_lo, /*is_write=*/false,
                   [read_join](bool) { read_join->Dec(true); });
     }
@@ -475,8 +481,8 @@ void Raid6Controller::RebuildNext() {
 
 void Raid6Controller::RebuildStripe(int64_t stripe, JoinBlock* step_join) {
   locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe, step_join] {
-    const int32_t n = layout_.data_blocks_per_stripe();
-    const int64_t unit = layout_.stripe_unit();
+    const int32_t n = layout_->data_blocks_per_stripe();
+    const int64_t unit = layout_->stripe_unit();
     const bool p_needed = p_stale_.IsDirty(stripe);
 
     auto writes = [this, stripe, unit, n, p_needed, step_join](bool) {
@@ -487,7 +493,8 @@ void Raid6Controller::RebuildStripe(int64_t stripe, JoinBlock* step_join) {
             step_join->Dec(true);
           });
       if (p_needed) {
-        IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit, unit,
+        const BlockLoc pl = layout_->ParityLocation(stripe, 0);
+        IssueDiskOp(pl.disk, pl.byte_offset, unit,
                     /*is_write=*/true, [this, stripe, join](bool ok) {
                       if (ok && content_ != nullptr) {
                         const int32_t spu = content_->sectors_per_unit();
@@ -499,7 +506,8 @@ void Raid6Controller::RebuildStripe(int64_t stripe, JoinBlock* step_join) {
                       join->Dec(true);
                     });
       }
-      IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit, unit,
+      const BlockLoc ql = layout_->ParityLocation(stripe, 1);
+      IssueDiskOp(ql.disk, ql.byte_offset, unit,
                   /*is_write=*/true, [this, stripe, n, join](bool ok) {
                     if (ok && content_ != nullptr) {
                       for (int32_t s = 0; s < content_->sectors_per_unit(); ++s) {
@@ -513,7 +521,8 @@ void Raid6Controller::RebuildStripe(int64_t stripe, JoinBlock* step_join) {
 
     JoinBlock* read_join = joins_.Make(n, writes);
     for (int32_t j = 0; j < n; ++j) {
-      IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+      const BlockLoc dl = layout_->DataLocation(stripe, j);
+      IssueDiskOp(dl.disk, dl.byte_offset, unit,
                   /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
     }
   });
@@ -543,13 +552,13 @@ void Raid6Controller::DegradedWriteStripe(uint64_t request_id, int64_t stripe,
   // live parities from scratch.
   locks_.Acquire(stripe, LockMode::kExclusive, [this, request_id, stripe, segs,
                                                 group_join] {
-    const int32_t n = layout_.data_blocks_per_stripe();
-    const int64_t unit = layout_.stripe_unit();
+    const int32_t n = layout_->data_blocks_per_stripe();
+    const int64_t unit = layout_->stripe_unit();
     const int32_t sector = cfg_.disk_spec.sector_bytes;
-    const int32_t p_disk = layout_.ParityDisk(stripe, 0);
-    const int32_t q_disk = layout_.ParityDisk(stripe, 1);
-    const bool p_avail = !DiskUnavailable(p_disk, stripe);
-    const bool q_avail = !DiskUnavailable(q_disk, stripe);
+    const BlockLoc p_loc = layout_->ParityLocation(stripe, 0);
+    const BlockLoc q_loc = layout_->ParityLocation(stripe, 1);
+    const bool p_avail = !DiskUnavailable(p_loc.disk, stripe);
+    const bool q_avail = !DiskUnavailable(q_loc.disk, stripe);
 
     assert(n <= 62);
     uint64_t written = 0;
@@ -566,7 +575,7 @@ void Raid6Controller::DegradedWriteStripe(uint64_t request_id, int64_t stripe,
         if ((written & (1ull << j)) != 0) {
           continue;
         }
-        if (DiskUnavailable(layout_.DataDisk(stripe, j), stripe)) {
+        if (DiskUnavailable(layout_->DataDisk(stripe, j), stripe)) {
           RecordLoss(LossCause::kStaleParityReconstruction, stripe, unit);
         }
       }
@@ -615,33 +624,33 @@ void Raid6Controller::DegradedWriteStripe(uint64_t request_id, int64_t stripe,
     int32_t reads = 0;
     for (int32_t j = 0; j < n; ++j) {
       if ((written & (1ull << j)) != 0 ||
-          DiskUnavailable(layout_.DataDisk(stripe, j), stripe)) {
+          DiskUnavailable(layout_->DataDisk(stripe, j), stripe)) {
         continue;
       }
       ++reads;
     }
     const int32_t writes = segs.count + (p_avail ? 1 : 0) + (q_avail ? 1 : 0);
     auto write_phase = [this, stripe, segs, unit, writes, p_avail, q_avail,
-                        p_disk, q_disk, group_join](bool) {
+                        p_loc, q_loc, group_join](bool) {
       JoinBlock* join = joins_.Make(writes, [this, stripe, group_join](bool) {
         locks_.Release(stripe, LockMode::kExclusive);
         group_join->Dec(true);
       });
       for (const Segment& seg : segs) {
-        const int32_t disk = layout_.DataDisk(stripe, seg.block_in_stripe);
-        if (DiskUnavailable(disk, stripe)) {
+        const BlockLoc dl = layout_->DataLocation(stripe, seg.block_in_stripe);
+        if (DiskUnavailable(dl.disk, stripe)) {
           sim_->After(0, [join] { join->Dec(true); });
           continue;
         }
-        IssueDiskOp(disk, stripe * unit + seg.offset_in_block, seg.length,
+        IssueDiskOp(dl.disk, dl.byte_offset + seg.offset_in_block, seg.length,
                     /*is_write=*/true, [join](bool) { join->Dec(true); });
       }
       if (p_avail) {
-        IssueDiskOp(p_disk, stripe * unit, unit, /*is_write=*/true,
+        IssueDiskOp(p_loc.disk, p_loc.byte_offset, unit, /*is_write=*/true,
                     [join](bool) { join->Dec(true); });
       }
       if (q_avail) {
-        IssueDiskOp(q_disk, stripe * unit, unit, /*is_write=*/true,
+        IssueDiskOp(q_loc.disk, q_loc.byte_offset, unit, /*is_write=*/true,
                     [join](bool) { join->Dec(true); });
       }
     };
@@ -654,11 +663,11 @@ void Raid6Controller::DegradedWriteStripe(uint64_t request_id, int64_t stripe,
       if ((written & (1ull << j)) != 0) {
         continue;
       }
-      const int32_t d = layout_.DataDisk(stripe, j);
-      if (DiskUnavailable(d, stripe)) {
+      const BlockLoc dl = layout_->DataLocation(stripe, j);
+      if (DiskUnavailable(dl.disk, stripe)) {
         continue;
       }
-      IssueDiskOp(d, stripe * unit, unit, /*is_write=*/false,
+      IssueDiskOp(dl.disk, dl.byte_offset, unit, /*is_write=*/false,
                   [read_join](bool) { read_join->Dec(true); });
     }
   });
@@ -685,15 +694,15 @@ bool Raid6Controller::ReplaceDisk(int32_t disk) {
   // The replacement mechanism is blank; model its contents as zeroes.
   if (content_ != nullptr) {
     for (int64_t s : content_->TouchedStripes()) {
-      for (int32_t j = 0; j < layout_.data_blocks_per_stripe(); ++j) {
-        if (layout_.DataDisk(s, j) == disk) {
+      for (int32_t j = 0; j < layout_->data_blocks_per_stripe(); ++j) {
+        if (layout_->DataDisk(s, j) == disk) {
           for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
             content_->SetData(s, j, i, 0);
           }
         }
       }
       for (int32_t w = 0; w < 2; ++w) {
-        if (layout_.ParityDisk(s, w) == disk) {
+        if (layout_->ParityDisk(s, w) == disk) {
           for (int32_t i = 0; i < content_->sectors_per_unit(); ++i) {
             content_->SetParity(s, i, 0, w);
           }
@@ -715,7 +724,13 @@ bool Raid6Controller::StartReconstruction(std::function<void()> done) {
 }
 
 void Raid6Controller::ReconstructNextStripe(int64_t stripe) {
-  if (stripe >= layout_.num_stripes()) {
+  // Declustered layouts: stripes without a unit on the replaced disk need no
+  // work and do not count as rebuilt. Left-symmetric layouts never skip.
+  while (stripe < layout_->num_stripes() &&
+         !layout_->StripeUsesDisk(stripe, recovering_disk_)) {
+    ++stripe;
+  }
+  if (stripe >= layout_->num_stripes()) {
     reconstruction_active_ = false;
     recovering_disk_ = -1;
     recovery_frontier_ = 0;
@@ -730,18 +745,18 @@ void Raid6Controller::ReconstructNextStripe(int64_t stripe) {
   }
   locks_.Acquire(stripe, LockMode::kExclusive, [this, stripe] {
     const int32_t target = recovering_disk_;
-    const int32_t n = layout_.data_blocks_per_stripe();
-    const int64_t unit = layout_.stripe_unit();
+    const int32_t n = layout_->data_blocks_per_stripe();
+    const int64_t unit = layout_->stripe_unit();
     int32_t j_target = -1;
     for (int32_t j = 0; j < n; ++j) {
-      if (layout_.DataDisk(stripe, j) == target) {
+      if (layout_->DataDisk(stripe, j) == target) {
         j_target = j;
         break;
       }
     }
     int32_t parity_target = -1;
     for (int32_t w = 0; w < 2; ++w) {
-      if (layout_.ParityDisk(stripe, w) == target) {
+      if (layout_->ParityDisk(stripe, w) == target) {
         parity_target = w;
         break;
       }
@@ -818,19 +833,23 @@ void Raid6Controller::ReconstructNextStripe(int64_t stripe) {
     // plus any refreshed parity.
     const int32_t writes =
         (j_target >= 0 ? 1 : 0) + (write_p ? 1 : 0) + (write_q ? 1 : 0);
-    auto write_phase = [this, stripe, unit, target, j_target, write_p, write_q,
-                        writes, advance](bool) {
+    const int64_t target_off =
+        j_target >= 0 ? layout_->DataLocation(stripe, j_target).byte_offset : 0;
+    auto write_phase = [this, stripe, unit, target, target_off, j_target,
+                        write_p, write_q, writes, advance](bool) {
       JoinBlock* join = joins_.Make(writes, advance);
       if (j_target >= 0) {
-        IssueDiskOp(target, stripe * unit, unit, /*is_write=*/true,
+        IssueDiskOp(target, target_off, unit, /*is_write=*/true,
                     [join](bool) { join->Dec(true); });
       }
       if (write_p) {
-        IssueDiskOp(layout_.ParityDisk(stripe, 0), stripe * unit, unit,
+        const BlockLoc pl = layout_->ParityLocation(stripe, 0);
+        IssueDiskOp(pl.disk, pl.byte_offset, unit,
                     /*is_write=*/true, [join](bool) { join->Dec(true); });
       }
       if (write_q) {
-        IssueDiskOp(layout_.ParityDisk(stripe, 1), stripe * unit, unit,
+        const BlockLoc ql = layout_->ParityLocation(stripe, 1);
+        IssueDiskOp(ql.disk, ql.byte_offset, unit,
                     /*is_write=*/true, [join](bool) { join->Dec(true); });
       }
     };
@@ -840,15 +859,17 @@ void Raid6Controller::ReconstructNextStripe(int64_t stripe) {
         if (j == j_target) {
           continue;
         }
-        IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+        const BlockLoc dl = layout_->DataLocation(stripe, j);
+        IssueDiskOp(dl.disk, dl.byte_offset, unit,
                     /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
       }
-      IssueDiskOp(layout_.ParityDisk(stripe, (!p_stale || q_stale) ? 0 : 1),
-                  stripe * unit, unit, /*is_write=*/false,
+      const BlockLoc pl = layout_->ParityLocation(stripe, (!p_stale || q_stale) ? 0 : 1);
+      IssueDiskOp(pl.disk, pl.byte_offset, unit, /*is_write=*/false,
                   [read_join](bool) { read_join->Dec(true); });
     } else {
       for (int32_t j = 0; j < n; ++j) {
-        IssueDiskOp(layout_.DataDisk(stripe, j), stripe * unit, unit,
+        const BlockLoc dl = layout_->DataLocation(stripe, j);
+        IssueDiskOp(dl.disk, dl.byte_offset, unit,
                     /*is_write=*/false, [read_join](bool) { read_join->Dec(true); });
       }
     }

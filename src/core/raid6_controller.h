@@ -66,7 +66,7 @@ class Raid6Controller : public ArrayScheme {
   ~Raid6Controller() override;
 
   void Submit(const ClientRequest& request, RequestDone done) override;
-  int64_t DataCapacityBytes() const override { return layout_.data_capacity_bytes(); }
+  int64_t DataCapacityBytes() const override { return layout_->data_capacity_bytes(); }
 
   // Forces both parities of every stale stripe fresh; for tests/quiesce.
   void RebuildAll(std::function<void()> done);
@@ -86,7 +86,7 @@ class Raid6Controller : public ArrayScheme {
   }
 
   // --- Introspection ---
-  const StripeLayout& layout() const override { return layout_; }
+  const ArrayLayout& layout() const override { return *layout_; }
   const ContentModel* content() const override { return content_.get(); }
   Raid6Mode mode() const { return mode_; }
   int32_t failed_disk() const { return failed_disk_; }
@@ -144,7 +144,7 @@ class Raid6Controller : public ArrayScheme {
   ArrayConfig cfg_;
   Raid6Mode mode_;
   std::vector<std::unique_ptr<DiskModel>> disks_;
-  StripeLayout layout_;
+  std::unique_ptr<ArrayLayout> layout_;
   StripeLockTable locks_;
   NvramBitmap p_stale_;
   NvramBitmap q_stale_;

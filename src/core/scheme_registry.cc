@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "array/decluster.h"
 #include "array/layout.h"
 #include "core/afraid_controller.h"
 #include "core/mirror_controller.h"
@@ -19,9 +20,11 @@ int64_t DiskCapacityBytes(const ArrayConfig& cfg) {
 }
 
 int64_t ParityCapacity(const ArrayConfig& cfg, int32_t parity_blocks) {
-  return StripeLayout(cfg.num_disks, cfg.stripe_unit_bytes, DiskCapacityBytes(cfg),
-                      parity_blocks)
-      .data_capacity_bytes();
+  // Capacity depends on the configured layout: a declustered design exports
+  // k-parity data blocks per stripe instead of C-parity.
+  return MakeLayout(cfg.layout, cfg.num_disks, cfg.stripe_unit_bytes,
+                    DiskCapacityBytes(cfg), parity_blocks, cfg.decluster_width)
+      ->data_capacity_bytes();
 }
 
 int32_t EvenDisks(int32_t num_disks) {
@@ -88,8 +91,9 @@ std::vector<SchemeInfo> BuiltIns() {
       const int64_t cap = DiskCapacityBytes(cfg);
       const int64_t usable =
           cap - ParityLogConfig{}.FittedTo(cap).log_region_bytes;
-      return StripeLayout(cfg.num_disks, cfg.stripe_unit_bytes, usable, 1)
-          .data_capacity_bytes();
+      return MakeLayout(cfg.layout, cfg.num_disks, cfg.stripe_unit_bytes,
+                        usable, 1, cfg.decluster_width)
+          ->data_capacity_bytes();
     };
     schemes.push_back(std::move(info));
   }
@@ -105,6 +109,9 @@ std::vector<SchemeInfo> BuiltIns() {
       return std::make_unique<MirrorController>(ctx.sim, ctx.config);
     };
     info.data_capacity = [](const ArrayConfig& cfg) {
+      // Mirroring stripes plainly over the columns; parity declustering does
+      // not apply (there is no parity to decluster), so the layout knob is
+      // ignored here.
       return StripeLayout(EvenDisks(cfg.num_disks) / 2, cfg.stripe_unit_bytes,
                           DiskCapacityBytes(cfg), 0)
           .data_capacity_bytes();

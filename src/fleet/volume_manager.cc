@@ -33,6 +33,8 @@ const char* MgmtOpKindName(MgmtOp::Kind kind) {
       return "info";
     case MgmtOp::Kind::kDestroy:
       return "destroy";
+    case MgmtOp::Kind::kSpareAdd:
+      return "spare_add";
   }
   return "?";
 }
@@ -58,7 +60,7 @@ class ShardCell {
  public:
   ShardCell(const FleetConfig& cfg, int32_t shard,
             const std::vector<MgmtOp>& ops, bool trace_on)
-      : cfg_(cfg), shard_(shard), ops_(&ops) {
+      : cfg_(cfg), shard_(shard), ops_(&ops), spares_(cfg.spares) {
     result.report.shard = shard;
     if (trace_on) {
       result.tracer = std::make_unique<Tracer>();
@@ -177,7 +179,17 @@ class ShardCell {
             }
             break;
           case MgmtOp::Kind::kDiskRepaired:
+            if (spares_ == 0) {
+              // Pool exhausted: no replacement to install. The shard stays
+              // degraded until a spare_add restocks the pool.
+              ++rep.repairs_refused_no_spare;
+              break;
+            }
             if (ctrl_->ReplaceDisk(op.disk)) {
+              if (spares_ > 0) {
+                --spares_;
+                ++rep.spares_used;
+              }
               ctrl_->StartReconstruction([this] {
                 result.report.repaired = true;
                 if (degraded_from_ >= 0) {
@@ -203,6 +215,7 @@ class ShardCell {
             info.dirty_bands = state.dirty_marks;
             info.loss_events = state.loss_events;
             info.bytes_lost = state.bytes_lost;
+            info.spares_free = spares_;
             rep.infos.push_back(info);
             break;
           }
@@ -212,6 +225,14 @@ class ShardCell {
             } else {
               replayer_->Destroy();
               rep.destroyed = true;
+            }
+            break;
+          case MgmtOp::Kind::kSpareAdd:
+            if (spares_ < 0) {
+              ++rep.mgmt_unsupported_spare_add;  // No pool to restock.
+            } else {
+              ++spares_;
+              ++rep.spares_added;
             }
             break;
         }
@@ -228,6 +249,7 @@ class ShardCell {
   PlanSlotRing ring_;
   std::unique_ptr<StreamingPlanReplayer> replayer_;
   SimTime degraded_from_ = -1;
+  int32_t spares_ = -1;  // Hot spares left; -1 = unlimited legacy stock.
   uint64_t fed_ = 0;
   bool ops_scheduled_ = false;
 };
@@ -417,6 +439,9 @@ void VolumeManager::InfoAt(SimTime at, int32_t shard) {
 void VolumeManager::Destroy(SimTime at, int32_t shard) {
   AddOp(MgmtOp::Kind::kDestroy, at, shard, -1);
 }
+void VolumeManager::SpareAdd(SimTime at, int32_t shard) {
+  AddOp(MgmtOp::Kind::kSpareAdd, at, shard, -1);
+}
 
 FleetReport VolumeManager::Run(const FleetTrace& trace, const RunOptions& opts) {
   const int32_t num_shards = cfg_.num_shards;
@@ -592,6 +617,10 @@ std::string FleetReportToJson(const FleetReport& rep) {
     w.Key("mgmt_unsupported_repair").Value(s.mgmt_unsupported_repair);
     w.Key("mgmt_unsupported_info").Value(s.mgmt_unsupported_info);
     w.Key("mgmt_unsupported_destroy").Value(s.mgmt_unsupported_destroy);
+    w.Key("mgmt_unsupported_spare_add").Value(s.mgmt_unsupported_spare_add);
+    w.Key("spares_added").Value(s.spares_added);
+    w.Key("spares_used").Value(s.spares_used);
+    w.Key("repairs_refused_no_spare").Value(s.repairs_refused_no_spare);
     w.Key("infos").BeginArray();
     for (const ShardInfo& info : s.infos) {
       w.BeginObject();
@@ -604,6 +633,7 @@ std::string FleetReportToJson(const FleetReport& rep) {
       w.Key("dirty_bands").Value(info.dirty_bands);
       w.Key("loss_events").Value(info.loss_events);
       w.Key("bytes_lost").Value(info.bytes_lost);
+      w.Key("spares_free").Value(info.spares_free);
       w.EndObject();
     }
     w.EndArray();

@@ -59,12 +59,18 @@ struct FleetConfig {
   // absorbs consistent-hash imbalance without overflowing any shard.
   double fill_fraction = 0.8;
   uint64_t seed = 1;
+  // Hot-spare pool per shard. >= 0: disk_repaired consumes one spare per
+  // installed replacement and is refused outright (the shard stays degraded)
+  // when the pool is empty; spare_add restocks the pool online. < 0 keeps
+  // the legacy unlimited replacement stock, under which spare_add is refused
+  // as meaningless.
+  int32_t spares = -1;
 };
 
 // One management operation, replayed online at `time` in the owning
 // shard's simulation.
 struct MgmtOp {
-  enum class Kind { kDiskFail, kDiskRepaired, kInfo, kDestroy };
+  enum class Kind { kDiskFail, kDiskRepaired, kInfo, kDestroy, kSpareAdd };
   Kind kind = Kind::kInfo;
   SimTime time = 0;
   int32_t shard = 0;
@@ -85,6 +91,7 @@ struct ShardInfo {
   int64_t dirty_bands = 0;  // Stale-parity marks (P+Q for RAID 6).
   uint64_t loss_events = 0;
   int64_t bytes_lost = 0;
+  int32_t spares_free = -1;  // Hot spares left in the pool (-1: unlimited).
 };
 
 struct ShardReport {
@@ -117,10 +124,18 @@ struct ShardReport {
   uint64_t mgmt_unsupported_repair = 0;
   uint64_t mgmt_unsupported_info = 0;
   uint64_t mgmt_unsupported_destroy = 0;
+  uint64_t mgmt_unsupported_spare_add = 0;
   uint64_t MgmtUnsupportedTotal() const {
     return mgmt_unsupported_fail + mgmt_unsupported_repair +
-           mgmt_unsupported_info + mgmt_unsupported_destroy;
+           mgmt_unsupported_info + mgmt_unsupported_destroy +
+           mgmt_unsupported_spare_add;
   }
+  // Hot-spare pool traffic (FleetConfig::spares >= 0 only).
+  uint64_t spares_added = 0;
+  uint64_t spares_used = 0;
+  // disk_repaired ops refused because the pool was empty; the shard kept
+  // serving degraded until a spare_add (or the end of the run).
+  uint64_t repairs_refused_no_spare = 0;
   std::vector<ShardInfo> infos;  // One per `info` op, in time order.
 };
 
@@ -181,6 +196,8 @@ class VolumeManager {
   void DiskRepaired(SimTime at, int32_t shard, int32_t disk);
   void InfoAt(SimTime at, int32_t shard);
   void Destroy(SimTime at, int32_t shard);
+  // Restocks the shard's hot-spare pool by one (shard -1: every shard).
+  void SpareAdd(SimTime at, int32_t shard);
   const std::vector<MgmtOp>& Ops() const { return ops_; }
 
   struct RunOptions {

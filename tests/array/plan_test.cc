@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "array/decluster.h"
 #include "array/layout.h"
 #include "sim/random.h"
 #include "trace/trace.h"
@@ -77,6 +78,44 @@ TEST(RequestPlan, MatchesLayoutSplitAcrossWidthsAndParity) {
         pool_cursor += ref.size();
       }
       EXPECT_EQ(plan.TotalSegments(), pool_cursor);
+    }
+  }
+}
+
+TEST(RequestPlan, MatchesDeclusteredLayoutPlacement) {
+  // PR-5 style plan-vs-layout equivalence, now under the declustered layout:
+  // the precompiled first-unit disk/offset and all segments must equal what
+  // the layout derives per request.
+  Rng rng(20260808);
+  for (int32_t parity_blocks : {1, 2}) {
+    for (int32_t nd : {7, 10, 13, 16}) {
+      const auto layout =
+          MakeLayout(LayoutKind::kDeclustered, nd, 8192, 4000 * 8192,
+                     parity_blocks, /*decluster_width=*/0);
+      ASSERT_STREQ(layout->LayoutName(), "declustered");
+      const int64_t cap = layout->data_capacity_bytes();
+      const Trace t = RandomTrace(&rng, cap, 300);
+      const RequestPlan plan(t, *layout);
+
+      ASSERT_EQ(plan.size(), t.records.size());
+      for (size_t i = 0; i < t.records.size(); ++i) {
+        const TraceRecord& rec = t.records[i];
+        const PlanRecord& pr = plan.record(i);
+        const auto ref = layout->Split(rec.offset, rec.size);
+        const Span<Segment> got = plan.segments(i);
+        ASSERT_EQ(static_cast<size_t>(got.count), ref.size());
+        for (size_t j = 0; j < ref.size(); ++j) {
+          EXPECT_EQ(got.data[j].stripe, ref[j].stripe);
+          EXPECT_EQ(got.data[j].block_in_stripe, ref[j].block_in_stripe);
+          EXPECT_EQ(got.data[j].offset_in_block, ref[j].offset_in_block);
+          EXPECT_EQ(got.data[j].length, ref[j].length);
+        }
+        ASSERT_FALSE(ref.empty());
+        const BlockLoc loc =
+            layout->DataLocation(ref[0].stripe, ref[0].block_in_stripe);
+        EXPECT_EQ(pr.disk, loc.disk);
+        EXPECT_EQ(pr.disk_offset, loc.byte_offset + ref[0].offset_in_block);
+      }
     }
   }
 }

@@ -33,14 +33,29 @@ ArrayConfig TinyConfig() {
   return cfg;
 }
 
+// Parameters are "<scheme>" or "<scheme>+declustered": the latter runs the
+// identical end-to-end exercise with the declustered parity layout.
 class SchemeFailureTest : public ::testing::TestWithParam<std::string> {
  protected:
   void Build() {
-    cfg_ = SchemeRegistry::Normalize(GetParam(), TinyConfig());
+    scheme_ = GetParam();
+    ArrayConfig base = TinyConfig();
+    const auto plus = scheme_.find('+');
+    if (plus != std::string::npos) {
+      ASSERT_EQ(scheme_.substr(plus + 1), "declustered");
+      base.layout = LayoutKind::kDeclustered;
+      scheme_ = scheme_.substr(0, plus);
+    }
+    cfg_ = SchemeRegistry::Normalize(scheme_, base);
     SchemeContext ctx{&sim_, cfg_, PolicySpec::AfraidBaseline(),
                       AvailabilityParamsFor(cfg_), {}};
-    ctl_ = SchemeRegistry::Create(GetParam(), ctx);
+    ctl_ = SchemeRegistry::Create(scheme_, ctx);
     ASSERT_NE(ctl_, nullptr);
+    if (base.layout == LayoutKind::kDeclustered) {
+      // 5 disks always admit a non-degenerate width; the declustered run
+      // must not silently fall back.
+      ASSERT_STREQ(ctl_->layout().LayoutName(), "declustered");
+    }
     driver_ = std::make_unique<HostDriver>(&sim_, ctl_.get(), 5);
   }
 
@@ -55,7 +70,7 @@ class SchemeFailureTest : public ::testing::TestWithParam<std::string> {
   // Checks the stored content of the aligned block at `offset` against what
   // client write `tag` deposited, sector by sector.
   void ExpectBlock(int64_t offset, uint64_t tag) {
-    const StripeLayout& lay = ctl_->layout();
+    const ArrayLayout& lay = ctl_->layout();
     const int64_t block_index = offset / lay.stripe_unit();
     const int64_t stripe = block_index / lay.data_blocks_per_stripe();
     const int32_t j =
@@ -70,6 +85,7 @@ class SchemeFailureTest : public ::testing::TestWithParam<std::string> {
     }
   }
 
+  std::string scheme_;  // Registry name, layout suffix stripped.
   ArrayConfig cfg_;
   Simulator sim_;
   std::unique_ptr<ArrayScheme> ctl_;
@@ -130,7 +146,7 @@ TEST_P(SchemeFailureTest, FailDegradedRepairReconstructRoundTrip) {
   // The rebuilt redundancy itself is coherent again.
   const ContentModel* cm = ctl_->content();
   for (int64_t stripe : cm->TouchedStripes()) {
-    if (GetParam() == "mirror") {
+    if (scheme_ == "mirror") {
       // Parity slot j holds the twin copy of data block j.
       for (int32_t j = 0; j < ctl_->layout().data_blocks_per_stripe(); ++j) {
         for (int32_t s = 0; s < cm->sectors_per_unit(); ++s) {
@@ -168,15 +184,25 @@ TEST_P(SchemeFailureTest, MistimedManagementOpsAreRefusedWithoutStateChange) {
 std::string SchemeTestName(const ::testing::TestParamInfo<std::string>& info) {
   std::string name = info.param;
   for (char& c : name) {
-    if (c == '-') {
+    if (c == '-' || c == '+') {
       c = '_';
     }
   }
   return name;
 }
 
+std::vector<std::string> SchemeLayoutGrid() {
+  std::vector<std::string> params = SchemeRegistry::List();
+  for (const std::string& name : SchemeRegistry::List()) {
+    if (name != "mirror") {  // Mirroring has no parity to decluster.
+      params.push_back(name + "+declustered");
+    }
+  }
+  return params;
+}
+
 INSTANTIATE_TEST_SUITE_P(AllRegisteredSchemes, SchemeFailureTest,
-                         ::testing::ValuesIn(SchemeRegistry::List()),
+                         ::testing::ValuesIn(SchemeLayoutGrid()),
                          SchemeTestName);
 
 }  // namespace

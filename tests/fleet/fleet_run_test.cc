@@ -227,6 +227,56 @@ TEST(FleetRun, ValidFailRepairIsAppliedOnEveryRegisteredScheme) {
   }
 }
 
+TEST(FleetRun, SparePoolGatesRepairsAndRestocksOnline) {
+  // With a zero-spare pool the first repair is refused outright (the shard
+  // keeps serving degraded); a spare_add restocks the pool and a later
+  // repair succeeds, drawing the pool back down.
+  FleetConfig cfg = TinyFleet();
+  cfg.num_shards = 2;
+  cfg.spares = 0;
+  VolumeManager vm(cfg);
+  vm.DiskFail(Seconds(1), 0, /*disk=*/1);
+  vm.DiskRepaired(Seconds(5), 0, /*disk=*/1);  // Pool empty: refused.
+  vm.InfoAt(Seconds(8), 0);
+  vm.SpareAdd(Seconds(10), 0);
+  vm.DiskRepaired(Seconds(20), 0, /*disk=*/1);  // Spare available: applied.
+  vm.InfoAt(Seconds(50), 0);
+  const FleetTrace trace = TinyTenants(vm.VolumeBytes(), 16, 800);
+  const FleetReport rep = vm.Run(trace);
+  const ShardReport& s0 = rep.shards[0];
+  EXPECT_TRUE(s0.disk_failed);
+  EXPECT_EQ(s0.repairs_refused_no_spare, 1u);
+  EXPECT_EQ(s0.spares_added, 1u);
+  EXPECT_EQ(s0.spares_used, 1u);
+  EXPECT_TRUE(s0.repaired);
+  EXPECT_EQ(s0.mgmt_unsupported_repair, 0u);
+  ASSERT_EQ(s0.infos.size(), 2u);
+  EXPECT_EQ(s0.infos[0].spares_free, 0);    // Before the restock.
+  EXPECT_EQ(s0.infos[0].failed_disk, 1);    // Still degraded: repair refused.
+  EXPECT_EQ(s0.infos[1].spares_free, 0);    // Restocked, then consumed.
+  // The untouched shard's pool is intact and uncounted.
+  EXPECT_EQ(rep.shards[1].spares_added, 0u);
+  EXPECT_EQ(rep.shards[1].spares_used, 0u);
+}
+
+TEST(FleetRun, SpareAddWithoutPoolIsRefused) {
+  // Legacy unlimited stock (spares < 0): repairs never consume spares and
+  // spare_add is meaningless, counted in its own refusal bucket.
+  FleetConfig cfg = TinyFleet();
+  cfg.num_shards = 2;
+  VolumeManager vm(cfg);
+  vm.DiskFail(Seconds(1), 0, /*disk=*/1);
+  vm.SpareAdd(Seconds(2), 0);
+  vm.DiskRepaired(Seconds(20), 0, /*disk=*/1);
+  const FleetTrace trace = TinyTenants(vm.VolumeBytes(), 16, 500);
+  const FleetReport rep = vm.Run(trace);
+  EXPECT_EQ(rep.shards[0].mgmt_unsupported_spare_add, 1u);
+  EXPECT_EQ(rep.shards[0].spares_added, 0u);
+  EXPECT_EQ(rep.shards[0].spares_used, 0u);
+  EXPECT_TRUE(rep.shards[0].repaired);
+  ASSERT_TRUE(rep.shards[0].infos.empty());
+}
+
 TEST(FleetRun, Raid6SchemeForcesTwoParityBlocks) {
   FleetConfig cfg = TinyFleet();
   cfg.scheme = "raid6-deferPQ";
