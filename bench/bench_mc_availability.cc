@@ -20,6 +20,10 @@
 //   AFRAID_MC_WORKLOAD=name   workload preset (default: first paper workload)
 //   AFRAID_MC_JSON=path.json  also emit the machine-readable report
 //   AFRAID_MC_CSV=path.csv    also emit the CSV report
+//   AFRAID_MC_VR=mode         rare-event acceleration: off|forcing|biasing
+//   AFRAID_MC_BIAS=8          failure-rate inflation when AFRAID_MC_VR=biasing
+//   AFRAID_MC_CAP=hours       override every campaign's per-lifetime cap
+//                             (forcing pays off when fault-rate x cap <~ 1)
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +39,13 @@ namespace {
 int64_t EnvInt(const char* name, int64_t fallback) {
   if (const char* env = std::getenv(name)) {
     return std::strtoll(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  if (const char* env = std::getenv(name)) {
+    return std::strtod(env, nullptr);
   }
   return fallback;
 }
@@ -81,31 +92,56 @@ int Run() {
     }
   }
 
+  VarianceReduction vr;
+  if (const char* env = std::getenv("AFRAID_MC_VR")) {
+    if (!ParseVrMode(env, &vr.mode)) {
+      std::fprintf(stderr, "unknown AFRAID_MC_VR mode '%s' (off|forcing|biasing)\n",
+                   env);
+      return 1;
+    }
+  }
+  vr.failure_bias = EnvDouble("AFRAID_MC_BIAS", vr.failure_bias);
+  if (vr.failure_bias <= 0.0) {
+    std::fprintf(stderr, "AFRAID_MC_BIAS must be positive\n");
+    return 1;
+  }
+  const double cap_override = EnvDouble("AFRAID_MC_CAP", 0.0);
+
   PrintHeader("Empirical availability: Monte-Carlo fault injection vs Section 3 model");
   std::printf("%d lifetimes/campaign, workload '%s', base seed %llu, %d threads\n\n",
               lifetimes, workload.name.c_str(),
               static_cast<unsigned long long>(seed),
               EffectiveThreads(threads, lifetimes));
 
-  const std::vector<CampaignConfig> campaigns = {
+  std::vector<CampaignConfig> campaigns = {
       McCampaign(PolicySpec::AfraidBaseline(), 5e7, workload, lifetimes, seed),
       McCampaign(PolicySpec::Raid5(), 1e8, workload, lifetimes, seed),
       McCampaign(PolicySpec::Raid0(), 5e6, workload, lifetimes, seed),
       McCampaign(PolicySpec::MttdlTarget(1e7), 5e7, workload, lifetimes, seed),
   };
+  for (CampaignConfig& c : campaigns) {
+    c.vr = vr;
+    if (cap_override > 0.0) {
+      c.max_lifetime_hours = cap_override;
+    }
+  }
 
   std::vector<SchemeComparison> rows;
   for (const CampaignConfig& c : campaigns) {
     const CampaignSummary summary = RunCampaign(c, threads);
     rows.push_back(CompareWithModel(c, summary));
     std::printf("  %-18s done: %llu losses in %llu lifetimes "
-                "(%llu drills, %llu failures, %llu averted)\n",
+                "(%llu drills, %llu failures, %llu averted)",
                 summary.label.c_str(),
                 static_cast<unsigned long long>(summary.loss_events),
                 static_cast<unsigned long long>(summary.lifetimes),
                 static_cast<unsigned long long>(summary.drills),
                 static_cast<unsigned long long>(summary.disk_failures),
                 static_cast<unsigned long long>(summary.predicted_averted));
+    if (vr.Enabled()) {
+      std::printf(" ess=%.1f", summary.ess);
+    }
+    std::printf("\n");
   }
   std::printf("\n");
   PrintComparisonTable(stdout, rows);

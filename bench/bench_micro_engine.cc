@@ -20,6 +20,7 @@
 #include "core/policy.h"
 #include "disk/disk_model.h"
 #include "disk/seek_model.h"
+#include "faultsim/campaign.h"
 #include "fleet/tenants.h"
 #include "fleet/volume_manager.h"
 #include "sim/event_queue.h"
@@ -640,7 +641,51 @@ void BM_ReplayThroughputMonolithic(benchmark::State& state) {
 }
 BENCHMARK(BM_ReplayThroughputMonolithic);
 
+// One full campaign lifetime (fault timeline + live array, reused arena):
+// the unit of work RunCampaignLifetimes fans out, dominated by warmup of the
+// array simulation. A short cap keeps the timeline cheap so the bench tracks
+// the per-lifetime fixed costs the arena reuse is meant to amortize.
+void BM_CampaignLifetime(benchmark::State& state) {
+  CampaignConfig c;
+  c.array.disk_spec = DiskSpec::TinyTestDisk();
+  c.array.num_disks = 5;
+  c.array.stripe_unit_bytes = 8192;
+  c.policy = PolicySpec::AfraidBaseline();
+  c.workload = PaperWorkloads().front();
+  c.faults = FaultModelParams::From(AvailabilityParamsFor(c.array),
+                                    SchemeFor(c.policy));
+  c.lifetimes = 1;
+  c.base_seed = 20260808;
+  c.max_lifetime_hours = 1e5;
+  LifetimeArena arena;
+  int32_t index = 0;
+  for (auto _ : state) {
+    const LifetimeResult res = RunLifetime(c, index++ & 63, &arena);
+    benchmark::DoNotOptimize(res.hours_observed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CampaignLifetime);
+
 }  // namespace
 }  // namespace afraid
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Recorded into the benchmark JSON context: whether THIS binary's
+  // translation units were compiled with optimization. google-benchmark's
+  // own "library_build_type" key describes how the (system) benchmark
+  // library was built, not our code, so the regen script and CI gate key on
+  // this instead (see scripts/regen_goldens.sh).
+#ifdef __OPTIMIZE__
+  benchmark::AddCustomContext("afraid_bench_optimized", "true");
+#else
+  benchmark::AddCustomContext("afraid_bench_optimized", "false");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

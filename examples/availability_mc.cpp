@@ -7,9 +7,19 @@
 // campaign with CI tables lives in bench/bench_mc_availability.cc.
 //
 //   $ ./examples/availability_mc [lifetimes] [seed]
+//
+// Flags (rare-event acceleration and campaign shape):
+//   --vr=off|forcing|biasing  variance reduction mode (default off)
+//   --bias=B                  failure-rate inflation for --vr=biasing (default 8)
+//   --cap=HOURS               per-lifetime cap (default 5e7)
+//   --lifetimes=N --seed=S    same as the positional arguments
+//   --threads=T               worker threads (default: sweep default)
+//   --json=PATH               also emit the machine-readable report
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/experiment.h"
 #include "faultsim/report.h"
@@ -19,10 +29,53 @@
 using namespace afraid;
 
 int main(int argc, char** argv) {
-  const int32_t lifetimes =
-      argc > 1 ? static_cast<int32_t>(std::strtol(argv[1], nullptr, 10)) : 60;
-  const uint64_t seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1996;
+  int32_t lifetimes = 60;
+  uint64_t seed = 1996;
+  double cap_hours = 5e7;
+  int32_t threads = 0;
+  VarianceReduction vr;
+  const char* json_path = nullptr;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto flag_value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = flag_value("--vr=")) {
+      if (!ParseVrMode(v, &vr.mode)) {
+        std::fprintf(stderr, "unknown --vr mode '%s' (off|forcing|biasing)\n", v);
+        return 1;
+      }
+    } else if (const char* v = flag_value("--bias=")) {
+      vr.failure_bias = std::strtod(v, nullptr);
+      if (vr.failure_bias <= 0.0) {
+        std::fprintf(stderr, "--bias must be positive\n");
+        return 1;
+      }
+    } else if (const char* v = flag_value("--cap=")) {
+      cap_hours = std::strtod(v, nullptr);
+    } else if (const char* v = flag_value("--lifetimes=")) {
+      lifetimes = static_cast<int32_t>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = flag_value("--seed=")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--threads=")) {
+      threads = static_cast<int32_t>(std::strtol(v, nullptr, 10));
+    } else if (const char* v = flag_value("--json=")) {
+      json_path = v;
+    } else if (std::strncmp(arg, "--", 2) != 0 && positional < 2) {
+      if (positional == 0) {
+        lifetimes = static_cast<int32_t>(std::strtol(arg, nullptr, 10));
+      } else {
+        seed = std::strtoull(arg, nullptr, 10);
+      }
+      ++positional;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg);
+      return 1;
+    }
+  }
 
   CampaignConfig c;
   c.array.disk_spec = DiskSpec::TinyTestDisk();  // Small: drills sweep all stripes.
@@ -34,11 +87,12 @@ int main(int argc, char** argv) {
                                     SchemeFor(c.policy));
   c.lifetimes = lifetimes;
   c.base_seed = seed;
-  c.max_lifetime_hours = 5e7;
+  c.max_lifetime_hours = cap_hours;
+  c.vr = vr;
 
   std::printf("running %d simulated array lifetimes of '%s' under workload '%s'...\n",
               c.lifetimes, c.policy.Label().c_str(), c.workload.name.c_str());
-  const CampaignSummary summary = RunCampaign(c, /*num_threads=*/0);
+  const CampaignSummary summary = RunCampaign(c, threads);
   const SchemeComparison cmp = CompareWithModel(c, summary);
 
   std::printf("\n  disk failures injected:   %llu (plus %llu predicted & averted)\n",
@@ -48,11 +102,24 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(summary.drills));
   std::printf("  lifetimes ending in loss: %llu of %d\n",
               static_cast<unsigned long long>(summary.loss_events), c.lifetimes);
+  if (vr.Enabled()) {
+    std::printf("  variance reduction:       %s x%g, effective sample size %.1f of %d\n",
+                VrModeName(vr.mode), vr.RateMultiplier(), summary.ess,
+                c.lifetimes);
+  }
   std::printf("  measured t_unprot:        %.4f   parity lag: %.1f KB\n\n",
               summary.mean_t_unprot_fraction,
               summary.mean_parity_lag_bytes / 1024.0);
 
   PrintComparisonTable(stdout, {cmp});
+
+  if (json_path != nullptr) {
+    if (!WriteTextFile(json_path, ComparisonJson({cmp}))) {
+      std::fprintf(stderr, "failed to write %s\n", json_path);
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path);
+  }
 
   std::printf("\nEvery lifetime is a pure function of (config, index): rerunning\n"
               "with the same seed reproduces these numbers exactly, on any\n"

@@ -51,6 +51,17 @@ echo "== regenerating BENCH_engine.json (Release micro-bench baseline)"
     --benchmark_out="$stage/BENCH_engine.json" \
     --benchmark_out_format=json >/dev/null
 
+# The bench binary stamps its own optimization level into the JSON context
+# (the "library_build_type" field describes the system benchmark *library*,
+# which is a Debug build on Debian -- it says nothing about our code). A
+# baseline produced by an unoptimized bench binary would make every later
+# CI comparison meaningless, so refuse to pin one.
+grep -q '"afraid_bench_optimized": "true"' "$stage/BENCH_engine.json" || {
+  echo "regen_goldens.sh: bench_micro_engine was built without optimization" >&2
+  echo "  (missing afraid_bench_optimized=true in BENCH_engine.json context)" >&2
+  exit 1
+}
+
 echo "== regenerating BENCH_rebuild.json (declustering rebuild comparison)"
 # The bench itself exits nonzero unless the declustered layout beats
 # left-symmetric on both window and p99 at every width, so a regression

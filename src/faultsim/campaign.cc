@@ -1,6 +1,7 @@
 #include "faultsim/campaign.h"
 
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 #include "core/experiment.h"
@@ -20,6 +21,14 @@ double CatastrophicLossBytes(const AvailabilityParams& p) {
 }  // namespace
 
 LifetimeResult RunLifetime(const CampaignConfig& config, int32_t index) {
+  return RunLifetime(config, index, nullptr);
+}
+
+LifetimeResult RunLifetime(const CampaignConfig& config, int32_t index,
+                           LifetimeArena* arena) {
+  if (arena != nullptr) {
+    arena->Reset();
+  }
   LifetimeResult res;
   res.seed = DeriveStreamSeed(config.base_seed, static_cast<uint64_t>(index));
   Rng seeds(res.seed);
@@ -31,7 +40,8 @@ LifetimeResult RunLifetime(const CampaignConfig& config, int32_t index) {
   const AvailabilityParams avail = AvailabilityParamsFor(config.array);
 
   ExposureModel exposure(config.scheme, config.array, config.policy,
-                         config.workload, exposure_seed);
+                         config.workload, exposure_seed,
+                         arena != nullptr ? &arena->array_sim : nullptr);
   exposure.Advance(config.exposure_warmup);
   while (exposure.RequestsCompleted() < config.warmup_requests) {
     exposure.Advance(Seconds(10));
@@ -101,12 +111,14 @@ LifetimeResult RunLifetime(const CampaignConfig& config, int32_t index) {
   };
 
   ScenarioEngine scenario(config.faults, config.array.num_disks, scenario_seed,
-                          events);
+                          events, config.vr, config.max_lifetime_hours,
+                          arena != nullptr ? &arena->timeline_sim : nullptr);
   engine = &scenario;
   scenario.RunUntil(config.max_lifetime_hours);
 
   res.hours_observed =
       res.data_loss ? res.first_loss_hours : config.max_lifetime_hours;
+  res.log_weight = scenario.FinalLogWeight(res.hours_observed);
   res.disk_failures = scenario.DiskFailures();
   res.predicted_averted = scenario.PredictedAverted();
   res.nvram_losses = scenario.NvramLosses();
@@ -125,8 +137,12 @@ CampaignSummary Summarize(const CampaignConfig& config,
   }
   std::vector<double> loss_bytes;
   std::vector<double> hours;
+  std::vector<double> log_w;
+  std::vector<double> loss_ind;
   loss_bytes.reserve(lifetimes.size());
   hours.reserve(lifetimes.size());
+  log_w.reserve(lifetimes.size());
+  loss_ind.reserve(lifetimes.size());
   // Strictly sequential reduction in lifetime order: keeps the summary
   // bit-identical regardless of how many threads produced the results.
   for (const LifetimeResult& r : lifetimes) {
@@ -144,11 +160,34 @@ CampaignSummary Summarize(const CampaignConfig& config,
     s.mean_parity_lag_bytes += r.mean_parity_lag_bytes;
     loss_bytes.push_back(static_cast<double>(r.bytes_lost));
     hours.push_back(r.hours_observed);
+    log_w.push_back(r.log_weight);
+    loss_ind.push_back(r.data_loss ? 1.0 : 0.0);
   }
   s.mean_t_unprot_fraction /= static_cast<double>(lifetimes.size());
   s.mean_parity_lag_bytes /= static_cast<double>(lifetimes.size());
-  s.mttdl_hours = MttdlCiHours(s.loss_events, s.total_hours);
-  s.mdlr_bph = RatioCi(loss_bytes, hours);
+  s.vr_mode = config.vr.mode;
+  s.failure_bias = config.vr.RateMultiplier();
+  s.ess = WeightEss(log_w);  // == lifetimes when vr is off (all weights 1).
+  s.loss_probability = WeightedMeanCi(log_w, loss_ind);
+  if (config.vr.Enabled()) {
+    // Forcing conditions every sampled lifetime on at least one fault inside
+    // the window, so the fault-free path's censored observation mass
+    // exp(-Lambda H) * H re-enters the hour denominators analytically.
+    const double censored_mass_hours =
+        std::exp(-TotalFaultRatePerHour(config.faults, config.array.num_disks) *
+                 config.max_lifetime_hours) *
+        config.max_lifetime_hours;
+    s.mttdl_hours =
+        WeightedMttdlCiHours(log_w, loss_ind, hours, censored_mass_hours);
+    s.mdlr_bph = WeightedRatioCi(log_w, loss_bytes, hours, censored_mass_hours);
+    for (size_t i = 0; i < log_w.size(); ++i) {
+      s.weighted_loss_events += std::exp(log_w[i]) * loss_ind[i];
+    }
+  } else {
+    s.mttdl_hours = MttdlCiHours(s.loss_events, s.total_hours);
+    s.mdlr_bph = RatioCi(loss_bytes, hours);
+    s.weighted_loss_events = static_cast<double>(s.loss_events);
+  }
   return s;
 }
 

@@ -31,6 +31,7 @@
 #include "core/array_config.h"
 #include "core/policy.h"
 #include "faultsim/fault_model.h"
+#include "sim/simulator.h"
 #include "sim/time.h"
 #include "stats/confidence.h"
 #include "trace/workload_gen.h"
@@ -49,6 +50,11 @@ struct CampaignConfig {
   uint64_t base_seed = 1;
   // Cap per lifetime; lifetimes that never lose data are right-censored here.
   double max_lifetime_hours = 5e7;
+  // Rare-event acceleration (fault_model.h): off by default, in which case
+  // trajectories are byte-identical to the historical unweighted campaign.
+  // When enabled, every lifetime carries a log likelihood-ratio weight and
+  // Summarize() switches to the weighted estimators.
+  VarianceReduction vr;
   // Array-sim warmup before the first sample: at least this much time AND at
   // least `warmup_requests` completed requests (so a cold start into one of
   // the workload's long idle periods still accumulates write history).
@@ -88,10 +94,34 @@ struct LifetimeResult {
   // campaign injected faults into).
   double t_unprot_fraction = 0.0;
   double mean_parity_lag_bytes = 0.0;
+
+  // Log likelihood ratio of the nominal fault process against the sampled
+  // one at this lifetime's stopping time. Exactly 0 with vr off; a pure
+  // function of (config, lifetime index) either way.
+  double log_weight = 0.0;
+};
+
+// Reusable per-worker simulation state: the two discrete-event simulators a
+// lifetime needs (the array simulation and the fault timeline). Reset()
+// between lifetimes retains their event-queue slab storage, so a sweep
+// worker pays allocation cost once instead of per lifetime.
+struct LifetimeArena {
+  Simulator array_sim;
+  Simulator timeline_sim;
+
+  void Reset() {
+    array_sim.Reset();
+    timeline_sim.Reset();
+  }
 };
 
 // Runs lifetime `index` of the campaign. Deterministic in (config, index).
 LifetimeResult RunLifetime(const CampaignConfig& config, int32_t index);
+
+// As above, reusing `arena`'s simulators (resets them first). Results are
+// identical to the arena-free overload.
+LifetimeResult RunLifetime(const CampaignConfig& config, int32_t index,
+                           LifetimeArena* arena);
 
 // Aggregated campaign estimates.
 struct CampaignSummary {
@@ -113,9 +143,21 @@ struct CampaignSummary {
   double mean_t_unprot_fraction = 0.0;
   double mean_parity_lag_bytes = 0.0;
 
-  // Empirical estimates (95% CIs; see stats/confidence.h).
+  // Empirical estimates (95% CIs; see stats/confidence.h). With variance
+  // reduction on these come from the weighted (importance-sampled)
+  // estimators; otherwise they are the historical unweighted ones.
   ConfidenceInterval mttdl_hours;
   ConfidenceInterval mdlr_bph;
+  // Probability a lifetime ends in data loss before the cap.
+  ConfidenceInterval loss_probability;
+
+  // Variance-reduction diagnostics. `ess` is the Kish effective sample size
+  // of the lifetime weights (== lifetimes when vr is off);
+  // `weighted_loss_events` is the weighted loss count sum(w_i * loss_i).
+  VrMode vr_mode = VrMode::kOff;
+  double failure_bias = 1.0;
+  double ess = 0.0;
+  double weighted_loss_events = 0.0;
 };
 
 CampaignSummary Summarize(const CampaignConfig& config,

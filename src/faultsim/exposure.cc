@@ -19,13 +19,16 @@ constexpr SimDuration kChunkDuration = Minutes(10);
 
 ExposureModel::ExposureModel(const std::string& scheme, const ArrayConfig& config,
                              const PolicySpec& policy, const WorkloadParams& workload,
-                             uint64_t seed, Probe probe)
-    : cfg_(SchemeRegistry::Normalize(scheme, config)), rng_(seed),
+                             uint64_t seed, Simulator* sim, Probe probe)
+    : cfg_(SchemeRegistry::Normalize(scheme, config)),
+      owned_sim_(sim == nullptr ? std::make_unique<Simulator>() : nullptr),
+      sim_(sim == nullptr ? owned_sim_.get() : sim), rng_(seed),
       workload_(workload), fault_probe_(probe.NewTrack("faults")) {
-  SchemeContext ctx{&sim_, cfg_, policy, AvailabilityParamsFor(cfg_), probe};
+  assert(sim_->Now() == 0 && sim_->Idle());
+  SchemeContext ctx{sim_, cfg_, policy, AvailabilityParamsFor(cfg_), probe};
   controller_ = SchemeRegistry::Create(scheme, ctx);
   assert(controller_ != nullptr && "ExposureModel: unknown scheme name");
-  driver_ = std::make_unique<HostDriver>(&sim_, controller_.get(), cfg_.MaxActive(),
+  driver_ = std::make_unique<HostDriver>(sim_, controller_.get(), cfg_.MaxActive(),
                                          cfg_.host_sched, probe);
   workload_.address_space_bytes = controller_->DataCapacityBytes();
   controller_->SetLossListener(
@@ -46,11 +49,11 @@ void ExposureModel::EnsureArrivalScheduled() {
     chunk_ = GenerateWorkload(workload_, kChunkRequests, kChunkDuration);
     assert(!chunk_.records.empty());
     next_record_ = 0;
-    chunk_base_ = sim_.Now();
+    chunk_base_ = sim_->Now();
   }
   const SimTime due = chunk_base_ + chunk_.records[next_record_].time;
   arrival_pending_ = true;
-  pending_arrival_ = sim_.At(std::max(due, sim_.Now()), [this] {
+  pending_arrival_ = sim_->At(std::max(due, sim_->Now()), [this] {
     arrival_pending_ = false;
     const TraceRecord& r = chunk_.records[next_record_];
     driver_->Submit(r.offset, r.size, r.is_write);
@@ -62,7 +65,7 @@ void ExposureModel::EnsureArrivalScheduled() {
 void ExposureModel::PauseFeeding() {
   feeding_paused_ = true;
   if (arrival_pending_) {
-    sim_.Cancel(pending_arrival_);
+    sim_->Cancel(pending_arrival_);
     arrival_pending_ = false;
   }
 }
@@ -75,7 +78,7 @@ void ExposureModel::ResumeFeeding() {
   if (next_record_ < chunk_.records.size()) {
     const SimTime prev =
         next_record_ > 0 ? chunk_.records[next_record_ - 1].time : 0;
-    chunk_base_ = sim_.Now() - prev;
+    chunk_base_ = sim_->Now() - prev;
   }
   EnsureArrivalScheduled();
 }
@@ -83,12 +86,12 @@ void ExposureModel::ResumeFeeding() {
 void ExposureModel::Advance(SimDuration d) {
   assert(d >= 0);
   assert(!feeding_paused_);
-  sim_.RunUntil(sim_.Now() + d);
+  sim_->RunUntil(sim_->Now() + d);
 }
 
 void ExposureModel::RunUntilDrained() {
   while (!driver_->Drained()) {
-    const bool progressed = sim_.Step();
+    const bool progressed = sim_->Step();
     assert(progressed);
     (void)progressed;
   }
@@ -96,10 +99,10 @@ void ExposureModel::RunUntilDrained() {
 
 DrillResult ExposureModel::FinishDrill(const DrillResult& partial, SimTime started) {
   if (fault_probe_) {
-    fault_probe_.Instant("drill: recovered", sim_.Now());
+    fault_probe_.Instant("drill: recovered", sim_->Now());
   }
   DrillResult r = partial;
-  r.recovery_time = sim_.Now() - started;
+  r.recovery_time = sim_->Now() - started;
   r.events = std::move(drill_events_);
   drill_events_.clear();
   for (const LossEvent& ev : r.events) {
@@ -116,13 +119,13 @@ DrillResult ExposureModel::FailureDrill(int32_t disk) {
   r.dirty_bands_at_failure = DirtyBands();
   r.parity_lag_at_failure_bytes = CurrentParityLagBytes();
   drill_events_.clear();
-  const SimTime started = sim_.Now();
+  const SimTime started = sim_->Now();
 
   // The disk dies at this very instant: whatever was queued or mid-flight
   // completes degraded, through the controller's own failure paths.
   PauseFeeding();
   if (fault_probe_) {
-    fault_probe_.Instant("drill: fail disk" + std::to_string(disk), sim_.Now());
+    fault_probe_.Instant("drill: fail disk" + std::to_string(disk), sim_->Now());
   }
   const bool failed = controller_->FailDisk(disk);
   assert(failed && "FailureDrill: scheme refused the failure");
@@ -139,7 +142,7 @@ DrillResult ExposureModel::FailureDrill(int32_t disk) {
   assert(sweeping && "FailureDrill: scheme refused reconstruction");
   (void)sweeping;
   while (!done) {
-    const bool progressed = sim_.Step();
+    const bool progressed = sim_->Step();
     assert(progressed);
     (void)progressed;
   }
@@ -151,7 +154,7 @@ DrillResult ExposureModel::NvramDrill() {
   r.dirty_bands_at_failure = DirtyBands();
   r.parity_lag_at_failure_bytes = CurrentParityLagBytes();
   drill_events_.clear();
-  const SimTime started = sim_.Now();
+  const SimTime started = sim_->Now();
 
   // Quiesce first: StartFullScrub requires no rebuild pass in flight, and
   // the controller forbids new AFRAID-mode markings while the NVRAM is
@@ -159,9 +162,9 @@ DrillResult ExposureModel::NvramDrill() {
   // the way a disk failure does.)
   PauseFeeding();
   RunUntilDrained();
-  sim_.RunToEnd();  // Trailing idle-triggered rebuild passes finish here.
+  sim_->RunToEnd();  // Trailing idle-triggered rebuild passes finish here.
   if (fault_probe_) {
-    fault_probe_.Instant("drill: nvram loss", sim_.Now());
+    fault_probe_.Instant("drill: nvram loss", sim_->Now());
   }
   // Schemes without marking memory refuse the drill; nothing to lose.
   if (!controller_->FailNvram()) {
@@ -172,7 +175,7 @@ DrillResult ExposureModel::NvramDrill() {
     return FinishDrill(r, started);
   }
   while (!done) {
-    const bool progressed = sim_.Step();
+    const bool progressed = sim_->Step();
     assert(progressed);
     (void)progressed;
   }

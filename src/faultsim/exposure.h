@@ -61,10 +61,13 @@ class ExposureModel {
   // `scheme` is a registry name (src/core/scheme_registry.h); the config is
   // normalised for it. A non-null `probe` traces the embedded array
   // simulation (disk, driver and controller tracks as usual) plus a "faults"
-  // track marking each drill's injection and recovery completion.
+  // track marking each drill's injection and recovery completion. A non-null
+  // `sim` is borrowed in place of the internal simulator (it must be freshly
+  // reset); the campaign's per-worker LifetimeArena uses this to retain
+  // event-queue storage across lifetimes.
   ExposureModel(const std::string& scheme, const ArrayConfig& config,
                 const PolicySpec& policy, const WorkloadParams& workload,
-                uint64_t seed, Probe probe = {});
+                uint64_t seed, Simulator* sim = nullptr, Probe probe = {});
   ~ExposureModel();
   ExposureModel(const ExposureModel&) = delete;
   ExposureModel& operator=(const ExposureModel&) = delete;
@@ -105,7 +108,7 @@ class ExposureModel {
 
   const ArrayScheme& controller() const { return *controller_; }
   ArrayScheme& controller() { return *controller_; }
-  Simulator& sim() { return sim_; }
+  Simulator& sim() { return *sim_; }
   const HostDriver& driver() const { return *driver_; }
 
  private:
@@ -116,7 +119,8 @@ class ExposureModel {
   DrillResult FinishDrill(const DrillResult& partial, SimTime started);
 
   ArrayConfig cfg_;
-  Simulator sim_;
+  std::unique_ptr<Simulator> owned_sim_;  // Null when borrowing an arena sim.
+  Simulator* sim_;
   Rng rng_;
   WorkloadParams workload_;
   Probe fault_probe_;  // "faults" track; null when not tracing.

@@ -11,6 +11,7 @@
 #define AFRAID_FAULTSIM_FAULT_MODEL_H_
 
 #include <cstdint>
+#include <string>
 
 #include "avail/model.h"
 #include "sim/time.h"
@@ -62,6 +63,85 @@ struct FaultModelParams {
     return f;
   }
 };
+
+// Total nominal rate (per hour) of the superposed fault process: every
+// enabled exponential clock in the scenario engine. This is the Lambda in
+// the forcing correction P(first fault <= H) = 1 - exp(-Lambda H), and in
+// the analytic no-fault censored-hours mass exp(-Lambda H) * H that the
+// weighted estimators add back (a forced campaign never samples the
+// fault-free path; see DESIGN.md section 15).
+inline double TotalFaultRatePerHour(const FaultModelParams& f, int32_t num_disks) {
+  double rate = static_cast<double>(num_disks) / f.mttf_disk_raw_hours;
+  if (f.nvram_mttf_hours > 0.0) {
+    rate += 1.0 / f.nvram_mttf_hours;
+  }
+  if (f.support_mttdl_hours > 0.0) {
+    rate += 1.0 / f.support_mttdl_hours;
+  }
+  return rate;
+}
+
+// --- Rare-event acceleration (variance reduction) ----------------------------
+//
+// At realistic failure rates almost every simulated lifetime ends without
+// data loss, so a naive campaign spends nearly all its CPU producing zero
+// statistical information. Two classic accelerations close the gap, both
+// carrying an exact per-lifetime likelihood ratio so the weighted estimators
+// in stats/confidence.h stay unbiased:
+//
+//   * kForcing -- the first fault of the lifetime is drawn from the
+//     conditional (truncated) exponential given that it lands inside the
+//     observation window [0, horizon); the weight picks up the factor
+//     P(first fault <= horizon) = 1 - exp(-Lambda * horizon).
+//   * kBiasing -- forcing, plus every exponential fault clock is sampled at
+//     `failure_bias` times its nominal rate; each fired draw contributes
+//     (1/b) * exp((b-1) * lambda * age) to the weight and each clock still
+//     pending at the end contributes the survival ratio exp((b-1) * lambda *
+//     age). Repair completions are deterministic (same under both measures)
+//     and cannot be biased: a shifted point mass has a degenerate likelihood
+//     ratio.
+//
+// Weights are pure functions of (config, lifetime index) -- the biased draws
+// come from the same per-lifetime seeded stream -- so campaign output stays
+// bit-identical for any thread count.
+enum class VrMode { kOff, kForcing, kBiasing };
+
+struct VarianceReduction {
+  VrMode mode = VrMode::kOff;
+  // Rate inflation applied to every enabled fault clock when mode ==
+  // kBiasing (kForcing and kOff sample at nominal rates).
+  double failure_bias = 8.0;
+
+  bool Enabled() const { return mode != VrMode::kOff; }
+  double RateMultiplier() const {
+    return mode == VrMode::kBiasing ? failure_bias : 1.0;
+  }
+};
+
+inline const char* VrModeName(VrMode mode) {
+  switch (mode) {
+    case VrMode::kOff:
+      return "off";
+    case VrMode::kForcing:
+      return "forcing";
+    case VrMode::kBiasing:
+      return "biasing";
+  }
+  return "off";
+}
+
+inline bool ParseVrMode(const std::string& name, VrMode* out) {
+  if (name == "off") {
+    *out = VrMode::kOff;
+  } else if (name == "forcing") {
+    *out = VrMode::kForcing;
+  } else if (name == "biasing") {
+    *out = VrMode::kBiasing;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 }  // namespace afraid
 

@@ -93,6 +93,22 @@ void PrintComparisonTable(FILE* out, const std::vector<SchemeComparison>& rows) 
   std::fprintf(out,
                "  (* = analytic MTTDL inside the empirical 95%% CI; "
                "ratio = measured/predicted)\n");
+  // Variance-reduction diagnostics, printed only for accelerated campaigns
+  // so the default report stays byte-identical to the historical output.
+  for (const SchemeComparison& c : rows) {
+    const CampaignSummary& s = c.empirical;
+    if (s.vr_mode == VrMode::kOff) {
+      continue;
+    }
+    std::fprintf(out,
+                 "  (vr %-16s %s x%g: ess %.1f/%d, weighted losses %.4g, "
+                 "P[loss] %s [%s, %s])\n",
+                 s.label.c_str(), VrModeName(s.vr_mode), s.failure_bias, s.ess,
+                 s.lifetimes, s.weighted_loss_events,
+                 FmtG(s.loss_probability.point).c_str(),
+                 FmtG(s.loss_probability.lo).c_str(),
+                 FmtG(s.loss_probability.hi).c_str());
+  }
 }
 
 std::string ComparisonJson(const std::vector<SchemeComparison>& rows) {
@@ -123,6 +139,15 @@ std::string ComparisonJson(const std::vector<SchemeComparison>& rows) {
     out += "      \"mdlr_bph\": {\"point\": " + JsonNum(s.mdlr_bph.point) +
            ", \"lo\": " + JsonNum(s.mdlr_bph.lo) +
            ", \"hi\": " + JsonNum(s.mdlr_bph.hi) + "},\n";
+    out += "      \"loss_probability\": {\"point\": " +
+           JsonNum(s.loss_probability.point) +
+           ", \"lo\": " + JsonNum(s.loss_probability.lo) +
+           ", \"hi\": " + JsonNum(s.loss_probability.hi) + "},\n";
+    out += std::string("      \"vr\": {\"mode\": \"") + VrModeName(s.vr_mode) +
+           "\", \"failure_bias\": " + JsonNum(s.failure_bias) +
+           ", \"ess\": " + JsonNum(s.ess) +
+           ", \"weighted_loss_events\": " + JsonNum(s.weighted_loss_events) +
+           "},\n";
     out += "      \"analytic_mttdl_hours\": " + JsonNum(c.analytic_mttdl_hours) + ",\n";
     out += "      \"analytic_mdlr_bph\": " + JsonNum(c.analytic_mdlr_bph) + ",\n";
     out += "      \"mttdl_ratio\": " + JsonNum(c.mttdl_ratio) + ",\n";
@@ -141,6 +166,8 @@ std::string ComparisonCsv(const std::vector<SchemeComparison>& rows) {
       "unprotected,catastrophic,nvram,support,disk_failures,predicted_averted,"
       "drills,mean_t_unprot_fraction,mean_parity_lag_bytes,"
       "mttdl_hours,mttdl_lo,mttdl_hi,mdlr_bph,mdlr_lo,mdlr_hi,"
+      "loss_prob,loss_prob_lo,loss_prob_hi,vr_mode,failure_bias,ess,"
+      "weighted_loss_events,"
       "analytic_mttdl_hours,analytic_mdlr_bph,mttdl_ratio,mdlr_ratio,"
       "mttdl_in_ci\n";
   for (const SchemeComparison& c : rows) {
@@ -158,7 +185,11 @@ std::string ComparisonCsv(const std::vector<SchemeComparison>& rows) {
            FmtG(s.mean_parity_lag_bytes) + "," + FmtG(s.mttdl_hours.point) +
            "," + FmtG(s.mttdl_hours.lo) + "," + FmtG(s.mttdl_hours.hi) + "," +
            FmtG(s.mdlr_bph.point) + "," + FmtG(s.mdlr_bph.lo) + "," +
-           FmtG(s.mdlr_bph.hi) + "," + FmtG(c.analytic_mttdl_hours) + "," +
+           FmtG(s.mdlr_bph.hi) + "," + FmtG(s.loss_probability.point) + "," +
+           FmtG(s.loss_probability.lo) + "," + FmtG(s.loss_probability.hi) +
+           "," + VrModeName(s.vr_mode) + "," + FmtG(s.failure_bias) + "," +
+           FmtG(s.ess) + "," + FmtG(s.weighted_loss_events) + "," +
+           FmtG(c.analytic_mttdl_hours) + "," +
            FmtG(c.analytic_mdlr_bph) + "," + FmtG(c.mttdl_ratio) + "," +
            FmtG(c.mdlr_ratio) + "," + (c.mttdl_in_ci ? "1" : "0") + "\n";
   }

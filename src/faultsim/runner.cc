@@ -1,18 +1,11 @@
 #include "faultsim/runner.h"
 
-#include <atomic>
-#include <thread>
+#include "core/sweep.h"
 
 namespace afraid {
 
 int32_t EffectiveThreads(int32_t requested, int32_t lifetimes) {
-  int32_t n = requested;
-  if (n < 1) {
-    n = static_cast<int32_t>(std::thread::hardware_concurrency());
-    if (n < 1) {
-      n = 1;
-    }
-  }
+  int32_t n = requested < 1 ? SweepThreads() : requested;
   if (n > lifetimes) {
     n = lifetimes;
   }
@@ -26,37 +19,17 @@ std::vector<LifetimeResult> RunCampaignLifetimes(const CampaignConfig& config,
   if (count <= 0) {
     return results;
   }
-  const int32_t threads = EffectiveThreads(num_threads, count);
-  if (threads == 1) {
-    for (int32_t i = 0; i < count; ++i) {
-      results[static_cast<size_t>(i)] = RunLifetime(config, i);
-    }
-    return results;
-  }
-
-  std::atomic<int32_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const int32_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) {
-        return;
-      }
-      // Entirely self-contained: which worker runs lifetime i cannot affect
-      // its result, only where it is computed -- and each slot is written by
-      // exactly one worker (the fetch_add hands out distinct indices), so no
-      // lock is needed around the preallocated results vector. The joins
-      // below publish the writes to the caller.
-      results[static_cast<size_t>(i)] = RunLifetime(config, i);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int32_t t = 0; t < threads; ++t) {
-    pool.emplace_back(worker);
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
+  // Each lifetime is a pure function of (config, index), so which worker
+  // runs it cannot affect the result, only where it is computed -- and each
+  // slot is written by exactly one worker (RunSweep hands out distinct
+  // indices). The arena is per OS thread: it only recycles event-queue
+  // storage, never state, since RunLifetime resets it before use.
+  internal::RunSweep(count, EffectiveThreads(num_threads, count),
+                     [&](int64_t i) {
+                       thread_local LifetimeArena arena;
+                       results[static_cast<size_t>(i)] =
+                           RunLifetime(config, static_cast<int32_t>(i), &arena);
+                     });
   return results;
 }
 

@@ -1,13 +1,14 @@
 // Parallel campaign runner: spreads a campaign's independent lifetimes over
-// a std::thread pool.
+// the shared deterministic sweep pool (core/sweep.h).
 //
 // Each lifetime is a pure function of (config, index) -- it owns its
 // Simulator, controller, and RNG streams, all seeded by
 // DeriveStreamSeed(base_seed, index) -- so workers share nothing but the
 // work-item counter and the result vector. Each result lands lock-free in
-// its own index slot (distinct slots, one writer each; the thread joins
-// publish the writes), and the summary is reduced sequentially by index
-// afterwards, making the output bit-identical for any thread count.
+// its own index slot (distinct slots, one writer each), and the summary is
+// reduced sequentially by index afterwards, making the output bit-identical
+// for any thread count. Workers keep one LifetimeArena per thread so the
+// event-queue storage of both simulators is recycled across lifetimes.
 
 #ifndef AFRAID_FAULTSIM_RUNNER_H_
 #define AFRAID_FAULTSIM_RUNNER_H_
@@ -20,7 +21,9 @@
 namespace afraid {
 
 // Thread count actually used for `requested`: values < 1 mean "use the
-// hardware concurrency", and the pool never exceeds the lifetime count.
+// sweep default" (AFRAID_BENCH_THREADS if set, else hardware concurrency;
+// see core/sweep.h SweepThreads), and the pool never exceeds the lifetime
+// count.
 int32_t EffectiveThreads(int32_t requested, int32_t lifetimes);
 
 // Runs all lifetimes of the campaign on `num_threads` workers (see

@@ -1,16 +1,35 @@
 #include "faultsim/scenario.h"
 
 #include <cassert>
+#include <cmath>
 
 namespace afraid {
 
 ScenarioEngine::ScenarioEngine(const FaultModelParams& params, int32_t num_disks,
-                               uint64_t seed, ScenarioEvents events)
-    : params_(params), num_disks_(num_disks), rng_(seed), events_(std::move(events)) {
+                               uint64_t seed, ScenarioEvents events,
+                               const VarianceReduction& vr, double horizon_hours,
+                               Simulator* sim)
+    : params_(params),
+      num_disks_(num_disks),
+      owned_sim_(sim == nullptr ? std::make_unique<Simulator>() : nullptr),
+      sim_(sim == nullptr ? owned_sim_.get() : sim),
+      rng_(seed),
+      events_(std::move(events)),
+      vr_(vr),
+      horizon_hours_(horizon_hours) {
   assert(num_disks_ > 0);
   assert(params_.mttf_disk_raw_hours > 0.0);
   assert(params_.coverage >= 0.0 && params_.coverage < 1.0);
   assert(params_.mttr_hours > 0.0);
+  assert(sim_->Now() == 0 && sim_->Idle());
+  if (vr_.Enabled()) {
+    assert(horizon_hours_ > 0.0);
+    assert(vr_.failure_bias > 0.0);
+    ScheduleInitialForced();
+    return;
+  }
+  // Variance reduction off: exactly the historical draw order, no clock
+  // bookkeeping, log weight pinned at 0.
   for (int32_t d = 0; d < num_disks_; ++d) {
     ScheduleDiskFailure(d);
   }
@@ -24,17 +43,140 @@ ScenarioEngine::ScenarioEngine(const FaultModelParams& params, int32_t num_disks
 
 void ScenarioEngine::RunUntil(double hours) {
   const SimTime deadline = TimelineFromHours(hours);
-  while (!stopped_ && !sim_.Idle() && sim_.NextEventTime() <= deadline) {
-    sim_.Step();
+  while (!stopped_ && !sim_->Idle() && sim_->NextEventTime() <= deadline) {
+    sim_->Step();
   }
-  if (!stopped_ && sim_.Now() < deadline) {
-    sim_.RunUntil(deadline);  // No events remain before it: just advance the clock.
+  if (!stopped_ && sim_->Now() < deadline) {
+    sim_->RunUntil(deadline);  // No events remain before it: just advance the clock.
   }
 }
 
+void ScenarioEngine::ScheduleInitialForced() {
+  const double b = vr_.RateMultiplier();
+  const bool has_nvram = params_.nvram_mttf_hours > 0.0;
+  const bool has_support = params_.support_mttdl_hours > 0.0;
+  const size_t n_clocks =
+      static_cast<size_t>(num_disks_) + (has_nvram ? 1 : 0) + (has_support ? 1 : 0);
+  clocks_.assign(n_clocks, VrClock{});
+  nvram_clock_ = static_cast<size_t>(num_disks_);
+  support_clock_ = nvram_clock_ + (has_nvram ? 1 : 0);
+
+  // Sampled (biased) per-clock rates, in clock-index order, and their total.
+  const double disk_rate = b / params_.mttf_disk_raw_hours;
+  const double nvram_rate = has_nvram ? b / params_.nvram_mttf_hours : 0.0;
+  const double support_rate = has_support ? b / params_.support_mttdl_hours : 0.0;
+  const double total_rate =
+      disk_rate * static_cast<double>(num_disks_) + nvram_rate + support_rate;
+
+  // Forcing: the superposed first event is Exp(total_rate) truncated to the
+  // observation window [0, horizon). The sampled path's density is the
+  // unconditioned one divided by the window mass F, so the likelihood ratio
+  // against the nominal process picks up the factor F here; the per-clock
+  // biased-vs-nominal terms are handled by VrClockFired / FinalLogWeight as
+  // if all clocks were plain independent biased exponentials (memorylessness
+  // makes the min/argmin/residual construction below equal in law to exactly
+  // that, conditioned on the min landing in the window).
+  const double trunc_mass = -std::expm1(-total_rate * horizon_hours_);
+  const double u = rng_.UniformDouble(0.0, 1.0);
+  const double t1_hours = -std::log1p(-u * trunc_mass) / total_rate;
+  log_weight_ += std::log(trunc_mass);
+
+  // Which clock fired first: proportional to the sampled rates.
+  const double v = rng_.UniformDouble(0.0, 1.0) * total_rate;
+  size_t winner = n_clocks - 1;
+  double cumulative = 0.0;
+  for (size_t c = 0; c < n_clocks; ++c) {
+    const double rate = c < static_cast<size_t>(num_disks_) ? disk_rate
+                        : (has_nvram && c == nvram_clock_) ? nvram_rate
+                                                           : support_rate;
+    cumulative += rate;
+    if (v < cumulative) {
+      winner = c;
+      break;
+    }
+  }
+
+  // The winner fires at t1; every other clock gets a memoryless residual
+  // draw past t1. All clocks started at time 0 at their nominal means.
+  for (size_t c = 0; c < n_clocks; ++c) {
+    const double nominal_mean = c < static_cast<size_t>(num_disks_)
+                                    ? params_.mttf_disk_raw_hours
+                                : (has_nvram && c == nvram_clock_)
+                                    ? params_.nvram_mttf_hours
+                                    : params_.support_mttdl_hours;
+    clocks_[c] = VrClock{0.0, nominal_mean, true};
+    const double when_hours =
+        c == winner ? t1_hours : t1_hours + rng_.ExponentialMean(nominal_mean / b);
+    if (c < static_cast<size_t>(num_disks_)) {
+      const int32_t disk = static_cast<int32_t>(c);
+      sim_->After(TimelineFromHours(when_hours), [this, disk] {
+        if (stopped_) {
+          return;
+        }
+        OnDiskFails(disk);
+      });
+    } else if (has_nvram && c == nvram_clock_) {
+      sim_->After(TimelineFromHours(when_hours), [this] {
+        if (stopped_) {
+          return;
+        }
+        OnNvramFails();
+      });
+    } else {
+      sim_->After(TimelineFromHours(when_hours), [this] {
+        if (stopped_) {
+          return;
+        }
+        OnSupportFails();
+      });
+    }
+  }
+}
+
+void ScenarioEngine::VrClockStarted(size_t clock, double mean_hours) {
+  clocks_[clock] = VrClock{NowHours(), mean_hours, true};
+}
+
+void ScenarioEngine::VrClockFired(size_t clock) {
+  VrClock& c = clocks_[clock];
+  const double b = vr_.RateMultiplier();
+  const double age_hours = NowHours() - c.start_hours;
+  // Nominal-over-sampled density ratio of this draw:
+  //   [(1/m) e^{-a/m}] / [(b/m) e^{-ba/m}] = (1/b) e^{(b-1)a/m}.
+  log_weight_ += -std::log(b) + (b - 1.0) * age_hours / c.nominal_mean_hours;
+  c.at_risk = false;
+}
+
+double ScenarioEngine::FinalLogWeight(double stop_hours) const {
+  if (!vr_.Enabled()) {
+    return 0.0;
+  }
+  const double b = vr_.RateMultiplier();
+  double logw = log_weight_;
+  // Clocks still pending at the stopping time are right-censored there: the
+  // path only reveals that the draw exceeds its age, so each contributes the
+  // survival ratio e^{-a/m} / e^{-ba/m} = e^{(b-1)a/m}. Clocks not at risk
+  // (a disk mid-repair) accrue no hazard under either measure.
+  for (const VrClock& c : clocks_) {
+    if (!c.at_risk) {
+      continue;
+    }
+    const double age_hours = stop_hours - c.start_hours;
+    if (age_hours > 0.0) {
+      logw += (b - 1.0) * age_hours / c.nominal_mean_hours;
+    }
+  }
+  return logw;
+}
+
 void ScenarioEngine::ScheduleDiskFailure(int32_t disk) {
-  const double ttf_hours = rng_.ExponentialMean(params_.mttf_disk_raw_hours);
-  sim_.After(TimelineFromHours(ttf_hours), [this, disk] {
+  double mean_hours = params_.mttf_disk_raw_hours;
+  if (vr_.Enabled()) {
+    VrClockStarted(static_cast<size_t>(disk), mean_hours);
+    mean_hours /= vr_.RateMultiplier();
+  }
+  const double ttf_hours = rng_.ExponentialMean(mean_hours);
+  sim_->After(TimelineFromHours(ttf_hours), [this, disk] {
     if (stopped_) {
       return;
     }
@@ -43,6 +185,9 @@ void ScenarioEngine::ScheduleDiskFailure(int32_t disk) {
 }
 
 void ScenarioEngine::OnDiskFails(int32_t disk) {
+  if (vr_.Enabled()) {
+    VrClockFired(static_cast<size_t>(disk));  // The raw clock fired either way.
+  }
   const bool predicted = rng_.Bernoulli(params_.coverage);
   if (predicted && params_.prediction_averts_loss) {
     // Caught in advance: the disk is migrated onto a replacement before it
@@ -64,7 +209,7 @@ void ScenarioEngine::OnDiskFails(int32_t disk) {
   if (stopped_) {
     return;
   }
-  sim_.After(TimelineFromHours(params_.mttr_hours), [this, disk] {
+  sim_->After(TimelineFromHours(params_.mttr_hours), [this, disk] {
     if (stopped_) {
       return;
     }
@@ -79,35 +224,59 @@ void ScenarioEngine::OnDiskFails(int32_t disk) {
 }
 
 void ScenarioEngine::ScheduleNvramLoss() {
-  const double ttf_hours = rng_.ExponentialMean(params_.nvram_mttf_hours);
-  sim_.After(TimelineFromHours(ttf_hours), [this] {
+  double mean_hours = params_.nvram_mttf_hours;
+  if (vr_.Enabled()) {
+    VrClockStarted(nvram_clock_, mean_hours);
+    mean_hours /= vr_.RateMultiplier();
+  }
+  const double ttf_hours = rng_.ExponentialMean(mean_hours);
+  sim_->After(TimelineFromHours(ttf_hours), [this] {
     if (stopped_) {
       return;
     }
-    ++nvram_losses_;
-    if (events_.on_nvram_loss) {
-      events_.on_nvram_loss(NowHours());
-    }
-    if (!stopped_) {
-      ScheduleNvramLoss();  // Immediate replacement of the failed part.
-    }
+    OnNvramFails();
   });
 }
 
+void ScenarioEngine::OnNvramFails() {
+  if (vr_.Enabled()) {
+    VrClockFired(nvram_clock_);
+  }
+  ++nvram_losses_;
+  if (events_.on_nvram_loss) {
+    events_.on_nvram_loss(NowHours());
+  }
+  if (!stopped_) {
+    ScheduleNvramLoss();  // Immediate replacement of the failed part.
+  }
+}
+
 void ScenarioEngine::ScheduleSupportLoss() {
-  const double ttf_hours = rng_.ExponentialMean(params_.support_mttdl_hours);
-  sim_.After(TimelineFromHours(ttf_hours), [this] {
+  double mean_hours = params_.support_mttdl_hours;
+  if (vr_.Enabled()) {
+    VrClockStarted(support_clock_, mean_hours);
+    mean_hours /= vr_.RateMultiplier();
+  }
+  const double ttf_hours = rng_.ExponentialMean(mean_hours);
+  sim_->After(TimelineFromHours(ttf_hours), [this] {
     if (stopped_) {
       return;
     }
-    ++support_losses_;
-    if (events_.on_support_loss) {
-      events_.on_support_loss(NowHours());
-    }
-    if (!stopped_) {
-      ScheduleSupportLoss();
-    }
+    OnSupportFails();
   });
+}
+
+void ScenarioEngine::OnSupportFails() {
+  if (vr_.Enabled()) {
+    VrClockFired(support_clock_);
+  }
+  ++support_losses_;
+  if (events_.on_support_loss) {
+    events_.on_support_loss(NowHours());
+  }
+  if (!stopped_) {
+    ScheduleSupportLoss();
+  }
 }
 
 }  // namespace afraid

@@ -21,12 +21,22 @@
 // what each event costs by consulting the live array controller (exposure.h).
 // Callbacks fire synchronously from timeline events; calling Stop() from a
 // callback (first data loss detected) halts the run.
+//
+// Rare-event acceleration (fault_model.h VarianceReduction): with forcing
+// and/or failure biasing enabled, the engine samples the fault process under
+// a changed measure and keeps the exact log-likelihood ratio of the nominal
+// process against the sampled one. FinalLogWeight(stop_hours) adds the
+// censoring terms of every clock still at risk at the stopping time; the
+// result is the per-lifetime log weight the campaign's weighted estimators
+// consume. With variance reduction off the engine draws exactly as before
+// (same RNG order, zero overhead) and the log weight is exactly 0.
 
 #ifndef AFRAID_FAULTSIM_SCENARIO_H_
 #define AFRAID_FAULTSIM_SCENARIO_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -50,8 +60,14 @@ struct ScenarioEvents {
 
 class ScenarioEngine {
  public:
+  // `vr`/`horizon_hours` configure rare-event acceleration; the horizon is
+  // the forcing window (the campaign's lifetime cap) and must be positive
+  // when vr is enabled. A non-null `sim` is borrowed instead of the internal
+  // simulator (it must be freshly reset); the campaign's per-worker
+  // LifetimeArena uses this to retain event-queue storage across lifetimes.
   ScenarioEngine(const FaultModelParams& params, int32_t num_disks, uint64_t seed,
-                 ScenarioEvents events);
+                 ScenarioEvents events, const VarianceReduction& vr = {},
+                 double horizon_hours = 0.0, Simulator* sim = nullptr);
 
   // Runs timeline events in order until `hours` (exclusive), the event queue
   // drains (cannot happen before Stop()), or a callback calls Stop(). Leaves
@@ -62,7 +78,7 @@ class ScenarioEngine {
   void Stop() { stopped_ = true; }
   bool Stopped() const { return stopped_; }
 
-  double NowHours() const { return TimelineToHours(sim_.Now()); }
+  double NowHours() const { return TimelineToHours(sim_->Now()); }
 
   // Disks currently in an unpredicted-failure repair window.
   int32_t FailedDisks() const { return static_cast<int32_t>(failed_.size()); }
@@ -74,17 +90,54 @@ class ScenarioEngine {
   uint64_t NvramLosses() const { return nvram_losses_; }
   uint64_t SupportLosses() const { return support_losses_; }
 
+  // The per-lifetime log likelihood ratio log(dP/dQ) of the nominal fault
+  // process P against the sampled (forced/biased) process Q, for the path
+  // observed on [0, stop_hours]: the accumulated per-event terms plus the
+  // censoring (survival-ratio) term of every clock still at risk at
+  // `stop_hours`. Exactly 0.0 when variance reduction is off. The campaign
+  // calls this once, at the lifetime's stopping time (first loss or cap).
+  double FinalLogWeight(double stop_hours) const;
+
  private:
+  // Per-clock bookkeeping for the likelihood ratio: when the current draw
+  // was started and at what nominal mean. Disks occupy [0, num_disks);
+  // NVRAM and support clocks follow when enabled.
+  struct VrClock {
+    double start_hours = 0.0;
+    double nominal_mean_hours = 0.0;
+    bool at_risk = false;
+  };
+
   void ScheduleDiskFailure(int32_t disk);
   void ScheduleNvramLoss();
   void ScheduleSupportLoss();
   void OnDiskFails(int32_t disk);
+  void OnNvramFails();
+  void OnSupportFails();
+
+  // Forced initial scheduling: the first fault is drawn from the truncated
+  // exponential on [0, horizon) at the (biased) total rate; the remaining
+  // clocks get memoryless residual draws past it.
+  void ScheduleInitialForced();
+
+  // Likelihood-ratio bookkeeping around the clock with index `clock`
+  // (re)starting now, or firing now.
+  void VrClockStarted(size_t clock, double mean_hours);
+  void VrClockFired(size_t clock);
 
   FaultModelParams params_;
   int32_t num_disks_;
-  Simulator sim_;
+  std::unique_ptr<Simulator> owned_sim_;
+  Simulator* sim_;
   Rng rng_;
   ScenarioEvents events_;
+
+  VarianceReduction vr_;
+  double horizon_hours_ = 0.0;
+  double log_weight_ = 0.0;
+  std::vector<VrClock> clocks_;  // Empty when variance reduction is off.
+  size_t nvram_clock_ = 0;       // Index into clocks_; valid when enabled.
+  size_t support_clock_ = 0;
 
   std::set<int32_t> failed_;
   bool stopped_ = false;

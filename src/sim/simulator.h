@@ -64,6 +64,16 @@ class Simulator {
   // Time of the next pending event (kSimTimeNever if none).
   SimTime NextEventTime() const { return queue_.NextTime(); }
 
+  // Returns the simulator to its just-constructed state: clock at 0, no
+  // pending events, counters cleared. Event-queue slot storage is retained,
+  // so a reset simulator re-runs without reallocating — this is what lets a
+  // campaign worker reuse one arena across lifetimes (faultsim/campaign.h).
+  void Reset() {
+    queue_.Clear();
+    now_ = 0;
+    events_processed_ = 0;
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;

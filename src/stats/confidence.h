@@ -15,6 +15,13 @@
 //
 // Everything here is closed-form; the chi-square quantile is exact at df = 2
 // and uses the Wilson-Hilferty cube approximation elsewhere.
+//
+// The Weighted* variants extend both estimators to importance-sampled
+// campaigns (faultsim forcing / failure biasing): each lifetime carries a
+// log likelihood-ratio weight, estimators are weighted sums, and the Kish
+// effective sample size diagnoses weight degeneracy. Weights enter in log
+// space and are rescaled by the maximum before exponentiation, so extreme
+// biasing factors degrade gracefully instead of overflowing.
 
 #ifndef AFRAID_STATS_CONFIDENCE_H_
 #define AFRAID_STATS_CONFIDENCE_H_
@@ -110,6 +117,205 @@ inline ConfidenceInterval RatioCi(const std::vector<double>& num,
                     dbar;
   ci.lo = std::max(0.0, r - kZ975 * se);
   ci.hi = r + kZ975 * se;
+  return ci;
+}
+
+// --- Weighted (importance-sampled) estimators --------------------------------
+
+// Kish effective sample size of a set of log weights: (sum w)^2 / sum w^2.
+// Scale-invariant, so the weights are shifted by their maximum before
+// exponentiation (at least one term is then exactly 1 and nothing can
+// overflow). Equal weights give ESS = n; one dominating weight collapses it
+// toward 1. Empty input gives 0.
+inline double WeightEss(const std::vector<double>& log_w) {
+  if (log_w.empty()) {
+    return 0.0;
+  }
+  double max_log = log_w[0];
+  for (double lw : log_w) {
+    max_log = std::max(max_log, lw);
+  }
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (double lw : log_w) {
+    const double u = std::exp(lw - max_log);
+    s1 += u;
+    s2 += u * u;
+  }
+  return s2 > 0.0 ? s1 * s1 / s2 : 0.0;
+}
+
+// 95% CI for the unnormalized importance-sampling mean (1/n) sum(w_i x_i) of
+// a nominal-measure expectation E[x] from draws under the sampling measure
+// (per-lifetime loss probability, for example, with x an indicator). With
+// all weights log 0 this is the ordinary sample mean. Lower bound clamps at
+// zero; a non-finite blow-up (weights beyond double range) degrades to
+// [0, +inf) rather than NaN.
+inline ConfidenceInterval WeightedMeanCi(const std::vector<double>& log_w,
+                                         const std::vector<double>& x) {
+  assert(log_w.size() == x.size());
+  ConfidenceInterval ci;
+  const size_t k = log_w.size();
+  if (k == 0) {
+    return ci;
+  }
+  double max_log = log_w[0];
+  for (double lw : log_w) {
+    max_log = std::max(max_log, lw);
+  }
+  // Scaled terms y_i = w_i x_i * exp(-max_log); the scale is restored at the
+  // end so intermediate sums stay in range.
+  double sum = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    sum += std::exp(log_w[i] - max_log) * x[i];
+  }
+  const double mean_scaled = sum / static_cast<double>(k);
+  const double scale = std::exp(max_log);
+  ci.point = mean_scaled * scale;
+  if (k < 2) {
+    ci.lo = ci.hi = ci.point;
+    return ci;
+  }
+  double ss = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double resid = std::exp(log_w[i] - max_log) * x[i] - mean_scaled;
+    ss += resid * resid;
+  }
+  const double se_scaled = std::sqrt(ss / static_cast<double>(k - 1) /
+                                     static_cast<double>(k));
+  ci.lo = std::max(0.0, (mean_scaled - kZ975 * se_scaled) * scale);
+  ci.hi = (mean_scaled + kZ975 * se_scaled) * scale;
+  if (!std::isfinite(ci.point) || !std::isfinite(ci.hi)) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    ci.lo = 0.0;
+    ci.hi = kInf;
+    if (!std::isfinite(ci.point)) {
+      ci.point = kInf;
+    }
+  }
+  return ci;
+}
+
+// 95% CI for the weighted combined ratio
+//     sum(w_i num_i) / (sum(w_i den_i) + k * den_offset),
+// the importance-sampled analogue of RatioCi. `den_offset` adds a constant
+// unit-weight denominator mass per observation: a forced campaign never
+// samples the fault-free lifetime, so its analytically known observed-hours
+// contribution exp(-Lambda H) * H re-enters here (DESIGN.md section 15).
+// The delta-method residuals treat each (w_i num_i, w_i den_i + den_offset)
+// pair as one observation. Weights are max-rescaled in log space; when an
+// offset is present the scale is clamped at log 1 so the offset's relative
+// magnitude survives the rescale.
+inline ConfidenceInterval WeightedRatioCi(const std::vector<double>& log_w,
+                                          const std::vector<double>& num,
+                                          const std::vector<double>& den,
+                                          double den_offset = 0.0) {
+  assert(log_w.size() == num.size());
+  assert(log_w.size() == den.size());
+  assert(den_offset >= 0.0);
+  ConfidenceInterval ci;
+  const size_t k = log_w.size();
+  if (k == 0) {
+    return ci;
+  }
+  double max_log = log_w[0];
+  for (double lw : log_w) {
+    max_log = std::max(max_log, lw);
+  }
+  if (den_offset > 0.0) {
+    max_log = std::max(max_log, 0.0);  // The offset carries weight exactly 1.
+  }
+  const double offset_scaled = den_offset * std::exp(-max_log);
+  double sn = 0.0;
+  double sd = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double u = std::exp(log_w[i] - max_log);
+    sn += u * num[i];
+    sd += u * den[i] + offset_scaled;
+  }
+  if (sd <= 0.0) {
+    return ci;  // Degenerate: all weights/denominators vanished.
+  }
+  const double r = sn / sd;
+  ci.point = r;
+  if (k < 2) {
+    ci.lo = ci.hi = r;
+    return ci;
+  }
+  const double dbar = sd / static_cast<double>(k);
+  double ss = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double u = std::exp(log_w[i] - max_log);
+    const double resid = u * num[i] - r * (u * den[i] + offset_scaled);
+    ss += resid * resid;
+  }
+  const double se = std::sqrt(ss / static_cast<double>(k - 1) /
+                              static_cast<double>(k)) /
+                    dbar;
+  ci.lo = std::max(0.0, r - kZ975 * se);
+  ci.hi = r + kZ975 * se;
+  if (!std::isfinite(ci.point)) {
+    ci.point = ci.hi = std::numeric_limits<double>::infinity();
+    ci.lo = 0.0;
+  }
+  return ci;
+}
+
+// 95% CI for the MTTDL from an importance-sampled campaign: per-lifetime
+// loss counts (0/1), observed hours, and log weights, plus the per-lifetime
+// fault-free censored-hours mass `censored_hours_offset` a forced campaign
+// must add back analytically. The loss *rate* interval comes from
+// WeightedRatioCi and inverts into mean-time bounds. With zero weighted loss
+// events the delta-method SE degenerates, so the lower bound falls back to
+// the chi-square zero-event limit with the effective sample size in place of
+// n: lo = 2 * ESS * mean-hours / chi2_{2,0.975} (exactly MttdlCiHours when
+// every weight is 1 and the offset is 0).
+inline ConfidenceInterval WeightedMttdlCiHours(
+    const std::vector<double>& log_w, const std::vector<double>& loss_events,
+    const std::vector<double>& hours, double censored_hours_offset = 0.0) {
+  assert(log_w.size() == loss_events.size());
+  assert(log_w.size() == hours.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  ConfidenceInterval ci;
+  const size_t k = log_w.size();
+  if (k == 0) {
+    return ci;
+  }
+  double weighted_events = 0.0;
+  double max_log = log_w[0];
+  for (double lw : log_w) {
+    max_log = std::max(max_log, lw);
+  }
+  const double scale_log = std::max(max_log, 0.0);
+  double hours_scaled = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    const double u = std::exp(log_w[i] - scale_log);
+    weighted_events += u * loss_events[i];
+    hours_scaled += u * hours[i];
+  }
+  if (weighted_events <= 0.0) {
+    // No (weighted) losses observed: point and upper bound are unbounded and
+    // the one-sided lower limit uses the effective, not nominal, sample size.
+    const double mean_hours =
+        hours_scaled / static_cast<double>(k) * std::exp(scale_log) +
+        censored_hours_offset;
+    const double ess = WeightEss(log_w);
+    ci.point = kInf;
+    ci.hi = kInf;
+    ci.lo = 2.0 * ess * mean_hours / ChiSquareQuantile(2.0, kZ975);
+    if (!std::isfinite(ci.lo)) {
+      ci.lo = 0.0;
+    }
+    return ci;
+  }
+  const ConfidenceInterval rate =
+      WeightedRatioCi(log_w, loss_events, hours, censored_hours_offset);
+  if (rate.point <= 0.0) {
+    return ci;
+  }
+  ci.point = 1.0 / rate.point;
+  ci.lo = rate.hi > 0.0 ? 1.0 / rate.hi : 0.0;
+  ci.hi = rate.lo > 0.0 ? 1.0 / rate.lo : kInf;
   return ci;
 }
 

@@ -124,6 +124,124 @@ TEST(CampaignTest, SummaryAccountingIsConsistent) {
   }
 }
 
+// --- Rare-event acceleration -----------------------------------------------
+
+// High failure rate so the naive estimator converges in few lifetimes; used
+// to validate that the biased estimators agree with it.
+CampaignConfig HighRateCampaign(int32_t lifetimes) {
+  CampaignConfig c = TestCampaign(PolicySpec::AfraidBaseline(), lifetimes, 4e4);
+  c.faults.mttf_disk_raw_hours = 1e5;
+  c.base_seed = 20260808;
+  return c;
+}
+
+TEST(CampaignVrTest, BiasedResultsAreThreadCountInvariant) {
+  CampaignConfig cfg = HighRateCampaign(16);
+  cfg.vr.mode = VrMode::kBiasing;
+  cfg.vr.failure_bias = 4.0;
+  const std::vector<LifetimeResult> serial = RunCampaignLifetimes(cfg, 1);
+  const std::vector<LifetimeResult> parallel = RunCampaignLifetimes(cfg, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, parallel[i].seed) << i;
+    EXPECT_EQ(serial[i].data_loss, parallel[i].data_loss) << i;
+    EXPECT_EQ(serial[i].hours_observed, parallel[i].hours_observed) << i;
+    EXPECT_EQ(serial[i].bytes_lost, parallel[i].bytes_lost) << i;
+    // The weight too is a pure function of (config, index): bit-identical
+    // regardless of which worker ran the lifetime.
+    EXPECT_EQ(serial[i].log_weight, parallel[i].log_weight) << i;
+  }
+  const CampaignSummary s1 = Summarize(cfg, serial);
+  const CampaignSummary s8 = Summarize(cfg, parallel);
+  EXPECT_EQ(s1.mttdl_hours.point, s8.mttdl_hours.point);
+  EXPECT_EQ(s1.loss_probability.point, s8.loss_probability.point);
+  EXPECT_EQ(s1.ess, s8.ess);
+}
+
+TEST(CampaignVrTest, ArenaReuseIsResultIdentical) {
+  // One arena run through several lifetimes (with and without variance
+  // reduction) must reproduce the fresh-construction results exactly.
+  for (const bool vr_on : {false, true}) {
+    CampaignConfig cfg = HighRateCampaign(4);
+    if (vr_on) {
+      cfg.vr.mode = VrMode::kBiasing;
+      cfg.vr.failure_bias = 4.0;
+    }
+    LifetimeArena arena;
+    for (int32_t i = 0; i < cfg.lifetimes; ++i) {
+      const LifetimeResult fresh = RunLifetime(cfg, i);
+      const LifetimeResult reused = RunLifetime(cfg, i, &arena);
+      EXPECT_EQ(fresh.seed, reused.seed) << i;
+      EXPECT_EQ(fresh.data_loss, reused.data_loss) << i;
+      EXPECT_EQ(fresh.hours_observed, reused.hours_observed) << i;
+      EXPECT_EQ(fresh.bytes_lost, reused.bytes_lost) << i;
+      EXPECT_EQ(fresh.disk_failures, reused.disk_failures) << i;
+      EXPECT_EQ(fresh.drills, reused.drills) << i;
+      EXPECT_EQ(fresh.t_unprot_fraction, reused.t_unprot_fraction) << i;
+      EXPECT_EQ(fresh.log_weight, reused.log_weight) << i;
+    }
+  }
+}
+
+TEST(CampaignVrTest, OffModeHasUnitWeightsAndFullEss) {
+  const CampaignConfig cfg = HighRateCampaign(8);
+  const std::vector<LifetimeResult> results = RunCampaignLifetimes(cfg, 0);
+  for (const LifetimeResult& r : results) {
+    EXPECT_EQ(r.log_weight, 0.0);
+  }
+  const CampaignSummary s = Summarize(cfg, results);
+  EXPECT_EQ(s.vr_mode, VrMode::kOff);
+  EXPECT_DOUBLE_EQ(s.ess, 8.0);
+  EXPECT_DOUBLE_EQ(s.weighted_loss_events,
+                   static_cast<double>(s.loss_events));
+}
+
+TEST(CampaignVrTest, BiasedEstimateLandsInsideNaiveCi) {
+  // The unbiasedness validation from the issue: on a high-failure-rate
+  // config where the naive estimator converges, the biased point estimates
+  // must land inside the naive 95% CIs.
+  const CampaignSummary naive = RunCampaign(HighRateCampaign(400), 0);
+  ASSERT_GE(naive.loss_events, 5u);
+
+  CampaignConfig biased_cfg = HighRateCampaign(400);
+  biased_cfg.vr.mode = VrMode::kBiasing;
+  biased_cfg.vr.failure_bias = 2.0;
+  const CampaignSummary biased = RunCampaign(biased_cfg, 0);
+
+  EXPECT_TRUE(naive.mttdl_hours.Contains(biased.mttdl_hours.point))
+      << "biased MTTDL " << biased.mttdl_hours.point << " outside naive ["
+      << naive.mttdl_hours.lo << ", " << naive.mttdl_hours.hi << "]";
+  EXPECT_TRUE(naive.loss_probability.Contains(biased.loss_probability.point))
+      << "biased P[loss] " << biased.loss_probability.point
+      << " outside naive [" << naive.loss_probability.lo << ", "
+      << naive.loss_probability.hi << "]";
+  // Biasing multiplies observed loss events and keeps the weights healthy at
+  // this mild factor.
+  EXPECT_GT(biased.loss_events, naive.loss_events);
+  EXPECT_GT(biased.ess, 0.4 * 400);
+}
+
+TEST(CampaignVrTest, ForcingAcceleratesRareLossConfig) {
+  // At a rare-event cap (fault-rate x cap << 1) forcing must put faults in
+  // every lifetime while the naive campaign mostly samples nothing.
+  CampaignConfig cfg = TestCampaign(PolicySpec::AfraidBaseline(), 60, 2000.0);
+  cfg.faults.mttf_disk_raw_hours = 1e5;
+  cfg.base_seed = 20260808;
+  const CampaignSummary naive = RunCampaign(cfg, 0);
+
+  CampaignConfig forced_cfg = cfg;
+  forced_cfg.vr.mode = VrMode::kForcing;
+  const CampaignSummary forced = RunCampaign(forced_cfg, 0);
+
+  // Every forced lifetime saw at least one fault; the naive one mostly none.
+  EXPECT_GE(forced.disk_failures + forced.predicted_averted,
+            static_cast<uint64_t>(forced.lifetimes));
+  EXPECT_LT(naive.disk_failures + naive.predicted_averted,
+            forced.disk_failures + forced.predicted_averted);
+  // Pure forcing weights are the constant window mass: no weight degeneracy.
+  EXPECT_NEAR(forced.ess, 60.0, 1e-6);
+}
+
 TEST(CampaignTest, NvramVulnerableBytesCauseLossEvents) {
   // A PrestoServe-style single-copy NVRAM holding client data: each NVRAM
   // loss is a data-loss event (Section 3.4).

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "stats/confidence.h"
+
 namespace afraid {
 namespace {
 
@@ -132,6 +134,179 @@ TEST(ScenarioEngineTest, StopHaltsFromInsideACallback) {
   EXPECT_EQ(seen, 1u);
   EXPECT_TRUE(engine.Stopped());
   EXPECT_LT(engine.NowHours(), 1e9);
+}
+
+// --- Rare-event acceleration: exact likelihood-ratio weights ---------------
+
+TEST(ScenarioVrTest, ForcingWeightIsExactlyTheWindowMass) {
+  // With forcing alone (bias 1) the only likelihood-ratio term is the
+  // first-event window mass F = 1 - exp(-Lambda * H): per-clock fired and
+  // censored terms all carry the factor (b - 1) = 0.
+  FaultModelParams params;
+  params.mttf_disk_raw_hours = 2e5;
+  params.coverage = 0.0;
+  const double horizon = 1e5;
+  VarianceReduction vr;
+  vr.mode = VrMode::kForcing;
+  ScenarioEngine engine(params, /*num_disks=*/1, /*seed=*/7, {}, vr, horizon);
+  engine.RunUntil(horizon);
+  // Forcing guarantees the first fault landed inside the window.
+  EXPECT_GE(engine.DiskFailures() + engine.PredictedAverted(), 1u);
+  const double lambda = TotalFaultRatePerHour(params, 1);
+  const double expected = std::log(-std::expm1(-lambda * horizon));
+  EXPECT_NEAR(engine.FinalLogWeight(horizon), expected, 1e-12);
+  // The weight is a path-independent constant under pure forcing: any
+  // stopping time gives the same value.
+  EXPECT_NEAR(engine.FinalLogWeight(horizon / 3.0), expected, 1e-12);
+}
+
+TEST(ScenarioVrTest, BiasedFiredDrawHasClosedFormWeight) {
+  // One disk, coverage 0, stop at its first failure at age t1. The exact log
+  // weight is log F' - log b + (b - 1) * t1 / m, with F' the *biased* window
+  // mass (forcing samples the first event at the inflated rate).
+  FaultModelParams params;
+  params.mttf_disk_raw_hours = 2e5;
+  params.coverage = 0.0;
+  const double horizon = 1e5;
+  VarianceReduction vr;
+  vr.mode = VrMode::kBiasing;
+  vr.failure_bias = 6.0;
+  double t1 = -1.0;
+  ScenarioEngine* eng = nullptr;
+  ScenarioEvents events;
+  events.on_disk_failure = [&](int32_t, double now) {
+    t1 = now;
+    eng->Stop();
+  };
+  ScenarioEngine engine(params, /*num_disks=*/1, /*seed=*/13, events, vr, horizon);
+  eng = &engine;
+  engine.RunUntil(horizon);
+  ASSERT_GT(t1, 0.0);
+  const double m = params.mttf_disk_raw_hours;
+  const double b = vr.failure_bias;
+  const double biased_mass = -std::expm1(-(b / m) * horizon);
+  const double expected =
+      std::log(biased_mass) - std::log(b) + (b - 1.0) * t1 / m;
+  EXPECT_NEAR(engine.FinalLogWeight(t1), expected, 1e-9);
+}
+
+TEST(ScenarioVrTest, CensoredClockCarriesSurvivalRatio) {
+  // Query the weight at a stopping time before the forced event fires: the
+  // single clock is right-censored there, contributing (b - 1) * t / m.
+  FaultModelParams params;
+  params.mttf_disk_raw_hours = 2e5;
+  params.coverage = 0.0;
+  const double horizon = 1e5;
+  VarianceReduction vr;
+  vr.mode = VrMode::kBiasing;
+  vr.failure_bias = 4.0;
+  ScenarioEngine engine(params, /*num_disks=*/1, /*seed=*/3, {}, vr, horizon);
+  const double early = 1.0;  // Virtually certain to precede the first event.
+  engine.RunUntil(early);
+  ASSERT_EQ(engine.DiskFailures() + engine.PredictedAverted(), 0u);
+  const double m = params.mttf_disk_raw_hours;
+  const double b = vr.failure_bias;
+  const double biased_mass = -std::expm1(-(b / m) * horizon);
+  const double expected = std::log(biased_mass) + (b - 1.0) * early / m;
+  EXPECT_NEAR(engine.FinalLogWeight(early), expected, 1e-12);
+}
+
+TEST(ScenarioVrTest, MultiDiskAggregateWeightIdentity) {
+  // n disks all started at 0; stop at the first failure t1. One clock fired
+  // (fired term), the other n-1 are censored at t1, so the total is
+  //   log F' - log b + n * (b - 1) * t1 / m.
+  FaultModelParams params;
+  params.mttf_disk_raw_hours = 1e5;
+  params.coverage = 0.0;
+  const int32_t n = 5;
+  const double horizon = 4e4;
+  VarianceReduction vr;
+  vr.mode = VrMode::kBiasing;
+  vr.failure_bias = 3.0;
+  double t1 = -1.0;
+  ScenarioEngine* eng = nullptr;
+  ScenarioEvents events;
+  events.on_disk_failure = [&](int32_t, double now) {
+    t1 = now;
+    eng->Stop();
+  };
+  ScenarioEngine engine(params, n, /*seed=*/23, events, vr, horizon);
+  eng = &engine;
+  engine.RunUntil(horizon);
+  ASSERT_GT(t1, 0.0);
+  const double m = params.mttf_disk_raw_hours;
+  const double b = vr.failure_bias;
+  const double biased_mass =
+      -std::expm1(-(b * static_cast<double>(n) / m) * horizon);
+  const double expected = std::log(biased_mass) - std::log(b) +
+                          static_cast<double>(n) * (b - 1.0) * t1 / m;
+  EXPECT_NEAR(engine.FinalLogWeight(t1), expected, 1e-9);
+}
+
+TEST(ScenarioVrTest, OffModeWeightIsExactlyZero) {
+  FaultModelParams params;
+  ScenarioEngine engine(params, /*num_disks=*/5, /*seed=*/99, {});
+  engine.RunUntil(1e7);
+  EXPECT_EQ(engine.FinalLogWeight(1e7), 0.0);
+}
+
+TEST(ScenarioVrTest, WeightedDualFailureEstimatorMatchesEq1) {
+  // End-to-end unbiasedness against an analytic value from avail/model.cc:
+  // with coverage 0 the catastrophic dual-failure MTTDL is Eq. (1),
+  // MTTF^2 / (N (N+1) MTTR). Run biased timeline-only lifetimes (loss =
+  // second failure inside an open repair window), estimate the weighted
+  // MTTDL, and require the analytic value inside the 95% CI.
+  FaultModelParams params;
+  params.mttf_disk_raw_hours = 1e5;
+  params.coverage = 0.0;
+  params.mttr_hours = 48.0;
+  AvailabilityParams avail;
+  avail.mttf_disk_raw_hours = params.mttf_disk_raw_hours;
+  avail.coverage = 0.0;
+  avail.mttr_hours = params.mttr_hours;
+  avail.num_data_disks = 4;  // 5 disks total, like the engine below.
+  const double analytic = MttdlRaidCatastrophicHours(avail);
+
+  const double cap = 2e4;
+  VarianceReduction vr;
+  vr.mode = VrMode::kBiasing;
+  vr.failure_bias = 4.0;
+  const int kLifetimes = 1500;
+  std::vector<double> log_w;
+  std::vector<double> loss;
+  std::vector<double> hours;
+  for (int i = 0; i < kLifetimes; ++i) {
+    const uint64_t seed = DeriveStreamSeed(4242, static_cast<uint64_t>(i));
+    double loss_hours = -1.0;
+    ScenarioEngine* eng = nullptr;
+    ScenarioEvents events;
+    events.on_disk_failure = [&](int32_t, double now) {
+      if (eng->FailedDisks() >= 2) {
+        loss_hours = now;
+        eng->Stop();
+      }
+    };
+    ScenarioEngine engine(params, avail.TotalDisks(), seed, events, vr, cap);
+    eng = &engine;
+    engine.RunUntil(cap);
+    const double stop = loss_hours > 0.0 ? loss_hours : cap;
+    log_w.push_back(engine.FinalLogWeight(stop));
+    loss.push_back(loss_hours > 0.0 ? 1.0 : 0.0);
+    hours.push_back(stop);
+  }
+  const double censored_mass =
+      std::exp(-TotalFaultRatePerHour(params, avail.TotalDisks()) * cap) * cap;
+  const ConfidenceInterval mttdl =
+      WeightedMttdlCiHours(log_w, loss, hours, censored_mass);
+  EXPECT_TRUE(mttdl.Contains(analytic))
+      << "analytic " << analytic << " not in [" << mttdl.lo << ", " << mttdl.hi
+      << "] (point " << mttdl.point << ")";
+  // And the biased campaign actually observed a useful number of events.
+  double events_seen = 0.0;
+  for (double l : loss) {
+    events_seen += l;
+  }
+  EXPECT_GE(events_seen, 10.0);
 }
 
 TEST(ScenarioEngineTest, DeterministicForFixedSeed) {

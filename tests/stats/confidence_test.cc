@@ -93,5 +93,144 @@ TEST(RatioCiTest, SinglePairIsDegenerate) {
   EXPECT_DOUBLE_EQ(ci.hi, 2.5);
 }
 
+// --- Weighted (importance-sampled) estimators -------------------------------
+
+TEST(WeightEssTest, UnitWeightsGiveFullSampleSize) {
+  EXPECT_DOUBLE_EQ(WeightEss({0.0, 0.0, 0.0, 0.0}), 4.0);
+  EXPECT_DOUBLE_EQ(WeightEss({}), 0.0);
+}
+
+TEST(WeightEssTest, ScaleInvariant) {
+  // Shifting every log weight by a constant (even a huge one) cannot change
+  // the ESS: the weights only matter up to normalization.
+  const std::vector<double> base = {0.0, -1.0, 0.5, -2.0};
+  std::vector<double> shifted_up;
+  std::vector<double> shifted_down;
+  for (double lw : base) {
+    shifted_up.push_back(lw + 5000.0);
+    shifted_down.push_back(lw - 5000.0);
+  }
+  EXPECT_NEAR(WeightEss(shifted_up), WeightEss(base), 1e-9);
+  EXPECT_NEAR(WeightEss(shifted_down), WeightEss(base), 1e-9);
+}
+
+TEST(WeightEssTest, SingleDominatingWeightCollapsesTowardOne) {
+  // One lifetime carrying e^20 times the weight of the rest: the effective
+  // sample size must collapse to ~1, flagging a useless campaign.
+  std::vector<double> log_w(100, 0.0);
+  log_w[7] = 20.0;
+  const double ess = WeightEss(log_w);
+  EXPECT_GT(ess, 1.0);
+  EXPECT_LT(ess, 1.01);
+}
+
+TEST(WeightedMeanCiTest, UnitWeightsMatchSampleMean) {
+  const std::vector<double> log_w(4, 0.0);
+  const ConfidenceInterval ci = WeightedMeanCi(log_w, {1.0, 0.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(ci.point, 0.5);
+  EXPECT_LT(ci.lo, 0.5);
+  EXPECT_GT(ci.hi, 0.5);
+  EXPECT_GE(ci.lo, 0.0);
+}
+
+TEST(WeightedMeanCiTest, ExtremeLogWeightsDoNotProduceNan) {
+  // Weight overflow: log weights beyond double range must degrade to a
+  // usable [0, inf) interval, never NaN.
+  const ConfidenceInterval over =
+      WeightedMeanCi({1000.0, 0.0, -3.0}, {1.0, 1.0, 0.0});
+  EXPECT_FALSE(std::isnan(over.point));
+  EXPECT_FALSE(std::isnan(over.lo));
+  EXPECT_FALSE(std::isnan(over.hi));
+  EXPECT_GE(over.lo, 0.0);
+  // Weight underflow: all weights tiny, the mean itself underflows to ~0
+  // but stays a number.
+  const ConfidenceInterval under =
+      WeightedMeanCi({-800.0, -805.0}, {1.0, 1.0});
+  EXPECT_FALSE(std::isnan(under.point));
+  EXPECT_GE(under.point, 0.0);
+  EXPECT_LT(under.point, 1e-300);
+}
+
+TEST(WeightedRatioCiTest, UnitWeightsMatchRatioCi) {
+  const std::vector<double> num = {0.0, 40.0};
+  const std::vector<double> den = {2.0, 2.0};
+  const ConfidenceInterval unweighted = RatioCi(num, den);
+  const ConfidenceInterval weighted = WeightedRatioCi({0.0, 0.0}, num, den);
+  EXPECT_DOUBLE_EQ(weighted.point, unweighted.point);
+  EXPECT_DOUBLE_EQ(weighted.lo, unweighted.lo);
+  EXPECT_DOUBLE_EQ(weighted.hi, unweighted.hi);
+}
+
+TEST(WeightedRatioCiTest, DenominatorOffsetEntersWithUnitWeight) {
+  // Two observations at weight 1 plus a per-observation offset of 3: the
+  // denominator is 2 + 2 + 2*3 = 10.
+  const ConfidenceInterval ci =
+      WeightedRatioCi({0.0, 0.0}, {5.0, 5.0}, {2.0, 2.0}, 3.0);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  // And the offset survives extreme down-weighting: with tiny weights the
+  // ratio tends to weighted-num / (offset mass), not 0/0.
+  const ConfidenceInterval tiny =
+      WeightedRatioCi({-700.0, -700.0}, {5.0, 5.0}, {2.0, 2.0}, 3.0);
+  EXPECT_FALSE(std::isnan(tiny.point));
+  EXPECT_GE(tiny.point, 0.0);
+  EXPECT_LT(tiny.point, 1e-250);
+}
+
+TEST(WeightedMttdlCiTest, UnitWeightZeroEventsMatchesUnweighted) {
+  // Zero loss events with unit weights and no offset must reproduce the
+  // chi-square zero-event lower bound exactly.
+  const std::vector<double> log_w(4, 0.0);
+  const std::vector<double> loss(4, 0.0);
+  const std::vector<double> hours(4, 250.0);
+  const ConfidenceInterval weighted = WeightedMttdlCiHours(log_w, loss, hours);
+  const ConfidenceInterval unweighted = MttdlCiHours(0, 1000.0);
+  EXPECT_EQ(weighted.point, kInf);
+  EXPECT_EQ(weighted.hi, kInf);
+  EXPECT_DOUBLE_EQ(weighted.lo, unweighted.lo);
+}
+
+TEST(WeightedMttdlCiTest, ZeroEventsUnderBiasingUsesEssLowerBound) {
+  // Degenerate weights with no losses: the lower bound must shrink with the
+  // effective (not nominal) sample size -- a collapsed campaign proves less.
+  const std::vector<double> healthy_w(10, -0.5);
+  std::vector<double> collapsed_w(10, -8.0);
+  collapsed_w[0] = 0.0;  // One lifetime dominates.
+  const std::vector<double> loss(10, 0.0);
+  const std::vector<double> hours(10, 100.0);
+  const ConfidenceInterval healthy = WeightedMttdlCiHours(healthy_w, loss, hours);
+  const ConfidenceInterval collapsed =
+      WeightedMttdlCiHours(collapsed_w, loss, hours);
+  EXPECT_EQ(healthy.point, kInf);
+  EXPECT_GT(healthy.lo, 0.0);
+  EXPECT_GT(collapsed.lo, 0.0);
+  EXPECT_LT(collapsed.lo, healthy.lo);
+}
+
+TEST(WeightedMttdlCiTest, SingleWeightedEventGivesFiniteInterval) {
+  // One loss event carrying nearly all the weight: ESS collapses toward 1
+  // and the delta-method interval must stay finite and ordered (single-event
+  // campaigns are exactly where naive CIs lie).
+  std::vector<double> log_w(8, -6.0);
+  log_w[3] = 0.0;
+  std::vector<double> loss(8, 0.0);
+  loss[3] = 1.0;
+  const std::vector<double> hours(8, 500.0);
+  const ConfidenceInterval ci = WeightedMttdlCiHours(log_w, loss, hours);
+  EXPECT_GT(ci.point, 0.0);
+  EXPECT_LT(ci.point, kInf);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_LT(WeightEss(log_w), 1.5);
+}
+
+TEST(WeightedMttdlCiTest, ExtremeBiasingWeightsDoNotProduceNan) {
+  const ConfidenceInterval ci = WeightedMttdlCiHours(
+      {900.0, -900.0, 0.0}, {1.0, 0.0, 0.0}, {10.0, 10.0, 10.0}, 5.0);
+  EXPECT_FALSE(std::isnan(ci.point));
+  EXPECT_FALSE(std::isnan(ci.lo));
+  EXPECT_FALSE(std::isnan(ci.hi));
+  EXPECT_GE(ci.lo, 0.0);
+}
+
 }  // namespace
 }  // namespace afraid
